@@ -1,0 +1,101 @@
+"""Medical-records scenario: why zero-knowledge matters.
+
+The paper's motivating example (Section 1): a patient authorizes access
+to a medical record only to senior researchers or doctors specializing in
+cancer.  A curious user must not learn — even from *proofs* — how
+diseases are distributed across the database.
+
+This example demonstrates:
+
+1. fine-grained attribute policies per record;
+2. an *enumeration attack* that fails: scanning the whole key space
+   yields proofs that are indistinguishable between "record exists but
+   is hidden" and "no record at all";
+3. soundness: the SP cannot drop or tamper with accessible results.
+
+Run:  python examples/medical_records.py
+"""
+
+import random
+
+from repro.core import DataOwner, Dataset, QueryUser, Record
+from repro.core.vo import AccessibleRecordEntry, VerificationObject
+from repro.crypto import simulated
+from repro.errors import CompletenessError, SoundnessError
+from repro.index import Domain
+from repro.policy import RoleUniverse, parse_policy
+
+rng = random.Random(7)
+group = simulated()
+
+universe = RoleUniverse(
+    ["doctor", "cancer_specialty", "cardio_specialty", "senior_researcher", "intern"]
+)
+#: patient id 0..127
+domain = Domain.of((0, 127))
+
+records = Dataset(domain)
+# Cancer records: (doctor AND cancer specialty) OR senior researcher.
+cancer_policy = parse_policy("(doctor and cancer_specialty) or senior_researcher")
+cardio_policy = parse_policy("(doctor and cardio_specialty) or senior_researcher")
+for pid in (5, 17, 63, 99):
+    records.add(Record((pid,), f"cancer record #{pid}".encode(), cancer_policy))
+for pid in (8, 44, 101):
+    records.add(Record((pid,), f"cardio record #{pid}".encode(), cardio_policy))
+
+owner = DataOwner(group, universe, rng=rng)
+provider = owner.outsource({"records": records})
+
+cardio_doc = QueryUser(
+    group, universe, owner.register_user(["doctor", "cardio_specialty"])
+)
+
+# 1. The cardiologist sees exactly the cardio records.
+response = provider.range_query("records", (0,), (127,), cardio_doc.roles, rng=rng)
+print("cardiologist sees:", sorted(r.value.decode() for r in cardio_doc.verify(response)))
+
+# 2. Enumeration attack: probe every patient id one by one and try to
+#    infer where the *cancer* records are.  Every non-cardio id yields
+#    the same kind of proof — whether a hidden record exists there or not.
+hidden_like = []
+for pid in range(128):
+    resp = provider.equality_query("records", (pid,), cardio_doc.roles, rng=rng)
+    if not cardio_doc.verify(resp):
+        hidden_like.append(pid)
+print(
+    f"enumeration attack: {len(hidden_like)} of 128 ids return 'nothing you can "
+    f"see' proofs — the 4 hidden cancer records are indistinguishable among them"
+)
+assert len(hidden_like) == 128 - 3  # everything except the 3 cardio records
+
+# 3. Soundness: a malicious SP drops an accessible result -> caught.
+response = provider.range_query("records", (0,), (127,), cardio_doc.roles, rng=rng)
+tampered = VerificationObject(
+    entries=[e for e in response.vo if not isinstance(e, AccessibleRecordEntry)]
+)
+response.vo = tampered
+try:
+    cardio_doc.verify(response)
+    raise SystemExit("BUG: dropped records were not detected")
+except CompletenessError as exc:
+    print("dropping a result is detected:", exc)
+
+# ... and tampering with a record's content -> caught.
+response = provider.range_query("records", (0,), (127,), cardio_doc.roles, rng=rng)
+forged_entries = []
+for entry in response.vo:
+    if isinstance(entry, AccessibleRecordEntry):
+        entry = AccessibleRecordEntry(
+            key=entry.key,
+            value=b"FORGED " + entry.value,
+            policy=entry.policy,
+            signature=entry.signature,
+            table=entry.table,
+        )
+    forged_entries.append(entry)
+response.vo = VerificationObject(entries=forged_entries)
+try:
+    cardio_doc.verify(response)
+    raise SystemExit("BUG: forged content was not detected")
+except SoundnessError as exc:
+    print("tampering with a record is detected:", exc)

@@ -1,0 +1,91 @@
+"""Relaxed-confidentiality analytics: AP2kd-tree and pseudo regions.
+
+When zero-knowledge is not required (only *access policy
+confidentiality*), two optimizations from Section 9 apply:
+
+1. the AP2kd-tree — a data-dependent index whose splits minimize policy
+   overlap between halves, shrinking both the index and the proofs;
+2. pseudo *regions* for continuous attributes — empty space between
+   records is covered by one signature per gap instead of one per
+   possible value.
+
+This example builds both over a sparse sensor dataset and compares them
+with the zero-knowledge grid tree.
+
+Run:  python examples/relaxed_kdtree_analytics.py
+"""
+
+import random
+
+from repro.core import DataOwner, Dataset, Record
+from repro.core.app_signature import AppAuthenticator
+from repro.core.continuous import (
+    ContinuousIndex,
+    continuous_equality_vo,
+    continuous_range_vo,
+    verify_continuous_vo,
+)
+from repro.core.range_query import clip_query, range_vo
+from repro.core.verifier import verify_vo
+from repro.crypto import simulated
+from repro.index import Box, Domain
+from repro.index.kdtree import APKDTree
+from repro.policy import RoleUniverse, parse_policy
+
+rng = random.Random(99)
+group = simulated()
+universe = RoleUniverse(["ops", "analytics", "admin"])
+
+# Sparse 2-D sensor readings over a 256x256 grid.
+domain = Domain.of((0, 255), (0, 255))
+dataset = Dataset(domain)
+policies = [parse_policy("ops"), parse_policy("analytics"), parse_policy("ops and admin")]
+seen = set()
+while len(seen) < 40:
+    seen.add((rng.randrange(256), rng.randrange(256)))
+for i, key in enumerate(sorted(seen)):
+    dataset.add(Record(key, b"reading-%03d" % i, policies[i % 3]))
+
+owner = DataOwner(group, universe, rng=rng)
+auth = AppAuthenticator(group, universe, owner.mvk)
+
+# Zero-knowledge grid tree vs relaxed kd-tree over the same data.
+grid = owner.build_tree(dataset)
+kd = APKDTree.build(dataset, owner.signer, rng)
+print(f"AP2G-tree : {grid.stats.num_nodes:6d} nodes, "
+      f"{grid.stats.index_bytes/1024:8.0f} KB index")
+print(f"AP2kd-tree: {kd.stats.num_nodes:6d} nodes, "
+      f"{kd.stats.index_bytes/1024:8.0f} KB index "
+      f"({grid.stats.index_bytes / kd.stats.index_bytes:.0f}x smaller)")
+
+roles = frozenset(["ops"])
+query = clip_query(kd, (32, 32), (200, 190))
+for name, tree in (("grid", grid), ("kd", kd)):
+    vo = range_vo(tree, auth, query, roles, rng)
+    records = verify_vo(vo, auth, query, roles)
+    print(f"{name:4s} range VO: {len(vo):4d} entries, {vo.byte_size():7d} bytes, "
+          f"{len(records)} accessible readings")
+
+# Continuous attribute (timestamps in ms over a day) with pseudo regions.
+t_lo, t_hi = 0, 86_400_000
+events = [
+    Record((ts,), b"event@%d" % ts, policies[i % 3])
+    for i, ts in enumerate(sorted(rng.sample(range(t_lo, t_hi), 12)))
+]
+index = ContinuousIndex(owner.signer, t_lo, t_hi, events, rng)
+print(f"continuous index: {index.num_signatures} signatures for 12 records "
+      f"over an {t_hi - t_lo:,}-value domain (vs {t_hi - t_lo + 1:,} pseudo "
+      f"records under zero-knowledge)")
+
+window = Box((events[2].key[0] - 1000,), (events[7].key[0] + 1000,))
+vo = continuous_range_vo(index, auth, window, roles, rng)
+found = verify_continuous_vo(vo, auth, window, roles)
+print(f"time-window query: {len(found)} accessible events, "
+      f"{len(vo)} proof entries, {vo.byte_size()} bytes")
+
+# Equality probe on an empty timestamp: one region APS proves absence.
+probe = events[0].key[0] + 1
+vo = continuous_equality_vo(index, auth, probe, roles, rng)
+assert verify_continuous_vo(vo, auth, Box((probe,), (probe,)), roles) == []
+print(f"equality probe at empty t={probe}: absence proven with "
+      f"{len(vo)} region signature ({vo.byte_size()} bytes)")

@@ -1,0 +1,8 @@
+"""Legacy setup shim so the package installs offline (no wheel/PEP-660).
+
+``python setup.py develop`` is the offline equivalent of
+``pip install -e .`` on hosts without network access to build deps.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,20 @@
+"""repro — zero-knowledge query authentication with fine-grained access control.
+
+A from-scratch Python implementation of Xu, Xu, Hu, Au: "When Query
+Authentication Meets Fine-Grained Access Control: A Zero-Knowledge
+Approach" (SIGMOD 2018), including the full cryptographic stack (BN254
+pairing, ABS with predicate relaxation, CP-ABE, AES), the authenticated
+indexes (AP2G-tree, AP2kd-tree), every query protocol of the paper, and
+the benchmark harness reproducing its evaluation.
+
+Start with :mod:`repro.core` (the three-party API) or README.md.
+"""
+
+__version__ = "1.0.0"
+
+#: The paper this library reproduces.
+PAPER = (
+    "Cheng Xu, Jianliang Xu, Haibo Hu, Man Ho Au. "
+    "When Query Authentication Meets Fine-Grained Access Control: "
+    "A Zero-Knowledge Approach. SIGMOD 2018. doi:10.1145/3183713.3183741"
+)

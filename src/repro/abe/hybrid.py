@@ -1,0 +1,68 @@
+"""Hybrid CP-ABE + AES envelope for byte payloads.
+
+The paper's protocols (Algorithms 1, 3, 4) encrypt the query result and VO
+"using a traditional one-key cipher, such as AES, with the one-key cipher
+key encrypted using CP-ABE under the access policy a1 AND a2 AND ... " over
+the user's claimed role set — so only a user who truly holds those roles
+can open the response (impersonation resistance).
+
+This module provides that envelope: CP-ABE KEM encapsulates fresh key
+material; AES-128-CTR + HMAC-SHA256 seals the payload.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.abe.cpabe import CpAbeCiphertext, CpAbePublicKey, CpAbeScheme, CpAbeSecretKey
+from repro.crypto.aes import open_sealed, seal
+from repro.errors import AccessDeniedError
+from repro.policy.boolexpr import BoolExpr, and_of_attrs
+
+
+@dataclass(frozen=True)
+class HybridEnvelope:
+    """CP-ABE header + AES-sealed body."""
+
+    header: CpAbeCiphertext
+    body: bytes
+
+    def byte_size(self) -> int:
+        return self.header.byte_size() + len(self.body)
+
+
+def encrypt_for_policy(
+    scheme: CpAbeScheme,
+    pk: CpAbePublicKey,
+    policy: BoolExpr,
+    plaintext: bytes,
+    rng: Optional[random.Random] = None,
+) -> HybridEnvelope:
+    """Seal ``plaintext`` so only holders of attributes satisfying ``policy`` open it."""
+    key_material, header = scheme.encapsulate(pk, policy, rng)
+    nonce = rng.getrandbits(96).to_bytes(12, "big") if rng is not None else None
+    return HybridEnvelope(header=header, body=seal(key_material, plaintext, nonce=nonce))
+
+
+def encrypt_for_roles(
+    scheme: CpAbeScheme,
+    pk: CpAbePublicKey,
+    roles: Iterable[str],
+    plaintext: bytes,
+    rng: Optional[random.Random] = None,
+) -> HybridEnvelope:
+    """Seal under the conjunction of ``roles`` (the paper's VO wrapping)."""
+    return encrypt_for_policy(scheme, pk, and_of_attrs(sorted(set(roles))), plaintext, rng)
+
+
+def decrypt_envelope(
+    scheme: CpAbeScheme,
+    sk: CpAbeSecretKey,
+    envelope: HybridEnvelope,
+) -> bytes:
+    """Open a hybrid envelope; raises :class:`AccessDeniedError` or
+    :class:`repro.errors.CryptoError` (tamper)."""
+    key_material = scheme.decapsulate(sk, envelope.header)
+    return open_sealed(key_material, envelope.body)

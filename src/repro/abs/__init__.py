@@ -1,0 +1,23 @@
+"""Attribute-based signatures with predicate relaxation (paper Section 5.2)."""
+
+from repro.abs.keys import (
+    AbsKeyPair,
+    AbsMasterSigningKey,
+    AbsSigningKey,
+    AbsVerificationKey,
+    attribute_scalar,
+)
+from repro.abs.relax import can_relax, relax
+from repro.abs.scheme import AbsScheme, AbsSignature
+
+__all__ = [
+    "AbsKeyPair",
+    "AbsMasterSigningKey",
+    "AbsSigningKey",
+    "AbsVerificationKey",
+    "AbsScheme",
+    "AbsSignature",
+    "attribute_scalar",
+    "can_relax",
+    "relax",
+]

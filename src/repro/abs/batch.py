@@ -1,0 +1,114 @@
+"""Batch verification of ABS signatures over OR predicates.
+
+A range-query VO contains many APS signatures, all under the *same*
+super policy ``OR(missing roles)`` — the dominant user-side cost on a
+real pairing backend.  Batch verification combines all their
+verification equations into one product-of-pairings check using the
+small-exponents technique: each signature's equations are raised to an
+independent random exponent ``rho_k`` before multiplying, so a single
+invalid signature unbalances the combined product except with
+probability ``~ 2^-lambda``.
+
+Only OR predicates (the APS shape: span program = an all-ones column)
+are supported; that is exactly what VO verification needs.  The combined
+check costs one shared final exponentiation for the entire batch instead
+of one per pairing — plus each signature's ``Y != 1`` and shape checks,
+which stay individual.
+
+``batch_verify`` is probabilistic-complete: ``True`` means all
+signatures are valid (up to the small-exponents soundness error);
+``False`` means at least one is invalid (callers can fall back to
+per-signature verification to locate it — see ``find_invalid``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.abs.keys import AbsVerificationKey
+from repro.abs.scheme import AbsScheme, AbsSignature
+from repro.errors import CryptoError
+from repro.policy.boolexpr import BoolExpr, Or, or_of_attrs
+
+#: Bit length of the random batching exponents (soundness ~ 2^-64).
+RHO_BITS = 64
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """One signature to batch-verify: message + OR-predicate attributes."""
+
+    message: bytes
+    attrs: tuple[str, ...]
+    signature: AbsSignature
+
+
+def _check_or_shape(item: BatchItem) -> bool:
+    sig = item.signature
+    return len(sig.p) == 1 and len(sig.s) == len(item.attrs) and not sig.y.is_identity
+
+
+def batch_verify(
+    scheme: AbsScheme,
+    mvk: AbsVerificationKey,
+    items: Sequence[BatchItem],
+    rng: Optional[random.Random] = None,
+) -> bool:
+    """Verify all ``items`` with one combined pairing product."""
+    if not items:
+        return True
+    grp = scheme.group
+    rng = rng or random
+    pairs = []
+    for item in items:
+        if not _check_or_shape(item):
+            return False
+        sig = item.signature
+        rho = rng.getrandbits(RHO_BITS) | 1  # nonzero
+        # Key-binding equation: e(W, A0) * e(Y^-1, h0) = 1.
+        pairs.append((sig.w**rho, mvk.a0_pub))
+        pairs.append(((~sig.y) ** rho, mvk.h0))
+        # Span equation (single all-ones column):
+        #   prod_i e(S_i, A*B^u_i) * e((C g^hash)^-1, P_1) * e(Y^-1, h) = 1
+        rho2 = rng.getrandbits(RHO_BITS) | 1
+        cg = scheme._message_base(mvk, sig.tau, item.message)
+        for s_i, attr in zip(sig.s, item.attrs):
+            pairs.append((s_i**rho2, mvk.attribute_base(attr)))
+        pairs.append(((~cg) ** rho2, sig.p[0]))
+        pairs.append(((~sig.y) ** rho2, mvk.h))
+    return grp.multi_pair(pairs).is_identity
+
+
+def batch_verify_same_predicate(
+    scheme: AbsScheme,
+    mvk: AbsVerificationKey,
+    messages: Sequence[bytes],
+    signatures: Sequence[AbsSignature],
+    missing_roles: Sequence[str],
+    rng: Optional[random.Random] = None,
+) -> bool:
+    """Convenience wrapper: many APS signatures under one super policy."""
+    if len(messages) != len(signatures):
+        raise CryptoError("messages and signatures must align")
+    attrs = tuple(missing_roles)
+    items = [
+        BatchItem(message=m, attrs=attrs, signature=s)
+        for m, s in zip(messages, signatures)
+    ]
+    return batch_verify(scheme, mvk, items, rng)
+
+
+def find_invalid(
+    scheme: AbsScheme,
+    mvk: AbsVerificationKey,
+    items: Sequence[BatchItem],
+) -> list[int]:
+    """Fallback: indexes of invalid signatures via individual verification."""
+    bad = []
+    for i, item in enumerate(items):
+        policy: BoolExpr = or_of_attrs(item.attrs)
+        if not scheme.verify(mvk, item.message, policy, item.signature):
+            bad.append(i)
+    return bad

@@ -1,0 +1,110 @@
+"""Key material for the ABS scheme (paper Section 5.2.2).
+
+* Master signing key ``msk = (a0, a, b)`` — scalars held by the DO.
+* Master verification key ``mvk = (g, h0, h, A0, A, B, C)`` with
+  ``g, C in G1`` and ``h0, h, A0 = h0^a0, A = h^a, B = h^b in G2`` —
+  distributed to users.
+* Signing key for attribute set A:
+  ``(K_base, K0 = K_base^(1/a0), {K_u = K_base^(1/(a + b*u))})``,
+  all in G1, where ``u`` is the attribute's scalar encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet
+
+from repro.crypto.group import BilinearGroup, GroupElement
+from repro.errors import CryptoError
+
+
+def attribute_scalar(group: BilinearGroup, name: str) -> int:
+    """Deterministic encoding of an attribute name into Z_r."""
+    return group.hash_to_scalar(b"abs-attribute", name)
+
+
+@dataclass(frozen=True)
+class AbsVerificationKey:
+    """Master verification key ``mvk`` (public)."""
+
+    group: BilinearGroup
+    g: GroupElement  # G1
+    h0: GroupElement  # G2
+    h: GroupElement  # G2
+    a0_pub: GroupElement  # A0 = h0^a0, G2
+    a_pub: GroupElement  # A = h^a, G2
+    b_pub: GroupElement  # B = h^b, G2
+    c: GroupElement  # C, G1
+
+    def attribute_base(self, name: str) -> GroupElement:
+        """``A * B^u`` for attribute ``name`` — the G2 base h^(a+b*u)."""
+        u = attribute_scalar(self.group, name)
+        return self.a_pub * self.b_pub**u
+
+    def to_bytes(self) -> bytes:
+        return b"".join(
+            e.to_bytes()
+            for e in (self.g, self.h0, self.h, self.a0_pub, self.a_pub, self.b_pub, self.c)
+        )
+
+    @classmethod
+    def from_bytes(cls, group: BilinearGroup, data: bytes) -> "AbsVerificationKey":
+        from repro.crypto.group import G1, G2
+        from repro.errors import DeserializationError
+
+        g1w = group.element_bytes(G1)
+        g2w = group.element_bytes(G2)
+        expected = 2 * g1w + 5 * g2w
+        if len(data) != expected:
+            raise DeserializationError(
+                f"mvk encoding must be {expected} bytes, got {len(data)}"
+            )
+        off = 0
+
+        def take(kind: str):
+            nonlocal off
+            width = g1w if kind == G1 else g2w
+            element = group.deserialize(kind, data[off : off + width])
+            off += width
+            return element
+
+        return cls(
+            group=group,
+            g=take(G1),
+            h0=take(G2),
+            h=take(G2),
+            a0_pub=take(G2),
+            a_pub=take(G2),
+            b_pub=take(G2),
+            c=take(G1),
+        )
+
+
+@dataclass(frozen=True)
+class AbsMasterSigningKey:
+    """Master signing key ``msk = (a0, a, b)`` (DO-private)."""
+
+    a0: int
+    a: int
+    b: int
+
+
+@dataclass(frozen=True)
+class AbsKeyPair:
+    msk: AbsMasterSigningKey
+    mvk: AbsVerificationKey
+
+
+@dataclass(frozen=True)
+class AbsSigningKey:
+    """Per-attribute-set signing key ``sk_A``."""
+
+    attrs: FrozenSet[str]
+    k_base: GroupElement  # G1
+    k0: GroupElement  # G1
+    k: Dict[str, GroupElement]  # attr -> G1
+
+    def __post_init__(self):
+        missing = self.attrs - set(self.k)
+        if missing:
+            raise CryptoError(f"signing key missing components for {sorted(missing)}")

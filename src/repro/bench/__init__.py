@@ -1,0 +1,19 @@
+"""Benchmark harness and per-table/figure experiment drivers."""
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.harness import (
+    QueryCost,
+    Setup,
+    average_costs,
+    build_setup,
+    measure_join,
+    measure_range,
+)
+from repro.bench.report import ExperimentResult, kib, millis
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "QueryCost", "Setup", "average_costs", "build_setup",
+    "measure_join", "measure_range",
+    "ExperimentResult", "kib", "millis",
+]

@@ -1,0 +1,37 @@
+"""Standalone experiment runner: ``python -m repro.bench [names...]``.
+
+Runs the requested experiments (default: all) and writes each rendered
+table to ``benchmarks/results/<name>.txt`` as well as stdout.  This is
+how EXPERIMENTS.md's measured columns were produced.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+
+
+def main(argv: list[str]) -> int:
+    names = argv or list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; available: {list(ALL_EXPERIMENTS)}")
+        return 2
+    out_dir = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        t0 = time.time()
+        result = ALL_EXPERIMENTS[name]()
+        text = result.render()
+        elapsed = time.time() - t0
+        print(text)
+        print(f"  [{name} completed in {elapsed:.1f}s]\n")
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

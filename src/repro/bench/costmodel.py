@@ -1,0 +1,157 @@
+"""Analytic cost model for the AP2G-tree (DO setup / Table 1).
+
+The paper substantiates its design with "analytical models and empirical
+results"; this module provides the analytical side for the grid index:
+
+* :func:`grid_node_count` — the *exact* number of nodes/leaves of the
+  full grid tree over a domain shape (no tree needs to be built);
+* :func:`signature_bytes` / :func:`policy_signature_bytes` — exact
+  serialized ABS-signature sizes from span-program dimensions;
+* :func:`index_size_bounds` — provable lower/upper bounds on the signed
+  index's signature bytes for a given policy workload, bracketing the
+  built tree byte-for-byte (tests assert containment);
+* :func:`predict_table1` — the analytic counterpart of the Table 1
+  experiment.
+
+The lower bound signs every node under the 1-attribute pseudo policy;
+the upper bound signs every leaf under the longest workload policy and
+every internal node under the full DNF union of all policies — node
+policies are unions of subsets, so both bounds are sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Sequence
+
+from repro.crypto.group import G1, G2, BilinearGroup
+from repro.policy.boolexpr import BoolExpr
+from repro.policy.dnf import to_dnf
+from repro.policy.msp import get_msp
+from repro.workload.tpch import TpchConfig, expected_occupancy
+
+
+@lru_cache(maxsize=None)
+def grid_node_count(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Exact (nodes, leaves) of the full grid tree over ``shape``.
+
+    Mirrors :meth:`repro.index.boxes.Box.grid_children`: every dimension
+    of extent >= 2 halves (left gets the ceiling), recursively to unit
+    cells.
+    """
+    if all(extent == 1 for extent in shape):
+        return 1, 1
+    child_shapes = [()]
+    for extent in shape:
+        if extent < 2:
+            child_shapes = [cs + (extent,) for cs in child_shapes]
+        else:
+            left, right = (extent + 1) // 2, extent // 2
+            child_shapes = [
+                cs + (half,) for cs in child_shapes for half in (left, right)
+            ]
+    nodes, leaves = 1, 0
+    for child in child_shapes:
+        c_nodes, c_leaves = grid_node_count(child)
+        nodes += c_nodes
+        leaves += c_leaves
+    return nodes, leaves
+
+
+def signature_bytes(group: BilinearGroup, n_rows: int, n_cols: int) -> int:
+    """Exact serialized size of an ABS signature with an l x t MSP."""
+    return (
+        2 + 32 + 2 + 2  # tau prefix + tau + row/col counts
+        + group.element_bytes(G1) * (2 + n_rows)
+        + group.element_bytes(G2) * n_cols
+    )
+
+
+def policy_signature_bytes(group: BilinearGroup, policy: BoolExpr) -> int:
+    """Exact signature size for a specific claim policy."""
+    msp = get_msp(policy, group.order)
+    return signature_bytes(group, msp.n_rows, msp.n_cols)
+
+
+@dataclass(frozen=True)
+class IndexSizeBounds:
+    """Provable bracket on the signed index's signature bytes."""
+
+    nodes: int
+    leaves: int
+    lower_bytes: int
+    upper_bytes: int
+    expected_leaf_bytes: float
+
+    def contains(self, measured: int) -> bool:
+        return self.lower_bytes <= measured <= self.upper_bytes
+
+
+def index_size_bounds(
+    group: BilinearGroup,
+    shape: tuple[int, ...],
+    policies: Sequence[BoolExpr],
+    occupancy: float,
+) -> IndexSizeBounds:
+    """Bounds on total signature bytes of the AP2G-tree over ``shape``.
+
+    ``occupancy`` is the fraction of cells holding real records (each
+    assigned one of ``policies``); the rest are pseudo records with the
+    1-attribute pseudo policy.
+    """
+    nodes, leaves = grid_node_count(tuple(shape))
+    internal = nodes - leaves
+    pseudo_bytes = signature_bytes(group, 1, 1)
+    policy_sizes = [policy_signature_bytes(group, p) for p in policies]
+    avg_policy = sum(policy_sizes) / len(policy_sizes)
+    # Expected leaf cost: occupied cells carry workload policies.
+    expected_leaf = occupancy * avg_policy + (1 - occupancy) * pseudo_bytes
+    # Upper bound: every internal node signed under the union of all
+    # workload policies (minimal-DNF union of every clause) + pseudo.
+    union_clauses = set()
+    for policy in policies:
+        union_clauses.update(to_dnf(policy))
+    union_rows = sum(len(clause) for clause in union_clauses) + 1  # + pseudo row
+    # The union policy's MSP: OR over AND-clauses — rows as above, one
+    # fresh column per extra AND literal plus the shared first column.
+    union_cols = 1 + sum(len(clause) - 1 for clause in union_clauses)
+    union_bytes = signature_bytes(group, union_rows, union_cols)
+    max_leaf = max(policy_sizes + [pseudo_bytes])
+    lower = nodes * pseudo_bytes
+    upper = leaves * max_leaf + internal * union_bytes
+    return IndexSizeBounds(
+        nodes=nodes,
+        leaves=leaves,
+        lower_bytes=lower,
+        upper_bytes=upper,
+        expected_leaf_bytes=expected_leaf,
+    )
+
+
+@dataclass(frozen=True)
+class Table1Prediction:
+    scale: float
+    expected_records: int
+    nodes: int
+    leaves: int
+    lower_index_kib: float
+    upper_index_kib: float
+
+
+def predict_table1(
+    group: BilinearGroup,
+    config: TpchConfig,
+    policies: Sequence[BoolExpr],
+) -> Table1Prediction:
+    """Analytic counterpart of one Table 1 row."""
+    occupancy = expected_occupancy(config.scale)
+    bounds = index_size_bounds(group, config.shape, policies, occupancy)
+    return Table1Prediction(
+        scale=config.scale,
+        expected_records=config.num_distinct_keys(),
+        nodes=bounds.nodes,
+        leaves=bounds.leaves,
+        lower_index_kib=bounds.lower_bytes / 1024,
+        upper_index_kib=bounds.upper_bytes / 1024,
+    )

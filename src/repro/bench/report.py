@@ -1,0 +1,55 @@
+"""Plain-text rendering of experiment results (paper-style tables/series)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """One table or figure: an id, headers, and formatted rows."""
+
+    exp_id: str
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, *values) -> None:
+        self.rows.append(values)
+
+    def render(self) -> str:
+        cols = len(self.headers)
+        table = [list(map(str, self.headers))] + [
+            [_fmt(v) for v in row] for row in self.rows
+        ]
+        widths = [max(len(row[c]) for row in table) for c in range(cols)]
+        lines = [f"== {self.exp_id}: {self.title} =="]
+        for i, row in enumerate(table):
+            lines.append("  " + " | ".join(v.rjust(widths[c]) for c, v in enumerate(row)))
+            if i == 0:
+                lines.append("  " + "-+-".join("-" * w for w in widths))
+        if self.notes:
+            lines.append(f"  note: {self.notes}")
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def millis(seconds: float) -> float:
+    return seconds * 1e3
+
+
+def kib(num_bytes: float) -> float:
+    return num_bytes / 1024.0

@@ -1,0 +1,81 @@
+"""Authenticated aggregation over accessible records (paper future work).
+
+The paper's conclusion lists aggregation as planned future work.  Under
+fine-grained access control the natural semantics is *aggregate over the
+records the user may access*: the range VO already proves exactly that
+set sound and complete, so COUNT/SUM/MIN/MAX/AVG over it inherit the
+authentication guarantees.
+
+:func:`authenticated_aggregate` verifies a range VO and folds an
+aggregate over the verified accessible records; the result carries the
+supporting record count so callers can reason about confidence.  The
+extractor maps a verified record to its numeric measure (e.g. unpack a
+column from the value bytes).
+
+This keeps the zero-knowledge property: the aggregate reflects only
+accessible records, and the proof reveals nothing else — in particular,
+COUNT does *not* leak the number of hidden records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.core.app_signature import AppAuthenticator
+from repro.core.records import Record
+from repro.core.verifier import verify_vo
+from repro.core.vo import VerificationObject
+from repro.errors import ReproError
+from repro.index.boxes import Box
+
+AGGREGATES = ("count", "sum", "min", "max", "avg")
+
+
+@dataclass(frozen=True)
+class AggregateResult:
+    """A verified aggregate with its supporting evidence."""
+
+    kind: str
+    value: float | int | None
+    supporting_records: int
+
+    @property
+    def is_empty(self) -> bool:
+        return self.supporting_records == 0
+
+
+def authenticated_aggregate(
+    vo: VerificationObject,
+    authenticator: AppAuthenticator,
+    query: Box,
+    user_roles,
+    kind: str,
+    extractor: Callable[[Record], float] = lambda _r: 1.0,
+    missing_roles: Optional[Sequence[str]] = None,
+) -> AggregateResult:
+    """Verify a range VO and aggregate over the accessible records.
+
+    ``kind`` is one of ``count``, ``sum``, ``min``, ``max``, ``avg``.
+    Raises the usual :class:`~repro.errors.VerificationError` subclasses
+    when the VO is unsound or incomplete — a tampered VO can never yield
+    an aggregate.
+    """
+    if kind not in AGGREGATES:
+        raise ReproError(f"unknown aggregate {kind!r}; choose from {AGGREGATES}")
+    records = verify_vo(vo, authenticator, query, user_roles, missing_roles)
+    n = len(records)
+    if kind == "count":
+        return AggregateResult(kind=kind, value=n, supporting_records=n)
+    if n == 0:
+        return AggregateResult(kind=kind, value=None, supporting_records=0)
+    values = [extractor(record) for record in records]
+    if kind == "sum":
+        value: float = sum(values)
+    elif kind == "min":
+        value = min(values)
+    elif kind == "max":
+        value = max(values)
+    else:  # avg
+        value = sum(values) / n
+    return AggregateResult(kind=kind, value=value, supporting_records=n)

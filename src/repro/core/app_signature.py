@@ -1,0 +1,207 @@
+"""APP and APS signatures (paper Definitions 5.1 and 5.2).
+
+* The **access-policy-preserving (APP)** signature of a record
+  ``<o, v, Y>`` is ``ABS.Sign(sk_DO, hash(o)|hash(v), Y)``; for an index
+  node it signs the grid box instead: ``ABS.Sign(sk_DO, hash(gb), p)``.
+* The **access-policy-stripped (APS)** signature is derived *by the SP,
+  without the signing key*, via ABS.Relax: it re-signs the same message
+  under the user's super policy ``OR(A \\ A)`` — the weakest predicate the
+  user still fails — proving inaccessibility without revealing why.
+
+:class:`AppSigner` is the DO-side facade (holds the master keys);
+:class:`AppAuthenticator` is key-less and shared by SP (relax) and user
+(verify).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.abs.keys import AbsKeyPair, AbsSigningKey, AbsVerificationKey
+from repro.abs.relax import relax
+from repro.abs.scheme import AbsScheme, AbsSignature
+from repro.core.records import Record
+from repro.crypto.group import BilinearGroup
+from repro.errors import PolicyError
+from repro.index.boxes import Box, Point
+from repro.policy.boolexpr import BoolExpr, or_of_attrs
+from repro.policy.roles import RoleUniverse
+
+
+class AppAuthenticator:
+    """Key-less APP/APS operations: relaxation (SP) and verification (user)."""
+
+    def __init__(
+        self,
+        group: BilinearGroup,
+        universe: RoleUniverse,
+        mvk: AbsVerificationKey,
+        missing_override: Optional[Sequence[str]] = None,
+    ):
+        self.group = group
+        self.universe = universe
+        self.mvk = mvk
+        self.scheme = AbsScheme(group)
+        #: When set, APS derivations use this attribute list as the super
+        #: predicate instead of the full ``A \ A`` — the hierarchical-role
+        #: optimization (Section 8.1) plugs in its maximal-missing set here.
+        self.missing_override = list(missing_override) if missing_override else None
+        self._aps_cache: "OrderedDict | None" = None
+        self._aps_cache_max = 0
+        self.aps_cache_hits = 0
+        self.aps_cache_misses = 0
+
+    def enable_aps_cache(self, maxsize: int = 4096) -> None:
+        """Cache derived APS signatures (SP-side optimization).
+
+        An APS depends only on the original signature (keyed by its
+        unique ``tau``), the message, and the super-policy attribute
+        list, so the same (node, user-role-set) pair can reuse a prior
+        derivation.  Re-serving an identical proof to an identical
+        repeated request reveals nothing new (the requester already
+        holds that exact proof); derivations for *different* role sets
+        never share cache entries.
+        """
+        from collections import OrderedDict
+
+        self._aps_cache = OrderedDict()
+        self._aps_cache_max = maxsize
+        self.aps_cache_hits = 0
+        self.aps_cache_misses = 0
+
+    def disable_aps_cache(self) -> None:
+        self._aps_cache = None
+
+    # -- SP side ------------------------------------------------------------
+    def derive_aps(
+        self,
+        signature: AbsSignature,
+        message: bytes,
+        policy: BoolExpr,
+        missing_roles: Sequence[str],
+        rng: Optional[random.Random] = None,
+    ) -> AbsSignature:
+        """ABS.Relax an APP signature to the super policy ``OR(missing_roles)``."""
+        cache = self._aps_cache
+        if cache is None:
+            aps, _ = relax(self.scheme, self.mvk, signature, message, policy, missing_roles, rng)
+            return aps
+        key = (signature.tau, message, tuple(missing_roles))
+        cached = cache.get(key)
+        if cached is not None:
+            cache.move_to_end(key)
+            self.aps_cache_hits += 1
+            return cached
+        aps, _ = relax(self.scheme, self.mvk, signature, message, policy, missing_roles, rng)
+        self.aps_cache_misses += 1
+        cache[key] = aps
+        if len(cache) > self._aps_cache_max:
+            cache.popitem(last=False)
+        return aps
+
+    def missing_roles_for(self, user_roles) -> list[str]:
+        """The super-predicate attribute list used for APS derivation."""
+        if self.missing_override is not None:
+            return list(self.missing_override)
+        return self.universe.missing_roles(user_roles)
+
+    def derive_record_aps(
+        self,
+        record: Record,
+        signature: AbsSignature,
+        user_roles,
+        rng: Optional[random.Random] = None,
+    ) -> AbsSignature:
+        return self.derive_aps(
+            signature,
+            record.message(),
+            record.policy,
+            self.missing_roles_for(user_roles),
+            rng,
+        )
+
+    def derive_node_aps(
+        self,
+        box: Box,
+        node_policy: BoolExpr,
+        signature: AbsSignature,
+        user_roles,
+        rng: Optional[random.Random] = None,
+    ) -> AbsSignature:
+        return self.derive_aps(
+            signature,
+            box.to_bytes(),
+            node_policy,
+            self.missing_roles_for(user_roles),
+            rng,
+        )
+
+    # -- user side ----------------------------------------------------------
+    def verify_record(self, record: Record, signature: AbsSignature) -> bool:
+        """Verify an accessible record's APP signature under its policy."""
+        return self.scheme.verify(self.mvk, record.message(), record.policy, signature)
+
+    def verify_inaccessible_record(
+        self,
+        key: Point,
+        value_hash: bytes,
+        user_roles,
+        aps: AbsSignature,
+        missing_roles: Sequence[str] | None = None,
+    ) -> bool:
+        """Verify an APS signature proving record inaccessibility.
+
+        The verifier rebuilds the super policy from its *own* role set (it
+        never sees the record's true policy).  ``missing_roles`` may be
+        supplied for the hierarchical optimization (Section 8.1); by
+        default it is ``A \\ A``.
+        """
+        if missing_roles is None:
+            missing_roles = self.universe.missing_roles(user_roles)
+        message = Record.message_from_hash(key, value_hash)
+        return self.scheme.verify(self.mvk, message, or_of_attrs(missing_roles), aps)
+
+    def verify_inaccessible_node(
+        self,
+        box: Box,
+        user_roles,
+        aps: AbsSignature,
+        missing_roles: Sequence[str] | None = None,
+    ) -> bool:
+        """Verify an APS signature proving a whole grid box is inaccessible."""
+        if missing_roles is None:
+            missing_roles = self.universe.missing_roles(user_roles)
+        return self.scheme.verify(self.mvk, box.to_bytes(), or_of_attrs(missing_roles), aps)
+
+
+class AppSigner(AppAuthenticator):
+    """DO-side APP signing: authenticator plus the master/signing keys."""
+
+    def __init__(
+        self,
+        group: BilinearGroup,
+        universe: RoleUniverse,
+        keys: AbsKeyPair,
+        rng: Optional[random.Random] = None,
+    ):
+        super().__init__(group, universe, keys.mvk)
+        self.keys = keys
+        # The DO signs with a key for the full role universe (pseudo role
+        # included) so it satisfies every record policy.
+        self.signing_key: AbsSigningKey = self.scheme.keygen(keys, universe.roles, rng)
+
+    def sign_record(self, record: Record, rng: Optional[random.Random] = None) -> AbsSignature:
+        """APP signature of a record (Definition 5.1)."""
+        self.universe.validate_policy(record.policy)
+        return self.scheme.sign(self.mvk, self.signing_key, record.message(), record.policy, rng)
+
+    def sign_node(
+        self,
+        box: Box,
+        node_policy: BoolExpr,
+        rng: Optional[random.Random] = None,
+    ) -> AbsSignature:
+        """APP signature of an index node over its grid box (Definition 6.1)."""
+        self.universe.validate_policy(node_policy)
+        return self.scheme.sign(self.mvk, self.signing_key, box.to_bytes(), node_policy, rng)

@@ -1,0 +1,59 @@
+"""Equality-query authentication (paper Section 5, Algorithm 1).
+
+The SP locates the unit-cell leaf for the query key (the AP2G-tree is
+full, so one always exists — real or pseudo) and returns either:
+
+* the record plus its APP signature (accessible), or
+* ``hash(v)`` plus an APS signature derived with ABS.Relax under the
+  user's super policy (inaccessible or non-existent — indistinguishable).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.app_signature import AppAuthenticator
+from repro.core.vo import (
+    AccessibleRecordEntry,
+    InaccessibleRecordEntry,
+    VerificationObject,
+)
+from repro.index.boxes import Point
+from repro.index.gridtree import APGTree
+
+
+def equality_vo(
+    tree: APGTree,
+    authenticator: AppAuthenticator,
+    key: Point,
+    user_roles,
+    rng: Optional[random.Random] = None,
+    table: str = "",
+) -> VerificationObject:
+    """SP-side VO construction for an equality query (Algorithm 1)."""
+    user_roles = authenticator.universe.validate_user_roles(user_roles)
+    leaf = tree.leaf_at(key)
+    record = leaf.record
+    vo = VerificationObject()
+    if record.policy.evaluate(user_roles):
+        vo.add(
+            AccessibleRecordEntry(
+                key=record.key,
+                value=record.value,
+                policy=record.policy,
+                signature=leaf.signature,
+                table=table,
+            )
+        )
+    else:
+        aps = authenticator.derive_record_aps(record, leaf.signature, user_roles, rng)
+        vo.add(
+            InaccessibleRecordEntry(
+                key=record.key,
+                value_hash=record.value_hash(),
+                aps=aps,
+                table=table,
+            )
+        )
+    return vo

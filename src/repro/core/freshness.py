@@ -1,0 +1,100 @@
+"""Freshness tokens: preventing stale-ADS replay (extension beyond the paper).
+
+The paper's SP proves soundness and completeness *relative to the signed
+ADS it holds* — nothing stops a malicious SP from answering from an old
+snapshot after the DO updated records (a replay/rollback attack, the
+classic gap in signature-based ADS designs).
+
+The standard countermeasure is a *freshness token*: the DO periodically
+signs ``(tree_id, epoch)``; the SP must attach a recent token to every
+response, and the user rejects responses whose token is older than its
+staleness tolerance.  We reuse the ABS machinery so no extra key setup
+is needed: the token is an ABS signature over the epoch message under
+the predicate ``OR(universe)`` — satisfiable by every user's role set
+plus the pseudo role, hence verifiable by anyone holding ``mvk``.
+
+Epochs are integers supplied by the caller (e.g. minutes since the data
+owner's reference clock); the library takes no position on clock sync
+beyond the tolerance window.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.abs.keys import AbsVerificationKey
+from repro.abs.scheme import AbsScheme, AbsSignature
+from repro.core.app_signature import AppSigner
+from repro.crypto.hashing import hash_bytes
+from repro.errors import VerificationError
+from repro.policy.boolexpr import or_of_attrs
+from repro.policy.roles import RoleUniverse
+
+
+@dataclass(frozen=True)
+class FreshnessToken:
+    """A DO-signed statement: "tree ``tree_id`` is current at ``epoch``"."""
+
+    tree_id: str
+    epoch: int
+    signature: AbsSignature
+
+    def byte_size(self) -> int:
+        return len(self.tree_id.encode()) + 8 + self.signature.byte_size()
+
+
+def _epoch_message(tree_id: str, epoch: int) -> bytes:
+    return hash_bytes(b"freshness", tree_id, epoch)
+
+
+def issue_token(
+    signer: AppSigner,
+    tree_id: str,
+    epoch: int,
+    rng: Optional[random.Random] = None,
+) -> FreshnessToken:
+    """DO side: sign a freshness token for the current epoch."""
+    policy = or_of_attrs(signer.universe.roles)
+    signature = signer.scheme.sign(
+        signer.mvk, signer.signing_key, _epoch_message(tree_id, epoch), policy, rng
+    )
+    return FreshnessToken(tree_id=tree_id, epoch=epoch, signature=signature)
+
+
+def verify_token(
+    group,
+    universe: RoleUniverse,
+    mvk: AbsVerificationKey,
+    token: FreshnessToken,
+    now_epoch: int,
+    max_age: int,
+    expected_tree_id: Optional[str] = None,
+) -> None:
+    """User side: check a token's signature, binding, and age.
+
+    Raises :class:`VerificationError` on any failure:
+
+    * the ABS signature is invalid (token forged);
+    * the token names a different tree (cross-table replay);
+    * ``now_epoch - token.epoch > max_age`` (stale snapshot);
+    * the token is from the future beyond tolerance (clock abuse).
+    """
+    if expected_tree_id is not None and token.tree_id != expected_tree_id:
+        raise VerificationError(
+            f"freshness token for tree {token.tree_id!r}, expected {expected_tree_id!r}"
+        )
+    age = now_epoch - token.epoch
+    if age > max_age:
+        raise VerificationError(
+            f"freshness token is {age} epochs old (tolerance {max_age})"
+        )
+    if age < -max_age:
+        raise VerificationError("freshness token is from the future")
+    scheme = AbsScheme(group)
+    policy = or_of_attrs(universe.roles)
+    if not scheme.verify(
+        mvk, _epoch_message(token.tree_id, token.epoch), policy, token.signature
+    ):
+        raise VerificationError("freshness token signature invalid")

@@ -1,0 +1,251 @@
+"""Wire protocol: request/response framing across a byte boundary.
+
+Everything the three parties exchange becomes length-prefixed bytes
+here, so an SP can run behind any transport (socket, HTTP body, queue):
+
+* :class:`QueryRequest` — kind, table(s), range, claimed roles, flags;
+* CP-ABE ciphertext and hybrid-envelope codecs (the last unserialized
+  protocol objects);
+* :class:`QueryResponse` codec — a clipped query box plus either a
+  plaintext VO or a sealed envelope;
+* :class:`SPServer` — ``handle(request_bytes) -> response_bytes`` on top
+  of a :class:`~repro.core.system.ServiceProvider`;
+* :class:`RemoteUser` — a client that speaks the wire format and funnels
+  responses into the usual verifier.
+
+The codecs are strict: unknown tags, trailing bytes, and out-of-range
+elements raise :class:`~repro.errors.DeserializationError` (fuzzing in
+``tests/security`` leans on this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.abe.cpabe import CpAbeCiphertext
+from repro.abe.hybrid import HybridEnvelope
+from repro.core.system import QueryResponse, ServiceProvider
+from repro.core.vo import VerificationObject, _Reader, _encode_bytes, _encode_point
+from repro.crypto.group import G1, G2, GT, BilinearGroup
+from repro.errors import DeserializationError, WorkloadError
+from repro.index.boxes import Box
+from repro.policy.boolexpr import parse_policy
+
+_REQ_MAGIC = b"QRY\x01"
+_RESP_MAGIC = b"RSP\x01"
+
+_KINDS = ("equality", "range", "join")
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """A user's query as it travels to the SP."""
+
+    kind: str  # "equality" | "range" | "join"
+    table: str
+    lo: tuple
+    hi: tuple
+    roles: frozenset[str]
+    right_table: str = ""  # join only
+    encrypt: bool = True
+
+    def to_bytes(self) -> bytes:
+        if self.kind not in _KINDS:
+            raise WorkloadError(f"unknown query kind {self.kind!r}")
+        out = bytearray(_REQ_MAGIC)
+        out += bytes([_KINDS.index(self.kind)])
+        out += _encode_bytes(self.table.encode())
+        out += _encode_bytes(self.right_table.encode())
+        out += _encode_point(self.lo)
+        out += _encode_point(self.hi)
+        roles = sorted(self.roles)
+        out += len(roles).to_bytes(2, "big")
+        for role in roles:
+            out += _encode_bytes(role.encode())
+        out += b"\x01" if self.encrypt else b"\x00"
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "QueryRequest":
+        if data[:4] != _REQ_MAGIC:
+            raise DeserializationError("not a query request")
+        reader = _Reader(data)
+        reader.take(4)
+        kind_idx = reader.take(1)[0]
+        if kind_idx >= len(_KINDS):
+            raise DeserializationError(f"unknown query kind tag {kind_idx}")
+        table = reader.take_bytes().decode()
+        right = reader.take_bytes().decode()
+        lo = reader.take_point()
+        hi = reader.take_point()
+        count = int.from_bytes(reader.take(2), "big")
+        roles = frozenset(reader.take_bytes().decode() for _ in range(count))
+        encrypt = reader.take(1) == b"\x01"
+        if not reader.exhausted:
+            raise DeserializationError("trailing bytes in query request")
+        return cls(
+            kind=_KINDS[kind_idx],
+            table=table,
+            lo=lo,
+            hi=hi,
+            roles=roles,
+            right_table=right,
+            encrypt=encrypt,
+        )
+
+
+# ---------------------------------------------------------------------------
+# CP-ABE ciphertext / hybrid envelope codecs
+# ---------------------------------------------------------------------------
+
+def encode_ciphertext(ct: CpAbeCiphertext) -> bytes:
+    group = ct.c_prime.group
+    out = bytearray()
+    out += _encode_bytes(ct.policy.to_string().encode())
+    out += b"\x01" if ct.c_tilde is not None else b"\x00"
+    if ct.c_tilde is not None:
+        out += ct.c_tilde.to_bytes()
+    out += ct.c_prime.to_bytes()
+    out += len(ct.c_rows).to_bytes(2, "big")
+    for row in ct.c_rows:
+        out += row.to_bytes()
+    for row in ct.d_rows:
+        out += row.to_bytes()
+    return bytes(out)
+
+
+def decode_ciphertext(group: BilinearGroup, reader: _Reader) -> CpAbeCiphertext:
+    policy = parse_policy(reader.take_bytes().decode())
+    has_payload = reader.take(1) == b"\x01"
+    c_tilde = None
+    if has_payload:
+        c_tilde = group.deserialize(GT, reader.take(group.element_bytes(GT)))
+    g1w, g2w = group.element_bytes(G1), group.element_bytes(G2)
+    c_prime = group.deserialize(G1, reader.take(g1w))
+    count = int.from_bytes(reader.take(2), "big")
+    c_rows = tuple(group.deserialize(G1, reader.take(g1w)) for _ in range(count))
+    d_rows = tuple(group.deserialize(G2, reader.take(g2w)) for _ in range(count))
+    return CpAbeCiphertext(
+        policy=policy, c_tilde=c_tilde, c_prime=c_prime, c_rows=c_rows, d_rows=d_rows
+    )
+
+
+def encode_envelope(envelope: HybridEnvelope) -> bytes:
+    return _encode_bytes(encode_ciphertext(envelope.header)) + _encode_bytes(
+        envelope.body
+    )
+
+
+def decode_envelope(group: BilinearGroup, reader: _Reader) -> HybridEnvelope:
+    header_bytes = reader.take_bytes()
+    header_reader = _Reader(header_bytes)
+    header = decode_ciphertext(group, header_reader)
+    if not header_reader.exhausted:
+        raise DeserializationError("trailing bytes in envelope header")
+    body = reader.take_bytes()
+    return HybridEnvelope(header=header, body=body)
+
+
+# ---------------------------------------------------------------------------
+# Response codec
+# ---------------------------------------------------------------------------
+
+def encode_response(response: QueryResponse) -> bytes:
+    out = bytearray(_RESP_MAGIC)
+    out += _encode_bytes(response.kind.encode())
+    out += _encode_point(response.query.lo)
+    out += _encode_point(response.query.hi)
+    if response.envelope is not None:
+        out += b"\x01"
+        out += encode_envelope(response.envelope)
+    else:
+        out += b"\x00"
+        out += _encode_bytes(response.vo.to_bytes())
+    return bytes(out)
+
+
+def decode_response(group: BilinearGroup, data: bytes) -> QueryResponse:
+    if data[:4] != _RESP_MAGIC:
+        raise DeserializationError("not a query response")
+    reader = _Reader(data)
+    reader.take(4)
+    kind = reader.take_bytes().decode()
+    lo = reader.take_point()
+    hi = reader.take_point()
+    sealed = reader.take(1) == b"\x01"
+    if sealed:
+        envelope = decode_envelope(group, reader)
+        vo = None
+    else:
+        envelope = None
+        vo = VerificationObject.from_bytes(group, reader.take_bytes())
+    if not reader.exhausted:
+        raise DeserializationError("trailing bytes in query response")
+    return QueryResponse(kind=kind, query=Box(lo, hi), vo=vo, envelope=envelope)
+
+
+# ---------------------------------------------------------------------------
+# Server / client over bytes
+# ---------------------------------------------------------------------------
+
+class SPServer:
+    """Byte-boundary front end for a :class:`ServiceProvider`."""
+
+    def __init__(self, provider: ServiceProvider, rng=None):
+        self.provider = provider
+        self.rng = rng
+
+    def handle(self, request_bytes: bytes) -> bytes:
+        """Parse, dispatch, and encode — the full SP request loop."""
+        request = QueryRequest.from_bytes(request_bytes)
+        if request.kind == "equality":
+            response = self.provider.equality_query(
+                request.table, request.lo, request.roles,
+                encrypt=request.encrypt, rng=self.rng,
+            )
+        elif request.kind == "range":
+            response = self.provider.range_query(
+                request.table, request.lo, request.hi, request.roles,
+                encrypt=request.encrypt, rng=self.rng,
+            )
+        elif request.kind == "join":
+            response = self.provider.join_query(
+                request.table, request.right_table, request.lo, request.hi,
+                request.roles, encrypt=request.encrypt, rng=self.rng,
+            )
+        else:  # pragma: no cover - from_bytes validates kinds
+            raise WorkloadError(f"unknown query kind {request.kind!r}")
+        return encode_response(response)
+
+
+class RemoteUser:
+    """Client-side wrapper: builds requests, verifies decoded responses."""
+
+    def __init__(self, user):
+        self.user = user
+
+    def query_range(self, server: SPServer, table: str, lo, hi, encrypt: bool = True):
+        request = QueryRequest(
+            kind="range", table=table, lo=tuple(lo), hi=tuple(hi),
+            roles=self.user.roles, encrypt=encrypt,
+        )
+        response = decode_response(self.user.group, server.handle(request.to_bytes()))
+        return self.user.verify(response)
+
+    def query_equality(self, server: SPServer, table: str, key, encrypt: bool = True):
+        request = QueryRequest(
+            kind="equality", table=table, lo=tuple(key), hi=tuple(key),
+            roles=self.user.roles, encrypt=encrypt,
+        )
+        response = decode_response(self.user.group, server.handle(request.to_bytes()))
+        return self.user.verify(response)
+
+    def query_join(self, server: SPServer, left: str, right: str, lo, hi,
+                   encrypt: bool = True):
+        request = QueryRequest(
+            kind="join", table=left, right_table=right, lo=tuple(lo), hi=tuple(hi),
+            roles=self.user.roles, encrypt=encrypt,
+        )
+        response = decode_response(self.user.group, server.handle(request.to_bytes()))
+        return self.user.verify_join(response)

@@ -1,0 +1,209 @@
+"""Multi-way equi-join authentication (paper Section 6.2 extension).
+
+The paper notes Algorithm 4 "can be easily extended to support more
+general join queries, such as multi-way join": an accessible region of
+the driver table contributes k-way results only if *every* joined table's
+covering region is accessible too, so a single APS from whichever table
+blocks first prunes the whole region.
+
+``multiway_join_vo`` generalizes :func:`repro.core.join_query.join_vo` to
+``k >= 2`` tables sharing a key domain:
+
+* the first table drives the traversal;
+* for each driver node inside the range, the other tables' smallest
+  covering nodes are checked in order — the first inaccessible one
+  contributes its APS (tagged with that table's name) and prunes;
+* a surviving leaf yields one result entry per table.
+
+Completeness: driver-result points plus every inaccessible region (any
+table) tile the query range.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.app_signature import AppAuthenticator
+from repro.core.records import Record
+from repro.core.verifier import _verify_entry
+from repro.core.vo import (
+    AccessibleRecordEntry,
+    InaccessibleNodeEntry,
+    InaccessibleRecordEntry,
+    VerificationObject,
+)
+from repro.errors import CompletenessError, SoundnessError, WorkloadError
+from repro.index.boxes import Box, boxes_cover_clipped
+from repro.index.gridtree import APGTree, IndexNode
+
+
+def _descend_covering(node: IndexNode, box: Box) -> IndexNode:
+    """Smallest node under ``node`` whose grid box contains ``box``."""
+    descended = True
+    while descended and not node.is_leaf:
+        descended = False
+        for child in node.children:
+            if child.box.contains_box(box):
+                node = child
+                descended = True
+                break
+    return node
+
+
+def _add_inaccessible(vo, authenticator, node, user_roles, rng, table):
+    if node.is_leaf and node.record is not None:
+        record = node.record
+        aps = authenticator.derive_record_aps(record, node.signature, user_roles, rng)
+        vo.add(
+            InaccessibleRecordEntry(
+                key=record.key, value_hash=record.value_hash(), aps=aps, table=table
+            )
+        )
+    else:
+        aps = authenticator.derive_node_aps(
+            node.box, node.policy, node.signature, user_roles, rng
+        )
+        vo.add(InaccessibleNodeEntry(box=node.box, aps=aps, table=table))
+
+
+def multiway_join_vo(
+    trees: Sequence[tuple[str, APGTree]],
+    authenticator: AppAuthenticator,
+    query: Box,
+    user_roles,
+    rng: Optional[random.Random] = None,
+) -> VerificationObject:
+    """SP-side VO for a k-way equi-join over a shared key domain.
+
+    ``trees`` is an ordered list of ``(table_name, tree)``; the first
+    table drives the traversal.  Table names must be distinct.
+    """
+    if len(trees) < 2:
+        raise WorkloadError("multi-way join needs at least two tables")
+    names = [name for name, _ in trees]
+    if len(set(names)) != len(names):
+        raise WorkloadError("join table names must be distinct")
+    domain = trees[0][1].domain
+    if any(tree.domain != domain for _, tree in trees):
+        raise WorkloadError("all joined tables must share the key domain")
+    user_roles = authenticator.universe.validate_user_roles(user_roles)
+    vo = VerificationObject()
+    driver_name, driver = trees[0]
+    others = trees[1:]
+    queue: deque = deque([(driver.root, [tree.root for _, tree in others])])
+    while queue:
+        node, covers = queue.popleft()
+        if not node.box.intersects(query):
+            continue
+        if not query.contains_box(node.box):
+            for child in node.children:
+                queue.append((child, covers))
+            continue
+        if not node.accessible_to(user_roles):
+            _add_inaccessible(vo, authenticator, node, user_roles, rng, driver_name)
+            continue
+        # Check every other table's covering node; first blocker prunes.
+        new_covers = []
+        blocked = False
+        for (other_name, _), cover in zip(others, covers):
+            cover = _descend_covering(cover, node.box)
+            if not cover.accessible_to(user_roles):
+                _add_inaccessible(vo, authenticator, cover, user_roles, rng, other_name)
+                blocked = True
+                break
+            new_covers.append(cover)
+        if blocked:
+            continue
+        if node.is_leaf:
+            # All covering nodes are the matching leaves (identical grid
+            # structure over a shared domain): emit the k-way result.
+            vo.add(
+                AccessibleRecordEntry(
+                    key=node.record.key,
+                    value=node.record.value,
+                    policy=node.record.policy,
+                    signature=node.signature,
+                    table=driver_name,
+                )
+            )
+            for (other_name, _), cover in zip(others, new_covers):
+                vo.add(
+                    AccessibleRecordEntry(
+                        key=cover.record.key,
+                        value=cover.record.value,
+                        policy=cover.record.policy,
+                        signature=cover.signature,
+                        table=other_name,
+                    )
+                )
+        else:
+            for child in node.children:
+                queue.append((child, new_covers))
+    return vo
+
+
+@dataclass(frozen=True)
+class MultiJoinResult:
+    """One verified k-way join result: key plus one record per table."""
+
+    key: tuple
+    records: tuple[Record, ...]
+
+
+def verify_multiway_join_vo(
+    vo: VerificationObject,
+    authenticator: AppAuthenticator,
+    query: Box,
+    user_roles,
+    table_names: Sequence[str],
+    missing_roles=None,
+) -> list[MultiJoinResult]:
+    """User-side verification of a k-way join VO.
+
+    Soundness: all signatures valid; each driver result has exactly one
+    matching result per joined table.  Completeness: driver results plus
+    all inaccessible regions tile the query range.
+    """
+    if len(table_names) < 2:
+        raise WorkloadError("multi-way join needs at least two tables")
+    user_roles = authenticator.universe.validate_user_roles(user_roles)
+    driver = table_names[0]
+    access: dict[str, dict] = {name: {} for name in table_names}
+    coverage: list[Box] = []
+    for entry in vo:
+        if isinstance(entry, AccessibleRecordEntry):
+            if entry.table not in access:
+                raise SoundnessError(f"unexpected table tag {entry.table!r}")
+            bucket = access[entry.table]
+            if entry.key in bucket:
+                raise SoundnessError(
+                    f"duplicate result for key {entry.key} in {entry.table}"
+                )
+            bucket[entry.key] = entry
+            if entry.table == driver:
+                coverage.append(entry.region)
+        else:
+            coverage.append(entry.region)
+    driver_keys = set(access[driver])
+    for name in table_names[1:]:
+        if set(access[name]) != driver_keys:
+            raise SoundnessError(f"results of table {name!r} do not pair with the driver")
+    if not boxes_cover_clipped(coverage, query):
+        raise CompletenessError("multi-way join VO does not tile the query range")
+    verified: dict[tuple[str, tuple], Record] = {}
+    for entry in vo:
+        record = _verify_entry(entry, authenticator, query, user_roles, missing_roles)
+        if record is not None:
+            verified[(entry.table, entry.key)] = record
+    results = []
+    for key in sorted(driver_keys):
+        results.append(
+            MultiJoinResult(
+                key=key,
+                records=tuple(verified[(name, key)] for name in table_names),
+            )
+        )
+    return results

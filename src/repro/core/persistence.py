@@ -1,0 +1,200 @@
+"""Serialization of outsourced state: signed trees and verification keys.
+
+The DO signs the ADS once and ships it to the SP; in a deployment that
+shipment is bytes on a wire or a file.  This module provides a compact,
+self-contained binary format for a whole signed tree (AP2G or AP2kd —
+the node structure is identical) plus the master verification key, so an
+SP can be cold-started from a snapshot:
+
+    blob = serialize_tree(tree)
+    tree = deserialize_tree(group, blob)
+
+Round-tripping preserves every signature bit, so queries and proofs over
+a restored tree verify identically.
+"""
+
+from __future__ import annotations
+
+from typing import BinaryIO
+
+from repro.abs.scheme import AbsSignature
+from repro.core.records import Record
+from repro.core.vo import _Reader, _encode_bytes, _encode_point
+from repro.crypto.group import BilinearGroup
+from repro.errors import DeserializationError
+from repro.index.boxes import Box, Domain
+from repro.index.gridtree import APGTree, IndexNode, TreeStats
+from repro.policy.boolexpr import parse_policy
+
+_MAGIC = b"APPT\x01"
+
+
+def _encode_node(node: IndexNode) -> bytes:
+    out = bytearray()
+    out += _encode_point(node.box.lo)
+    out += _encode_point(node.box.hi)
+    out += _encode_bytes(node.policy.to_string().encode())
+    out += _encode_bytes(node.signature.to_bytes())
+    if node.record is not None:
+        out += b"\x01"
+        out += _encode_point(node.record.key)
+        out += _encode_bytes(node.record.value)
+        out += _encode_bytes(node.record.policy.to_string().encode())
+        out += b"\x01" if node.record.is_pseudo else b"\x00"
+    else:
+        out += b"\x00"
+    out += len(node.children).to_bytes(2, "big")
+    for child in node.children:
+        out += _encode_node(child)
+    return bytes(out)
+
+
+def _decode_node(reader: _Reader, group: BilinearGroup) -> IndexNode:
+    lo = reader.take_point()
+    hi = reader.take_point()
+    policy = parse_policy(reader.take_bytes().decode())
+    signature = AbsSignature.from_bytes(group, reader.take_bytes())
+    record = None
+    if reader.take(1) == b"\x01":
+        key = reader.take_point()
+        value = reader.take_bytes()
+        rec_policy = parse_policy(reader.take_bytes().decode())
+        is_pseudo = reader.take(1) == b"\x01"
+        record = Record(key=key, value=value, policy=rec_policy, is_pseudo=is_pseudo)
+    n_children = int.from_bytes(reader.take(2), "big")
+    children = tuple(_decode_node(reader, group) for _ in range(n_children))
+    return IndexNode(
+        box=Box(lo, hi),
+        policy=policy,
+        signature=signature,
+        children=children,
+        record=record,
+    )
+
+
+def serialize_tree(tree: APGTree) -> bytes:
+    """Encode a signed tree (structure + all signatures) to bytes."""
+    out = bytearray(_MAGIC)
+    out += bytes([tree.domain.dims])
+    for lo, hi in tree.domain.bounds:
+        out += lo.to_bytes(8, "big", signed=True)
+        out += hi.to_bytes(8, "big", signed=True)
+    out += _encode_node(tree.root)
+    return bytes(out)
+
+
+def deserialize_tree(group: BilinearGroup, data: bytes) -> APGTree:
+    """Restore a signed tree; statistics are recomputed from the content."""
+    if data[: len(_MAGIC)] != _MAGIC:
+        raise DeserializationError("not a serialized APP tree")
+    reader = _Reader(data)
+    reader.take(len(_MAGIC))
+    dims = reader.take(1)[0]
+    bounds = []
+    for _ in range(dims):
+        lo = int.from_bytes(reader.take(8), "big", signed=True)
+        hi = int.from_bytes(reader.take(8), "big", signed=True)
+        bounds.append((lo, hi))
+    domain = Domain(tuple(bounds))
+    root = _decode_node(reader, group)
+    if not reader.exhausted:
+        raise DeserializationError("trailing bytes after serialized tree")
+    stats = TreeStats()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        stats.num_nodes += 1
+        stats.signature_bytes += node.signature.byte_size()
+        stats.structure_bytes += node.structure_bytes()
+        if node.is_leaf:
+            stats.num_leaves += 1
+            if node.record is not None and not node.record.is_pseudo:
+                stats.num_real_records += 1
+        stack.extend(node.children)
+    return APGTree(root=root, domain=domain, stats=stats)
+
+
+def save_tree(tree: APGTree, fp: BinaryIO) -> None:
+    """Write a serialized tree to a binary file object."""
+    fp.write(serialize_tree(tree))
+
+
+def load_tree(group: BilinearGroup, fp: BinaryIO) -> APGTree:
+    """Read a serialized tree from a binary file object."""
+    return deserialize_tree(group, fp.read())
+
+
+# ---------------------------------------------------------------------------
+# Key material serialization
+# ---------------------------------------------------------------------------
+
+def _encode_str(text: str) -> bytes:
+    return _encode_bytes(text.encode())
+
+
+def serialize_cpabe_key(key) -> bytes:
+    """Encode a :class:`~repro.abe.cpabe.CpAbeSecretKey`."""
+    out = bytearray(b"CPSK\x01")
+    attrs = sorted(key.attrs)
+    out += len(attrs).to_bytes(2, "big")
+    out += key.k.to_bytes() + key.l.to_bytes()
+    for name in attrs:
+        out += _encode_str(name)
+        out += key.k_attr[name].to_bytes()
+    return bytes(out)
+
+
+def deserialize_cpabe_key(group: BilinearGroup, data: bytes):
+    """Decode a CP-ABE secret key."""
+    from repro.abe.cpabe import CpAbeSecretKey
+    from repro.crypto.group import G1, G2
+
+    if data[:5] != b"CPSK\x01":
+        raise DeserializationError("not a serialized CP-ABE key")
+    reader = _Reader(data)
+    reader.take(5)
+    count = int.from_bytes(reader.take(2), "big")
+    g1w, g2w = group.element_bytes(G1), group.element_bytes(G2)
+    k = group.deserialize(G2, reader.take(g2w))
+    l = group.deserialize(G2, reader.take(g2w))
+    k_attr = {}
+    for _ in range(count):
+        name = reader.take_bytes().decode()
+        k_attr[name] = group.deserialize(G1, reader.take(g1w))
+    if not reader.exhausted:
+        raise DeserializationError("trailing bytes in CP-ABE key")
+    return CpAbeSecretKey(attrs=frozenset(k_attr), k=k, l=l, k_attr=k_attr)
+
+
+def serialize_credentials(credentials) -> bytes:
+    """Encode :class:`~repro.core.system.UserCredentials` (roles + keys).
+
+    The output contains the user's private CP-ABE key — store it like a
+    private key.
+    """
+    out = bytearray(b"CRED\x01")
+    roles = sorted(credentials.roles)
+    out += len(roles).to_bytes(2, "big")
+    for role in roles:
+        out += _encode_str(role)
+    out += _encode_bytes(credentials.mvk.to_bytes())
+    out += _encode_bytes(serialize_cpabe_key(credentials.cpabe_key))
+    return bytes(out)
+
+
+def deserialize_credentials(group: BilinearGroup, data: bytes):
+    """Decode user credentials."""
+    from repro.abs.keys import AbsVerificationKey
+    from repro.core.system import UserCredentials
+
+    if data[:5] != b"CRED\x01":
+        raise DeserializationError("not serialized credentials")
+    reader = _Reader(data)
+    reader.take(5)
+    count = int.from_bytes(reader.take(2), "big")
+    roles = frozenset(reader.take_bytes().decode() for _ in range(count))
+    mvk = AbsVerificationKey.from_bytes(group, reader.take_bytes())
+    cpabe_key = deserialize_cpabe_key(group, reader.take_bytes())
+    if not reader.exhausted:
+        raise DeserializationError("trailing bytes in credentials")
+    return UserCredentials(roles=roles, cpabe_key=cpabe_key, mvk=mvk)

@@ -1,0 +1,131 @@
+"""Crypto-free query planning and cost estimation (SP-side tooling).
+
+Constructing a VO costs one ``ABS.Relax`` per inaccessible region —
+hundreds of group exponentiations each on a real backend.  A service
+provider scheduling work (or quoting response sizes) wants those counts
+*without* doing the cryptography.  :func:`plan_range_query` walks the
+tree exactly like :func:`repro.core.range_query.range_vo` but performs
+no group operations, returning per-entry counts and the exact serialized
+VO size the real query will produce.
+
+The planner's output is exact, not an estimate — tests assert it against
+real VOs byte for byte.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.crypto.group import G1, G2, BilinearGroup
+from repro.index.boxes import Box
+from repro.index.gridtree import APGTree
+from repro.policy.roles import RoleUniverse
+
+
+def aps_signature_bytes(group: BilinearGroup, predicate_len: int) -> int:
+    """Serialized size of an APS signature with ``predicate_len`` attributes.
+
+    Layout (see :meth:`repro.abs.scheme.AbsSignature.to_bytes`): tau
+    length prefix + 32-byte tau, two count prefixes, Y and W in G1, one
+    S per predicate attribute in G1, a single P in G2.
+    """
+    return (
+        2 + 32 + 2 + 2
+        + group.element_bytes(G1) * (2 + predicate_len)
+        + group.element_bytes(G2)
+    )
+
+
+def _point_bytes(dims: int) -> int:
+    return 1 + 8 * dims
+
+
+def _bytes_field(n: int) -> int:
+    return 4 + n
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """Exact work/size profile of a range query before running it."""
+
+    accessible_records: int
+    inaccessible_record_aps: int
+    inaccessible_node_aps: int
+    vo_bytes: int
+
+    @property
+    def relax_operations(self) -> int:
+        """ABS.Relax invocations the SP will perform."""
+        return self.inaccessible_record_aps + self.inaccessible_node_aps
+
+    @property
+    def total_entries(self) -> int:
+        return (
+            self.accessible_records
+            + self.inaccessible_record_aps
+            + self.inaccessible_node_aps
+        )
+
+
+def plan_range_query(
+    tree: APGTree,
+    universe: RoleUniverse,
+    query: Box,
+    user_roles,
+    missing_roles=None,
+    table: str = "",
+) -> QueryPlan:
+    """Plan Algorithm 3 for ``query`` without any cryptography."""
+    user_roles = universe.validate_user_roles(user_roles)
+    if missing_roles is None:
+        missing_roles = universe.missing_roles(user_roles)
+    pred_len = len(missing_roles)
+    group = tree.root.signature.y.group
+    dims = tree.domain.dims
+    table_bytes = _bytes_field(len(table.encode()))
+    aps_bytes = aps_signature_bytes(group, pred_len)
+    accessible = 0
+    inacc_records = 0
+    inacc_nodes = 0
+    vo_bytes = 4  # entry-count prefix
+    queue: deque = deque([tree.root])
+    while queue:
+        node = queue.popleft()
+        if not node.box.intersects(query):
+            continue
+        if not query.contains_box(node.box):
+            if node.is_leaf:
+                inacc_nodes += 1
+                vo_bytes += 1 + table_bytes + 2 * _point_bytes(dims) + _bytes_field(aps_bytes)
+            else:
+                queue.extend(node.children)
+            continue
+        if node.accessible_to(user_roles):
+            if node.is_leaf:
+                accessible += 1
+                record = node.record
+                vo_bytes += (
+                    1
+                    + table_bytes
+                    + _point_bytes(dims)
+                    + _bytes_field(len(record.value))
+                    + _bytes_field(len(record.policy.to_string().encode()))
+                    + _bytes_field(len(node.signature.to_bytes()))
+                )
+            else:
+                queue.extend(node.children)
+        elif node.is_leaf and node.record is not None:
+            inacc_records += 1
+            vo_bytes += (
+                1 + table_bytes + _point_bytes(dims) + _bytes_field(32) + _bytes_field(aps_bytes)
+            )
+        else:
+            inacc_nodes += 1
+            vo_bytes += 1 + table_bytes + 2 * _point_bytes(dims) + _bytes_field(aps_bytes)
+    return QueryPlan(
+        accessible_records=accessible,
+        inaccessible_record_aps=inacc_records,
+        inaccessible_node_aps=inacc_nodes,
+        vo_bytes=vo_bytes,
+    )

@@ -1,0 +1,98 @@
+"""Record model: the ``<o_i, v_i, Y_i>`` tuples of the paper.
+
+* ``key``    — the (multi-dimensional, discrete, distinct) query attribute.
+* ``value``  — the content attribute; in a deployment this is the CP-ABE
+  ciphertext of the payload, and the APP signature binds its hash.
+* ``policy`` — the record's monotone access policy.
+
+Non-existent keys become *pseudo records* carrying the pseudo role policy
+and a random content hash, so proofs cannot distinguish "absent" from
+"inaccessible" (paper Section 5).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Optional
+
+from repro.crypto.hashing import hash_bytes
+from repro.errors import WorkloadError
+from repro.index.boxes import Domain, Point
+from repro.policy.boolexpr import Attr, BoolExpr
+from repro.policy.roles import PSEUDO_ROLE
+
+
+@dataclass(frozen=True)
+class Record:
+    """One relational record ``<o, v, Y>``."""
+
+    key: Point
+    value: bytes
+    policy: BoolExpr
+    is_pseudo: bool = False
+
+    def value_hash(self) -> bytes:
+        return hash_bytes(b"record-value", self.value)
+
+    def message(self) -> bytes:
+        """The APP signature message ``hash(o) | hash(v)`` (Definition 5.1)."""
+        return hash_bytes(b"record-key", list(self.key)) + self.value_hash()
+
+    @staticmethod
+    def message_from_hash(key: Point, value_hash: bytes) -> bytes:
+        """Rebuild the signed message from a key and ``hash(v)`` alone.
+
+        This is what the verifier computes for inaccessible records, where
+        the VO carries only ``hash(v)``.
+        """
+        return hash_bytes(b"record-key", list(key)) + value_hash
+
+
+def make_pseudo_record(key: Point, rng_bytes: Optional[bytes] = None) -> Record:
+    """A pseudo record for a non-existent key: random value, pseudo policy."""
+    value = rng_bytes if rng_bytes is not None else os.urandom(32)
+    return Record(key=key, value=value, policy=Attr(PSEUDO_ROLE), is_pseudo=True)
+
+
+class Dataset:
+    """A keyed collection of records over a public domain.
+
+    Keys must be distinct (the paper's distinct-query-attribute
+    assumption; see :mod:`repro.index.duplicates` for the Appendix E
+    transform that enforces it for duplicated source data).
+    """
+
+    def __init__(self, domain: Domain, records: Iterable[Record] = ()):
+        self.domain = domain
+        self._records: Dict[Point, Record] = {}
+        for record in records:
+            self.add(record)
+
+    def add(self, record: Record) -> None:
+        key = self.domain.validate_point(record.key)
+        if key in self._records:
+            raise WorkloadError(f"duplicate query key {key}; keys must be distinct")
+        if record.key != key:
+            record = Record(key=key, value=record.value, policy=record.policy, is_pseudo=record.is_pseudo)
+        self._records[key] = record
+
+    def get(self, key: Point) -> Optional[Record]:
+        return self._records.get(tuple(key))
+
+    def record_or_pseudo(self, key: Point) -> Record:
+        """The record at ``key``, or a fresh pseudo record if absent."""
+        key = self.domain.validate_point(key)
+        existing = self._records.get(key)
+        if existing is not None:
+            return existing
+        return make_pseudo_record(key)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records.values())
+
+    def keys(self) -> Iterator[Point]:
+        return iter(self._records.keys())

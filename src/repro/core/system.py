@@ -1,0 +1,281 @@
+"""Three-party system orchestration: data owner, service provider, user.
+
+This is the top-level public API (paper Figure 2):
+
+* :class:`DataOwner` — generates all key material, signs the ADS
+  (AP2G-trees of APP signatures), and issues user credentials;
+* :class:`ServiceProvider` — key-less; answers equality/range/join
+  queries by constructing VOs (deriving APS signatures with ABS.Relax)
+  and sealing responses under the user's claimed roles;
+* :class:`QueryUser` — decrypts, verifies soundness + completeness, and
+  extracts the accessible records.
+
+See ``examples/quickstart.py`` for an end-to-end walk-through.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.abe.cpabe import CpAbeKeyPair, CpAbePublicKey, CpAbeScheme, CpAbeSecretKey
+from repro.abe.hybrid import HybridEnvelope, decrypt_envelope, encrypt_for_roles
+from repro.abs.keys import AbsVerificationKey
+from repro.core.app_signature import AppAuthenticator, AppSigner
+from repro.core.equality import equality_vo
+from repro.core.join_query import TABLE_R, TABLE_S, join_vo
+from repro.core.range_query import clip_query, range_vo, range_vo_basic
+from repro.core.records import Dataset, Record
+from repro.core.verifier import JoinPair, verify_join_vo, verify_vo
+from repro.core.vo import VerificationObject
+from repro.crypto.group import BilinearGroup
+from repro.errors import ReproError, WorkloadError
+from repro.index.boxes import Box, Domain, Point
+from repro.index.gridtree import APGTree
+from repro.policy.roles import RoleHierarchy, RoleUniverse
+
+
+@dataclass
+class UserCredentials:
+    """What the DO hands a registered user."""
+
+    roles: frozenset[str]
+    cpabe_key: CpAbeSecretKey
+    mvk: AbsVerificationKey
+
+
+@dataclass
+class QueryResponse:
+    """SP response: a (possibly sealed) VO for a clipped query box."""
+
+    kind: str  # "equality" | "range" | "join"
+    query: Box
+    vo: Optional[VerificationObject] = None
+    envelope: Optional[HybridEnvelope] = None
+
+    def byte_size(self) -> int:
+        if self.envelope is not None:
+            return self.envelope.byte_size()
+        return self.vo.byte_size()
+
+
+class DataOwner:
+    """The data owner: key generation, ADS signing, credential issuance."""
+
+    def __init__(
+        self,
+        group: BilinearGroup,
+        universe: RoleUniverse,
+        hierarchy: Optional[RoleHierarchy] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        from repro.abs.scheme import AbsScheme
+
+        self.group = group
+        self.universe = universe
+        self.hierarchy = hierarchy
+        self._rng = rng
+        abs_scheme = AbsScheme(group)
+        self._abs_keys = abs_scheme.setup(rng)
+        self.signer = AppSigner(group, universe, self._abs_keys, rng)
+        self._cpabe = CpAbeScheme(group)
+        self._cpabe_keys: CpAbeKeyPair = self._cpabe.setup(rng)
+
+    @property
+    def mvk(self) -> AbsVerificationKey:
+        return self._abs_keys.mvk
+
+    @property
+    def cpabe_public(self) -> CpAbePublicKey:
+        return self._cpabe_keys.public
+
+    def build_tree(self, dataset: Dataset) -> APGTree:
+        """Sign an AP2G-tree over a dataset (the outsourced ADS)."""
+        return APGTree.build(dataset, self.signer, self._rng)
+
+    def outsource(self, tables: Dict[str, Dataset]) -> "ServiceProvider":
+        """Build + sign every table's ADS and hand them to a fresh SP."""
+        trees = {name: self.build_tree(ds) for name, ds in tables.items()}
+        return ServiceProvider(
+            group=self.group,
+            universe=self.universe,
+            mvk=self.mvk,
+            cpabe_public=self.cpabe_public,
+            trees=trees,
+            hierarchy=self.hierarchy,
+        )
+
+    def register_user(self, roles: Iterable[str]) -> UserCredentials:
+        """Issue credentials: CP-ABE decryption key + ABS verification key.
+
+        With a role hierarchy, the granted set is closed upward (holding a
+        role implies holding its ancestors).
+        """
+        roles = frozenset(roles)
+        if self.hierarchy is not None:
+            roles = self.hierarchy.close_user_roles(roles)
+        roles = self.universe.validate_user_roles(roles)
+        key = self._cpabe.keygen(self._cpabe_keys, roles, self._rng)
+        return UserCredentials(roles=roles, cpabe_key=key, mvk=self.mvk)
+
+
+class ServiceProvider:
+    """The (untrusted) service provider: answers authenticated queries."""
+
+    def __init__(
+        self,
+        group: BilinearGroup,
+        universe: RoleUniverse,
+        mvk: AbsVerificationKey,
+        cpabe_public: CpAbePublicKey,
+        trees: Dict[str, APGTree],
+        hierarchy: Optional[RoleHierarchy] = None,
+    ):
+        self.group = group
+        self.universe = universe
+        self.authenticator = AppAuthenticator(group, universe, mvk)
+        self.cpabe_public = cpabe_public
+        self._cpabe = CpAbeScheme(group)
+        self.trees = dict(trees)
+        self.hierarchy = hierarchy
+
+    def tree(self, table: str) -> APGTree:
+        try:
+            return self.trees[table]
+        except KeyError:
+            raise WorkloadError(f"unknown table {table!r}") from None
+
+    def _missing_roles(self, roles) -> list[str]:
+        if self.hierarchy is not None:
+            return self.hierarchy.maximal_missing(self.universe, roles)
+        return self.universe.missing_roles(roles)
+
+    def _respond(
+        self,
+        kind: str,
+        query: Box,
+        vo: VerificationObject,
+        roles,
+        encrypt: bool,
+        rng: Optional[random.Random],
+    ) -> QueryResponse:
+        if not encrypt:
+            return QueryResponse(kind=kind, query=query, vo=vo)
+        envelope = encrypt_for_roles(self._cpabe, self.cpabe_public, roles, vo.to_bytes(), rng)
+        return QueryResponse(kind=kind, query=query, envelope=envelope)
+
+    # -- queries -------------------------------------------------------------
+    def equality_query(
+        self,
+        table: str,
+        key: Point,
+        roles,
+        encrypt: bool = False,
+        rng: Optional[random.Random] = None,
+    ) -> QueryResponse:
+        tree = self.tree(table)
+        key = tree.domain.validate_point(key)
+        vo = _with_missing(self, roles, equality_vo, tree, self.authenticator, key, roles, rng)
+        return self._respond("equality", Box(key, key), vo, roles, encrypt, rng)
+
+    def range_query(
+        self,
+        table: str,
+        lo: Point,
+        hi: Point,
+        roles,
+        method: str = "tree",
+        encrypt: bool = False,
+        rng: Optional[random.Random] = None,
+    ) -> QueryResponse:
+        tree = self.tree(table)
+        query = clip_query(tree, lo, hi)
+        builder = {"tree": range_vo, "basic": range_vo_basic}.get(method)
+        if builder is None:
+            raise WorkloadError(f"unknown range method {method!r}")
+        vo = _with_missing(self, roles, builder, tree, self.authenticator, query, roles, rng)
+        return self._respond("range", query, vo, roles, encrypt, rng)
+
+    def join_query(
+        self,
+        left_table: str,
+        right_table: str,
+        lo: Point,
+        hi: Point,
+        roles,
+        encrypt: bool = False,
+        rng: Optional[random.Random] = None,
+    ) -> QueryResponse:
+        tree_r = self.tree(left_table)
+        tree_s = self.tree(right_table)
+        query = clip_query(tree_r, lo, hi)
+        vo = _with_missing(
+            self, roles, join_vo, tree_r, tree_s, self.authenticator, query, roles, rng
+        )
+        return self._respond("join", query, vo, roles, encrypt, rng)
+
+
+def _with_missing(sp: ServiceProvider, roles, builder, *args):
+    """Run a VO builder with the SP's missing-role policy applied.
+
+    Under a role hierarchy the SP derives APS signatures with the reduced
+    (maximal-missing) super predicate instead of the full ``A \\ A``.
+    """
+    if sp.hierarchy is None:
+        return builder(*args)
+    missing = sp.hierarchy.maximal_missing(sp.universe, roles)
+    authenticator = AppAuthenticator(
+        sp.group, sp.universe, sp.authenticator.mvk, missing_override=missing
+    )
+    new_args = tuple(authenticator if a is sp.authenticator else a for a in args)
+    return builder(*new_args)
+
+
+class QueryUser:
+    """A registered user: opens responses and verifies them."""
+
+    def __init__(
+        self,
+        group: BilinearGroup,
+        universe: RoleUniverse,
+        credentials: UserCredentials,
+        hierarchy: Optional[RoleHierarchy] = None,
+    ):
+        self.group = group
+        self.universe = universe
+        self.credentials = credentials
+        self.hierarchy = hierarchy
+        self.authenticator = AppAuthenticator(group, universe, credentials.mvk)
+        self._cpabe = CpAbeScheme(group)
+
+    @property
+    def roles(self) -> frozenset[str]:
+        return self.credentials.roles
+
+    def _missing_roles(self) -> Optional[list[str]]:
+        if self.hierarchy is not None:
+            return self.hierarchy.maximal_missing(self.universe, self.roles)
+        return None  # default A \ A inside the verifier
+
+    def _open(self, response: QueryResponse) -> VerificationObject:
+        if response.vo is not None:
+            return response.vo
+        if response.envelope is None:
+            raise ReproError("response carries neither VO nor envelope")
+        data = decrypt_envelope(self._cpabe, self.credentials.cpabe_key, response.envelope)
+        return VerificationObject.from_bytes(self.group, data)
+
+    def verify(self, response: QueryResponse) -> list[Record]:
+        """Verify an equality/range response; returns accessible records."""
+        vo = self._open(response)
+        return verify_vo(
+            vo, self.authenticator, response.query, self.roles, self._missing_roles()
+        )
+
+    def verify_join(self, response: QueryResponse) -> list[JoinPair]:
+        """Verify a join response; returns verified result pairs."""
+        vo = self._open(response)
+        return verify_join_vo(
+            vo, self.authenticator, response.query, self.roles, self._missing_roles()
+        )

@@ -1,0 +1,196 @@
+"""User-side result verification (paper Algorithms 1, 3, 4 — bottom halves).
+
+Soundness: every VO entry's signature verifies — APP signatures under the
+record's disclosed policy (which the user's roles must satisfy), APS
+signatures under the super policy the verifier rebuilds from its *own*
+role set.  Completeness: entry regions tile the query range exactly (one
+and only one proof per unit of indexing space).
+
+Raises :class:`SoundnessError` / :class:`CompletenessError`; returns the
+verified accessible records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.app_signature import AppAuthenticator
+from repro.core.records import Record
+from repro.core.vo import (
+    AccessibleRecordEntry,
+    InaccessibleNodeEntry,
+    InaccessibleRecordEntry,
+    VerificationObject,
+    VOEntry,
+)
+from repro.errors import CompletenessError, SoundnessError
+from repro.index.boxes import Box, boxes_cover_clipped
+
+
+def _verify_entry(
+    entry: VOEntry,
+    authenticator: AppAuthenticator,
+    query: Box,
+    user_roles,
+    missing_roles: Optional[Sequence[str]],
+) -> Optional[Record]:
+    """Check one entry; returns the record for accessible entries."""
+    if isinstance(entry, AccessibleRecordEntry):
+        if not query.contains_point(entry.key):
+            raise SoundnessError(f"result key {entry.key} outside the query range")
+        if not entry.policy.evaluate(user_roles):
+            raise SoundnessError(
+                f"result record {entry.key} is not accessible under the user roles"
+            )
+        record = entry.record()
+        if not authenticator.verify_record(record, entry.signature):
+            raise SoundnessError(f"APP signature invalid for record {entry.key}")
+        return record
+    if isinstance(entry, InaccessibleRecordEntry):
+        if not authenticator.verify_inaccessible_record(
+            entry.key, entry.value_hash, user_roles, entry.aps, missing_roles
+        ):
+            raise SoundnessError(f"APS signature invalid for cell {entry.key}")
+        return None
+    if isinstance(entry, InaccessibleNodeEntry):
+        if not authenticator.verify_inaccessible_node(
+            entry.box, user_roles, entry.aps, missing_roles
+        ):
+            raise SoundnessError(f"APS signature invalid for box {entry.box}")
+        return None
+    raise SoundnessError(f"unknown VO entry type {type(entry).__name__}")
+
+
+def verify_vo(
+    vo: VerificationObject,
+    authenticator: AppAuthenticator,
+    query: Box,
+    user_roles,
+    missing_roles: Optional[Sequence[str]] = None,
+) -> list[Record]:
+    """Verify an equality/range VO; returns the accessible records.
+
+    ``query`` must already be clipped to the indexed domain.
+    ``missing_roles`` overrides the default super-policy attribute list
+    ``A \\ A`` (used by the hierarchical-role optimization).
+    """
+    user_roles = authenticator.universe.validate_user_roles(user_roles)
+    regions = [entry.region for entry in vo]
+    if not boxes_cover_clipped(regions, query):
+        raise CompletenessError("VO entries do not tile the query range exactly")
+    records = []
+    for entry in vo:
+        record = _verify_entry(entry, authenticator, query, user_roles, missing_roles)
+        if record is not None:
+            records.append(record)
+    return records
+
+
+@dataclass(frozen=True)
+class JoinPair:
+    """A verified join result: matching accessible records from R and S."""
+
+    left: Record
+    right: Record
+
+
+def verify_join_vo(
+    vo: VerificationObject,
+    authenticator: AppAuthenticator,
+    query: Box,
+    user_roles,
+    missing_roles: Optional[Sequence[str]] = None,
+    left_table: str = "R",
+    right_table: str = "S",
+) -> list[JoinPair]:
+    """Verify a join VO; returns the verified result pairs.
+
+    Completeness uses the R-side tiling: accessible R results plus every
+    inaccessible region (from either table) must tile the query range.
+    Soundness additionally requires each R result to have exactly one
+    matching S result on the same key.
+    """
+    user_roles = authenticator.universe.validate_user_roles(user_roles)
+    left_access: dict = {}
+    right_access: dict = {}
+    coverage: list[Box] = []
+    records: dict = {}
+    for entry in vo:
+        if isinstance(entry, AccessibleRecordEntry):
+            bucket = left_access if entry.table == left_table else right_access
+            if entry.table not in (left_table, right_table):
+                raise SoundnessError(f"unexpected table tag {entry.table!r}")
+            if entry.key in bucket:
+                raise SoundnessError(f"duplicate result for key {entry.key} in {entry.table}")
+            bucket[entry.key] = entry
+            if entry.table == left_table:
+                coverage.append(entry.region)
+        else:
+            coverage.append(entry.region)
+    if set(left_access) != set(right_access):
+        raise SoundnessError("join results do not pair up on the join key")
+    if not boxes_cover_clipped(coverage, query):
+        raise CompletenessError("join VO does not tile the query range exactly")
+    pairs = []
+    for entry in vo:
+        record = _verify_entry(entry, authenticator, query, user_roles, missing_roles)
+        if record is not None:
+            records[(entry.table, entry.key)] = record
+    for key in sorted(left_access):
+        pairs.append(
+            JoinPair(left=records[(left_table, key)], right=records[(right_table, key)])
+        )
+    return pairs
+
+
+def verify_vo_batched(
+    vo: VerificationObject,
+    authenticator: AppAuthenticator,
+    query: Box,
+    user_roles,
+    missing_roles: Optional[Sequence[str]] = None,
+    rng=None,
+) -> list[Record]:
+    """Like :func:`verify_vo`, batching all APS checks into one pairing
+    product (small-exponents technique, see :mod:`repro.abs.batch`).
+
+    On the real pairing backend the APS checks dominate verification; the
+    batch shares a single final exponentiation across the whole VO.  On a
+    batch failure, the slow path pinpoints the offending entry so error
+    messages stay as precise as the naive verifier's.
+    """
+    from repro.abs.batch import BatchItem, batch_verify, find_invalid
+
+    user_roles = authenticator.universe.validate_user_roles(user_roles)
+    if missing_roles is None:
+        missing_roles = authenticator.universe.missing_roles(user_roles)
+    regions = [entry.region for entry in vo]
+    if not boxes_cover_clipped(regions, query):
+        raise CompletenessError("VO entries do not tile the query range exactly")
+    records: list[Record] = []
+    items: list = []
+    item_entries: list[VOEntry] = []
+    attrs = tuple(missing_roles)
+    for entry in vo:
+        if isinstance(entry, AccessibleRecordEntry):
+            record = _verify_entry(entry, authenticator, query, user_roles, missing_roles)
+            records.append(record)
+        elif isinstance(entry, InaccessibleRecordEntry):
+            message = Record.message_from_hash(entry.key, entry.value_hash)
+            items.append(BatchItem(message=message, attrs=attrs, signature=entry.aps))
+            item_entries.append(entry)
+        elif isinstance(entry, InaccessibleNodeEntry):
+            items.append(
+                BatchItem(message=entry.box.to_bytes(), attrs=attrs, signature=entry.aps)
+            )
+            item_entries.append(entry)
+        else:
+            raise SoundnessError(f"unknown VO entry type {type(entry).__name__}")
+    if items and not batch_verify(
+        authenticator.scheme, authenticator.mvk, items, rng
+    ):
+        bad = find_invalid(authenticator.scheme, authenticator.mvk, items)
+        entry = item_entries[bad[0]] if bad else item_entries[0]
+        raise SoundnessError(f"APS signature invalid for {entry.region}")
+    return records

@@ -1,0 +1,243 @@
+"""Verification objects (VOs) and their wire format.
+
+A VO is the list of proof entries the SP returns with a query result
+(paper Section 3).  Three entry kinds exist:
+
+* :class:`AccessibleRecordEntry` — a result record in full (key, value,
+  policy) with its APP signature;
+* :class:`InaccessibleRecordEntry` — a unit cell the user may not access:
+  the record's key, ``hash(v)``, and an APS signature under the user's
+  super policy (never the true policy);
+* :class:`InaccessibleNodeEntry` — a whole grid box summarized by one APS
+  signature on ``hash(gb)``.
+
+Entries carry a ``table`` tag so join VOs can mix entries from both
+relations.  The binary codec is length-prefixed and self-describing
+enough to round-trip through the hybrid CP-ABE/AES envelope; VO sizes
+reported by benchmarks are real serialized byte counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Union
+
+from repro.abs.scheme import AbsSignature
+from repro.core.records import Record
+from repro.crypto.group import BilinearGroup
+from repro.errors import DeserializationError
+from repro.index.boxes import Box, Point
+from repro.policy.boolexpr import BoolExpr, parse_policy
+
+
+def _encode_bytes(data: bytes) -> bytes:
+    return len(data).to_bytes(4, "big") + data
+
+
+def _encode_point(point: Point) -> bytes:
+    out = bytearray([len(point)])
+    for x in point:
+        out += int(x).to_bytes(8, "big", signed=True)
+    return bytes(out)
+
+
+class _Reader:
+    def __init__(self, data: bytes):
+        self.data = data
+        self.off = 0
+
+    def take(self, n: int) -> bytes:
+        if self.off + n > len(self.data):
+            raise DeserializationError("truncated VO")
+        out = self.data[self.off : self.off + n]
+        self.off += n
+        return out
+
+    def take_bytes(self) -> bytes:
+        n = int.from_bytes(self.take(4), "big")
+        return self.take(n)
+
+    def take_point(self) -> Point:
+        dims = self.take(1)[0]
+        return tuple(
+            int.from_bytes(self.take(8), "big", signed=True) for _ in range(dims)
+        )
+
+    @property
+    def exhausted(self) -> bool:
+        return self.off == len(self.data)
+
+
+@dataclass(frozen=True)
+class AccessibleRecordEntry:
+    """A full result record with its APP signature."""
+
+    key: Point
+    value: bytes
+    policy: BoolExpr
+    signature: AbsSignature
+    table: str = ""
+
+    TAG = 1
+
+    @property
+    def region(self) -> Box:
+        return Box(self.key, self.key)
+
+    def record(self) -> Record:
+        return Record(key=self.key, value=self.value, policy=self.policy)
+
+    def byte_size(self) -> int:
+        return len(self.to_bytes())
+
+    def to_bytes(self) -> bytes:
+        return (
+            bytes([self.TAG])
+            + _encode_bytes(self.table.encode())
+            + _encode_point(self.key)
+            + _encode_bytes(self.value)
+            + _encode_bytes(self.policy.to_string().encode())
+            + _encode_bytes(self.signature.to_bytes())
+        )
+
+    @classmethod
+    def _read(cls, reader: _Reader, group: BilinearGroup) -> "AccessibleRecordEntry":
+        table = reader.take_bytes().decode()
+        key = reader.take_point()
+        value = reader.take_bytes()
+        policy = parse_policy(reader.take_bytes().decode())
+        sig = AbsSignature.from_bytes(group, reader.take_bytes())
+        return cls(key=key, value=value, policy=policy, signature=sig, table=table)
+
+
+@dataclass(frozen=True)
+class InaccessibleRecordEntry:
+    """A unit cell proven inaccessible: key + hash(v) + APS signature."""
+
+    key: Point
+    value_hash: bytes
+    aps: AbsSignature
+    table: str = ""
+
+    TAG = 2
+
+    @property
+    def region(self) -> Box:
+        return Box(self.key, self.key)
+
+    def byte_size(self) -> int:
+        return len(self.to_bytes())
+
+    def to_bytes(self) -> bytes:
+        return (
+            bytes([self.TAG])
+            + _encode_bytes(self.table.encode())
+            + _encode_point(self.key)
+            + _encode_bytes(self.value_hash)
+            + _encode_bytes(self.aps.to_bytes())
+        )
+
+    @classmethod
+    def _read(cls, reader: _Reader, group: BilinearGroup) -> "InaccessibleRecordEntry":
+        table = reader.take_bytes().decode()
+        key = reader.take_point()
+        value_hash = reader.take_bytes()
+        aps = AbsSignature.from_bytes(group, reader.take_bytes())
+        return cls(key=key, value_hash=value_hash, aps=aps, table=table)
+
+
+@dataclass(frozen=True)
+class InaccessibleNodeEntry:
+    """A grid box proven entirely inaccessible by one APS signature."""
+
+    box: Box
+    aps: AbsSignature
+    table: str = ""
+
+    TAG = 3
+
+    @property
+    def region(self) -> Box:
+        return self.box
+
+    def byte_size(self) -> int:
+        return len(self.to_bytes())
+
+    def to_bytes(self) -> bytes:
+        return (
+            bytes([self.TAG])
+            + _encode_bytes(self.table.encode())
+            + _encode_point(self.box.lo)
+            + _encode_point(self.box.hi)
+            + _encode_bytes(self.aps.to_bytes())
+        )
+
+    @classmethod
+    def _read(cls, reader: _Reader, group: BilinearGroup) -> "InaccessibleNodeEntry":
+        table = reader.take_bytes().decode()
+        lo = reader.take_point()
+        hi = reader.take_point()
+        aps = AbsSignature.from_bytes(group, reader.take_bytes())
+        return cls(box=Box(lo, hi), aps=aps, table=table)
+
+
+VOEntry = Union[AccessibleRecordEntry, InaccessibleRecordEntry, InaccessibleNodeEntry]
+
+_ENTRY_TYPES = {
+    AccessibleRecordEntry.TAG: AccessibleRecordEntry,
+    InaccessibleRecordEntry.TAG: InaccessibleRecordEntry,
+    InaccessibleNodeEntry.TAG: InaccessibleNodeEntry,
+}
+
+
+@dataclass
+class VerificationObject:
+    """The proof returned alongside a query result."""
+
+    entries: list[VOEntry] = field(default_factory=list)
+
+    def add(self, entry: VOEntry) -> None:
+        self.entries.append(entry)
+
+    def extend(self, entries: Iterable[VOEntry]) -> None:
+        self.entries.extend(entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def accessible(self, table: str | None = None) -> list[AccessibleRecordEntry]:
+        return [
+            e
+            for e in self.entries
+            if isinstance(e, AccessibleRecordEntry) and (table is None or e.table == table)
+        ]
+
+    def for_table(self, table: str) -> list[VOEntry]:
+        return [e for e in self.entries if e.table == table]
+
+    def byte_size(self) -> int:
+        return len(self.to_bytes())
+
+    def to_bytes(self) -> bytes:
+        out = bytearray(len(self.entries).to_bytes(4, "big"))
+        for entry in self.entries:
+            out += entry.to_bytes()
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, group: BilinearGroup, data: bytes) -> "VerificationObject":
+        reader = _Reader(data)
+        count = int.from_bytes(reader.take(4), "big")
+        entries: list[VOEntry] = []
+        for _ in range(count):
+            tag = reader.take(1)[0]
+            entry_type = _ENTRY_TYPES.get(tag)
+            if entry_type is None:
+                raise DeserializationError(f"unknown VO entry tag {tag}")
+            entries.append(entry_type._read(reader, group))
+        if not reader.exhausted:
+            raise DeserializationError("trailing bytes after VO entries")
+        return cls(entries=entries)

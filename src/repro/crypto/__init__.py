@@ -1,0 +1,36 @@
+"""Cryptographic substrate: BN254 pairing, groups, AES, hashing.
+
+Public entry points:
+
+* :func:`repro.crypto.group.bn254` — real pairing backend.
+* :func:`repro.crypto.fastgroup.simulated` — fast simulation backend.
+* :func:`get_backend` — resolve a backend by name.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.group import BN254Group, BilinearGroup, GroupElement, G1, G2, GT, bn254
+from repro.crypto.fastgroup import SimulatedGroup, simulated
+from repro.errors import CryptoError
+
+__all__ = [
+    "BN254Group",
+    "BilinearGroup",
+    "GroupElement",
+    "SimulatedGroup",
+    "G1",
+    "G2",
+    "GT",
+    "bn254",
+    "simulated",
+    "get_backend",
+]
+
+
+def get_backend(name: str) -> BilinearGroup:
+    """Resolve a bilinear-group backend by name: ``bn254`` or ``simulated``."""
+    if name == "bn254":
+        return bn254()
+    if name in ("simulated", "fast", "fastgroup"):
+        return simulated()
+    raise CryptoError(f"unknown bilinear group backend {name!r}")

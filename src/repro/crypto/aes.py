@@ -1,0 +1,168 @@
+"""AES-128 from scratch plus CTR mode and an encrypt-then-MAC envelope.
+
+The paper's protocols wrap every query response in a "traditional one-key
+cipher, such as AES", with the key itself encapsulated under CP-ABE.  No
+third-party crypto package is available offline, so this module implements
+the forward AES-128 cipher (all that CTR mode needs), a CTR keystream, and
+an authenticated encrypt-then-MAC envelope using HMAC-SHA256.
+
+This is a straightforward table-based implementation; it makes no
+constant-time claims and exists to exercise the real code path, not to
+protect production traffic.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.crypto.hashing import constant_time_eq, hmac_sha256, kdf
+from repro.errors import CryptoError
+
+# ---------------------------------------------------------------------------
+# S-box generation (from GF(2^8) inversion + affine map, computed at import).
+# ---------------------------------------------------------------------------
+
+
+def _gf_mul(a: int, b: int) -> int:
+    out = 0
+    for _ in range(8):
+        if b & 1:
+            out ^= a
+        carry = a & 0x80
+        a = (a << 1) & 0xFF
+        if carry:
+            a ^= 0x1B
+        b >>= 1
+    return out
+
+
+def _build_sbox() -> bytes:
+    # Multiplicative inverses in GF(2^8).
+    inv = [0] * 256
+    for x in range(1, 256):
+        for y in range(1, 256):
+            if _gf_mul(x, y) == 1:
+                inv[x] = y
+                break
+    sbox = bytearray(256)
+    for x in range(256):
+        b = inv[x]
+        res = 0
+        for i in range(8):
+            bit = (
+                (b >> i)
+                ^ (b >> ((i + 4) % 8))
+                ^ (b >> ((i + 5) % 8))
+                ^ (b >> ((i + 6) % 8))
+                ^ (b >> ((i + 7) % 8))
+                ^ (0x63 >> i)
+            ) & 1
+            res |= bit << i
+        sbox[x] = res
+    return bytes(sbox)
+
+
+SBOX = _build_sbox()
+assert SBOX[0x00] == 0x63 and SBOX[0x53] == 0xED, "AES S-box self-check failed"
+
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+# xtime tables for MixColumns.
+_MUL2 = bytes(_gf_mul(x, 2) for x in range(256))
+_MUL3 = bytes(_gf_mul(x, 3) for x in range(256))
+
+
+def _expand_key(key: bytes) -> list[bytes]:
+    """AES-128 key schedule: 11 round keys of 16 bytes."""
+    if len(key) != 16:
+        raise CryptoError("AES-128 requires a 16-byte key")
+    words = [key[i : i + 4] for i in range(0, 16, 4)]
+    for i in range(4, 44):
+        temp = words[i - 1]
+        if i % 4 == 0:
+            temp = bytes(SBOX[b] for b in temp[1:] + temp[:1])
+            temp = bytes([temp[0] ^ _RCON[i // 4 - 1]]) + temp[1:]
+        words.append(bytes(a ^ b for a, b in zip(words[i - 4], temp)))
+    return [b"".join(words[4 * r : 4 * r + 4]) for r in range(11)]
+
+
+def _encrypt_block(block: bytes, round_keys: list[bytes]) -> bytes:
+    s = bytearray(a ^ b for a, b in zip(block, round_keys[0]))
+    for rnd in range(1, 10):
+        # SubBytes
+        s = bytearray(SBOX[b] for b in s)
+        # ShiftRows (state is column-major: byte index = 4*col + row)
+        s = bytearray(
+            s[(i + 4 * (i % 4)) % 16] for i in range(16)
+        )
+        # MixColumns
+        out = bytearray(16)
+        for c in range(0, 16, 4):
+            a0, a1, a2, a3 = s[c], s[c + 1], s[c + 2], s[c + 3]
+            out[c] = _MUL2[a0] ^ _MUL3[a1] ^ a2 ^ a3
+            out[c + 1] = a0 ^ _MUL2[a1] ^ _MUL3[a2] ^ a3
+            out[c + 2] = a0 ^ a1 ^ _MUL2[a2] ^ _MUL3[a3]
+            out[c + 3] = _MUL3[a0] ^ a1 ^ a2 ^ _MUL2[a3]
+        s = bytearray(x ^ k for x, k in zip(out, round_keys[rnd]))
+    # Final round: no MixColumns.
+    s = bytearray(SBOX[b] for b in s)
+    s = bytearray(s[(i + 4 * (i % 4)) % 16] for i in range(16))
+    return bytes(x ^ k for x, k in zip(s, round_keys[10]))
+
+
+class AES128:
+    """Forward AES-128 cipher with a precomputed key schedule."""
+
+    def __init__(self, key: bytes):
+        self._round_keys = _expand_key(key)
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise CryptoError("AES block must be 16 bytes")
+        return _encrypt_block(block, self._round_keys)
+
+
+def ctr_keystream(cipher: AES128, nonce: bytes, length: int) -> bytes:
+    """CTR keystream: AES(nonce || counter) blocks."""
+    if len(nonce) != 12:
+        raise CryptoError("CTR nonce must be 12 bytes")
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        out += cipher.encrypt_block(nonce + counter.to_bytes(4, "big"))
+        counter += 1
+    return bytes(out[:length])
+
+
+def aes_ctr_xor(key: bytes, nonce: bytes, data: bytes) -> bytes:
+    """Encrypt/decrypt (same operation) with AES-128-CTR."""
+    stream = ctr_keystream(AES128(key), nonce, len(data))
+    return bytes(a ^ b for a, b in zip(data, stream))
+
+
+def seal(key_material: bytes, plaintext: bytes, *, nonce: bytes | None = None) -> bytes:
+    """Authenticated envelope: AES-128-CTR + HMAC-SHA256 (encrypt-then-MAC).
+
+    ``key_material`` may be any high-entropy byte string (e.g. a serialized
+    GT element from the CP-ABE KEM); encryption and MAC keys are derived
+    with the KDF.  Output layout: ``nonce (12) || ciphertext || tag (32)``.
+    """
+    enc_key = kdf(key_material, b"enc", 16)
+    mac_key = kdf(key_material, b"mac", 32)
+    if nonce is None:
+        nonce = os.urandom(12)
+    ciphertext = aes_ctr_xor(enc_key, nonce, plaintext)
+    tag = hmac_sha256(mac_key, nonce + ciphertext)
+    return nonce + ciphertext + tag
+
+
+def open_sealed(key_material: bytes, envelope: bytes) -> bytes:
+    """Open a :func:`seal` envelope; raises :class:`CryptoError` on tamper."""
+    if len(envelope) < 44:
+        raise CryptoError("sealed envelope too short")
+    enc_key = kdf(key_material, b"enc", 16)
+    mac_key = kdf(key_material, b"mac", 32)
+    nonce, body, tag = envelope[:12], envelope[12:-32], envelope[-32:]
+    if not constant_time_eq(hmac_sha256(mac_key, nonce + body), tag):
+        raise CryptoError("envelope authentication failed")
+    return aes_ctr_xor(enc_key, nonce, body)

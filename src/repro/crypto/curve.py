@@ -1,0 +1,374 @@
+"""Elliptic-curve groups G1 and G2 for BN254.
+
+* G1 = E(Fp) with E: y^2 = x^3 + 3, prime order r (cofactor 1).
+* G2 = r-torsion subgroup of the sextic D-twist E'(Fp2):
+  y^2 = x^3 + 3/XI, whose full group order is r * c2.
+
+Points are stored in affine coordinates; scalar multiplication runs in
+Jacobian coordinates internally.  The arithmetic is written generically over
+a small field-operation table so G1 (ints) and G2 (Fp2 tuples) share one
+implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.crypto import tower
+from repro.crypto.field import CURVE_ORDER, FIELD_MODULUS as P, G2_COFACTOR
+from repro.errors import CryptoError
+
+
+@dataclass(frozen=True)
+class FieldOps:
+    """Field-operation table used by the generic point arithmetic."""
+
+    add: Callable[[Any, Any], Any]
+    sub: Callable[[Any, Any], Any]
+    mul: Callable[[Any, Any], Any]
+    sq: Callable[[Any], Any]
+    inv: Callable[[Any], Any]
+    neg: Callable[[Any], Any]
+    zero: Any
+    one: Any
+
+
+_FP_OPS = FieldOps(
+    add=lambda a, b: (a + b) % P,
+    sub=lambda a, b: (a - b) % P,
+    mul=lambda a, b: a * b % P,
+    sq=lambda a: a * a % P,
+    inv=lambda a: pow(a, P - 2, P),
+    neg=lambda a: -a % P,
+    zero=0,
+    one=1,
+)
+
+_FP2_OPS = FieldOps(
+    add=tower.fp2_add,
+    sub=tower.fp2_sub,
+    mul=tower.fp2_mul,
+    sq=tower.fp2_sq,
+    inv=tower.fp2_inv,
+    neg=tower.fp2_neg,
+    zero=tower.FP2_ZERO,
+    one=tower.FP2_ONE,
+)
+
+#: b coefficient of the twist: 3 / XI in Fp2.
+TWIST_B = tower.fp2_mul(tower.fp2_mul_scalar(tower.FP2_ONE, 3), tower.fp2_inv(tower.XI))
+
+#: Lazily-bound GLV multiplier for G1 (set on first PointG1 scalar mult).
+_glv_mul = None
+
+
+def _jac_double(pt, ops: FieldOps):
+    x, y, z = pt
+    if y == ops.zero:
+        return (ops.one, ops.one, ops.zero)
+    a = ops.sq(x)
+    b = ops.sq(y)
+    c = ops.sq(b)
+    t = ops.sub(ops.sq(ops.add(x, b)), ops.add(a, c))
+    d = ops.add(t, t)  # 2*((x+b)^2 - a - c)
+    e = ops.add(ops.add(a, a), a)  # 3a (curve a-coeff is 0)
+    f = ops.sq(e)
+    x3 = ops.sub(f, ops.add(d, d))
+    c8 = ops.add(ops.add(ops.add(c, c), ops.add(c, c)), ops.add(ops.add(c, c), ops.add(c, c)))
+    y3 = ops.sub(ops.mul(e, ops.sub(d, x3)), c8)
+    z3 = ops.mul(ops.add(y, y), z)
+    return (x3, y3, z3)
+
+
+def _jac_add(p1, p2, ops: FieldOps):
+    x1, y1, z1 = p1
+    x2, y2, z2 = p2
+    if z1 == ops.zero:
+        return p2
+    if z2 == ops.zero:
+        return p1
+    z1z1 = ops.sq(z1)
+    z2z2 = ops.sq(z2)
+    u1 = ops.mul(x1, z2z2)
+    u2 = ops.mul(x2, z1z1)
+    s1 = ops.mul(ops.mul(y1, z2), z2z2)
+    s2 = ops.mul(ops.mul(y2, z1), z1z1)
+    if u1 == u2:
+        if s1 != s2:
+            return (ops.one, ops.one, ops.zero)
+        return _jac_double(p1, ops)
+    h = ops.sub(u2, u1)
+    i = ops.sq(ops.add(h, h))
+    j = ops.mul(h, i)
+    r = ops.add(ops.sub(s2, s1), ops.sub(s2, s1))
+    v = ops.mul(u1, i)
+    x3 = ops.sub(ops.sub(ops.sq(r), j), ops.add(v, v))
+    s1j = ops.mul(s1, j)
+    y3 = ops.sub(ops.mul(r, ops.sub(v, x3)), ops.add(s1j, s1j))
+    z3 = ops.mul(ops.mul(z1, z2), ops.add(h, h))
+    # z3 = 2*z1*z2*h; adjust: above computes (z1*z2)*2h which equals 2*z1*z2*h
+    return (x3, y3, z3)
+
+
+def wnaf_digits(k: int, width: int = 4) -> list[int]:
+    """Non-adjacent form of ``k`` with window ``width`` (LSB first).
+
+    Digits are zero or odd in ``(-2^(width-1), 2^(width-1))``; at most
+    one in ``width`` consecutive digits is nonzero, cutting the number
+    of point additions in scalar multiplication by ~2x vs binary.
+    """
+    if k < 0:
+        raise CryptoError("wNAF expects a non-negative scalar")
+    digits: list[int] = []
+    power = 1 << width
+    half = power >> 1
+    while k > 0:
+        if k & 1:
+            d = k % power
+            if d >= half:
+                d -= power
+            k -= d
+        else:
+            d = 0
+        digits.append(d)
+        k >>= 1
+    return digits
+
+
+def _jac_scalar_mul(xy, k: int, ops: FieldOps):
+    """wNAF scalar multiplication in Jacobian coordinates."""
+    digits = wnaf_digits(k)
+    base = (xy[0], xy[1], ops.one)
+    # Precompute odd multiples 1P, 3P, 5P, 7P.
+    double_base = _jac_double(base, ops)
+    table = [base]
+    for _ in range(3):
+        table.append(_jac_add(table[-1], double_base, ops))
+    acc = (ops.one, ops.one, ops.zero)
+    for d in reversed(digits):
+        acc = _jac_double(acc, ops)
+        if d > 0:
+            acc = _jac_add(acc, table[d >> 1], ops)
+        elif d < 0:
+            x, y, z = table[(-d) >> 1]
+            acc = _jac_add(acc, (x, ops.neg(y), z), ops)
+    return acc
+
+
+def _jac_to_affine(pt, ops: FieldOps):
+    x, y, z = pt
+    if z == ops.zero:
+        return None
+    zi = ops.inv(z)
+    zi2 = ops.sq(zi)
+    return (ops.mul(x, zi2), ops.mul(y, ops.mul(zi, zi2)))
+
+
+class _Point:
+    """Affine curve point; ``xy is None`` encodes the identity."""
+
+    __slots__ = ("xy",)
+    _ops: FieldOps = _FP_OPS
+    _b: Any = 3
+
+    def __init__(self, xy):
+        self.xy = xy
+
+    # -- group structure ----------------------------------------------------
+    @classmethod
+    def identity(cls):
+        return cls(None)
+
+    @property
+    def is_identity(self) -> bool:
+        return self.xy is None
+
+    def __add__(self, other):
+        cls, ops = type(self), self._ops
+        if self.xy is None:
+            return other
+        if other.xy is None:
+            return self
+        x1, y1 = self.xy
+        x2, y2 = other.xy
+        if x1 == x2:
+            if y1 != y2:
+                return cls(None)
+            return self.double()
+        lam = ops.mul(ops.sub(y2, y1), ops.inv(ops.sub(x2, x1)))
+        x3 = ops.sub(ops.sub(ops.sq(lam), x1), x2)
+        y3 = ops.sub(ops.mul(lam, ops.sub(x1, x3)), y1)
+        return cls((x3, y3))
+
+    def double(self):
+        cls, ops = type(self), self._ops
+        if self.xy is None:
+            return self
+        x, y = self.xy
+        if y == ops.zero:
+            return cls(None)
+        three_x2 = ops.mul(ops.add(ops.add(ops.one, ops.one), ops.one), ops.sq(x))
+        lam = ops.mul(three_x2, ops.inv(ops.add(y, y)))
+        x3 = ops.sub(ops.sq(lam), ops.add(x, x))
+        y3 = ops.sub(ops.mul(lam, ops.sub(x, x3)), y)
+        return cls((x3, y3))
+
+    def __neg__(self):
+        cls, ops = type(self), self._ops
+        if self.xy is None:
+            return self
+        x, y = self.xy
+        return cls((x, ops.neg(y)))
+
+    def __sub__(self, other):
+        return self + (-other)
+
+    def __mul__(self, k: int):
+        cls, ops = type(self), self._ops
+        k %= CURVE_ORDER
+        if k == 0 or self.xy is None:
+            return cls(None)
+        aff = _jac_to_affine(_jac_scalar_mul(self.xy, k, ops), ops)
+        return cls(aff)
+
+    __rmul__ = __mul__
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other) and self.xy == other.xy
+
+    def __hash__(self):
+        return hash((type(self).__name__, self.xy))
+
+    def is_on_curve(self) -> bool:
+        if self.xy is None:
+            return True
+        ops = self._ops
+        x, y = self.xy
+        return ops.sq(y) == ops.add(ops.mul(ops.sq(x), x), self._b)
+
+    def in_subgroup(self) -> bool:
+        return (self * CURVE_ORDER).is_identity
+
+
+class PointG1(_Point):
+    """Point of G1 = E(Fp)."""
+
+    _ops = _FP_OPS
+    _b = 3
+
+    def __mul__(self, k: int):
+        # G1 uses GLV decomposition (j = 0 endomorphism) — ~1.5x faster
+        # than generic wNAF.  Lazy import: repro.crypto.glv imports this
+        # module to validate its constants.
+        global _glv_mul
+        if _glv_mul is None:
+            from repro.crypto.glv import glv_mul as _imported
+
+            _glv_mul = _imported
+        return _glv_mul(self, k)
+
+    __rmul__ = __mul__
+
+    def to_bytes(self) -> bytes:
+        """Compressed encoding: 32 bytes, top bits = flags.
+
+        Bit 255: infinity flag.  Bit 254: y-parity flag.
+        """
+        if self.xy is None:
+            return (1 << 255).to_bytes(32, "big")
+        x, y = self.xy
+        flag = (y & 1) << 254
+        return (x | flag).to_bytes(32, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PointG1":
+        from repro.crypto.field import fp_sqrt
+
+        if len(data) != 32:
+            raise CryptoError("G1 encoding must be 32 bytes")
+        val = int.from_bytes(data, "big")
+        if val >> 255:
+            return cls(None)
+        parity = (val >> 254) & 1
+        x = val & ((1 << 254) - 1)
+        if x >= P:
+            raise CryptoError("G1 x-coordinate out of range")
+        y = fp_sqrt((x * x % P * x + 3) % P)
+        if y is None:
+            raise CryptoError("G1 encoding is not on the curve")
+        if y & 1 != parity:
+            y = P - y
+        return cls((x, y))
+
+
+class PointG2(_Point):
+    """Point of G2 (the r-torsion of the twist E'(Fp2))."""
+
+    _ops = _FP2_OPS
+    _b = TWIST_B
+
+    def to_bytes(self) -> bytes:
+        """Compressed encoding: 64 bytes (x in Fp2 + flags)."""
+        if self.xy is None:
+            out = bytearray(64)
+            out[0] = 0x80
+            return bytes(out)
+        (x0, x1), (y0, _y1) = self.xy
+        flag = (y0 & 1) << 254
+        return (x1 | flag).to_bytes(32, "big") + x0.to_bytes(32, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PointG2":
+        if len(data) != 64:
+            raise CryptoError("G2 encoding must be 64 bytes")
+        hi = int.from_bytes(data[:32], "big")
+        if hi >> 255:
+            return cls(None)
+        parity = (hi >> 254) & 1
+        x1 = hi & ((1 << 254) - 1)
+        x0 = int.from_bytes(data[32:], "big")
+        x = (x0, x1)
+        rhs = tower.fp2_add(tower.fp2_mul(tower.fp2_sq(x), x), TWIST_B)
+        y = tower.fp2_sqrt(rhs)
+        if y is None:
+            raise CryptoError("G2 encoding is not on the twist")
+        if y[0] & 1 != parity:
+            y = tower.fp2_neg(y)
+        return cls((x, y))
+
+    def clear_cofactor(self) -> "PointG2":
+        """Map a twist point into the order-r subgroup."""
+        return _g2_cofactor_mul(self)
+
+
+def _g2_cofactor_mul(pt: PointG2) -> PointG2:
+    """Multiply by the G2 cofactor (a full-width scalar, not mod r)."""
+    ops = _FP2_OPS
+    if pt.xy is None:
+        return pt
+    jac = (pt.xy[0], pt.xy[1], ops.one)
+    acc = (ops.one, ops.one, ops.zero)
+    for bit in bin(G2_COFACTOR)[2:]:
+        acc = _jac_double(acc, ops)
+        if bit == "1":
+            acc = _jac_add(acc, jac, ops)
+    return PointG2(_jac_to_affine(acc, ops))
+
+
+#: Standard generator of G1.
+G1_GENERATOR = PointG1((1, 2))
+
+#: Standard generator of G2 (the EIP-197 point).
+G2_GENERATOR = PointG2(
+    (
+        (
+            10857046999023057135944570762232829481370756359578518086990519993285655852781,
+            11559732032986387107991004021392285783925812861821192530917403151452391805634,
+        ),
+        (
+            8495653923123431417604973247489272438418190587263600148770280649306958101930,
+            4082367875863433681332203403145435568316851327593401208105741076214120093531,
+        ),
+    )
+)

@@ -1,0 +1,95 @@
+"""Exponent-tracking simulated bilinear group (benchmark backend).
+
+``SimulatedGroup`` implements the exact :class:`~repro.crypto.group.BilinearGroup`
+interface by representing each element of G1/G2/GT as its discrete logarithm
+with respect to the canonical generator, modulo the BN254 group order.  The
+group operation adds exponents, exponentiation multiplies, and the "pairing"
+multiplies exponents — so bilinearity, re-randomization, and every algebraic
+identity used by ABS/CP-ABE hold *exactly*, and protocol behaviour
+(operation counts, pruning, VO contents) is identical to the real backend.
+
+**This backend is not secure.**  Discrete logs are in plain sight; it exists
+so that the paper's large-scale experiments are feasible in pure Python
+(DESIGN.md, Substitution 2).  Serialized elements are padded to the same
+byte widths as compressed BN254 points so that VO-size measurements match
+the real backend byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.field import CURVE_ORDER
+from repro.crypto.group import (
+    ELEMENT_BYTES,
+    G1,
+    G2,
+    GT,
+    BilinearGroup,
+    GroupElement,
+)
+from repro.errors import CryptoError, DeserializationError, GroupMismatchError
+
+
+class SimulatedGroup(BilinearGroup):
+    """Bilinear-group simulation tracking exponents mod the BN254 order."""
+
+    name = "simulated"
+
+    @property
+    def order(self) -> int:
+        return CURVE_ORDER
+
+    def _generator(self, kind: str) -> GroupElement:
+        if kind not in ELEMENT_BYTES:
+            raise CryptoError(f"unknown group kind {kind!r}")
+        return GroupElement(self, kind, 1)
+
+    def _identity(self, kind: str) -> GroupElement:
+        if kind not in ELEMENT_BYTES:
+            raise CryptoError(f"unknown group kind {kind!r}")
+        return GroupElement(self, kind, 0)
+
+    def _op(self, a: GroupElement, b: GroupElement) -> GroupElement:
+        return GroupElement(self, a.kind, (a.value + b.value) % CURVE_ORDER)
+
+    def _pow(self, a: GroupElement, e: int) -> GroupElement:
+        return GroupElement(self, a.kind, a.value * e % CURVE_ORDER)
+
+    def _inv(self, a: GroupElement) -> GroupElement:
+        return GroupElement(self, a.kind, -a.value % CURVE_ORDER)
+
+    def _is_identity(self, a: GroupElement) -> bool:
+        return a.value == 0
+
+    def _serialize(self, a: GroupElement) -> bytes:
+        width = ELEMENT_BYTES[a.kind]
+        return a.value.to_bytes(32, "big").rjust(width, b"\0")
+
+    def deserialize(self, kind: str, data: bytes) -> GroupElement:
+        width = ELEMENT_BYTES.get(kind)
+        if width is None:
+            raise CryptoError(f"unknown group kind {kind!r}")
+        if len(data) != width:
+            raise DeserializationError(f"{kind} encoding must be {width} bytes")
+        value = int.from_bytes(data, "big")
+        if value >= CURVE_ORDER:
+            raise DeserializationError(f"{kind} exponent out of range")
+        return GroupElement(self, kind, value)
+
+    def hash_to_g1(self, *parts) -> GroupElement:
+        return GroupElement(self, G1, self.hash_to_scalar(b"h2g1", *parts))
+
+    def pair(self, a: GroupElement, b: GroupElement) -> GroupElement:
+        if a.kind != G1 or b.kind != G2:
+            raise GroupMismatchError("pair() expects (G1, G2)")
+        return GroupElement(self, GT, a.value * b.value % CURVE_ORDER)
+
+
+_DEFAULT: SimulatedGroup | None = None
+
+
+def simulated() -> SimulatedGroup:
+    """Shared simulated backend instance."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = SimulatedGroup()
+    return _DEFAULT

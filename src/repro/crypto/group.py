@@ -1,0 +1,304 @@
+"""Abstract bilinear-group interface and the real BN254 backend.
+
+Every protocol in this library (ABS, CP-ABE, APP/APS signatures, the
+authenticated indexes) is written against :class:`BilinearGroup`, so it can
+run on either backend:
+
+* :class:`BN254Group` — the real optimal-ate pairing over BN254
+  (:mod:`repro.crypto.pairing`); cryptographically meaningful, slow in
+  pure Python.
+* :class:`repro.crypto.fastgroup.SimulatedGroup` — an exponent-tracking
+  simulation used for large benchmarks (see DESIGN.md, Substitution 2).
+
+Group elements are immutable value objects.  ``*`` is the group operation,
+``**`` is scalar exponentiation (mod the group order), ``~`` is inversion.
+Multiplicative notation matches the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Iterable, Sequence
+
+from repro.crypto import pairing as _pairing
+from repro.crypto import tower
+from repro.crypto.curve import G1_GENERATOR, G2_GENERATOR, PointG1, PointG2
+from repro.crypto.field import CURVE_ORDER, FIELD_MODULUS
+from repro.crypto.hashing import hash_bytes, hash_to_int
+from repro.errors import CryptoError, DeserializationError, GroupMismatchError
+
+G1, G2, GT = "G1", "G2", "GT"
+
+#: Serialized element widths in bytes (compressed G1/G2, full GT).
+ELEMENT_BYTES = {G1: 32, G2: 64, GT: 384}
+
+
+class GroupElement:
+    """Immutable element of G1, G2, or GT of some backend."""
+
+    __slots__ = ("group", "kind", "value")
+
+    def __init__(self, group: "BilinearGroup", kind: str, value):
+        object.__setattr__(self, "group", group)
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, *_):
+        raise AttributeError("GroupElement is immutable")
+
+    def _check(self, other: "GroupElement") -> None:
+        if not isinstance(other, GroupElement):
+            raise GroupMismatchError(f"cannot combine GroupElement with {type(other).__name__}")
+        if other.group is not self.group or other.kind != self.kind:
+            raise GroupMismatchError(
+                f"cannot combine {self.kind}@{self.group.name} with {other.kind}@{other.group.name}"
+            )
+
+    def __mul__(self, other: "GroupElement") -> "GroupElement":
+        self._check(other)
+        return self.group._op(self, other)
+
+    def __truediv__(self, other: "GroupElement") -> "GroupElement":
+        self._check(other)
+        return self.group._op(self, self.group._inv(other))
+
+    def __pow__(self, exponent: int) -> "GroupElement":
+        return self.group._pow(self, exponent % self.group.order)
+
+    def __invert__(self) -> "GroupElement":
+        return self.group._inv(self)
+
+    @property
+    def is_identity(self) -> bool:
+        return self.group._is_identity(self)
+
+    def to_bytes(self) -> bytes:
+        return self.group._serialize(self)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, GroupElement)
+            and other.group is self.group
+            and other.kind == self.kind
+            and other.value == self.value
+        )
+
+    def __hash__(self):
+        return hash((id(self.group), self.kind, self._hashable_value()))
+
+    def _hashable_value(self):
+        return self.value
+
+    def __repr__(self):
+        return f"<{self.kind}@{self.group.name} {self.to_bytes()[:8].hex()}...>"
+
+
+class BilinearGroup(ABC):
+    """Asymmetric (Type-3) bilinear group ``e: G1 x G2 -> GT``."""
+
+    name: str = "abstract"
+
+    def __init__(self):
+        self._g1 = None
+        self._g2 = None
+        self._gt = None
+
+    # -- public API ----------------------------------------------------------
+    @property
+    @abstractmethod
+    def order(self) -> int:
+        """Prime order of all three groups."""
+
+    @property
+    def g1(self) -> GroupElement:
+        if self._g1 is None:
+            self._g1 = self._generator(G1)
+        return self._g1
+
+    @property
+    def g2(self) -> GroupElement:
+        if self._g2 is None:
+            self._g2 = self._generator(G2)
+        return self._g2
+
+    @property
+    def gt(self) -> GroupElement:
+        """e(g1, g2), the canonical GT generator."""
+        if self._gt is None:
+            self._gt = self.pair(self.g1, self.g2)
+        return self._gt
+
+    def identity(self, kind: str) -> GroupElement:
+        return self._identity(kind)
+
+    def random_scalar(self, rng: random.Random | None = None) -> int:
+        """Uniform nonzero scalar in [1, order)."""
+        rng = rng or random
+        return rng.randrange(1, self.order)
+
+    def hash_to_scalar(self, *parts) -> int:
+        """Deterministically hash values into [1, order)."""
+        return hash_to_int(*parts, modulus=self.order, domain=b"repro-scalar")
+
+    @abstractmethod
+    def hash_to_g1(self, *parts) -> GroupElement:
+        """Random-oracle style hash into G1 (used by CP-ABE)."""
+
+    @abstractmethod
+    def pair(self, a: GroupElement, b: GroupElement) -> GroupElement:
+        """Bilinear pairing e(a in G1, b in G2) -> GT."""
+
+    def multi_pair(self, pairs: Sequence[tuple[GroupElement, GroupElement]]) -> GroupElement:
+        """prod_i e(a_i, b_i); backends may share the final exponentiation."""
+        acc = self.identity(GT)
+        for a, b in pairs:
+            acc = acc * self.pair(a, b)
+        return acc
+
+    def element_bytes(self, kind: str) -> int:
+        return ELEMENT_BYTES[kind]
+
+    @abstractmethod
+    def deserialize(self, kind: str, data: bytes) -> GroupElement:
+        """Inverse of :meth:`GroupElement.to_bytes`."""
+
+    # -- backend hooks ---------------------------------------------------------
+    @abstractmethod
+    def _generator(self, kind: str) -> GroupElement: ...
+
+    @abstractmethod
+    def _identity(self, kind: str) -> GroupElement: ...
+
+    @abstractmethod
+    def _op(self, a: GroupElement, b: GroupElement) -> GroupElement: ...
+
+    @abstractmethod
+    def _pow(self, a: GroupElement, e: int) -> GroupElement: ...
+
+    @abstractmethod
+    def _inv(self, a: GroupElement) -> GroupElement: ...
+
+    @abstractmethod
+    def _is_identity(self, a: GroupElement) -> bool: ...
+
+    @abstractmethod
+    def _serialize(self, a: GroupElement) -> bytes: ...
+
+
+class BN254Group(BilinearGroup):
+    """The real pairing backend over BN254."""
+
+    name = "bn254"
+
+    @property
+    def order(self) -> int:
+        return CURVE_ORDER
+
+    def _generator(self, kind: str) -> GroupElement:
+        if kind == G1:
+            return GroupElement(self, G1, G1_GENERATOR)
+        if kind == G2:
+            return GroupElement(self, G2, G2_GENERATOR)
+        if kind == GT:
+            return self.gt
+        raise CryptoError(f"unknown group kind {kind!r}")
+
+    def _identity(self, kind: str) -> GroupElement:
+        if kind == G1:
+            return GroupElement(self, G1, PointG1.identity())
+        if kind == G2:
+            return GroupElement(self, G2, PointG2.identity())
+        if kind == GT:
+            return GroupElement(self, GT, tower.FP12_ONE)
+        raise CryptoError(f"unknown group kind {kind!r}")
+
+    def _op(self, a: GroupElement, b: GroupElement) -> GroupElement:
+        if a.kind == GT:
+            return GroupElement(self, GT, tower.fp12_mul(a.value, b.value))
+        return GroupElement(self, a.kind, a.value + b.value)
+
+    def _pow(self, a: GroupElement, e: int) -> GroupElement:
+        if a.kind == GT:
+            return GroupElement(self, GT, tower.fp12_pow(a.value, e))
+        return GroupElement(self, a.kind, a.value * e)
+
+    def _inv(self, a: GroupElement) -> GroupElement:
+        if a.kind == GT:
+            return GroupElement(self, GT, tower.fp12_inv(a.value))
+        return GroupElement(self, a.kind, -a.value)
+
+    def _is_identity(self, a: GroupElement) -> bool:
+        if a.kind == GT:
+            return a.value == tower.FP12_ONE
+        return a.value.is_identity
+
+    def _serialize(self, a: GroupElement) -> bytes:
+        if a.kind == GT:
+            out = bytearray()
+            for c6 in a.value:
+                for c2 in c6:
+                    for c in c2:
+                        out += c.to_bytes(32, "big")
+            return bytes(out)
+        return a.value.to_bytes()
+
+    def deserialize(self, kind: str, data: bytes) -> GroupElement:
+        try:
+            if kind == G1:
+                return GroupElement(self, G1, PointG1.from_bytes(data))
+            if kind == G2:
+                return GroupElement(self, G2, PointG2.from_bytes(data))
+            if kind == GT:
+                if len(data) != 384:
+                    raise CryptoError("GT encoding must be 384 bytes")
+                ints = [int.from_bytes(data[i : i + 32], "big") for i in range(0, 384, 32)]
+                if any(v >= FIELD_MODULUS for v in ints):
+                    raise CryptoError("GT coefficient out of range")
+                value = (
+                    ((ints[0], ints[1]), (ints[2], ints[3]), (ints[4], ints[5])),
+                    ((ints[6], ints[7]), (ints[8], ints[9]), (ints[10], ints[11])),
+                )
+                return GroupElement(self, GT, value)
+        except CryptoError as exc:
+            raise DeserializationError(str(exc)) from exc
+        raise CryptoError(f"unknown group kind {kind!r}")
+
+    def hash_to_g1(self, *parts) -> GroupElement:
+        """Try-and-increment hash to the curve (G1 cofactor is 1)."""
+        from repro.crypto.field import fp_sqrt
+
+        counter = 0
+        seed = hash_bytes(b"repro-h2c", *parts)
+        while True:
+            x = hash_to_int(seed, counter, modulus=FIELD_MODULUS, domain=b"repro-h2c-x")
+            y = fp_sqrt((x * x % FIELD_MODULUS * x + 3) % FIELD_MODULUS)
+            if y is not None:
+                # Normalize sign deterministically.
+                if y > FIELD_MODULUS - y:
+                    y = FIELD_MODULUS - y
+                return GroupElement(self, G1, PointG1((x, y)))
+            counter += 1
+
+    def pair(self, a: GroupElement, b: GroupElement) -> GroupElement:
+        if a.kind != G1 or b.kind != G2:
+            raise GroupMismatchError("pair() expects (G1, G2)")
+        return GroupElement(self, GT, _pairing.pairing(a.value, b.value))
+
+    def multi_pair(self, pairs: Sequence[tuple[GroupElement, GroupElement]]) -> GroupElement:
+        for a, b in pairs:
+            if a.kind != G1 or b.kind != G2:
+                raise GroupMismatchError("multi_pair() expects (G1, G2) pairs")
+        value = _pairing.multi_pairing((a.value, b.value) for a, b in pairs)
+        return GroupElement(self, GT, value)
+
+
+_DEFAULT_BN254: BN254Group | None = None
+
+
+def bn254() -> BN254Group:
+    """Shared BN254 backend instance."""
+    global _DEFAULT_BN254
+    if _DEFAULT_BN254 is None:
+        _DEFAULT_BN254 = BN254Group()
+    return _DEFAULT_BN254

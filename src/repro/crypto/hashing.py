@@ -1,0 +1,82 @@
+"""Hashing utilities: canonical encoding, hash-to-scalar, HKDF-style KDF.
+
+Every place the paper writes ``hash(.)`` (APP signature messages, attribute
+encodings, the ABS message hash ``hash(tau, m)``) goes through these helpers
+so that the DO, SP, and user sides compute byte-identical digests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Iterable
+
+DIGEST_SIZE = 32
+
+
+def encode_part(part) -> bytes:
+    """Canonically encode one value as length-prefixed bytes.
+
+    Supports ``bytes``, ``str`` (UTF-8), ``int`` (big-endian, minimal
+    width, sign byte), and iterables of the above.  Length prefixes make
+    the encoding injective so ``hash_bytes(a, b) != hash_bytes(ab)``.
+    """
+    if isinstance(part, bytes):
+        raw = b"B" + part
+    elif isinstance(part, str):
+        raw = b"S" + part.encode("utf-8")
+    elif isinstance(part, int):  # bool is an int subclass and encodes as 0/1
+        sign = b"-" if part < 0 else b"+"
+        mag = abs(part)
+        raw = b"I" + sign + mag.to_bytes((mag.bit_length() + 7) // 8 or 1, "big")
+    elif isinstance(part, (tuple, list)):
+        raw = b"L" + b"".join(encode_part(x) for x in part)
+    else:
+        raise TypeError(f"cannot canonically encode {type(part).__name__}")
+    return len(raw).to_bytes(4, "big") + raw
+
+
+def hash_bytes(*parts) -> bytes:
+    """SHA-256 over the canonical encoding of ``parts``."""
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(encode_part(part))
+    return h.digest()
+
+
+def hash_to_int(*parts, modulus: int, domain: bytes = b"repro") -> int:
+    """Hash arbitrary values to an integer in ``[1, modulus)``.
+
+    Uses counter-mode expansion of SHA-256 so the output is statistically
+    uniform even for moduli wider than one digest.
+    """
+    width = (modulus.bit_length() + 7) // 8 + 16  # 128-bit security margin
+    out = b""
+    counter = 0
+    seed = hash_bytes(domain, *parts)
+    while len(out) < width:
+        out += hashlib.sha256(seed + counter.to_bytes(4, "big")).digest()
+        counter += 1
+    value = int.from_bytes(out[:width], "big") % (modulus - 1)
+    return value + 1
+
+
+def kdf(key_material: bytes, info: bytes, length: int = 32) -> bytes:
+    """HKDF-SHA256 (extract-and-expand) for deriving symmetric keys."""
+    prk = hmac.new(b"repro-kdf-salt", key_material, hashlib.sha256).digest()
+    out = b""
+    block = b""
+    counter = 1
+    while len(out) < length:
+        block = hmac.new(prk, block + info + bytes([counter]), hashlib.sha256).digest()
+        out += block
+        counter += 1
+    return out[:length]
+
+
+def hmac_sha256(key: bytes, data: bytes) -> bytes:
+    return hmac.new(key, data, hashlib.sha256).digest()
+
+
+def constant_time_eq(a: bytes, b: bytes) -> bool:
+    return hmac.compare_digest(a, b)

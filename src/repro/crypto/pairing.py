@@ -1,0 +1,192 @@
+"""Optimal-ate pairing on BN254.
+
+``pairing(P, Q)`` maps ``(P in G1, Q in G2) -> GT`` (an Fp12 element of the
+order-r cyclotomic subgroup).  The Miller loop runs over the twist E'(Fp2)
+with affine line functions; each line evaluates at the G1 argument into a
+sparse Fp12 element multiplied in with
+:func:`repro.crypto.tower.fp12_mul_line`.
+
+Line derivation (D-twist, untwist ``(x', y') -> (x' w^2, y' w^3)``): a line
+through untwisted points with slope ``lam*w`` evaluated at ``P = (xP, yP)``
+is ``yP - lam*xP*w + (lam*xT - yT)*w^3`` and ``w^3 = v*w``, i.e. the sparse
+element ``a + b*w + c*(v*w)`` with ``a = yP``, ``b = -lam*xP``,
+``c = lam*xT - yT``.
+
+Final exponentiation uses the easy part plus the Devegili et al. hard-part
+addition chain; a direct-exponentiation fallback
+(:func:`final_exponentiation_slow`) is kept for cross-validation in tests.
+"""
+
+from __future__ import annotations
+
+from repro.crypto import tower
+from repro.crypto.curve import PointG1, PointG2
+from repro.crypto.field import ATE_LOOP_COUNT, BN_U, CURVE_ORDER, FIELD_MODULUS as P
+from repro.crypto.tower import (
+    FP12_ONE,
+    fp12_cyclotomic_pow,
+    fp12_cyclotomic_sq,
+    Fp2,
+    Fp12,
+    fp2_conj,
+    fp2_inv,
+    fp2_mul,
+    fp2_mul_scalar,
+    fp2_neg,
+    fp2_sq,
+    fp2_sub,
+    fp2_add,
+    fp12_conj,
+    fp12_frobenius,
+    fp12_frobenius_n,
+    fp12_inv,
+    fp12_mul,
+    fp12_mul_line,
+    fp12_pow,
+    fp12_sq,
+    GAMMA,
+)
+from repro.errors import CryptoError
+
+# Frobenius twist constants for points on E'(Fp2):
+#   pi(x, y) = (conj(x) * XI^((p-1)/3), conj(y) * XI^((p-1)/2))
+_TWIST_X_COEFF: Fp2 = GAMMA[1]  # XI^((p-1)/3)
+_TWIST_Y_COEFF: Fp2 = GAMMA[2]  # XI^((p-1)/2)
+
+
+def _g2_frobenius(xy):
+    (x, y) = xy
+    return (
+        fp2_mul(fp2_conj(x), _TWIST_X_COEFF),
+        fp2_mul(fp2_conj(y), _TWIST_Y_COEFF),
+    )
+
+
+def _line_double(t, p_aff):
+    """Line for doubling T; returns (line coeffs, 2T).
+
+    ``t`` is affine over Fp2; ``p_aff = (xp, yp)`` are plain Fp ints.
+    """
+    (xt, yt) = t
+    (xp, yp) = p_aff
+    lam = fp2_mul(
+        fp2_mul_scalar(fp2_sq(xt), 3),
+        fp2_inv(fp2_add(yt, yt)),
+    )
+    x3 = fp2_sub(fp2_sq(lam), fp2_add(xt, xt))
+    y3 = fp2_sub(fp2_mul(lam, fp2_sub(xt, x3)), yt)
+    a = yp
+    b = fp2_neg(fp2_mul_scalar(lam, xp))
+    c = fp2_sub(fp2_mul(lam, xt), yt)
+    return (a, b, c), (x3, y3)
+
+
+def _line_add(t, q, p_aff):
+    """Line through T and Q; returns (line coeffs, T+Q). Affine over Fp2."""
+    (xt, yt) = t
+    (xq, yq) = q
+    (xp, yp) = p_aff
+    if xt == xq:
+        if yt == yq:
+            return _line_double(t, p_aff)
+        # vertical line x = xt: evaluates to xP - xt*w^2; a vertical through
+        # T and -T never occurs in the optimal-ate loop for subgroup points,
+        # but handle it for robustness.
+        raise CryptoError("degenerate vertical line in Miller loop")
+    lam = fp2_mul(fp2_sub(yq, yt), fp2_inv(fp2_sub(xq, xt)))
+    x3 = fp2_sub(fp2_sub(fp2_sq(lam), xt), xq)
+    y3 = fp2_sub(fp2_mul(lam, fp2_sub(xt, x3)), yt)
+    a = yp
+    b = fp2_neg(fp2_mul_scalar(lam, xp))
+    c = fp2_sub(fp2_mul(lam, xt), yt)
+    return (a, b, c), (x3, y3)
+
+
+def miller_loop(p: PointG1, q: PointG2) -> Fp12:
+    """Raw Miller loop (no final exponentiation)."""
+    if p.is_identity or q.is_identity:
+        return FP12_ONE
+    p_aff = p.xy
+    q_aff = q.xy
+    # Line evaluation needs the G1 y-coordinate as a plain Fp scalar and
+    # -lam*xP; we pass a = yP (Fp) through the sparse multiplier.
+    f = FP12_ONE
+    t = q_aff
+    bits = bin(ATE_LOOP_COUNT)[3:]  # skip MSB
+    for bit in bits:
+        (a, b, c), t = _line_double(t, p_aff)
+        f = fp12_mul_line(fp12_sq(f), a, b, c)
+        if bit == "1":
+            (a, b, c), t = _line_add(t, q_aff, p_aff)
+            f = fp12_mul_line(f, a, b, c)
+    # Two final Frobenius-twisted additions: Q1 = pi(Q), Q2 = -pi^2(Q).
+    q1 = _g2_frobenius(q_aff)
+    q2 = _g2_frobenius(q1)
+    q2 = (q2[0], fp2_neg(q2[1]))
+    (a, b, c), t = _line_add(t, q1, p_aff)
+    f = fp12_mul_line(f, a, b, c)
+    (a, b, c), t = _line_add(t, q2, p_aff)
+    f = fp12_mul_line(f, a, b, c)
+    return f
+
+
+def final_exponentiation_slow(f: Fp12) -> Fp12:
+    """Direct ``f^((p^12-1)/r)``; reference implementation for tests."""
+    return fp12_pow(f, (P**12 - 1) // CURVE_ORDER)
+
+
+def final_exponentiation(f: Fp12) -> Fp12:
+    """Fast final exponentiation (easy part + Devegili hard part)."""
+    # Easy part: f^((p^6-1)(p^2+1)).
+    f1 = fp12_mul(fp12_conj(f), fp12_inv(f))  # f^(p^6-1)
+    f2 = fp12_mul(fp12_frobenius_n(f1, 2), f1)  # ^(p^2+1)
+    # Hard part: f2^((p^4-p^2+1)/r), addition chain in the cyclotomic
+    # subgroup (where inversion = conjugation).
+    x = BN_U
+    fp1 = fp12_frobenius(f2)
+    fp2_ = fp12_frobenius_n(f2, 2)
+    fp3 = fp12_frobenius_n(f2, 3)
+    # f2 is in the cyclotomic subgroup: use compressed squaring.
+    fu = fp12_cyclotomic_pow(f2, x)
+    fu2 = fp12_cyclotomic_pow(fu, x)
+    fu3 = fp12_cyclotomic_pow(fu2, x)
+    y0 = fp12_mul(fp12_mul(fp1, fp2_), fp3)
+    y1 = fp12_conj(f2)
+    y2 = fp12_frobenius_n(fu2, 2)
+    y3 = fp12_conj(fp12_frobenius(fu))
+    y4 = fp12_conj(fp12_mul(fu, fp12_frobenius(fu2)))
+    y5 = fp12_conj(fu2)
+    y6 = fp12_conj(fp12_mul(fu3, fp12_frobenius(fu3)))
+    t0 = fp12_mul(fp12_mul(fp12_cyclotomic_sq(y6), y4), y5)
+    t1 = fp12_mul(fp12_mul(y3, y5), t0)
+    t0 = fp12_mul(t0, y2)
+    t1 = fp12_mul(fp12_cyclotomic_sq(t1), t0)
+    t1 = fp12_cyclotomic_sq(t1)
+    t0 = fp12_mul(t1, y1)
+    t1 = fp12_mul(t1, y0)
+    t0 = fp12_cyclotomic_sq(t0)
+    return fp12_mul(t0, t1)
+
+
+def pairing(p: PointG1, q: PointG2) -> Fp12:
+    """Optimal-ate pairing e(P, Q) with fast final exponentiation."""
+    return final_exponentiation(miller_loop(p, q))
+
+
+def multi_pairing(pairs) -> Fp12:
+    """Product of pairings sharing one final exponentiation.
+
+    ``pairs`` is an iterable of ``(PointG1, PointG2)``.  Computing
+    ``prod e(P_i, Q_i)`` this way costs one final exponentiation total,
+    which is the dominant cost of ABS verification.
+    """
+    f = FP12_ONE
+    any_pair = False
+    for p, q in pairs:
+        if p.is_identity or q.is_identity:
+            continue
+        f = fp12_mul(f, miller_loop(p, q))
+        any_pair = True
+    if not any_pair:
+        return FP12_ONE
+    return final_exponentiation(f)

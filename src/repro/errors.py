@@ -1,0 +1,66 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing protocol-level failures (verification, relaxation)
+from programming errors (bad parameters).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CryptoError(ReproError):
+    """A low-level cryptographic operation failed or was misused."""
+
+
+class GroupMismatchError(CryptoError):
+    """An operation combined elements of different groups or backends."""
+
+
+class DeserializationError(CryptoError):
+    """A byte string could not be decoded into a group element."""
+
+
+class PolicyError(ReproError):
+    """An access policy is malformed or cannot be processed."""
+
+
+class PolicyParseError(PolicyError):
+    """A policy expression string could not be parsed."""
+
+
+class NotMonotoneError(PolicyError):
+    """An operation requires a monotone boolean function."""
+
+
+class RelaxationError(ReproError):
+    """ABS.Relax was attempted on an incompatible predicate/attribute set.
+
+    Raised when the condition ``policy(universe - kept_attrs) == 0`` does
+    not hold, i.e. the signature cannot be relaxed to the requested super
+    policy without enabling a satisfying set the original policy denies.
+    """
+
+
+class VerificationError(ReproError):
+    """A signature or verification object failed to verify."""
+
+
+class SoundnessError(VerificationError):
+    """A result set contains a tampered, fake, or inaccessible record."""
+
+
+class CompletenessError(VerificationError):
+    """A verification object does not cover the full query range."""
+
+
+class AccessDeniedError(ReproError):
+    """Decryption was attempted with attributes that do not satisfy the policy."""
+
+
+class WorkloadError(ReproError):
+    """A workload/generator was configured inconsistently."""

@@ -1,0 +1,37 @@
+"""Authenticated index structures: boxes, AP2G-tree, AP2kd-tree, duplicates.
+
+``boxes`` is imported eagerly; the tree modules are exposed lazily to
+avoid an import cycle with :mod:`repro.core` (trees sign records, records
+live in domains).
+"""
+
+from repro.index.boxes import Box, Domain, Point, boxes_cover_clipped, boxes_cover_exactly
+
+__all__ = [
+    "Box", "Domain", "Point", "boxes_cover_clipped", "boxes_cover_exactly",
+    "APGTree", "APKDTree", "IndexNode", "TreeStats", "simplify_policy_union",
+    "upsert", "delete", "UpdateReceipt",
+]
+
+_LAZY = {
+    "APKDTree": "repro.index.kdtree",
+    "upsert": "repro.index.updates",
+    "delete": "repro.index.updates",
+    "UpdateReceipt": "repro.index.updates",
+    "APGTree": "repro.index.gridtree",
+    "IndexNode": "repro.index.gridtree",
+    "TreeStats": "repro.index.gridtree",
+    "simplify_policy_union": "repro.index.gridtree",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.index' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

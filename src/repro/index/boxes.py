@@ -1,0 +1,199 @@
+"""Integer boxes and domains for the grid/k-d indexes.
+
+Query attributes are discrete (paper Section 3); a *domain* is the public
+indexing space — the cross product of integer ranges, one per query
+attribute.  A *box* is an axis-aligned sub-rectangle with inclusive
+bounds.  Grid boxes are what AP2G-tree nodes sign (``gb_i``) and what the
+completeness check measures coverage with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.crypto.hashing import hash_bytes
+from repro.errors import WorkloadError
+
+Point = tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Box:
+    """Axis-aligned integer box with inclusive bounds ``lo[d] <= x[d] <= hi[d]``."""
+
+    lo: Point
+    hi: Point
+
+    def __post_init__(self):
+        if len(self.lo) != len(self.hi):
+            raise WorkloadError("box bounds have mismatched dimensionality")
+        if any(l > h for l, h in zip(self.lo, self.hi)):
+            raise WorkloadError(f"empty box: {self.lo}..{self.hi}")
+
+    @property
+    def dims(self) -> int:
+        return len(self.lo)
+
+    @property
+    def is_point(self) -> bool:
+        return self.lo == self.hi
+
+    def volume(self) -> int:
+        out = 1
+        for l, h in zip(self.lo, self.hi):
+            out *= h - l + 1
+        return out
+
+    def contains_point(self, point: Point) -> bool:
+        return all(l <= x <= h for x, l, h in zip(point, self.lo, self.hi))
+
+    def contains_box(self, other: "Box") -> bool:
+        return all(
+            sl <= ol and oh <= sh
+            for sl, sh, ol, oh in zip(self.lo, self.hi, other.lo, other.hi)
+        )
+
+    def intersects(self, other: "Box") -> bool:
+        return all(
+            sl <= oh and ol <= sh
+            for sl, sh, ol, oh in zip(self.lo, self.hi, other.lo, other.hi)
+        )
+
+    def intersection(self, other: "Box") -> "Box | None":
+        lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(min(a, b) for a, b in zip(self.hi, other.hi))
+        if any(l > h for l, h in zip(lo, hi)):
+            return None
+        return Box(lo, hi)
+
+    def split_halves(self, dim: int) -> tuple["Box", "Box"]:
+        """Split into two halves along ``dim`` (requires size > 1 there)."""
+        size = self.hi[dim] - self.lo[dim] + 1
+        if size < 2:
+            raise WorkloadError(f"cannot split unit extent in dim {dim}")
+        mid = self.lo[dim] + (size + 1) // 2 - 1  # left gets ceil(size/2)
+        left_hi = list(self.hi)
+        left_hi[dim] = mid
+        right_lo = list(self.lo)
+        right_lo[dim] = mid + 1
+        return Box(self.lo, tuple(left_hi)), Box(tuple(right_lo), self.hi)
+
+    def split_at(self, dim: int, last_left: int) -> tuple["Box", "Box"]:
+        """Split along ``dim`` with the left part ending at ``last_left``."""
+        if not (self.lo[dim] <= last_left < self.hi[dim]):
+            raise WorkloadError(
+                f"split position {last_left} outside box extent in dim {dim}"
+            )
+        left_hi = list(self.hi)
+        left_hi[dim] = last_left
+        right_lo = list(self.lo)
+        right_lo[dim] = last_left + 1
+        return Box(self.lo, tuple(left_hi)), Box(tuple(right_lo), self.hi)
+
+    def grid_children(self) -> list["Box"]:
+        """Split every splittable dimension in half: up to 2^d children."""
+        boxes = [self]
+        for dim in range(self.dims):
+            if self.hi[dim] - self.lo[dim] + 1 < 2:
+                continue
+            boxes = [half for box in boxes for half in box.split_halves(dim)]
+        if len(boxes) == 1:
+            raise WorkloadError("grid_children on a unit box")
+        return boxes
+
+    def points(self) -> Iterator[Point]:
+        """Iterate all integer points (use only on small boxes)."""
+
+        def rec(prefix: tuple[int, ...], dim: int) -> Iterator[Point]:
+            if dim == self.dims:
+                yield prefix
+                return
+            for x in range(self.lo[dim], self.hi[dim] + 1):
+                yield from rec(prefix + (x,), dim + 1)
+
+        return rec((), 0)
+
+    def to_bytes(self) -> bytes:
+        """Canonical encoding — the ``gb`` message signed in tree nodes."""
+        return hash_bytes(b"grid-box", list(self.lo), list(self.hi))
+
+    def __str__(self):
+        return f"[{self.lo}..{self.hi}]"
+
+
+@dataclass(frozen=True)
+class Domain:
+    """The public indexing space (cross product of inclusive int ranges)."""
+
+    bounds: tuple[tuple[int, int], ...]
+
+    @classmethod
+    def of(cls, *ranges: tuple[int, int]) -> "Domain":
+        return cls(tuple((int(a), int(b)) for a, b in ranges))
+
+    @property
+    def dims(self) -> int:
+        return len(self.bounds)
+
+    @property
+    def box(self) -> Box:
+        return Box(tuple(a for a, _ in self.bounds), tuple(b for _, b in self.bounds))
+
+    def size(self) -> int:
+        return self.box.volume()
+
+    def contains(self, point: Point) -> bool:
+        if len(point) != self.dims:
+            return False
+        return self.box.contains_point(point)
+
+    def validate_point(self, point: Point) -> Point:
+        point = tuple(int(x) for x in point)
+        if not self.contains(point):
+            raise WorkloadError(f"point {point} outside domain {self.bounds}")
+        return point
+
+    def clip(self, lo: Point, hi: Point) -> Box | None:
+        """Clip a query range to the domain; ``None`` when disjoint."""
+        if len(lo) != self.dims or len(hi) != self.dims:
+            raise WorkloadError("query range dimensionality mismatch")
+        return self.box.intersection(Box(tuple(lo), tuple(hi)))
+
+
+def boxes_cover_exactly(boxes: Sequence[Box], target: Box) -> bool:
+    """True iff ``boxes`` are pairwise disjoint, inside ``target``, and
+    together cover it exactly (the completeness check for grid trees,
+    where every VO region lies inside the query range)."""
+    total = 0
+    for i, box in enumerate(boxes):
+        if not target.contains_box(box):
+            return False
+        total += box.volume()
+        for other in boxes[i + 1 :]:
+            if box.intersects(other):
+                return False
+    return total == target.volume()
+
+
+def boxes_cover_clipped(boxes: Sequence[Box], target: Box) -> bool:
+    """Completeness check allowing regions that extend past the target.
+
+    Pseudo-region entries (AP2kd-tree / Section 9.2) may stick out of the
+    query range; what must hold is that the regions *clipped to the
+    target* are pairwise disjoint and tile the target exactly — one and
+    only one proof per unit of queried space.
+    """
+    clipped: list[Box] = []
+    for box in boxes:
+        part = box.intersection(target)
+        if part is None:
+            return False  # an entry that proves nothing about the range
+        clipped.append(part)
+    total = 0
+    for i, box in enumerate(clipped):
+        total += box.volume()
+        for other in clipped[i + 1 :]:
+            if box.intersects(other):
+                return False
+    return total == target.volume()

@@ -1,0 +1,205 @@
+"""AP2kd-tree: the access-policy-preserving k-d tree (paper Section 9.1).
+
+Used when zero-knowledge confidentiality is relaxed to *access policy
+confidentiality*: the tree's shape may now depend on the data (revealing
+the record distribution), in exchange for far fewer signed nodes and much
+better pruning on sparse domains.
+
+Construction:
+
+* a node with no records becomes a *pseudo-region leaf* — a box signed
+  under the pseudo role (the Section 9.2 idea applied to empty space);
+* a node with one record is carved into the record's point cell plus
+  pseudo-region remainders;
+* a node with several records splits at the hyperplane minimizing
+  ``f(Y_l, Y_r) = |X_l intersect X_r|`` — the overlap between the DNF
+  clause sets of the two halves' policy unions (Algorithm 7) — so a user
+  who cannot access one half is unlikely to access the other, maximizing
+  the chance a single APS signature summarizes a whole subtree;
+* beyond depth ``log2(domain size)`` the split strategy switches back to
+  the grid midpoint split to bound the tree height.
+
+The resulting nodes are ordinary :class:`~repro.index.gridtree.IndexNode`
+objects, so the Algorithm 3/4 query machinery works unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.core.records import Dataset, Record
+from repro.errors import WorkloadError
+from repro.index.boxes import Box, Domain
+from repro.index.gridtree import APGTree, IndexNode, TreeStats, simplify_policy_union
+from repro.policy.boolexpr import Attr, BoolExpr
+from repro.policy.dnf import to_dnf
+from repro.policy.roles import PSEUDO_ROLE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.app_signature import AppSigner
+
+
+def best_split_with_cost(
+    policies: Sequence[BoolExpr], coordinates: Sequence[int]
+) -> tuple[int, tuple]:
+    """Algorithm 7: the split minimizing DNF clause-set overlap.
+
+    ``policies[i]`` is the policy of the i-th record when sorted by the
+    split dimension; ``coordinates[i]`` its coordinate.  Returns the index
+    ``x`` such that records ``0..x`` go left and ``x+1..`` go right,
+    minimizing ``|X_left intersect X_right|``.  Ties break toward the
+    median so the tree stays balanced.  Split positions falling between
+    records with equal coordinates are skipped (they cannot be separated
+    by an axis-aligned hyperplane).
+    """
+    n = len(policies)
+    if n < 2:
+        raise WorkloadError("need at least two records to split")
+    clause_sets = [frozenset(to_dnf(p)) for p in policies]
+    prefix: list[set] = [set()] * n
+    running: set = set()
+    prefixes = []
+    for cs in clause_sets:
+        running = running | cs
+        prefixes.append(frozenset(running))
+    running = set()
+    suffixes: list[frozenset] = [frozenset()] * n
+    for i in range(n - 1, -1, -1):
+        running = running | clause_sets[i]
+        suffixes[i] = frozenset(running)
+    best_x = None
+    best_cost = None
+    for x in range(n - 1):
+        if coordinates[x] == coordinates[x + 1]:
+            continue  # cannot separate equal coordinates
+        cost = len(prefixes[x] & suffixes[x + 1])
+        balance = abs((x + 1) - n / 2)
+        key = (cost, balance)
+        if best_cost is None or key < best_cost:
+            best_cost = key
+            best_x = x
+    if best_x is None:
+        raise WorkloadError("all records share the split coordinate")
+    return best_x, best_cost
+
+
+def best_split_position(
+    policies: Sequence[BoolExpr], coordinates: Sequence[int]
+) -> int:
+    """Algorithm 7 split index (see :func:`best_split_with_cost`)."""
+    return best_split_with_cost(policies, coordinates)[0]
+
+
+class APKDTree(APGTree):
+    """The built AP2kd-tree (shares query machinery with APGTree)."""
+
+    @classmethod
+    def build(
+        cls,
+        dataset: Dataset,
+        signer: "AppSigner",
+        rng: Optional[random.Random] = None,
+    ) -> "APKDTree":
+        import time
+
+        stats = TreeStats(num_real_records=len(dataset))
+        pseudo_policy: BoolExpr = Attr(PSEUDO_ROLE)
+        depth_cap = max(1, math.ceil(math.log2(max(2, dataset.domain.size()))))
+
+        def sign_region(box: Box, policy: BoolExpr) -> "object":
+            t0 = time.perf_counter()
+            sig = signer.sign_node(box, policy, rng)
+            stats.sign_seconds += time.perf_counter() - t0
+            return sig
+
+        def make_leaf(box: Box, record: Optional[Record]) -> IndexNode:
+            stats.num_nodes += 1
+            stats.num_leaves += 1
+            if record is None:
+                sig = sign_region(box, pseudo_policy)
+                node = IndexNode(box=box, policy=pseudo_policy, signature=sig)
+            else:
+                t0 = time.perf_counter()
+                sig = signer.sign_record(record, rng)
+                stats.sign_seconds += time.perf_counter() - t0
+                node = IndexNode(box=box, policy=record.policy, signature=sig, record=record)
+            stats.signature_bytes += node.signature.byte_size()
+            stats.structure_bytes += node.structure_bytes()
+            return node
+
+        def make_internal(box: Box, children: tuple[IndexNode, ...]) -> IndexNode:
+            t0 = time.perf_counter()
+            policy = simplify_policy_union([c.policy for c in children])
+            stats.structure_seconds += time.perf_counter() - t0
+            sig = sign_region(box, policy)
+            stats.num_nodes += 1
+            node = IndexNode(box=box, policy=policy, signature=sig, children=children)
+            stats.signature_bytes += sig.byte_size()
+            stats.structure_bytes += node.structure_bytes()
+            return node
+
+        def carve_single(box: Box, record: Record) -> IndexNode:
+            """Carve a lone record's point cell out of its box."""
+            if box.is_point:
+                return make_leaf(box, record)
+            for dim in range(box.dims):
+                lo, hi = box.lo[dim], box.hi[dim]
+                coord = record.key[dim]
+                if lo == hi:
+                    continue
+                children = []
+                if coord > lo:
+                    left, rest = box.split_at(dim, coord - 1)
+                    children.append(make_leaf(left, None))
+                else:
+                    rest = box
+                if coord < rest.hi[dim]:
+                    mid, right = rest.split_at(dim, coord)
+                    children.append(carve_single(mid, record))
+                    children.append(make_leaf(right, None))
+                else:
+                    children.append(carve_single(rest, record))
+                return make_internal(box, tuple(children))
+            raise WorkloadError("carve_single on a unit box should not reach here")
+
+        def build_box(box: Box, records: list[Record], depth: int) -> IndexNode:
+            if not records:
+                return make_leaf(box, None)
+            if len(records) == 1:
+                return carve_single(box, records[0])
+            if depth >= depth_cap:
+                # Fall back to the grid split to bound tree height.
+                children = []
+                for child_box in box.grid_children():
+                    inside = [r for r in records if child_box.contains_point(r.key)]
+                    children.append(build_box(child_box, inside, depth + 1))
+                return make_internal(box, tuple(children))
+            # Evaluate the Algorithm 7 objective in every splittable
+            # dimension and take the global minimum.
+            best = None
+            for dim in range(box.dims):
+                if len({r.key[dim] for r in records}) < 2:
+                    continue
+                ordered_d = sorted(records, key=lambda r: r.key[dim])
+                x_d, cost_d = best_split_with_cost(
+                    [r.policy for r in ordered_d], [r.key[dim] for r in ordered_d]
+                )
+                if best is None or cost_d < best[0]:
+                    best = (cost_d, dim, x_d, ordered_d)
+            if best is None:
+                raise WorkloadError("records with duplicate keys in kd-tree build")
+            _, dim, x, ordered = best
+            cut = ordered[x].key[dim]  # left half ends at this coordinate
+            left_box, right_box = box.split_at(dim, cut)
+            left = [r for r in ordered if r.key[dim] <= cut]
+            right = [r for r in ordered if r.key[dim] > cut]
+            children = (
+                build_box(left_box, left, depth + 1),
+                build_box(right_box, right, depth + 1),
+            )
+            return make_internal(box, children)
+
+        root = build_box(dataset.domain.box, list(dataset), 0)
+        return cls(root=root, domain=dataset.domain, stats=stats)

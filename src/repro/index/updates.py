@@ -1,0 +1,128 @@
+"""Dynamic updates to a signed AP2G-tree (extension beyond the paper).
+
+The paper signs a static database; real deployments update records.
+Because the AP2G-tree's *shape* is fixed by the domain (full grid), an
+update never restructures the tree — it replaces one leaf and re-signs
+the leaf plus the ancestors whose aggregated policy changed:
+
+* ``upsert`` — insert a new record or replace an existing one at a key;
+* ``delete`` — replace the record with a fresh pseudo record, making the
+  deletion indistinguishable from "never existed" (zero-knowledge
+  deletes).
+
+Only the DO (holder of the signing key) can apply updates; the returned
+:class:`UpdateReceipt` says how many nodes were re-signed, which is the
+outsourcing bandwidth of the update.  Node policies are maintained in
+minimal DNF, so an update re-signs at most one root-to-leaf path —
+O(log(domain)) signatures, independent of the database size.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.records import Record, make_pseudo_record
+from repro.errors import WorkloadError
+from repro.index.boxes import Point
+from repro.index.gridtree import APGTree, IndexNode, simplify_policy_union
+from repro.policy.dnf import dnf_equal
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.app_signature import AppSigner
+
+
+@dataclass(frozen=True)
+class UpdateReceipt:
+    """What an update changed."""
+
+    key: Point
+    kind: str  # "upsert" | "delete"
+    resigned_nodes: int
+    replaced_existing: bool
+
+
+def _path_to_leaf(tree: APGTree, key: Point) -> list[IndexNode]:
+    node = tree.root
+    path = [node]
+    while not node.is_leaf:
+        for child in node.children:
+            if child.box.contains_point(key):
+                node = child
+                path.append(node)
+                break
+        else:
+            raise WorkloadError(f"tree does not cover point {key}")
+    return path
+
+
+def _apply_leaf_change(
+    tree: APGTree,
+    signer: "AppSigner",
+    record: Record,
+    kind: str,
+    rng: Optional[random.Random],
+) -> UpdateReceipt:
+    key = tree.domain.validate_point(record.key)
+    path = _path_to_leaf(tree, key)
+    leaf = path[-1]
+    if not leaf.box.is_point:
+        raise WorkloadError("updates require a full grid tree with unit-cell leaves")
+    replaced = leaf.record is not None and not leaf.record.is_pseudo
+    old_stats_sig = leaf.signature.byte_size()
+    leaf.record = record
+    leaf.policy = record.policy
+    leaf.signature = signer.sign_record(record, rng)
+    tree.stats.signature_bytes += leaf.signature.byte_size() - old_stats_sig
+    resigned = 1
+    # Walk back up re-signing ancestors whose aggregated policy changed.
+    # Signatures bind hash(gb) under the node policy; even when the policy
+    # is semantically unchanged we re-sign defensively only if it changed,
+    # since the old signature remains valid for an unchanged policy.
+    for node in reversed(path[:-1]):
+        new_policy = simplify_policy_union([c.policy for c in node.children])
+        if dnf_equal(new_policy, node.policy):
+            break  # policies above are unchanged by induction
+        old_sig = node.signature.byte_size()
+        node.policy = new_policy
+        node.signature = signer.sign_node(node.box, new_policy, rng)
+        tree.stats.signature_bytes += node.signature.byte_size() - old_sig
+        resigned += 1
+    if kind == "upsert" and not replaced:
+        tree.stats.num_real_records += 1
+    if kind == "delete" and replaced:
+        tree.stats.num_real_records -= 1
+    return UpdateReceipt(
+        key=key, kind=kind, resigned_nodes=resigned, replaced_existing=replaced
+    )
+
+
+def upsert(
+    tree: APGTree,
+    signer: "AppSigner",
+    record: Record,
+    rng: Optional[random.Random] = None,
+) -> UpdateReceipt:
+    """Insert or replace the record at its key (DO-side)."""
+    if record.is_pseudo:
+        raise WorkloadError("use delete() to write pseudo records")
+    signer.universe.validate_policy(record.policy)
+    return _apply_leaf_change(tree, signer, record, "upsert", rng)
+
+
+def delete(
+    tree: APGTree,
+    signer: "AppSigner",
+    key: Point,
+    rng: Optional[random.Random] = None,
+) -> UpdateReceipt:
+    """Replace the record at ``key`` with a fresh pseudo record.
+
+    After the update, queries prove the key holds "nothing you can see"
+    — indistinguishable from a key that never held a record, so deletion
+    history does not leak.
+    """
+    seed = rng.getrandbits(256).to_bytes(32, "big") if rng is not None else None
+    pseudo = make_pseudo_record(tree.domain.validate_point(key), seed)
+    return _apply_leaf_change(tree, signer, pseudo, "delete", rng)

@@ -1,0 +1,99 @@
+"""Acceleration by parallelism (paper Section 8.2) and its simulation.
+
+The dominant SP cost for range/join queries is the batch of independent
+``ABS.Relax`` operations — embarrassingly parallel.  This module provides:
+
+* :func:`parallel_map` — run a function over items with a thread pool
+  (the real execution path; CPython's GIL limits speedup for pure-Python
+  work, but the code path is identical to a free-threaded/multi-core
+  deployment);
+* :class:`MakespanSimulator` — given *measured* per-job costs, compute
+  the completion time under ``k`` workers with a greedy (longest
+  processing time) scheduler plus a non-parallelizable serial fraction.
+  This is how Figure 13 is reproduced on a single-core host: the paper's
+  24-hyper-thread blade server is simulated from real single-thread
+  measurements (DESIGN.md, Substitution 4).
+"""
+
+from __future__ import annotations
+
+import heapq
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.errors import ReproError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    workers: int = 1,
+) -> list[R]:
+    """Map ``fn`` over ``items`` with ``workers`` threads (order preserved)."""
+    items = list(items)
+    if workers < 1:
+        raise ReproError("workers must be >= 1")
+    if workers == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items))
+
+
+@dataclass
+class MakespanResult:
+    workers: int
+    makespan: float
+    serial_time: float
+    speedup: float
+
+
+class MakespanSimulator:
+    """Greedy multi-worker scheduling over measured job costs.
+
+    ``serial_overhead`` models the non-parallelizable part of query
+    processing (tree traversal, VO assembly, I/O) that the paper observes
+    capping speedup past ~16 threads.
+    """
+
+    def __init__(self, job_costs: Sequence[float], serial_overhead: float = 0.0):
+        if any(c < 0 for c in job_costs):
+            raise ReproError("job costs must be non-negative")
+        self.job_costs = sorted(job_costs, reverse=True)  # LPT order
+        self.serial_overhead = serial_overhead
+
+    @property
+    def total_work(self) -> float:
+        return sum(self.job_costs) + self.serial_overhead
+
+    def makespan(self, workers: int) -> float:
+        """Completion time with ``workers`` parallel units (LPT greedy)."""
+        if workers < 1:
+            raise ReproError("workers must be >= 1")
+        if not self.job_costs:
+            return self.serial_overhead
+        loads = [0.0] * min(workers, len(self.job_costs))
+        heapq.heapify(loads)
+        for cost in self.job_costs:
+            lightest = heapq.heappop(loads)
+            heapq.heappush(loads, lightest + cost)
+        return max(loads) + self.serial_overhead
+
+    def sweep(self, worker_counts: Iterable[int]) -> list[MakespanResult]:
+        """Speedup curve over worker counts (Figure 13's series)."""
+        serial = self.makespan(1)
+        out = []
+        for workers in worker_counts:
+            span = self.makespan(workers)
+            out.append(
+                MakespanResult(
+                    workers=workers,
+                    makespan=span,
+                    serial_time=serial,
+                    speedup=serial / span if span > 0 else float("inf"),
+                )
+            )
+        return out

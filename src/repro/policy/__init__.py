@@ -1,0 +1,15 @@
+"""Access-policy machinery: boolean expressions, DNF, span programs, roles."""
+
+from repro.policy.boolexpr import And, Attr, BoolExpr, Or, and_of_attrs, or_of_attrs, parse_policy, threshold
+from repro.policy.dnf import dnf_equal, from_dnf, policy_length, to_dnf
+from repro.policy.msp import Msp, get_msp, solve_linear_mod
+from repro.policy.policygen import PolicyGenerator, PolicyWorkload, role_names, user_roles_for_coverage
+from repro.policy.roles import PSEUDO_ROLE, RoleHierarchy, RoleUniverse
+
+__all__ = [
+    "And", "Attr", "BoolExpr", "Or", "and_of_attrs", "or_of_attrs", "parse_policy", "threshold",
+    "dnf_equal", "from_dnf", "policy_length", "to_dnf",
+    "Msp", "get_msp", "solve_linear_mod",
+    "PolicyGenerator", "PolicyWorkload", "role_names", "user_roles_for_coverage",
+    "PSEUDO_ROLE", "RoleHierarchy", "RoleUniverse",
+]

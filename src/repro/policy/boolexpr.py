@@ -1,0 +1,296 @@
+"""Monotone boolean access-policy expressions.
+
+An access policy (paper Section 3) is a monotone boolean function over
+roles/attributes, built from AND and OR gates (no negation — monotonicity
+is guaranteed by construction).  This module provides the AST, a parser for
+a small policy language, evaluation, and structural helpers.
+
+Policy language::
+
+    policy  := or_expr
+    or_expr := and_expr ( ("or" | "|") and_expr )*
+    and_expr:= atom ( ("and" | "&") atom )*
+    atom    := ROLE_NAME | "(" policy ")" | K "of" "(" policy ("," policy)* ")"
+
+Role names are any run of ``[A-Za-z0-9_.:@-]``.  ``K of (...)`` is a
+threshold gate, normalized into AND/OR combinations at parse time (see
+:func:`threshold`).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator
+
+from repro.errors import PolicyError, PolicyParseError
+
+
+class BoolExpr:
+    """Base class for policy AST nodes."""
+
+    __slots__ = ()
+
+    def evaluate(self, attrs: Iterable[str]) -> bool:
+        """Evaluate the policy against a set of granted attributes."""
+        raise NotImplementedError
+
+    def attributes(self) -> set[str]:
+        """All attribute names mentioned in the expression."""
+        return set(self._iter_attrs())
+
+    def _iter_attrs(self) -> Iterator[str]:
+        raise NotImplementedError
+
+    def num_leaves(self) -> int:
+        """Number of attribute occurrences (the paper's 'policy length')."""
+        raise NotImplementedError
+
+    def __or__(self, other: "BoolExpr") -> "BoolExpr":
+        return Or.of(self, other)
+
+    def __and__(self, other: "BoolExpr") -> "BoolExpr":
+        return And.of(self, other)
+
+    # Subclasses implement __eq__/__hash__/__repr__/to_string.
+    def to_string(self) -> str:
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.to_string()
+
+
+class Attr(BoolExpr):
+    """A single attribute/role leaf."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name or not re.fullmatch(r"[A-Za-z0-9_.:@-]+", name):
+            raise PolicyError(f"invalid attribute name {name!r}")
+        self.name = name
+
+    def evaluate(self, attrs: Iterable[str]) -> bool:
+        return self.name in set(attrs)
+
+    def _iter_attrs(self) -> Iterator[str]:
+        yield self.name
+
+    def num_leaves(self) -> int:
+        return 1
+
+    def to_string(self) -> str:
+        return self.name
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Attr) and other.name == self.name
+
+    def __hash__(self):
+        return hash(("Attr", self.name))
+
+    def __repr__(self):
+        return f"Attr({self.name!r})"
+
+
+class _Gate(BoolExpr):
+    __slots__ = ("children",)
+    _symbol = "?"
+
+    def __init__(self, children: list[BoolExpr]):
+        if not children:
+            raise PolicyError(f"{type(self).__name__} gate needs at least one child")
+        self.children = tuple(children)
+
+    @classmethod
+    def of(cls, *children: BoolExpr) -> BoolExpr:
+        """Build a gate, flattening nested gates of the same type."""
+        flat: list[BoolExpr] = []
+        for child in children:
+            if type(child) is cls:
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        if len(flat) == 1:
+            return flat[0]
+        return cls(flat)
+
+    def _iter_attrs(self) -> Iterator[str]:
+        for child in self.children:
+            yield from child._iter_attrs()
+
+    def num_leaves(self) -> int:
+        return sum(child.num_leaves() for child in self.children)
+
+    def to_string(self) -> str:
+        parts = []
+        for child in self.children:
+            text = child.to_string()
+            if isinstance(child, _Gate):
+                text = f"({text})"
+            parts.append(text)
+        return f" {self._symbol} ".join(parts)
+
+    def __eq__(self, other) -> bool:
+        return type(other) is type(self) and other.children == self.children
+
+    def __hash__(self):
+        return hash((type(self).__name__, self.children))
+
+    def __repr__(self):
+        return f"{type(self).__name__}({list(self.children)!r})"
+
+
+class And(_Gate):
+    """Conjunction gate."""
+
+    __slots__ = ()
+    _symbol = "and"
+
+    def evaluate(self, attrs: Iterable[str]) -> bool:
+        attrs = set(attrs)
+        return all(child.evaluate(attrs) for child in self.children)
+
+
+class Or(_Gate):
+    """Disjunction gate."""
+
+    __slots__ = ()
+    _symbol = "or"
+
+    def evaluate(self, attrs: Iterable[str]) -> bool:
+        attrs = set(attrs)
+        return any(child.evaluate(attrs) for child in self.children)
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(\()|(\))|(,)|(and\b|&{1,2})|(or\b|\|{1,2})|([0-9]+\s+of\b)|([A-Za-z0-9_.:@-]+))",
+    re.IGNORECASE,
+)
+
+
+def parse_policy(text: str) -> BoolExpr:
+    """Parse a policy string into a :class:`BoolExpr`.
+
+    >>> parse_policy("RoleA and (RoleB or RoleC)")
+    And([Attr('RoleA'), Or([Attr('RoleB'), Attr('RoleC')])])
+    """
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match or match.end() == pos:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise PolicyParseError(f"unexpected input at {remainder[:20]!r}")
+        lparen, rparen, comma, and_tok, or_tok, of_tok, name = match.groups()
+        if lparen:
+            tokens.append(("(", "("))
+        elif rparen:
+            tokens.append((")", ")"))
+        elif comma:
+            tokens.append((",", ","))
+        elif and_tok:
+            tokens.append(("AND", and_tok))
+        elif or_tok:
+            tokens.append(("OR", or_tok))
+        elif of_tok:
+            tokens.append(("OF", of_tok.split()[0]))
+        else:
+            tokens.append(("NAME", name))
+        pos = match.end()
+    if not tokens:
+        raise PolicyParseError("empty policy")
+
+    index = 0
+
+    def peek() -> str | None:
+        return tokens[index][0] if index < len(tokens) else None
+
+    def expect(kind: str) -> str:
+        nonlocal index
+        if peek() != kind:
+            raise PolicyParseError(f"expected {kind}, got {tokens[index] if index < len(tokens) else 'EOF'}")
+        value = tokens[index][1]
+        index += 1
+        return value
+
+    def parse_atom() -> BoolExpr:
+        nonlocal index
+        if peek() == "OF":
+            k = int(expect("OF"))
+            expect("(")
+            children = [parse_or()]
+            while peek() == ",":
+                expect(",")
+                children.append(parse_or())
+            expect(")")
+            return threshold(k, children)
+        if peek() == "(":
+            expect("(")
+            node = parse_or()
+            expect(")")
+            return node
+        if peek() == "NAME":
+            return Attr(expect("NAME"))
+        raise PolicyParseError(f"expected attribute or '(', got {tokens[index] if index < len(tokens) else 'EOF'}")
+
+    def parse_and() -> BoolExpr:
+        nodes = [parse_atom()]
+        while peek() == "AND":
+            expect("AND")
+            nodes.append(parse_atom())
+        return And.of(*nodes)
+
+    def parse_or() -> BoolExpr:
+        nodes = [parse_and()]
+        while peek() == "OR":
+            expect("OR")
+            nodes.append(parse_and())
+        return Or.of(*nodes)
+
+    result = parse_or()
+    if index != len(tokens):
+        raise PolicyParseError(f"trailing input starting at {tokens[index]!r}")
+    return result
+
+
+def threshold(k: int, children: list[BoolExpr]) -> BoolExpr:
+    """A k-of-n threshold gate, expanded into AND/OR form.
+
+    The ABS relaxation (Algorithm 6) requires span programs whose purge
+    selects a 0/1 column subset — a property of the AND/OR insertion
+    construction but not of Vandermonde threshold gadgets — so threshold
+    gates are *normalized at construction* into the OR of all
+    ``C(n, k)`` AND-combinations.  Fine for the small fan-ins access
+    policies use; the expansion is exponential in ``n``.
+
+    >>> threshold(2, [Attr("a"), Attr("b"), Attr("c")]).evaluate({"a", "c"})
+    True
+    """
+    from itertools import combinations
+
+    n = len(children)
+    if not 1 <= k <= n:
+        raise PolicyError(f"threshold {k}-of-{n} is out of range")
+    if k == 1:
+        return Or.of(*children)
+    if k == n:
+        return And.of(*children)
+    terms = [And.of(*combo) for combo in combinations(children, k)]
+    return Or.of(*terms)
+
+
+def or_of_attrs(names: Iterable[str]) -> BoolExpr:
+    """Build the disjunction ``a1 or a2 or ...`` (a super policy)."""
+    names = list(names)
+    if not names:
+        raise PolicyError("cannot build an OR over zero attributes")
+    return Or.of(*[Attr(n) for n in names])
+
+
+def and_of_attrs(names: Iterable[str]) -> BoolExpr:
+    """Build the conjunction ``a1 and a2 and ...``."""
+    names = list(names)
+    if not names:
+        raise PolicyError("cannot build an AND over zero attributes")
+    return And.of(*[Attr(n) for n in names])

@@ -1,0 +1,166 @@
+"""Random access-policy generation matching the paper's workload.
+
+Section 10 of the paper: "we randomly generate [access policies] as DNF
+boolean functions with three parameters: (i) total number of distinct
+policies, (ii) total number of distinct roles, and (iii) maximum policy
+length.  By default, the total number of roles is set at 10.  We generate
+10 distinct policies whose root gate is an OR gate with at most three
+inputs, while each input is an AND gate with at most two roles."
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import WorkloadError
+from repro.policy.boolexpr import And, Attr, BoolExpr, Or
+from repro.policy.roles import PSEUDO_ROLE, RoleHierarchy, RoleUniverse
+
+
+def role_names(num_roles: int) -> list[str]:
+    """Standard role naming: Role0 .. Role{n-1}."""
+    return [f"Role{i}" for i in range(num_roles)]
+
+
+@dataclass
+class PolicyWorkload:
+    """A generated policy workload: universe + distinct DNF policies."""
+
+    universe: RoleUniverse
+    policies: list[BoolExpr]
+    hierarchy: RoleHierarchy | None = None
+
+    def policy_for(self, key_hash: int) -> BoolExpr:
+        """Deterministically assign a policy to a query key.
+
+        The paper assigns policies "such that the records under the same
+        query key share the same access policy".
+        """
+        return self.policies[key_hash % len(self.policies)]
+
+
+class PolicyGenerator:
+    """Random DNF policy generator with the paper's default shape."""
+
+    def __init__(
+        self,
+        num_roles: int = 10,
+        num_policies: int = 10,
+        max_or_fanin: int = 3,
+        max_and_fanin: int = 2,
+        seed: int = 2018,
+    ):
+        if num_roles < 1:
+            raise WorkloadError("need at least one role")
+        if max_or_fanin < 1 or max_and_fanin < 1:
+            raise WorkloadError("fan-ins must be positive")
+        self.num_roles = num_roles
+        self.num_policies = num_policies
+        self.max_or_fanin = max_or_fanin
+        self.max_and_fanin = max_and_fanin
+        self.rng = random.Random(seed)
+        self.roles = role_names(num_roles)
+
+    @property
+    def max_policy_length(self) -> int:
+        """Upper bound on DNF length (paper: 3 x 2 = 6 by default)."""
+        return self.max_or_fanin * self.max_and_fanin
+
+    def random_policy(self) -> BoolExpr:
+        """One random DNF policy: OR of AND clauses over distinct roles."""
+        clauses: list[BoolExpr] = []
+        n_clauses = self.rng.randint(1, self.max_or_fanin)
+        for _ in range(n_clauses):
+            size = self.rng.randint(1, min(self.max_and_fanin, self.num_roles))
+            chosen = self.rng.sample(self.roles, size)
+            clauses.append(And.of(*[Attr(r) for r in sorted(chosen)]))
+        return Or.of(*clauses)
+
+    def generate(self) -> PolicyWorkload:
+        """Generate ``num_policies`` distinct policies and the universe."""
+        policies: list[BoolExpr] = []
+        seen: set[str] = set()
+        attempts = 0
+        while len(policies) < self.num_policies:
+            attempts += 1
+            if attempts > 100 * self.num_policies:
+                raise WorkloadError(
+                    "cannot generate enough distinct policies; "
+                    "increase roles or fan-ins"
+                )
+            policy = self.random_policy()
+            text = policy.to_string()
+            if text in seen:
+                continue
+            seen.add(text)
+            policies.append(policy)
+        return PolicyWorkload(universe=RoleUniverse(self.roles), policies=policies)
+
+    def generate_hierarchical(self, num_global_roles: int = 2) -> PolicyWorkload:
+        """Two-level hierarchical workload (paper Section 8.1 / Figure 12).
+
+        Base roles are partitioned among ``num_global_roles`` parent roles;
+        each policy is hierarchy-closed so every AND clause also requires
+        the parents of its roles.
+        """
+        base = self.generate()
+        globals_ = [f"Global{i}" for i in range(num_global_roles)]
+        parents: dict[str, str] = {}
+        for role in self.roles:
+            parents[role] = self.rng.choice(globals_)
+        hierarchy = RoleHierarchy(parents)
+        universe = RoleUniverse(globals_ + self.roles)
+        closed = [hierarchy.close_policy(p) for p in base.policies]
+        return PolicyWorkload(universe=universe, policies=closed, hierarchy=hierarchy)
+
+
+def user_roles_for_coverage(
+    workload: PolicyWorkload,
+    target_fraction: float,
+    seed: int = 7,
+    max_rounds: int = 64,
+) -> frozenset[str]:
+    """Pick a user role set that satisfies ~``target_fraction`` of policies.
+
+    The paper assigns each query user "the roles that can access 20% of
+    the data records".  Greedy search: add the role that moves satisfied-
+    policy coverage closest to the target without overshooting too far.
+    """
+    rng = random.Random(seed)
+    roles = [r for r in workload.universe.roles if r != PSEUDO_ROLE]
+    if workload.hierarchy is not None:
+        # Only grant leaf roles; closure adds parents.
+        child_roles = set(workload.hierarchy.parents)
+        roles = [r for r in roles if r in child_roles] or roles
+
+    def coverage(user: frozenset[str]) -> float:
+        granted = (
+            workload.hierarchy.close_user_roles(user)
+            if workload.hierarchy is not None
+            else user
+        )
+        sat = sum(1 for p in workload.policies if p.evaluate(granted))
+        return sat / len(workload.policies)
+
+    best: frozenset[str] = frozenset()
+    best_gap = abs(coverage(best) - target_fraction)
+    current: frozenset[str] = frozenset()
+    for _ in range(max_rounds):
+        candidates = [r for r in roles if r not in current]
+        if not candidates:
+            break
+        rng.shuffle(candidates)
+        improved = False
+        for role in candidates:
+            trial = current | {role}
+            gap = abs(coverage(trial) - target_fraction)
+            if gap < best_gap:
+                best, best_gap = trial, gap
+                current = trial
+                improved = True
+                break
+        if not improved:
+            break
+    return best

@@ -1,0 +1,154 @@
+"""Role universe, the pseudo role, and hierarchical role assignment.
+
+* :data:`PSEUDO_ROLE` is the paper's global pseudo access role ``Role_0``
+  (Section 5): it is possessed by no user, and every non-existent (pseudo)
+  record is signed under it, so an equality query can never distinguish
+  "no such record" from "record you may not see".
+
+* :class:`RoleUniverse` is the global access role set ``A``.  The super
+  (inaccessible) predicate for a user with role set ``A`` is
+  ``OR(A \\ A)`` — the weakest policy the user still fails.
+
+* :class:`RoleHierarchy` implements the Section 8.1 optimization: when
+  roles form a hierarchy, missing an ancestor implies missing all of its
+  descendants, so the inaccessible predicate can keep only the *maximal*
+  missing roles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+from repro.errors import PolicyError
+from repro.policy.boolexpr import And, Attr, BoolExpr, Or, or_of_attrs
+
+#: The global pseudo access role Role_0 — possessed by no user.
+PSEUDO_ROLE = "Role@null"
+
+
+class RoleUniverse:
+    """The global access role set ``A`` (always includes the pseudo role)."""
+
+    def __init__(self, roles: Iterable[str]):
+        ordered: list[str] = []
+        seen = set()
+        for role in roles:
+            if role not in seen:
+                seen.add(role)
+                ordered.append(role)
+        if PSEUDO_ROLE not in seen:
+            ordered.insert(0, PSEUDO_ROLE)
+        self._roles = tuple(ordered)
+        self._role_set = frozenset(ordered)
+
+    @property
+    def roles(self) -> tuple[str, ...]:
+        return self._roles
+
+    def __contains__(self, role: str) -> bool:
+        return role in self._role_set
+
+    def __len__(self) -> int:
+        return len(self._roles)
+
+    def __iter__(self):
+        return iter(self._roles)
+
+    def validate_user_roles(self, user_roles: Iterable[str]) -> frozenset[str]:
+        """Check a user role set: within the universe, no pseudo role."""
+        roles = frozenset(user_roles)
+        if PSEUDO_ROLE in roles:
+            raise PolicyError("no user may hold the pseudo role")
+        unknown = roles - self._role_set
+        if unknown:
+            raise PolicyError(f"roles outside the universe: {sorted(unknown)}")
+        return roles
+
+    def missing_roles(self, user_roles: Iterable[str]) -> list[str]:
+        """``A \\ A`` in universe order (always contains the pseudo role)."""
+        user = self.validate_user_roles(user_roles)
+        return [r for r in self._roles if r not in user]
+
+    def super_policy(self, user_roles: Iterable[str]) -> BoolExpr:
+        """The super access policy ``OR(A \\ A)`` (paper Definition 5.2)."""
+        return or_of_attrs(self.missing_roles(user_roles))
+
+    def validate_policy(self, policy: BoolExpr) -> None:
+        """Check that a record policy only mentions universe roles."""
+        unknown = policy.attributes() - self._role_set
+        if unknown:
+            raise PolicyError(f"policy mentions roles outside the universe: {sorted(unknown)}")
+
+
+class RoleHierarchy:
+    """A forest of roles: missing a parent implies missing its children.
+
+    ``parents`` maps each child role to its parent role.  Roles absent
+    from the map are hierarchy roots.
+    """
+
+    def __init__(self, parents: Dict[str, str]):
+        self._parents = dict(parents)
+        # Reject cycles eagerly.
+        for role in self._parents:
+            seen = {role}
+            cur = role
+            while cur in self._parents:
+                cur = self._parents[cur]
+                if cur in seen:
+                    raise PolicyError(f"role hierarchy contains a cycle through {role!r}")
+                seen.add(cur)
+
+    @property
+    def parents(self) -> Dict[str, str]:
+        return dict(self._parents)
+
+    def ancestors(self, role: str) -> list[str]:
+        out = []
+        cur = role
+        while cur in self._parents:
+            cur = self._parents[cur]
+            out.append(cur)
+        return out
+
+    def close_user_roles(self, user_roles: Iterable[str]) -> frozenset[str]:
+        """Upward closure: holding a role implies holding its ancestors."""
+        closed = set(user_roles)
+        for role in list(closed):
+            closed.update(self.ancestors(role))
+        return frozenset(closed)
+
+    def close_policy(self, policy: BoolExpr) -> BoolExpr:
+        """AND each attribute with its ancestors (hierarchy-closed policy).
+
+        Required for the Section 8.1 optimization to be sound: every AND
+        clause that mentions a role must also require its ancestors, so
+        that dropping non-maximal missing roles from the super predicate
+        cannot re-enable the clause.
+        """
+        if isinstance(policy, Attr):
+            chain = self.ancestors(policy.name)
+            if not chain:
+                return policy
+            return And.of(policy, *[Attr(a) for a in chain])
+        if isinstance(policy, And):
+            return And.of(*[self.close_policy(c) for c in policy.children])
+        if isinstance(policy, Or):
+            return Or.of(*[self.close_policy(c) for c in policy.children])
+        raise PolicyError(f"unknown expression node {type(policy).__name__}")
+
+    def maximal_missing(self, universe: RoleUniverse, user_roles: Iterable[str]) -> list[str]:
+        """Missing roles with no missing ancestor (reduced super predicate).
+
+        With hierarchy-closed policies, ``OR`` over these roles is an
+        equivalent but much shorter inaccessible predicate than the full
+        ``A \\ A`` (paper Section 8.1).
+        """
+        user = universe.validate_user_roles(user_roles)
+        missing = [r for r in universe.roles if r not in user]
+        missing_set = set(missing)
+        return [
+            r
+            for r in missing
+            if not any(a in missing_set for a in self.ancestors(r))
+        ]

@@ -1,0 +1,16 @@
+"""Synthetic TPC-H-style workload and query generators."""
+
+from repro.workload.queries import fraction_of_domain, query_batch, random_range
+from repro.workload.tpch import (
+    FULL_LINEITEM_SHAPE,
+    ROWS_AT_SCALE_1,
+    TpchConfig,
+    TpchGenerator,
+    expected_occupancy,
+)
+
+__all__ = [
+    "fraction_of_domain", "query_batch", "random_range",
+    "FULL_LINEITEM_SHAPE", "ROWS_AT_SCALE_1",
+    "TpchConfig", "TpchGenerator", "expected_occupancy",
+]

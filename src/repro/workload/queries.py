@@ -1,0 +1,52 @@
+"""Query templates for the evaluation (paper Section 10).
+
+* Q6-style range queries over (shipdate, discount, quantity): a random
+  box whose volume is a target fraction of the data space (the paper
+  varies 0.03% .. 1%).
+* Q12-style join ranges over orderkey.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterator
+
+from repro.errors import WorkloadError
+from repro.index.boxes import Box, Domain, Point
+
+
+def random_range(domain: Domain, fraction: float, rng: random.Random) -> Box:
+    """A random query box covering ~``fraction`` of the domain volume.
+
+    Per-dimension extents take the d-th root of the fraction, matching
+    the paper's symmetric Q6 predicates.
+    """
+    if not (0 < fraction <= 1):
+        raise WorkloadError("query fraction must be in (0, 1]")
+    dims = domain.dims
+    per_dim = fraction ** (1.0 / dims)
+    lo = []
+    hi = []
+    for d in range(dims):
+        dlo, dhi = domain.bounds[d]
+        size = dhi - dlo + 1
+        extent = max(1, round(size * per_dim))
+        extent = min(extent, size)
+        start = rng.randint(dlo, dhi - extent + 1)
+        lo.append(start)
+        hi.append(start + extent - 1)
+    return Box(tuple(lo), tuple(hi))
+
+
+def query_batch(
+    domain: Domain, fraction: float, count: int, seed: int = 99
+) -> list[Box]:
+    """A reproducible batch of random query boxes."""
+    rng = random.Random((seed, round(fraction * 1e9), count).__hash__())
+    return [random_range(domain, fraction, rng) for _ in range(count)]
+
+
+def fraction_of_domain(box: Box, domain: Domain) -> float:
+    """The actual volume fraction a box covers (for reporting)."""
+    return box.volume() / domain.size()

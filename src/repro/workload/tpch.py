@@ -1,0 +1,180 @@
+"""Synthetic TPC-H-style workload (paper Section 10).
+
+The paper evaluates on TPC-H Lineitem with the first three attributes as
+query attributes — ``(shipdate, discount, quantity)`` — under scales
+0.1/0.3/1/3 (600K..18M rows), and a Q12-style join of Orders and Lineitem
+on ``orderkey``.
+
+The full TPC-H key domain is 2,526 ship dates x 11 discounts x 50
+quantities (~1.39M cells).  Because the AP2G-tree is full over the
+*domain*, the cost driver is the ratio of rows to domain cells: distinct
+occupied keys saturate as the scale grows (records sharing a key share a
+policy and merge — Appendix E), which is exactly Table 1's sublinear
+growth.  This generator reproduces that mechanism on a reduced domain:
+the expected number of distinct keys follows the balls-into-bins law
+``cells * (1 - exp(-rows / cells))`` with the paper's rows-per-scale
+ratio preserved (DESIGN.md, Substitution 5).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import struct
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.records import Dataset, Record
+from repro.crypto.hashing import hash_bytes
+from repro.errors import WorkloadError
+from repro.index.boxes import Domain, Point
+from repro.policy.policygen import PolicyWorkload
+
+#: Full TPC-H Lineitem query-attribute domain (shipdate, discount, quantity).
+FULL_LINEITEM_SHAPE = (2526, 11, 50)
+
+#: TPC-H rows at scale factor 1.
+ROWS_AT_SCALE_1 = 6_000_000
+
+#: Ratio of rows to domain cells at scale 1 in the paper's setting.
+ROWS_PER_CELL_AT_SCALE_1 = ROWS_AT_SCALE_1 / (2526 * 11 * 50)  # ~4.32
+
+
+def expected_occupancy(scale: float) -> float:
+    """Expected fraction of occupied domain cells at a given scale."""
+    if scale <= 0:
+        raise WorkloadError("scale must be positive")
+    load = ROWS_PER_CELL_AT_SCALE_1 * scale
+    return 1.0 - math.exp(-load)
+
+
+@dataclass
+class TpchConfig:
+    """Reduced-domain TPC-H configuration.
+
+    ``shape`` is the per-dimension domain size; the default 32 x 8 x 8
+    (2,048 cells) keeps pure-Python experiments tractable while the
+    occupancy-vs-scale curve matches the paper's full domain.
+    """
+
+    scale: float = 0.3
+    shape: tuple[int, ...] = (32, 8, 8)
+    orderkey_domain: int = 1024
+    seed: int = 1234
+
+    @property
+    def domain(self) -> Domain:
+        return Domain.of(*[(0, n - 1) for n in self.shape])
+
+    @property
+    def order_domain(self) -> Domain:
+        return Domain.of((0, self.orderkey_domain - 1))
+
+    def num_distinct_keys(self) -> int:
+        cells = 1
+        for n in self.shape:
+            cells *= n
+        return max(1, round(cells * expected_occupancy(self.scale)))
+
+    def num_order_keys(self) -> int:
+        return max(1, round(self.orderkey_domain * expected_occupancy(self.scale)))
+
+
+def _stable_hash(tag: str, key) -> int:
+    """Process-independent key hash for policy assignment."""
+    return int.from_bytes(hash_bytes(b"tpch-policy", tag, list(key))[:8], "big")
+
+
+_RETURN_FLAGS = b"ANR"
+_LINE_STATUS = b"OF"
+
+
+def _lineitem_value(rng: random.Random, key: Point) -> bytes:
+    """A packed 12-attribute Lineitem row (realistic payload bytes)."""
+    shipdate, discount, quantity = key
+    return struct.pack(
+        ">IIIHHIIHHccI",
+        rng.randrange(1, 1 << 24),  # orderkey
+        rng.randrange(1, 200_000),  # partkey
+        rng.randrange(1, 10_000),  # suppkey
+        rng.randrange(1, 8),  # linenumber
+        quantity + 1,  # quantity
+        rng.randrange(100, 100_000),  # extendedprice (cents)
+        discount,  # discount (percent index)
+        rng.randrange(0, 9),  # tax
+        shipdate,  # shipdate ordinal
+        _RETURN_FLAGS[rng.randrange(3)].to_bytes(1, "big"),
+        _LINE_STATUS[rng.randrange(2)].to_bytes(1, "big"),
+        rng.randrange(1, 1 << 20),  # commitdate ordinal
+    )
+
+
+def _orders_value(rng: random.Random, key: Point) -> bytes:
+    return struct.pack(
+        ">IIcIH",
+        key[0],  # orderkey
+        rng.randrange(1, 150_000),  # custkey
+        b"OFP"[rng.randrange(3)].to_bytes(1, "big"),
+        rng.randrange(100, 500_000),  # totalprice (cents)
+        rng.randrange(0, 5),  # orderpriority
+    )
+
+
+class TpchGenerator:
+    """Deterministic generator for the evaluation datasets."""
+
+    def __init__(self, config: TpchConfig):
+        self.config = config
+        self.rng = random.Random(config.seed)
+
+    def _sample_keys(self, domain: Domain, count: int) -> list[Point]:
+        cells = domain.size()
+        if count > cells:
+            raise WorkloadError(f"cannot place {count} distinct keys in {cells} cells")
+        chosen: set[Point] = set()
+        box = domain.box
+        while len(chosen) < count:
+            point = tuple(
+                self.rng.randint(box.lo[d], box.hi[d]) for d in range(domain.dims)
+            )
+            chosen.add(point)
+        return sorted(chosen)
+
+    def lineitem(self, policies: PolicyWorkload) -> Dataset:
+        """The Lineitem table: distinct (shipdate, discount, quantity) keys.
+
+        Records under the same query key share the same access policy
+        (paper Section 10), implemented by assigning policies from a hash
+        of the key.
+        """
+        domain = self.config.domain
+        dataset = Dataset(domain)
+        for key in self._sample_keys(domain, self.config.num_distinct_keys()):
+            policy = policies.policy_for(_stable_hash("L6", key))
+            dataset.add(Record(key=key, value=_lineitem_value(self.rng, key), policy=policy))
+        return dataset
+
+    def orders_lineitem_join(
+        self, policies: PolicyWorkload
+    ) -> tuple[Dataset, Dataset]:
+        """Orders and Lineitem keyed by ``orderkey`` (Q12's join operator).
+
+        Every lineitem's orderkey exists in Orders (referential
+        integrity); Orders additionally contains orders with no lineitem
+        in this projection.
+        """
+        domain = self.config.order_domain
+        order_keys = self._sample_keys(domain, self.config.num_order_keys())
+        n_line = max(1, int(len(order_keys) * 0.8))
+        line_keys = sorted(self.rng.sample(order_keys, n_line))
+        orders = Dataset(domain)
+        lineitem = Dataset(domain)
+        for key in order_keys:
+            policy = policies.policy_for(_stable_hash("O", key))
+            orders.add(Record(key=key, value=_orders_value(self.rng, key), policy=policy))
+        for key in line_keys:
+            policy = policies.policy_for(_stable_hash("L", key))
+            lineitem.add(
+                Record(key=key, value=_lineitem_value(self.rng, key + (0, 0))[:16], policy=policy)
+            )
+        return orders, lineitem

@@ -1,0 +1,87 @@
+"""Tests for the hybrid CP-ABE + AES envelope."""
+
+import random
+
+import pytest
+
+from repro.abe.cpabe import CpAbeScheme
+from repro.abe.hybrid import (
+    HybridEnvelope,
+    decrypt_envelope,
+    encrypt_for_policy,
+    encrypt_for_roles,
+)
+from repro.crypto import simulated
+from repro.errors import AccessDeniedError, CryptoError
+from repro.policy.boolexpr import parse_policy
+
+
+@pytest.fixture(scope="module")
+def env():
+    rng = random.Random(19)
+    scheme = CpAbeScheme(simulated())
+    keys = scheme.setup(rng)
+    return scheme, keys, rng
+
+
+def test_roundtrip(env):
+    scheme, keys, rng = env
+    policy = parse_policy("a and b")
+    envp = encrypt_for_policy(scheme, keys.public, policy, b"secret payload", rng)
+    sk = scheme.keygen(keys, ["a", "b"], rng)
+    assert decrypt_envelope(scheme, sk, envp) == b"secret payload"
+
+
+def test_denied_without_attributes(env):
+    scheme, keys, rng = env
+    envp = encrypt_for_policy(scheme, keys.public, parse_policy("a and b"), b"x", rng)
+    sk = scheme.keygen(keys, ["a"], rng)
+    with pytest.raises(AccessDeniedError):
+        decrypt_envelope(scheme, sk, envp)
+
+
+def test_encrypt_for_roles_conjunction(env):
+    """The VO wrapping requires *all* claimed roles (impersonation guard)."""
+    scheme, keys, rng = env
+    envp = encrypt_for_roles(scheme, keys.public, ["r1", "r2"], b"vo bytes", rng)
+    full = scheme.keygen(keys, ["r1", "r2"], rng)
+    partial = scheme.keygen(keys, ["r1"], rng)
+    assert decrypt_envelope(scheme, full, envp) == b"vo bytes"
+    with pytest.raises(AccessDeniedError):
+        decrypt_envelope(scheme, partial, envp)
+
+
+def test_tampered_body_detected(env):
+    scheme, keys, rng = env
+    envp = encrypt_for_policy(scheme, keys.public, parse_policy("a"), b"payload", rng)
+    sk = scheme.keygen(keys, ["a"], rng)
+    tampered = HybridEnvelope(
+        header=envp.header,
+        body=envp.body[:-1] + bytes([envp.body[-1] ^ 1]),
+    )
+    with pytest.raises(CryptoError):
+        decrypt_envelope(scheme, sk, tampered)
+
+
+def test_swapped_header_detected(env):
+    scheme, keys, rng = env
+    env1 = encrypt_for_policy(scheme, keys.public, parse_policy("a"), b"one", rng)
+    env2 = encrypt_for_policy(scheme, keys.public, parse_policy("a"), b"two", rng)
+    sk = scheme.keygen(keys, ["a"], rng)
+    mixed = HybridEnvelope(header=env1.header, body=env2.body)
+    with pytest.raises(CryptoError):
+        decrypt_envelope(scheme, sk, mixed)
+
+
+def test_byte_size_accounts_header_and_body(env):
+    scheme, keys, rng = env
+    envp = encrypt_for_policy(scheme, keys.public, parse_policy("a"), b"p" * 100, rng)
+    assert envp.byte_size() == envp.header.byte_size() + len(envp.body)
+    assert len(envp.body) == 12 + 100 + 32  # nonce + ciphertext + tag
+
+
+def test_empty_payload(env):
+    scheme, keys, rng = env
+    envp = encrypt_for_policy(scheme, keys.public, parse_policy("a"), b"", rng)
+    sk = scheme.keygen(keys, ["a"], rng)
+    assert decrypt_envelope(scheme, sk, envp) == b""

@@ -1,0 +1,114 @@
+"""Tests for small-exponents batch verification of APS signatures."""
+
+import random
+
+import pytest
+
+from repro.abs.batch import BatchItem, batch_verify, batch_verify_same_predicate, find_invalid
+from repro.abs.relax import relax
+from repro.abs.scheme import AbsScheme, AbsSignature
+from repro.crypto import bn254, simulated
+from repro.errors import CryptoError
+from repro.policy.boolexpr import parse_policy
+
+ROLES = ["R0", "R1", "R2", "R3"]
+
+
+@pytest.fixture(scope="module")
+def env():
+    rng = random.Random(1414)
+    scheme = AbsScheme(simulated())
+    keys = scheme.setup(rng)
+    sk = scheme.keygen(keys, ROLES, rng)
+    missing = ("R2", "R3")  # super policy for a user holding R0, R1
+    items = []
+    for i in range(6):
+        message = b"record-%d" % i
+        policy = parse_policy("R2 and R3")
+        sig = scheme.sign(keys.mvk, sk, message, policy, rng)
+        aps, _ = relax(scheme, keys.mvk, sig, message, policy, list(missing), rng)
+        items.append(BatchItem(message=message, attrs=missing, signature=aps))
+    return rng, scheme, keys, items, missing
+
+
+def test_valid_batch_accepts(env):
+    rng, scheme, keys, items, missing = env
+    assert batch_verify(scheme, keys.mvk, items, rng)
+
+
+def test_empty_batch_accepts(env):
+    rng, scheme, keys, items, missing = env
+    assert batch_verify(scheme, keys.mvk, [], rng)
+
+
+def test_single_tampered_message_rejects(env):
+    rng, scheme, keys, items, missing = env
+    bad = list(items)
+    bad[3] = BatchItem(message=b"FORGED", attrs=missing, signature=items[3].signature)
+    assert not batch_verify(scheme, keys.mvk, bad, rng)
+    assert find_invalid(scheme, keys.mvk, bad) == [3]
+
+
+def test_single_tampered_component_rejects(env):
+    rng, scheme, keys, items, missing = env
+    sig = items[0].signature
+    forged = AbsSignature(
+        tau=sig.tau, y=sig.y, w=sig.w * scheme.group.g1, s=sig.s, p=sig.p
+    )
+    bad = [BatchItem(message=items[0].message, attrs=missing, signature=forged)] + list(items[1:])
+    assert not batch_verify(scheme, keys.mvk, bad, rng)
+    assert find_invalid(scheme, keys.mvk, bad) == [0]
+
+
+def test_wrong_predicate_rejects(env):
+    rng, scheme, keys, items, missing = env
+    bad = [BatchItem(message=items[0].message, attrs=("R1", "R3"), signature=items[0].signature)]
+    assert not batch_verify(scheme, keys.mvk, bad, rng)
+
+
+def test_shape_mismatch_rejects(env):
+    rng, scheme, keys, items, missing = env
+    bad = [BatchItem(message=items[0].message, attrs=("R2",), signature=items[0].signature)]
+    assert not batch_verify(scheme, keys.mvk, bad, rng)
+
+
+def test_identity_y_rejects(env):
+    rng, scheme, keys, items, missing = env
+    sig = items[0].signature
+    forged = AbsSignature(
+        tau=sig.tau,
+        y=scheme.group.identity("G1"),
+        w=scheme.group.identity("G1"),
+        s=sig.s,
+        p=sig.p,
+    )
+    assert not batch_verify(
+        scheme, keys.mvk,
+        [BatchItem(message=items[0].message, attrs=missing, signature=forged)],
+        rng,
+    )
+
+
+def test_same_predicate_wrapper(env):
+    rng, scheme, keys, items, missing = env
+    messages = [item.message for item in items]
+    sigs = [item.signature for item in items]
+    assert batch_verify_same_predicate(scheme, keys.mvk, messages, sigs, list(missing), rng)
+    with pytest.raises(CryptoError):
+        batch_verify_same_predicate(scheme, keys.mvk, messages[:-1], sigs, list(missing), rng)
+
+
+def test_batch_on_real_pairing(rng):
+    scheme = AbsScheme(bn254())
+    keys = scheme.setup(rng)
+    sk = scheme.keygen(keys, ["A", "B"], rng)
+    policy = parse_policy("A and B")
+    items = []
+    for i in range(2):
+        message = b"m%d" % i
+        sig = scheme.sign(keys.mvk, sk, message, policy, rng)
+        aps, _ = relax(scheme, keys.mvk, sig, message, policy, ["A"], rng)
+        items.append(BatchItem(message=message, attrs=("A",), signature=aps))
+    assert batch_verify(scheme, keys.mvk, items, rng)
+    items[1] = BatchItem(message=b"x", attrs=("A",), signature=items[1].signature)
+    assert not batch_verify(scheme, keys.mvk, items, rng)

@@ -1,0 +1,160 @@
+"""Tests for ABS.Relax (Algorithm 2) — the heart of APS derivation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.abs.relax import can_relax, relax
+from repro.abs.scheme import AbsScheme, AbsSignature
+from repro.crypto import simulated
+from repro.errors import RelaxationError
+from repro.policy.boolexpr import And, Attr, Or, or_of_attrs, parse_policy
+
+ROLES = [f"R{i}" for i in range(6)]
+
+
+@pytest.fixture(scope="module")
+def env():
+    rng = random.Random(21)
+    scheme = AbsScheme(simulated())
+    keys = scheme.setup(rng)
+    sk = scheme.keygen(keys, ROLES, rng)
+    return scheme, keys, sk, rng
+
+
+def test_relax_basic(env):
+    scheme, keys, sk, rng = env
+    policy = parse_policy("R0 and R1")
+    sig = scheme.sign(keys.mvk, sk, b"m", policy, rng)
+    # Super policy for a user holding {R2..}: kept = {R0, R1, ...}
+    kept = ["R0", "R1", "R5"]
+    relaxed, super_policy = relax(scheme, keys.mvk, sig, b"m", policy, kept, rng)
+    assert super_policy == or_of_attrs(kept)
+    assert scheme.verify(keys.mvk, b"m", super_policy, relaxed)
+
+
+def test_relax_real_pairing(real_group, rng):
+    scheme = AbsScheme(real_group)
+    keys = scheme.setup(rng)
+    sk = scheme.keygen(keys, ["A", "B", "C"], rng)
+    policy = parse_policy("(A and B) or C")
+    sig = scheme.sign(keys.mvk, sk, b"m", policy, rng)
+    kept = ["A", "C"]
+    relaxed, super_policy = relax(scheme, keys.mvk, sig, b"m", policy, kept, rng)
+    assert scheme.verify(keys.mvk, b"m", super_policy, relaxed)
+    assert not scheme.verify(keys.mvk, b"other", super_policy, relaxed)
+
+
+def test_relax_refuses_when_policy_survives(env):
+    scheme, keys, sk, rng = env
+    policy = parse_policy("R0 or R1")
+    sig = scheme.sign(keys.mvk, sk, b"m", policy, rng)
+    with pytest.raises(RelaxationError):
+        relax(scheme, keys.mvk, sig, b"m", policy, ["R0"], rng)  # R1 still satisfies
+
+
+def test_relax_refuses_duplicates(env):
+    scheme, keys, sk, rng = env
+    policy = Attr("R0")
+    sig = scheme.sign(keys.mvk, sk, b"m", policy, rng)
+    with pytest.raises(RelaxationError):
+        relax(scheme, keys.mvk, sig, b"m", policy, ["R0", "R0"], rng)
+
+
+def test_relax_wrong_shape_rejected(env):
+    scheme, keys, sk, rng = env
+    sig = scheme.sign(keys.mvk, sk, b"m", Attr("R0"), rng)
+    with pytest.raises(RelaxationError):
+        relax(scheme, keys.mvk, sig, b"m", parse_policy("R0 and R1"), ["R0"], rng)
+
+
+def test_relaxed_signature_bound_to_message(env):
+    scheme, keys, sk, rng = env
+    policy = parse_policy("R0 and R1")
+    sig = scheme.sign(keys.mvk, sk, b"m", policy, rng)
+    relaxed, sp = relax(scheme, keys.mvk, sig, b"m", policy, ["R0", "R2"], rng)
+    assert not scheme.verify(keys.mvk, b"other", sp, relaxed)
+
+
+def test_relaxed_signature_bound_to_exact_super_policy(env):
+    scheme, keys, sk, rng = env
+    policy = parse_policy("R0 and R1")
+    sig = scheme.sign(keys.mvk, sk, b"m", policy, rng)
+    relaxed, sp = relax(scheme, keys.mvk, sig, b"m", policy, ["R0", "R2"], rng)
+    # A different OR set (even a superset) must not verify.
+    assert not scheme.verify(keys.mvk, b"m", or_of_attrs(["R0", "R2", "R3"]), relaxed)
+    assert not scheme.verify(keys.mvk, b"m", or_of_attrs(["R0"]), relaxed)
+    # Order matters for row labeling: reversed list is a different MSP
+    # labeling but the same semantic predicate; the canonical MSP makes
+    # it verify identically since OR rows are label-symmetric here.
+    assert scheme.verify(keys.mvk, b"m", or_of_attrs(["R0", "R2"]), relaxed)
+
+
+def test_relax_output_shape_is_or_predicate(env):
+    scheme, keys, sk, rng = env
+    policy = parse_policy("(R0 and R1) or (R2 and R3)")
+    sig = scheme.sign(keys.mvk, sk, b"m", policy, rng)
+    kept = ["R0", "R2", "R4"]
+    relaxed, _ = relax(scheme, keys.mvk, sig, b"m", policy, kept, rng)
+    assert len(relaxed.s) == len(kept)
+    assert len(relaxed.p) == 1
+    assert relaxed.tau == sig.tau
+
+
+def test_relax_structurally_matches_direct_signature(env):
+    """Perfect-privacy smoke check (Definition 7.1, second clause).
+
+    A relaxed signature must be *shaped* identically to a direct
+    signature on the super policy and verify under the same procedure.
+    (Full distribution equality is the Appendix B proof; here we check
+    the observable contract.)
+    """
+    scheme, keys, sk, rng = env
+    policy = parse_policy("R0 and R1")
+    kept = ["R0", "R3"]
+    sig = scheme.sign(keys.mvk, sk, b"m", policy, rng)
+    relaxed, sp = relax(scheme, keys.mvk, sig, b"m", policy, kept, rng)
+    direct = scheme.sign(keys.mvk, sk, b"m", sp, rng)
+    assert len(relaxed.s) == len(direct.s)
+    assert len(relaxed.p) == len(direct.p)
+    assert scheme.verify(keys.mvk, b"m", sp, relaxed)
+    assert scheme.verify(keys.mvk, b"m", sp, direct)
+
+
+def test_can_relax_matches_definition():
+    universe = ["R0", "R1", "R2"]
+    policy = parse_policy("R0 and R1")
+    assert can_relax(policy, universe, ["R0"])
+    assert can_relax(policy, universe, ["R1", "R2"])
+    assert not can_relax(policy, universe, ["R2"])
+
+
+policy_st = st.recursive(
+    st.sampled_from(ROLES).map(Attr),
+    lambda ch: st.one_of(
+        st.lists(ch, min_size=1, max_size=3).map(lambda cs: And.of(*cs)),
+        st.lists(ch, min_size=1, max_size=3).map(lambda cs: Or.of(*cs)),
+    ),
+    max_leaves=8,
+)
+
+
+@given(policy_st, st.sets(st.sampled_from(ROLES), min_size=1))
+@settings(max_examples=60, deadline=None)
+def test_relax_random(policy, kept_set):
+    rng = random.Random(31)
+    scheme = AbsScheme(simulated())
+    keys = scheme.setup(rng)
+    sk = scheme.keygen(keys, ROLES, rng)
+    sig = scheme.sign(keys.mvk, sk, b"m", policy, rng)
+    kept = sorted(kept_set)
+    feasible = can_relax(policy, ROLES, kept)
+    try:
+        relaxed, sp = relax(scheme, keys.mvk, sig, b"m", policy, kept, rng)
+    except RelaxationError:
+        assert not feasible
+        return
+    assert feasible
+    assert scheme.verify(keys.mvk, b"m", sp, relaxed)
+    assert not scheme.verify(keys.mvk, b"x", sp, relaxed)

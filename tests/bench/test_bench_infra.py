@@ -1,0 +1,65 @@
+"""Tests for the benchmark infrastructure (registry, runner, reports)."""
+
+import pathlib
+
+import pytest
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.report import ExperimentResult, _fmt
+
+
+def test_registry_covers_every_table_and_figure():
+    expected = {"table1", "table2"} | {f"fig{i}" for i in range(7, 16)}
+    assert expected <= set(ALL_EXPERIMENTS)
+    # Plus the ablation studies A1-A7.
+    ablations = {k for k in ALL_EXPERIMENTS if k.startswith("ablation")}
+    assert len(ablations) == 7
+
+
+def test_registry_entries_are_callables_with_defaults():
+    import inspect
+
+    for name, fn in ALL_EXPERIMENTS.items():
+        sig = inspect.signature(fn)
+        for param in sig.parameters.values():
+            assert param.default is not inspect.Parameter.empty, (
+                f"{name}: parameter {param.name} needs a default so the "
+                "runner can invoke it bare"
+            )
+
+
+def test_runner_main_writes_results(tmp_path, monkeypatch, capsys):
+    from repro.bench import __main__ as runner
+
+    # Point the results dir into tmp by running a tiny experiment and
+    # patching the path resolution.
+    monkeypatch.setattr(
+        pathlib.Path, "resolve", lambda self: tmp_path / "x" / "y" / "z" / "w",
+        raising=False,
+    )
+    code = runner.main(["table2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out
+
+
+def test_runner_rejects_unknown():
+    from repro.bench import __main__ as runner
+
+    assert runner.main(["not-an-experiment"]) == 2
+
+
+def test_report_formatting_rules():
+    assert _fmt(0.0) == "0"
+    assert _fmt(1234.5) == "1234"  # >=100 -> .0f (banker-rounded)
+    assert _fmt(12.345) == "12.35"
+    assert _fmt(0.01234) == "0.0123"
+    assert _fmt("text") == "text"
+    assert _fmt(7) == "7"
+
+
+def test_report_render_alignment():
+    result = ExperimentResult("X", "t", ["col", "longer-column"])
+    result.add_row(1, 2)
+    lines = result.render().splitlines()
+    assert lines[1].index("|") == lines[3].index("|")  # aligned separator

@@ -1,0 +1,94 @@
+"""Tests for the analytic AP2G-tree cost model — exact against built trees."""
+
+import random
+
+import pytest
+
+from repro.bench.costmodel import (
+    grid_node_count,
+    index_size_bounds,
+    policy_signature_bytes,
+    predict_table1,
+    signature_bytes,
+)
+from repro.core.records import Dataset, Record
+from repro.core.system import DataOwner
+from repro.crypto import simulated
+from repro.index.boxes import Domain
+from repro.policy.boolexpr import parse_policy
+from repro.policy.policygen import PolicyGenerator
+from repro.policy.roles import RoleUniverse
+from repro.workload.tpch import TpchConfig, TpchGenerator
+
+
+@pytest.mark.parametrize(
+    "shape",
+    [(1,), (2,), (8,), (5,), (4, 4), (8, 8), (5, 3), (16, 4, 4), (3, 2, 1)],
+)
+def test_grid_node_count_exact(shape):
+    """The formula matches a really-built tree for many shapes."""
+    rng = random.Random(1)
+    owner = DataOwner(simulated(), RoleUniverse(["X"]), rng=rng)
+    ds = Dataset(Domain.of(*[(0, n - 1) for n in shape]))
+    tree = owner.build_tree(ds)
+    nodes, leaves = grid_node_count(shape)
+    assert nodes == tree.stats.num_nodes
+    assert leaves == tree.stats.num_leaves
+
+
+def test_grid_node_count_unit_domain():
+    assert grid_node_count((1,)) == (1, 1)
+    assert grid_node_count((1, 1, 1)) == (1, 1)
+
+
+def test_signature_bytes_matches_real_signature():
+    rng = random.Random(2)
+    owner = DataOwner(simulated(), RoleUniverse(["A", "B", "C"]), rng=rng)
+    policy = parse_policy("(A and B) or C")
+    record = Record((0,), b"v", policy)
+    sig = owner.signer.sign_record(record, rng)
+    assert len(sig.to_bytes()) == policy_signature_bytes(simulated(), policy)
+    assert signature_bytes(simulated(), 1, 1) == policy_signature_bytes(
+        simulated(), parse_policy("A")
+    )
+
+
+def test_index_bounds_bracket_built_tree():
+    gen = PolicyGenerator(seed=5)
+    workload = gen.generate()
+    config = TpchConfig(scale=0.3, shape=(16, 4, 4), seed=5)
+    dataset = TpchGenerator(config).lineitem(workload)
+    owner = DataOwner(simulated(), workload.universe, rng=random.Random(5))
+    tree = owner.build_tree(dataset)
+    occupancy = len(dataset) / config.domain.size()
+    bounds = index_size_bounds(
+        simulated(), config.shape, workload.policies, occupancy
+    )
+    assert bounds.nodes == tree.stats.num_nodes
+    assert bounds.contains(tree.stats.signature_bytes), (
+        bounds.lower_bytes, tree.stats.signature_bytes, bounds.upper_bytes
+    )
+    # The expected-leaf model lands near the real per-leaf average.
+    real_leaf_avg = (
+        sum(
+            n.signature.byte_size()
+            for n in tree.iter_nodes()
+            if n.is_leaf
+        )
+        / tree.stats.num_leaves
+    )
+    assert bounds.expected_leaf_bytes == pytest.approx(real_leaf_avg, rel=0.15)
+
+
+def test_predict_table1_shapes():
+    gen = PolicyGenerator(seed=7)
+    workload = gen.generate()
+    rows = [
+        predict_table1(simulated(), TpchConfig(scale=s, shape=(16, 4, 4)), workload.policies)
+        for s in (0.1, 0.3, 1, 3)
+    ]
+    # Node counts are scale-independent (full tree); records saturate.
+    assert len({r.nodes for r in rows}) == 1
+    recs = [r.expected_records for r in rows]
+    assert recs == sorted(recs)
+    assert rows[0].lower_index_kib < rows[0].upper_index_kib

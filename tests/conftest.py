@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite.
+
+Most tests run on the simulated bilinear group (exact same algebra, fast);
+crypto tests additionally exercise the real BN254 backend.  Both backends
+are exposed through the ``any_group`` parametrized fixture for contract
+tests that must hold on both.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto import bn254, simulated
+from repro.policy.roles import RoleUniverse
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture(scope="session")
+def sim_group():
+    return simulated()
+
+
+@pytest.fixture(scope="session")
+def real_group():
+    return bn254()
+
+
+@pytest.fixture(params=["simulated", "bn254"])
+def any_group(request, sim_group, real_group):
+    return sim_group if request.param == "simulated" else real_group
+
+
+@pytest.fixture(scope="session")
+def universe_abc():
+    return RoleUniverse(["RoleA", "RoleB", "RoleC"])
+
+
+@pytest.fixture(scope="session")
+def sim_owner(universe_abc):
+    """A session-scoped DataOwner on the simulated backend."""
+    from repro.core.system import DataOwner
+
+    return DataOwner(simulated(), universe_abc, rng=random.Random(1))

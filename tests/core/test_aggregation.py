@@ -1,0 +1,96 @@
+"""Tests for authenticated aggregation (future-work extension)."""
+
+import random
+import struct
+
+import pytest
+
+from repro.core.aggregation import AGGREGATES, authenticated_aggregate
+from repro.core.app_signature import AppAuthenticator
+from repro.core.range_query import clip_query, range_vo
+from repro.core.records import Dataset, Record
+from repro.core.system import DataOwner
+from repro.core.vo import AccessibleRecordEntry, VerificationObject
+from repro.crypto import simulated
+from repro.errors import ReproError, VerificationError
+from repro.index.boxes import Domain
+from repro.policy.boolexpr import parse_policy
+from repro.policy.roles import RoleUniverse
+
+
+@pytest.fixture(scope="module")
+def env():
+    rng = random.Random(303)
+    universe = RoleUniverse(["RoleA", "RoleB"])
+    owner = DataOwner(simulated(), universe, rng=rng)
+    ds = Dataset(Domain.of((0, 31)))
+    # value = packed measure
+    measures = {2: 10, 7: 25, 11: 5, 19: 40, 28: 20}
+    for key, measure in measures.items():
+        policy = parse_policy("RoleA" if measure != 25 else "RoleB")
+        ds.add(Record((key,), struct.pack(">I", measure), policy))
+    tree = owner.build_tree(ds)
+    auth = AppAuthenticator(simulated(), universe, owner.mvk)
+    return rng, tree, auth
+
+
+def _measure(record):
+    return struct.unpack(">I", record.value)[0]
+
+
+def test_count_sum_min_max_avg(env):
+    rng, tree, auth = env
+    roles = frozenset({"RoleA"})
+    query = clip_query(tree, (0,), (31,))
+    vo = range_vo(tree, auth, query, roles, rng)
+    # Accessible measures: 10, 5, 40, 20 (25 is RoleB-only).
+    expect = {"count": 4, "sum": 75, "min": 5, "max": 40, "avg": 75 / 4}
+    for kind in AGGREGATES:
+        result = authenticated_aggregate(vo, auth, query, roles, kind, _measure)
+        assert result.value == pytest.approx(expect[kind])
+        assert result.supporting_records == 4
+
+
+def test_count_does_not_leak_hidden_records(env):
+    rng, tree, auth = env
+    query = clip_query(tree, (0,), (31,))
+    vo = range_vo(tree, auth, query, frozenset({"RoleB"}), rng)
+    result = authenticated_aggregate(vo, auth, query, frozenset({"RoleB"}), "count")
+    assert result.value == 1  # only the RoleB record, not "5 minus hidden"
+
+
+def test_empty_aggregates(env):
+    rng, tree, auth = env
+    query = clip_query(tree, (0,), (31,))
+    vo = range_vo(tree, auth, query, frozenset(), rng)
+    count = authenticated_aggregate(vo, auth, query, frozenset(), "count")
+    assert count.value == 0 and count.is_empty
+    total = authenticated_aggregate(vo, auth, query, frozenset(), "sum", _measure)
+    assert total.value is None and total.is_empty
+
+
+def test_unknown_aggregate_rejected(env):
+    rng, tree, auth = env
+    query = clip_query(tree, (0,), (31,))
+    vo = range_vo(tree, auth, query, frozenset({"RoleA"}), rng)
+    with pytest.raises(ReproError):
+        authenticated_aggregate(vo, auth, query, frozenset({"RoleA"}), "median")
+
+
+def test_tampered_vo_never_aggregates(env):
+    rng, tree, auth = env
+    roles = frozenset({"RoleA"})
+    query = clip_query(tree, (0,), (31,))
+    vo = range_vo(tree, auth, query, roles, rng)
+    entries = []
+    for e in vo:
+        if isinstance(e, AccessibleRecordEntry):
+            e = AccessibleRecordEntry(
+                key=e.key, value=struct.pack(">I", 999_999),
+                policy=e.policy, signature=e.signature,
+            )
+        entries.append(e)
+    with pytest.raises(VerificationError):
+        authenticated_aggregate(
+            VerificationObject(entries=entries), auth, query, roles, "sum", _measure
+        )

@@ -1,0 +1,132 @@
+"""Tests for the MSP memoization and SP-side APS cache."""
+
+import random
+
+import pytest
+
+from repro.core.app_signature import AppAuthenticator
+from repro.core.records import Record
+from repro.core.system import DataOwner
+from repro.crypto import simulated
+from repro.policy.boolexpr import parse_policy
+from repro.policy.msp import Msp, get_msp, msp_cache_info
+from repro.policy.roles import RoleUniverse
+
+
+def test_get_msp_returns_shared_instance():
+    order = 101
+    a = get_msp(parse_policy("X and (Y or Z)"), order)
+    b = get_msp(parse_policy("X and (Y or Z)"), order)
+    assert a is b
+    c = get_msp(parse_policy("X and (Y or W)"), order)
+    assert c is not a
+
+
+def test_get_msp_distinguishes_order():
+    expr = parse_policy("P or Q")
+    assert get_msp(expr, 101) is not get_msp(expr, 103)
+
+
+def test_cached_msp_matches_fresh():
+    expr = parse_policy("(A and B) or C")
+    cached = get_msp(expr, 101)
+    fresh = Msp(expr, 101)
+    assert cached.matrix == fresh.matrix
+    assert cached.labels == fresh.labels
+
+
+def test_msp_cache_info_reports():
+    info = msp_cache_info()
+    assert info.maxsize == 4096
+    assert info.hits >= 0
+
+
+@pytest.fixture()
+def aps_env():
+    rng = random.Random(111)
+    universe = RoleUniverse(["RoleA", "RoleB"])
+    owner = DataOwner(simulated(), universe, rng=rng)
+    auth = AppAuthenticator(simulated(), universe, owner.mvk)
+    record = Record((1,), b"v", parse_policy("RoleA"))
+    sig = owner.signer.sign_record(record, rng)
+    return rng, universe, auth, record, sig
+
+
+def test_aps_cache_hit_returns_identical_signature(aps_env):
+    rng, universe, auth, record, sig = aps_env
+    auth.enable_aps_cache()
+    roles = {"RoleB"}
+    first = auth.derive_record_aps(record, sig, roles, rng)
+    second = auth.derive_record_aps(record, sig, roles, rng)
+    assert first == second  # served from cache
+    assert auth.aps_cache_hits == 1
+    assert auth.aps_cache_misses == 1
+    assert auth.verify_inaccessible_record(record.key, record.value_hash(), roles, second)
+
+
+def test_aps_cache_distinguishes_role_sets(aps_env):
+    rng, universe, auth, record, sig = aps_env
+    auth.enable_aps_cache()
+    a = auth.derive_record_aps(record, sig, frozenset({"RoleB"}), rng)
+    # A user with no roles has a different missing set -> cache miss.
+    b = auth.derive_record_aps(record, sig, frozenset(), rng)
+    assert auth.aps_cache_misses == 2
+    assert len(a.s) != len(b.s)  # different super-policy lengths
+
+
+def test_aps_cache_disabled_gives_fresh_signatures(aps_env):
+    rng, universe, auth, record, sig = aps_env
+    roles = {"RoleB"}
+    first = auth.derive_record_aps(record, sig, roles, rng)
+    second = auth.derive_record_aps(record, sig, roles, rng)
+    assert first != second  # re-randomized every time
+
+
+def test_aps_cache_eviction(aps_env):
+    rng, universe, auth, record, sig = aps_env
+    auth.enable_aps_cache(maxsize=1)
+    auth.derive_record_aps(record, sig, frozenset({"RoleB"}), rng)
+    auth.derive_record_aps(record, sig, frozenset(), rng)  # evicts the first
+    auth.derive_record_aps(record, sig, frozenset({"RoleB"}), rng)
+    assert auth.aps_cache_hits == 0
+    assert auth.aps_cache_misses == 3
+
+
+def test_verify_vo_batched_matches_naive():
+    """The batched VO verifier accepts/extracts exactly like the naive one
+    and pinpoints tampered entries."""
+    import random
+
+    from repro.core.range_query import clip_query, range_vo
+    from repro.core.records import Dataset, Record
+    from repro.core.verifier import verify_vo, verify_vo_batched
+    from repro.core.vo import InaccessibleRecordEntry, VerificationObject
+    from repro.errors import SoundnessError
+    from repro.index.boxes import Domain
+
+    rng = random.Random(1717)
+    universe = RoleUniverse(["RoleA", "RoleB"])
+    owner = DataOwner(simulated(), universe, rng=rng)
+    ds = Dataset(Domain.of((0, 15)))
+    for key in range(0, 16, 2):
+        ds.add(Record((key,), b"r%d" % key,
+                      parse_policy("RoleA" if key % 4 == 0 else "RoleB")))
+    tree = owner.build_tree(ds)
+    auth = AppAuthenticator(simulated(), universe, owner.mvk)
+    roles = frozenset({"RoleA"})
+    query = clip_query(tree, (0,), (15,))
+    vo = range_vo(tree, auth, query, roles, rng)
+    naive = sorted(r.value for r in verify_vo(vo, auth, query, roles))
+    batched = sorted(r.value for r in verify_vo_batched(vo, auth, query, roles, rng=rng))
+    assert naive == batched
+    # Tamper with one APS payload: the batch fails and the entry is named.
+    entries = []
+    for e in vo:
+        if isinstance(e, InaccessibleRecordEntry):
+            e = InaccessibleRecordEntry(key=e.key, value_hash=b"\x00" * 32, aps=e.aps)
+            tampered_region = e.region
+        entries.append(e)
+    import pytest as _pytest
+
+    with _pytest.raises(SoundnessError):
+        verify_vo_batched(VerificationObject(entries=entries), auth, query, roles, rng=rng)

@@ -1,0 +1,140 @@
+"""Tests for continuous attributes via pseudo regions (Section 9.2)."""
+
+import random
+
+import pytest
+
+from repro.core.app_signature import AppAuthenticator
+from repro.core.continuous import (
+    ContinuousIndex,
+    continuous_equality_vo,
+    continuous_range_vo,
+    verify_continuous_vo,
+)
+from repro.core.records import Record
+from repro.core.system import DataOwner
+from repro.crypto import simulated
+from repro.errors import CompletenessError, WorkloadError
+from repro.index.boxes import Box
+from repro.policy.boolexpr import parse_policy
+from repro.policy.roles import RoleUniverse
+
+LO, HI = 0, 9999
+
+
+@pytest.fixture(scope="module")
+def env():
+    rng = random.Random(111)
+    universe = RoleUniverse(["RoleA", "RoleB"])
+    owner = DataOwner(simulated(), universe, rng=rng)
+    records = [
+        Record((100,), b"e100", parse_policy("RoleA")),
+        Record((2500,), b"e2500", parse_policy("RoleB")),
+        Record((2501,), b"e2501", parse_policy("RoleA")),
+        Record((9000,), b"e9000", parse_policy("RoleA and RoleB")),
+    ]
+    index = ContinuousIndex(owner.signer, LO, HI, records, rng)
+    auth = AppAuthenticator(simulated(), universe, owner.mvk)
+    return rng, index, auth
+
+
+def test_index_signature_count(env):
+    _, index, _ = env
+    # 4 records + 4 gap regions (before 100, between 100..2500,
+    # between 2501..9000, after 9000).
+    assert index.num_signatures == 8
+    boxes = [s.box for s in index.regions]
+    assert Box((0,), (99,)) in boxes
+    assert Box((9001,), (9999,)) in boxes
+    # Adjacent records leave no gap between them.
+    assert all(b.lo[0] != 2501 for b in boxes)
+
+
+def test_segments_ordered_and_tiling(env):
+    _, index, _ = env
+    items = index.segments()
+    cursor = LO
+    for kind, signed in items:
+        box = Box(signed.record.key, signed.record.key) if kind == "record" else signed.box
+        assert box.lo[0] == cursor
+        cursor = box.hi[0] + 1
+    assert cursor == HI + 1
+
+
+def test_range_query_matches_ground_truth(env):
+    rng, index, auth = env
+    for roles in ({"RoleA"}, {"RoleB"}, set(), {"RoleA", "RoleB"}):
+        query = Box((50,), (9500,))
+        vo = continuous_range_vo(index, auth, query, roles, rng)
+        records = verify_continuous_vo(vo, auth, query, roles)
+        expected = sorted(
+            s.record.value
+            for s in index.records
+            if query.contains_point(s.record.key) and s.record.policy.evaluate(roles)
+        )
+        assert sorted(r.value for r in records) == expected
+
+
+def test_equality_on_record(env):
+    rng, index, auth = env
+    vo = continuous_equality_vo(index, auth, 100, {"RoleA"}, rng)
+    records = verify_continuous_vo(vo, auth, Box((100,), (100,)), {"RoleA"})
+    assert [r.value for r in records] == [b"e100"]
+
+
+def test_equality_on_empty_point_proves_absence(env):
+    rng, index, auth = env
+    vo = continuous_equality_vo(index, auth, 5000, {"RoleA"}, rng)
+    assert len(vo) == 1  # one region APS covers the probe
+    assert verify_continuous_vo(vo, auth, Box((5000,), (5000,)), {"RoleA"}) == []
+
+
+def test_region_entry_reveals_distribution_but_not_policy(env):
+    """The relaxed model leaks record *positions* (region bounds) but an
+    inaccessible record still hides its policy behind the super policy."""
+    rng, index, auth = env
+    vo = continuous_range_vo(index, auth, Box((2400,), (2600,)), {"RoleA"}, rng)
+    kinds = sorted(type(e).__name__ for e in vo)
+    assert kinds == [
+        "AccessibleRecordEntry",    # 2501 (RoleA)
+        "InaccessibleNodeEntry",    # gap region 101..2499 (clipped)
+        "InaccessibleNodeEntry",    # gap region 2502..8999 (clipped)
+        "InaccessibleRecordEntry",  # 2500 hidden (RoleB)
+    ]
+
+
+def test_coverage_gap_detected(env):
+    rng, index, auth = env
+    query = Box((50,), (3000,))
+    vo = continuous_range_vo(index, auth, query, {"RoleA"}, rng)
+    vo.entries.pop()  # drop one proof
+    with pytest.raises(CompletenessError):
+        verify_continuous_vo(vo, auth, query, {"RoleA"})
+
+
+def test_index_validation():
+    rng = random.Random(1)
+    universe = RoleUniverse(["RoleA"])
+    owner = DataOwner(simulated(), universe, rng=rng)
+    with pytest.raises(WorkloadError):
+        ContinuousIndex(owner.signer, 10, 0, [], rng)
+    with pytest.raises(WorkloadError):
+        ContinuousIndex(
+            owner.signer, 0, 10,
+            [Record((20,), b"x", parse_policy("RoleA"))], rng,
+        )
+    with pytest.raises(WorkloadError):
+        ContinuousIndex(
+            owner.signer, 0, 10,
+            [Record((5,), b"x", parse_policy("RoleA")),
+             Record((5,), b"y", parse_policy("RoleA"))], rng,
+        )
+
+
+def test_index_cost_scales_with_records_not_domain():
+    rng = random.Random(2)
+    universe = RoleUniverse(["RoleA"])
+    owner = DataOwner(simulated(), universe, rng=rng)
+    records = [Record((i * 1_000_000,), b"v", parse_policy("RoleA")) for i in range(5)]
+    index = ContinuousIndex(owner.signer, 0, 10_000_000, records, rng)
+    assert index.num_signatures <= 2 * len(records) + 1

@@ -1,0 +1,76 @@
+"""Hypothesis-driven end-to-end property test of the whole protocol.
+
+For any database, any role universe, any user role set, and any query
+box: the verified results of the tree method, the basic method, and the
+kd-tree method all equal the access-filtered ground truth, and every VO
+round-trips through serialization.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.app_signature import AppAuthenticator
+from repro.core.range_query import range_vo, range_vo_basic
+from repro.core.records import Dataset, Record
+from repro.core.system import DataOwner
+from repro.core.verifier import verify_vo
+from repro.core.vo import VerificationObject
+from repro.crypto import simulated
+from repro.index.boxes import Box, Domain
+from repro.index.kdtree import APKDTree
+from repro.policy.boolexpr import And, Attr, Or
+from repro.policy.roles import RoleUniverse
+
+ROLES = ["RoleA", "RoleB", "RoleC"]
+
+policy_st = st.recursive(
+    st.sampled_from(ROLES).map(Attr),
+    lambda ch: st.one_of(
+        st.lists(ch, min_size=1, max_size=2).map(lambda cs: And.of(*cs)),
+        st.lists(ch, min_size=1, max_size=2).map(lambda cs: Or.of(*cs)),
+    ),
+    max_leaves=4,
+)
+
+
+@st.composite
+def scenario(draw):
+    size = draw(st.integers(min_value=4, max_value=24))
+    n_records = draw(st.integers(min_value=0, max_value=min(8, size)))
+    keys = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=size - 1),
+            min_size=n_records, max_size=n_records, unique=True,
+        )
+    )
+    policies = [draw(policy_st) for _ in keys]
+    roles = draw(st.sets(st.sampled_from(ROLES)))
+    lo = draw(st.integers(min_value=0, max_value=size - 1))
+    hi = draw(st.integers(min_value=lo, max_value=size - 1))
+    return size, list(zip(keys, policies)), frozenset(roles), (lo, hi)
+
+
+@given(scenario())
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_all_methods_agree_with_ground_truth(params):
+    size, records, roles, (lo, hi) = params
+    rng = random.Random(777)
+    universe = RoleUniverse(ROLES)
+    owner = DataOwner(simulated(), universe, rng=rng)
+    ds = Dataset(Domain.of((0, size - 1)))
+    for i, (key, policy) in enumerate(records):
+        ds.add(Record((key,), b"v%d" % i, policy))
+    grid = owner.build_tree(ds)
+    kd = APKDTree.build(ds, owner.signer, rng)
+    auth = AppAuthenticator(simulated(), universe, owner.mvk)
+    query = Box((lo,), (hi,))
+    truth = sorted(
+        r.value for r in ds
+        if query.contains_point(r.key) and r.policy.evaluate(roles)
+    )
+    for builder, tree in ((range_vo, grid), (range_vo_basic, grid), (range_vo, kd)):
+        vo = builder(tree, auth, query, roles, rng)
+        restored = VerificationObject.from_bytes(auth.group, vo.to_bytes())
+        got = sorted(r.value for r in verify_vo(restored, auth, query, roles))
+        assert got == truth

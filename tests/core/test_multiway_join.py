@@ -1,0 +1,121 @@
+"""Tests for the multi-way join extension (Section 6.2)."""
+
+import random
+
+import pytest
+
+from repro.core.app_signature import AppAuthenticator
+from repro.core.multiway_join import multiway_join_vo, verify_multiway_join_vo
+from repro.core.records import Dataset, Record
+from repro.core.system import DataOwner
+from repro.crypto import simulated
+from repro.errors import SoundnessError, WorkloadError
+from repro.index.boxes import Box, Domain
+from repro.policy.boolexpr import parse_policy
+from repro.policy.roles import RoleUniverse
+
+POLICIES = ["RoleA", "RoleB", "RoleA or RoleB"]
+
+
+@pytest.fixture(scope="module")
+def env():
+    rng = random.Random(202)
+    universe = RoleUniverse(["RoleA", "RoleB"])
+    owner = DataOwner(simulated(), universe, rng=rng)
+    domain = Domain.of((0, 31))
+    tables = {}
+    for t, name in enumerate(("R", "S", "T")):
+        ds = Dataset(domain)
+        keys = sorted(rng.sample(range(32), 14))
+        for i, k in enumerate(keys):
+            ds.add(Record((k,), f"{name}{k}".encode(), parse_policy(POLICIES[(i + t) % 3])))
+        tables[name] = ds
+    trees = [(name, owner.build_tree(ds)) for name, ds in tables.items()]
+    auth = AppAuthenticator(simulated(), universe, owner.mvk)
+    return rng, tables, trees, auth
+
+
+def _ground_truth(tables, query, roles):
+    out = []
+    names = list(tables)
+    for rec in tables[names[0]]:
+        if not query.contains_point(rec.key):
+            continue
+        row = [rec]
+        for name in names[1:]:
+            other = tables[name].get(rec.key)
+            if other is None:
+                row = None
+                break
+            row.append(other)
+        if row is None:
+            continue
+        if all(r.policy.evaluate(roles) for r in row):
+            out.append(tuple(r.value for r in row))
+    return sorted(out)
+
+
+@pytest.mark.parametrize(
+    "roles", [frozenset({"RoleA"}), frozenset({"RoleA", "RoleB"}), frozenset()],
+    ids=["A", "AB", "none"],
+)
+@pytest.mark.parametrize("q", [((0,), (31,)), ((5,), (20,)), ((30,), (31,))])
+def test_three_way_join_matches_ground_truth(env, roles, q):
+    rng, tables, trees, auth = env
+    query = Box(q[0], q[1])
+    vo = multiway_join_vo(trees, auth, query, roles, rng)
+    results = verify_multiway_join_vo(vo, auth, query, roles, ["R", "S", "T"])
+    got = sorted(tuple(r.value for r in res.records) for res in results)
+    assert got == _ground_truth(tables, query, roles)
+
+
+def test_two_way_reduces_to_join(env):
+    """The k=2 case must agree with the dedicated Algorithm 4 engine."""
+    from repro.core.join_query import join_vo
+    from repro.core.verifier import verify_join_vo
+
+    rng, tables, trees, auth = env
+    query = Box((0,), (31,))
+    roles = frozenset({"RoleA"})
+    vo2 = multiway_join_vo(trees[:2], auth, query, roles, rng)
+    results2 = verify_multiway_join_vo(vo2, auth, query, roles, ["R", "S"])
+    vo = join_vo(trees[0][1], trees[1][1], auth, query, roles, rng)
+    pairs = verify_join_vo(vo, auth, query, roles)
+    assert sorted((r.records[0].value, r.records[1].value) for r in results2) == sorted(
+        (p.left.value, p.right.value) for p in pairs
+    )
+
+
+def test_validation_errors(env):
+    rng, tables, trees, auth = env
+    with pytest.raises(WorkloadError):
+        multiway_join_vo(trees[:1], auth, Box((0,), (31,)), {"RoleA"}, rng)
+    with pytest.raises(WorkloadError):
+        multiway_join_vo(
+            [trees[0], trees[0]], auth, Box((0,), (31,)), {"RoleA"}, rng
+        )
+    owner = DataOwner(simulated(), auth.universe, rng=rng)
+    other_tree = owner.build_tree(Dataset(Domain.of((0, 15))))
+    with pytest.raises(WorkloadError):
+        multiway_join_vo(
+            [trees[0], ("X", other_tree)], auth, Box((0,), (31,)), {"RoleA"}, rng
+        )
+
+
+def test_dropped_table_result_detected(env):
+    from repro.core.vo import AccessibleRecordEntry, VerificationObject
+
+    rng, tables, trees, auth = env
+    query = Box((0,), (31,))
+    roles = frozenset({"RoleA", "RoleB"})
+    vo = multiway_join_vo(trees, auth, query, roles, rng)
+    if not vo.accessible("T"):
+        pytest.skip("no results under this seed")
+    entries = [
+        e for e in vo
+        if not (isinstance(e, AccessibleRecordEntry) and e.table == "T")
+    ]
+    with pytest.raises(SoundnessError):
+        verify_multiway_join_vo(
+            VerificationObject(entries=entries), auth, query, roles, ["R", "S", "T"]
+        )

@@ -1,0 +1,148 @@
+"""Tests for signed-tree and key serialization (SP cold start)."""
+
+import io
+import random
+
+import pytest
+
+from repro.abs.keys import AbsVerificationKey
+from repro.core.app_signature import AppAuthenticator
+from repro.core.persistence import (
+    deserialize_tree,
+    load_tree,
+    save_tree,
+    serialize_tree,
+)
+from repro.core.range_query import clip_query, range_vo
+from repro.core.records import Dataset, Record
+from repro.core.system import DataOwner
+from repro.core.verifier import verify_vo
+from repro.crypto import simulated
+from repro.errors import DeserializationError
+from repro.index.boxes import Domain
+from repro.index.kdtree import APKDTree
+from repro.policy.boolexpr import parse_policy
+from repro.policy.roles import RoleUniverse
+
+
+@pytest.fixture(scope="module")
+def env():
+    rng = random.Random(404)
+    universe = RoleUniverse(["RoleA", "RoleB"])
+    owner = DataOwner(simulated(), universe, rng=rng)
+    ds = Dataset(Domain.of((0, 15), (0, 3)))
+    ds.add(Record((2, 1), b"x", parse_policy("RoleA")))
+    ds.add(Record((9, 3), b"y", parse_policy("RoleB")))
+    tree = owner.build_tree(ds)
+    auth = AppAuthenticator(simulated(), universe, owner.mvk)
+    return rng, owner, ds, tree, auth
+
+
+def test_tree_roundtrip_structure(env):
+    rng, owner, ds, tree, auth = env
+    blob = serialize_tree(tree)
+    restored = deserialize_tree(simulated(), blob)
+    assert restored.domain == tree.domain
+    assert restored.stats.num_nodes == tree.stats.num_nodes
+    assert restored.stats.num_leaves == tree.stats.num_leaves
+    assert restored.stats.num_real_records == 2
+    original = {(n.box, n.policy.to_string()) for n in tree.iter_nodes()}
+    round_tripped = {(n.box, n.policy.to_string()) for n in restored.iter_nodes()}
+    assert original == round_tripped
+
+
+def test_restored_tree_answers_verifiable_queries(env):
+    rng, owner, ds, tree, auth = env
+    restored = deserialize_tree(simulated(), serialize_tree(tree))
+    roles = frozenset({"RoleA"})
+    query = clip_query(restored, (0, 0), (15, 3))
+    vo = range_vo(restored, auth, query, roles, rng)
+    records = verify_vo(vo, auth, query, roles)
+    assert [r.value for r in records] == [b"x"]
+
+
+def test_kd_tree_roundtrip(env):
+    rng, owner, ds, tree, auth = env
+    kd = APKDTree.build(ds, owner.signer, rng)
+    restored = deserialize_tree(simulated(), serialize_tree(kd))
+    assert restored.stats.num_nodes == kd.stats.num_nodes
+    roles = frozenset({"RoleB"})
+    query = clip_query(restored, (0, 0), (15, 3))
+    vo = range_vo(restored, auth, query, roles, rng)
+    assert [r.value for r in verify_vo(vo, auth, query, roles)] == [b"y"]
+
+
+def test_file_object_roundtrip(env):
+    rng, owner, ds, tree, auth = env
+    buffer = io.BytesIO()
+    save_tree(tree, buffer)
+    buffer.seek(0)
+    restored = load_tree(simulated(), buffer)
+    assert restored.stats.num_nodes == tree.stats.num_nodes
+
+
+def test_garbage_rejected(env):
+    with pytest.raises(DeserializationError):
+        deserialize_tree(simulated(), b"not a tree")
+    rng, owner, ds, tree, auth = env
+    blob = serialize_tree(tree)
+    with pytest.raises(DeserializationError):
+        deserialize_tree(simulated(), blob + b"\x00")
+
+
+def test_mvk_roundtrip(env):
+    rng, owner, ds, tree, auth = env
+    data = owner.mvk.to_bytes()
+    restored = AbsVerificationKey.from_bytes(simulated(), data)
+    assert restored.g == owner.mvk.g
+    assert restored.c == owner.mvk.c
+    assert restored.a0_pub == owner.mvk.a0_pub
+    # A verifier built on the restored key accepts the DO's signatures.
+    auth2 = AppAuthenticator(simulated(), owner.universe, restored)
+    leaf = tree.leaf_at((2, 1))
+    assert auth2.verify_record(leaf.record, leaf.signature)
+
+
+def test_mvk_rejects_bad_length(env):
+    with pytest.raises(DeserializationError):
+        AbsVerificationKey.from_bytes(simulated(), b"\x00" * 10)
+
+
+def test_cpabe_key_roundtrip(env):
+    from repro.abe.cpabe import CpAbeScheme
+    from repro.core.persistence import deserialize_cpabe_key, serialize_cpabe_key
+    from repro.policy.boolexpr import parse_policy
+
+    rng, owner, ds, tree, auth = env
+    scheme = CpAbeScheme(simulated())
+    keys = scheme.setup(rng)
+    sk = scheme.keygen(keys, ["RoleA", "RoleB"], rng)
+    restored = deserialize_cpabe_key(simulated(), serialize_cpabe_key(sk))
+    assert restored.attrs == sk.attrs
+    ct = scheme.encrypt(keys.public, scheme.group.gt ** 5, parse_policy("RoleA"), rng)
+    assert scheme.decrypt(restored, ct) == scheme.group.gt ** 5
+
+
+def test_credentials_roundtrip(env):
+    from repro.core.persistence import deserialize_credentials, serialize_credentials
+    from repro.core.system import QueryUser
+
+    rng, owner, ds, tree, auth = env
+    creds = owner.register_user(["RoleA"])
+    blob = serialize_credentials(creds)
+    restored = deserialize_credentials(simulated(), blob)
+    assert restored.roles == creds.roles
+    # A user rebuilt from the blob can open and verify responses.
+    sp = owner.outsource({"T": ds})
+    user = QueryUser(simulated(), owner.universe, restored)
+    resp = sp.range_query("T", (0, 0), (15, 3), user.roles, encrypt=True, rng=rng)
+    assert [r.value for r in user.verify(resp)] == [b"x"]
+
+
+def test_credentials_reject_garbage(env):
+    from repro.core.persistence import deserialize_credentials, deserialize_cpabe_key
+
+    with pytest.raises(DeserializationError):
+        deserialize_credentials(simulated(), b"nope")
+    with pytest.raises(DeserializationError):
+        deserialize_cpabe_key(simulated(), b"zilch")

@@ -1,0 +1,90 @@
+"""Tests for the crypto-free query planner — exact against real VOs."""
+
+import random
+
+import pytest
+
+from repro.core.app_signature import AppAuthenticator
+from repro.core.planner import aps_signature_bytes, plan_range_query
+from repro.core.range_query import clip_query, range_vo
+from repro.core.records import Dataset, Record
+from repro.core.system import DataOwner
+from repro.core.vo import AccessibleRecordEntry, InaccessibleNodeEntry, InaccessibleRecordEntry
+from repro.crypto import simulated
+from repro.index.boxes import Domain
+from repro.policy.boolexpr import parse_policy
+from repro.policy.roles import RoleUniverse
+
+
+@pytest.fixture(scope="module")
+def env():
+    rng = random.Random(1010)
+    universe = RoleUniverse(["RoleA", "RoleB", "RoleC"])
+    owner = DataOwner(simulated(), universe, rng=rng)
+    ds = Dataset(Domain.of((0, 15), (0, 7)))
+    policies = ["RoleA", "RoleB", "RoleC", "RoleA and RoleB"]
+    keys = set()
+    while len(keys) < 20:
+        keys.add((rng.randrange(16), rng.randrange(8)))
+    for i, key in enumerate(sorted(keys)):
+        ds.add(Record(key, b"val-%02d" % i, parse_policy(policies[i % 4])))
+    tree = owner.build_tree(ds)
+    auth = AppAuthenticator(simulated(), universe, owner.mvk)
+    return rng, tree, auth, universe
+
+
+QUERIES = [((0, 0), (15, 7)), ((2, 1), (9, 6)), ((5, 5), (5, 5)), ((12, 0), (15, 7))]
+ROLE_SETS = [frozenset({"RoleA"}), frozenset(), frozenset({"RoleA", "RoleB", "RoleC"})]
+
+
+@pytest.mark.parametrize("q", QUERIES)
+@pytest.mark.parametrize("roles", ROLE_SETS, ids=["A", "none", "ABC"])
+def test_plan_matches_real_vo_exactly(env, q, roles):
+    rng, tree, auth, universe = env
+    query = clip_query(tree, *q)
+    plan = plan_range_query(tree, universe, query, roles)
+    vo = range_vo(tree, auth, query, roles, rng)
+    assert plan.accessible_records == sum(
+        isinstance(e, AccessibleRecordEntry) for e in vo
+    )
+    assert plan.inaccessible_record_aps == sum(
+        isinstance(e, InaccessibleRecordEntry) for e in vo
+    )
+    assert plan.inaccessible_node_aps == sum(
+        isinstance(e, InaccessibleNodeEntry) for e in vo
+    )
+    assert plan.total_entries == len(vo)
+    assert plan.vo_bytes == vo.byte_size()  # byte-exact
+
+
+def test_relax_operations_count(env):
+    rng, tree, auth, universe = env
+    query = clip_query(tree, (0, 0), (15, 7))
+    plan = plan_range_query(tree, universe, query, frozenset())
+    assert plan.relax_operations == plan.total_entries  # nothing accessible
+    assert plan.accessible_records == 0
+
+
+def test_aps_signature_bytes_formula(env):
+    rng, tree, auth, universe = env
+    roles = frozenset({"RoleA"})
+    missing = universe.missing_roles(roles)
+    leaf = next(
+        n for n in tree.iter_nodes()
+        if n.is_leaf and not n.record.policy.evaluate(roles)
+    )
+    record = leaf.record
+    aps = auth.derive_record_aps(record, leaf.signature, roles, rng)
+    assert len(aps.to_bytes()) == aps_signature_bytes(auth.group, len(missing))
+
+
+def test_plan_with_reduced_missing_roles(env):
+    rng, tree, auth, universe = env
+    roles = frozenset({"RoleA"})
+    full = plan_range_query(tree, universe, clip_query(tree, (0, 0), (15, 7)), roles)
+    reduced = plan_range_query(
+        tree, universe, clip_query(tree, (0, 0), (15, 7)), roles,
+        missing_roles=universe.missing_roles(roles)[:2],
+    )
+    assert reduced.vo_bytes < full.vo_bytes  # shorter predicates, smaller APS
+    assert reduced.total_entries == full.total_entries

@@ -1,0 +1,138 @@
+"""Tests for range-query authentication (Algorithm 3)."""
+
+import random
+
+import pytest
+
+from repro.core.app_signature import AppAuthenticator
+from repro.core.range_query import clip_query, range_vo, range_vo_basic
+from repro.core.records import Dataset, Record
+from repro.core.system import DataOwner
+from repro.core.verifier import verify_vo
+from repro.core.vo import (
+    AccessibleRecordEntry,
+    InaccessibleNodeEntry,
+    VerificationObject,
+)
+from repro.crypto import simulated
+from repro.errors import WorkloadError
+from repro.index.boxes import Box, Domain
+from repro.policy.boolexpr import parse_policy
+from repro.policy.roles import RoleUniverse
+
+POLICIES = ["RoleA", "RoleB and RoleC", "RoleC", "RoleA or RoleB"]
+
+
+@pytest.fixture(scope="module")
+def env():
+    rng = random.Random(66)
+    universe = RoleUniverse(["RoleA", "RoleB", "RoleC"])
+    owner = DataOwner(simulated(), universe, rng=rng)
+    ds = Dataset(Domain.of((0, 15), (0, 15)))
+    keys = set()
+    while len(keys) < 24:
+        keys.add((rng.randrange(16), rng.randrange(16)))
+    for i, key in enumerate(sorted(keys)):
+        ds.add(Record(key, b"v%02d" % i, parse_policy(POLICIES[i % 4])))
+    tree = owner.build_tree(ds)
+    auth = AppAuthenticator(simulated(), universe, owner.mvk)
+    return rng, ds, tree, auth
+
+
+def _ground_truth(ds, query, roles):
+    return sorted(
+        r.value
+        for r in ds
+        if query.contains_point(r.key) and r.policy.evaluate(roles)
+    )
+
+
+QUERIES = [
+    ((0, 0), (15, 15)),
+    ((0, 0), (7, 7)),
+    ((3, 2), (12, 14)),
+    ((5, 5), (5, 5)),
+    ((15, 0), (15, 15)),
+]
+ROLE_SETS = [frozenset({"RoleA"}), frozenset({"RoleB", "RoleC"}), frozenset(),
+             frozenset({"RoleA", "RoleB", "RoleC"})]
+
+
+@pytest.mark.parametrize("q", QUERIES)
+@pytest.mark.parametrize("roles", ROLE_SETS, ids=["A", "BC", "none", "ABC"])
+def test_tree_matches_ground_truth(env, q, roles):
+    rng, ds, tree, auth = env
+    query = clip_query(tree, *q)
+    vo = range_vo(tree, auth, query, roles, rng)
+    records = verify_vo(vo, auth, query, roles)
+    assert sorted(r.value for r in records) == _ground_truth(ds, query, roles)
+
+
+@pytest.mark.parametrize("q", QUERIES[:3])
+def test_basic_matches_tree(env, q):
+    rng, ds, tree, auth = env
+    roles = frozenset({"RoleA"})
+    query = clip_query(tree, *q)
+    vo_tree = range_vo(tree, auth, query, roles, rng)
+    vo_basic = range_vo_basic(tree, auth, query, roles, rng)
+    rec_tree = sorted(r.value for r in verify_vo(vo_tree, auth, query, roles))
+    rec_basic = sorted(r.value for r in verify_vo(vo_basic, auth, query, roles))
+    assert rec_tree == rec_basic
+    # The tree VO aggregates inaccessible space: never more entries.
+    assert len(vo_tree) <= len(vo_basic)
+
+
+def test_tree_aggregates_inaccessible_space(env):
+    rng, ds, tree, auth = env
+    query = clip_query(tree, (0, 0), (15, 15))
+    vo = range_vo(tree, auth, query, frozenset(), rng)
+    # A user with no roles gets node summaries, far fewer than 256 cells.
+    assert len(vo) < 64
+    assert all(isinstance(e, InaccessibleNodeEntry) or e.region.is_point for e in vo)
+    assert verify_vo(vo, auth, query, frozenset()) == []
+
+
+def test_no_roles_single_root_summary(env):
+    """With no accessible records anywhere, the whole domain collapses to
+    one APS on the root when the query covers it."""
+    rng, ds, tree, auth = env
+    query = clip_query(tree, (0, 0), (15, 15))
+    vo = range_vo(tree, auth, query, frozenset(), rng)
+    assert len(vo) == 1
+    assert vo.entries[0].region == tree.domain.box
+
+
+def test_query_clipping(env):
+    rng, ds, tree, auth = env
+    query = clip_query(tree, (-5, -5), (100, 3))
+    assert query == Box((0, 0), (15, 3))
+    with pytest.raises(WorkloadError):
+        clip_query(tree, (50, 50), (60, 60))
+
+
+def test_vo_entries_disjoint_and_covering(env):
+    rng, ds, tree, auth = env
+    query = clip_query(tree, (2, 3), (13, 11))
+    vo = range_vo(tree, auth, query, frozenset({"RoleA"}), rng)
+    total = sum(e.region.volume() for e in vo)
+    assert total == query.volume()  # grid-tree entries lie inside the range
+
+
+def test_vo_serialization_roundtrip_preserves_verification(env):
+    rng, ds, tree, auth = env
+    roles = frozenset({"RoleB", "RoleC"})
+    query = clip_query(tree, (0, 0), (9, 9))
+    vo = range_vo(tree, auth, query, roles, rng)
+    restored = VerificationObject.from_bytes(auth.group, vo.to_bytes())
+    a = sorted(r.value for r in verify_vo(vo, auth, query, roles))
+    b = sorted(r.value for r in verify_vo(restored, auth, query, roles))
+    assert a == b
+
+
+def test_accessible_entries_reveal_only_in_range(env):
+    rng, ds, tree, auth = env
+    roles = frozenset({"RoleA"})
+    query = clip_query(tree, (4, 4), (11, 11))
+    vo = range_vo(tree, auth, query, roles, rng)
+    for entry in vo.accessible():
+        assert query.contains_point(entry.key)

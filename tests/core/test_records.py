@@ -1,0 +1,79 @@
+"""Tests for the record/dataset model."""
+
+import pytest
+
+from repro.core.records import Dataset, Record, make_pseudo_record
+from repro.errors import WorkloadError
+from repro.index.boxes import Domain
+from repro.policy.boolexpr import parse_policy
+from repro.policy.roles import PSEUDO_ROLE
+
+POLICY = parse_policy("RoleA")
+
+
+def test_record_message_binds_key_and_value():
+    r1 = Record((1,), b"v", POLICY)
+    r2 = Record((2,), b"v", POLICY)
+    r3 = Record((1,), b"w", POLICY)
+    assert r1.message() != r2.message()
+    assert r1.message() != r3.message()
+    assert r1.message() == Record((1,), b"v", parse_policy("RoleB")).message()
+
+
+def test_message_from_hash_matches():
+    r = Record((4, 2), b"value", POLICY)
+    assert Record.message_from_hash(r.key, r.value_hash()) == r.message()
+
+
+def test_pseudo_record():
+    p = make_pseudo_record((3,))
+    assert p.is_pseudo
+    assert p.policy.attributes() == {PSEUDO_ROLE}
+    assert not p.policy.evaluate({"RoleA", "RoleB"})
+    # Random content: two pseudo records differ.
+    assert make_pseudo_record((3,)).value != p.value
+
+
+def test_pseudo_record_seeded():
+    p1 = make_pseudo_record((3,), b"\x01" * 32)
+    p2 = make_pseudo_record((3,), b"\x01" * 32)
+    assert p1.value == p2.value
+
+
+def test_dataset_rejects_duplicate_keys():
+    ds = Dataset(Domain.of((0, 9)))
+    ds.add(Record((1,), b"a", POLICY))
+    with pytest.raises(WorkloadError):
+        ds.add(Record((1,), b"b", POLICY))
+
+
+def test_dataset_rejects_out_of_domain():
+    ds = Dataset(Domain.of((0, 9)))
+    with pytest.raises(WorkloadError):
+        ds.add(Record((10,), b"a", POLICY))
+    with pytest.raises(WorkloadError):
+        ds.add(Record((1, 2), b"a", POLICY))
+
+
+def test_dataset_lookup_and_iteration():
+    ds = Dataset(Domain.of((0, 9)), [Record((1,), b"a", POLICY)])
+    assert ds.get((1,)).value == b"a"
+    assert ds.get((2,)) is None
+    assert len(ds) == 1
+    assert [r.value for r in ds] == [b"a"]
+    assert list(ds.keys()) == [(1,)]
+
+
+def test_record_or_pseudo():
+    ds = Dataset(Domain.of((0, 9)), [Record((1,), b"a", POLICY)])
+    assert ds.record_or_pseudo((1,)).value == b"a"
+    pseudo = ds.record_or_pseudo((2,))
+    assert pseudo.is_pseudo and pseudo.key == (2,)
+    with pytest.raises(WorkloadError):
+        ds.record_or_pseudo((99,))
+
+
+def test_dataset_normalizes_key_types():
+    ds = Dataset(Domain.of((0, 9)))
+    ds.add(Record((1.0,), b"a", POLICY))  # floats normalized to ints
+    assert ds.get((1,)).key == (1,)

@@ -1,0 +1,166 @@
+"""End-to-end tests for the DO / SP / user orchestration."""
+
+import random
+
+import pytest
+
+from repro.core.records import Dataset, Record
+from repro.core.system import DataOwner, QueryUser
+from repro.crypto import simulated
+from repro.errors import AccessDeniedError, PolicyError, ReproError, WorkloadError
+from repro.index.boxes import Domain
+from repro.policy.boolexpr import parse_policy
+from repro.policy.policygen import PolicyGenerator
+from repro.policy.roles import RoleUniverse
+
+
+@pytest.fixture(scope="module")
+def system():
+    rng = random.Random(88)
+    universe = RoleUniverse(["doctor", "nurse", "researcher"])
+    ds = Dataset(Domain.of((0, 31)))
+    ds.add(Record((2,), b"rec2", parse_policy("doctor")))
+    ds.add(Record((9,), b"rec9", parse_policy("doctor or nurse")))
+    ds.add(Record((17,), b"rec17", parse_policy("doctor and researcher")))
+    ds.add(Record((30,), b"rec30", parse_policy("nurse")))
+    owner = DataOwner(simulated(), universe, rng=rng)
+    sp = owner.outsource({"T": ds})
+    return rng, universe, owner, sp
+
+
+def _user(owner, universe, roles):
+    return QueryUser(simulated(), universe, owner.register_user(roles))
+
+
+def test_equality_flow(system):
+    rng, universe, owner, sp = system
+    nurse = _user(owner, universe, ["nurse"])
+    resp = sp.equality_query("T", (9,), nurse.roles, rng=rng)
+    assert [r.value for r in nurse.verify(resp)] == [b"rec9"]
+
+
+def test_range_flow_plain_and_encrypted(system):
+    rng, universe, owner, sp = system
+    nurse = _user(owner, universe, ["nurse"])
+    expected = [b"rec30", b"rec9"]
+    for encrypt in (False, True):
+        resp = sp.range_query("T", (0,), (31,), nurse.roles, encrypt=encrypt, rng=rng)
+        assert sorted(r.value for r in nurse.verify(resp)) == expected
+
+
+def test_envelope_blocks_impersonation(system):
+    """A user claiming roles they don't hold cannot open the response."""
+    rng, universe, owner, sp = system
+    nurse = _user(owner, universe, ["nurse"])
+    resp = sp.range_query(
+        "T", (0,), (31,), {"doctor", "researcher"}, encrypt=True, rng=rng
+    )
+    with pytest.raises(AccessDeniedError):
+        nurse.verify(resp)
+
+
+def test_unknown_table(system):
+    rng, universe, owner, sp = system
+    with pytest.raises(WorkloadError):
+        sp.equality_query("missing", (1,), {"nurse"}, rng=rng)
+
+
+def test_bad_range_method(system):
+    rng, universe, owner, sp = system
+    with pytest.raises(WorkloadError):
+        sp.range_query("T", (0,), (31,), {"nurse"}, method="quantum", rng=rng)
+
+
+def test_response_without_payload_rejected(system):
+    from repro.core.system import QueryResponse
+    from repro.index.boxes import Box
+
+    rng, universe, owner, sp = system
+    nurse = _user(owner, universe, ["nurse"])
+    with pytest.raises(ReproError):
+        nurse.verify(QueryResponse(kind="range", query=Box((0,), (1,))))
+
+
+def test_register_user_validates_roles(system):
+    _, _, owner, _ = system
+    with pytest.raises(PolicyError):
+        owner.register_user(["no-such-role"])
+
+
+def test_join_flow(system):
+    rng, universe, owner, sp = system
+    ds_r = Dataset(Domain.of((0, 15)))
+    ds_s = Dataset(Domain.of((0, 15)))
+    ds_r.add(Record((3,), b"r3", parse_policy("nurse")))
+    ds_r.add(Record((8,), b"r8", parse_policy("doctor")))
+    ds_s.add(Record((3,), b"s3", parse_policy("nurse")))
+    ds_s.add(Record((9,), b"s9", parse_policy("nurse")))
+    sp2 = owner.outsource({"R": ds_r, "S": ds_s})
+    nurse = _user(owner, universe, ["nurse"])
+    resp = sp2.join_query("R", "S", (0,), (15,), nurse.roles, encrypt=True, rng=rng)
+    pairs = nurse.verify_join(resp)
+    assert [(p.left.value, p.right.value) for p in pairs] == [(b"r3", b"s3")]
+
+
+def test_hierarchical_system_end_to_end():
+    """Full flow under the Section 8.1 hierarchical-role optimization."""
+    rng = random.Random(99)
+    gen = PolicyGenerator(seed=4)
+    wl = gen.generate_hierarchical()
+    ds = Dataset(Domain.of((0, 15)))
+    for i, policy in enumerate(wl.policies[:8]):
+        ds.add(Record((2 * i,), b"v%d" % i, policy))
+    owner = DataOwner(simulated(), wl.universe, hierarchy=wl.hierarchy, rng=rng)
+    sp = owner.outsource({"T": ds})
+    creds = owner.register_user(["Role3"])
+    user = QueryUser(simulated(), wl.universe, creds, hierarchy=wl.hierarchy)
+    # Closure granted the parent global role too.
+    assert any(r.startswith("Global") for r in creds.roles)
+    resp = sp.range_query("T", (0,), (15,), creds.roles, rng=rng)
+    records = user.verify(resp)
+    expected = sorted(
+        r.value for r in ds if r.policy.evaluate(creds.roles)
+    )
+    assert sorted(r.value for r in records) == expected
+    # The reduced predicate is strictly shorter than the full A \ A.
+    reduced = wl.hierarchy.maximal_missing(wl.universe, creds.roles)
+    assert len(reduced) < len(wl.universe.missing_roles(creds.roles))
+
+
+def test_response_byte_size(system):
+    rng, universe, owner, sp = system
+    nurse = _user(owner, universe, ["nurse"])
+    plain = sp.range_query("T", (0,), (31,), nurse.roles, rng=rng)
+    sealed = sp.range_query("T", (0,), (31,), nurse.roles, encrypt=True, rng=rng)
+    assert plain.byte_size() > 0
+    # Encryption adds the CP-ABE header + AES framing.
+    assert sealed.byte_size() > plain.byte_size()
+
+
+def test_service_provider_with_kdtree(system):
+    """The relaxed-model AP2kd-tree plugs into the same SP orchestration."""
+    from repro.core.system import ServiceProvider
+    from repro.index.kdtree import APKDTree
+
+    rng, universe, owner, sp = system
+    ds = Dataset(Domain.of((0, 63)))
+    ds.add(Record((9,), b"k9", parse_policy("nurse")))
+    ds.add(Record((40,), b"k40", parse_policy("doctor")))
+    kd = APKDTree.build(ds, owner.signer, rng)
+    sp_kd = ServiceProvider(
+        group=owner.group,
+        universe=universe,
+        mvk=owner.mvk,
+        cpabe_public=owner.cpabe_public,
+        trees={"T": kd},
+    )
+    nurse = _user(owner, universe, ["nurse"])
+    resp = sp_kd.range_query("T", (0,), (63,), nurse.roles, encrypt=True, rng=rng)
+    assert [r.value for r in nurse.verify(resp)] == [b"k9"]
+
+
+def test_package_metadata():
+    import repro
+
+    assert repro.__version__
+    assert "SIGMOD 2018" in repro.PAPER

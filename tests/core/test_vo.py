@@ -1,0 +1,110 @@
+"""Tests for VO entries and the binary codec."""
+
+import random
+
+import pytest
+
+from repro.abs.scheme import AbsScheme
+from repro.core.vo import (
+    AccessibleRecordEntry,
+    InaccessibleNodeEntry,
+    InaccessibleRecordEntry,
+    VerificationObject,
+)
+from repro.crypto import simulated
+from repro.errors import DeserializationError
+from repro.index.boxes import Box
+from repro.policy.boolexpr import parse_policy
+
+
+@pytest.fixture(scope="module")
+def entries():
+    rng = random.Random(44)
+    scheme = AbsScheme(simulated())
+    keys = scheme.setup(rng)
+    sk = scheme.keygen(keys, ["A", "B"], rng)
+    policy = parse_policy("A and B")
+    sig = scheme.sign(keys.mvk, sk, b"m", policy, rng)
+    acc = AccessibleRecordEntry(
+        key=(3, 4), value=b"payload", policy=policy, signature=sig, table="R"
+    )
+    inacc = InaccessibleRecordEntry(key=(5, 6), value_hash=b"\x01" * 32, aps=sig)
+    node = InaccessibleNodeEntry(box=Box((0, 0), (7, 7)), aps=sig, table="S")
+    return acc, inacc, node
+
+
+def test_regions(entries):
+    acc, inacc, node = entries
+    assert acc.region == Box((3, 4), (3, 4))
+    assert inacc.region == Box((5, 6), (5, 6))
+    assert node.region == Box((0, 0), (7, 7))
+
+
+def test_entry_roundtrips(entries):
+    group = simulated()
+    for entry in entries:
+        vo = VerificationObject(entries=[entry])
+        restored = VerificationObject.from_bytes(group, vo.to_bytes())
+        assert len(restored) == 1
+        out = restored.entries[0]
+        assert type(out) is type(entry)
+        assert out.region == entry.region
+        assert out.table == entry.table
+
+
+def test_mixed_vo_roundtrip(entries):
+    group = simulated()
+    vo = VerificationObject(entries=list(entries))
+    restored = VerificationObject.from_bytes(group, vo.to_bytes())
+    assert len(restored) == 3
+    assert [type(e) for e in restored] == [type(e) for e in entries]
+
+
+def test_accessible_record_reconstruction(entries):
+    acc, _, _ = entries
+    record = acc.record()
+    assert record.key == (3, 4)
+    assert record.value == b"payload"
+    group = simulated()
+    restored = VerificationObject.from_bytes(
+        group, VerificationObject(entries=[acc]).to_bytes()
+    ).entries[0]
+    assert restored.policy == acc.policy
+    assert restored.signature == acc.signature
+
+
+def test_byte_size_matches_serialization(entries):
+    for entry in entries:
+        assert entry.byte_size() == len(entry.to_bytes())
+    vo = VerificationObject(entries=list(entries))
+    assert vo.byte_size() == len(vo.to_bytes())
+
+
+def test_accessible_and_table_filters(entries):
+    acc, inacc, node = entries
+    vo = VerificationObject(entries=[acc, inacc, node])
+    assert vo.accessible() == [acc]
+    assert vo.accessible("R") == [acc]
+    assert vo.accessible("S") == []
+    assert vo.for_table("S") == [node]
+
+
+def test_from_bytes_rejects_garbage():
+    group = simulated()
+    with pytest.raises(DeserializationError):
+        VerificationObject.from_bytes(group, b"\x00\x00\x00\x01\xff")
+    with pytest.raises(DeserializationError):
+        VerificationObject.from_bytes(group, b"\x00\x00\x00\x02")
+
+
+def test_from_bytes_rejects_trailing(entries):
+    group = simulated()
+    data = VerificationObject(entries=[entries[0]]).to_bytes()
+    with pytest.raises(DeserializationError):
+        VerificationObject.from_bytes(group, data + b"\x00")
+
+
+def test_empty_vo_roundtrip():
+    group = simulated()
+    vo = VerificationObject()
+    assert VerificationObject.from_bytes(group, vo.to_bytes()).entries == []

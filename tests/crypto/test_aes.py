@@ -1,0 +1,92 @@
+"""Tests for the from-scratch AES-128, CTR mode, and the sealed envelope."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.aes import (
+    AES128,
+    SBOX,
+    aes_ctr_xor,
+    ctr_keystream,
+    open_sealed,
+    seal,
+)
+from repro.errors import CryptoError
+
+
+def test_sbox_known_entries():
+    # Spot values from FIPS-197.
+    assert SBOX[0x00] == 0x63
+    assert SBOX[0x01] == 0x7C
+    assert SBOX[0x53] == 0xED
+    assert SBOX[0xFF] == 0x16
+    assert len(set(SBOX)) == 256  # a permutation
+
+
+def test_fips197_vector():
+    key = bytes(range(16))
+    pt = bytes.fromhex("00112233445566778899aabbccddeeff")
+    assert AES128(key).encrypt_block(pt).hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+
+def test_nist_sp800_38a_ecb_vector():
+    # NIST SP 800-38A F.1.1 ECB-AES128 block 1.
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    pt = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+    assert AES128(key).encrypt_block(pt).hex() == "3ad77bb40d7a3660a89ecaf32466ef97"
+
+
+def test_block_size_enforced():
+    with pytest.raises(CryptoError):
+        AES128(b"k" * 16).encrypt_block(b"short")
+    with pytest.raises(CryptoError):
+        AES128(b"k" * 15)
+
+
+@given(st.binary(min_size=0, max_size=200), st.binary(min_size=16, max_size=16),
+       st.binary(min_size=12, max_size=12))
+def test_ctr_is_an_involution(data, key, nonce):
+    once = aes_ctr_xor(key, nonce, data)
+    assert aes_ctr_xor(key, nonce, once) == data
+    assert len(once) == len(data)
+
+
+def test_ctr_keystream_deterministic_and_nonce_sensitive():
+    cipher = AES128(b"0" * 16)
+    a = ctr_keystream(cipher, b"n" * 12, 64)
+    assert a == ctr_keystream(cipher, b"n" * 12, 64)
+    assert a != ctr_keystream(cipher, b"m" * 12, 64)
+    with pytest.raises(CryptoError):
+        ctr_keystream(cipher, b"short", 16)
+
+
+@given(st.binary(min_size=0, max_size=500), st.binary(min_size=1, max_size=64))
+def test_seal_open_roundtrip(plaintext, key_material):
+    env = seal(key_material, plaintext)
+    assert open_sealed(key_material, env) == plaintext
+
+
+def test_open_detects_tamper():
+    env = bytearray(seal(b"key", b"hello"))
+    env[14] ^= 0x01  # flip a ciphertext bit
+    with pytest.raises(CryptoError):
+        open_sealed(b"key", bytes(env))
+
+
+def test_open_detects_wrong_key():
+    env = seal(b"key", b"hello")
+    with pytest.raises(CryptoError):
+        open_sealed(b"other", env)
+
+
+def test_open_rejects_truncated():
+    with pytest.raises(CryptoError):
+        open_sealed(b"key", b"x" * 20)
+
+
+def test_seal_with_fixed_nonce_is_deterministic():
+    env1 = seal(b"key", b"data", nonce=b"A" * 12)
+    env2 = seal(b"key", b"data", nonce=b"A" * 12)
+    assert env1 == env2
+    env3 = seal(b"key", b"data", nonce=b"B" * 12)
+    assert env1 != env3

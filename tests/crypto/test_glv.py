@@ -1,0 +1,77 @@
+"""Tests for GLV scalar multiplication on G1."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.curve import G1_GENERATOR as g1, PointG1, _Point
+from repro.crypto.field import CURVE_ORDER as R, FIELD_MODULUS as P
+from repro.crypto.glv import BETA, LAM, decompose, glv_mul
+from repro.errors import CryptoError
+
+scalar_st = st.integers(min_value=0, max_value=R - 1)
+
+
+def test_constants_are_cube_roots():
+    assert (BETA * BETA % P * BETA) % P == 1 and BETA != 1
+    assert pow(LAM, 3, R) == 1 and LAM != 1
+    assert (BETA * BETA + BETA + 1) % P == 0
+    assert (LAM * LAM + LAM + 1) % R == 0
+
+
+def test_endomorphism_is_lambda_multiplication():
+    for k in (1, 7, 991):
+        point = _Point.__mul__(g1, k)
+        x, y = point.xy
+        phi = PointG1((x * BETA % P, y))
+        assert phi == _Point.__mul__(point, LAM)
+
+
+@given(scalar_st)
+@settings(max_examples=100)
+def test_decomposition_reconstructs(k):
+    k1, k2 = decompose(k)
+    assert (k1 + k2 * LAM - k) % R == 0
+
+
+@given(scalar_st)
+@settings(max_examples=100)
+def test_decomposition_halves_are_short(k):
+    k1, k2 = decompose(k)
+    bound = 4 * math.isqrt(R)
+    assert abs(k1) < bound and abs(k2) < bound
+
+
+@given(scalar_st)
+@settings(max_examples=25, deadline=None)
+def test_glv_matches_generic(k):
+    assert glv_mul(g1, k) == _Point.__mul__(g1, k)
+
+
+def test_glv_edge_cases():
+    assert glv_mul(g1, 0).is_identity
+    assert glv_mul(g1, R).is_identity
+    assert glv_mul(g1, 1) == g1
+    assert glv_mul(g1, R - 1) == -g1
+    assert glv_mul(PointG1.identity(), 12345).is_identity
+
+
+def test_glv_negative_scalar_reduces():
+    assert glv_mul(g1, -3) == _Point.__mul__(g1, R - 3)
+
+
+def test_glv_rejects_g2():
+    from repro.crypto.curve import G2_GENERATOR
+
+    with pytest.raises(CryptoError):
+        glv_mul(G2_GENERATOR, 5)
+
+
+def test_pointg1_mul_routes_through_glv():
+    # Operator path and explicit GLV agree (the operator IS the GLV path).
+    rng = random.Random(3)
+    for _ in range(5):
+        k = rng.randrange(R)
+        assert g1 * k == glv_mul(g1, k)

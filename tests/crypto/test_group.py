@@ -1,0 +1,137 @@
+"""Contract tests for the bilinear-group interface on both backends."""
+
+import random
+
+import pytest
+
+from repro.crypto import G1, G2, GT, get_backend
+from repro.errors import CryptoError, DeserializationError, GroupMismatchError
+
+
+def test_get_backend_names():
+    assert get_backend("bn254").name == "bn254"
+    assert get_backend("simulated").name == "simulated"
+    assert get_backend("fast").name == "simulated"
+    with pytest.raises(CryptoError):
+        get_backend("nope")
+
+
+def test_generators_not_identity(any_group):
+    assert not any_group.g1.is_identity
+    assert not any_group.g2.is_identity
+    assert not any_group.gt.is_identity
+
+
+def test_group_laws(any_group):
+    g = any_group
+    a, b = 123456, 654321
+    x, y = g.g1**a, g.g1**b
+    assert x * y == g.g1 ** (a + b)
+    assert x / x == g.identity(G1)
+    assert (~x) * x == g.identity(G1)
+    assert x ** g.order == g.identity(G1)
+    assert x**0 == g.identity(G1)
+
+
+def test_pow_negative_exponent(any_group):
+    g = any_group
+    assert g.g1 ** (-1) == ~g.g1
+
+
+def test_pairing_bilinearity(any_group):
+    g = any_group
+    a, b = 31337, 99991
+    assert g.pair(g.g1**a, g.g2**b) == g.gt ** (a * b % g.order)
+
+
+def test_multi_pair(any_group):
+    g = any_group
+    out = g.multi_pair([(g.g1**2, g.g2), (g.g1, g.g2**3)])
+    assert out == g.gt**5
+
+
+def test_pair_argument_kinds(any_group):
+    g = any_group
+    with pytest.raises(GroupMismatchError):
+        g.pair(g.g2, g.g1)  # type: ignore[arg-type]
+
+
+def test_cross_kind_ops_rejected(any_group):
+    g = any_group
+    with pytest.raises(GroupMismatchError):
+        g.g1 * g.g2
+    with pytest.raises(GroupMismatchError):
+        g.g1 * 5  # type: ignore[operator]
+
+
+def test_cross_backend_ops_rejected(sim_group, real_group):
+    with pytest.raises(GroupMismatchError):
+        sim_group.g1 * real_group.g1
+
+
+def test_serialization_roundtrip_all_kinds(any_group):
+    g = any_group
+    elements = {
+        G1: g.g1**777,
+        G2: g.g2**777,
+        GT: g.gt**777,
+    }
+    for kind, element in elements.items():
+        data = element.to_bytes()
+        assert len(data) == g.element_bytes(kind)
+        assert g.deserialize(kind, data) == element
+
+
+def test_identity_serialization_roundtrip(any_group):
+    g = any_group
+    for kind in (G1, G2):
+        data = g.identity(kind).to_bytes()
+        assert g.deserialize(kind, data).is_identity
+
+
+def test_deserialize_rejects_wrong_length(any_group):
+    with pytest.raises(DeserializationError):
+        any_group.deserialize(G1, b"\x01" * 31)
+    with pytest.raises(DeserializationError):
+        any_group.deserialize(G2, b"\x01" * 63)
+
+
+def test_hash_to_g1_deterministic_and_distinct(any_group):
+    g = any_group
+    a = g.hash_to_g1("doctor")
+    b = g.hash_to_g1("doctor")
+    c = g.hash_to_g1("nurse")
+    assert a == b
+    assert a != c
+    assert not a.is_identity
+    # hash output is a usable group element
+    assert (a**2) / a == a
+
+
+def test_hash_to_scalar_range(any_group):
+    g = any_group
+    for value in ("x", b"y", 123):
+        s = g.hash_to_scalar(value)
+        assert 1 <= s < g.order
+
+
+def test_random_scalar_seeded(any_group):
+    g = any_group
+    assert g.random_scalar(random.Random(5)) == g.random_scalar(random.Random(5))
+    assert 1 <= g.random_scalar(random.Random(5)) < g.order
+
+
+def test_elements_are_immutable(any_group):
+    with pytest.raises(AttributeError):
+        any_group.g1.value = 0
+
+
+def test_element_hashable(any_group):
+    g = any_group
+    assert len({g.g1, g.g1**1, g.g1**2}) == 2
+
+
+def test_simulated_sizes_match_bn254(sim_group, real_group):
+    for kind in (G1, G2, GT):
+        assert sim_group.element_bytes(kind) == real_group.element_bytes(kind)
+        assert len((sim_group.g1 ** 3).to_bytes()) == sim_group.element_bytes(G1)

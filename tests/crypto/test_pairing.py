@@ -1,0 +1,72 @@
+"""Tests for the optimal-ate pairing on BN254."""
+
+import pytest
+
+from repro.crypto.curve import G1_GENERATOR as g1, G2_GENERATOR as g2, PointG1, PointG2
+from repro.crypto.field import CURVE_ORDER
+from repro.crypto.pairing import (
+    final_exponentiation,
+    final_exponentiation_slow,
+    miller_loop,
+    multi_pairing,
+    pairing,
+)
+from repro.crypto.tower import FP12_ONE, fp12_mul, fp12_pow
+
+
+@pytest.fixture(scope="module")
+def e_g1_g2():
+    return pairing(g1, g2)
+
+
+def test_non_degenerate(e_g1_g2):
+    assert e_g1_g2 != FP12_ONE
+
+
+def test_pairing_output_has_order_r(e_g1_g2):
+    assert fp12_pow(e_g1_g2, CURVE_ORDER) == FP12_ONE
+
+
+def test_bilinearity_left(e_g1_g2):
+    assert pairing(g1 * 5, g2) == fp12_pow(e_g1_g2, 5)
+
+
+def test_bilinearity_right(e_g1_g2):
+    assert pairing(g1, g2 * 5) == fp12_pow(e_g1_g2, 5)
+
+
+def test_bilinearity_both_sides(e_g1_g2):
+    a, b = 31337, 271828
+    assert pairing(g1 * a, g2 * b) == fp12_pow(e_g1_g2, a * b)
+
+
+def test_pairing_with_identity():
+    assert pairing(PointG1.identity(), g2) == FP12_ONE
+    assert pairing(g1, PointG2.identity()) == FP12_ONE
+
+
+def test_pairing_inverse(e_g1_g2):
+    lhs = pairing(-g1, g2)
+    assert fp12_mul(lhs, e_g1_g2) == FP12_ONE
+
+
+def test_fast_final_exponentiation_matches_slow():
+    m = miller_loop(g1 * 7, g2 * 11)
+    assert final_exponentiation(m) == final_exponentiation_slow(m)
+
+
+def test_multi_pairing_is_product(e_g1_g2):
+    # e(2P, Q) * e(P, 3Q) = e(P, Q)^5
+    out = multi_pairing([(g1 * 2, g2), (g1, g2 * 3)])
+    assert out == fp12_pow(e_g1_g2, 5)
+
+
+def test_multi_pairing_empty():
+    assert multi_pairing([]) == FP12_ONE
+    assert multi_pairing([(PointG1.identity(), g2)]) == FP12_ONE
+
+
+def test_pairing_cancellation(e_g1_g2):
+    # e(aP, Q) * e(-aP, Q) = 1
+    out = multi_pairing([(g1 * 9, g2), (-(g1 * 9), g2)])
+    assert out == FP12_ONE

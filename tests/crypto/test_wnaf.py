@@ -1,0 +1,84 @@
+"""Tests for the wNAF scalar-multiplication path."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.curve import (
+    G1_GENERATOR as g1,
+    G2_GENERATOR as g2,
+    PointG1,
+    wnaf_digits,
+)
+from repro.crypto.field import CURVE_ORDER
+from repro.errors import CryptoError
+
+
+@given(st.integers(min_value=0, max_value=CURVE_ORDER - 1))
+@settings(max_examples=200)
+def test_wnaf_reconstructs_scalar(k):
+    assert sum(d << i for i, d in enumerate(wnaf_digits(k))) == k
+
+
+@given(st.integers(min_value=1, max_value=CURVE_ORDER - 1))
+@settings(max_examples=100)
+def test_wnaf_digit_properties(k):
+    digits = wnaf_digits(k, width=4)
+    for d in digits:
+        assert d == 0 or (d % 2 == 1 and -8 < d < 8)
+    # Non-adjacency: after a nonzero digit come >= width-1 zeros.
+    i = 0
+    while i < len(digits):
+        if digits[i] != 0:
+            assert all(d == 0 for d in digits[i + 1 : i + 4])
+            i += 4
+        else:
+            i += 1
+
+
+def test_wnaf_rejects_negative():
+    with pytest.raises(CryptoError):
+        wnaf_digits(-1)
+
+
+def test_wnaf_zero_is_empty():
+    assert wnaf_digits(0) == []
+
+
+def test_scalar_mult_matches_additions():
+    acc = PointG1.identity()
+    for k in range(1, 40):
+        acc = acc + g1
+        assert g1 * k == acc
+
+
+@given(st.integers(min_value=0, max_value=CURVE_ORDER - 1),
+       st.integers(min_value=0, max_value=CURVE_ORDER - 1))
+@settings(max_examples=10, deadline=None)
+def test_scalar_mult_homomorphic(a, b):
+    assert g1 * a + g1 * b == g1 * ((a + b) % CURVE_ORDER)
+
+
+def test_g2_scalar_mult_consistent():
+    q = g2 * 12345
+    assert q == sum_mult(g2, 12345)
+
+
+def sum_mult(p, k):
+    """Reference double-and-add (affine) for cross-checking."""
+    acc = type(p).identity()
+    base = p
+    while k:
+        if k & 1:
+            acc = acc + base
+        base = base.double()
+        k >>= 1
+    return acc
+
+
+def test_random_scalars_match_reference():
+    rng = random.Random(5)
+    for _ in range(5):
+        k = rng.randrange(1, 1 << 64)
+        assert g1 * k == sum_mult(g1, k)

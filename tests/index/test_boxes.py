@@ -1,0 +1,138 @@
+"""Property tests for integer boxes and domains."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import WorkloadError
+from repro.index.boxes import Box, Domain, boxes_cover_clipped, boxes_cover_exactly
+
+coord = st.integers(min_value=-50, max_value=50)
+
+
+@st.composite
+def boxes(draw, dims=2):
+    lo = tuple(draw(coord) for _ in range(dims))
+    hi = tuple(l + draw(st.integers(min_value=0, max_value=20)) for l in lo)
+    return Box(lo, hi)
+
+
+def test_empty_box_rejected():
+    with pytest.raises(WorkloadError):
+        Box((2,), (1,))
+    with pytest.raises(WorkloadError):
+        Box((0, 0), (1,))
+
+
+def test_volume_and_points():
+    box = Box((0, 0), (2, 1))
+    assert box.volume() == 6
+    assert len(list(box.points())) == 6
+    assert (2, 1) in set(box.points())
+
+
+@given(boxes(), boxes())
+def test_intersection_consistency(a, b):
+    inter = a.intersection(b)
+    assert (inter is not None) == a.intersects(b)
+    if inter is not None:
+        assert a.contains_box(inter)
+        assert b.contains_box(inter)
+        assert inter.volume() <= min(a.volume(), b.volume())
+
+
+@given(boxes())
+def test_contains_self(a):
+    assert a.contains_box(a)
+    assert a.intersects(a)
+    assert a.contains_point(a.lo)
+    assert a.contains_point(a.hi)
+
+
+def test_split_halves_partition():
+    box = Box((0, 0), (7, 7))
+    left, right = box.split_halves(0)
+    assert left.volume() + right.volume() == box.volume()
+    assert not left.intersects(right)
+    assert left.hi[0] + 1 == right.lo[0]
+
+
+def test_split_halves_odd_extent():
+    box = Box((0,), (4,))
+    left, right = box.split_halves(0)
+    assert left == Box((0,), (2,))  # ceil half to the left
+    assert right == Box((3,), (4,))
+
+
+def test_split_unit_extent_rejected():
+    with pytest.raises(WorkloadError):
+        Box((0, 0), (0, 5)).split_halves(0)
+
+
+def test_split_at():
+    box = Box((0,), (9,))
+    left, right = box.split_at(0, 3)
+    assert left == Box((0,), (3,)) and right == Box((4,), (9,))
+    with pytest.raises(WorkloadError):
+        box.split_at(0, 9)  # nothing on the right
+
+
+@given(boxes(dims=3))
+def test_grid_children_tile_parent(box):
+    if box.is_point:
+        with pytest.raises(WorkloadError):
+            box.grid_children()
+        return
+    children = box.grid_children()
+    assert sum(c.volume() for c in children) == box.volume()
+    for i, a in enumerate(children):
+        assert box.contains_box(a)
+        for b in children[i + 1 :]:
+            assert not a.intersects(b)
+
+
+def test_box_to_bytes_distinct():
+    assert Box((0,), (1,)).to_bytes() != Box((0,), (2,)).to_bytes()
+    assert Box((0, 1), (2, 3)).to_bytes() == Box((0, 1), (2, 3)).to_bytes()
+
+
+def test_domain_basics():
+    d = Domain.of((0, 9), (5, 8))
+    assert d.dims == 2
+    assert d.size() == 40
+    assert d.contains((9, 8))
+    assert not d.contains((10, 8))
+    assert not d.contains((9,))
+    with pytest.raises(WorkloadError):
+        d.validate_point((0, 100))
+
+
+def test_domain_clip():
+    d = Domain.of((0, 9))
+    assert d.clip((-5,), (100,)) == Box((0,), (9,))
+    assert d.clip((20,), (30,)) is None
+    with pytest.raises(WorkloadError):
+        d.clip((0, 0), (1, 1))
+
+
+def test_cover_exactly():
+    target = Box((0,), (3,))
+    assert boxes_cover_exactly([Box((0,), (1,)), Box((2,), (3,))], target)
+    assert not boxes_cover_exactly([Box((0,), (1,))], target)  # gap
+    assert not boxes_cover_exactly(
+        [Box((0,), (2,)), Box((2,), (3,))], target
+    )  # overlap
+    assert not boxes_cover_exactly(
+        [Box((0,), (3,)), Box((4,), (4,))], target
+    )  # outside
+
+
+def test_cover_clipped_allows_overhang():
+    target = Box((2,), (5,))
+    assert boxes_cover_clipped([Box((0,), (3,)), Box((4,), (9,))], target)
+    assert not boxes_cover_clipped([Box((0,), (3,))], target)  # gap
+    assert not boxes_cover_clipped(
+        [Box((0,), (4,)), Box((4,), (9,))], target
+    )  # overlap inside target
+    assert not boxes_cover_clipped(
+        [Box((0,), (5,)), Box((8,), (9,))], target
+    )  # an entry entirely outside the range proves nothing

@@ -1,0 +1,132 @@
+"""Tests for the AP2kd-tree (Section 9.1)."""
+
+import random
+
+import pytest
+
+from repro.core.app_signature import AppAuthenticator
+from repro.core.range_query import range_vo
+from repro.core.records import Dataset, Record
+from repro.core.verifier import verify_vo
+from repro.errors import WorkloadError
+from repro.index.boxes import Box, Domain
+from repro.index.kdtree import APKDTree, best_split_position
+from repro.policy.boolexpr import parse_policy
+from repro.policy.roles import PSEUDO_ROLE
+
+
+@pytest.fixture(scope="module")
+def kd_env(sim_owner, universe_abc):
+    rng = random.Random(6)
+    domain = Domain.of((0, 31), (0, 31))
+    ds = Dataset(domain)
+    policies = [parse_policy("RoleA"), parse_policy("RoleB"), parse_policy("RoleC")]
+    keys = set()
+    while len(keys) < 12:
+        keys.add((rng.randrange(32), rng.randrange(32)))
+    for i, key in enumerate(sorted(keys)):
+        ds.add(Record(key, b"v%d" % i, policies[i % 3]))
+    kd = APKDTree.build(ds, sim_owner.signer, rng)
+    grid = sim_owner.build_tree(ds)
+    auth = AppAuthenticator(sim_owner.group, sim_owner.universe, sim_owner.mvk)
+    return ds, kd, grid, auth, rng
+
+
+def test_kd_tree_much_smaller_than_grid(kd_env):
+    _, kd, grid, _, _ = kd_env
+    assert kd.stats.num_nodes < grid.stats.num_nodes / 5
+    assert kd.stats.index_bytes < grid.stats.index_bytes / 5
+
+
+def test_record_leaves_are_points(kd_env):
+    ds, kd, _, _, _ = kd_env
+    record_leaves = [n for n in kd.iter_nodes() if n.is_leaf and n.record is not None]
+    assert len(record_leaves) == len(ds)
+    for node in record_leaves:
+        assert node.box.is_point
+        assert node.box.lo == node.record.key
+
+
+def test_empty_leaves_are_pseudo_regions(kd_env):
+    _, kd, _, _, _ = kd_env
+    empty = [n for n in kd.iter_nodes() if n.is_leaf and n.record is None]
+    assert empty  # sparse data -> regions exist
+    for node in empty:
+        assert node.policy.attributes() == {PSEUDO_ROLE}
+
+
+def test_leaves_tile_domain(kd_env):
+    ds, kd, _, _, _ = kd_env
+    leaves = [n for n in kd.iter_nodes() if n.is_leaf]
+    assert sum(n.box.volume() for n in leaves) == ds.domain.size()
+    for i, a in enumerate(leaves):
+        for b in leaves[i + 1 :]:
+            assert not a.box.intersects(b.box)
+
+
+def test_children_tile_parent(kd_env):
+    _, kd, _, _, _ = kd_env
+    for node in kd.iter_nodes():
+        if node.is_leaf:
+            continue
+        assert sum(c.box.volume() for c in node.children) == node.box.volume()
+
+
+def test_queries_agree_with_grid_tree(kd_env):
+    ds, kd, grid, auth, rng = kd_env
+    for roles in [frozenset({"RoleA"}), frozenset({"RoleB", "RoleC"}), frozenset()]:
+        for q in [Box((0, 0), (31, 31)), Box((4, 4), (20, 27)), Box((7, 7), (7, 7))]:
+            vo_kd = range_vo(kd, auth, q, roles, rng)
+            vo_g = range_vo(grid, auth, q, roles, rng)
+            rec_kd = sorted(r.value for r in verify_vo(vo_kd, auth, q, roles))
+            rec_g = sorted(r.value for r in verify_vo(vo_g, auth, q, roles))
+            assert rec_kd == rec_g
+
+
+def test_empty_dataset_single_region(sim_owner):
+    rng = random.Random(1)
+    ds = Dataset(Domain.of((0, 15)))
+    kd = APKDTree.build(ds, sim_owner.signer, rng)
+    assert kd.root.is_leaf
+    assert kd.root.record is None
+    assert kd.stats.num_nodes == 1
+
+
+def test_single_record_carving(sim_owner):
+    rng = random.Random(1)
+    ds = Dataset(Domain.of((0, 15)))
+    ds.add(Record((5,), b"only", parse_policy("RoleA")))
+    kd = APKDTree.build(ds, sim_owner.signer, rng)
+    leaves = [n for n in kd.iter_nodes() if n.is_leaf]
+    record_leaves = [n for n in leaves if n.record is not None]
+    assert len(record_leaves) == 1
+    assert record_leaves[0].box == Box((5,), (5,))
+    assert sum(n.box.volume() for n in leaves) == 16
+
+
+def test_best_split_position_minimizes_overlap():
+    a = parse_policy("RoleA")
+    b = parse_policy("RoleB")
+    # A A A | B B  -> best split at index 2 (zero clause overlap).
+    policies = [a, a, a, b, b]
+    coords = [0, 1, 2, 3, 4]
+    assert best_split_position(policies, coords) == 2
+
+
+def test_best_split_skips_equal_coordinates():
+    a = parse_policy("RoleA")
+    b = parse_policy("RoleB")
+    policies = [a, b, b]
+    coords = [0, 0, 5]  # cannot split between indices 0 and 1
+    assert best_split_position(policies, coords) == 1
+
+
+def test_best_split_needs_two_records():
+    with pytest.raises(WorkloadError):
+        best_split_position([parse_policy("RoleA")], [0])
+
+
+def test_best_split_all_same_coordinate():
+    a = parse_policy("RoleA")
+    with pytest.raises(WorkloadError):
+        best_split_position([a, a], [3, 3])

@@ -1,0 +1,126 @@
+"""Tests for dynamic AP2G-tree updates."""
+
+import random
+
+import pytest
+
+from repro.core.app_signature import AppAuthenticator
+from repro.core.range_query import clip_query, range_vo
+from repro.core.records import Dataset, Record, make_pseudo_record
+from repro.core.system import DataOwner
+from repro.core.verifier import verify_vo
+from repro.crypto import simulated
+from repro.errors import WorkloadError
+from repro.index.boxes import Domain
+from repro.index.updates import delete, upsert
+from repro.policy.boolexpr import parse_policy
+from repro.policy.roles import RoleUniverse
+
+
+@pytest.fixture()
+def env():
+    rng = random.Random(909)
+    universe = RoleUniverse(["RoleA", "RoleB"])
+    owner = DataOwner(simulated(), universe, rng=rng)
+    ds = Dataset(Domain.of((0, 15)))
+    ds.add(Record((3,), b"three", parse_policy("RoleA")))
+    ds.add(Record((10,), b"ten", parse_policy("RoleB")))
+    tree = owner.build_tree(ds)
+    auth = AppAuthenticator(simulated(), universe, owner.mvk)
+    return rng, owner, tree, auth
+
+
+def _query_all(tree, auth, roles, rng):
+    query = clip_query(tree, (0,), (15,))
+    vo = range_vo(tree, auth, query, roles, rng)
+    return sorted(r.value for r in verify_vo(vo, auth, query, roles))
+
+
+def test_insert_new_record(env):
+    rng, owner, tree, auth = env
+    receipt = upsert(tree, owner.signer, Record((7,), b"seven", parse_policy("RoleA")), rng)
+    assert receipt.kind == "upsert" and not receipt.replaced_existing
+    assert receipt.resigned_nodes >= 2  # leaf + at least one ancestor
+    assert tree.stats.num_real_records == 3
+    assert _query_all(tree, auth, {"RoleA"}, rng) == [b"seven", b"three"]
+
+
+def test_replace_existing_record(env):
+    rng, owner, tree, auth = env
+    receipt = upsert(tree, owner.signer, Record((3,), b"three-v2", parse_policy("RoleA")), rng)
+    assert receipt.replaced_existing
+    assert tree.stats.num_real_records == 2
+    assert _query_all(tree, auth, {"RoleA"}, rng) == [b"three-v2"]
+
+
+def test_policy_change_propagates_up(env):
+    rng, owner, tree, auth = env
+    # Flip record 3 from RoleA to RoleB: RoleA users lose it, RoleB gain it.
+    upsert(tree, owner.signer, Record((3,), b"three", parse_policy("RoleB")), rng)
+    assert _query_all(tree, auth, {"RoleA"}, rng) == []
+    assert _query_all(tree, auth, {"RoleB"}, rng) == [b"ten", b"three"]
+    # Root policy must reflect the change (no RoleA-only clause remains).
+    assert not tree.root.policy.evaluate({"RoleA"})
+
+
+def test_delete_is_zero_knowledge(env):
+    rng, owner, tree, auth = env
+    receipt = delete(tree, owner.signer, (3,), rng)
+    assert receipt.kind == "delete" and receipt.replaced_existing
+    assert tree.stats.num_real_records == 1
+    assert _query_all(tree, auth, {"RoleA"}, rng) == []
+    # The deleted leaf is a pseudo record — structurally identical to a
+    # never-existed key for every verifier.
+    leaf = tree.leaf_at((3,))
+    never = tree.leaf_at((4,))
+    assert leaf.record.is_pseudo and never.record.is_pseudo
+    assert leaf.policy.to_string() == never.policy.to_string()
+
+
+def test_delete_nonexistent_key_is_idempotent(env):
+    rng, owner, tree, auth = env
+    receipt = delete(tree, owner.signer, (8,), rng)
+    assert not receipt.replaced_existing
+    assert tree.stats.num_real_records == 2
+    assert _query_all(tree, auth, {"RoleA"}, rng) == [b"three"]
+
+
+def test_resigning_stops_when_policy_stable(env):
+    rng, owner, tree, auth = env
+    # Insert two RoleA records under the same quadrant; the second upsert
+    # changes nothing above the first shared ancestor with RoleA already
+    # in its policy union.
+    upsert(tree, owner.signer, Record((0,), b"zero", parse_policy("RoleA")), rng)
+    receipt = upsert(tree, owner.signer, Record((1,), b"one", parse_policy("RoleA")), rng)
+    # Leaf changed; parent of cell 1 covers cells 0..1 whose union already
+    # includes RoleA, so propagation stops quickly.
+    assert receipt.resigned_nodes <= 3
+
+
+def test_update_rejects_pseudo_and_foreign_policy(env):
+    rng, owner, tree, auth = env
+    with pytest.raises(WorkloadError):
+        upsert(tree, owner.signer, make_pseudo_record((3,)), rng)
+    from repro.errors import PolicyError
+
+    with pytest.raises(PolicyError):
+        upsert(tree, owner.signer, Record((3,), b"x", parse_policy("Nope")), rng)
+
+
+def test_many_random_updates_stay_consistent(env):
+    rng, owner, tree, auth = env
+    expected = {(3,): (b"three", "RoleA"), (10,): (b"ten", "RoleB")}
+    for i in range(30):
+        key = (rng.randrange(16),)
+        if rng.random() < 0.3:
+            delete(tree, owner.signer, key, rng)
+            expected.pop(key, None)
+        else:
+            role = rng.choice(["RoleA", "RoleB"])
+            value = b"v%d" % i
+            upsert(tree, owner.signer, Record(key, value, parse_policy(role)), rng)
+            expected[key] = (value, role)
+    for roles in ({"RoleA"}, {"RoleB"}, set()):
+        want = sorted(v for v, r in expected.values() if r in roles)
+        assert _query_all(tree, auth, roles, rng) == want
+    assert tree.stats.num_real_records == len(expected)

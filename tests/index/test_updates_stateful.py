@@ -1,0 +1,88 @@
+"""Stateful property test: interleaved updates and queries stay consistent.
+
+A hypothesis rule-based state machine drives random upserts, deletes,
+and range queries against the signed tree, checking every query result
+against a plain dictionary model.  This is the strongest consistency
+test for the dynamic-update path: any failure of policy propagation,
+stale signatures, or coverage accounting surfaces as a model mismatch
+or a verification error.
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+from hypothesis import strategies as st
+
+from repro.core.app_signature import AppAuthenticator
+from repro.core.range_query import clip_query, range_vo
+from repro.core.records import Dataset, Record
+from repro.core.system import DataOwner
+from repro.core.verifier import verify_vo
+from repro.crypto import simulated
+from repro.index.boxes import Domain
+from repro.index.updates import delete, upsert
+from repro.policy.boolexpr import parse_policy
+from repro.policy.roles import RoleUniverse
+
+DOMAIN_SIZE = 16
+POLICIES = {
+    "A": parse_policy("RoleA"),
+    "B": parse_policy("RoleB"),
+    "AB": parse_policy("RoleA and RoleB"),
+    "AoB": parse_policy("RoleA or RoleB"),
+}
+ROLE_SETS = [frozenset({"RoleA"}), frozenset({"RoleB"}),
+             frozenset({"RoleA", "RoleB"}), frozenset()]
+
+keys_st = st.integers(min_value=0, max_value=DOMAIN_SIZE - 1)
+
+
+class UpdateQueryMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.rng = random.Random(4242)
+        self.universe = RoleUniverse(["RoleA", "RoleB"])
+        self.owner = DataOwner(simulated(), self.universe, rng=self.rng)
+        self.tree = self.owner.build_tree(Dataset(Domain.of((0, DOMAIN_SIZE - 1))))
+        self.auth = AppAuthenticator(simulated(), self.universe, self.owner.mvk)
+        self.model: dict[int, tuple[bytes, str]] = {}
+        self.counter = 0
+
+    @rule(key=keys_st, policy=st.sampled_from(sorted(POLICIES)))
+    def do_upsert(self, key, policy):
+        self.counter += 1
+        value = b"v%04d" % self.counter
+        upsert(self.tree, self.owner.signer,
+               Record((key,), value, POLICIES[policy]), self.rng)
+        self.model[key] = (value, policy)
+
+    @rule(key=keys_st)
+    def do_delete(self, key):
+        delete(self.tree, self.owner.signer, (key,), self.rng)
+        self.model.pop(key, None)
+
+    @rule(lo=keys_st, hi=keys_st, roles=st.sampled_from(ROLE_SETS))
+    def do_query(self, lo, hi, roles):
+        if lo > hi:
+            lo, hi = hi, lo
+        query = clip_query(self.tree, (lo,), (hi,))
+        vo = range_vo(self.tree, self.auth, query, roles, self.rng)
+        records = verify_vo(vo, self.auth, query, roles)
+        got = sorted(r.value for r in records)
+        want = sorted(
+            value for key, (value, policy) in self.model.items()
+            if lo <= key <= hi and POLICIES[policy].evaluate(roles)
+        )
+        assert got == want
+
+    @invariant()
+    def record_count_matches(self):
+        if hasattr(self, "tree"):
+            assert self.tree.stats.num_real_records == len(self.model)
+
+
+UpdateQueryMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=12, deadline=None
+)
+TestUpdateQueryMachine = UpdateQueryMachine.TestCase

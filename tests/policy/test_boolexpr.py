@@ -1,0 +1,179 @@
+"""Tests for the policy AST and parser."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PolicyError, PolicyParseError
+from repro.policy.boolexpr import (
+    And,
+    Attr,
+    Or,
+    and_of_attrs,
+    or_of_attrs,
+    parse_policy,
+)
+
+ROLES = [f"R{i}" for i in range(6)]
+
+
+def rand_expr(draw_depth=3):
+    attr = st.sampled_from(ROLES).map(Attr)
+    return st.recursive(
+        attr,
+        lambda children: st.one_of(
+            st.lists(children, min_size=1, max_size=3).map(lambda cs: And.of(*cs)),
+            st.lists(children, min_size=1, max_size=3).map(lambda cs: Or.of(*cs)),
+        ),
+        max_leaves=8,
+    )
+
+
+def test_parse_simple():
+    expr = parse_policy("RoleA and (RoleB or RoleC)")
+    assert isinstance(expr, And)
+    assert expr.evaluate({"RoleA", "RoleB"})
+    assert not expr.evaluate({"RoleB", "RoleC"})
+
+
+def test_parse_operator_aliases():
+    for text in ("A and B", "A & B", "A && B"):
+        assert parse_policy(text) == And.of(Attr("A"), Attr("B"))
+    for text in ("A or B", "A | B", "A || B"):
+        assert parse_policy(text) == Or.of(Attr("A"), Attr("B"))
+
+
+def test_parse_precedence_and_binds_tighter():
+    expr = parse_policy("A or B and C")
+    assert expr == Or.of(Attr("A"), And.of(Attr("B"), Attr("C")))
+
+
+def test_parse_nested_parens():
+    expr = parse_policy("((A))")
+    assert expr == Attr("A")
+
+
+def test_parse_errors():
+    for bad in ("", "and", "A and", "(A", "A)", "A B", "A ++ B"):
+        with pytest.raises(PolicyParseError):
+            parse_policy(bad)
+
+
+def test_attr_name_validation():
+    with pytest.raises(PolicyError):
+        Attr("has space")
+    with pytest.raises(PolicyError):
+        Attr("")
+    Attr("Role@null")  # pseudo role name is legal
+    Attr("a.b:c-d_e")
+
+
+def test_gate_flattening():
+    expr = And.of(Attr("A"), And.of(Attr("B"), Attr("C")))
+    assert expr == And.of(Attr("A"), Attr("B"), Attr("C"))
+    assert And.of(Attr("A")) == Attr("A")  # singleton collapses
+
+
+def test_empty_gate_rejected():
+    with pytest.raises(PolicyError):
+        And([])
+    with pytest.raises(PolicyError):
+        or_of_attrs([])
+    with pytest.raises(PolicyError):
+        and_of_attrs([])
+
+
+@given(rand_expr())
+def test_to_string_parse_roundtrip(expr):
+    assert parse_policy(expr.to_string()) == expr
+
+
+@given(rand_expr(), st.sets(st.sampled_from(ROLES)))
+def test_monotonicity(expr, attrs):
+    # Adding roles never revokes access.
+    if expr.evaluate(attrs):
+        assert expr.evaluate(set(ROLES))
+
+
+@given(rand_expr())
+def test_attributes_and_leaves(expr):
+    attrs = expr.attributes()
+    assert attrs <= set(ROLES)
+    assert expr.num_leaves() >= len(attrs)
+    # Evaluating with all mentioned attributes must satisfy (monotone, no negation).
+    assert expr.evaluate(attrs)
+    assert not expr.evaluate(set())  # and with none, never
+
+
+def test_operator_sugar():
+    e = Attr("A") & Attr("B") | Attr("C")
+    assert e == Or.of(And.of(Attr("A"), Attr("B")), Attr("C"))
+
+
+def test_equality_and_hash():
+    a = parse_policy("A and (B or C)")
+    b = parse_policy("A and (B or C)")
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != parse_policy("(B or C) and A")  # structural, not semantic
+
+
+# -- threshold gates ----------------------------------------------------------
+
+def test_threshold_function():
+    from repro.policy.boolexpr import threshold
+
+    expr = threshold(2, [Attr("a"), Attr("b"), Attr("c")])
+    assert expr.evaluate({"a", "b"})
+    assert expr.evaluate({"b", "c"})
+    assert not expr.evaluate({"b"})
+    assert not expr.evaluate(set())
+
+
+def test_threshold_degenerate_cases():
+    from repro.policy.boolexpr import threshold
+
+    assert threshold(1, [Attr("a"), Attr("b")]) == Or.of(Attr("a"), Attr("b"))
+    assert threshold(2, [Attr("a"), Attr("b")]) == And.of(Attr("a"), Attr("b"))
+    assert threshold(1, [Attr("a")]) == Attr("a")
+    with pytest.raises(PolicyError):
+        threshold(0, [Attr("a")])
+    with pytest.raises(PolicyError):
+        threshold(3, [Attr("a"), Attr("b")])
+
+
+def test_parse_threshold():
+    expr = parse_policy("2 of (doctor, nurse, auditor)")
+    assert expr.evaluate({"doctor", "auditor"})
+    assert not expr.evaluate({"auditor"})
+
+
+def test_parse_threshold_nested():
+    expr = parse_policy("admin or 2 of (a, b and x, c)")
+    assert expr.evaluate({"admin"})
+    assert expr.evaluate({"b", "x", "c"})
+    assert not expr.evaluate({"b", "c"})
+
+
+def test_parse_threshold_errors():
+    for bad in ("2 of (a)", "2 of a, b", "2 of (a,)", "of (a, b)"):
+        with pytest.raises((PolicyParseError, PolicyError)):
+            parse_policy(bad)
+
+
+def test_threshold_policies_work_in_abs():
+    """Threshold policies are ordinary monotone policies downstream."""
+    import random
+
+    from repro.abs import AbsScheme, relax
+    from repro.crypto import simulated
+
+    rng = random.Random(2)
+    scheme = AbsScheme(simulated())
+    keys = scheme.setup(rng)
+    sk = scheme.keygen(keys, ["a", "b", "c"], rng)
+    policy = parse_policy("2 of (a, b, c)")
+    sig = scheme.sign(keys.mvk, sk, b"m", policy, rng)
+    assert scheme.verify(keys.mvk, b"m", policy, sig)
+    # Relax for a user holding only "c": missing = {a, b} kills 2-of-3.
+    relaxed, sp = relax(scheme, keys.mvk, sig, b"m", policy, ["a", "b"], rng)
+    assert scheme.verify(keys.mvk, b"m", sp, relaxed)

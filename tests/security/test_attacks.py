@@ -1,0 +1,215 @@
+"""Adversarial tests: every forgery class of Definition 7.4 must be caught.
+
+A malicious SP succeeds if the user accepts a result set that (1) contains
+a fabricated record, (2) contains an out-of-range or inaccessible record,
+or (3) omits an accessible in-range record.  These tests mount each attack
+explicitly against the verifier.
+"""
+
+import random
+
+import pytest
+
+from repro.core.app_signature import AppAuthenticator
+from repro.core.range_query import clip_query, range_vo
+from repro.core.records import Dataset, Record
+from repro.core.system import DataOwner
+from repro.core.verifier import verify_vo
+from repro.core.vo import (
+    AccessibleRecordEntry,
+    InaccessibleNodeEntry,
+    InaccessibleRecordEntry,
+    VerificationObject,
+)
+from repro.crypto import simulated
+from repro.errors import CompletenessError, SoundnessError, VerificationError
+from repro.index.boxes import Box, Domain
+from repro.policy.boolexpr import parse_policy
+from repro.policy.roles import RoleUniverse
+
+
+@pytest.fixture(scope="module")
+def env():
+    rng = random.Random(123)
+    universe = RoleUniverse(["RoleA", "RoleB", "RoleC"])
+    owner = DataOwner(simulated(), universe, rng=rng)
+    ds = Dataset(Domain.of((0, 31)))
+    ds.add(Record((4,), b"a4", parse_policy("RoleA")))
+    ds.add(Record((11,), b"b11", parse_policy("RoleB")))
+    ds.add(Record((12,), b"a12", parse_policy("RoleA")))
+    ds.add(Record((25,), b"c25", parse_policy("RoleC")))
+    tree = owner.build_tree(ds)
+    auth = AppAuthenticator(simulated(), universe, owner.mvk)
+    roles = frozenset({"RoleA"})
+    return rng, ds, tree, auth, roles
+
+
+def _honest_vo(env, lo=(0,), hi=(31,)):
+    rng, ds, tree, auth, roles = env
+    query = clip_query(tree, lo, hi)
+    return query, range_vo(tree, auth, query, roles, rng)
+
+
+# -- Definition 7.4 case 1: fabricated record --------------------------------
+
+def test_fabricated_record_rejected(env):
+    rng, ds, tree, auth, roles = env
+    query, vo = _honest_vo(env)
+    entries = []
+    for e in vo:
+        if isinstance(e, AccessibleRecordEntry) and e.key == (4,):
+            e = AccessibleRecordEntry(
+                key=e.key, value=b"FABRICATED", policy=e.policy, signature=e.signature
+            )
+        entries.append(e)
+    with pytest.raises(SoundnessError):
+        verify_vo(VerificationObject(entries=entries), auth, query, roles)
+
+
+def test_record_with_forged_policy_rejected(env):
+    rng, ds, tree, auth, roles = env
+    query, vo = _honest_vo(env)
+    entries = []
+    for e in vo:
+        if isinstance(e, AccessibleRecordEntry) and e.key == (4,):
+            e = AccessibleRecordEntry(
+                key=e.key, value=e.value,
+                policy=parse_policy("RoleA or RoleB"), signature=e.signature,
+            )
+        entries.append(e)
+    with pytest.raises(SoundnessError):
+        verify_vo(VerificationObject(entries=entries), auth, query, roles)
+
+
+def test_replayed_signature_on_other_key_rejected(env):
+    """Reusing record 4's APP signature for a record at key 5."""
+    rng, ds, tree, auth, roles = env
+    query, vo = _honest_vo(env)
+    donor = next(e for e in vo.accessible() if e.key == (4,))
+    entries = [e for e in vo if e.region != Box((5,), (5,))]
+    # Remove whatever covered key 5, insert the replayed record there.
+    entries = [e for e in entries if not e.region.contains_point((5,))]
+    entries.append(
+        AccessibleRecordEntry(key=(5,), value=donor.value,
+                              policy=donor.policy, signature=donor.signature)
+    )
+    with pytest.raises(VerificationError):
+        verify_vo(VerificationObject(entries=entries), auth, query, roles)
+
+
+# -- Definition 7.4 case 2: out-of-range / inaccessible results --------------
+
+def test_out_of_range_record_rejected(env):
+    rng, ds, tree, auth, roles = env
+    query = clip_query(tree, (0,), (10,))
+    vo = range_vo(tree, auth, query, roles, rng)
+    # Inject record 12 (valid signature, but outside [0, 10]).
+    full_query, full_vo = _honest_vo(env)
+    donor = next(e for e in full_vo.accessible() if e.key == (12,))
+    vo.add(donor)
+    with pytest.raises(VerificationError):
+        verify_vo(vo, auth, query, roles)
+
+
+def test_inaccessible_record_in_results_rejected(env):
+    """SP returns record 11 (RoleB-only) to a RoleA user, with its true
+    APP signature and policy — the role check must fire.  Query exactly
+    the one cell so coverage is untouched and the soundness check alone
+    must catch it."""
+    rng, ds, tree, auth, roles = env
+    query = Box((11,), (11,))
+    leaf = tree.leaf_at((11,))
+    forged = VerificationObject(entries=[
+        AccessibleRecordEntry(
+            key=(11,), value=leaf.record.value,
+            policy=leaf.record.policy, signature=leaf.signature,
+        )
+    ])
+    with pytest.raises(SoundnessError):
+        verify_vo(forged, auth, query, roles)
+
+
+# -- Definition 7.4 case 3: omitted accessible records ------------------------
+
+def test_dropped_record_detected_by_coverage(env):
+    rng, ds, tree, auth, roles = env
+    query, vo = _honest_vo(env)
+    entries = [e for e in vo if not (isinstance(e, AccessibleRecordEntry) and e.key == (12,))]
+    with pytest.raises(CompletenessError):
+        verify_vo(VerificationObject(entries=entries), auth, query, roles)
+
+
+def test_record_hidden_behind_unauthorized_aps_rejected(env):
+    """SP tries to hide accessible record 12 by covering its cell with an
+    *honestly relaxed* APS of the sibling pseudo cell — coverage breaks;
+    and covering it with a modified box fails the signature."""
+    rng, ds, tree, auth, roles = env
+    query, vo = _honest_vo(env)
+    # Take an existing inaccessible cell entry and retarget it at key 12.
+    donor = next(e for e in vo if isinstance(e, InaccessibleRecordEntry))
+    entries = [
+        e for e in vo if not (isinstance(e, AccessibleRecordEntry) and e.key == (12,))
+    ]
+    entries.append(InaccessibleRecordEntry(key=(12,), value_hash=donor.value_hash, aps=donor.aps))
+    with pytest.raises(SoundnessError):
+        verify_vo(VerificationObject(entries=entries), auth, query, roles)
+
+
+def test_node_aps_cannot_be_forged_for_accessible_subtree(env):
+    """The SP cannot produce an APS summarizing a subtree the user CAN
+    partially access: ABS.Relax refuses, and substituting another node's
+    APS fails verification against the claimed box."""
+    from repro.errors import RelaxationError
+
+    rng, ds, tree, auth, roles = env
+    # The node covering records 4 and 12's quadrant is accessible to RoleA.
+    node = tree.smallest_node_covering(Box((0,), (15,)))
+    assert node.accessible_to(roles)
+    with pytest.raises(RelaxationError):
+        auth.derive_node_aps(node.box, node.policy, node.signature, roles, rng)
+    # Steal an APS from an inaccessible node and claim it covers this box.
+    query, vo = _honest_vo(env)
+    stolen = next(e for e in vo if isinstance(e, InaccessibleNodeEntry))
+    entries = [e for e in vo if not node.box.contains_box(e.region)]
+    entries.append(InaccessibleNodeEntry(box=node.box, aps=stolen.aps))
+    with pytest.raises(VerificationError):
+        verify_vo(VerificationObject(entries=entries), auth, query, roles)
+
+
+def test_double_counted_space_rejected(env):
+    """Overlapping proof regions (claiming the same space twice) fail."""
+    rng, ds, tree, auth, roles = env
+    query, vo = _honest_vo(env)
+    vo_dup = VerificationObject(entries=list(vo.entries) + [vo.entries[0]])
+    with pytest.raises(CompletenessError):
+        verify_vo(vo_dup, auth, query, roles)
+
+
+def test_empty_vo_rejected_for_nonempty_range(env):
+    rng, ds, tree, auth, roles = env
+    query = clip_query(tree, (0,), (31,))
+    with pytest.raises(CompletenessError):
+        verify_vo(VerificationObject(), auth, query, roles)
+
+
+# -- join-specific attacks ----------------------------------------------------
+
+def test_join_unpaired_result_rejected(env):
+    from repro.core.join_query import join_vo
+    from repro.core.verifier import verify_join_vo
+
+    rng, ds, tree, auth, roles = env
+    owner = DataOwner(simulated(), auth.universe, rng=rng)
+    domain = Domain.of((0, 15))
+    t_r, t_s = Dataset(domain), Dataset(domain)
+    t_r.add(Record((3,), b"r3", parse_policy("RoleA")))
+    t_s.add(Record((3,), b"s3", parse_policy("RoleA")))
+    tree_r = owner.build_tree(t_r)
+    tree_s = owner.build_tree(t_s)
+    auth2 = AppAuthenticator(simulated(), auth.universe, owner.mvk)
+    query = Box((0,), (15,))
+    vo = join_vo(tree_r, tree_s, auth2, query, {"RoleA"}, rng)
+    # Drop the S side of the pair.
+    entries = [e for e in vo if not (isinstance(e, AccessibleRecordEntry) and e.table == "S")]
+    with pytest.raises(SoundnessError):
+        verify_join_vo(VerificationObject(entries=entries), auth2, query, {"RoleA"})

@@ -1,0 +1,108 @@
+"""Failure-injection tests: corrupted wire data must never verify.
+
+Random bit flips across serialized VOs and envelopes either fail to
+deserialize or fail verification — they can never produce a *different*
+accepted result set.  This complements the targeted attacks in
+``test_attacks.py`` with broad, unstructured corruption.
+"""
+
+import random
+
+import pytest
+
+from repro.abe.cpabe import CpAbeScheme
+from repro.abe.hybrid import HybridEnvelope, decrypt_envelope, encrypt_for_roles
+from repro.core.app_signature import AppAuthenticator
+from repro.core.range_query import clip_query, range_vo
+from repro.core.records import Dataset, Record
+from repro.core.system import DataOwner
+from repro.core.verifier import verify_vo
+from repro.core.vo import VerificationObject
+from repro.crypto import simulated
+from repro.errors import ReproError
+from repro.index.boxes import Domain
+from repro.policy.boolexpr import parse_policy
+from repro.policy.roles import RoleUniverse
+
+
+@pytest.fixture(scope="module")
+def env():
+    rng = random.Random(600)
+    universe = RoleUniverse(["RoleA", "RoleB"])
+    owner = DataOwner(simulated(), universe, rng=rng)
+    ds = Dataset(Domain.of((0, 15)))
+    ds.add(Record((3,), b"alpha", parse_policy("RoleA")))
+    ds.add(Record((8,), b"beta", parse_policy("RoleB")))
+    ds.add(Record((12,), b"gamma", parse_policy("RoleA")))
+    tree = owner.build_tree(ds)
+    auth = AppAuthenticator(simulated(), universe, owner.mvk)
+    return rng, owner, tree, auth
+
+
+def test_bitflips_in_vo_never_change_accepted_results(env):
+    rng, owner, tree, auth = env
+    roles = frozenset({"RoleA"})
+    query = clip_query(tree, (0,), (15,))
+    vo = range_vo(tree, auth, query, roles, rng)
+    data = bytearray(vo.to_bytes())
+    baseline = sorted(
+        r.value for r in verify_vo(VerificationObject.from_bytes(auth.group, bytes(data)),
+                                   auth, query, roles)
+    )
+    assert baseline == [b"alpha", b"gamma"]
+    flips = random.Random(42)
+    accepted_differently = 0
+    for _ in range(120):
+        corrupted = bytearray(data)
+        pos = flips.randrange(len(corrupted))
+        corrupted[pos] ^= 1 << flips.randrange(8)
+        try:
+            restored = VerificationObject.from_bytes(auth.group, bytes(corrupted))
+            records = verify_vo(restored, auth, query, roles)
+        except (ReproError, UnicodeDecodeError):
+            continue  # rejected: fine
+        # Accepting is only fine if the result set is exactly the truth.
+        if sorted(r.value for r in records) != baseline:
+            accepted_differently += 1
+    assert accepted_differently == 0
+
+
+def test_bitflips_in_envelope_never_decrypt(env):
+    rng, owner, tree, auth = env
+    scheme = CpAbeScheme(simulated())
+    keys = scheme.setup(rng)
+    sk = scheme.keygen(keys, ["RoleA"], rng)
+    envp = encrypt_for_roles(scheme, keys.public, ["RoleA"], b"the vo", rng)
+    flips = random.Random(43)
+    for _ in range(60):
+        body = bytearray(envp.body)
+        pos = flips.randrange(len(body))
+        body[pos] ^= 1 << flips.randrange(8)
+        tampered = HybridEnvelope(header=envp.header, body=bytes(body))
+        with pytest.raises(ReproError):
+            decrypt_envelope(scheme, sk, tampered)
+
+
+def test_truncated_vo_rejected(env):
+    rng, owner, tree, auth = env
+    roles = frozenset({"RoleA"})
+    query = clip_query(tree, (0,), (15,))
+    vo = range_vo(tree, auth, query, roles, rng)
+    data = vo.to_bytes()
+    for cut in (1, len(data) // 2, len(data) - 1):
+        with pytest.raises(ReproError):
+            restored = VerificationObject.from_bytes(auth.group, data[:cut])
+            verify_vo(restored, auth, query, roles)
+
+
+def test_shuffled_entries_still_verify(env):
+    """Entry order is not load-bearing: a permuted VO verifies the same
+    (the proof is a set, not a sequence)."""
+    rng, owner, tree, auth = env
+    roles = frozenset({"RoleA"})
+    query = clip_query(tree, (0,), (15,))
+    vo = range_vo(tree, auth, query, roles, rng)
+    shuffled = list(vo.entries)
+    random.Random(9).shuffle(shuffled)
+    records = verify_vo(VerificationObject(entries=shuffled), auth, query, roles)
+    assert sorted(r.value for r in records) == [b"alpha", b"gamma"]

@@ -1,0 +1,132 @@
+"""The zero-knowledge game (paper Definition 7.5), played concretely.
+
+Game Real: the challenger runs ADS generation over the adversary's
+database D.  Game Ideal: a simulator replaces every record the adversary
+cannot access with ``<o, random, Role_0>`` — i.e. it knows *nothing*
+about inaccessible records.  The schemes are zero-knowledge if the two
+games are indistinguishable.
+
+We cannot test distribution equality exhaustively, but we can check the
+strongest observable invariants: for any query, the two games produce
+VOs with identical entry types, identical regions, identical byte sizes,
+and identical accessible results — so no polynomial-time distinguisher
+gets a structural handle.
+"""
+
+import random
+
+import pytest
+
+from repro.core.app_signature import AppAuthenticator
+from repro.core.equality import equality_vo
+from repro.core.range_query import clip_query, range_vo
+from repro.core.records import Dataset, Record
+from repro.core.system import DataOwner
+from repro.core.verifier import verify_vo
+from repro.crypto import simulated
+from repro.index.boxes import Box, Domain
+from repro.policy.boolexpr import Attr, parse_policy
+from repro.policy.roles import PSEUDO_ROLE, RoleUniverse
+
+USER_ROLES = frozenset({"RoleA"})
+
+
+def _build(records, rng):
+    universe = RoleUniverse(["RoleA", "RoleB", "RoleC"])
+    owner = DataOwner(simulated(), universe, rng=rng)
+    ds = Dataset(Domain.of((0, 15)))
+    for record in records:
+        ds.add(record)
+    tree = owner.build_tree(ds)
+    auth = AppAuthenticator(simulated(), universe, owner.mvk)
+    return tree, auth
+
+
+@pytest.fixture(scope="module")
+def games():
+    # Adversary-chosen database: a mix of accessible and hidden records.
+    real_records = [
+        Record((1,), b"open-1", parse_policy("RoleA")),
+        Record((4,), b"secret-4", parse_policy("RoleB")),
+        Record((5,), b"secret-5", parse_policy("RoleB and RoleC")),
+        Record((9,), b"open-9", parse_policy("RoleA or RoleB")),
+        Record((13,), b"secret-13", parse_policy("RoleC")),
+    ]
+    # The simulator's database: inaccessible records replaced by pseudo
+    # records with random content (it never saw the real ones).
+    sim_rng = random.Random(999)
+    ideal_records = []
+    for record in real_records:
+        if record.policy.evaluate(USER_ROLES):
+            ideal_records.append(record)
+        else:
+            ideal_records.append(
+                Record(
+                    record.key,
+                    sim_rng.getrandbits(256).to_bytes(32, "big"),
+                    Attr(PSEUDO_ROLE),
+                    is_pseudo=True,
+                )
+            )
+    real = _build(real_records, random.Random(7))
+    ideal = _build(ideal_records, random.Random(8))
+    return real, ideal
+
+
+QUERIES = [
+    ((0,), (15,)),
+    ((3,), (6,)),
+    ((4,), (4,)),
+    ((13,), (13,)),
+    ((10,), (15,)),
+]
+
+
+@pytest.mark.parametrize("q", QUERIES)
+def test_range_views_are_structurally_identical(games, q):
+    (real_tree, real_auth), (ideal_tree, ideal_auth) = games
+    rng_r, rng_i = random.Random(21), random.Random(22)
+    query = clip_query(real_tree, *q)
+    vo_real = range_vo(real_tree, real_auth, query, USER_ROLES, rng_r)
+    vo_ideal = range_vo(ideal_tree, ideal_auth, query, USER_ROLES, rng_i)
+    assert [type(e).__name__ for e in vo_real] == [type(e).__name__ for e in vo_ideal]
+    assert [e.region for e in vo_real] == [e.region for e in vo_ideal]
+    assert [e.byte_size() for e in vo_real] == [e.byte_size() for e in vo_ideal]
+    rec_real = verify_vo(vo_real, real_auth, query, USER_ROLES)
+    rec_ideal = verify_vo(vo_ideal, ideal_auth, query, USER_ROLES)
+    assert sorted(r.value for r in rec_real) == sorted(r.value for r in rec_ideal)
+
+
+def test_equality_views_identical_for_hidden_vs_absent(games):
+    """Within one game, probing a hidden key and an absent key must look
+    the same; across games, probing the same key must look the same."""
+    (real_tree, real_auth), (ideal_tree, ideal_auth) = games
+    rng = random.Random(33)
+    views = {}
+    for label, tree, auth in (
+        ("real", real_tree, real_auth),
+        ("ideal", ideal_tree, ideal_auth),
+    ):
+        for key in [(4,), (7,)]:  # hidden record vs non-existent key
+            vo = equality_vo(tree, auth, key, USER_ROLES, rng)
+            entry = vo.entries[0]
+            views[(label, key)] = (
+                type(entry).__name__,
+                entry.byte_size(),
+                len(entry.aps.s),
+                len(entry.aps.p),
+            )
+    assert len(set(views.values())) == 1  # all four views identical in shape
+
+
+def test_accessible_results_unchanged_by_simulation(games):
+    """The simulator preserves exactly the accessible records — the user's
+    legitimate view is identical in both games."""
+    (real_tree, real_auth), (ideal_tree, ideal_auth) = games
+    rng = random.Random(44)
+    query = clip_query(real_tree, (0,), (15,))
+    rec_real = verify_vo(
+        range_vo(real_tree, real_auth, query, USER_ROLES, rng),
+        real_auth, query, USER_ROLES,
+    )
+    assert sorted(r.value for r in rec_real) == [b"open-1", b"open-9"]

@@ -1,0 +1,39 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_demo_runs(capsys):
+    assert main(["demo", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "signed AP2G-tree" in out
+    assert "quarterly forecast" in out
+    assert "nothing accessible" in out
+
+
+def test_stats_runs(capsys):
+    assert main(["stats", "--scale", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "index size" in out
+    assert "nodes" in out
+
+
+def test_selftest_simulated_only_is_fast(capsys):
+    # Full selftest includes bn254; it is exercised here end-to-end.
+    assert main(["selftest"]) == 0
+    out = capsys.readouterr().out
+    assert "[simulated]" in out
+    assert "[bn254" in out
+    assert "FAIL" not in out
+
+
+def test_bench_unknown_experiment(capsys):
+    assert main(["bench", "definitely-not-an-experiment"]) == 2
+    assert "unknown experiments" in capsys.readouterr().out
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

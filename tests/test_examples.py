@@ -1,0 +1,37 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are part of the public deliverable; they must not rot.  Each is
+executed in-process (runpy) with output captured; the slower analytics
+examples run in the same way but are kept last.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    p.name for p in (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def test_every_example_is_covered():
+    assert EXAMPLES == [
+        "cloud_join_audit.py",
+        "medical_records.py",
+        "operational_sp.py",
+        "quickstart.py",
+        "relaxed_kdtree_analytics.py",
+        "wire_protocol.py",
+    ]
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    path = pathlib.Path(__file__).parent.parent / "examples" / name
+    # Examples use SystemExit only to signal bugs.
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
+    assert "BUG" not in out

@@ -1,0 +1,82 @@
+"""Tests for the parallel executor and makespan simulator (Section 8.2)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.parallel import MakespanSimulator, parallel_map
+
+
+def test_parallel_map_preserves_order():
+    items = list(range(100))
+    for workers in (1, 2, 8):
+        assert parallel_map(lambda x: x + 1, items, workers) == [x + 1 for x in items]
+
+
+def test_parallel_map_empty_and_single():
+    assert parallel_map(lambda x: x, [], workers=4) == []
+    assert parallel_map(lambda x: x * 2, [21], workers=4) == [42]
+
+
+def test_parallel_map_propagates_exceptions():
+    def boom(x):
+        raise ValueError("boom")
+
+    with pytest.raises(ValueError):
+        parallel_map(boom, [1, 2], workers=2)
+
+
+def test_parallel_map_rejects_bad_workers():
+    with pytest.raises(ReproError):
+        parallel_map(lambda x: x, [1], workers=0)
+
+
+def test_makespan_single_worker_is_total_work():
+    sim = MakespanSimulator([3.0, 1.0, 2.0], serial_overhead=0.5)
+    assert sim.makespan(1) == pytest.approx(6.5)
+    assert sim.total_work == pytest.approx(6.5)
+
+
+def test_makespan_perfect_split():
+    sim = MakespanSimulator([1.0] * 8)
+    assert sim.makespan(8) == pytest.approx(1.0)
+    assert sim.makespan(4) == pytest.approx(2.0)
+
+
+def test_makespan_bounded_by_longest_job():
+    sim = MakespanSimulator([10.0, 1.0, 1.0])
+    assert sim.makespan(100) == pytest.approx(10.0)
+
+
+def test_makespan_monotone_in_workers():
+    sim = MakespanSimulator([5, 3, 3, 2, 2, 1, 1, 1], serial_overhead=1.0)
+    spans = [sim.makespan(k) for k in (1, 2, 4, 8, 16)]
+    assert spans == sorted(spans, reverse=True)
+
+
+def test_serial_overhead_caps_speedup():
+    # Amdahl: with 50% serial work, speedup < 2 forever.
+    sim = MakespanSimulator([0.1] * 10, serial_overhead=1.0)
+    results = sim.sweep((1, 1000))
+    assert results[-1].speedup < 2.0
+
+
+def test_sweep_reports_speedups():
+    sim = MakespanSimulator([1.0] * 16)
+    results = sim.sweep((1, 2, 4))
+    assert [r.workers for r in results] == [1, 2, 4]
+    assert results[0].speedup == pytest.approx(1.0)
+    assert results[1].speedup == pytest.approx(2.0)
+    assert results[2].speedup == pytest.approx(4.0)
+
+
+def test_empty_jobs():
+    sim = MakespanSimulator([], serial_overhead=2.0)
+    assert sim.makespan(4) == pytest.approx(2.0)
+
+
+def test_negative_costs_rejected():
+    with pytest.raises(ReproError):
+        MakespanSimulator([-1.0])
+    sim = MakespanSimulator([1.0])
+    with pytest.raises(ReproError):
+        sim.makespan(0)

@@ -1,0 +1,21 @@
+"""Guard: the README quickstart block runs and returns what it claims."""
+
+import pathlib
+import re
+
+
+def test_readme_quickstart_executes():
+    readme = (pathlib.Path(__file__).parent.parent / "README.md").read_text()
+    blocks = re.findall(r"```python\n(.*?)```", readme, re.DOTALL)
+    assert blocks, "README lost its quickstart code block"
+    namespace: dict = {}
+    exec(compile(blocks[0], "<README quickstart>", "exec"), namespace)  # noqa: S102
+    records = namespace["records"]
+    assert [r.value for r in records] == [b"blood panel"]
+
+
+def test_readme_mentions_all_examples():
+    readme = (pathlib.Path(__file__).parent.parent / "README.md").read_text()
+    examples_dir = pathlib.Path(__file__).parent.parent / "examples"
+    for example in examples_dir.glob("*.py"):
+        assert example.name in readme, f"README does not mention {example.name}"

@@ -1,0 +1,54 @@
+"""Tests for query-range generation."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import WorkloadError
+from repro.index.boxes import Domain
+from repro.workload.queries import fraction_of_domain, query_batch, random_range
+
+
+def test_random_range_inside_domain():
+    domain = Domain.of((0, 63), (0, 15), (0, 15))
+    rng = random.Random(1)
+    for _ in range(50):
+        box = random_range(domain, 0.01, rng)
+        assert domain.box.contains_box(box)
+
+
+@given(st.floats(min_value=0.0005, max_value=1.0))
+def test_random_range_fraction_approximate(fraction):
+    domain = Domain.of((0, 63), (0, 63))
+    rng = random.Random(7)
+    box = random_range(domain, fraction, rng)
+    actual = fraction_of_domain(box, domain)
+    # Rounding per dimension: within a generous band.
+    assert actual <= min(1.0, fraction * 6 + 0.01)
+    assert actual >= fraction / 6 - 0.01
+
+
+def test_invalid_fraction_rejected():
+    domain = Domain.of((0, 9))
+    with pytest.raises(WorkloadError):
+        random_range(domain, 0, random.Random(1))
+    with pytest.raises(WorkloadError):
+        random_range(domain, 1.5, random.Random(1))
+
+
+def test_query_batch_reproducible():
+    domain = Domain.of((0, 63), (0, 63))
+    a = query_batch(domain, 0.01, 5, seed=3)
+    b = query_batch(domain, 0.01, 5, seed=3)
+    assert a == b
+    c = query_batch(domain, 0.01, 5, seed=4)
+    assert a != c
+    assert len(a) == 5
+
+
+def test_full_domain_fraction():
+    domain = Domain.of((0, 7))
+    box = random_range(domain, 1.0, random.Random(2))
+    assert box == domain.box
+    assert fraction_of_domain(box, domain) == 1.0

@@ -1,0 +1,91 @@
+"""Tests for the TPC-H-style workload generator."""
+
+import math
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.policy.policygen import PolicyGenerator
+from repro.workload.tpch import (
+    FULL_LINEITEM_SHAPE,
+    ROWS_AT_SCALE_1,
+    TpchConfig,
+    TpchGenerator,
+    expected_occupancy,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return PolicyGenerator(seed=2).generate()
+
+
+def test_full_domain_constants():
+    assert FULL_LINEITEM_SHAPE == (2526, 11, 50)
+    assert ROWS_AT_SCALE_1 == 6_000_000
+
+
+def test_expected_occupancy_curve():
+    # Balls-into-bins saturation: monotone, bounded by 1.
+    values = [expected_occupancy(s) for s in (0.1, 0.3, 1, 3)]
+    assert values == sorted(values)
+    assert 0.3 < values[0] < 0.4  # ~35% at scale 0.1 (paper mechanism)
+    assert values[2] > 0.95
+    assert values[3] > 0.999
+    with pytest.raises(WorkloadError):
+        expected_occupancy(0)
+
+
+def test_config_key_counts():
+    cfg = TpchConfig(scale=0.3, shape=(32, 8, 8))
+    cells = 32 * 8 * 8
+    assert cfg.domain.size() == cells
+    assert 0 < cfg.num_distinct_keys() <= cells
+    assert cfg.num_distinct_keys() == round(cells * expected_occupancy(0.3))
+
+
+def test_lineitem_generation(workload):
+    cfg = TpchConfig(scale=0.3, shape=(16, 8, 8), seed=5)
+    ds = TpchGenerator(cfg).lineitem(workload)
+    assert len(ds) == cfg.num_distinct_keys()
+    for record in ds:
+        assert cfg.domain.contains(record.key)
+        assert len(record.value) > 20  # packed 12-attribute row
+        assert record.policy in workload.policies
+
+
+def test_lineitem_deterministic(workload):
+    cfg = TpchConfig(scale=0.1, shape=(16, 4, 4), seed=9)
+    a = TpchGenerator(cfg).lineitem(workload)
+    b = TpchGenerator(cfg).lineitem(workload)
+    assert list(a.keys()) == list(b.keys())
+    assert [r.value for r in a] == [r.value for r in b]
+
+
+def test_policy_assignment_stable_per_key(workload):
+    """Records under the same key share a policy across runs (Section 10)."""
+    cfg = TpchConfig(scale=0.3, shape=(16, 4, 4), seed=9)
+    a = TpchGenerator(cfg).lineitem(workload)
+    b = TpchGenerator(TpchConfig(scale=1, shape=(16, 4, 4), seed=9)).lineitem(workload)
+    for key in a.keys():
+        if b.get(key) is not None:
+            assert a.get(key).policy is b.get(key).policy
+
+
+def test_join_tables(workload):
+    cfg = TpchConfig(scale=0.3, orderkey_domain=128, seed=4)
+    orders, lineitem = TpchGenerator(cfg).orders_lineitem_join(workload)
+    assert len(orders) == cfg.num_order_keys()
+    assert len(lineitem) <= len(orders)
+    # Referential integrity: every lineitem orderkey exists in orders.
+    for record in lineitem:
+        assert orders.get(record.key) is not None
+
+
+def test_scale_monotone_in_records(workload):
+    sizes = [
+        len(TpchGenerator(TpchConfig(scale=s, shape=(16, 4, 4))).lineitem(workload))
+        for s in (0.1, 0.3, 1, 3)
+    ]
+    assert sizes == sorted(sizes)
+    assert sizes[-1] == 16 * 4 * 4  # saturation
