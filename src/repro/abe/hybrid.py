@@ -18,7 +18,6 @@ from typing import Iterable, Optional
 
 from repro.abe.cpabe import CpAbeCiphertext, CpAbePublicKey, CpAbeScheme, CpAbeSecretKey
 from repro.crypto.aes import open_sealed, seal
-from repro.errors import AccessDeniedError
 from repro.policy.boolexpr import BoolExpr, and_of_attrs
 
 

@@ -30,7 +30,7 @@ from typing import Optional, Sequence
 from repro.abs.keys import AbsVerificationKey
 from repro.abs.scheme import AbsScheme, AbsSignature
 from repro.errors import CryptoError
-from repro.policy.boolexpr import BoolExpr, Or, or_of_attrs
+from repro.policy.boolexpr import BoolExpr, or_of_attrs
 
 #: Bit length of the random batching exponents (soundness ~ 2^-64).
 RHO_BITS = 64

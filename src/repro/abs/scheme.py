@@ -23,7 +23,7 @@ from __future__ import annotations
 import os
 import random
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional
 
 from repro.abs.keys import (
     AbsKeyPair,
@@ -35,7 +35,7 @@ from repro.abs.keys import (
 from repro.crypto.group import G1, G2, BilinearGroup, GroupElement
 from repro.errors import CryptoError, PolicyError
 from repro.policy.boolexpr import BoolExpr
-from repro.policy.msp import Msp, get_msp
+from repro.policy.msp import get_msp
 
 
 @dataclass(frozen=True)

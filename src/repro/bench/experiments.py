@@ -25,20 +25,19 @@ from repro.bench.harness import (
     measure_range,
 )
 from repro.bench.report import ExperimentResult, kib, millis
-from repro.core.app_signature import AppAuthenticator, AppSigner
+from repro.core.app_signature import AppAuthenticator
 from repro.core.records import Dataset, Record
 from repro.core.system import DataOwner
 from repro.crypto import get_backend
-from repro.index.boxes import Box, Domain
+from repro.index.boxes import Box
 from repro.index.duplicates import (
     DuplicateRecord,
     embedded_dataset,
     zero_knowledge_dataset,
 )
-from repro.index.gridtree import APGTree
 from repro.index.kdtree import APKDTree
 from repro.parallel import MakespanSimulator
-from repro.policy.boolexpr import And, Attr, Or, or_of_attrs
+from repro.policy.boolexpr import And, Attr, Or
 from repro.policy.policygen import PolicyGenerator, user_roles_for_coverage
 from repro.policy.roles import RoleUniverse
 from repro.workload.queries import query_batch
@@ -558,7 +557,6 @@ def run_fig15(
     nzk_dataset = embedded_dataset(config.domain, dups)
     nzk_tree = owner.build_tree(nzk_dataset)
     roles = user_roles_for_coverage(workload, 0.2)
-    setup_common = dict(rng=rng)
     auth = AppAuthenticator(group, workload.universe, owner.mvk)
     result = ExperimentResult(
         exp_id="Figure 15",

@@ -13,8 +13,8 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Optional
 
 from repro.core.app_signature import AppAuthenticator
 from repro.core.join_query import join_vo

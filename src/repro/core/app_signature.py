@@ -23,7 +23,6 @@ from repro.abs.relax import relax
 from repro.abs.scheme import AbsScheme, AbsSignature
 from repro.core.records import Record
 from repro.crypto.group import BilinearGroup
-from repro.errors import PolicyError
 from repro.index.boxes import Box, Point
 from repro.policy.boolexpr import BoolExpr, or_of_attrs
 from repro.policy.roles import RoleUniverse

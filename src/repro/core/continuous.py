@@ -33,7 +33,7 @@ from repro.core.vo import (
     InaccessibleRecordEntry,
     VerificationObject,
 )
-from repro.errors import CompletenessError, SoundnessError, WorkloadError
+from repro.errors import CompletenessError, WorkloadError
 from repro.index.boxes import Box
 from repro.policy.boolexpr import Attr
 from repro.policy.roles import PSEUDO_ROLE

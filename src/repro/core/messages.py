@@ -11,7 +11,9 @@ here, so an SP can run behind any transport (socket, HTTP body, queue):
 * :class:`SPServer` — ``handle(request_bytes) -> response_bytes`` on top
   of a :class:`~repro.core.system.ServiceProvider`;
 * :class:`RemoteUser` — a client that speaks the wire format and funnels
-  responses into the usual verifier.
+  responses into the usual verifier;
+* :class:`ErrorResponse` — the typed error frame a hardened SP returns
+  instead of crashing (consumed by :mod:`repro.net`).
 
 The codecs are strict: unknown tags, trailing bytes, and out-of-range
 elements raise :class:`~repro.errors.DeserializationError` (fuzzing in
@@ -20,22 +22,43 @@ elements raise :class:`~repro.errors.DeserializationError` (fuzzing in
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.abe.cpabe import CpAbeCiphertext
 from repro.abe.hybrid import HybridEnvelope
 from repro.core.system import QueryResponse, ServiceProvider
 from repro.core.vo import VerificationObject, _Reader, _encode_bytes, _encode_point
 from repro.crypto.group import G1, G2, GT, BilinearGroup
-from repro.errors import DeserializationError, WorkloadError
+from repro.errors import DeserializationError, PolicyError, WorkloadError
 from repro.index.boxes import Box
 from repro.policy.boolexpr import parse_policy
 
 _REQ_MAGIC = b"QRY\x01"
 _RESP_MAGIC = b"RSP\x01"
+_ERR_MAGIC = b"ERR\x01"
 
 _KINDS = ("equality", "range", "join")
+
+
+@contextmanager
+def _strict_decode(what: str):
+    """Normalize every malformed-frame failure to DeserializationError.
+
+    Codec internals can surface ``UnicodeDecodeError`` (partial UTF-8),
+    ``PolicyParseError`` (truncated policy strings), ``IndexError`` /
+    ``ValueError`` / ``OverflowError`` (mangled integers), or
+    ``WorkloadError`` (an inverted query box) — a caller fed attacker- or
+    fault-controlled bytes must see exactly one error type.
+    """
+    try:
+        yield
+    except DeserializationError:
+        raise
+    except (IndexError, KeyError, OverflowError, PolicyError, ValueError,
+            WorkloadError) as exc:
+        # UnicodeDecodeError is a ValueError subclass.
+        raise DeserializationError(f"malformed {what}: {exc}") from exc
 
 
 @dataclass(frozen=True)
@@ -70,29 +93,30 @@ class QueryRequest:
     def from_bytes(cls, data: bytes) -> "QueryRequest":
         if data[:4] != _REQ_MAGIC:
             raise DeserializationError("not a query request")
-        reader = _Reader(data)
-        reader.take(4)
-        kind_idx = reader.take(1)[0]
-        if kind_idx >= len(_KINDS):
-            raise DeserializationError(f"unknown query kind tag {kind_idx}")
-        table = reader.take_bytes().decode()
-        right = reader.take_bytes().decode()
-        lo = reader.take_point()
-        hi = reader.take_point()
-        count = int.from_bytes(reader.take(2), "big")
-        roles = frozenset(reader.take_bytes().decode() for _ in range(count))
-        encrypt = reader.take(1) == b"\x01"
-        if not reader.exhausted:
-            raise DeserializationError("trailing bytes in query request")
-        return cls(
-            kind=_KINDS[kind_idx],
-            table=table,
-            lo=lo,
-            hi=hi,
-            roles=roles,
-            right_table=right,
-            encrypt=encrypt,
-        )
+        with _strict_decode("query request"):
+            reader = _Reader(data)
+            reader.take(4)
+            kind_idx = reader.take(1)[0]
+            if kind_idx >= len(_KINDS):
+                raise DeserializationError(f"unknown query kind tag {kind_idx}")
+            table = reader.take_bytes().decode()
+            right = reader.take_bytes().decode()
+            lo = reader.take_point()
+            hi = reader.take_point()
+            count = int.from_bytes(reader.take(2), "big")
+            roles = frozenset(reader.take_bytes().decode() for _ in range(count))
+            encrypt = reader.take(1) == b"\x01"
+            if not reader.exhausted:
+                raise DeserializationError("trailing bytes in query request")
+            return cls(
+                kind=_KINDS[kind_idx],
+                table=table,
+                lo=lo,
+                hi=hi,
+                roles=roles,
+                right_table=right,
+                encrypt=encrypt,
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -100,7 +124,6 @@ class QueryRequest:
 # ---------------------------------------------------------------------------
 
 def encode_ciphertext(ct: CpAbeCiphertext) -> bytes:
-    group = ct.c_prime.group
     out = bytearray()
     out += _encode_bytes(ct.policy.to_string().encode())
     out += b"\x01" if ct.c_tilde is not None else b"\x00"
@@ -168,21 +191,75 @@ def encode_response(response: QueryResponse) -> bytes:
 def decode_response(group: BilinearGroup, data: bytes) -> QueryResponse:
     if data[:4] != _RESP_MAGIC:
         raise DeserializationError("not a query response")
-    reader = _Reader(data)
-    reader.take(4)
-    kind = reader.take_bytes().decode()
-    lo = reader.take_point()
-    hi = reader.take_point()
-    sealed = reader.take(1) == b"\x01"
-    if sealed:
-        envelope = decode_envelope(group, reader)
-        vo = None
-    else:
-        envelope = None
-        vo = VerificationObject.from_bytes(group, reader.take_bytes())
-    if not reader.exhausted:
-        raise DeserializationError("trailing bytes in query response")
-    return QueryResponse(kind=kind, query=Box(lo, hi), vo=vo, envelope=envelope)
+    with _strict_decode("query response"):
+        reader = _Reader(data)
+        reader.take(4)
+        kind = reader.take_bytes().decode()
+        lo = reader.take_point()
+        hi = reader.take_point()
+        sealed = reader.take(1) == b"\x01"
+        if sealed:
+            envelope = decode_envelope(group, reader)
+            vo = None
+        else:
+            envelope = None
+            vo = VerificationObject.from_bytes(group, reader.take_bytes())
+        if not reader.exhausted:
+            raise DeserializationError("trailing bytes in query response")
+        return QueryResponse(kind=kind, query=Box(lo, hi), vo=vo, envelope=envelope)
+
+
+# ---------------------------------------------------------------------------
+# Typed error frames
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """A typed error frame: what a hardened SP returns instead of dying.
+
+    ``code`` is machine-readable and drives the client's retry decision
+    (see ``docs/OPERATIONS.md``); ``message`` is a human diagnostic and
+    carries no protocol meaning.
+    """
+
+    code: str
+    message: str = ""
+
+    #: Request bytes that could not be parsed at all (retryable: the
+    #: corruption usually happened in transit).
+    BAD_FRAME = "bad-frame"
+    #: Frame parsed but the inner QueryRequest did not (retryable).
+    BAD_REQUEST = "bad-request"
+    #: The request names an unknown table/kind — deterministic caller
+    #: error, never retried.
+    WORKLOAD = "workload"
+    #: Any other SP-side failure (retryable as possibly transient).
+    INTERNAL = "internal"
+
+    def to_bytes(self) -> bytes:
+        return bytes(
+            bytearray(_ERR_MAGIC)
+            + _encode_bytes(self.code.encode())
+            + _encode_bytes(self.message.encode())
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ErrorResponse":
+        if data[:4] != _ERR_MAGIC:
+            raise DeserializationError("not an error response")
+        with _strict_decode("error response"):
+            reader = _Reader(data)
+            reader.take(4)
+            code = reader.take_bytes().decode()
+            message = reader.take_bytes().decode()
+            if not reader.exhausted:
+                raise DeserializationError("trailing bytes in error response")
+            return cls(code=code, message=message)
+
+
+def is_error_frame(data: bytes) -> bool:
+    """True if ``data`` is an :class:`ErrorResponse` wire frame."""
+    return data[:4] == _ERR_MAGIC
 
 
 # ---------------------------------------------------------------------------

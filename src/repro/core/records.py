@@ -13,7 +13,7 @@ and a random content hash, so proofs cannot distinguish "absent" from
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, Optional
 
 from repro.crypto.hashing import hash_bytes

@@ -17,21 +17,21 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Iterable, Optional
 
 from repro.abe.cpabe import CpAbeKeyPair, CpAbePublicKey, CpAbeScheme, CpAbeSecretKey
 from repro.abe.hybrid import HybridEnvelope, decrypt_envelope, encrypt_for_roles
 from repro.abs.keys import AbsVerificationKey
 from repro.core.app_signature import AppAuthenticator, AppSigner
 from repro.core.equality import equality_vo
-from repro.core.join_query import TABLE_R, TABLE_S, join_vo
+from repro.core.join_query import join_vo
 from repro.core.range_query import clip_query, range_vo, range_vo_basic
 from repro.core.records import Dataset, Record
 from repro.core.verifier import JoinPair, verify_join_vo, verify_vo
 from repro.core.vo import VerificationObject
 from repro.crypto.group import BilinearGroup
 from repro.errors import ReproError, WorkloadError
-from repro.index.boxes import Box, Domain, Point
+from repro.index.boxes import Box, Point
 from repro.index.gridtree import APGTree
 from repro.policy.roles import RoleHierarchy, RoleUniverse
 
@@ -145,6 +145,46 @@ class ServiceProvider:
             return self.trees[table]
         except KeyError:
             raise WorkloadError(f"unknown table {table!r}") from None
+
+    # -- crash safety --------------------------------------------------------
+    def snapshot_tables(self) -> Dict[str, bytes]:
+        """Checkpoint every table as a checksummed snapshot blob.
+
+        The blobs round-trip through :meth:`from_snapshots`; signatures
+        are preserved bit-for-bit, so proofs generated after a restore
+        verify identically to proofs generated before the crash.
+        """
+        from repro.core.persistence import snapshot_tree
+
+        return {name: snapshot_tree(tree) for name, tree in self.trees.items()}
+
+    @classmethod
+    def from_snapshots(
+        cls,
+        group: BilinearGroup,
+        universe: RoleUniverse,
+        mvk: AbsVerificationKey,
+        cpabe_public: CpAbePublicKey,
+        snapshots: Dict[str, bytes],
+        hierarchy: Optional[RoleHierarchy] = None,
+    ) -> "ServiceProvider":
+        """Cold-start an SP from checksummed snapshot blobs.
+
+        Torn or corrupted snapshots are rejected with an offset-precise
+        :class:`~repro.errors.DeserializationError` before the SP serves
+        a single query (see ``docs/OPERATIONS.md``).
+        """
+        from repro.core.persistence import restore_snapshot
+
+        trees = {name: restore_snapshot(group, blob) for name, blob in snapshots.items()}
+        return cls(
+            group=group,
+            universe=universe,
+            mvk=mvk,
+            cpabe_public=cpabe_public,
+            trees=trees,
+            hierarchy=hierarchy,
+        )
 
     def _missing_roles(self, roles) -> list[str]:
         if self.hierarchy is not None:

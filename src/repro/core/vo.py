@@ -48,7 +48,10 @@ class _Reader:
 
     def take(self, n: int) -> bytes:
         if self.off + n > len(self.data):
-            raise DeserializationError("truncated VO")
+            raise DeserializationError(
+                f"truncated input: need {n} bytes at offset {self.off}, "
+                f"only {len(self.data) - self.off} of {len(self.data)} remain"
+            )
         out = self.data[self.off : self.off + n]
         self.off += n
         return out

@@ -13,7 +13,7 @@ implementation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Any, Callable
 
 from repro.crypto import tower
 from repro.crypto.field import CURVE_ORDER, FIELD_MODULUS as P, G2_COFACTOR

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.crypto import pairing as _pairing
 from repro.crypto import tower

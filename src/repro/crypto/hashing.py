@@ -9,8 +9,6 @@ from __future__ import annotations
 
 import hashlib
 import hmac
-from typing import Iterable
-
 DIGEST_SIZE = 32
 
 

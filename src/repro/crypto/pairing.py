@@ -19,7 +19,6 @@ addition chain; a direct-exponentiation fallback
 
 from __future__ import annotations
 
-from repro.crypto import tower
 from repro.crypto.curve import PointG1, PointG2
 from repro.crypto.field import ATE_LOOP_COUNT, BN_U, CURVE_ORDER, FIELD_MODULUS as P
 from repro.crypto.tower import (

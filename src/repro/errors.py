@@ -64,3 +64,23 @@ class AccessDeniedError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload/generator was configured inconsistently."""
+
+
+class TransportError(ReproError):
+    """A request/response exchange with the SP failed at the byte layer.
+
+    Covers dropped or unanswerable requests, mismatched response ids
+    (duplicate/replayed frames), and server-side error frames that the
+    client classifies as transient.  Transport errors are the retryable
+    failure class: :class:`repro.net.client.ResilientClient` retries them
+    with backoff before giving up.
+    """
+
+
+class DeadlineExceededError(TransportError):
+    """A request (including its retries) ran past its per-request deadline."""
+
+
+class CircuitOpenError(TransportError):
+    """The client's circuit breaker is open: failing fast without calling
+    the SP after too many consecutive failures."""

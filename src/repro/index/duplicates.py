@@ -29,7 +29,7 @@ from typing import Iterable, Sequence
 
 from repro.core.records import Dataset, Record
 from repro.errors import WorkloadError
-from repro.index.boxes import Box, Domain, Point
+from repro.index.boxes import Domain, Point
 from repro.policy.boolexpr import BoolExpr, parse_policy
 from repro.policy.dnf import from_dnf, to_dnf
 

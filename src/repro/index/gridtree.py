@@ -21,7 +21,7 @@ box?", which is what drives subtree pruning during VO construction.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from typing import TYPE_CHECKING

@@ -31,7 +31,7 @@ from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.core.records import Dataset, Record
 from repro.errors import WorkloadError
-from repro.index.boxes import Box, Domain
+from repro.index.boxes import Box
 from repro.index.gridtree import APGTree, IndexNode, TreeStats, simplify_policy_union
 from repro.policy.boolexpr import Attr, BoolExpr
 from repro.policy.dnf import to_dnf

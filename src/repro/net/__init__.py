@@ -1,0 +1,53 @@
+"""Fault-tolerant client/server stack around the byte wire protocol.
+
+The paper's deployment model (Section 3) interposes an untrusted,
+failure-prone Service Provider between the Data Owner and many Query
+Users.  This package layers the operational hardening around the
+zero-knowledge core — without ever weakening it:
+
+* :mod:`repro.net.transport` — framed exchanges with request ids, the
+  :class:`Transport` interface, the in-process loopback, and the
+  clock abstraction;
+* :mod:`repro.net.server` — :class:`ResilientSPServer`, a frame loop
+  that turns every per-request failure into a typed error frame;
+* :mod:`repro.net.client` — :class:`ResilientClient` with bounded
+  retries, deadlines, duplicate detection, and a circuit breaker;
+* :mod:`repro.net.faults` — :class:`FaultyTransport`, seeded fault
+  injection (drop/delay/duplicate/truncate/bitflip/tamper) for
+  adversarial testing.
+
+The invariant the whole stack maintains: every fault ends in a retry, a
+typed :class:`~repro.errors.ReproError`, or a
+:class:`~repro.errors.VerificationError` — a client never accepts a
+tampered result as verified.  See ``docs/OPERATIONS.md``.
+"""
+
+from repro.net.client import CircuitBreaker, ClientStats, ResilientClient, RetryPolicy
+from repro.net.faults import FAULT_KINDS, FaultyTransport
+from repro.net.server import ResilientSPServer
+from repro.net.transport import (
+    REQUEST_ID_BYTES,
+    Clock,
+    FakeClock,
+    LoopbackTransport,
+    Transport,
+    frame,
+    unframe,
+)
+
+__all__ = [
+    "CircuitBreaker",
+    "ClientStats",
+    "ResilientClient",
+    "RetryPolicy",
+    "FAULT_KINDS",
+    "FaultyTransport",
+    "ResilientSPServer",
+    "REQUEST_ID_BYTES",
+    "Clock",
+    "FakeClock",
+    "LoopbackTransport",
+    "Transport",
+    "frame",
+    "unframe",
+]

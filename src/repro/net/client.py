@@ -1,0 +1,270 @@
+"""A fault-tolerant query client: retries, deadlines, circuit breaking.
+
+:class:`ResilientClient` is the operational counterpart of
+:class:`~repro.core.messages.RemoteUser`: the same three queries
+(equality / range / join), but spoken through a :class:`~repro.net.
+transport.Transport` that is allowed to fail.  Per logical query it:
+
+1. fails fast with :class:`~repro.errors.CircuitOpenError` while the
+   circuit breaker is open;
+2. frames the request under a fresh random 16-byte id per attempt, so a
+   duplicated or replayed response (stale id) is detected, counted, and
+   retried rather than trusted;
+3. retries transport faults, undecodable responses, server error frames,
+   and *failed verifications* with exponential backoff + jitter, up to
+   ``max_attempts`` and bounded by the per-request ``deadline``;
+4. re-raises the last typed error when attempts run out — so every
+   outcome is either a **verified** result or a
+   :class:`~repro.errors.ReproError` subclass.
+
+Retrying a verification failure never weakens soundness: each retry
+verifies a *fresh* response from scratch, and a persistently tampering
+SP simply exhausts the budget and surfaces the
+:class:`~repro.errors.VerificationError`.  The one deliberately
+non-retryable server answer is the ``workload`` error frame (unknown
+table / malformed query semantics), which is deterministic and raised
+immediately as :class:`~repro.errors.WorkloadError`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.messages import (
+    ErrorResponse,
+    QueryRequest,
+    decode_response,
+    is_error_frame,
+)
+from repro.errors import (
+    AccessDeniedError,
+    CircuitOpenError,
+    CryptoError,
+    DeadlineExceededError,
+    DeserializationError,
+    ReproError,
+    TransportError,
+    VerificationError,
+    WorkloadError,
+)
+from repro.net.transport import REQUEST_ID_BYTES, Clock, Transport, frame, unframe
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with jitter and an optional deadline."""
+
+    max_attempts: int = 5
+    base_delay: float = 0.02
+    max_delay: float = 1.0
+    jitter: float = 0.5  # extra fraction of the delay, drawn uniformly
+    deadline: Optional[float] = None  # seconds per logical query
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ReproError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0 or self.jitter < 0:
+            raise ReproError("delays and jitter must be non-negative")
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """Delay before retry number ``attempt`` (0-based)."""
+        delay = min(self.max_delay, self.base_delay * (2**attempt))
+        return delay * (1.0 + self.jitter * rng.random())
+
+
+class CircuitBreaker:
+    """Fail fast after ``failure_threshold`` consecutive failed queries.
+
+    States: *closed* (normal), *open* (every call rejected until
+    ``reset_timeout`` elapses), *half-open* (one trial allowed; success
+    closes the circuit, failure re-opens it).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        clock: Optional[Clock] = None,
+    ):
+        if failure_threshold < 1:
+            raise ReproError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.clock = clock or Clock()
+        self.failures = 0
+        self._opened_at: Optional[float] = None
+
+    @property
+    def state(self) -> str:
+        if self._opened_at is None:
+            return "closed"
+        if self.clock.now() - self._opened_at >= self.reset_timeout:
+            return "half-open"
+        return "open"
+
+    def allow(self) -> bool:
+        return self.state != "open"
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self._opened_at = None
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self.failures >= self.failure_threshold:
+            self._opened_at = self.clock.now()
+
+
+@dataclass
+class ClientStats:
+    """Operational counters, exposed for tests, examples, dashboards."""
+
+    requests: int = 0
+    attempts: int = 0
+    retries: int = 0
+    failures: int = 0
+    transport_errors: int = 0
+    decode_failures: int = 0
+    verification_failures: int = 0
+    duplicates_detected: int = 0
+    error_frames: int = 0
+    breaker_rejections: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+_RETRYABLE = (TransportError, CryptoError, VerificationError, AccessDeniedError)
+
+
+class ResilientClient:
+    """Fault-tolerant three-query client over an unreliable transport."""
+
+    def __init__(
+        self,
+        user,
+        transport: Transport,
+        policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        clock: Optional[Clock] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        self.user = user
+        self.transport = transport
+        self.policy = policy or RetryPolicy()
+        self.clock = clock or Clock()
+        self.breaker = breaker or CircuitBreaker(clock=self.clock)
+        self.rng = rng or random.Random()
+        self.stats = ClientStats()
+
+    # -- public queries ------------------------------------------------------
+    def query_equality(self, table: str, key, encrypt: bool = True):
+        request = QueryRequest(
+            kind="equality", table=table, lo=tuple(key), hi=tuple(key),
+            roles=self.user.roles, encrypt=encrypt,
+        )
+        return self._execute(request, self.user.verify)
+
+    def query_range(self, table: str, lo, hi, encrypt: bool = True):
+        request = QueryRequest(
+            kind="range", table=table, lo=tuple(lo), hi=tuple(hi),
+            roles=self.user.roles, encrypt=encrypt,
+        )
+        return self._execute(request, self.user.verify)
+
+    def query_join(self, left: str, right: str, lo, hi, encrypt: bool = True):
+        request = QueryRequest(
+            kind="join", table=left, right_table=right, lo=tuple(lo), hi=tuple(hi),
+            roles=self.user.roles, encrypt=encrypt,
+        )
+        return self._execute(request, self.user.verify_join)
+
+    # -- the retry loop ------------------------------------------------------
+    def _execute(self, request: QueryRequest, verify: Callable):
+        if not self.breaker.allow():
+            self.stats.breaker_rejections += 1
+            raise CircuitOpenError(
+                f"circuit open after {self.breaker.failures} consecutive "
+                f"failures; retry after {self.breaker.reset_timeout}s"
+            )
+        self.stats.requests += 1
+        payload = request.to_bytes()
+        start = self.clock.now()
+        last_error: Optional[ReproError] = None
+        for attempt in range(self.policy.max_attempts):
+            if self._expired(start):
+                break
+            if attempt:
+                self.stats.retries += 1
+            self.stats.attempts += 1
+            try:
+                result = self._attempt(payload, verify)
+            except WorkloadError:
+                # Deterministic rejection: the query itself is wrong.
+                # Not an SP failure — the breaker does not count it.
+                self.stats.failures += 1
+                raise
+            except _RETRYABLE as exc:
+                last_error = exc
+                self._classify(exc)
+                self.clock.sleep(self._bounded_backoff(attempt, start))
+                continue
+            if self._expired(start):
+                # The response arrived verified but *late*; the deadline
+                # contract says the caller has moved on.
+                break
+            self.breaker.record_success()
+            return result
+        self.stats.failures += 1
+        self.breaker.record_failure()
+        if self._expired(start):
+            raise DeadlineExceededError(
+                f"deadline of {self.policy.deadline}s exceeded after "
+                f"{self.stats.attempts} attempt(s)"
+            ) from last_error
+        raise last_error if last_error is not None else TransportError(
+            "request failed before any attempt was made"
+        )
+
+    def _attempt(self, payload: bytes, verify: Callable):
+        request_id = self.rng.getrandbits(8 * REQUEST_ID_BYTES).to_bytes(
+            REQUEST_ID_BYTES, "big"
+        )
+        reply = self.transport.round_trip(frame(request_id, payload))
+        reply_id, body = unframe(reply)
+        if reply_id != request_id:
+            self.stats.duplicates_detected += 1
+            raise TransportError(
+                "response id mismatch: duplicated or replayed frame rejected"
+            )
+        if is_error_frame(body):
+            error = ErrorResponse.from_bytes(body)
+            self.stats.error_frames += 1
+            if error.code == ErrorResponse.WORKLOAD:
+                raise WorkloadError(f"SP rejected query: {error.message}")
+            raise TransportError(f"SP error frame [{error.code}]: {error.message}")
+        response = decode_response(self.user.group, body)
+        return verify(response)
+
+    # -- bookkeeping ---------------------------------------------------------
+    def _classify(self, exc: ReproError) -> None:
+        if isinstance(exc, DeserializationError):
+            self.stats.decode_failures += 1
+        elif isinstance(exc, TransportError):
+            self.stats.transport_errors += 1
+        else:  # VerificationError, envelope CryptoError, AccessDeniedError
+            self.stats.verification_failures += 1
+
+    def _expired(self, start: float) -> bool:
+        if self.policy.deadline is None:
+            return False
+        return self.clock.now() - start >= self.policy.deadline
+
+    def _bounded_backoff(self, attempt: int, start: float) -> float:
+        delay = self.policy.backoff(attempt, self.rng)
+        if self.policy.deadline is not None:
+            remaining = self.policy.deadline - (self.clock.now() - start)
+            delay = min(delay, max(0.0, remaining))
+        return delay

@@ -1,0 +1,153 @@
+"""Deterministic fault injection between a client and its transport.
+
+:class:`FaultyTransport` wraps any :class:`~repro.net.transport.Transport`
+and, driven by a *seeded* ``random.Random``, injects the failure modes a
+deployed SP link actually exhibits:
+
+=============  ==============================================================
+``drop``       the request vanishes (``TransportError``, nothing reaches
+               the SP)
+``delay``      the exchange succeeds but the clock advances first — long
+               enough to blow a client deadline
+``duplicate``  a *stale* previous response frame is replayed; its request
+               id no longer matches, which the client must detect
+``truncate``   the response frame is cut short at a random offset
+``bitflip``    one random bit of the response frame is flipped
+``tamper``     adversarial: the response is decoded, a proof entry or the
+               sealed envelope body is modified, and the frame is
+               re-encoded *well-formed* with the correct request id —
+               only cryptographic verification can catch it
+=============  ==============================================================
+
+At most one fault fires per exchange; every injection is counted in
+:attr:`FaultyTransport.injected`.  The ``tamper`` fault is the important
+one for the paper's guarantees: it models a malicious SP or
+man-in-the-middle, and the client invariant (tested in
+``tests/net/test_fault_injection.py``) is that it always ends in a
+:class:`~repro.errors.VerificationError`-class rejection, never in an
+accepted forged result.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import replace
+from typing import Mapping, Optional
+
+from repro.core.messages import decode_response, encode_response, is_error_frame
+from repro.core.vo import (
+    AccessibleRecordEntry,
+    InaccessibleRecordEntry,
+    VerificationObject,
+)
+from repro.crypto.group import BilinearGroup
+from repro.errors import ReproError, TransportError
+from repro.net.transport import Clock, Transport, frame, unframe
+
+FAULT_KINDS = ("drop", "delay", "duplicate", "truncate", "bitflip", "tamper")
+
+
+def _flip_bit(data: bytes, rng: random.Random) -> bytes:
+    if not data:
+        return data
+    out = bytearray(data)
+    out[rng.randrange(len(out))] ^= 1 << rng.randrange(8)
+    return bytes(out)
+
+
+def _xor_all(data: bytes) -> bytes:
+    return bytes(b ^ 0xFF for b in data) or b"\x5a"
+
+
+class FaultyTransport(Transport):
+    """Wrap ``inner`` and corrupt exchanges at seeded random."""
+
+    def __init__(
+        self,
+        inner: Transport,
+        rng: random.Random,
+        rates: Mapping[str, float],
+        group: Optional[BilinearGroup] = None,
+        clock: Optional[Clock] = None,
+        delay_seconds: float = 10.0,
+    ):
+        unknown = set(rates) - set(FAULT_KINDS)
+        if unknown:
+            raise ReproError(f"unknown fault kinds: {sorted(unknown)}")
+        if any(not 0.0 <= r <= 1.0 for r in rates.values()):
+            raise ReproError("fault rates must be probabilities in [0, 1]")
+        if rates.get("tamper") and group is None:
+            raise ReproError("the tamper fault needs the group to re-encode responses")
+        self.inner = inner
+        self.rng = rng
+        self.rates = dict(rates)
+        self.group = group
+        self.clock = clock or Clock()
+        self.delay_seconds = delay_seconds
+        self.injected: Counter[str] = Counter()
+        self._last_response: Optional[bytes] = None
+
+    def _pick_fault(self) -> Optional[str]:
+        for kind in FAULT_KINDS:
+            rate = self.rates.get(kind, 0.0)
+            if rate and self.rng.random() < rate:
+                return kind
+        return None
+
+    def round_trip(self, request_frame: bytes) -> bytes:
+        fault = self._pick_fault()
+        if fault == "drop":
+            self.injected["drop"] += 1
+            raise TransportError("injected fault: request dropped")
+        if fault == "duplicate" and self._last_response is not None:
+            self.injected["duplicate"] += 1
+            return self._last_response
+        if fault == "delay":
+            self.injected["delay"] += 1
+            self.clock.sleep(self.delay_seconds)
+        response = self.inner.round_trip(request_frame)
+        self._last_response = response
+        if fault == "truncate":
+            self.injected["truncate"] += 1
+            return response[: self.rng.randrange(len(response))]
+        if fault == "bitflip":
+            self.injected["bitflip"] += 1
+            return _flip_bit(response, self.rng)
+        if fault == "tamper":
+            self.injected["tamper"] += 1
+            return self._tamper(response)
+        return response
+
+    # -- adversarial tampering ----------------------------------------------
+    def _tamper(self, response_frame: bytes) -> bytes:
+        """Return a *well-formed* frame whose proof content is forged."""
+        try:
+            request_id, payload = unframe(response_frame)
+            if is_error_frame(payload):
+                return _flip_bit(response_frame, self.rng)
+            response = decode_response(self.group, payload)
+            return frame(request_id, encode_response(self._forge(response)))
+        except ReproError:
+            # Could not parse what the server sent; degrade to a bit flip.
+            return _flip_bit(response_frame, self.rng)
+
+    def _forge(self, response):
+        if response.envelope is not None:
+            sealed = response.envelope
+            return replace(
+                response, envelope=replace(sealed, body=_flip_bit(sealed.body, self.rng))
+            )
+        entries = list(response.vo.entries)
+        for i, entry in enumerate(entries):
+            if isinstance(entry, AccessibleRecordEntry):
+                entries[i] = replace(entry, value=_xor_all(entry.value))
+                break
+            if isinstance(entry, InaccessibleRecordEntry):
+                entries[i] = replace(entry, value_hash=_xor_all(entry.value_hash))
+                break
+        else:
+            # Nothing to forge in place: claim a smaller result space by
+            # dropping the first proof entry (a completeness attack).
+            entries = entries[1:]
+        return replace(response, vo=VerificationObject(entries=entries))

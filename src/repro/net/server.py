@@ -1,0 +1,55 @@
+"""A hardened SP front end: per-request error containment.
+
+:class:`~repro.core.messages.SPServer` raises straight through to the
+caller — correct for a library, fatal for a long-running service.
+:class:`ResilientSPServer` wraps it in a frame loop that *never* raises:
+every failure becomes a typed :class:`~repro.core.messages.ErrorResponse`
+frame, echoing the request id when one could be parsed, so a misbehaving
+or malicious client can not take the SP down for everyone else.
+
+Error containment is deliberately one-way: the SP reports *what class*
+of failure occurred (``bad-frame`` / ``bad-request`` / ``workload`` /
+``internal``) and the client decides whether that class is retryable.
+Soundness is unaffected — an ErrorResponse carries no proof, so a client
+can never be tricked into accepting one as a verified result.
+"""
+
+from __future__ import annotations
+
+from repro.core.messages import ErrorResponse, SPServer
+from repro.errors import DeserializationError, ReproError, WorkloadError
+from repro.net.transport import REQUEST_ID_BYTES, frame, unframe
+
+_NULL_ID = b"\x00" * REQUEST_ID_BYTES
+
+
+class ResilientSPServer:
+    """Frame-level request loop that degrades failures to error frames."""
+
+    def __init__(self, server: SPServer):
+        self.server = server
+        self.served = 0
+        self.errors = 0
+
+    def handle_frame(self, request_frame: bytes) -> bytes:
+        """Process one framed request; always returns a response frame."""
+        try:
+            request_id, payload = unframe(request_frame)
+        except DeserializationError as exc:
+            self.errors += 1
+            return frame(
+                _NULL_ID, ErrorResponse(ErrorResponse.BAD_FRAME, str(exc)).to_bytes()
+            )
+        try:
+            response = self.server.handle(payload)
+        except DeserializationError as exc:
+            error = ErrorResponse(ErrorResponse.BAD_REQUEST, str(exc))
+        except WorkloadError as exc:
+            error = ErrorResponse(ErrorResponse.WORKLOAD, str(exc))
+        except ReproError as exc:
+            error = ErrorResponse(ErrorResponse.INTERNAL, str(exc))
+        else:
+            self.served += 1
+            return frame(request_id, response)
+        self.errors += 1
+        return frame(request_id, error.to_bytes())

@@ -1,0 +1,108 @@
+"""Transport abstraction: framed request/response exchange with an SP.
+
+The wire protocol in :mod:`repro.core.messages` is pure bytes-in /
+bytes-out; this module adds the operational layer around it:
+
+* a tiny *frame* format that prefixes every payload with a 16-byte
+  request id, so a client can tell a fresh response from a duplicated or
+  replayed one (the id is echoed back by the server);
+* :class:`Transport` — the one-method interface a client needs
+  (``round_trip(frame) -> frame``), raising
+  :class:`~repro.errors.TransportError` when the exchange fails;
+* :class:`LoopbackTransport` — the in-process implementation used by
+  tests, examples, and benchmarks (a socket/HTTP transport plugs in by
+  implementing the same method);
+* :class:`Clock` / :class:`FakeClock` — a monotonic time source the
+  retry/deadline machinery is written against, so tests and fault
+  simulations run instantly and deterministically.
+
+Faults are injected *between* client and transport by
+:class:`~repro.net.faults.FaultyTransport`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.errors import DeserializationError, TransportError
+
+_FRAME_MAGIC = b"FRM\x01"
+REQUEST_ID_BYTES = 16
+_HEADER_BYTES = len(_FRAME_MAGIC) + REQUEST_ID_BYTES
+
+
+def frame(request_id: bytes, payload: bytes) -> bytes:
+    """Wrap ``payload`` in a frame carrying ``request_id``."""
+    if len(request_id) != REQUEST_ID_BYTES:
+        raise TransportError(
+            f"request id must be {REQUEST_ID_BYTES} bytes, got {len(request_id)}"
+        )
+    return _FRAME_MAGIC + request_id + payload
+
+
+def unframe(data: bytes) -> tuple[bytes, bytes]:
+    """Split a frame into ``(request_id, payload)``; strict on shape."""
+    if data[: len(_FRAME_MAGIC)] != _FRAME_MAGIC:
+        raise DeserializationError("not a transport frame")
+    if len(data) < _HEADER_BYTES:
+        raise DeserializationError(
+            f"truncated frame header: {len(data)} of {_HEADER_BYTES} bytes"
+        )
+    return data[len(_FRAME_MAGIC) : _HEADER_BYTES], data[_HEADER_BYTES:]
+
+
+class Clock:
+    """Monotonic time + sleep, swappable for tests."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class FakeClock(Clock):
+    """A virtual clock: ``sleep`` advances time instead of blocking."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = start
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            self._now += seconds
+
+    def advance(self, seconds: float) -> None:
+        self._now += seconds
+
+
+class Transport:
+    """One request/response exchange over some byte channel.
+
+    Implementations either return the server's response frame or raise
+    :class:`~repro.errors.TransportError`.  They never interpret the
+    payload — framing, retry, and verification live above.
+    """
+
+    def round_trip(self, request_frame: bytes) -> bytes:
+        raise NotImplementedError
+
+
+class LoopbackTransport(Transport):
+    """In-process transport: hands frames straight to a server callable.
+
+    ``handler`` is typically :meth:`repro.net.server.ResilientSPServer.
+    handle_frame`; any ``bytes -> bytes`` callable works.
+    """
+
+    def __init__(self, handler: Callable[[bytes], bytes]):
+        self.handler = handler
+        self.requests = 0
+
+    def round_trip(self, request_frame: bytes) -> bytes:
+        self.requests += 1
+        return self.handler(request_frame)

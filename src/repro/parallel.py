@@ -27,20 +27,45 @@ from repro.errors import ReproError
 T = TypeVar("T")
 R = TypeVar("R")
 
+#: Upper bound on the thread pool: beyond this, thread churn dominates any
+#: speedup and a mistyped ``workers=10**6`` would exhaust the process.
+MAX_WORKERS = 128
+
+
+def _call_indexed(fn: Callable[[T], R], item: T, index: int) -> R:
+    try:
+        return fn(item)
+    except Exception as exc:
+        exc.parallel_map_index = index
+        if hasattr(exc, "add_note"):  # Python >= 3.11
+            exc.add_note(f"parallel_map: raised while processing item #{index}")
+        raise
+
 
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
     workers: int = 1,
 ) -> list[R]:
-    """Map ``fn`` over ``items`` with ``workers`` threads (order preserved)."""
+    """Map ``fn`` over ``items`` with ``workers`` threads (order preserved).
+
+    A worker exception is re-raised unchanged, annotated with the failing
+    item's index (``exc.parallel_map_index``, plus an exception note on
+    Python >= 3.11) so a batch of thousands of ``ABS.Relax`` jobs pinpoints
+    the job that failed.
+    """
     items = list(items)
     if workers < 1:
         raise ReproError("workers must be >= 1")
+    if workers > MAX_WORKERS:
+        raise ReproError(
+            f"workers={workers} exceeds MAX_WORKERS={MAX_WORKERS}; "
+            "unbounded thread pools degrade rather than accelerate"
+        )
     if workers == 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        return [_call_indexed(fn, item, i) for i, item in enumerate(items)]
     with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, items))
+        return list(pool.map(_call_indexed, [fn] * len(items), items, range(len(items))))
 
 
 @dataclass

@@ -12,8 +12,6 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Sequence
-
 from repro.errors import WorkloadError
 from repro.policy.boolexpr import And, Attr, BoolExpr, Or
 from repro.policy.roles import PSEUDO_ROLE, RoleHierarchy, RoleUniverse

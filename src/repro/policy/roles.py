@@ -17,7 +17,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Sequence
+from typing import Dict, Iterable
 
 from repro.errors import PolicyError
 from repro.policy.boolexpr import And, Attr, BoolExpr, Or, or_of_attrs

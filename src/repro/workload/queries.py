@@ -8,12 +8,9 @@
 
 from __future__ import annotations
 
-import math
 import random
-from typing import Iterator
-
 from repro.errors import WorkloadError
-from repro.index.boxes import Box, Domain, Point
+from repro.index.boxes import Box, Domain
 
 
 def random_range(domain: Domain, fraction: float, rng: random.Random) -> Box:

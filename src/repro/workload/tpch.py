@@ -21,9 +21,7 @@ from __future__ import annotations
 import math
 import random
 import struct
-from dataclasses import dataclass, field
-from typing import Iterable, Optional
-
+from dataclasses import dataclass
 from repro.core.records import Dataset, Record
 from repro.crypto.hashing import hash_bytes
 from repro.errors import WorkloadError

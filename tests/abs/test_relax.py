@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.abs.relax import can_relax, relax
-from repro.abs.scheme import AbsScheme, AbsSignature
+from repro.abs.scheme import AbsScheme
 from repro.crypto import simulated
 from repro.errors import RelaxationError
 from repro.policy.boolexpr import And, Attr, Or, or_of_attrs, parse_policy

@@ -2,8 +2,6 @@
 
 import pathlib
 
-import pytest
-
 from repro.bench.experiments import ALL_EXPERIMENTS
 from repro.bench.report import ExperimentResult, _fmt
 

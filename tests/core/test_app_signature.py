@@ -4,8 +4,7 @@ import random
 
 import pytest
 
-from repro.abs.scheme import AbsScheme
-from repro.core.app_signature import AppAuthenticator, AppSigner
+from repro.core.app_signature import AppAuthenticator
 from repro.core.records import Record
 from repro.core.system import DataOwner
 from repro.crypto import simulated

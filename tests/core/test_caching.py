@@ -124,7 +124,6 @@ def test_verify_vo_batched_matches_naive():
     for e in vo:
         if isinstance(e, InaccessibleRecordEntry):
             e = InaccessibleRecordEntry(key=e.key, value_hash=b"\x00" * 32, aps=e.aps)
-            tampered_region = e.region
         entries.append(e)
     import pytest as _pytest
 

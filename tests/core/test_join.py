@@ -102,11 +102,6 @@ def test_join_coverage_is_exact(env):
     query = clip_query(tree_r, (8,), (55,))
     roles = frozenset({"RoleA", "RoleB"})
     vo = join_vo(tree_r, tree_s, auth, query, roles, rng)
-    coverage = [
-        e.region
-        for e in vo
-        if e.table != "S" or not hasattr(e, "value")  # R results + all inaccessible
-    ]
     covered = 0
     for entry in vo:
         if entry in vo.accessible("S"):

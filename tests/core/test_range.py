@@ -9,11 +9,7 @@ from repro.core.range_query import clip_query, range_vo, range_vo_basic
 from repro.core.records import Dataset, Record
 from repro.core.system import DataOwner
 from repro.core.verifier import verify_vo
-from repro.core.vo import (
-    AccessibleRecordEntry,
-    InaccessibleNodeEntry,
-    VerificationObject,
-)
+from repro.core.vo import InaccessibleNodeEntry, VerificationObject
 from repro.crypto import simulated
 from repro.errors import WorkloadError
 from repro.index.boxes import Box, Domain

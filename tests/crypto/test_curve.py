@@ -11,7 +11,7 @@ from repro.crypto.curve import (
     PointG2,
     TWIST_B,
 )
-from repro.crypto.field import CURVE_ORDER, FIELD_MODULUS, G2_COFACTOR
+from repro.crypto.field import CURVE_ORDER, FIELD_MODULUS
 from repro.errors import CryptoError
 
 rng = random.Random(101)

@@ -1,0 +1,217 @@
+"""Tests for the resilient client: retries, deadlines, breaker, detection."""
+
+import random
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    DeserializationError,
+    ReproError,
+    TransportError,
+    VerificationError,
+    WorkloadError,
+)
+from repro.net import (
+    CircuitBreaker,
+    FakeClock,
+    FaultyTransport,
+    LoopbackTransport,
+    ResilientClient,
+    RetryPolicy,
+    Transport,
+)
+
+from .conftest import run_query
+
+
+def make_client(env, transport, clock=None, policy=None, breaker=None, seed=1):
+    clock = clock or FakeClock()
+    return ResilientClient(
+        env.user,
+        transport,
+        policy=policy or RetryPolicy(max_attempts=6, base_delay=0.01),
+        breaker=breaker or CircuitBreaker(failure_threshold=1000, clock=clock),
+        clock=clock,
+        rng=random.Random(seed),
+    )
+
+
+def loopback(env):
+    return LoopbackTransport(env.hardened.handle_frame)
+
+
+def test_perfect_transport_all_query_kinds(env):
+    client = make_client(env, loopback(env))
+    for kind in ("equality", "range", "join"):
+        assert run_query(client, kind) == env.truth[kind]
+    assert client.stats.requests == 3
+    assert client.stats.attempts == 3
+    assert client.stats.retries == 0
+    assert client.stats.failures == 0
+
+
+class FailFirstN(Transport):
+    """Fail the first ``n`` exchanges, then delegate."""
+
+    def __init__(self, inner, n):
+        self.inner = inner
+        self.n = n
+
+    def round_trip(self, request_frame):
+        if self.n > 0:
+            self.n -= 1
+            raise TransportError("synthetic outage")
+        return self.inner.round_trip(request_frame)
+
+
+def test_retries_through_transient_outage(env):
+    client = make_client(env, FailFirstN(loopback(env), 3))
+    assert run_query(client, "range") == env.truth["range"]
+    assert client.stats.attempts == 4
+    assert client.stats.retries == 3
+    assert client.stats.transport_errors == 3
+
+
+def test_exhausted_retries_reraise_last_typed_error(env):
+    client = make_client(env, FailFirstN(loopback(env), 99))
+    with pytest.raises(TransportError, match="synthetic outage"):
+        run_query(client, "range")
+    assert client.stats.attempts == 6
+    assert client.stats.failures == 1
+
+
+def test_backoff_is_bounded_and_deterministic():
+    policy = RetryPolicy(max_attempts=8, base_delay=0.1, max_delay=1.0, jitter=0.5)
+    a = [policy.backoff(i, random.Random(3)) for i in range(8)]
+    b = [policy.backoff(i, random.Random(3)) for i in range(8)]
+    assert a == b  # same seed, same schedule
+    assert all(d <= 1.0 * 1.5 for d in a)  # capped at max_delay * (1 + jitter)
+    assert policy.backoff(5, random.Random(0)) >= policy.backoff(0, random.Random(0))
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ReproError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ReproError):
+        RetryPolicy(base_delay=-1.0)
+
+
+def test_deadline_exceeded_is_typed(env):
+    clock = FakeClock()
+    transport = FaultyTransport(
+        loopback(env), rng=random.Random(5), rates={"delay": 1.0},
+        clock=clock, delay_seconds=5.0,
+    )
+    client = make_client(
+        env, transport, clock=clock,
+        policy=RetryPolicy(max_attempts=10, base_delay=0.01, deadline=3.0),
+    )
+    with pytest.raises(DeadlineExceededError):
+        run_query(client, "range")
+    # The injected delay blew the deadline after a single attempt.
+    assert client.stats.attempts == 1
+
+
+def test_duplicate_responses_detected_and_rejected(env):
+    clock = FakeClock()
+    transport = FaultyTransport(
+        loopback(env), rng=random.Random(6), rates={"duplicate": 1.0}, clock=clock,
+    )
+    client = make_client(env, transport, clock=clock)
+    # First query: nothing to replay yet, so it succeeds and primes the cache.
+    assert run_query(client, "range") == env.truth["range"]
+    # Second query: every exchange replays the stale frame; ids never match.
+    with pytest.raises(TransportError, match="id mismatch"):
+        run_query(client, "equality")
+    assert client.stats.duplicates_detected == 6
+
+
+def test_workload_errors_are_not_retried(env):
+    transport = loopback(env)
+    client = make_client(env, transport)
+    with pytest.raises(WorkloadError, match="nope"):
+        client.query_range("nope", (0,), (31,))
+    assert transport.requests == 1  # no retry for a deterministic rejection
+    assert client.stats.error_frames == 1
+
+
+def test_verification_failure_retries_then_raises(env):
+    # Plaintext responses + 100% tamper: each attempt verifies a forged VO.
+    clock = FakeClock()
+    transport = FaultyTransport(
+        loopback(env), rng=random.Random(8), rates={"tamper": 1.0},
+        group=env.group, clock=clock,
+    )
+    client = make_client(env, transport, clock=clock)
+    with pytest.raises(VerificationError):
+        sorted(r.value for r in client.query_range("docs", (0,), (31,), encrypt=False))
+    assert client.stats.verification_failures == 6
+    assert client.stats.failures == 1
+
+
+def test_truncated_responses_surface_as_deserialization_error(env):
+    clock = FakeClock()
+    transport = FaultyTransport(
+        loopback(env), rng=random.Random(9), rates={"truncate": 1.0}, clock=clock,
+    )
+    client = make_client(env, transport, clock=clock)
+    with pytest.raises(DeserializationError):
+        run_query(client, "range")
+    assert client.stats.decode_failures == 6
+
+
+# -- circuit breaker ---------------------------------------------------------
+
+def test_breaker_opens_after_consecutive_failures_and_recovers(env):
+    clock = FakeClock()
+    transport = FaultyTransport(
+        loopback(env), rng=random.Random(10), rates={"drop": 1.0}, clock=clock,
+    )
+    breaker = CircuitBreaker(failure_threshold=2, reset_timeout=30.0, clock=clock)
+    client = make_client(
+        env, transport, clock=clock, breaker=breaker,
+        policy=RetryPolicy(max_attempts=2, base_delay=0.01),
+    )
+    for _ in range(2):
+        with pytest.raises(TransportError):
+            run_query(client, "range")
+    assert breaker.state == "open"
+
+    # Open circuit: fail fast, the SP is not even contacted.
+    before = transport.inner.requests
+    with pytest.raises(CircuitOpenError):
+        run_query(client, "range")
+    assert transport.inner.requests == before
+    assert client.stats.breaker_rejections == 1
+
+    # After the reset window the breaker half-opens; a healthy exchange closes it.
+    clock.advance(31.0)
+    assert breaker.state == "half-open"
+    transport.rates["drop"] = 0.0
+    assert run_query(client, "range") == env.truth["range"]
+    assert breaker.state == "closed"
+
+
+def test_breaker_halfopen_failure_reopens(env):
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout=10.0, clock=clock)
+    breaker.record_failure()
+    assert breaker.state == "open"
+    clock.advance(10.0)
+    assert breaker.state == "half-open"
+    breaker.record_failure()
+    assert breaker.state == "open"
+    breaker_clockskew = breaker  # the reopen must restart the window
+    clock.advance(5.0)
+    assert breaker_clockskew.state == "open"
+    clock.advance(5.0)
+    assert breaker_clockskew.state == "half-open"
+    breaker.record_success()
+    assert breaker.state == "closed"
+
+
+def test_breaker_validation():
+    with pytest.raises(ReproError):
+        CircuitBreaker(failure_threshold=0)

@@ -1,0 +1,122 @@
+"""Tests for framing, clocks, loopback transport, and the hardened server."""
+
+import pytest
+
+from repro.core.messages import ErrorResponse, QueryRequest, decode_response, is_error_frame
+from repro.errors import DeserializationError, ReproError, TransportError
+from repro.net import (
+    REQUEST_ID_BYTES,
+    FakeClock,
+    LoopbackTransport,
+    ResilientSPServer,
+    frame,
+    unframe,
+)
+
+RID = bytes(range(REQUEST_ID_BYTES))
+
+
+def test_frame_roundtrip():
+    data = frame(RID, b"payload")
+    assert unframe(data) == (RID, b"payload")
+
+
+def test_frame_rejects_bad_id_length():
+    with pytest.raises(TransportError):
+        frame(b"short", b"payload")
+
+
+def test_unframe_rejects_garbage_and_truncation():
+    with pytest.raises(DeserializationError):
+        unframe(b"nope" + RID)
+    whole = frame(RID, b"")
+    for cut in range(len(whole)):
+        with pytest.raises(DeserializationError):
+            unframe(whole[:cut])
+
+
+def test_unframe_empty_payload_ok():
+    assert unframe(frame(RID, b"")) == (RID, b"")
+
+
+def test_fake_clock_sleep_advances_instead_of_blocking():
+    clock = FakeClock()
+    assert clock.now() == 0.0
+    clock.sleep(2.5)
+    clock.advance(0.5)
+    assert clock.now() == pytest.approx(3.0)
+    clock.sleep(-1.0)  # negative sleep is a no-op
+    assert clock.now() == pytest.approx(3.0)
+
+
+def test_loopback_counts_requests():
+    transport = LoopbackTransport(lambda data: data[::-1])
+    assert transport.round_trip(b"ab") == b"ba"
+    assert transport.round_trip(b"cd") == b"dc"
+    assert transport.requests == 2
+
+
+# -- hardened server ---------------------------------------------------------
+
+def test_server_answers_valid_request(env):
+    request = QueryRequest(kind="range", table="docs", lo=(0,), hi=(31,),
+                           roles=env.user.roles, encrypt=False)
+    reply = env.hardened.handle_frame(frame(RID, request.to_bytes()))
+    rid, body = unframe(reply)
+    assert rid == RID
+    assert not is_error_frame(body)
+    response = decode_response(env.group, body)
+    values = sorted(r.value for r in env.user.verify(response))
+    assert values == env.truth["range"]
+    assert env.hardened.served >= 1
+
+
+def test_server_survives_unframeable_garbage(env):
+    before = env.hardened.errors
+    reply = env.hardened.handle_frame(b"\xff\xfe complete garbage")
+    rid, body = unframe(reply)
+    assert rid == b"\x00" * REQUEST_ID_BYTES
+    error = ErrorResponse.from_bytes(body)
+    assert error.code == ErrorResponse.BAD_FRAME
+    assert env.hardened.errors == before + 1
+
+
+def test_server_survives_malformed_request_payload(env):
+    reply = env.hardened.handle_frame(frame(RID, b"not a query request"))
+    rid, body = unframe(reply)
+    assert rid == RID  # the id still echoes back so the client can match it
+    assert ErrorResponse.from_bytes(body).code == ErrorResponse.BAD_REQUEST
+
+
+def test_server_reports_workload_errors(env):
+    request = QueryRequest(kind="range", table="no-such-table", lo=(0,), hi=(1,),
+                           roles=env.user.roles)
+    reply = env.hardened.handle_frame(frame(RID, request.to_bytes()))
+    _, body = unframe(reply)
+    error = ErrorResponse.from_bytes(body)
+    assert error.code == ErrorResponse.WORKLOAD
+    assert "no-such-table" in error.message
+
+
+def test_server_maps_internal_failures_to_error_frames():
+    class ExplodingServer:
+        def handle(self, payload):
+            raise ReproError("the SP tripped over a power cable")
+
+    hardened = ResilientSPServer(ExplodingServer())
+    reply = hardened.handle_frame(frame(RID, b"anything"))
+    _, body = unframe(reply)
+    error = ErrorResponse.from_bytes(body)
+    assert error.code == ErrorResponse.INTERNAL
+    assert "power cable" in error.message
+
+
+def test_server_never_raises_on_fuzzed_frames(env):
+    import random
+
+    fuzz = random.Random(88)
+    for _ in range(60):
+        blob = bytes(fuzz.randrange(256) for _ in range(fuzz.randrange(0, 64)))
+        reply = env.hardened.handle_frame(blob)  # must not raise
+        _, body = unframe(reply)
+        assert is_error_frame(body)

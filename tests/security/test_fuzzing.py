@@ -95,6 +95,103 @@ def test_truncated_vo_rejected(env):
             verify_vo(restored, auth, query, roles)
 
 
+def _wire_env():
+    """A tiny SP + user for request/response frame fuzzing."""
+    from repro.core.messages import QueryRequest, SPServer
+    from repro.core.system import QueryUser
+
+    rng = random.Random(777)
+    universe = RoleUniverse(["RoleA", "RoleB"])
+    owner = DataOwner(simulated(), universe, rng=rng)
+    ds = Dataset(Domain.of((0, 15)))
+    ds.add(Record((3,), b"alpha", parse_policy("RoleA")))
+    ds.add(Record((8,), b"beta", parse_policy("RoleB")))
+    server = SPServer(owner.outsource({"t": ds}), rng=rng)
+    user = QueryUser(simulated(), universe, owner.register_user(["RoleA"]))
+    request = QueryRequest(kind="range", table="t", lo=(0,), hi=(15,),
+                           roles=user.roles, encrypt=False)
+    return server, user, request
+
+
+def test_request_truncated_at_every_offset_rejected():
+    from repro.core.messages import QueryRequest
+    from repro.errors import DeserializationError
+
+    _, _, request = _wire_env()
+    data = request.to_bytes()
+    for cut in range(len(data)):
+        with pytest.raises(DeserializationError):
+            QueryRequest.from_bytes(data[:cut])
+    assert QueryRequest.from_bytes(data) == request  # pristine still parses
+
+
+def test_response_truncated_at_every_offset_rejected():
+    from repro.core.messages import decode_response
+    from repro.errors import DeserializationError
+
+    server, _, request = _wire_env()
+    data = server.handle(request.to_bytes())
+    for cut in range(len(data)):
+        with pytest.raises(DeserializationError):
+            decode_response(simulated(), data[:cut])
+    decode_response(simulated(), data)  # pristine still parses
+
+
+def test_request_single_bitflip_sweep_never_leaks_odd_errors():
+    """Flipping any single bit either still parses or raises exactly
+    DeserializationError — never a bare IndexError/ValueError/UnicodeError."""
+    from repro.core.messages import QueryRequest
+    from repro.errors import DeserializationError
+
+    _, _, request = _wire_env()
+    data = bytearray(request.to_bytes())
+    flips = random.Random(51)
+    for pos in range(len(data)):
+        corrupted = bytearray(data)
+        corrupted[pos] ^= 1 << flips.randrange(8)
+        try:
+            QueryRequest.from_bytes(bytes(corrupted))
+        except DeserializationError:
+            pass  # the only acceptable exception type
+
+
+def test_response_single_bitflip_sweep_never_leaks_odd_errors():
+    from repro.core.messages import decode_response
+    from repro.errors import DeserializationError
+
+    server, _, request = _wire_env()
+    data = bytearray(server.handle(request.to_bytes()))
+    flips = random.Random(52)
+    for pos in range(len(data)):
+        corrupted = bytearray(data)
+        corrupted[pos] ^= 1 << flips.randrange(8)
+        try:
+            decode_response(simulated(), bytes(corrupted))
+        except DeserializationError:
+            pass  # the only acceptable exception type
+
+
+def test_bitflipped_response_never_changes_verified_records():
+    """End-to-end: decode + verify a bit-flipped plaintext response; any
+    accepted outcome must equal the pristine result set."""
+    from repro.core.messages import decode_response
+
+    server, user, request = _wire_env()
+    data = bytes(server.handle(request.to_bytes()))
+    pristine = sorted(r.value for r in user.verify(decode_response(simulated(), data)))
+    assert pristine == [b"alpha"]
+    flips = random.Random(53)
+    for _ in range(150):
+        corrupted = bytearray(data)
+        pos = flips.randrange(len(corrupted))
+        corrupted[pos] ^= 1 << flips.randrange(8)
+        try:
+            records = user.verify(decode_response(simulated(), bytes(corrupted)))
+        except ReproError:
+            continue  # typed rejection — normalization holds end to end
+        assert sorted(r.value for r in records) == pristine
+
+
 def test_shuffled_entries_still_verify(env):
     """Entry order is not load-bearing: a permuted VO verifies the same
     (the proof is a set, not a sequence)."""

@@ -24,7 +24,7 @@ from repro.core.records import Dataset, Record
 from repro.core.system import DataOwner
 from repro.core.verifier import verify_vo
 from repro.crypto import simulated
-from repro.index.boxes import Box, Domain
+from repro.index.boxes import Domain
 from repro.policy.boolexpr import Attr, parse_policy
 from repro.policy.roles import PSEUDO_ROLE, RoleUniverse
 

@@ -7,7 +7,6 @@ examples run in the same way but are kept last.
 
 import pathlib
 import runpy
-import sys
 
 import pytest
 
@@ -23,6 +22,7 @@ def test_every_example_is_covered():
         "operational_sp.py",
         "quickstart.py",
         "relaxed_kdtree_analytics.py",
+        "resilient_client.py",
         "wire_protocol.py",
     ]
 

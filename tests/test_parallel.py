@@ -25,9 +25,29 @@ def test_parallel_map_propagates_exceptions():
         parallel_map(boom, [1, 2], workers=2)
 
 
+def test_parallel_map_failure_carries_item_index():
+    def boom_on_odd(x):
+        if x % 2:
+            raise ValueError(f"cannot process {x}")
+        return x
+
+    for workers in (1, 4):  # serial and thread-pool paths annotate alike
+        with pytest.raises(ValueError) as excinfo:
+            parallel_map(boom_on_odd, [0, 2, 4, 5, 6], workers=workers)
+        assert excinfo.value.parallel_map_index == 3
+        if hasattr(excinfo.value, "__notes__"):
+            assert any("item #3" in note for note in excinfo.value.__notes__)
+
+
 def test_parallel_map_rejects_bad_workers():
+    from repro.parallel import MAX_WORKERS
+
     with pytest.raises(ReproError):
         parallel_map(lambda x: x, [1], workers=0)
+    with pytest.raises(ReproError, match="MAX_WORKERS"):
+        parallel_map(lambda x: x, [1, 2], workers=MAX_WORKERS + 1)
+    # The cap itself is fine.
+    assert parallel_map(lambda x: x, [1, 2], workers=MAX_WORKERS) == [1, 2]
 
 
 def test_makespan_single_worker_is_total_work():

@@ -1,6 +1,5 @@
 """Tests for the TPC-H-style workload generator."""
 
-import math
 
 import pytest
 
