@@ -1,0 +1,236 @@
+"""Microbenchmarks for the fast-path exponentiation layer (old vs new).
+
+Times the BN254 backend's precomputed paths against the generic ones on
+fixed seeds and writes ``BENCH_crypto.json`` at the repo root:
+
+* ``pow_fixed_*``   — fixed-base comb vs GLV/wNAF ``**`` on G1/G2/GT;
+* ``multi_pow``     — Straus/Pippenger multi-exponentiation vs the naive
+  per-term product (64-bit batching exponents, the batch-verify shape);
+* ``aps_table_setup`` — DataOwner key generation + AP2G-tree signing,
+  the APS signing-heavy setup phase (target >= 2x);
+* ``batched_vo_verify`` — merged shared-base pairing batch vs the
+  unmerged small-exponents reference (target >= 3x).
+
+Every arm runs on a *fresh* ``BN254Group`` instance (comb/pairing/hash
+caches are per-instance); the old arm additionally sets
+``fast_paths = False`` so ``pow_fixed``/``pair`` take the generic path.
+Both arms consume the same rng stream, so their outputs are asserted
+bit-identical before any timing is trusted.
+
+Fast ``test_smoke_*`` functions run in CI (``-m "not slow"``); the full
+comparison behind ``BENCH_crypto.json`` is ``@pytest.mark.slow`` or
+``python benchmarks/bench_crypto_ops.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+import time
+
+import pytest
+
+from repro.abs.batch import BatchItem, batch_verify, batch_verify_unmerged
+from repro.abs.scheme import AbsScheme
+from repro.core.system import DataOwner
+from repro.crypto.group import BN254Group
+from repro.policy.boolexpr import or_of_attrs
+from repro.policy.policygen import PolicyGenerator
+from repro.workload.tpch import TpchConfig, TpchGenerator
+
+SEED = 2018
+JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_crypto.json"
+
+
+def _time_best(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _timed_ops(grp: BN254Group, fn, repeats: int = 3) -> tuple[float, dict]:
+    """Best-of wall time plus the op-count delta of one run."""
+    seconds = _time_best(fn, repeats)
+    before = grp.stats.snapshot()
+    fn()
+    ops = {k: v for k, v in grp.stats.delta(before).items() if v}
+    return seconds, ops
+
+
+def _entry(old_s: float, new_s: float, ops_old: dict, ops_new: dict, **extra) -> dict:
+    return {
+        "old_s": round(old_s, 6),
+        "new_s": round(new_s, 6),
+        "speedup": round(old_s / new_s, 3) if new_s else float("inf"),
+        "ops_old": ops_old,
+        "ops_new": ops_new,
+        **extra,
+    }
+
+
+# ----------------------------------------------------------------------
+def scenario_pow_fixed(kind: str, n_exps: int = 8) -> dict:
+    """Repeated exponentiations of one fixed base: comb vs generic ``**``."""
+    grp = BN254Group()
+    rng = random.Random(SEED)
+    if kind == "G1":
+        base = grp.g1 ** grp.random_scalar(rng)
+    elif kind == "G2":
+        base = grp.g2 ** grp.random_scalar(rng)
+    else:
+        base = grp.pair(grp.g1, grp.g2) ** grp.random_scalar(rng)
+    exps = [grp.random_scalar(rng) for _ in range(n_exps)]
+
+    grp.fast_paths = False
+    old_out = [grp.pow_fixed(base, e) for e in exps]
+    old_s, ops_old = _timed_ops(grp, lambda: [grp.pow_fixed(base, e) for e in exps])
+
+    grp.fast_paths = True
+    grp.pow_fixed(base, 1)  # build the comb outside the timed region
+    new_out = [grp.pow_fixed(base, e) for e in exps]
+    new_s, ops_new = _timed_ops(grp, lambda: [grp.pow_fixed(base, e) for e in exps])
+
+    assert old_out == new_out
+    return _entry(old_s, new_s, ops_old, ops_new, kind=kind, n_exps=n_exps)
+
+
+def scenario_multi_pow(n: int = 24, bits: int = 64) -> dict:
+    """One n-term multi-exponentiation vs the naive per-term product."""
+    grp = BN254Group()
+    rng = random.Random(SEED + 1)
+    bases = [grp.g1 ** grp.random_scalar(rng) for _ in range(n)]
+    exps = [rng.getrandbits(bits) | 1 for _ in range(n)]
+
+    def naive():
+        out = bases[0] ** exps[0]
+        for b, e in zip(bases[1:], exps[1:]):
+            out = out * b**e
+        return out
+
+    grp.fast_paths = False
+    old_s, ops_old = _timed_ops(grp, naive)
+    grp.fast_paths = True
+    new_s, ops_new = _timed_ops(grp, lambda: grp.multi_pow(bases, exps))
+    assert naive() == grp.multi_pow(bases, exps)
+    return _entry(old_s, new_s, ops_old, ops_new, n=n, bits=bits)
+
+
+def _build_table(grp: BN254Group, workload, dataset):
+    owner = DataOwner(grp, workload.universe, rng=random.Random(SEED + 2))
+    tree = owner.build_tree(dataset)
+    return owner, tree
+
+
+def scenario_aps_setup(shape: tuple[int, ...] = (8, 2, 2), repeats: int = 2) -> dict:
+    """End-to-end table setup: keygen + APP-signing one AP2G-tree."""
+    gen = PolicyGenerator(num_roles=6, num_policies=6, seed=SEED)
+    workload = gen.generate()
+    dataset = TpchGenerator(TpchConfig(scale=0.3, shape=shape, seed=SEED)).lineitem(workload)
+
+    grp_old = BN254Group()
+    grp_old.fast_paths = False
+    old_s, ops_old = _timed_ops(
+        grp_old, lambda: _build_table(grp_old, workload, dataset), repeats
+    )
+    grp_new = BN254Group()
+    new_s, ops_new = _timed_ops(
+        grp_new, lambda: _build_table(grp_new, workload, dataset), repeats
+    )
+
+    # Same seeds + same rng consumption: the signed trees must agree bit
+    # for bit, fast paths on or off.
+    _, tree_old = _build_table(grp_old, workload, dataset)
+    _, tree_new = _build_table(grp_new, workload, dataset)
+    sig_old = tree_old.root.signature.to_bytes()
+    sig_new = tree_new.root.signature.to_bytes()
+    assert sig_old == sig_new
+    return _entry(old_s, new_s, ops_old, ops_new, shape=list(shape))
+
+
+def scenario_batched_vo(n_items: int = 10, n_attrs: int = 3) -> dict:
+    """Batched APS verification: merged pairings vs unmerged reference."""
+    grp = BN254Group()
+    scheme = AbsScheme(grp)
+    rng = random.Random(SEED + 3)
+    keys = scheme.setup(rng)
+    roles = [f"R{i}" for i in range(n_attrs + 2)]
+    sk = scheme.keygen(keys, roles, rng)
+    missing = tuple(roles[:n_attrs])
+    policy = or_of_attrs(missing)
+    items = []
+    for k in range(n_items):
+        message = f"record-{k}".encode()
+        sig = scheme.sign(keys.mvk, sk, message, policy, rng)
+        items.append(BatchItem(message=message, attrs=missing, signature=sig))
+
+    grp.fast_paths = False
+    assert batch_verify_unmerged(scheme, keys.mvk, items, random.Random(7))
+    old_s, ops_old = _timed_ops(
+        grp, lambda: batch_verify_unmerged(scheme, keys.mvk, items, random.Random(7))
+    )
+    grp.fast_paths = True
+    assert batch_verify(scheme, keys.mvk, items, random.Random(7))
+    new_s, ops_new = _timed_ops(
+        grp, lambda: batch_verify(scheme, keys.mvk, items, random.Random(7))
+    )
+    return _entry(old_s, new_s, ops_old, ops_new, n_items=n_items, n_attrs=n_attrs)
+
+
+# ----------------------------------------------------------------------
+def run_benchmarks() -> dict:
+    results = {
+        "seed": SEED,
+        "targets": {"aps_table_setup": 2.0, "batched_vo_verify": 3.0},
+        "scenarios": {
+            "pow_fixed_g1": scenario_pow_fixed("G1", n_exps=12),
+            "pow_fixed_g2": scenario_pow_fixed("G2", n_exps=8),
+            "pow_fixed_gt": scenario_pow_fixed("GT", n_exps=6),
+            "multi_pow": scenario_multi_pow(n=24, bits=64),
+            "aps_table_setup": scenario_aps_setup(shape=(8, 2, 2)),
+            "batched_vo_verify": scenario_batched_vo(n_items=10, n_attrs=3),
+        },
+    }
+    return results
+
+
+def main() -> None:
+    results = run_benchmarks()
+    JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    for name, entry in results["scenarios"].items():
+        print(f"{name:18s} old {entry['old_s']*1e3:9.1f} ms   "
+              f"new {entry['new_s']*1e3:9.1f} ms   x{entry['speedup']}")
+    print(f"wrote {JSON_PATH}")
+
+
+# -- pytest entry points ------------------------------------------------
+def test_smoke_pow_fixed_and_multi_pow():
+    """CI smoke: each fast path runs and agrees with the generic path."""
+    entry = scenario_pow_fixed("G1", n_exps=2)
+    assert entry["new_s"] > 0
+    entry = scenario_multi_pow(n=4, bits=32)
+    assert entry["ops_new"].get("multi_pows") == 1
+
+
+def test_smoke_batched_vo():
+    """CI smoke: merged batch equals the unmerged oracle on a tiny batch."""
+    entry = scenario_batched_vo(n_items=2, n_attrs=2)
+    # Merged: 3 fixed bases + l attrs + n tails; unmerged: n * (l + 4).
+    assert entry["ops_new"]["pairings"] < entry["ops_old"]["pairings"]
+
+
+@pytest.mark.slow
+def test_full_bench_meets_targets():
+    """Full comparison; regenerates BENCH_crypto.json and checks targets."""
+    results = run_benchmarks()
+    JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    scen = results["scenarios"]
+    assert scen["aps_table_setup"]["speedup"] >= results["targets"]["aps_table_setup"]
+    assert scen["batched_vo_verify"]["speedup"] >= results["targets"]["batched_vo_verify"]
+
+
+if __name__ == "__main__":
+    main()

@@ -36,10 +36,25 @@ class AbsVerificationKey:
     b_pub: GroupElement  # B = h^b, G2
     c: GroupElement  # C, G1
 
+    def __post_init__(self):
+        # Per-mvk memo for attribute_base: the attribute universe is
+        # small and static, yet every sign/verify/relax recomputes the
+        # same G2 exponentiations.  Not a dataclass field, so equality
+        # and hashing are unaffected.
+        object.__setattr__(self, "_attr_bases", {})
+
     def attribute_base(self, name: str) -> GroupElement:
-        """``A * B^u`` for attribute ``name`` — the G2 base h^(a+b*u)."""
-        u = attribute_scalar(self.group, name)
-        return self.a_pub * self.b_pub**u
+        """``A * B^u`` for attribute ``name`` — the G2 base h^(a+b*u).
+
+        Memoized per mvk; the ``B^u`` exponentiation runs through the
+        shared fixed-base comb of ``B``.
+        """
+        cached = self._attr_bases.get(name)
+        if cached is None:
+            u = attribute_scalar(self.group, name)
+            cached = self.a_pub * self.group.pow_fixed(self.b_pub, u)
+            self._attr_bases[name] = cached
+        return cached
 
     def to_bytes(self) -> bytes:
         return b"".join(

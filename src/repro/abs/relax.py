@@ -68,7 +68,12 @@ def relax(
     rows_by_label: dict[str, list[int]] = {}
     for i in rows:
         rows_by_label.setdefault(msp.labels[i], []).append(i)
-    cg = scheme._message_base(mvk, sig.tau, message)
+    # Appended rows exponentiate the message base; the appended
+    # attribute bases accumulate into P~_1 as one multi-exponentiation.
+    appended = len(kept_list) - len(rows_by_label)
+    _cg, cg_pow = scheme._message_base_powers(mvk, sig.tau, message, uses=appended)
+    append_bases = []
+    append_exps = []
     new_s = []
     for name in kept_list:
         merged = rows_by_label.pop(name, None)
@@ -78,9 +83,12 @@ def relax(
                 si = si * sig.s[i]
         else:
             r = grp.random_scalar(rng)
-            si = cg**r
-            p1 = p1 * mvk.attribute_base(name) ** r
+            si = cg_pow(r)
+            append_bases.append(mvk.attribute_base(name))
+            append_exps.append(r)
         new_s.append(si)
+    if append_bases:
+        p1 = p1 * grp.multi_pow(append_bases, append_exps)
     if rows_by_label:
         # purge() guarantees kept-row labels are inside kept_attrs.
         raise RelaxationError(

@@ -126,10 +126,10 @@ class AbsScheme:
         a0 = grp.random_scalar(rng)
         a = grp.random_scalar(rng)
         b = grp.random_scalar(rng)
-        g = grp.g1 ** grp.random_scalar(rng)
-        c = grp.g1 ** grp.random_scalar(rng)
-        h0 = grp.g2 ** grp.random_scalar(rng)
-        h = grp.g2 ** grp.random_scalar(rng)
+        g = grp.pow_fixed(grp.g1, grp.random_scalar(rng))
+        c = grp.pow_fixed(grp.g1, grp.random_scalar(rng))
+        h0 = grp.pow_fixed(grp.g2, grp.random_scalar(rng))
+        h = grp.pow_fixed(grp.g2, grp.random_scalar(rng))
         mvk = AbsVerificationKey(
             group=grp,
             g=g,
@@ -152,17 +152,20 @@ class AbsScheme:
         """ABS.KeyGen: signing key for an attribute set."""
         grp = self.group
         attrs = frozenset(attrs)
-        k_base = grp.g1 ** grp.random_scalar(rng)
+        k_base = grp.pow_fixed(grp.g1, grp.random_scalar(rng))
         order = grp.order
         a0_inv = pow(keys.msk.a0, order - 2, order)
+        # k_base is exponentiated once per attribute plus once for K0 —
+        # a fixed-base comb amortizes past two exponentiations.
+        k_pow = grp.pow_fixed if len(attrs) >= 2 else (lambda b, e: b**e)
         k = {}
         for name in attrs:
             u = attribute_scalar(grp, name)
             denom = (keys.msk.a + keys.msk.b * u) % order
             if denom == 0:
                 raise CryptoError(f"degenerate attribute encoding for {name!r}")
-            k[name] = k_base ** pow(denom, order - 2, order)
-        return AbsSigningKey(attrs=attrs, k_base=k_base, k0=k_base**a0_inv, k=k)
+            k[name] = k_pow(k_base, pow(denom, order - 2, order))
+        return AbsSigningKey(attrs=attrs, k_base=k_base, k0=k_pow(k_base, a0_inv), k=k)
 
     # ------------------------------------------------------------------
     def message_hash(self, tau: bytes, message: bytes) -> int:
@@ -170,8 +173,32 @@ class AbsScheme:
         return self.group.hash_to_scalar(b"abs-message", tau, message)
 
     def _message_base(self, mvk: AbsVerificationKey, tau: bytes, message: bytes) -> GroupElement:
-        """``C * g^hash`` — the G1 base binding the message."""
-        return mvk.c * mvk.g ** self.message_hash(tau, message)
+        """``C * g^hash`` — the G1 base binding the message.
+
+        ``g`` is fixed for the lifetime of the mvk, so the
+        exponentiation runs on its comb table.
+        """
+        return mvk.c * self.group.pow_fixed(mvk.g, self.message_hash(tau, message))
+
+    def _message_base_powers(
+        self, mvk: AbsVerificationKey, tau: bytes, message: bytes, uses: int = 1
+    ):
+        """``(cg, e -> cg^e)`` — the message base plus a fast power oracle.
+
+        ``cg`` is fresh per signature (``tau`` is random).  With fast
+        paths on, a comb built on ``cg`` itself amortizes over ``uses``
+        >= 3 exponentiations; below that, ``cg^e`` splits as
+        ``C^e * g^(hash * e)`` over the two *persistent* combs.
+        """
+        grp = self.group
+        h = self.message_hash(tau, message)
+        cg = mvk.c * grp.pow_fixed(mvk.g, h)
+        if not grp.fast_paths:
+            return cg, lambda e: cg**e
+        if uses >= 3:
+            return cg, lambda e: grp.pow_fixed(cg, e)
+        order = grp.order
+        return cg, lambda e: grp.pow_fixed(mvk.c, e) * grp.pow_fixed(mvk.g, h * e % order)
 
     # ------------------------------------------------------------------
     def sign(
@@ -192,31 +219,38 @@ class AbsScheme:
         if v is None:
             raise PolicyError("signing key attributes do not satisfy the claim predicate")
         tau = (rng.getrandbits(256).to_bytes(32, "big") if rng is not None else os.urandom(32))
-        cg = self._message_base(mvk, tau, message)
+        _cg, cg_pow = self._message_base_powers(mvk, tau, message, uses=msp.n_rows)
         r0 = grp.random_scalar(rng)
         r = [grp.random_scalar(rng) for _ in range(msp.n_rows)]
-        y = sk.k_base**r0
-        w = sk.k0**r0
+        # K_base, K0, and K_u are fixed across every signature under this
+        # key, so all three run on their prebuilt combs.
+        y = grp.pow_fixed(sk.k_base, r0)
+        w = grp.pow_fixed(sk.k0, r0)
         s = []
         for i, label in enumerate(msp.labels):
-            si = cg ** r[i]
+            si = cg_pow(r[i])
             if v[i] != 0:
                 if label not in sk.k:
                     raise CryptoError(
                         f"satisfying vector uses attribute {label!r} missing from the key"
                     )
-                si = sk.k[label] ** (v[i] * r0 % grp.order) * si
+                si = grp.pow_fixed(sk.k[label], v[i] * r0 % grp.order) * si
             s.append(si)
         bases = [mvk.attribute_base(label) for label in msp.labels]
         p = []
         for j in range(msp.n_cols):
-            pj = grp.identity(G2)
+            col_bases = []
+            col_exps = []
             for i in range(msp.n_rows):
                 m_ij = msp.matrix[i][j]
                 if m_ij == 0:
                     continue
-                pj = pj * bases[i] ** (m_ij * r[i] % grp.order)
-            p.append(pj)
+                col_bases.append(bases[i])
+                col_exps.append(m_ij * r[i] % grp.order)
+            if not col_bases:
+                p.append(grp.identity(G2))
+            else:
+                p.append(grp.multi_pow(col_bases, col_exps))
         return AbsSignature(tau=tau, y=y, w=w, s=tuple(s), p=tuple(p))
 
     # ------------------------------------------------------------------

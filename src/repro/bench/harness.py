@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from repro.core.app_signature import AppAuthenticator
@@ -33,9 +33,22 @@ from repro.policy.policygen import (
 from repro.workload.tpch import TpchConfig, TpchGenerator
 
 
+def _merge_ops(into: dict, other: dict) -> dict:
+    for key, value in other.items():
+        into[key] = into.get(key, 0) + value
+    return into
+
+
 @dataclass
 class QueryCost:
-    """Averaged per-query costs (the paper's reported metrics)."""
+    """Averaged per-query costs (the paper's reported metrics).
+
+    ``sp_ops``/``user_ops`` carry the logical group-operation counts
+    (mults, pows, pairings, cache hits — see
+    :class:`repro.crypto.GroupOpStats`) of the SP and user phases, so
+    speedups can be traced to the operations saved rather than asserted
+    from wall-clock alone.
+    """
 
     sp_seconds: float = 0.0
     user_seconds: float = 0.0
@@ -43,6 +56,8 @@ class QueryCost:
     num_entries: float = 0.0
     num_results: float = 0.0
     queries: int = 0
+    sp_ops: dict = field(default_factory=dict)
+    user_ops: dict = field(default_factory=dict)
 
     def add(self, other: "QueryCost") -> None:
         self.sp_seconds += other.sp_seconds
@@ -51,6 +66,8 @@ class QueryCost:
         self.num_entries += other.num_entries
         self.num_results += other.num_results
         self.queries += other.queries
+        _merge_ops(self.sp_ops, other.sp_ops)
+        _merge_ops(self.user_ops, other.user_ops)
 
     def averaged(self) -> "QueryCost":
         n = max(1, self.queries)
@@ -61,6 +78,8 @@ class QueryCost:
             num_entries=self.num_entries / n,
             num_results=self.num_results / n,
             queries=n,
+            sp_ops={k: v / n for k, v in self.sp_ops.items()},
+            user_ops={k: v / n for k, v in self.user_ops.items()},
         )
 
 
@@ -150,12 +169,18 @@ def measure_range(
     auth = setup.authenticator
     if missing is not None:
         auth = _reduced_auth(setup, missing)
+    stats = auth.group.stats
+    before = stats.snapshot()
     t0 = time.perf_counter()
     vo = builder(tree, auth, query, setup.user_roles, setup.rng)
     sp = time.perf_counter() - t0
+    sp_ops = stats.delta(before)
     data = vo.to_bytes()
+    user_ops: dict = {}
     t0 = time.perf_counter()
-    records = verify_vo(vo, setup.authenticator, query, setup.user_roles, missing)
+    records = verify_vo(
+        vo, setup.authenticator, query, setup.user_roles, missing, collect_ops=user_ops
+    )
     user = time.perf_counter() - t0
     return QueryCost(
         sp_seconds=sp,
@@ -164,6 +189,8 @@ def measure_range(
         num_entries=len(vo),
         num_results=len(records),
         queries=1,
+        sp_ops=sp_ops,
+        user_ops=user_ops,
     )
 
 
@@ -179,6 +206,8 @@ def measure_join(
     auth = setup.authenticator
     if missing is not None:
         auth = _reduced_auth(setup, missing)
+    stats = auth.group.stats
+    before = stats.snapshot()
     if method == "tree":
         t0 = time.perf_counter()
         vo = join_vo(tree_r, tree_s, auth, query, setup.user_roles, setup.rng)
@@ -193,7 +222,9 @@ def measure_join(
         from repro.core.vo import VerificationObject
 
         vo = VerificationObject(entries=list(vo_r.entries) + list(vo_s.entries))
+    sp_ops = stats.delta(before)
     data = vo.to_bytes()
+    before = stats.snapshot()
     t0 = time.perf_counter()
     if method == "tree":
         results = verify_join_vo(vo, setup.authenticator, query, setup.user_roles, missing)
@@ -219,6 +250,8 @@ def measure_join(
         num_entries=len(vo),
         num_results=n_results,
         queries=1,
+        sp_ops=sp_ops,
+        user_ops=stats.delta(before),
     )
 
 

@@ -72,6 +72,21 @@ class AppAuthenticator:
     def disable_aps_cache(self) -> None:
         self._aps_cache = None
 
+    def warm_caches(self) -> None:
+        """Precompute the per-mvk static material the hot paths reuse.
+
+        Builds the G2 attribute base (and its comb table) for every role
+        in the universe plus the comb for the message base ``g`` — the
+        exponentiations every sign/relax/verify performs.  Idempotent;
+        costs a few dozen milliseconds once on the real backend.
+        """
+        for role in self.universe.roles:
+            # The attribute base is exponentiated in every span-program
+            # column touching the role; pow_fixed(-, 1) builds its comb.
+            self.group.pow_fixed(self.mvk.attribute_base(role), 1)
+        self.group.pow_fixed(self.mvk.g, 1)
+        self.group.pow_fixed(self.mvk.c, 1)
+
     # -- SP side ------------------------------------------------------------
     def derive_aps(
         self,
@@ -189,6 +204,15 @@ class AppSigner(AppAuthenticator):
         # The DO signs with a key for the full role universe (pseudo role
         # included) so it satisfies every record policy.
         self.signing_key: AbsSigningKey = self.scheme.keygen(keys, universe.roles, rng)
+
+    def warm_caches(self) -> None:
+        """Additionally prebuild combs for the fixed signing-key bases."""
+        super().warm_caches()
+        grp = self.group
+        grp.pow_fixed(self.signing_key.k_base, 1)
+        grp.pow_fixed(self.signing_key.k0, 1)
+        for component in self.signing_key.k.values():
+            grp.pow_fixed(component, 1)
 
     def sign_record(self, record: Record, rng: Optional[random.Random] = None) -> AbsSignature:
         """APP signature of a record (Definition 5.1)."""

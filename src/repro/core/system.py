@@ -91,7 +91,13 @@ class DataOwner:
         return self._cpabe_keys.public
 
     def build_tree(self, dataset: Dataset) -> APGTree:
-        """Sign an AP2G-tree over a dataset (the outsourced ADS)."""
+        """Sign an AP2G-tree over a dataset (the outsourced ADS).
+
+        Signing a tree exponentiates the same signing-key and attribute
+        bases thousands of times, so the comb tables are prebuilt before
+        the per-node work starts.
+        """
+        self.signer.warm_caches()
         return APGTree.build(dataset, self.signer, self._rng)
 
     def outsource(self, tables: Dict[str, Dataset]) -> "ServiceProvider":

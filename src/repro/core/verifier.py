@@ -68,14 +68,18 @@ def verify_vo(
     query: Box,
     user_roles,
     missing_roles: Optional[Sequence[str]] = None,
+    collect_ops: Optional[dict] = None,
 ) -> list[Record]:
     """Verify an equality/range VO; returns the accessible records.
 
     ``query`` must already be clipped to the indexed domain.
     ``missing_roles`` overrides the default super-policy attribute list
     ``A \\ A`` (used by the hierarchical-role optimization).
+    ``collect_ops``, when given, is filled with the group-operation
+    counts (mults, pairings, cache hits, ...) this verification cost.
     """
     user_roles = authenticator.universe.validate_user_roles(user_roles)
+    before = authenticator.group.stats.snapshot() if collect_ops is not None else None
     regions = [entry.region for entry in vo]
     if not boxes_cover_clipped(regions, query):
         raise CompletenessError("VO entries do not tile the query range exactly")
@@ -84,6 +88,8 @@ def verify_vo(
         record = _verify_entry(entry, authenticator, query, user_roles, missing_roles)
         if record is not None:
             records.append(record)
+    if collect_ops is not None:
+        collect_ops.update(authenticator.group.stats.delta(before))
     return records
 
 
@@ -151,20 +157,28 @@ def verify_vo_batched(
     user_roles,
     missing_roles: Optional[Sequence[str]] = None,
     rng=None,
+    collect_ops: Optional[dict] = None,
 ) -> list[Record]:
     """Like :func:`verify_vo`, batching all APS checks into one pairing
     product (small-exponents technique, see :mod:`repro.abs.batch`).
 
-    On the real pairing backend the APS checks dominate verification; the
-    batch shares a single final exponentiation across the whole VO.  On a
-    batch failure, the slow path pinpoints the offending entry so error
-    messages stay as precise as the naive verifier's.
+    On the real pairing backend the APS checks dominate verification;
+    the batch merges every shared-base pairing into one Miller loop over
+    a multi-exponentiated G1 aggregate and shares a single final
+    exponentiation across the whole VO.  On a batch failure, the slow
+    path pinpoints the offending entry so error messages stay as precise
+    as the naive verifier's.
     """
     from repro.abs.batch import BatchItem, batch_verify, find_invalid
 
     user_roles = authenticator.universe.validate_user_roles(user_roles)
+    before = authenticator.group.stats.snapshot() if collect_ops is not None else None
     if missing_roles is None:
         missing_roles = authenticator.universe.missing_roles(user_roles)
+    # Warm the shared G2 attribute bases (and their comb tables) once,
+    # outside any per-entry work.
+    for role in missing_roles:
+        authenticator.mvk.attribute_base(role)
     regions = [entry.region for entry in vo]
     if not boxes_cover_clipped(regions, query):
         raise CompletenessError("VO entries do not tile the query range exactly")
@@ -193,4 +207,6 @@ def verify_vo_batched(
         bad = find_invalid(authenticator.scheme, authenticator.mvk, items)
         entry = item_entries[bad[0]] if bad else item_entries[0]
         raise SoundnessError(f"APS signature invalid for {entry.region}")
+    if collect_ops is not None:
+        collect_ops.update(authenticator.group.stats.delta(before))
     return records

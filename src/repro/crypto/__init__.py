@@ -9,7 +9,16 @@ Public entry points:
 
 from __future__ import annotations
 
-from repro.crypto.group import BN254Group, BilinearGroup, GroupElement, G1, G2, GT, bn254
+from repro.crypto.group import (
+    BN254Group,
+    BilinearGroup,
+    GroupElement,
+    GroupOpStats,
+    G1,
+    G2,
+    GT,
+    bn254,
+)
 from repro.crypto.fastgroup import SimulatedGroup, simulated
 from repro.errors import CryptoError
 
@@ -17,6 +26,7 @@ __all__ = [
     "BN254Group",
     "BilinearGroup",
     "GroupElement",
+    "GroupOpStats",
     "SimulatedGroup",
     "G1",
     "G2",

@@ -165,6 +165,299 @@ def _jac_to_affine(pt, ops: FieldOps):
     return (ops.mul(x, zi2), ops.mul(y, ops.mul(zi, zi2)))
 
 
+def _jac_add_affine(p1, aff, ops: FieldOps):
+    """Mixed addition: Jacobian ``p1`` plus affine ``aff`` (z2 = 1)."""
+    x1, y1, z1 = p1
+    if z1 == ops.zero:
+        return (aff[0], aff[1], ops.one)
+    x2, y2 = aff
+    z1z1 = ops.sq(z1)
+    u2 = ops.mul(x2, z1z1)
+    s2 = ops.mul(ops.mul(y2, z1), z1z1)
+    if u2 == x1:
+        if s2 != y1:
+            return (ops.one, ops.one, ops.zero)
+        return _jac_double(p1, ops)
+    h = ops.sub(u2, x1)
+    hh = ops.sq(h)
+    i = ops.add(ops.add(hh, hh), ops.add(hh, hh))
+    j = ops.mul(h, i)
+    r = ops.add(ops.sub(s2, y1), ops.sub(s2, y1))
+    v = ops.mul(x1, i)
+    x3 = ops.sub(ops.sub(ops.sq(r), j), ops.add(v, v))
+    y1j = ops.mul(y1, j)
+    y3 = ops.sub(ops.mul(r, ops.sub(v, x3)), ops.add(y1j, y1j))
+    z3 = ops.sub(ops.sub(ops.sq(ops.add(z1, h)), z1z1), hh)
+    return (x3, y3, z3)
+
+
+def _batch_to_affine(pts, ops: FieldOps):
+    """Convert Jacobian points to affine xy sharing one field inversion.
+
+    Montgomery's trick: invert the product of all z-coordinates once and
+    unroll the partial products.  Points at infinity map to ``None``.
+    """
+    prefix = []
+    acc = ops.one
+    for pt in pts:
+        z = pt[2]
+        if z != ops.zero:
+            acc = ops.mul(acc, z)
+        prefix.append(acc)
+    inv = ops.inv(acc)
+    out: list = [None] * len(pts)
+    for idx in range(len(pts) - 1, -1, -1):
+        x, y, z = pts[idx]
+        if z == ops.zero:
+            continue
+        before = prefix[idx - 1] if idx > 0 else ops.one
+        # prefix[idx] = before * z  =>  1/z = inv * before; then strip z
+        # from the running inverse for the next (earlier) point.
+        zi = ops.mul(inv, before)
+        inv = ops.mul(inv, z)
+        zi2 = ops.sq(zi)
+        out[idx] = (ops.mul(x, zi2), ops.mul(y, ops.mul(zi, zi2)))
+    return out
+
+
+#: Comb parameters: teeth count and scalar width covered by the table.
+COMB_WIDTH = 6
+SCALAR_BITS = CURVE_ORDER.bit_length()
+
+
+class FixedBaseComb:
+    """Lim-Lee fixed-base comb over one affine point.
+
+    The 254-bit exponent is read as ``width`` interleaved rows of
+    ``cols = ceil(bits / width)`` bits; the table holds every nonzero
+    row-combination ``sum_i b_i * base^(2^(i*cols))`` in *affine* form,
+    so evaluation is ``cols`` doublings plus at most ``cols`` mixed
+    additions — ~2-3x cheaper than a one-off wNAF/GLV multiplication
+    once the table is amortized over a handful of exponentiations.
+    """
+
+    __slots__ = ("ops", "width", "cols", "table")
+
+    def __init__(self, xy, ops: FieldOps, width: int = COMB_WIDTH, bits: int = SCALAR_BITS):
+        if xy is None:
+            raise CryptoError("cannot build a comb table for the identity")
+        self.ops = ops
+        self.width = width
+        self.cols = -(-bits // width)
+        spine = [(xy[0], xy[1], ops.one)]
+        for _ in range(1, width):
+            pt = spine[-1]
+            for _ in range(self.cols):
+                pt = _jac_double(pt, ops)
+            spine.append(pt)
+        # Subset sums: table[j] = sum of spine[i] over the set bits of j+1.
+        # All entries are nonzero: the subset exponents are distinct powers
+        # 2^(i*cols) summing to < 2^(bits) < 2*order, never 0 mod order.
+        jac: list = [None] * (1 << width)
+        for i in range(width):
+            jac[1 << i] = spine[i]
+        for j in range(3, 1 << width):
+            low = j & -j
+            if jac[j] is None:
+                jac[j] = _jac_add(jac[j ^ low], jac[low], ops)
+        self.table = _batch_to_affine(jac[1:], ops)
+
+    def mul(self, k: int):
+        """``k * base`` as affine xy (``None`` for the identity)."""
+        if k < 0:
+            raise CryptoError("comb evaluation expects a non-negative scalar")
+        ops = self.ops
+        cols = self.cols
+        acc = None
+        for col in range(cols - 1, -1, -1):
+            if acc is not None:
+                acc = _jac_double(acc, ops)
+            digit = 0
+            for tooth in range(self.width):
+                digit |= ((k >> (tooth * cols + col)) & 1) << tooth
+            if digit:
+                aff = self.table[digit - 1]
+                if acc is None:
+                    acc = (aff[0], aff[1], ops.one)
+                else:
+                    acc = _jac_add_affine(acc, aff, ops)
+        if acc is None:
+            return None
+        return _jac_to_affine(acc, ops)
+
+
+#: Scalars longer than this are GLV-split before a multi-exponentiation.
+GLV_MSM_BITS = 130
+
+#: Per-field endomorphism constants for the MSM split, resolved lazily:
+#: id(ops) -> (beta, LAM) with (beta * x, y) acting as LAM on the subgroup.
+_MSM_ENDO: dict = {}
+
+
+def _msm_endo(ops: FieldOps, sample_xy):
+    """The (beta, lam) pair for GLV-splitting scalars on this field.
+
+    BN curves have j-invariant 0 over Fp *and* Fp2, so both G1 and the
+    twist carry the endomorphism ``(x, y) -> (beta * x, y)``.  On the
+    order-r subgroup it acts as one of the two cube roots of unity mod
+    r; which one depends on the field, so it is resolved once against a
+    sample subgroup point (the action is a fixed scalar on the whole
+    subgroup).
+    """
+    cached = _MSM_ENDO.get(id(ops))
+    if cached is not None:
+        return cached
+    from repro.crypto.glv import BETA, LAM
+
+    betas = (BETA, BETA * BETA % P)
+    if ops is not _FP_OPS:
+        betas = tuple(tower.fp2_mul_scalar(tower.FP2_ONE, b) for b in betas)
+    lam_pt = _jac_to_affine(_jac_scalar_mul(sample_xy, LAM, ops), ops)
+    for beta in betas:
+        if (ops.mul(sample_xy[0], beta), sample_xy[1]) == lam_pt:
+            _MSM_ENDO[id(ops)] = (beta, LAM)
+            return beta, LAM
+    raise CryptoError("no endomorphism acts as LAM on this subgroup")
+
+
+def _glv_split(points, scalars, ops: FieldOps):
+    """Expand (P_i, k_i) into half-length (point, |k|) pairs via GLV."""
+    from repro.crypto.glv import decompose
+
+    beta, _lam = _msm_endo(ops, points[0])
+    new_points = []
+    new_scalars = []
+    for xy, k in zip(points, scalars):
+        k1, k2 = decompose(k % CURVE_ORDER)
+        phi_x = ops.mul(xy[0], beta)
+        for half, pt in ((k1, xy), (k2, (phi_x, xy[1]))):
+            if half == 0:
+                continue
+            if half < 0:
+                pt = (pt[0], ops.neg(pt[1]))
+                half = -half
+            new_points.append(pt)
+            new_scalars.append(half)
+    return new_points, new_scalars
+
+
+def _pippenger_window(n: int, bits: int) -> tuple[int, float]:
+    """Best bucket width and its estimated addition count for Pippenger."""
+    best = (1, float("inf"))
+    for c in range(1, 15):
+        windows = -(-max(1, bits) // c)
+        cost = bits + windows * (n + (1 << (c + 1)))
+        if cost < best[1]:
+            best = (c, cost)
+    return best
+
+
+def multi_scalar_mul(points, scalars, ops: FieldOps):
+    """``sum_i scalars[i] * points[i]`` as affine xy (``None`` = identity).
+
+    ``points`` are affine xy tuples (no identities), ``scalars`` positive
+    ints.  The two classic multi-exponentiation strategies are dispatched
+    by estimated addition count: Straus joint-wNAF interleaving (shared
+    doublings, per-point odd-multiple tables) wins for small batches;
+    Pippenger bucketing wins once its per-window bucket-sum overhead
+    amortizes over many points — large batches of short scalars, the
+    small-exponents batch-verification shape.
+    """
+    if len(points) != len(scalars):
+        raise CryptoError("multi_scalar_mul arguments must align")
+    if not points:
+        return None
+    if len(points) == 1:
+        return _jac_to_affine(_jac_scalar_mul(points[0], scalars[0], ops), ops)
+    bits = max(k.bit_length() for k in scalars)
+    if bits > GLV_MSM_BITS:
+        # Full-width scalars: halve the shared doubling count by GLV-
+        # splitting every term (twice the points, half the bit length).
+        points, scalars = _glv_split(points, scalars, ops)
+        if not points:
+            return None
+        bits = max(k.bit_length() for k in scalars)
+    n = len(points)
+    straus_cost = bits + n * (3 + bits / 5)
+    c, pippenger_cost = _pippenger_window(n, bits)
+    if pippenger_cost < straus_cost:
+        acc = _jac_pippenger(points, scalars, ops, c)
+    else:
+        acc = _jac_straus(points, scalars, ops)
+    return _jac_to_affine(acc, ops)
+
+
+def _jac_straus(points, scalars, ops: FieldOps, width: int = 4):
+    """Straus (Shamir) interleaving: shared doublings, per-point wNAF.
+
+    The per-point odd-multiple tables are normalized to affine with one
+    shared batch inversion, so every scan addition is a mixed addition.
+    """
+    digit_lists = [wnaf_digits(k, width) for k in scalars]
+    table_size = (1 << (width - 1)) // 2
+    jac_entries = []
+    for xy in points:
+        base = (xy[0], xy[1], ops.one)
+        double_base = _jac_double(base, ops)
+        jac_entries.append(base)
+        for _ in range(table_size - 1):
+            jac_entries.append(_jac_add(jac_entries[-1], double_base, ops))
+    # Odd multiples of a non-identity subgroup point are never the
+    # identity (the subgroup order is an odd prime), so no Nones here.
+    affine = _batch_to_affine(jac_entries, ops)
+    tables = [affine[i * table_size : (i + 1) * table_size] for i in range(len(points))]
+    acc = (ops.one, ops.one, ops.zero)
+    for i in range(max(map(len, digit_lists)) - 1, -1, -1):
+        acc = _jac_double(acc, ops)
+        for table, digits in zip(tables, digit_lists):
+            if i >= len(digits):
+                continue
+            d = digits[i]
+            if d > 0:
+                acc = _jac_add_affine(acc, table[d >> 1], ops)
+            elif d < 0:
+                x, y = table[(-d) >> 1]
+                acc = _jac_add_affine(acc, (x, ops.neg(y)), ops)
+    return acc
+
+
+def _jac_pippenger(points, scalars, ops: FieldOps, c: int | None = None):
+    """Pippenger bucket method over unsigned radix-2^c windows."""
+    bits = max(k.bit_length() for k in scalars)
+    if c is None:
+        c = _pippenger_window(len(points), bits)[0]
+    mask = (1 << c) - 1
+    nwin = -(-max(1, bits) // c)
+    identity = (ops.one, ops.one, ops.zero)
+    acc = identity
+    for w in range(nwin - 1, -1, -1):
+        if acc[2] != ops.zero:
+            for _ in range(c):
+                acc = _jac_double(acc, ops)
+        shift = w * c
+        buckets: list = [None] * (1 << c)
+        for xy, k in zip(points, scalars):
+            digit = (k >> shift) & mask
+            if not digit:
+                continue
+            cur = buckets[digit]
+            buckets[digit] = (
+                (xy[0], xy[1], ops.one) if cur is None else _jac_add_affine(cur, xy, ops)
+            )
+        running = None
+        window_sum = None
+        for digit in range(mask, 0, -1):
+            if buckets[digit] is not None:
+                running = (
+                    buckets[digit] if running is None else _jac_add(running, buckets[digit], ops)
+                )
+            if running is not None:
+                window_sum = running if window_sum is None else _jac_add(window_sum, running, ops)
+        if window_sum is not None:
+            acc = _jac_add(acc, window_sum, ops)
+    return acc
+
+
 class _Point:
     """Affine curve point; ``xy is None`` encodes the identity."""
 

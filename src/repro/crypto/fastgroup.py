@@ -17,6 +17,9 @@ the real backend byte-for-byte.
 
 from __future__ import annotations
 
+import threading
+from typing import Sequence
+
 from repro.crypto.field import CURVE_ORDER
 from repro.crypto.group import (
     ELEMENT_BYTES,
@@ -64,7 +67,9 @@ class SimulatedGroup(BilinearGroup):
         width = ELEMENT_BYTES[a.kind]
         return a.value.to_bytes(32, "big").rjust(width, b"\0")
 
-    def deserialize(self, kind: str, data: bytes) -> GroupElement:
+    def deserialize(self, kind: str, data: bytes, check_subgroup: bool = False) -> GroupElement:
+        # Every in-range exponent names a genuine subgroup element, so
+        # ``check_subgroup`` needs no extra work on this backend.
         width = ELEMENT_BYTES.get(kind)
         if width is None:
             raise CryptoError(f"unknown group kind {kind!r}")
@@ -75,21 +80,43 @@ class SimulatedGroup(BilinearGroup):
             raise DeserializationError(f"{kind} exponent out of range")
         return GroupElement(self, kind, value)
 
+    # -- fast paths: exponent tracking makes these exact and O(1)/O(n) -------
+    def pow_fixed(self, base: GroupElement, exponent: int) -> GroupElement:
+        # Same O(1) computation either way; honour fast_paths so the op
+        # counters classify the call like the point backends do.
+        if self.fast_paths:
+            self.stats.pows_fixed += 1
+        else:
+            self.stats.pows += 1
+        return GroupElement(self, base.kind, base.value * exponent % CURVE_ORDER)
+
+    def _multi_pow(
+        self, kind: str, bases: Sequence[GroupElement], exponents: Sequence[int]
+    ) -> GroupElement:
+        total = 0
+        for base, e in zip(bases, exponents):
+            total += base.value * e
+        return GroupElement(self, kind, total % CURVE_ORDER)
+
     def hash_to_g1(self, *parts) -> GroupElement:
         return GroupElement(self, G1, self.hash_to_scalar(b"h2g1", *parts))
 
     def pair(self, a: GroupElement, b: GroupElement) -> GroupElement:
         if a.kind != G1 or b.kind != G2:
             raise GroupMismatchError("pair() expects (G1, G2)")
+        self.stats.pairings += 1
         return GroupElement(self, GT, a.value * b.value % CURVE_ORDER)
 
 
 _DEFAULT: SimulatedGroup | None = None
+_DEFAULT_LOCK = threading.Lock()
 
 
 def simulated() -> SimulatedGroup:
-    """Shared simulated backend instance."""
+    """Shared simulated backend instance (thread-safe initialization)."""
     global _DEFAULT
     if _DEFAULT is None:
-        _DEFAULT = SimulatedGroup()
+        with _DEFAULT_LOCK:
+            if _DEFAULT is None:
+                _DEFAULT = SimulatedGroup()
     return _DEFAULT

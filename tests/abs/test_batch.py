@@ -4,7 +4,13 @@ import random
 
 import pytest
 
-from repro.abs.batch import BatchItem, batch_verify, batch_verify_same_predicate, find_invalid
+from repro.abs.batch import (
+    BatchItem,
+    batch_verify,
+    batch_verify_same_predicate,
+    batch_verify_unmerged,
+    find_invalid,
+)
 from repro.abs.relax import relax
 from repro.abs.scheme import AbsScheme, AbsSignature
 from repro.crypto import bn254, simulated
@@ -96,6 +102,36 @@ def test_same_predicate_wrapper(env):
     assert batch_verify_same_predicate(scheme, keys.mvk, messages, sigs, list(missing), rng)
     with pytest.raises(CryptoError):
         batch_verify_same_predicate(scheme, keys.mvk, messages[:-1], sigs, list(missing), rng)
+
+
+def test_merged_agrees_with_unmerged_oracle(env):
+    """The pairing-merged batch and the one-pairing-per-term reference
+    accept/reject identically (same randomized equation)."""
+    rng, scheme, keys, items, missing = env
+    assert batch_verify(scheme, keys.mvk, items, random.Random(77))
+    assert batch_verify_unmerged(scheme, keys.mvk, items, random.Random(77))
+    bad = list(items)
+    bad[2] = BatchItem(message=b"FORGED", attrs=missing, signature=items[2].signature)
+    assert not batch_verify(scheme, keys.mvk, bad, random.Random(77))
+    assert not batch_verify_unmerged(scheme, keys.mvk, bad, random.Random(77))
+
+
+def test_merged_agrees_with_unmerged_on_real_pairing(rng):
+    scheme = AbsScheme(bn254())
+    keys = scheme.setup(rng)
+    sk = scheme.keygen(keys, ["A", "B"], rng)
+    policy = parse_policy("A and B")
+    items = []
+    for i in range(2):
+        message = b"m%d" % i
+        sig = scheme.sign(keys.mvk, sk, message, policy, rng)
+        aps, _ = relax(scheme, keys.mvk, sig, message, policy, ["A"], rng)
+        items.append(BatchItem(message=message, attrs=("A",), signature=aps))
+    assert batch_verify(scheme, keys.mvk, items, random.Random(5))
+    assert batch_verify_unmerged(scheme, keys.mvk, items, random.Random(5))
+    bad = [items[0], BatchItem(message=b"x", attrs=("A",), signature=items[1].signature)]
+    assert not batch_verify(scheme, keys.mvk, bad, random.Random(5))
+    assert not batch_verify_unmerged(scheme, keys.mvk, bad, random.Random(5))
 
 
 def test_batch_on_real_pairing(rng):
