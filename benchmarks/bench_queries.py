@@ -1,0 +1,185 @@
+"""Microbenchmark for two-phase query serving (engine + SP pool).
+
+Times end-to-end range-query serving on a seeded single-table system and
+writes ``BENCH_queries.json`` at the repo root.  Four arms, crossing the
+materializer's worker count with the SP authenticator pool's APS-cache
+state:
+
+* ``serial_cold``   — workers=1, authenticator pool reset before each run;
+* ``parallel_cold`` — workers=N, pool reset before each run;
+* ``serial_warm``   — workers=1, pool retained from the cold run;
+* ``parallel_warm`` — workers=N, pool retained.
+
+Each arm reports wall-clock plus the engine's per-phase stats
+(``traversal_ms`` / ``relax_ms``, relax invocations, APS cache hits), so
+a speedup is traceable to the ``ABS.Relax`` calls it avoided.  On a
+single-CPU host the cold parallel arm tracks the serial one (the GIL
+serializes the pure-Python relax work); the warm arms show the pooled
+cache's effect, which is scheduling-independent.
+
+Fast ``test_smoke_*`` functions run in CI (``-m "not slow"``) on the
+simulated backend; the full BN254 comparison behind
+``BENCH_queries.json`` is ``@pytest.mark.slow`` or
+``python benchmarks/bench_queries.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+import time
+
+import pytest
+
+from repro.core.records import Dataset, Record
+from repro.core.system import DataOwner, QueryUser
+from repro.crypto import get_backend
+from repro.index.boxes import Domain
+from repro.policy.boolexpr import parse_policy
+from repro.policy.roles import RoleUniverse
+
+SEED = 2018
+JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_queries.json"
+
+ROLES = ["doctor", "nurse", "researcher", "auditor"]
+# Cycled over the records: a nurse reaches 2 of every 5, so a full-range
+# query is relax-heavy (inaccessible records + pseudo-region nodes).
+POLICIES = [
+    "doctor",
+    "nurse",
+    "doctor and researcher",
+    "auditor",
+    "nurse or doctor",
+]
+USER_ROLES = frozenset({"nurse"})
+QUERY = ((0,), (31,))
+
+
+def build_system(backend: str, num_records: int = 16):
+    """Owner + SP over one table of ``num_records`` keyed 0,2,4,..."""
+    group = get_backend(backend)
+    universe = RoleUniverse(ROLES)
+    dataset = Dataset(Domain.of((0, 31)))
+    for i in range(num_records):
+        dataset.add(
+            Record((2 * i,), b"payload-%04d" % i, parse_policy(POLICIES[i % len(POLICIES)]))
+        )
+    owner = DataOwner(group, universe, rng=random.Random(SEED))
+    sp = owner.outsource({"T": dataset})
+    return universe, owner, sp
+
+
+def _run_arm(sp, rng, workers: int, cold: bool, repeats: int) -> dict:
+    """Best-of-``repeats`` for one arm; cold arms reset the pool each run."""
+    best_s = float("inf")
+    stats = None
+    vo_bytes = 0
+    for _ in range(repeats):
+        if cold:
+            sp._auth_pool.clear()
+        t0 = time.perf_counter()
+        resp = sp.range_query("T", *QUERY, USER_ROLES, rng=rng, workers=workers)
+        elapsed = time.perf_counter() - t0
+        if elapsed < best_s:
+            best_s = elapsed
+            stats = resp.stats
+            vo_bytes = resp.byte_size()
+    entry = {"seconds": round(best_s, 6), "vo_bytes": vo_bytes}
+    entry.update(stats.as_dict())
+    return entry
+
+
+def scenario_query_serving(backend: str, workers: int = 4, repeats: int = 2) -> dict:
+    """The four-arm serial/parallel x cold/warm comparison."""
+    universe, owner, sp = build_system(backend)
+    rng = random.Random(SEED + 1)
+    arms = {}
+    # Cold arms first; each leaves the pool warm for the matching warm arm.
+    arms["serial_cold"] = _run_arm(sp, rng, workers=1, cold=True, repeats=repeats)
+    arms["serial_warm"] = _run_arm(sp, rng, workers=1, cold=False, repeats=repeats)
+    arms["parallel_cold"] = _run_arm(sp, rng, workers=workers, cold=True, repeats=repeats)
+    arms["parallel_warm"] = _run_arm(sp, rng, workers=workers, cold=False, repeats=repeats)
+
+    # Sanity: the served VO verifies for the benchmark user.
+    user = QueryUser(owner.group, universe, owner.register_user(USER_ROLES))
+    resp = sp.range_query("T", *QUERY, USER_ROLES, rng=rng)
+    user.verify(resp)
+
+    base = arms["serial_cold"]["seconds"]
+    speedups = {
+        f"{arm}_vs_serial_cold": round(base / entry["seconds"], 3)
+        for arm, entry in arms.items()
+        if arm != "serial_cold" and entry["seconds"]
+    }
+    return {"backend": backend, "workers": workers, "arms": arms, "speedups": speedups}
+
+
+def run_benchmarks() -> dict:
+    return {
+        "seed": SEED,
+        "query": [list(QUERY[0]), list(QUERY[1])],
+        "user_roles": sorted(USER_ROLES),
+        "scenarios": {"query_serving_bn254": scenario_query_serving("bn254")},
+    }
+
+
+def main() -> None:
+    results = run_benchmarks()
+    JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    for name, scenario in results["scenarios"].items():
+        print(name)
+        for arm, entry in scenario["arms"].items():
+            print(
+                f"  {arm:14s} {entry['seconds']*1e3:9.1f} ms"
+                f"   traversal {entry['traversal_ms']:7.2f} ms"
+                f"   relax {entry['relax_ms']:8.2f} ms"
+                f"   relax_calls {entry['relax_calls']:3d}"
+                f"   cache_hits {entry['aps_cache_hits']:3d}"
+            )
+        for label, x in scenario["speedups"].items():
+            print(f"  {label}: x{x}")
+    print(f"wrote {JSON_PATH}")
+
+
+# -- pytest entry points ------------------------------------------------
+def test_smoke_query_serving_arms():
+    """CI smoke: all four arms run on the simulated backend; warm arms
+    serve every APS from the pooled cache."""
+    scenario = scenario_query_serving("simulated", workers=2, repeats=1)
+    arms = scenario["arms"]
+    assert set(arms) == {"serial_cold", "serial_warm", "parallel_cold", "parallel_warm"}
+    assert arms["serial_cold"]["relax_calls"] > 0
+    assert arms["serial_cold"]["aps_cache_hits"] == 0
+    for warm in ("serial_warm", "parallel_warm"):
+        assert arms[warm]["relax_calls"] == 0
+        assert arms[warm]["aps_cache_hits"] == arms["serial_cold"]["relax_calls"]
+    assert arms["parallel_cold"]["workers"] == 2
+    assert arms["parallel_cold"]["vo_bytes"] == arms["serial_cold"]["vo_bytes"]
+
+
+def test_smoke_per_phase_stats_populated():
+    """CI smoke: per-phase timings and task counts are filled in."""
+    scenario = scenario_query_serving("simulated", workers=2, repeats=1)
+    cold = scenario["arms"]["serial_cold"]
+    assert cold["traversal_ms"] >= 0.0 and cold["relax_ms"] >= 0.0
+    assert sum(cold["tasks"].values()) > 0
+    assert cold["vo_bytes"] > 0
+
+
+@pytest.mark.slow
+def test_full_bench_warm_serving_faster():
+    """Full BN254 run; regenerates BENCH_queries.json.
+
+    Warm-cache serving (serial or multi-worker) must beat cold serial —
+    the pooled APS cache removes every ABS.Relax from the hot path.
+    """
+    results = run_benchmarks()
+    JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    scenario = results["scenarios"]["query_serving_bn254"]
+    assert scenario["speedups"]["serial_warm_vs_serial_cold"] > 1.5
+    assert scenario["speedups"]["parallel_warm_vs_serial_cold"] > 1.5
+
+
+if __name__ == "__main__":
+    main()

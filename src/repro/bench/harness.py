@@ -17,8 +17,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from repro.core.app_signature import AppAuthenticator
-from repro.core.join_query import join_vo
-from repro.core.range_query import range_vo, range_vo_basic
+from repro.core.engine import execute, traverse_join, traverse_range, traverse_range_basic
 from repro.core.records import Dataset
 from repro.core.system import DataOwner
 from repro.core.verifier import verify_join_vo, verify_vo
@@ -48,6 +47,11 @@ class QueryCost:
     :class:`repro.crypto.GroupOpStats`) of the SP and user phases, so
     speedups can be traced to the operations saved rather than asserted
     from wall-clock alone.
+
+    The SP phase is further split along the two-phase engine's seam:
+    ``traversal_seconds`` (crypto-free tree walk) vs. ``relax_seconds``
+    (APS materialization, across ``workers`` threads), plus the APS
+    cache hits the materializer scored.
     """
 
     sp_seconds: float = 0.0
@@ -58,6 +62,10 @@ class QueryCost:
     queries: int = 0
     sp_ops: dict = field(default_factory=dict)
     user_ops: dict = field(default_factory=dict)
+    traversal_seconds: float = 0.0
+    relax_seconds: float = 0.0
+    workers: int = 1
+    aps_cache_hits: float = 0.0
 
     def add(self, other: "QueryCost") -> None:
         self.sp_seconds += other.sp_seconds
@@ -68,6 +76,10 @@ class QueryCost:
         self.queries += other.queries
         _merge_ops(self.sp_ops, other.sp_ops)
         _merge_ops(self.user_ops, other.user_ops)
+        self.traversal_seconds += other.traversal_seconds
+        self.relax_seconds += other.relax_seconds
+        self.workers = max(self.workers, other.workers)
+        self.aps_cache_hits += other.aps_cache_hits
 
     def averaged(self) -> "QueryCost":
         n = max(1, self.queries)
@@ -80,6 +92,10 @@ class QueryCost:
             queries=n,
             sp_ops={k: v / n for k, v in self.sp_ops.items()},
             user_ops={k: v / n for k, v in self.user_ops.items()},
+            traversal_seconds=self.traversal_seconds / n,
+            relax_seconds=self.relax_seconds / n,
+            workers=self.workers,
+            aps_cache_hits=self.aps_cache_hits / n,
         )
 
 
@@ -161,18 +177,30 @@ def measure_range(
     query: Box,
     method: str = "tree",
     tree: Optional[APGTree] = None,
+    workers: int = 1,
+    auth: Optional[AppAuthenticator] = None,
 ) -> QueryCost:
-    """Time one range query end-to-end on a prepared setup."""
+    """Time one range query end-to-end on a prepared setup.
+
+    ``workers`` fans the APS materialization over that many threads;
+    ``auth`` substitutes a caller-held authenticator (e.g. an SP's
+    pooled, APS-cached one) for the setup's default.
+    """
     tree = tree if tree is not None else setup.tree
-    builder = range_vo if method == "tree" else range_vo_basic
+    traverse = traverse_range if method == "tree" else traverse_range_basic
     missing = setup.missing_roles()
-    auth = setup.authenticator
-    if missing is not None:
-        auth = _reduced_auth(setup, missing)
+    if auth is None:
+        auth = setup.authenticator
+        if missing is not None:
+            auth = _reduced_auth(setup, missing)
     stats = auth.group.stats
     before = stats.snapshot()
     t0 = time.perf_counter()
-    vo = builder(tree, auth, query, setup.user_roles, setup.rng)
+    vo, estats = execute(
+        "range",
+        lambda: traverse(tree, query, setup.user_roles),
+        auth, setup.user_roles, setup.rng, workers,
+    )
     sp = time.perf_counter() - t0
     sp_ops = stats.delta(before)
     data = vo.to_bytes()
@@ -191,6 +219,10 @@ def measure_range(
         queries=1,
         sp_ops=sp_ops,
         user_ops=user_ops,
+        traversal_seconds=estats.traversal_ms / 1000.0,
+        relax_seconds=estats.relax_ms / 1000.0,
+        workers=estats.workers,
+        aps_cache_hits=estats.aps_cache_hits,
     )
 
 
@@ -200,6 +232,7 @@ def measure_join(
     tree_s: APGTree,
     query: Box,
     method: str = "tree",
+    workers: int = 1,
 ) -> QueryCost:
     """Time one join query end-to-end."""
     missing = setup.missing_roles()
@@ -210,15 +243,30 @@ def measure_join(
     before = stats.snapshot()
     if method == "tree":
         t0 = time.perf_counter()
-        vo = join_vo(tree_r, tree_s, auth, query, setup.user_roles, setup.rng)
+        vo, estats = execute(
+            "join",
+            lambda: traverse_join(tree_r, tree_s, query, setup.user_roles),
+            auth, setup.user_roles, setup.rng, workers,
+        )
         sp = time.perf_counter() - t0
     else:
         # Basic join baseline: authenticate the range on both tables with
         # per-key equality proofs, then join client-side.
         t0 = time.perf_counter()
-        vo_r = range_vo_basic(tree_r, auth, query, setup.user_roles, setup.rng, table="R")
-        vo_s = range_vo_basic(tree_s, auth, query, setup.user_roles, setup.rng, table="S")
+        vo_r, estats_r = execute(
+            "range-basic",
+            lambda: traverse_range_basic(tree_r, query, setup.user_roles, "R"),
+            auth, setup.user_roles, setup.rng, workers,
+        )
+        vo_s, estats = execute(
+            "range-basic",
+            lambda: traverse_range_basic(tree_s, query, setup.user_roles, "S"),
+            auth, setup.user_roles, setup.rng, workers,
+        )
         sp = time.perf_counter() - t0
+        estats.traversal_ms += estats_r.traversal_ms
+        estats.relax_ms += estats_r.relax_ms
+        estats.aps_cache_hits += estats_r.aps_cache_hits
         from repro.core.vo import VerificationObject
 
         vo = VerificationObject(entries=list(vo_r.entries) + list(vo_s.entries))
@@ -252,6 +300,10 @@ def measure_join(
         queries=1,
         sp_ops=sp_ops,
         user_ops=stats.delta(before),
+        traversal_seconds=estats.traversal_ms / 1000.0,
+        relax_seconds=estats.relax_ms / 1000.0,
+        workers=estats.workers,
+        aps_cache_hits=estats.aps_cache_hits,
     )
 
 

@@ -14,7 +14,25 @@ from repro.core.multiway_join import (
     multiway_join_vo,
     verify_multiway_join_vo,
 )
-from repro.core.planner import QueryPlan, plan_range_query
+from repro.core.engine import (
+    EngineStats,
+    ProofTask,
+    execute,
+    materialize,
+    traverse_equality,
+    traverse_join,
+    traverse_multiway_join,
+    traverse_range,
+    traverse_range_basic,
+)
+from repro.core.planner import (
+    QueryPlan,
+    plan_equality_query,
+    plan_join_query,
+    plan_multiway_join_query,
+    plan_range_query,
+    plan_tasks,
+)
 from repro.core.equality import equality_vo
 from repro.core.join_query import TABLE_R, TABLE_S, join_vo
 from repro.core.range_query import clip_query, range_vo, range_vo_basic
@@ -41,7 +59,11 @@ __all__ = [
     "InequalityJoinPair", "InequalityJoinVO", "inequality_join_vo",
     "verify_inequality_join_vo",
     "MultiJoinResult", "multiway_join_vo", "verify_multiway_join_vo",
-    "QueryPlan", "plan_range_query",
+    "EngineStats", "ProofTask", "execute", "materialize",
+    "traverse_equality", "traverse_join", "traverse_multiway_join",
+    "traverse_range", "traverse_range_basic",
+    "QueryPlan", "plan_equality_query", "plan_join_query",
+    "plan_multiway_join_query", "plan_range_query", "plan_tasks",
     "equality_vo", "join_vo", "range_vo", "range_vo_basic", "clip_query",
     "TABLE_R", "TABLE_S",
     "Dataset", "Record", "make_pseudo_record",

@@ -88,6 +88,40 @@ class AppAuthenticator:
         self.group.pow_fixed(self.mvk.c, 1)
 
     # -- SP side ------------------------------------------------------------
+    def aps_cache_key(
+        self, signature: AbsSignature, message: bytes, missing_roles: Sequence[str]
+    ) -> Optional[tuple]:
+        """The APS cache key for a derivation, or ``None`` if uncached.
+
+        An APS depends only on the original signature (keyed by its
+        unique ``tau``), the message, and the super-policy attribute
+        list, so these three identify a derivation exactly.
+        """
+        if self._aps_cache is None:
+            return None
+        return (signature.tau, message, tuple(missing_roles))
+
+    def aps_cache_get(self, key: Optional[tuple]) -> Optional[AbsSignature]:
+        """Cache lookup; counts a hit when found (miss counted at put)."""
+        cache = self._aps_cache
+        if cache is None or key is None:
+            return None
+        cached = cache.get(key)
+        if cached is not None:
+            cache.move_to_end(key)
+            self.aps_cache_hits += 1
+        return cached
+
+    def aps_cache_put(self, key: Optional[tuple], aps: AbsSignature) -> None:
+        """Record a fresh derivation (counts the miss; evicts LRU)."""
+        cache = self._aps_cache
+        if cache is None or key is None:
+            return
+        self.aps_cache_misses += 1
+        cache[key] = aps
+        if len(cache) > self._aps_cache_max:
+            cache.popitem(last=False)
+
     def derive_aps(
         self,
         signature: AbsSignature,
@@ -97,21 +131,12 @@ class AppAuthenticator:
         rng: Optional[random.Random] = None,
     ) -> AbsSignature:
         """ABS.Relax an APP signature to the super policy ``OR(missing_roles)``."""
-        cache = self._aps_cache
-        if cache is None:
-            aps, _ = relax(self.scheme, self.mvk, signature, message, policy, missing_roles, rng)
-            return aps
-        key = (signature.tau, message, tuple(missing_roles))
-        cached = cache.get(key)
+        key = self.aps_cache_key(signature, message, missing_roles)
+        cached = self.aps_cache_get(key)
         if cached is not None:
-            cache.move_to_end(key)
-            self.aps_cache_hits += 1
             return cached
         aps, _ = relax(self.scheme, self.mvk, signature, message, policy, missing_roles, rng)
-        self.aps_cache_misses += 1
-        cache[key] = aps
-        if len(cache) > self._aps_cache_max:
-            cache.popitem(last=False)
+        self.aps_cache_put(key, aps)
         return aps
 
     def missing_roles_for(self, user_roles) -> list[str]:

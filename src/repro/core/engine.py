@@ -1,0 +1,503 @@
+"""Two-phase query engine: crypto-free traversal + proof materialization.
+
+Every SP-side query answer used to interleave tree traversal with inline
+``ABS.Relax`` calls, and the same walk was hand-duplicated per query kind
+(equality, range, join, multi-way join) plus a crypto-free copy in the
+planner.  This module splits the work into two phases:
+
+* **Phase 1 — traversal** (``traverse_*``): walk the AP2G/AP2kd-tree for
+  any query kind and emit typed :class:`ProofTask` descriptors
+  (accessible-record / inaccessible-record / inaccessible-node).  No
+  group operation is performed; the task list *is* the query plan, which
+  is why :mod:`repro.core.planner` prices queries from the same walk.
+* **Phase 2 — materialization** (:func:`materialize`): turn descriptors
+  into VO entries.  Accessible tasks copy the stored APP signature; the
+  independent ``ABS.Relax`` derivations (the dominant SP cost, paper
+  Section 8.2) are dispatched through
+  :func:`repro.parallel.parallel_map` with a configurable worker count,
+  after consulting the authenticator's APS cache so repeated proofs are
+  never re-derived.
+
+With ``workers=1`` and a shared ``rng`` the materializer consumes
+randomness in task order, making its output byte-identical to the
+historical single-phase builders (golden-tested).  With ``workers > 1``
+each relax job gets an independent seed pre-drawn in task order, so the
+output is deterministic for a given seed regardless of scheduling (the
+APS bytes differ from the serial stream, but sizes and validity do not).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.abs.relax import relax
+from repro.abs.scheme import AbsSignature
+from repro.core.app_signature import AppAuthenticator
+from repro.core.records import Record
+from repro.core.vo import (
+    AccessibleRecordEntry,
+    InaccessibleRecordEntry,
+    InaccessibleNodeEntry,
+    VerificationObject,
+    VOEntry,
+)
+from repro.errors import ReproError, WorkloadError
+from repro.index.boxes import Box, Point
+from repro.index.gridtree import APGTree, IndexNode
+from repro.parallel import parallel_map
+from repro.policy.boolexpr import BoolExpr
+
+#: Task kinds (also the keys of :attr:`EngineStats.tasks`).
+ACCESSIBLE_RECORD = "accessible_record"
+INACCESSIBLE_RECORD = "inaccessible_record"
+INACCESSIBLE_NODE = "inaccessible_node"
+
+TASK_KINDS = (ACCESSIBLE_RECORD, INACCESSIBLE_RECORD, INACCESSIBLE_NODE)
+
+
+@dataclass(frozen=True)
+class ProofTask:
+    """One unit of VO work emitted by a phase-1 traversal.
+
+    * ``ACCESSIBLE_RECORD`` — ``record`` + its APP ``signature`` are
+      returned verbatim (no cryptography);
+    * ``INACCESSIBLE_RECORD`` — an APS on ``record.message()`` must be
+      derived under the user's super policy;
+    * ``INACCESSIBLE_NODE`` — an APS on ``box.to_bytes()`` (the node's
+      grid box) must be derived; ``policy`` is the node policy the
+      relaxation starts from.
+    """
+
+    kind: str
+    signature: AbsSignature
+    table: str = ""
+    record: Optional[Record] = None
+    box: Optional[Box] = None
+    policy: Optional[BoolExpr] = None
+
+    @property
+    def needs_relax(self) -> bool:
+        return self.kind != ACCESSIBLE_RECORD
+
+    def relax_message(self) -> bytes:
+        """The message the APS signature must cover."""
+        if self.kind == INACCESSIBLE_RECORD:
+            return self.record.message()
+        if self.kind == INACCESSIBLE_NODE:
+            return self.box.to_bytes()
+        raise ReproError(f"task kind {self.kind!r} needs no relaxation")
+
+    def relax_policy(self) -> BoolExpr:
+        """The original predicate the relaxation starts from."""
+        if self.kind == INACCESSIBLE_RECORD:
+            return self.record.policy
+        if self.kind == INACCESSIBLE_NODE:
+            return self.policy
+        raise ReproError(f"task kind {self.kind!r} needs no relaxation")
+
+
+def _accessible(node: IndexNode, table: str) -> ProofTask:
+    return ProofTask(
+        kind=ACCESSIBLE_RECORD, signature=node.signature, table=table, record=node.record
+    )
+
+
+def _inaccessible_record(node: IndexNode, table: str) -> ProofTask:
+    return ProofTask(
+        kind=INACCESSIBLE_RECORD, signature=node.signature, table=table, record=node.record
+    )
+
+
+def _inaccessible_node(node: IndexNode, table: str) -> ProofTask:
+    return ProofTask(
+        kind=INACCESSIBLE_NODE,
+        signature=node.signature,
+        table=table,
+        box=node.box,
+        policy=node.policy,
+    )
+
+
+# ----------------------------------------------------------------------
+# Phase 1: crypto-free traversals.  Emission order matches the historical
+# single-phase builders exactly (the serial materializer relies on this
+# for byte-identical output).
+# ----------------------------------------------------------------------
+def traverse_equality(
+    tree: APGTree, key: Point, user_roles, table: str = ""
+) -> list[ProofTask]:
+    """Equality query (Algorithm 1): one task for the unit-cell leaf."""
+    leaf = tree.leaf_at(key)
+    if leaf.record.policy.evaluate(user_roles):
+        return [_accessible(leaf, table)]
+    return [_inaccessible_record(leaf, table)]
+
+
+def traverse_range(
+    tree: APGTree, query: Box, user_roles, table: str = ""
+) -> list[ProofTask]:
+    """Range query via AP2G-tree breadth-first search (Algorithm 3)."""
+    tasks: list[ProofTask] = []
+    queue: deque = deque([tree.root])
+    while queue:
+        node = queue.popleft()
+        if not node.box.intersects(query):
+            continue
+        if not query.contains_box(node.box):
+            if node.is_leaf:
+                # A partially-overlapping leaf is a pseudo-region leaf of
+                # an AP2kd-tree (record leaves are unit cells and can
+                # never partially overlap).  Its APS covers the whole
+                # region, which may extend beyond the query range
+                # (Section 9.2); the verifier clips it.
+                tasks.append(_inaccessible_node(node, table))
+            else:
+                queue.extend(node.children)
+            continue
+        # Node fully inside the query range.
+        if node.accessible_to(user_roles):
+            if node.is_leaf:
+                tasks.append(_accessible(node, table))
+            else:
+                queue.extend(node.children)
+        elif node.is_leaf and node.record is not None:
+            tasks.append(_inaccessible_record(node, table))
+        else:
+            tasks.append(_inaccessible_node(node, table))
+    return tasks
+
+
+def traverse_range_basic(
+    tree: APGTree, query: Box, user_roles, table: str = ""
+) -> list[ProofTask]:
+    """Baseline: the equality-query walk repeated for every discrete key."""
+    tasks: list[ProofTask] = []
+    for point in query.points():
+        tasks.extend(traverse_equality(tree, point, user_roles, table))
+    return tasks
+
+
+def _descend_covering(node: IndexNode, box: Box) -> IndexNode:
+    """Smallest node under ``node`` whose grid box contains ``box``."""
+    descended = True
+    while descended and not node.is_leaf:
+        descended = False
+        for child in node.children:
+            if child.box.contains_box(box):
+                node = child
+                descended = True
+                break
+    return node
+
+
+def traverse_join(
+    tree_r: APGTree,
+    tree_s: APGTree,
+    query: Box,
+    user_roles,
+    table_r: str = "R",
+    table_s: str = "S",
+) -> list[ProofTask]:
+    """Equi-join (Algorithm 4): R drives, S contributes covering regions."""
+    tasks: list[ProofTask] = []
+    queue: deque = deque([(tree_r.root, tree_s.root)])
+    while queue:
+        node_r, node_s = queue.popleft()
+        if not node_r.box.intersects(query):
+            continue
+        if not query.contains_box(node_r.box):
+            for child in node_r.children:
+                queue.append((child, node_s))
+            continue
+        # node_r fully inside the query range.
+        if not node_r.accessible_to(user_roles):
+            if node_r.is_leaf:
+                tasks.append(_inaccessible_record(node_r, table_r))
+            else:
+                tasks.append(_inaccessible_node(node_r, table_r))
+            continue
+        cover_s = _descend_covering(node_s, node_r.box)
+        if not cover_s.accessible_to(user_roles):
+            # Nothing under node_r can join: one APS for the S region.
+            if cover_s.is_leaf and cover_s.record is not None:
+                tasks.append(_inaccessible_record(cover_s, table_s))
+            else:
+                tasks.append(_inaccessible_node(cover_s, table_s))
+            continue
+        if node_r.is_leaf:
+            # cover_s is the S leaf for the same key (full trees over the
+            # same domain), and both sides are accessible: a result pair.
+            tasks.append(_accessible(node_r, table_r))
+            tasks.append(_accessible(cover_s, table_s))
+        else:
+            for child in node_r.children:
+                queue.append((child, cover_s))
+    return tasks
+
+
+def traverse_multiway_join(
+    trees: Sequence[tuple[str, APGTree]], query: Box, user_roles
+) -> list[ProofTask]:
+    """k-way equi-join: first table drives; first inaccessible cover prunes."""
+    driver_name, driver = trees[0]
+    others = trees[1:]
+    tasks: list[ProofTask] = []
+    queue: deque = deque([(driver.root, [tree.root for _, tree in others])])
+    while queue:
+        node, covers = queue.popleft()
+        if not node.box.intersects(query):
+            continue
+        if not query.contains_box(node.box):
+            for child in node.children:
+                queue.append((child, covers))
+            continue
+        if not node.accessible_to(user_roles):
+            if node.is_leaf and node.record is not None:
+                tasks.append(_inaccessible_record(node, driver_name))
+            else:
+                tasks.append(_inaccessible_node(node, driver_name))
+            continue
+        # Check every other table's covering node; first blocker prunes.
+        new_covers = []
+        blocked = False
+        for (other_name, _), cover in zip(others, covers):
+            cover = _descend_covering(cover, node.box)
+            if not cover.accessible_to(user_roles):
+                if cover.is_leaf and cover.record is not None:
+                    tasks.append(_inaccessible_record(cover, other_name))
+                else:
+                    tasks.append(_inaccessible_node(cover, other_name))
+                blocked = True
+                break
+            new_covers.append(cover)
+        if blocked:
+            continue
+        if node.is_leaf:
+            # All covering nodes are the matching leaves (identical grid
+            # structure over a shared domain): emit the k-way result.
+            tasks.append(_accessible(node, driver_name))
+            for (other_name, _), cover in zip(others, new_covers):
+                tasks.append(_accessible(cover, other_name))
+        else:
+            for child in node.children:
+                queue.append((child, new_covers))
+    return tasks
+
+
+# ----------------------------------------------------------------------
+# Phase 2: proof materialization.
+# ----------------------------------------------------------------------
+@dataclass
+class EngineStats:
+    """Per-phase observability for one engine execution.
+
+    ``group_ops`` is the :class:`~repro.crypto.GroupOpStats` delta of the
+    materialization phase; cache counters are deltas of the
+    authenticator's APS-cache counters; ``relax_calls`` counts the
+    ``ABS.Relax`` derivations actually performed (cache hits excluded).
+    """
+
+    kind: str = ""
+    workers: int = 1
+    traversal_ms: float = 0.0
+    relax_ms: float = 0.0
+    tasks: dict = field(default_factory=dict)
+    relax_calls: int = 0
+    aps_cache_hits: int = 0
+    aps_cache_misses: int = 0
+    group_ops: dict = field(default_factory=dict)
+
+    @property
+    def total_tasks(self) -> int:
+        return sum(self.tasks.values())
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "workers": self.workers,
+            "traversal_ms": round(self.traversal_ms, 3),
+            "relax_ms": round(self.relax_ms, 3),
+            "tasks": dict(self.tasks),
+            "relax_calls": self.relax_calls,
+            "aps_cache_hits": self.aps_cache_hits,
+            "aps_cache_misses": self.aps_cache_misses,
+            "group_ops": dict(self.group_ops),
+        }
+
+
+def _entry_for(task: ProofTask, aps: Optional[AbsSignature]) -> VOEntry:
+    if task.kind == ACCESSIBLE_RECORD:
+        record = task.record
+        return AccessibleRecordEntry(
+            key=record.key,
+            value=record.value,
+            policy=record.policy,
+            signature=task.signature,
+            table=task.table,
+        )
+    if task.kind == INACCESSIBLE_RECORD:
+        record = task.record
+        return InaccessibleRecordEntry(
+            key=record.key,
+            value_hash=record.value_hash(),
+            aps=aps,
+            table=task.table,
+        )
+    if task.kind == INACCESSIBLE_NODE:
+        return InaccessibleNodeEntry(box=task.box, aps=aps, table=task.table)
+    raise ReproError(f"unknown proof task kind {task.kind!r}")
+
+
+def _materialize_serial(
+    tasks: Sequence[ProofTask],
+    authenticator: AppAuthenticator,
+    user_roles,
+    rng: Optional[random.Random],
+    stats: EngineStats,
+) -> list[VOEntry]:
+    """Derive in task order with a shared rng (byte-identical to the
+    historical single-phase builders for the same seed)."""
+    entries: list[VOEntry] = []
+    for task in tasks:
+        if task.needs_relax:
+            hits_before = authenticator.aps_cache_hits
+            if task.kind == INACCESSIBLE_RECORD:
+                aps = authenticator.derive_record_aps(
+                    task.record, task.signature, user_roles, rng
+                )
+            else:
+                aps = authenticator.derive_node_aps(
+                    task.box, task.policy, task.signature, user_roles, rng
+                )
+            if authenticator.aps_cache_hits == hits_before:
+                stats.relax_calls += 1
+        else:
+            aps = None
+        entries.append(_entry_for(task, aps))
+    return entries
+
+
+def _materialize_parallel(
+    tasks: Sequence[ProofTask],
+    authenticator: AppAuthenticator,
+    user_roles,
+    rng: Optional[random.Random],
+    workers: int,
+    stats: EngineStats,
+) -> list[VOEntry]:
+    """Dispatch relax jobs through :func:`parallel_map`.
+
+    The APS cache is consulted (and filled) in the dispatching thread, so
+    worker threads never touch shared mutable state; identical derivations
+    within one batch are deduplicated when the cache is enabled.  Seeds
+    are pre-drawn in task order, making the output deterministic for a
+    given ``rng`` seed regardless of thread scheduling.
+    """
+    missing = authenticator.missing_roles_for(user_roles)
+    aps_by_index: dict[int, AbsSignature] = {}
+    pending: dict[tuple, list[int]] = {}
+    jobs: list[tuple[Optional[tuple], int, ProofTask, Optional[int]]] = []
+    for index, task in enumerate(tasks):
+        if not task.needs_relax:
+            continue
+        key = authenticator.aps_cache_key(task.signature, task.relax_message(), missing)
+        if key is not None:
+            cached = authenticator.aps_cache_get(key)
+            if cached is not None:
+                aps_by_index[index] = cached
+                continue
+            positions = pending.get(key)
+            if positions is not None:  # duplicate within this batch
+                positions.append(index)
+                continue
+            pending[key] = [index]
+        seed = rng.getrandbits(64) if rng is not None else None
+        jobs.append((key, index, task, seed))
+
+    scheme, mvk = authenticator.scheme, authenticator.mvk
+
+    def run_job(job) -> AbsSignature:
+        _key, _index, task, seed = job
+        job_rng = random.Random(seed) if seed is not None else None
+        aps, _ = relax(
+            scheme, mvk, task.signature, task.relax_message(),
+            task.relax_policy(), missing, job_rng,
+        )
+        return aps
+
+    results = parallel_map(run_job, jobs, workers=min(workers, max(1, len(jobs))))
+    stats.relax_calls += len(jobs)
+    for (key, index, _task, _seed), aps in zip(jobs, results):
+        if key is not None:
+            authenticator.aps_cache_put(key, aps)
+            for position in pending[key]:
+                aps_by_index[position] = aps
+        else:
+            aps_by_index[index] = aps
+    return [_entry_for(task, aps_by_index.get(i)) for i, task in enumerate(tasks)]
+
+
+def materialize(
+    tasks: Sequence[ProofTask],
+    authenticator: AppAuthenticator,
+    user_roles,
+    rng: Optional[random.Random] = None,
+    workers: int = 1,
+    stats: Optional[EngineStats] = None,
+) -> VerificationObject:
+    """Phase 2: turn a task list into a VO.
+
+    ``user_roles`` must already be validated (the traversal's roles);
+    ``workers`` > 1 routes all ``ABS.Relax`` work through
+    :func:`repro.parallel.parallel_map`.  ``stats``, when given, is
+    filled with per-phase costs.
+    """
+    if workers < 1:
+        raise WorkloadError("workers must be >= 1")
+    if stats is None:
+        stats = EngineStats(workers=workers)
+    stats.workers = workers
+    for kind in TASK_KINDS:
+        stats.tasks[kind] = stats.tasks.get(kind, 0)
+    for task in tasks:
+        stats.tasks[task.kind] = stats.tasks.get(task.kind, 0) + 1
+    hits0 = authenticator.aps_cache_hits
+    misses0 = authenticator.aps_cache_misses
+    ops_before = authenticator.group.stats.snapshot()
+    t0 = time.perf_counter()
+    if workers == 1:
+        entries = _materialize_serial(tasks, authenticator, user_roles, rng, stats)
+    else:
+        entries = _materialize_parallel(tasks, authenticator, user_roles, rng, workers, stats)
+    stats.relax_ms += (time.perf_counter() - t0) * 1000.0
+    stats.aps_cache_hits += authenticator.aps_cache_hits - hits0
+    stats.aps_cache_misses += authenticator.aps_cache_misses - misses0
+    for key, value in authenticator.group.stats.delta(ops_before).items():
+        if value:
+            stats.group_ops[key] = stats.group_ops.get(key, 0) + value
+    return VerificationObject(entries=entries)
+
+
+def execute(
+    kind: str,
+    traversal: Callable[[], list[ProofTask]],
+    authenticator: AppAuthenticator,
+    user_roles,
+    rng: Optional[random.Random] = None,
+    workers: int = 1,
+) -> tuple[VerificationObject, EngineStats]:
+    """Run both phases, timing each: returns ``(vo, stats)``.
+
+    ``traversal`` is a zero-argument closure over one of the
+    ``traverse_*`` functions with validated roles.
+    """
+    stats = EngineStats(kind=kind, workers=workers)
+    t0 = time.perf_counter()
+    tasks = traversal()
+    stats.traversal_ms = (time.perf_counter() - t0) * 1000.0
+    vo = materialize(tasks, authenticator, user_roles, rng, workers, stats)
+    return vo, stats

@@ -6,6 +6,10 @@ full, so one always exists — real or pseudo) and returns either:
 * the record plus its APP signature (accessible), or
 * ``hash(v)`` plus an APS signature derived with ABS.Relax under the
   user's super policy (inaccessible or non-existent — indistinguishable).
+
+This module is a thin adapter over the two-phase engine
+(:mod:`repro.core.engine`): phase 1 emits the proof task for the leaf,
+phase 2 materializes it.
 """
 
 from __future__ import annotations
@@ -14,11 +18,8 @@ import random
 from typing import Optional
 
 from repro.core.app_signature import AppAuthenticator
-from repro.core.vo import (
-    AccessibleRecordEntry,
-    InaccessibleRecordEntry,
-    VerificationObject,
-)
+from repro.core.engine import EngineStats, materialize, traverse_equality
+from repro.core.vo import VerificationObject
 from repro.index.boxes import Point
 from repro.index.gridtree import APGTree
 
@@ -30,30 +31,10 @@ def equality_vo(
     user_roles,
     rng: Optional[random.Random] = None,
     table: str = "",
+    workers: int = 1,
+    stats: Optional[EngineStats] = None,
 ) -> VerificationObject:
     """SP-side VO construction for an equality query (Algorithm 1)."""
     user_roles = authenticator.universe.validate_user_roles(user_roles)
-    leaf = tree.leaf_at(key)
-    record = leaf.record
-    vo = VerificationObject()
-    if record.policy.evaluate(user_roles):
-        vo.add(
-            AccessibleRecordEntry(
-                key=record.key,
-                value=record.value,
-                policy=record.policy,
-                signature=leaf.signature,
-                table=table,
-            )
-        )
-    else:
-        aps = authenticator.derive_record_aps(record, leaf.signature, user_roles, rng)
-        vo.add(
-            InaccessibleRecordEntry(
-                key=record.key,
-                value_hash=record.value_hash(),
-                aps=aps,
-                table=table,
-            )
-        )
-    return vo
+    tasks = traverse_equality(tree, key, user_roles, table)
+    return materialize(tasks, authenticator, user_roles, rng, workers, stats)

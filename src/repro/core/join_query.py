@@ -13,21 +13,19 @@ access both the R side and the covering region of S, so:
 
 Completeness: the regions of all entries (both tables together) tile the
 query range exactly.
+
+The walk itself lives in :func:`repro.core.engine.traverse_join`; this
+module is the adapter that validates inputs and materializes the tasks.
 """
 
 from __future__ import annotations
 
 import random
-from collections import deque
 from typing import Optional
 
 from repro.core.app_signature import AppAuthenticator
-from repro.core.vo import (
-    AccessibleRecordEntry,
-    InaccessibleNodeEntry,
-    InaccessibleRecordEntry,
-    VerificationObject,
-)
+from repro.core.engine import EngineStats, materialize, traverse_join
+from repro.core.vo import VerificationObject
 from repro.errors import WorkloadError
 from repro.index.boxes import Box
 from repro.index.gridtree import APGTree
@@ -43,96 +41,12 @@ def join_vo(
     query: Box,
     user_roles,
     rng: Optional[random.Random] = None,
+    workers: int = 1,
+    stats: Optional[EngineStats] = None,
 ) -> VerificationObject:
     """SP-side VO construction for an equi-join (Algorithm 4)."""
     if tree_r.domain != tree_s.domain:
         raise WorkloadError("join requires both tables indexed over the same domain")
     user_roles = authenticator.universe.validate_user_roles(user_roles)
-    vo = VerificationObject()
-    queue: deque = deque([(tree_r.root, tree_s.root)])
-    while queue:
-        node_r, node_s = queue.popleft()
-        if not node_r.box.intersects(query):
-            continue
-        if not query.contains_box(node_r.box):
-            for child in node_r.children:
-                queue.append((child, node_s))
-            continue
-        # node_r fully inside the query range.
-        if not node_r.accessible_to(user_roles):
-            if node_r.is_leaf:
-                record = node_r.record
-                aps = authenticator.derive_record_aps(
-                    record, node_r.signature, user_roles, rng
-                )
-                vo.add(
-                    InaccessibleRecordEntry(
-                        key=record.key,
-                        value_hash=record.value_hash(),
-                        aps=aps,
-                        table=TABLE_R,
-                    )
-                )
-            else:
-                aps = authenticator.derive_node_aps(
-                    node_r.box, node_r.policy, node_r.signature, user_roles, rng
-                )
-                vo.add(InaccessibleNodeEntry(box=node_r.box, aps=aps, table=TABLE_R))
-            continue
-        # Find the smallest S node covering node_r's region.
-        cover_s = node_s
-        descended = True
-        while descended and not cover_s.is_leaf:
-            descended = False
-            for child in cover_s.children:
-                if child.box.contains_box(node_r.box):
-                    cover_s = child
-                    descended = True
-                    break
-        if not cover_s.accessible_to(user_roles):
-            # Nothing under node_r can join: one APS for the S region.
-            if cover_s.is_leaf:
-                record = cover_s.record
-                aps = authenticator.derive_record_aps(
-                    record, cover_s.signature, user_roles, rng
-                )
-                vo.add(
-                    InaccessibleRecordEntry(
-                        key=record.key,
-                        value_hash=record.value_hash(),
-                        aps=aps,
-                        table=TABLE_S,
-                    )
-                )
-            else:
-                aps = authenticator.derive_node_aps(
-                    cover_s.box, cover_s.policy, cover_s.signature, user_roles, rng
-                )
-                vo.add(InaccessibleNodeEntry(box=cover_s.box, aps=aps, table=TABLE_S))
-            continue
-        if node_r.is_leaf:
-            # cover_s is the S leaf for the same key (full trees over the
-            # same domain), and both sides are accessible: a result pair.
-            rec_r, rec_s = node_r.record, cover_s.record
-            vo.add(
-                AccessibleRecordEntry(
-                    key=rec_r.key,
-                    value=rec_r.value,
-                    policy=rec_r.policy,
-                    signature=node_r.signature,
-                    table=TABLE_R,
-                )
-            )
-            vo.add(
-                AccessibleRecordEntry(
-                    key=rec_s.key,
-                    value=rec_s.value,
-                    policy=rec_s.policy,
-                    signature=cover_s.signature,
-                    table=TABLE_S,
-                )
-            )
-        else:
-            for child in node_r.children:
-                queue.append((child, cover_s))
-    return vo
+    tasks = traverse_join(tree_r, tree_s, query, user_roles, TABLE_R, TABLE_S)
+    return materialize(tasks, authenticator, user_roles, rng, workers, stats)

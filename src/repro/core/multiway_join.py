@@ -17,56 +17,26 @@ blocks first prunes the whole region.
 
 Completeness: driver-result points plus every inaccessible region (any
 table) tile the query range.
+
+The walk lives in :func:`repro.core.engine.traverse_multiway_join`; this
+module validates the table list and materializes the tasks, and hosts
+the k-way verifier.
 """
 
 from __future__ import annotations
 
 import random
-from collections import deque
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.core.app_signature import AppAuthenticator
+from repro.core.engine import EngineStats, materialize, traverse_multiway_join
 from repro.core.records import Record
 from repro.core.verifier import _verify_entry
-from repro.core.vo import (
-    AccessibleRecordEntry,
-    InaccessibleNodeEntry,
-    InaccessibleRecordEntry,
-    VerificationObject,
-)
+from repro.core.vo import AccessibleRecordEntry, VerificationObject
 from repro.errors import CompletenessError, SoundnessError, WorkloadError
 from repro.index.boxes import Box, boxes_cover_clipped
-from repro.index.gridtree import APGTree, IndexNode
-
-
-def _descend_covering(node: IndexNode, box: Box) -> IndexNode:
-    """Smallest node under ``node`` whose grid box contains ``box``."""
-    descended = True
-    while descended and not node.is_leaf:
-        descended = False
-        for child in node.children:
-            if child.box.contains_box(box):
-                node = child
-                descended = True
-                break
-    return node
-
-
-def _add_inaccessible(vo, authenticator, node, user_roles, rng, table):
-    if node.is_leaf and node.record is not None:
-        record = node.record
-        aps = authenticator.derive_record_aps(record, node.signature, user_roles, rng)
-        vo.add(
-            InaccessibleRecordEntry(
-                key=record.key, value_hash=record.value_hash(), aps=aps, table=table
-            )
-        )
-    else:
-        aps = authenticator.derive_node_aps(
-            node.box, node.policy, node.signature, user_roles, rng
-        )
-        vo.add(InaccessibleNodeEntry(box=node.box, aps=aps, table=table))
+from repro.index.gridtree import APGTree
 
 
 def multiway_join_vo(
@@ -75,6 +45,8 @@ def multiway_join_vo(
     query: Box,
     user_roles,
     rng: Optional[random.Random] = None,
+    workers: int = 1,
+    stats: Optional[EngineStats] = None,
 ) -> VerificationObject:
     """SP-side VO for a k-way equi-join over a shared key domain.
 
@@ -90,59 +62,8 @@ def multiway_join_vo(
     if any(tree.domain != domain for _, tree in trees):
         raise WorkloadError("all joined tables must share the key domain")
     user_roles = authenticator.universe.validate_user_roles(user_roles)
-    vo = VerificationObject()
-    driver_name, driver = trees[0]
-    others = trees[1:]
-    queue: deque = deque([(driver.root, [tree.root for _, tree in others])])
-    while queue:
-        node, covers = queue.popleft()
-        if not node.box.intersects(query):
-            continue
-        if not query.contains_box(node.box):
-            for child in node.children:
-                queue.append((child, covers))
-            continue
-        if not node.accessible_to(user_roles):
-            _add_inaccessible(vo, authenticator, node, user_roles, rng, driver_name)
-            continue
-        # Check every other table's covering node; first blocker prunes.
-        new_covers = []
-        blocked = False
-        for (other_name, _), cover in zip(others, covers):
-            cover = _descend_covering(cover, node.box)
-            if not cover.accessible_to(user_roles):
-                _add_inaccessible(vo, authenticator, cover, user_roles, rng, other_name)
-                blocked = True
-                break
-            new_covers.append(cover)
-        if blocked:
-            continue
-        if node.is_leaf:
-            # All covering nodes are the matching leaves (identical grid
-            # structure over a shared domain): emit the k-way result.
-            vo.add(
-                AccessibleRecordEntry(
-                    key=node.record.key,
-                    value=node.record.value,
-                    policy=node.record.policy,
-                    signature=node.signature,
-                    table=driver_name,
-                )
-            )
-            for (other_name, _), cover in zip(others, new_covers):
-                vo.add(
-                    AccessibleRecordEntry(
-                        key=cover.record.key,
-                        value=cover.record.value,
-                        policy=cover.record.policy,
-                        signature=cover.signature,
-                        table=other_name,
-                    )
-                )
-        else:
-            for child in node.children:
-                queue.append((child, new_covers))
-    return vo
+    tasks = traverse_multiway_join(trees, query, user_roles)
+    return materialize(tasks, authenticator, user_roles, rng, workers, stats)
 
 
 @dataclass(frozen=True)

@@ -3,10 +3,13 @@
 Constructing a VO costs one ``ABS.Relax`` per inaccessible region —
 hundreds of group exponentiations each on a real backend.  A service
 provider scheduling work (or quoting response sizes) wants those counts
-*without* doing the cryptography.  :func:`plan_range_query` walks the
-tree exactly like :func:`repro.core.range_query.range_vo` but performs
-no group operations, returning per-entry counts and the exact serialized
-VO size the real query will produce.
+*without* doing the cryptography.  Since the two-phase engine
+(:mod:`repro.core.engine`) already separates the crypto-free traversal
+from proof materialization, the plan *is* the phase-1 task list:
+:func:`plan_tasks` prices any task list, and the ``plan_*_query``
+wrappers run the corresponding traversal — the identical code path the
+real query executes — so plans are exact for every query kind, not just
+ranges.
 
 The planner's output is exact, not an estimate — tests assert it against
 real VOs byte for byte.
@@ -14,11 +17,23 @@ real VOs byte for byte.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
+from typing import Optional, Sequence
 
+from repro.core.engine import (
+    ACCESSIBLE_RECORD,
+    INACCESSIBLE_NODE,
+    INACCESSIBLE_RECORD,
+    ProofTask,
+    traverse_equality,
+    traverse_join,
+    traverse_multiway_join,
+    traverse_range,
+    traverse_range_basic,
+)
 from repro.crypto.group import G1, G2, BilinearGroup
-from repro.index.boxes import Box
+from repro.errors import WorkloadError
+from repro.index.boxes import Box, Point
 from repro.index.gridtree import APGTree
 from repro.policy.roles import RoleUniverse
 
@@ -47,7 +62,7 @@ def _bytes_field(n: int) -> int:
 
 @dataclass(frozen=True)
 class QueryPlan:
-    """Exact work/size profile of a range query before running it."""
+    """Exact work/size profile of a query before running it."""
 
     accessible_records: int
     inaccessible_record_aps: int
@@ -56,7 +71,7 @@ class QueryPlan:
 
     @property
     def relax_operations(self) -> int:
-        """ABS.Relax invocations the SP will perform."""
+        """ABS.Relax invocations the SP will perform (cache cold)."""
         return self.inaccessible_record_aps + self.inaccessible_node_aps
 
     @property
@@ -68,64 +83,128 @@ class QueryPlan:
         )
 
 
-def plan_range_query(
-    tree: APGTree,
-    universe: RoleUniverse,
-    query: Box,
-    user_roles,
-    missing_roles=None,
-    table: str = "",
+def plan_tasks(
+    tasks: Sequence[ProofTask],
+    group: BilinearGroup,
+    dims: int,
+    missing_len: int,
 ) -> QueryPlan:
-    """Plan Algorithm 3 for ``query`` without any cryptography."""
-    user_roles = universe.validate_user_roles(user_roles)
-    if missing_roles is None:
-        missing_roles = universe.missing_roles(user_roles)
-    pred_len = len(missing_roles)
-    group = tree.root.signature.y.group
-    dims = tree.domain.dims
-    table_bytes = _bytes_field(len(table.encode()))
-    aps_bytes = aps_signature_bytes(group, pred_len)
+    """Price a phase-1 task list: entry counts + exact serialized VO size.
+
+    ``missing_len`` is the length of the super-predicate attribute list
+    every APS in the VO will carry (it fixes the APS byte size).
+    """
+    aps_bytes = aps_signature_bytes(group, missing_len)
+    point = _point_bytes(dims)
     accessible = 0
     inacc_records = 0
     inacc_nodes = 0
     vo_bytes = 4  # entry-count prefix
-    queue: deque = deque([tree.root])
-    while queue:
-        node = queue.popleft()
-        if not node.box.intersects(query):
-            continue
-        if not query.contains_box(node.box):
-            if node.is_leaf:
-                inacc_nodes += 1
-                vo_bytes += 1 + table_bytes + 2 * _point_bytes(dims) + _bytes_field(aps_bytes)
-            else:
-                queue.extend(node.children)
-            continue
-        if node.accessible_to(user_roles):
-            if node.is_leaf:
-                accessible += 1
-                record = node.record
-                vo_bytes += (
-                    1
-                    + table_bytes
-                    + _point_bytes(dims)
-                    + _bytes_field(len(record.value))
-                    + _bytes_field(len(record.policy.to_string().encode()))
-                    + _bytes_field(len(node.signature.to_bytes()))
-                )
-            else:
-                queue.extend(node.children)
-        elif node.is_leaf and node.record is not None:
-            inacc_records += 1
+    for task in tasks:
+        table_bytes = _bytes_field(len(task.table.encode()))
+        if task.kind == ACCESSIBLE_RECORD:
+            accessible += 1
+            record = task.record
             vo_bytes += (
-                1 + table_bytes + _point_bytes(dims) + _bytes_field(32) + _bytes_field(aps_bytes)
+                1
+                + table_bytes
+                + point
+                + _bytes_field(len(record.value))
+                + _bytes_field(len(record.policy.to_string().encode()))
+                + _bytes_field(len(task.signature.to_bytes()))
             )
-        else:
+        elif task.kind == INACCESSIBLE_RECORD:
+            inacc_records += 1
+            vo_bytes += 1 + table_bytes + point + _bytes_field(32) + _bytes_field(aps_bytes)
+        elif task.kind == INACCESSIBLE_NODE:
             inacc_nodes += 1
-            vo_bytes += 1 + table_bytes + 2 * _point_bytes(dims) + _bytes_field(aps_bytes)
+            vo_bytes += 1 + table_bytes + 2 * point + _bytes_field(aps_bytes)
+        else:
+            raise WorkloadError(f"unknown proof task kind {task.kind!r}")
     return QueryPlan(
         accessible_records=accessible,
         inaccessible_record_aps=inacc_records,
         inaccessible_node_aps=inacc_nodes,
         vo_bytes=vo_bytes,
     )
+
+
+def _plan_context(
+    tree: APGTree, universe: RoleUniverse, user_roles, missing_roles
+) -> tuple[frozenset, BilinearGroup, int]:
+    user_roles = universe.validate_user_roles(user_roles)
+    if missing_roles is None:
+        missing_roles = universe.missing_roles(user_roles)
+    group = tree.root.signature.y.group
+    return user_roles, group, len(missing_roles)
+
+
+def plan_equality_query(
+    tree: APGTree,
+    universe: RoleUniverse,
+    key: Point,
+    user_roles,
+    missing_roles: Optional[Sequence[str]] = None,
+    table: str = "",
+) -> QueryPlan:
+    """Plan Algorithm 1 for ``key`` without any cryptography."""
+    user_roles, group, missing_len = _plan_context(tree, universe, user_roles, missing_roles)
+    tasks = traverse_equality(tree, key, user_roles, table)
+    return plan_tasks(tasks, group, tree.domain.dims, missing_len)
+
+
+def plan_range_query(
+    tree: APGTree,
+    universe: RoleUniverse,
+    query: Box,
+    user_roles,
+    missing_roles: Optional[Sequence[str]] = None,
+    table: str = "",
+    method: str = "tree",
+) -> QueryPlan:
+    """Plan Algorithm 3 (``method="tree"``) or the per-key baseline
+    (``method="basic"``) for ``query`` without any cryptography."""
+    traversal = {"tree": traverse_range, "basic": traverse_range_basic}.get(method)
+    if traversal is None:
+        raise WorkloadError(f"unknown range method {method!r}")
+    user_roles, group, missing_len = _plan_context(tree, universe, user_roles, missing_roles)
+    tasks = traversal(tree, query, user_roles, table)
+    return plan_tasks(tasks, group, tree.domain.dims, missing_len)
+
+
+def plan_join_query(
+    tree_r: APGTree,
+    tree_s: APGTree,
+    universe: RoleUniverse,
+    query: Box,
+    user_roles,
+    missing_roles: Optional[Sequence[str]] = None,
+    table_r: str = "R",
+    table_s: str = "S",
+) -> QueryPlan:
+    """Plan Algorithm 4 for an equi-join without any cryptography."""
+    if tree_r.domain != tree_s.domain:
+        raise WorkloadError("join requires both tables indexed over the same domain")
+    user_roles, group, missing_len = _plan_context(tree_r, universe, user_roles, missing_roles)
+    tasks = traverse_join(tree_r, tree_s, query, user_roles, table_r, table_s)
+    return plan_tasks(tasks, group, tree_r.domain.dims, missing_len)
+
+
+def plan_multiway_join_query(
+    trees: Sequence[tuple[str, APGTree]],
+    universe: RoleUniverse,
+    query: Box,
+    user_roles,
+    missing_roles: Optional[Sequence[str]] = None,
+) -> QueryPlan:
+    """Plan a k-way equi-join without any cryptography."""
+    if len(trees) < 2:
+        raise WorkloadError("multi-way join needs at least two tables")
+    domain = trees[0][1].domain
+    if any(tree.domain != domain for _, tree in trees):
+        raise WorkloadError("all joined tables must share the key domain")
+    user_roles, group, missing_len = _plan_context(
+        trees[0][1], universe, user_roles, missing_roles
+    )
+    tasks = traverse_multiway_join(trees, query, user_roles)
+    return plan_tasks(tasks, group, domain.dims, missing_len)

@@ -9,23 +9,25 @@ Two SP-side strategies are provided:
   protocol for every discrete key in the range (one APS per
   inaccessible/non-existent key).
 
-Both produce VOs verified by :func:`repro.core.verifier.verify_vo`.
+Both produce VOs verified by :func:`repro.core.verifier.verify_vo` and
+are thin adapters over the two-phase engine (:mod:`repro.core.engine`):
+the crypto-free traversal emits proof tasks, the materializer derives
+the APS signatures — optionally in parallel (``workers``).
 """
 
 from __future__ import annotations
 
 import random
-from collections import deque
 from typing import Optional
 
 from repro.core.app_signature import AppAuthenticator
-from repro.core.equality import equality_vo
-from repro.core.vo import (
-    AccessibleRecordEntry,
-    InaccessibleNodeEntry,
-    InaccessibleRecordEntry,
-    VerificationObject,
+from repro.core.engine import (
+    EngineStats,
+    materialize,
+    traverse_range,
+    traverse_range_basic,
 )
+from repro.core.vo import VerificationObject
 from repro.errors import WorkloadError
 from repro.index.boxes import Box, Point
 from repro.index.gridtree import APGTree
@@ -46,61 +48,13 @@ def range_vo(
     user_roles,
     rng: Optional[random.Random] = None,
     table: str = "",
+    workers: int = 1,
+    stats: Optional[EngineStats] = None,
 ) -> VerificationObject:
     """SP-side VO construction via AP2G-tree search (Algorithm 3)."""
     user_roles = authenticator.universe.validate_user_roles(user_roles)
-    vo = VerificationObject()
-    queue: deque = deque([tree.root])
-    while queue:
-        node = queue.popleft()
-        if not node.box.intersects(query):
-            continue
-        if not query.contains_box(node.box):
-            if node.is_leaf:
-                # A partially-overlapping leaf is a pseudo-region leaf of
-                # an AP2kd-tree (record leaves are unit cells and can
-                # never partially overlap).  Its APS covers the whole
-                # region, which may extend beyond the query range
-                # (Section 9.2); the verifier clips it.
-                aps = authenticator.derive_node_aps(
-                    node.box, node.policy, node.signature, user_roles, rng
-                )
-                vo.add(InaccessibleNodeEntry(box=node.box, aps=aps, table=table))
-            else:
-                queue.extend(node.children)
-            continue
-        # Node fully inside the query range.
-        if node.accessible_to(user_roles):
-            if node.is_leaf:
-                record = node.record
-                vo.add(
-                    AccessibleRecordEntry(
-                        key=record.key,
-                        value=record.value,
-                        policy=record.policy,
-                        signature=node.signature,
-                        table=table,
-                    )
-                )
-            else:
-                queue.extend(node.children)
-        elif node.is_leaf and node.record is not None:
-            record = node.record
-            aps = authenticator.derive_record_aps(record, node.signature, user_roles, rng)
-            vo.add(
-                InaccessibleRecordEntry(
-                    key=record.key,
-                    value_hash=record.value_hash(),
-                    aps=aps,
-                    table=table,
-                )
-            )
-        else:
-            aps = authenticator.derive_node_aps(
-                node.box, node.policy, node.signature, user_roles, rng
-            )
-            vo.add(InaccessibleNodeEntry(box=node.box, aps=aps, table=table))
-    return vo
+    tasks = traverse_range(tree, query, user_roles, table)
+    return materialize(tasks, authenticator, user_roles, rng, workers, stats)
 
 
 def range_vo_basic(
@@ -110,9 +64,13 @@ def range_vo_basic(
     user_roles,
     rng: Optional[random.Random] = None,
     table: str = "",
+    workers: int = 1,
+    stats: Optional[EngineStats] = None,
 ) -> VerificationObject:
-    """Baseline: equality-query authentication repeated for every key."""
-    vo = VerificationObject()
-    for point in query.points():
-        vo.extend(equality_vo(tree, authenticator, point, user_roles, rng, table).entries)
-    return vo
+    """Baseline: equality-query authentication repeated for every key.
+
+    The user role set is validated once up front (not once per key).
+    """
+    user_roles = authenticator.universe.validate_user_roles(user_roles)
+    tasks = traverse_range_basic(tree, query, user_roles, table)
+    return materialize(tasks, authenticator, user_roles, rng, workers, stats)

@@ -16,6 +16,7 @@ See ``examples/quickstart.py`` for an end-to-end walk-through.
 from __future__ import annotations
 
 import random
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional
 
@@ -23,9 +24,15 @@ from repro.abe.cpabe import CpAbeKeyPair, CpAbePublicKey, CpAbeScheme, CpAbeSecr
 from repro.abe.hybrid import HybridEnvelope, decrypt_envelope, encrypt_for_roles
 from repro.abs.keys import AbsVerificationKey
 from repro.core.app_signature import AppAuthenticator, AppSigner
-from repro.core.equality import equality_vo
-from repro.core.join_query import join_vo
-from repro.core.range_query import clip_query, range_vo, range_vo_basic
+from repro.core.engine import (
+    EngineStats,
+    execute,
+    traverse_equality,
+    traverse_join,
+    traverse_range,
+    traverse_range_basic,
+)
+from repro.core.range_query import clip_query
 from repro.core.records import Dataset, Record
 from repro.core.verifier import JoinPair, verify_join_vo, verify_vo
 from repro.core.vo import VerificationObject
@@ -47,16 +54,25 @@ class UserCredentials:
 
 @dataclass
 class QueryResponse:
-    """SP response: a (possibly sealed) VO for a clipped query box."""
+    """SP response: a (possibly sealed) VO for a clipped query box.
+
+    ``stats``, when present, carries the per-phase engine costs of
+    constructing the VO (traversal vs. relaxation, worker count, APS
+    cache hits — see :class:`repro.core.engine.EngineStats`).  It is
+    SP-side observability only and is not part of the wire format.
+    """
 
     kind: str  # "equality" | "range" | "join"
     query: Box
     vo: Optional[VerificationObject] = None
     envelope: Optional[HybridEnvelope] = None
+    stats: Optional[EngineStats] = None
 
     def byte_size(self) -> int:
         if self.envelope is not None:
             return self.envelope.byte_size()
+        if self.vo is None:
+            raise ReproError("response carries neither VO nor envelope")
         return self.vo.byte_size()
 
 
@@ -127,7 +143,15 @@ class DataOwner:
 
 
 class ServiceProvider:
-    """The (untrusted) service provider: answers authenticated queries."""
+    """The (untrusted) service provider: answers authenticated queries.
+
+    Queries run through the two-phase engine: a crypto-free traversal
+    followed by proof materialization that dispatches ``ABS.Relax`` work
+    across ``workers`` threads.  APS derivations route through a pool of
+    per-missing-role-set authenticators whose LRU caches persist across
+    queries, so a repeated (node, role-set) proof is served from cache
+    instead of re-derived.
+    """
 
     def __init__(
         self,
@@ -137,6 +161,9 @@ class ServiceProvider:
         cpabe_public: CpAbePublicKey,
         trees: Dict[str, APGTree],
         hierarchy: Optional[RoleHierarchy] = None,
+        workers: int = 1,
+        aps_cache_size: int = 4096,
+        auth_pool_size: int = 16,
     ):
         self.group = group
         self.universe = universe
@@ -145,6 +172,11 @@ class ServiceProvider:
         self._cpabe = CpAbeScheme(group)
         self.trees = dict(trees)
         self.hierarchy = hierarchy
+        #: Threads the materializer fans ``ABS.Relax`` batches over.
+        self.workers = workers
+        self._aps_cache_size = aps_cache_size
+        self._auth_pool_size = max(1, auth_pool_size)
+        self._auth_pool: "OrderedDict[tuple, AppAuthenticator]" = OrderedDict()
 
     def tree(self, table: str) -> APGTree:
         try:
@@ -197,6 +229,32 @@ class ServiceProvider:
             return self.hierarchy.maximal_missing(self.universe, roles)
         return self.universe.missing_roles(roles)
 
+    def authenticator_for(self, roles) -> AppAuthenticator:
+        """The pooled authenticator for the user's missing-role set.
+
+        Authenticators are keyed by the super-predicate attribute list
+        (under a role hierarchy, the reduced maximal-missing set —
+        Section 8.1), so their APS LRU caches survive across queries:
+        consecutive requests from users with the same role coverage hit
+        cached derivations instead of re-running ``ABS.Relax``.
+        """
+        missing = tuple(self._missing_roles(roles))
+        pool = self._auth_pool
+        authenticator = pool.get(missing)
+        if authenticator is None:
+            authenticator = AppAuthenticator(
+                self.group, self.universe, self.authenticator.mvk,
+                missing_override=list(missing),
+            )
+            if self._aps_cache_size > 0:
+                authenticator.enable_aps_cache(self._aps_cache_size)
+            pool[missing] = authenticator
+            if len(pool) > self._auth_pool_size:
+                pool.popitem(last=False)
+        else:
+            pool.move_to_end(missing)
+        return authenticator
+
     def _respond(
         self,
         kind: str,
@@ -205,11 +263,25 @@ class ServiceProvider:
         roles,
         encrypt: bool,
         rng: Optional[random.Random],
+        stats: Optional[EngineStats] = None,
     ) -> QueryResponse:
         if not encrypt:
-            return QueryResponse(kind=kind, query=query, vo=vo)
+            return QueryResponse(kind=kind, query=query, vo=vo, stats=stats)
         envelope = encrypt_for_roles(self._cpabe, self.cpabe_public, roles, vo.to_bytes(), rng)
-        return QueryResponse(kind=kind, query=query, envelope=envelope)
+        return QueryResponse(kind=kind, query=query, envelope=envelope, stats=stats)
+
+    def _execute(self, kind, traversal, roles, rng, workers) -> tuple:
+        """Validate roles, pick the pooled authenticator, run both phases."""
+        authenticator = self.authenticator_for(roles)
+        user_roles = self.universe.validate_user_roles(roles)
+        return execute(
+            kind,
+            traversal(user_roles),
+            authenticator,
+            user_roles,
+            rng,
+            self.workers if workers is None else workers,
+        )
 
     # -- queries -------------------------------------------------------------
     def equality_query(
@@ -219,11 +291,16 @@ class ServiceProvider:
         roles,
         encrypt: bool = False,
         rng: Optional[random.Random] = None,
+        workers: Optional[int] = None,
     ) -> QueryResponse:
         tree = self.tree(table)
         key = tree.domain.validate_point(key)
-        vo = _with_missing(self, roles, equality_vo, tree, self.authenticator, key, roles, rng)
-        return self._respond("equality", Box(key, key), vo, roles, encrypt, rng)
+        vo, stats = self._execute(
+            "equality",
+            lambda user_roles: lambda: traverse_equality(tree, key, user_roles, table),
+            roles, rng, workers,
+        )
+        return self._respond("equality", Box(key, key), vo, roles, encrypt, rng, stats)
 
     def range_query(
         self,
@@ -234,14 +311,19 @@ class ServiceProvider:
         method: str = "tree",
         encrypt: bool = False,
         rng: Optional[random.Random] = None,
+        workers: Optional[int] = None,
     ) -> QueryResponse:
         tree = self.tree(table)
         query = clip_query(tree, lo, hi)
-        builder = {"tree": range_vo, "basic": range_vo_basic}.get(method)
-        if builder is None:
+        traverse = {"tree": traverse_range, "basic": traverse_range_basic}.get(method)
+        if traverse is None:
             raise WorkloadError(f"unknown range method {method!r}")
-        vo = _with_missing(self, roles, builder, tree, self.authenticator, query, roles, rng)
-        return self._respond("range", query, vo, roles, encrypt, rng)
+        vo, stats = self._execute(
+            "range",
+            lambda user_roles: lambda: traverse(tree, query, user_roles, table),
+            roles, rng, workers,
+        )
+        return self._respond("range", query, vo, roles, encrypt, rng, stats)
 
     def join_query(
         self,
@@ -252,30 +334,17 @@ class ServiceProvider:
         roles,
         encrypt: bool = False,
         rng: Optional[random.Random] = None,
+        workers: Optional[int] = None,
     ) -> QueryResponse:
         tree_r = self.tree(left_table)
         tree_s = self.tree(right_table)
         query = clip_query(tree_r, lo, hi)
-        vo = _with_missing(
-            self, roles, join_vo, tree_r, tree_s, self.authenticator, query, roles, rng
+        vo, stats = self._execute(
+            "join",
+            lambda user_roles: lambda: traverse_join(tree_r, tree_s, query, user_roles),
+            roles, rng, workers,
         )
-        return self._respond("join", query, vo, roles, encrypt, rng)
-
-
-def _with_missing(sp: ServiceProvider, roles, builder, *args):
-    """Run a VO builder with the SP's missing-role policy applied.
-
-    Under a role hierarchy the SP derives APS signatures with the reduced
-    (maximal-missing) super predicate instead of the full ``A \\ A``.
-    """
-    if sp.hierarchy is None:
-        return builder(*args)
-    missing = sp.hierarchy.maximal_missing(sp.universe, roles)
-    authenticator = AppAuthenticator(
-        sp.group, sp.universe, sp.authenticator.mvk, missing_override=missing
-    )
-    new_args = tuple(authenticator if a is sp.authenticator else a for a in args)
-    return builder(*new_args)
+        return self._respond("join", query, vo, roles, encrypt, rng, stats)
 
 
 class QueryUser:

@@ -109,15 +109,19 @@ def verify_join_vo(
     missing_roles: Optional[Sequence[str]] = None,
     left_table: str = "R",
     right_table: str = "S",
+    collect_ops: Optional[dict] = None,
 ) -> list[JoinPair]:
     """Verify a join VO; returns the verified result pairs.
 
     Completeness uses the R-side tiling: accessible R results plus every
     inaccessible region (from either table) must tile the query range.
     Soundness additionally requires each R result to have exactly one
-    matching S result on the same key.
+    matching S result on the same key.  ``collect_ops``, when given, is
+    filled with the group-operation counts this verification cost
+    (parity with :func:`verify_vo` / :func:`verify_vo_batched`).
     """
     user_roles = authenticator.universe.validate_user_roles(user_roles)
+    before = authenticator.group.stats.snapshot() if collect_ops is not None else None
     left_access: dict = {}
     right_access: dict = {}
     coverage: list[Box] = []
@@ -147,6 +151,8 @@ def verify_join_vo(
         pairs.append(
             JoinPair(left=records[(left_table, key)], right=records[(right_table, key)])
         )
+    if collect_ops is not None:
+        collect_ops.update(authenticator.group.stats.delta(before))
     return pairs
 
 
