@@ -1,0 +1,166 @@
+"""CI smoke and overhead guard for the observability subsystem.
+
+Two modes:
+
+* default — with the gate **on**, run one resilient client/server query
+  and assert the acceptance criteria: a single correlated trace covering
+  the net, SP, and engine layers; group-operation counters in the
+  registry; and a Prometheus scrape (both in-process and over a framed
+  ``STATS_REQUEST``) that passes the exposition lint.
+
+* ``--guard`` — with the gate **off** (``REPRO_OBS=0``), bound the cost
+  instrumentation adds to the query-serving smoke.  There is no
+  uninstrumented build to diff against, so the guard is computed: it
+  measures the per-call cost of a disabled instrument, counts how many
+  instrument updates one workload pass performs (from an enabled pass's
+  registry delta and trace), and asserts
+
+      instrument_updates x disabled_per_call_cost < 2% of workload time.
+
+Run:  PYTHONPATH=src python benchmarks/obs_smoke.py [--guard]
+"""
+
+import random
+import sys
+import time
+
+from repro import obs
+from repro.core import DataOwner, Dataset, QueryUser, Record
+from repro.core.messages import SPServer
+from repro.crypto import simulated
+from repro.index import Domain
+from repro.net import (
+    STATS_REQUEST,
+    FakeClock,
+    LoopbackTransport,
+    ResilientClient,
+    ResilientSPServer,
+    RetryPolicy,
+    decode_stats_response,
+    frame,
+    unframe,
+)
+from repro.obs.metrics import parse_exposition, registry, render_prometheus
+from repro.policy import RoleUniverse, parse_policy
+
+EXPECTED_SPANS = (
+    "client.query", "client.attempt", "server.handle_frame",
+    "sp.handle", "sp.query", "engine.traverse", "engine.materialize",
+)
+OVERHEAD_BUDGET = 0.02
+
+
+def build_stack(seed=7):
+    rng = random.Random(seed)
+    group = simulated()
+    universe = RoleUniverse(["analyst", "manager", "auditor"])
+    table = Dataset(Domain.of((0, 31)))
+    table.add(Record((4,), b"quarterly forecast", parse_policy("analyst or manager")))
+    table.add(Record((11,), b"salary table", parse_policy("manager")))
+    table.add(Record((18,), b"audit trail", parse_policy("auditor and manager")))
+    owner = DataOwner(group, universe, rng=rng)
+    provider = owner.outsource({"docs": table})
+    user = QueryUser(group, universe, owner.register_user(["analyst"]))
+    server = ResilientSPServer(SPServer(provider, rng=rng))
+    transport = LoopbackTransport(server.handle_frame)
+    client = ResilientClient(
+        user, transport, policy=RetryPolicy(max_attempts=6),
+        clock=FakeClock(), rng=random.Random(seed + 1),
+    )
+    return client, transport
+
+
+def smoke() -> int:
+    if not obs.enabled():
+        print("FAIL: smoke mode needs REPRO_OBS=1", file=sys.stderr)
+        return 1
+    obs.reset_for_tests()
+    client, transport = build_stack()
+    records = client.query_range("docs", (0,), (31,), encrypt=False)
+    assert records, "query returned no accessible records"
+
+    trace = obs.tracer().last_trace()
+    assert trace is not None, "no finished trace"
+    names = trace.span_names()
+    missing = [n for n in EXPECTED_SPANS if n not in names]
+    assert not missing, f"trace is missing spans {missing}; got {names}"
+    ids = {s.trace_id for s in trace.iter_spans()}
+    assert ids == {trace.trace_id}, f"trace ids not correlated: {ids}"
+
+    snapshot = registry().snapshot()
+    group_ops = [k for k in snapshot if k.startswith("repro_group_ops_total|")]
+    assert group_ops, "no group-operation counters were fed"
+
+    parsed = parse_exposition(render_prometheus())  # raises on lint failure
+    response = transport.round_trip(frame(bytes(range(16)), STATS_REQUEST))
+    wire_parsed = parse_exposition(decode_stats_response(unframe(response)[1]))
+    assert wire_parsed["repro_server_scrapes_total"] == 1
+
+    print(f"obs smoke OK: {len(names)} spans in one trace, "
+          f"{len(group_ops)} group-op series, "
+          f"{len(parsed)} exposition samples lint clean")
+    return 0
+
+
+def _time_workload(client, repeats=5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        client.query_range("docs", (0,), (31,), encrypt=False)
+        client.query_equality("docs", (4,), encrypt=False)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _disabled_per_call_cost() -> float:
+    counter = registry().counter("obs_guard_probe_total", labelnames=("kind",))
+    hist = registry().histogram("obs_guard_probe_seconds")
+    iterations = 50_000
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        with obs.span("guard.probe", kind="x"):
+            counter.inc(kind="x")
+            hist.observe(0.001)
+    # Three instrument touches per iteration: one span, two mutators.
+    return (time.perf_counter() - t0) / (3 * iterations)
+
+
+def guard() -> int:
+    if obs.enabled():
+        print("FAIL: guard mode needs REPRO_OBS=0", file=sys.stderr)
+        return 1
+    client, _ = build_stack()
+    _time_workload(client, repeats=1)  # warm the APS/auth pools once
+    disabled_time = _time_workload(client)
+
+    # Count instrument updates in one workload pass with the gate on.
+    obs.set_enabled(True)
+    obs.reset_for_tests()
+    window = registry().window()
+    traces_before = len(obs.tracer().traces())
+    _time_workload(client, repeats=1)
+    updates = sum(
+        int(v) for k, v in window.delta().items()
+        if "|le=" not in k and not k.endswith("|sum")
+    )
+    spans = sum(
+        len(t.span_names())
+        for t in obs.tracer().traces()[traces_before:]
+    )
+    obs.set_enabled(False)
+
+    per_call = _disabled_per_call_cost()
+    cost = (updates + spans) * per_call
+    fraction = cost / disabled_time
+    print(f"obs overhead guard: {updates} metric updates + {spans} spans "
+          f"x {per_call * 1e9:.0f}ns disabled cost = {cost * 1e6:.1f}µs "
+          f"per pass ({fraction:.3%} of {disabled_time * 1e3:.1f}ms)")
+    if fraction >= OVERHEAD_BUDGET:
+        print(f"FAIL: disabled-mode instrumentation cost {fraction:.2%} "
+              f">= {OVERHEAD_BUDGET:.0%} budget", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(guard() if "--guard" in sys.argv[1:] else smoke())

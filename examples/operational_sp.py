@@ -9,7 +9,9 @@ This example runs a full lifecycle:
 3. the SP serves repeated queries with the APS cache;
 4. the DO applies live updates — including a zero-knowledge delete —
    re-signing only O(log n) nodes;
-5. freshness tokens stop the SP from replaying the pre-update snapshot.
+5. freshness tokens stop the SP from replaying the pre-update snapshot;
+6. the operator scrapes the observability registry (the same Prometheus
+   text a framed ``STATS_REQUEST`` returns over the wire).
 
 Run:  python examples/operational_sp.py
 """
@@ -89,3 +91,17 @@ try:
     raise SystemExit("BUG: stale token accepted")
 except VerificationError as exc:
     print(f"[user] stale snapshot rejected: {exc}")
+
+# -- 6. scrape the metrics registry ------------------------------------------
+from repro import obs  # noqa: E402
+
+if obs.enabled():
+    scrape = obs.format_metrics()
+    interesting = [line for line in scrape.splitlines()
+                   if line.startswith(("repro_index_", "repro_group_ops_"))]
+    print(f"[ops] scrape: {len(scrape.splitlines())} exposition lines; "
+          f"index/group-op series:")
+    for line in interesting[:6]:
+        print(f"      {line}")
+else:
+    print("[ops] observability disabled (REPRO_OBS=0); no scrape")

@@ -68,7 +68,7 @@ for i in range(12):
     records = client.query_range("ledger", (0,), (63,), encrypt=False)
     if sorted(r.value for r in records) != expected:
         raise SystemExit("BUG: verified result differs from ground truth")
-stats = client.stats
+stats = client.counters
 print(f"[client] {stats.requests} queries verified over a lossy link: "
       f"{stats.attempts} attempts, {stats.retries} retries")
 print(f"[client] faults survived: {stats.decode_failures} undecodable "
@@ -94,6 +94,6 @@ try:
     raise SystemExit("BUG: a tampered response was accepted as verified")
 except ReproError as exc:
     print(f"[client] every forged response rejected "
-          f"({victim.stats.verification_failures} verification failures): "
+          f"({victim.counters.verification_failures} verification failures): "
           f"{type(exc).__name__}")
 print("[client] availability degraded; soundness never did")

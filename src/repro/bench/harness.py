@@ -24,6 +24,8 @@ from repro.core.verifier import verify_join_vo, verify_vo
 from repro.crypto import get_backend
 from repro.index.boxes import Box, Domain
 from repro.index.gridtree import APGTree
+from repro.obs import metrics as _obs_metrics
+from repro.obs import trace as _obs_trace
 from repro.policy.policygen import (
     PolicyGenerator,
     PolicyWorkload,
@@ -52,6 +54,12 @@ class QueryCost:
     ``traversal_seconds`` (crypto-free tree walk) vs. ``relax_seconds``
     (APS materialization, across ``workers`` threads), plus the APS
     cache hits the materializer scored.
+
+    ``registry_delta`` is the measurement's view over the global obs
+    registry (:mod:`repro.obs.metrics`): every counter that moved during
+    the measured query, keyed by its exposition name.  Empty when
+    ``REPRO_OBS=0`` — the wall-clock and op-count fields above are
+    always-on and remain the primary record.
     """
 
     sp_seconds: float = 0.0
@@ -66,6 +74,7 @@ class QueryCost:
     relax_seconds: float = 0.0
     workers: int = 1
     aps_cache_hits: float = 0.0
+    registry_delta: dict = field(default_factory=dict)
 
     def add(self, other: "QueryCost") -> None:
         self.sp_seconds += other.sp_seconds
@@ -80,6 +89,7 @@ class QueryCost:
         self.relax_seconds += other.relax_seconds
         self.workers = max(self.workers, other.workers)
         self.aps_cache_hits += other.aps_cache_hits
+        _merge_ops(self.registry_delta, other.registry_delta)
 
     def averaged(self) -> "QueryCost":
         n = max(1, self.queries)
@@ -96,6 +106,7 @@ class QueryCost:
             relax_seconds=self.relax_seconds / n,
             workers=self.workers,
             aps_cache_hits=self.aps_cache_hits / n,
+            registry_delta={k: v / n for k, v in self.registry_delta.items()},
         )
 
 
@@ -195,21 +206,24 @@ def measure_range(
             auth = _reduced_auth(setup, missing)
     stats = auth.group.stats
     before = stats.snapshot()
-    t0 = time.perf_counter()
-    vo, estats = execute(
-        "range",
-        lambda: traverse(tree, query, setup.user_roles),
-        auth, setup.user_roles, setup.rng, workers,
-    )
-    sp = time.perf_counter() - t0
-    sp_ops = stats.delta(before)
-    data = vo.to_bytes()
-    user_ops: dict = {}
-    t0 = time.perf_counter()
-    records = verify_vo(
-        vo, setup.authenticator, query, setup.user_roles, missing, collect_ops=user_ops
-    )
-    user = time.perf_counter() - t0
+    window = _obs_metrics.registry().window()
+    with _obs_trace.span("bench.measure_range", workers=workers):
+        t0 = time.perf_counter()
+        vo, estats = execute(
+            "range",
+            lambda: traverse(tree, query, setup.user_roles),
+            auth, setup.user_roles, setup.rng, workers,
+        )
+        sp = time.perf_counter() - t0
+        sp_ops = stats.delta(before)
+        data = vo.to_bytes()
+        user_ops: dict = {}
+        t0 = time.perf_counter()
+        records = verify_vo(
+            vo, setup.authenticator, query, setup.user_roles, missing,
+            collect_ops=user_ops,
+        )
+        user = time.perf_counter() - t0
     return QueryCost(
         sp_seconds=sp,
         user_seconds=user,
@@ -223,6 +237,7 @@ def measure_range(
         relax_seconds=estats.relax_ms / 1000.0,
         workers=estats.workers,
         aps_cache_hits=estats.aps_cache_hits,
+        registry_delta=window.delta(),
     )
 
 
@@ -241,6 +256,7 @@ def measure_join(
         auth = _reduced_auth(setup, missing)
     stats = auth.group.stats
     before = stats.snapshot()
+    window = _obs_metrics.registry().window()
     if method == "tree":
         t0 = time.perf_counter()
         vo, estats = execute(
@@ -304,6 +320,7 @@ def measure_join(
         relax_seconds=estats.relax_ms / 1000.0,
         workers=estats.workers,
         aps_cache_hits=estats.aps_cache_hits,
+        registry_delta=window.delta(),
     )
 
 

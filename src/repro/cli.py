@@ -7,7 +7,9 @@ Commands:
 * ``bench``  — run experiment drivers (same as ``python -m repro.bench``);
 * ``stats``  — build the default workload's AP2G-tree and print index
   statistics (Table 1 style) for a chosen scale;
-* ``selftest`` — exercise sign/relax/verify on both crypto backends.
+* ``selftest`` — exercise sign/relax/verify on both crypto backends;
+* ``obs``    — run one resilient client/server query with observability
+  on and render the correlated trace tree plus the metrics scrape.
 """
 
 from __future__ import annotations
@@ -105,6 +107,57 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.core import DataOwner, Dataset, QueryUser, Record
+    from repro.core.messages import SPServer
+    from repro.crypto import get_backend
+    from repro.index import Domain
+    from repro.net import (
+        FakeClock,
+        FaultyTransport,
+        LoopbackTransport,
+        ResilientClient,
+        ResilientSPServer,
+        RetryPolicy,
+    )
+    from repro.policy import RoleUniverse, parse_policy
+
+    if not obs.enabled():
+        print("observability is disabled (REPRO_OBS=0); nothing to show",
+              file=sys.stderr)
+        return 1
+    rng = random.Random(args.seed)
+    group = get_backend(args.backend)
+    universe = RoleUniverse(["analyst", "manager", "auditor"])
+    table = Dataset(Domain.of((0, 31)))
+    table.add(Record((4,), b"quarterly forecast", parse_policy("analyst or manager")))
+    table.add(Record((11,), b"salary table", parse_policy("manager")))
+    table.add(Record((18,), b"audit trail", parse_policy("auditor and manager")))
+    owner = DataOwner(group, universe, rng=rng)
+    provider = owner.outsource({"docs": table})
+    user = QueryUser(group, universe, owner.register_user(["analyst"]))
+    server = ResilientSPServer(SPServer(provider, rng=rng))
+    clock = FakeClock()
+    transport: object = LoopbackTransport(server.handle_frame)
+    if args.fault_rate > 0:
+        transport = FaultyTransport(
+            transport, rng=random.Random(args.seed + 1),
+            rates={"bitflip": args.fault_rate}, clock=clock,
+        )
+    client = ResilientClient(
+        user, transport,
+        policy=RetryPolicy(max_attempts=6), clock=clock,
+        rng=random.Random(args.seed + 2),
+    )
+    records = client.query_range("docs", (0,), (31,), encrypt=False)
+    print(f"verified {len(records)} accessible record(s)\n")
+    print(obs.format_trace(obs.tracer().last_trace().to_dict()))
+    print()
+    print(obs.format_metrics(), end="")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -129,6 +182,13 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("selftest", help="sign/relax/verify on both backends")
     p.set_defaults(func=_cmd_selftest)
+
+    p = sub.add_parser("obs", help="trace one resilient query and print the scrape")
+    p.add_argument("--backend", default="simulated", choices=["simulated", "bn254"])
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--fault-rate", type=float, default=0.0,
+                   help="bitflip injection rate, to demo retry spans (default 0)")
+    p.set_defaults(func=_cmd_obs)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -48,8 +48,32 @@ from repro.core.vo import (
 from repro.errors import ReproError, WorkloadError
 from repro.index.boxes import Box, Point
 from repro.index.gridtree import APGTree, IndexNode
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.parallel import parallel_map
 from repro.policy.boolexpr import BoolExpr
+
+_REG = _metrics.registry()
+_M_TASKS = _REG.counter(
+    "repro_engine_tasks_total", "Proof tasks materialized, by task kind.",
+    labelnames=("kind",),
+)
+_M_RELAX = _REG.counter(
+    "repro_engine_relax_calls_total", "ABS.Relax derivations actually performed.",
+)
+_M_APS_CACHE = _REG.counter(
+    "repro_engine_aps_cache_total", "APS cache lookups by outcome.",
+    labelnames=("outcome",),
+)
+_M_PHASE = _REG.histogram(
+    "repro_engine_phase_seconds", "Engine phase wall time.",
+    labelnames=("phase",),
+)
+_M_GROUP_OPS = _REG.counter(
+    "repro_group_ops_total",
+    "Group operations charged to engine materialization, by backend and op.",
+    labelnames=("backend", "op"),
+)
 
 #: Task kinds (also the keys of :attr:`EngineStats.tasks`).
 ACCESSIBLE_RECORD = "accessible_record"
@@ -461,24 +485,49 @@ def materialize(
     if stats is None:
         stats = EngineStats(workers=workers)
     stats.workers = workers
+    call_tasks = {kind: 0 for kind in TASK_KINDS}
+    for task in tasks:
+        call_tasks[task.kind] = call_tasks.get(task.kind, 0) + 1
     for kind in TASK_KINDS:
         stats.tasks[kind] = stats.tasks.get(kind, 0)
-    for task in tasks:
-        stats.tasks[task.kind] = stats.tasks.get(task.kind, 0) + 1
+    for kind, count in call_tasks.items():
+        stats.tasks[kind] = stats.tasks.get(kind, 0) + count
     hits0 = authenticator.aps_cache_hits
     misses0 = authenticator.aps_cache_misses
+    relax0 = stats.relax_calls
     ops_before = authenticator.group.stats.snapshot()
     t0 = time.perf_counter()
-    if workers == 1:
-        entries = _materialize_serial(tasks, authenticator, user_roles, rng, stats)
-    else:
-        entries = _materialize_parallel(tasks, authenticator, user_roles, rng, workers, stats)
-    stats.relax_ms += (time.perf_counter() - t0) * 1000.0
-    stats.aps_cache_hits += authenticator.aps_cache_hits - hits0
-    stats.aps_cache_misses += authenticator.aps_cache_misses - misses0
+    with _trace.span("engine.materialize", workers=workers) as mat_span:
+        if workers == 1:
+            entries = _materialize_serial(tasks, authenticator, user_roles, rng, stats)
+        else:
+            entries = _materialize_parallel(
+                tasks, authenticator, user_roles, rng, workers, stats
+            )
+        mat_span.set_attributes(
+            tasks=len(tasks), relax_calls=stats.relax_calls - relax0
+        )
+    elapsed = time.perf_counter() - t0
+    stats.relax_ms += elapsed * 1000.0
+    relaxed_hits = authenticator.aps_cache_hits - hits0
+    relaxed_misses = authenticator.aps_cache_misses - misses0
+    stats.aps_cache_hits += relaxed_hits
+    stats.aps_cache_misses += relaxed_misses
+    backend = getattr(authenticator.group, "name", type(authenticator.group).__name__)
     for key, value in authenticator.group.stats.delta(ops_before).items():
         if value:
             stats.group_ops[key] = stats.group_ops.get(key, 0) + value
+            _M_GROUP_OPS.inc(value, backend=backend, op=key)
+    for kind, count in call_tasks.items():
+        if count:
+            _M_TASKS.inc(count, kind=kind)
+    if stats.relax_calls > relax0:
+        _M_RELAX.inc(stats.relax_calls - relax0)
+    if relaxed_hits:
+        _M_APS_CACHE.inc(relaxed_hits, outcome="hit")
+    if relaxed_misses:
+        _M_APS_CACHE.inc(relaxed_misses, outcome="miss")
+    _M_PHASE.observe(elapsed, phase="materialize")
     return VerificationObject(entries=entries)
 
 
@@ -497,7 +546,11 @@ def execute(
     """
     stats = EngineStats(kind=kind, workers=workers)
     t0 = time.perf_counter()
-    tasks = traversal()
-    stats.traversal_ms = (time.perf_counter() - t0) * 1000.0
+    with _trace.span("engine.traverse", kind=kind) as trav_span:
+        tasks = traversal()
+        trav_span.set_attribute("tasks", len(tasks))
+    elapsed = time.perf_counter() - t0
+    stats.traversal_ms = elapsed * 1000.0
+    _M_PHASE.observe(elapsed, phase="traverse")
     vo = materialize(tasks, authenticator, user_roles, rng, workers, stats)
     return vo, stats

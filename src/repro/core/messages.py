@@ -32,6 +32,7 @@ from repro.core.vo import VerificationObject, _Reader, _encode_bytes, _encode_po
 from repro.crypto.group import G1, G2, GT, BilinearGroup
 from repro.errors import DeserializationError, PolicyError, WorkloadError
 from repro.index.boxes import Box
+from repro.obs import trace as _trace
 from repro.policy.boolexpr import parse_policy
 
 _REQ_MAGIC = b"QRY\x01"
@@ -276,6 +277,10 @@ class SPServer:
     def handle(self, request_bytes: bytes) -> bytes:
         """Parse, dispatch, and encode — the full SP request loop."""
         request = QueryRequest.from_bytes(request_bytes)
+        with _trace.span("sp.handle", kind=request.kind, table=request.table):
+            return self._dispatch(request)
+
+    def _dispatch(self, request: "QueryRequest") -> bytes:
         if request.kind == "equality":
             response = self.provider.equality_query(
                 request.table, request.lo, request.roles,

@@ -40,7 +40,23 @@ from repro.crypto.group import BilinearGroup
 from repro.errors import ReproError, WorkloadError
 from repro.index.boxes import Box, Point
 from repro.index.gridtree import APGTree
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.policy.roles import RoleHierarchy, RoleUniverse
+
+_REG = _metrics.registry()
+_M_AUTH_POOL = _REG.counter(
+    "repro_sp_auth_pool_total",
+    "Authenticator pool lookups by outcome (hit / miss / evicted).",
+    labelnames=("outcome",),
+)
+_M_AUTH_POOL_SIZE = _REG.gauge(
+    "repro_sp_auth_pool_size", "Authenticators currently pooled.",
+)
+_M_QUERIES = _REG.counter(
+    "repro_sp_queries_total", "Queries executed by the SP engine.",
+    labelnames=("kind",),
+)
 
 
 @dataclass
@@ -242,6 +258,7 @@ class ServiceProvider:
         pool = self._auth_pool
         authenticator = pool.get(missing)
         if authenticator is None:
+            _M_AUTH_POOL.inc(outcome="miss")
             authenticator = AppAuthenticator(
                 self.group, self.universe, self.authenticator.mvk,
                 missing_override=list(missing),
@@ -251,8 +268,11 @@ class ServiceProvider:
             pool[missing] = authenticator
             if len(pool) > self._auth_pool_size:
                 pool.popitem(last=False)
+                _M_AUTH_POOL.inc(outcome="evicted")
         else:
+            _M_AUTH_POOL.inc(outcome="hit")
             pool.move_to_end(missing)
+        _M_AUTH_POOL_SIZE.set(len(pool))
         return authenticator
 
     def _respond(
@@ -272,16 +292,25 @@ class ServiceProvider:
 
     def _execute(self, kind, traversal, roles, rng, workers) -> tuple:
         """Validate roles, pick the pooled authenticator, run both phases."""
-        authenticator = self.authenticator_for(roles)
-        user_roles = self.universe.validate_user_roles(roles)
-        return execute(
-            kind,
-            traversal(user_roles),
-            authenticator,
-            user_roles,
-            rng,
-            self.workers if workers is None else workers,
-        )
+        effective_workers = self.workers if workers is None else workers
+        with _trace.span("sp.query", kind=kind, workers=effective_workers) as sp_span:
+            _M_QUERIES.inc(kind=kind)
+            authenticator = self.authenticator_for(roles)
+            user_roles = self.universe.validate_user_roles(roles)
+            vo, stats = execute(
+                kind,
+                traversal(user_roles),
+                authenticator,
+                user_roles,
+                rng,
+                effective_workers,
+            )
+            if stats is not None:
+                sp_span.set_attributes(
+                    tasks=stats.total_tasks, relax_calls=stats.relax_calls,
+                    aps_cache_hits=stats.aps_cache_hits,
+                )
+            return vo, stats
 
     # -- queries -------------------------------------------------------------
     def equality_query(

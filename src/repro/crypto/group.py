@@ -81,6 +81,21 @@ class GroupOpStats:
     def delta(self, before: dict[str, int]) -> dict[str, int]:
         return {name: getattr(self, name) - before.get(name, 0) for name in self.__slots__}
 
+    def merge(self, other) -> None:
+        """Add another instance's (or snapshot dict's) counts into this one.
+
+        The merge partner for per-thread deltas: workers accumulate into
+        private instances and the dispatcher folds them back in, so the
+        totals match a serial run of the same workload exactly.
+        """
+        if isinstance(other, GroupOpStats):
+            other = other.snapshot()
+        for name in self.__slots__:
+            value = other.get(name, 0)
+            if value < 0:
+                raise CryptoError(f"negative stat {name!r} in merge: {value}")
+            setattr(self, name, getattr(self, name) + value)
+
 
 class GroupElement:
     """Immutable element of G1, G2, or GT of some backend."""

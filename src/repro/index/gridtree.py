@@ -33,8 +33,21 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.app_signature import AppSigner
 from repro.errors import WorkloadError
 from repro.index.boxes import Box, Domain, Point
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.obs.trace import Stopwatch
 from repro.policy.boolexpr import BoolExpr, Or
 from repro.policy.dnf import from_dnf, to_dnf
+
+_REG = _metrics.registry()
+_M_BUILDS = _REG.counter(
+    "repro_index_builds_total", "ADS builds, by tree flavour.",
+    labelnames=("tree",),
+)
+_M_NODES = _REG.counter(
+    "repro_index_nodes_signed_total", "Nodes signed during ADS builds.",
+    labelnames=("tree",),
+)
 
 
 @dataclass
@@ -113,8 +126,6 @@ class APGTree:
         node policies (ablation: span programs then grow with subtree
         size instead of with the number of distinct policies).
         """
-        import time
-
         stats = TreeStats(num_real_records=len(dataset))
 
         def children_of(box: Box) -> list[Box]:
@@ -134,32 +145,38 @@ class APGTree:
                         rng.getrandbits(256).to_bytes(32, "big") if rng is not None else None
                     )
                     record = make_pseudo_record(key, seed_bytes)
-                t0 = time.perf_counter()
-                sig = signer.sign_record(record, rng)
-                stats.sign_seconds += time.perf_counter() - t0
+                with Stopwatch() as sw:
+                    sig = signer.sign_record(record, rng)
+                stats.sign_seconds += sw.elapsed
                 stats.num_nodes += 1
                 stats.num_leaves += 1
                 node = IndexNode(box=box, policy=record.policy, signature=sig, record=record)
                 stats.signature_bytes += sig.byte_size()
                 stats.structure_bytes += node.structure_bytes()
                 return node
-            t0 = time.perf_counter()
-            children = tuple(build_box(child) for child in children_of(box))
-            if simplify_policies:
-                policy = simplify_policy_union([c.policy for c in children])
-            else:
-                policy = Or.of(*[c.policy for c in children])
-            stats.structure_seconds += time.perf_counter() - t0
-            t0 = time.perf_counter()
-            sig = signer.sign_node(box, policy, rng)
-            stats.sign_seconds += time.perf_counter() - t0
+            with Stopwatch() as sw:
+                children = tuple(build_box(child) for child in children_of(box))
+                if simplify_policies:
+                    policy = simplify_policy_union([c.policy for c in children])
+                else:
+                    policy = Or.of(*[c.policy for c in children])
+            stats.structure_seconds += sw.elapsed
+            with Stopwatch() as sw:
+                sig = signer.sign_node(box, policy, rng)
+            stats.sign_seconds += sw.elapsed
             stats.num_nodes += 1
             node = IndexNode(box=box, policy=policy, signature=sig, children=children)
             stats.signature_bytes += sig.byte_size()
             stats.structure_bytes += node.structure_bytes()
             return node
 
-        root = build_box(dataset.domain.box)
+        with _trace.span("index.build", kind="gridtree") as build_span:
+            root = build_box(dataset.domain.box)
+            build_span.set_attributes(
+                nodes=stats.num_nodes, leaves=stats.num_leaves,
+            )
+        _M_BUILDS.inc(tree="gridtree")
+        _M_NODES.inc(stats.num_nodes, tree="gridtree")
         return cls(root=root, domain=dataset.domain, stats=stats)
 
     # ------------------------------------------------------------------

@@ -32,7 +32,16 @@ from typing import TYPE_CHECKING, Optional, Sequence
 from repro.core.records import Dataset, Record
 from repro.errors import WorkloadError
 from repro.index.boxes import Box
-from repro.index.gridtree import APGTree, IndexNode, TreeStats, simplify_policy_union
+from repro.index.gridtree import (
+    _M_BUILDS,
+    _M_NODES,
+    APGTree,
+    IndexNode,
+    TreeStats,
+    simplify_policy_union,
+)
+from repro.obs import trace as _trace
+from repro.obs.trace import Stopwatch
 from repro.policy.boolexpr import Attr, BoolExpr
 from repro.policy.dnf import to_dnf
 from repro.policy.roles import PSEUDO_ROLE
@@ -102,16 +111,14 @@ class APKDTree(APGTree):
         signer: "AppSigner",
         rng: Optional[random.Random] = None,
     ) -> "APKDTree":
-        import time
-
         stats = TreeStats(num_real_records=len(dataset))
         pseudo_policy: BoolExpr = Attr(PSEUDO_ROLE)
         depth_cap = max(1, math.ceil(math.log2(max(2, dataset.domain.size()))))
 
         def sign_region(box: Box, policy: BoolExpr) -> "object":
-            t0 = time.perf_counter()
-            sig = signer.sign_node(box, policy, rng)
-            stats.sign_seconds += time.perf_counter() - t0
+            with Stopwatch() as sw:
+                sig = signer.sign_node(box, policy, rng)
+            stats.sign_seconds += sw.elapsed
             return sig
 
         def make_leaf(box: Box, record: Optional[Record]) -> IndexNode:
@@ -121,18 +128,18 @@ class APKDTree(APGTree):
                 sig = sign_region(box, pseudo_policy)
                 node = IndexNode(box=box, policy=pseudo_policy, signature=sig)
             else:
-                t0 = time.perf_counter()
-                sig = signer.sign_record(record, rng)
-                stats.sign_seconds += time.perf_counter() - t0
+                with Stopwatch() as sw:
+                    sig = signer.sign_record(record, rng)
+                stats.sign_seconds += sw.elapsed
                 node = IndexNode(box=box, policy=record.policy, signature=sig, record=record)
             stats.signature_bytes += node.signature.byte_size()
             stats.structure_bytes += node.structure_bytes()
             return node
 
         def make_internal(box: Box, children: tuple[IndexNode, ...]) -> IndexNode:
-            t0 = time.perf_counter()
-            policy = simplify_policy_union([c.policy for c in children])
-            stats.structure_seconds += time.perf_counter() - t0
+            with Stopwatch() as sw:
+                policy = simplify_policy_union([c.policy for c in children])
+            stats.structure_seconds += sw.elapsed
             sig = sign_region(box, policy)
             stats.num_nodes += 1
             node = IndexNode(box=box, policy=policy, signature=sig, children=children)
@@ -201,5 +208,11 @@ class APKDTree(APGTree):
             )
             return make_internal(box, children)
 
-        root = build_box(dataset.domain.box, list(dataset), 0)
+        with _trace.span("index.build", kind="kdtree") as build_span:
+            root = build_box(dataset.domain.box, list(dataset), 0)
+            build_span.set_attributes(
+                nodes=stats.num_nodes, leaves=stats.num_leaves,
+            )
+        _M_BUILDS.inc(tree="kdtree")
+        _M_NODES.inc(stats.num_nodes, tree="kdtree")
         return cls(root=root, domain=dataset.domain, stats=stats)

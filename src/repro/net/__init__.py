@@ -24,13 +24,20 @@ tampered result as verified.  See ``docs/OPERATIONS.md``.
 
 from repro.net.client import CircuitBreaker, ClientStats, ResilientClient, RetryPolicy
 from repro.net.faults import FAULT_KINDS, FaultyTransport
-from repro.net.server import ResilientSPServer
+from repro.net.server import (
+    STATS_REQUEST,
+    STATS_RESPONSE,
+    ResilientSPServer,
+    decode_stats_response,
+)
 from repro.net.transport import (
     REQUEST_ID_BYTES,
     Clock,
     FakeClock,
     LoopbackTransport,
     Transport,
+    embed_trace_id,
+    extract_trace_id,
     frame,
     unframe,
 )
@@ -43,11 +50,16 @@ __all__ = [
     "FAULT_KINDS",
     "FaultyTransport",
     "ResilientSPServer",
+    "STATS_REQUEST",
+    "STATS_RESPONSE",
+    "decode_stats_response",
     "REQUEST_ID_BYTES",
     "Clock",
     "FakeClock",
     "LoopbackTransport",
     "Transport",
+    "embed_trace_id",
+    "extract_trace_id",
     "frame",
     "unframe",
 ]

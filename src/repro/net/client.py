@@ -49,7 +49,42 @@ from repro.errors import (
     VerificationError,
     WorkloadError,
 )
-from repro.net.transport import REQUEST_ID_BYTES, Clock, Transport, frame, unframe
+from repro.net.transport import (
+    REQUEST_ID_BYTES,
+    Clock,
+    Transport,
+    embed_trace_id,
+    frame,
+    unframe,
+)
+from repro.obs import logging as _obslog
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+
+_REG = _metrics.registry()
+_M_REQUESTS = _REG.counter(
+    "repro_client_requests_total", "Logical queries issued by ResilientClient.",
+    labelnames=("kind",),
+)
+_M_ATTEMPTS = _REG.counter(
+    "repro_client_attempts_total", "Wire attempts (first tries plus retries).",
+)
+_M_RETRIES = _REG.counter(
+    "repro_client_retries_total", "Attempts beyond the first per logical query.",
+)
+_M_OUTCOMES = _REG.counter(
+    "repro_client_outcomes_total", "Logical query outcomes.",
+    labelnames=("outcome",),
+)
+_M_ATTEMPT_ERRORS = _REG.counter(
+    "repro_client_attempt_errors_total", "Failed attempts by error class.",
+    labelnames=("class",),
+)
+_M_BREAKER = _REG.counter(
+    "repro_client_breaker_transitions_total",
+    "Circuit breaker state transitions.", labelnames=("to",),
+)
+_LOG = _obslog.get_logger("client")
 
 
 @dataclass(frozen=True)
@@ -108,12 +143,16 @@ class CircuitBreaker:
         return self.state != "open"
 
     def record_success(self) -> None:
+        if self._opened_at is not None:
+            _M_BREAKER.inc(to="closed")
         self.failures = 0
         self._opened_at = None
 
     def record_failure(self) -> None:
         self.failures += 1
         if self.failures >= self.failure_threshold:
+            if self._opened_at is None:
+                _M_BREAKER.inc(to="open")
             self._opened_at = self.clock.now()
 
 
@@ -157,7 +196,29 @@ class ResilientClient:
         self.clock = clock or Clock()
         self.breaker = breaker or CircuitBreaker(clock=self.clock)
         self.rng = rng or random.Random()
-        self.stats = ClientStats()
+        self.counters = ClientStats()
+
+    def stats(self) -> dict:
+        """One operational snapshot: counters, breaker state, obs registry.
+
+        The ``registry`` section is the client-side slice of the global
+        metrics registry (empty when ``REPRO_OBS=0``); ``counters`` and
+        ``breaker`` are always live.
+        """
+        snapshot = _metrics.registry().snapshot()
+        return {
+            "counters": self.counters.as_dict(),
+            "breaker": {
+                "state": self.breaker.state,
+                "consecutive_failures": self.breaker.failures,
+                "failure_threshold": self.breaker.failure_threshold,
+                "reset_timeout": self.breaker.reset_timeout,
+            },
+            "registry": {
+                key: value for key, value in snapshot.items()
+                if key.startswith("repro_client_")
+            },
+        }
 
     # -- public queries ------------------------------------------------------
     def query_equality(self, table: str, key, encrypt: bool = True):
@@ -183,13 +244,22 @@ class ResilientClient:
 
     # -- the retry loop ------------------------------------------------------
     def _execute(self, request: QueryRequest, verify: Callable):
+        with _trace.span(
+            "client.query", kind=request.kind, table=request.table
+        ) as query_span:
+            return self._execute_traced(request, verify, query_span)
+
+    def _execute_traced(self, request: QueryRequest, verify: Callable, query_span):
         if not self.breaker.allow():
-            self.stats.breaker_rejections += 1
+            self.counters.breaker_rejections += 1
+            _M_OUTCOMES.inc(outcome="breaker_rejected")
+            _LOG.warning("breaker_rejected", kind=request.kind, table=request.table)
             raise CircuitOpenError(
                 f"circuit open after {self.breaker.failures} consecutive "
                 f"failures; retry after {self.breaker.reset_timeout}s"
             )
-        self.stats.requests += 1
+        self.counters.requests += 1
+        _M_REQUESTS.inc(kind=request.kind)
         payload = request.to_bytes()
         start = self.clock.now()
         last_error: Optional[ReproError] = None
@@ -197,18 +267,26 @@ class ResilientClient:
             if self._expired(start):
                 break
             if attempt:
-                self.stats.retries += 1
-            self.stats.attempts += 1
+                self.counters.retries += 1
+                _M_RETRIES.inc()
+            self.counters.attempts += 1
+            _M_ATTEMPTS.inc()
             try:
-                result = self._attempt(payload, verify)
+                with _trace.span("client.attempt", attempt=attempt):
+                    result = self._attempt(payload, verify)
             except WorkloadError:
                 # Deterministic rejection: the query itself is wrong.
                 # Not an SP failure — the breaker does not count it.
-                self.stats.failures += 1
+                self.counters.failures += 1
+                _M_OUTCOMES.inc(outcome="workload_rejected")
                 raise
             except _RETRYABLE as exc:
                 last_error = exc
                 self._classify(exc)
+                _LOG.warning(
+                    "attempt_failed", attempt=attempt,
+                    error=type(exc).__name__,
+                )
                 self.clock.sleep(self._bounded_backoff(attempt, start))
                 continue
             if self._expired(start):
@@ -216,32 +294,46 @@ class ResilientClient:
                 # contract says the caller has moved on.
                 break
             self.breaker.record_success()
+            query_span.set_attributes(attempts=attempt + 1, outcome="verified")
+            _M_OUTCOMES.inc(outcome="verified")
             return result
-        self.stats.failures += 1
+        self.counters.failures += 1
         self.breaker.record_failure()
+        _M_OUTCOMES.inc(outcome="failed")
+        query_span.set_attribute("outcome", "failed")
+        _LOG.error(
+            "query_failed", kind=request.kind, table=request.table,
+            last_error=type(last_error).__name__ if last_error else None,
+        )
         if self._expired(start):
             raise DeadlineExceededError(
                 f"deadline of {self.policy.deadline}s exceeded after "
-                f"{self.stats.attempts} attempt(s)"
+                f"{self.counters.attempts} attempt(s)"
             ) from last_error
         raise last_error if last_error is not None else TransportError(
             "request failed before any attempt was made"
         )
 
     def _attempt(self, payload: bytes, verify: Callable):
+        # Always draw the full 128 bits (a stable rng-stream contract the
+        # deterministic backoff/deadline tests rely on), then stamp the
+        # active trace id over the first 8 bytes for wire correlation.
         request_id = self.rng.getrandbits(8 * REQUEST_ID_BYTES).to_bytes(
             REQUEST_ID_BYTES, "big"
         )
+        request_id = embed_trace_id(request_id, _trace.current_trace_id())
         reply = self.transport.round_trip(frame(request_id, payload))
         reply_id, body = unframe(reply)
         if reply_id != request_id:
-            self.stats.duplicates_detected += 1
+            self.counters.duplicates_detected += 1
+            _trace.add_event("duplicate_detected")
             raise TransportError(
                 "response id mismatch: duplicated or replayed frame rejected"
             )
         if is_error_frame(body):
             error = ErrorResponse.from_bytes(body)
-            self.stats.error_frames += 1
+            self.counters.error_frames += 1
+            _trace.add_event("error_frame", code=error.code)
             if error.code == ErrorResponse.WORKLOAD:
                 raise WorkloadError(f"SP rejected query: {error.message}")
             raise TransportError(f"SP error frame [{error.code}]: {error.message}")
@@ -251,11 +343,14 @@ class ResilientClient:
     # -- bookkeeping ---------------------------------------------------------
     def _classify(self, exc: ReproError) -> None:
         if isinstance(exc, DeserializationError):
-            self.stats.decode_failures += 1
+            self.counters.decode_failures += 1
+            _M_ATTEMPT_ERRORS.inc(**{"class": "decode"})
         elif isinstance(exc, TransportError):
-            self.stats.transport_errors += 1
+            self.counters.transport_errors += 1
+            _M_ATTEMPT_ERRORS.inc(**{"class": "transport"})
         else:  # VerificationError, envelope CryptoError, AccessDeniedError
-            self.stats.verification_failures += 1
+            self.counters.verification_failures += 1
+            _M_ATTEMPT_ERRORS.inc(**{"class": "verification"})
 
     def _expired(self, start: float) -> bool:
         if self.policy.deadline is None:

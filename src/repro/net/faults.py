@@ -44,8 +44,15 @@ from repro.core.vo import (
 from repro.crypto.group import BilinearGroup
 from repro.errors import ReproError, TransportError
 from repro.net.transport import Clock, Transport, frame, unframe
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 
 FAULT_KINDS = ("drop", "delay", "duplicate", "truncate", "bitflip", "tamper")
+
+_M_INJECTED = _metrics.registry().counter(
+    "repro_faults_injected_total", "Faults injected by FaultyTransport.",
+    labelnames=("kind",),
+)
 
 
 def _flip_bit(data: bytes, rng: random.Random) -> bytes:
@@ -95,27 +102,32 @@ class FaultyTransport(Transport):
                 return kind
         return None
 
+    def _record(self, kind: str) -> None:
+        self.injected[kind] += 1
+        _M_INJECTED.inc(kind=kind)
+        _trace.add_event("fault_injected", kind=kind)
+
     def round_trip(self, request_frame: bytes) -> bytes:
         fault = self._pick_fault()
         if fault == "drop":
-            self.injected["drop"] += 1
+            self._record("drop")
             raise TransportError("injected fault: request dropped")
         if fault == "duplicate" and self._last_response is not None:
-            self.injected["duplicate"] += 1
+            self._record("duplicate")
             return self._last_response
         if fault == "delay":
-            self.injected["delay"] += 1
+            self._record("delay")
             self.clock.sleep(self.delay_seconds)
         response = self.inner.round_trip(request_frame)
         self._last_response = response
         if fault == "truncate":
-            self.injected["truncate"] += 1
+            self._record("truncate")
             return response[: self.rng.randrange(len(response))]
         if fault == "bitflip":
-            self.injected["bitflip"] += 1
+            self._record("bitflip")
             return _flip_bit(response, self.rng)
         if fault == "tamper":
-            self.injected["tamper"] += 1
+            self._record("tamper")
             return self._tamper(response)
         return response
 

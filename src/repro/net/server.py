@@ -12,15 +12,54 @@ of failure occurred (``bad-frame`` / ``bad-request`` / ``workload`` /
 ``internal``) and the client decides whether that class is retryable.
 Soundness is unaffected — an ErrorResponse carries no proof, so a client
 can never be tricked into accepting one as a verified result.
+
+Two observability hooks live here:
+
+* every handled frame runs inside a ``server.handle_frame`` span that
+  adopts the trace id carried in the request id's prefix (see
+  :mod:`repro.net.transport`), so client and server spans correlate;
+* a ``stats`` request type — payload :data:`STATS_REQUEST` — answers
+  with the registry's Prometheus exposition instead of a query
+  response, giving operators a scrape endpoint over the same frames.
 """
 
 from __future__ import annotations
 
 from repro.core.messages import ErrorResponse, SPServer
 from repro.errors import DeserializationError, ReproError, WorkloadError
-from repro.net.transport import REQUEST_ID_BYTES, frame, unframe
+from repro.net.transport import (
+    REQUEST_ID_BYTES,
+    extract_trace_id,
+    frame,
+    unframe,
+)
+from repro.obs import logging as _obslog
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 
 _NULL_ID = b"\x00" * REQUEST_ID_BYTES
+
+#: Payload magic of a metrics scrape request (no body).
+STATS_REQUEST = b"STA\x01"
+#: Payload magic of a scrape response; the rest is UTF-8 exposition text.
+STATS_RESPONSE = b"STO\x01"
+
+_REG = _metrics.registry()
+_M_FRAMES = _REG.counter(
+    "repro_server_frames_total", "Frames handled by ResilientSPServer.",
+    labelnames=("outcome",),
+)
+_M_SCRAPES = _REG.counter(
+    "repro_server_scrapes_total", "Metrics scrape requests served.",
+)
+_LOG = _obslog.get_logger("server")
+
+
+def decode_stats_response(payload: bytes) -> str:
+    """The exposition text inside a :data:`STATS_RESPONSE` payload."""
+    if payload[: len(STATS_RESPONSE)] != STATS_RESPONSE:
+        raise DeserializationError("not a stats response")
+    return payload[len(STATS_RESPONSE):].decode("utf-8")
 
 
 class ResilientSPServer:
@@ -37,19 +76,40 @@ class ResilientSPServer:
             request_id, payload = unframe(request_frame)
         except DeserializationError as exc:
             self.errors += 1
+            _M_FRAMES.inc(outcome="bad-frame")
+            _LOG.warning("bad_frame", error=str(exc))
             return frame(
                 _NULL_ID, ErrorResponse(ErrorResponse.BAD_FRAME, str(exc)).to_bytes()
             )
-        try:
-            response = self.server.handle(payload)
-        except DeserializationError as exc:
-            error = ErrorResponse(ErrorResponse.BAD_REQUEST, str(exc))
-        except WorkloadError as exc:
-            error = ErrorResponse(ErrorResponse.WORKLOAD, str(exc))
-        except ReproError as exc:
-            error = ErrorResponse(ErrorResponse.INTERNAL, str(exc))
-        else:
-            self.served += 1
-            return frame(request_id, response)
-        self.errors += 1
-        return frame(request_id, error.to_bytes())
+        # Adopt the client's trace id (if any) so this span — and every
+        # engine/crypto span beneath it — lands in the caller's trace.
+        with _trace.span(
+            "server.handle_frame", trace_id=extract_trace_id(request_id)
+        ) as handle_span:
+            if payload == STATS_REQUEST:
+                _M_SCRAPES.inc()
+                handle_span.set_attribute("kind", "stats")
+                text = _metrics.render_prometheus()
+                return frame(request_id, STATS_RESPONSE + text.encode("utf-8"))
+            try:
+                response = self.server.handle(payload)
+            except DeserializationError as exc:
+                error = ErrorResponse(ErrorResponse.BAD_REQUEST, str(exc))
+            except WorkloadError as exc:
+                error = ErrorResponse(ErrorResponse.WORKLOAD, str(exc))
+            except ReproError as exc:
+                error = ErrorResponse(ErrorResponse.INTERNAL, str(exc))
+            else:
+                self.served += 1
+                _M_FRAMES.inc(outcome="served")
+                handle_span.set_attribute("outcome", "served")
+                return frame(request_id, response)
+            self.errors += 1
+            _M_FRAMES.inc(outcome=error.code)
+            handle_span.set_attributes(outcome="error", code=error.code)
+            _LOG.warning("error_frame", code=error.code, message=error.message)
+            return frame(request_id, error.to_bytes())
+
+    def scrape(self) -> str:
+        """In-process convenience: the same text a stats frame returns."""
+        return _metrics.render_prometheus()

@@ -18,18 +18,55 @@ bytes-out; this module adds the operational layer around it:
 
 Faults are injected *between* client and transport by
 :class:`~repro.net.faults.FaultyTransport`.
+
+**Trace propagation.** The 16-byte request id doubles as the trace
+carrier: its first 8 bytes are the client's obs trace id
+(:mod:`repro.obs.trace`), the last 8 stay per-attempt random, so
+duplicate/replay detection is as strong as before while a scraping SP
+can correlate its server-side spans with the client-side trace.  The
+wire format is unchanged; a client without an active trace sends 16
+random bytes and :func:`extract_trace_id` returns ``None`` for ids
+whose prefix is all zeros (e.g. the server's null-id error frames).
 """
 
 from __future__ import annotations
 
 import time
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.errors import DeserializationError, TransportError
+from repro.obs.trace import TRACE_ID_BYTES
 
 _FRAME_MAGIC = b"FRM\x01"
 REQUEST_ID_BYTES = 16
 _HEADER_BYTES = len(_FRAME_MAGIC) + REQUEST_ID_BYTES
+_ZERO_TRACE = b"\x00" * TRACE_ID_BYTES
+
+
+def embed_trace_id(request_id: bytes, trace_id: Optional[str]) -> bytes:
+    """Overwrite the id's trace prefix with ``trace_id`` (hex) if given."""
+    if len(request_id) != REQUEST_ID_BYTES:
+        raise TransportError(
+            f"request id must be {REQUEST_ID_BYTES} bytes, got {len(request_id)}"
+        )
+    if trace_id is None:
+        return request_id
+    prefix = bytes.fromhex(trace_id)
+    if len(prefix) != TRACE_ID_BYTES:
+        raise TransportError(
+            f"trace id must be {TRACE_ID_BYTES} bytes of hex, got {trace_id!r}"
+        )
+    return prefix + request_id[TRACE_ID_BYTES:]
+
+
+def extract_trace_id(request_id: bytes) -> Optional[str]:
+    """The trace id carried by a request id, or ``None`` when absent."""
+    if len(request_id) != REQUEST_ID_BYTES:
+        return None
+    prefix = request_id[:TRACE_ID_BYTES]
+    if prefix == _ZERO_TRACE:
+        return None
+    return prefix.hex()
 
 
 def frame(request_id: bytes, payload: bytes) -> bytes:

@@ -1,0 +1,87 @@
+"""``repro.obs`` — the unified, dependency-free observability subsystem.
+
+One measurement path for every layer of the system (the paper's
+evaluation is entirely about *where time and bytes go* — Tables 1–2,
+Figs. 7–15):
+
+* **spans** (:mod:`repro.obs.trace`) — hierarchical wall-clock sections
+  with exception tagging, events, and bounded retention of finished
+  trace trees;
+* **metrics** (:mod:`repro.obs.metrics`) — a process-wide registry of
+  counters/gauges/histograms with Prometheus text exposition;
+* **structured logs** (:mod:`repro.obs.logging`) — JSON records
+  correlated to the active trace id;
+* **rendering** (:mod:`repro.obs.render`) — ASCII trace trees and
+  scrape output for ``repro obs`` and the examples.
+
+Everything is gated on ``REPRO_OBS`` (default on; ``REPRO_OBS=0``
+disables) and becomes a cheap no-op when off — guarded by
+``tests/obs/test_overhead.py``.  See ``docs/OBSERVABILITY.md`` for the
+concept guide and the metric catalog.
+"""
+
+from repro.obs.gate import enabled, set_enabled
+from repro.obs.logging import JsonLogger, clear_log, get_logger, log_records
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Metric,
+    MetricsRegistry,
+    MetricsWindow,
+    bucket_counts_monotonic,
+    parse_exposition,
+    registry,
+    render_prometheus,
+)
+from repro.obs.render import format_metrics, format_trace
+from repro.obs.trace import (
+    NOOP_SPAN,
+    Span,
+    Stopwatch,
+    TRACE_ID_BYTES,
+    Tracer,
+    add_event,
+    current_span,
+    current_trace_id,
+    new_trace_id,
+    span,
+    stopwatch,
+    tracer,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "JsonLogger",
+    "Metric",
+    "MetricsRegistry",
+    "MetricsWindow",
+    "NOOP_SPAN",
+    "Span",
+    "Stopwatch",
+    "TRACE_ID_BYTES",
+    "Tracer",
+    "add_event",
+    "bucket_counts_monotonic",
+    "clear_log",
+    "current_span",
+    "current_trace_id",
+    "enabled",
+    "format_metrics",
+    "format_trace",
+    "get_logger",
+    "log_records",
+    "new_trace_id",
+    "parse_exposition",
+    "registry",
+    "render_prometheus",
+    "set_enabled",
+    "span",
+    "stopwatch",
+    "tracer",
+]
+
+
+def reset_for_tests() -> None:
+    """Zero metrics, drop finished traces and log records (test isolation)."""
+    registry().reset()
+    tracer().reset()
+    clear_log()

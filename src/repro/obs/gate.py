@@ -1,0 +1,39 @@
+"""The on/off switch every obs primitive consults.
+
+Observability is on by default and disabled by setting ``REPRO_OBS=0``
+(or ``false``/``no``/``off``) in the environment before the process
+starts.  The flag is read once at import; tests and embedders flip it at
+runtime with :func:`set_enabled`.
+
+Every instrument (span, counter, histogram, logger) checks
+:func:`enabled` on entry and returns immediately when off, so the
+disabled-mode cost of an instrumented call site is one module-global
+read and one truthiness test (guarded by
+``tests/obs/test_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import os
+
+_OFF_VALUES = ("0", "false", "no", "off")
+
+
+def _parse(value: str) -> bool:
+    return value.strip().lower() not in _OFF_VALUES
+
+
+_enabled: bool = _parse(os.environ.get("REPRO_OBS", "1"))
+
+
+def enabled() -> bool:
+    """True when observability instruments are live."""
+    return _enabled
+
+
+def set_enabled(flag: bool) -> bool:
+    """Flip the global switch at runtime; returns the previous value."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(flag)
+    return previous

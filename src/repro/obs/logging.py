@@ -1,0 +1,100 @@
+"""Structured JSON logging with trace correlation.
+
+Every record is one JSON object carrying a timestamp, level, component,
+event name, the current trace id (when a span is active on the calling
+thread), and arbitrary key/value fields.  Records land in a bounded
+in-process ring (:func:`log_records`) so tests and the CLI can read them
+back; set ``REPRO_OBS_LOG=1`` (or pass a ``stream``) to additionally
+write one JSON line per record to stderr/stream — the shape a log
+shipper ingests.
+
+Loggers are cheap no-ops when the obs gate is off.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from collections import deque
+from typing import Optional, TextIO
+
+from repro.obs import gate, trace
+
+_RING_MAX = 1024
+_ring: deque[dict] = deque(maxlen=_RING_MAX)
+_ring_lock = threading.Lock()
+_emit_stream = os.environ.get("REPRO_OBS_LOG", "").strip().lower() in ("1", "true", "yes", "on")
+
+
+class JsonLogger:
+    """Structured logger for one component (``sp``, ``client``, ...)."""
+
+    def __init__(self, component: str, stream: Optional[TextIO] = None):
+        self.component = component
+        self.stream = stream
+
+    def log(self, event: str, level: str = "info", **fields) -> Optional[dict]:
+        """Record one structured event; returns the record (or None if off)."""
+        if not gate.enabled():
+            return None
+        record = {
+            "ts": time.time(),
+            "level": level,
+            "component": self.component,
+            "event": event,
+        }
+        trace_id = trace.current_trace_id()
+        if trace_id is not None:
+            record["trace_id"] = trace_id
+        if fields:
+            record.update(fields)
+        with _ring_lock:
+            _ring.append(record)
+        stream = self.stream
+        if stream is None and _emit_stream:
+            stream = sys.stderr
+        if stream is not None:
+            stream.write(json.dumps(record, default=repr) + "\n")
+        return record
+
+    def info(self, event: str, **fields) -> Optional[dict]:
+        return self.log(event, "info", **fields)
+
+    def warning(self, event: str, **fields) -> Optional[dict]:
+        return self.log(event, "warning", **fields)
+
+    def error(self, event: str, **fields) -> Optional[dict]:
+        return self.log(event, "error", **fields)
+
+
+_loggers: dict[str, JsonLogger] = {}
+_loggers_lock = threading.Lock()
+
+
+def get_logger(component: str) -> JsonLogger:
+    """Shared logger instance for a component name."""
+    with _loggers_lock:
+        logger = _loggers.get(component)
+        if logger is None:
+            logger = _loggers[component] = JsonLogger(component)
+        return logger
+
+
+def log_records(event: Optional[str] = None,
+                trace_id: Optional[str] = None) -> list[dict]:
+    """Recent records, optionally filtered by event name and/or trace id."""
+    with _ring_lock:
+        records = list(_ring)
+    if event is not None:
+        records = [r for r in records if r.get("event") == event]
+    if trace_id is not None:
+        records = [r for r in records if r.get("trace_id") == trace_id]
+    return records
+
+
+def clear_log() -> None:
+    with _ring_lock:
+        _ring.clear()

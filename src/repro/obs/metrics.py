@@ -1,0 +1,368 @@
+"""Process-wide metrics registry: counters, gauges, fixed-bucket histograms.
+
+One :class:`MetricsRegistry` instance (:func:`registry`) serves the whole
+process; every layer registers its instruments once at import time and
+updates them on the hot path.  Updates are:
+
+* **thread-safe** — each metric family carries its own lock; samples are
+  keyed by label-value tuples;
+* **cheap no-ops when disabled** — every mutator checks
+  :func:`repro.obs.gate.enabled` first and returns immediately;
+* **idempotently registered** — asking for an existing name returns the
+  existing instrument (kind and label names must match), so module-level
+  instruments survive a test-time :meth:`MetricsRegistry.reset`.
+
+The registry renders as Prometheus text exposition
+(:func:`render_prometheus`) — the same bytes a live SP serves for its
+``stats`` request (see :mod:`repro.net.server`) — and supports cheap
+before/after windows (:meth:`MetricsRegistry.window`) that
+:mod:`repro.bench.harness` uses to report per-query deltas.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Mapping, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.obs import gate
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets (seconds): spans 100µs spans to 10s queries.
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+COUNTER, GAUGE, HISTOGRAM = "counter", "gauge", "histogram"
+
+
+def _fmt_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def escape_label_value(value: str) -> str:
+    """Prometheus label-value escaping: backslash, quote, newline."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_str(names: Sequence[str], values: Sequence[str]) -> str:
+    if not names:
+        return ""
+    inner = ",".join(
+        f'{n}="{escape_label_value(str(v))}"' for n, v in zip(names, values)
+    )
+    return "{" + inner + "}"
+
+
+class _Histogram:
+    """Per-labelset histogram state: cumulative fixed buckets + sum/count."""
+
+    __slots__ = ("buckets", "bucket_counts", "total", "count")
+
+    def __init__(self, buckets: Sequence[float]):
+        self.buckets = buckets
+        self.bucket_counts = [0] * len(buckets)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+        self.total += value
+        self.count += 1
+
+
+class Metric:
+    """One named instrument; samples are keyed by label-value tuples."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        if not _NAME_RE.match(name):
+            raise ReproError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ReproError(f"invalid label name {label!r}")
+        if kind == HISTOGRAM:
+            bounds = list(buckets)
+            if not bounds or sorted(bounds) != bounds or len(set(bounds)) != len(bounds):
+                raise ReproError("histogram buckets must be strictly increasing")
+            self.buckets: tuple[float, ...] = tuple(bounds)
+        else:
+            self.buckets = ()
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._samples: dict[tuple, object] = {}
+
+    # -- label plumbing -----------------------------------------------------
+    def _key(self, labels: Mapping[str, object]) -> tuple:
+        if set(labels) != set(self.labelnames):
+            raise ReproError(
+                f"metric {self.name} expects labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    # -- mutators (no-ops when disabled) -------------------------------------
+    def inc(self, amount: float = 1, **labels) -> None:
+        if not gate.enabled():
+            return
+        if self.kind != COUNTER:
+            raise ReproError(f"{self.name} is a {self.kind}, not a counter")
+        if amount < 0:
+            raise ReproError("counters only go up")
+        key = self._key(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0) + amount
+
+    def set(self, value: float, **labels) -> None:
+        if not gate.enabled():
+            return
+        if self.kind != GAUGE:
+            raise ReproError(f"{self.name} is a {self.kind}, not a gauge")
+        key = self._key(labels)
+        with self._lock:
+            self._samples[key] = value
+
+    def observe(self, value: float, **labels) -> None:
+        if not gate.enabled():
+            return
+        if self.kind != HISTOGRAM:
+            raise ReproError(f"{self.name} is a {self.kind}, not a histogram")
+        key = self._key(labels)
+        with self._lock:
+            hist = self._samples.get(key)
+            if hist is None:
+                hist = self._samples[key] = _Histogram(self.buckets)
+            hist.observe(value)
+
+    # -- read side -----------------------------------------------------------
+    def value(self, **labels) -> float:
+        """Current value of a counter/gauge sample (0 when unseen)."""
+        key = self._key(labels)
+        with self._lock:
+            sample = self._samples.get(key, 0)
+        if isinstance(sample, _Histogram):
+            raise ReproError(f"use histogram_state() for {self.name}")
+        return sample
+
+    def histogram_state(self, **labels) -> Optional[dict]:
+        key = self._key(labels)
+        with self._lock:
+            hist = self._samples.get(key)
+            if hist is None:
+                return None
+            return {
+                "buckets": list(zip(hist.buckets, hist.bucket_counts)),
+                "sum": hist.total,
+                "count": hist.count,
+            }
+
+    def samples(self) -> dict[tuple, object]:
+        """Flat scalar samples (histograms expand to _count/_sum/_bucket)."""
+        with self._lock:
+            items = list(self._samples.items())
+        out: dict[tuple, object] = {}
+        for key, sample in items:
+            if isinstance(sample, _Histogram):
+                # observe() fills buckets cumulatively (value <= bound).
+                for bound, cumulative in zip(sample.buckets, sample.bucket_counts):
+                    out[key + (f"le={_fmt_value(bound)}",)] = cumulative
+                out[key + ("le=+Inf",)] = sample.count
+                out[key + ("sum",)] = sample.total
+                out[key + ("count",)] = sample.count
+            else:
+                out[key] = sample
+        return out
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._samples.clear()
+
+
+class MetricsRegistry:
+    """Name → :class:`Metric` map with idempotent registration."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Metric] = {}
+
+    def _register(self, name: str, kind: str, help: str,
+                  labelnames: Sequence[str], buckets: Sequence[float]) -> Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if existing.kind != kind or existing.labelnames != tuple(labelnames):
+                    raise ReproError(
+                        f"metric {name} already registered as {existing.kind}"
+                        f"{existing.labelnames}"
+                    )
+                return existing
+            metric = Metric(name, kind, help, labelnames, buckets)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Sequence[str] = ()) -> Metric:
+        return self._register(name, COUNTER, help, labelnames, ())
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Sequence[str] = ()) -> Metric:
+        return self._register(name, GAUGE, help, labelnames, ())
+
+    def histogram(self, name: str, help: str = "", labelnames: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Metric:
+        return self._register(name, HISTOGRAM, help, labelnames, buckets)
+
+    def metrics(self) -> list[Metric]:
+        with self._lock:
+            return sorted(self._metrics.values(), key=lambda m: m.name)
+
+    def get(self, name: str) -> Optional[Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat ``name{labels...}`` → value map of every scalar sample."""
+        out: dict[str, float] = {}
+        for metric in self.metrics():
+            for key, value in metric.samples().items():
+                suffix = "|".join(key)
+                out[f"{metric.name}|{suffix}" if suffix else metric.name] = value
+        return out
+
+    def window(self) -> "MetricsWindow":
+        """Start a before/after delta window over this registry."""
+        return MetricsWindow(self)
+
+    def reset(self) -> None:
+        """Zero every sample; registered instruments stay valid (tests)."""
+        for metric in self.metrics():
+            metric._reset()
+
+
+class MetricsWindow:
+    """Delta of every scalar sample between construction and :meth:`delta`."""
+
+    def __init__(self, reg: MetricsRegistry):
+        self._registry = reg
+        self._before = reg.snapshot()
+
+    def delta(self) -> dict[str, float]:
+        after = self._registry.snapshot()
+        out = {}
+        for key, value in after.items():
+            change = value - self._before.get(key, 0)
+            if change:
+                out[key] = change
+        return out
+
+
+def render_prometheus(reg: Optional[MetricsRegistry] = None) -> str:
+    """Prometheus text exposition format (version 0.0.4) of a registry."""
+    reg = reg if reg is not None else registry()
+    lines: list[str] = []
+    for metric in reg.metrics():
+        with metric._lock:
+            items = sorted(metric._samples.items())
+        if not items:
+            continue
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        for key, sample in items:
+            base_labels = list(zip(metric.labelnames, key))
+            if isinstance(sample, _Histogram):
+                for bound, count in zip(sample.buckets, sample.bucket_counts):
+                    labels = base_labels + [("le", _fmt_value(bound))]
+                    lines.append(
+                        f"{metric.name}_bucket"
+                        f"{_label_str([n for n, _ in labels], [v for _, v in labels])}"
+                        f" {count}"
+                    )
+                labels = base_labels + [("le", "+Inf")]
+                lines.append(
+                    f"{metric.name}_bucket"
+                    f"{_label_str([n for n, _ in labels], [v for _, v in labels])}"
+                    f" {sample.count}"
+                )
+                label_str = _label_str(metric.labelnames, key)
+                lines.append(f"{metric.name}_sum{label_str} {_fmt_value(sample.total)}")
+                lines.append(f"{metric.name}_count{label_str} {sample.count}")
+            else:
+                label_str = _label_str(metric.labelnames, key)
+                lines.append(f"{metric.name}{label_str} {_fmt_value(float(sample))}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_exposition(text: str) -> dict[str, float]:
+    """Parse exposition text back into ``name{labels} -> value`` (lint/tests).
+
+    Raises :class:`~repro.errors.ReproError` on malformed lines, so tests
+    and the CI smoke step can use it as a format lint.
+    """
+    out: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            if line.startswith("#") and not line.startswith(("# HELP ", "# TYPE ")):
+                raise ReproError(f"malformed comment line: {line!r}")
+            continue
+        try:
+            series, value = line.rsplit(" ", 1)
+            out[series] = float(value)
+        except ValueError as exc:
+            raise ReproError(f"malformed exposition line: {line!r}") from exc
+        name = series.split("{", 1)[0]
+        if not _NAME_RE.match(name.removesuffix("_bucket")):
+            raise ReproError(f"invalid series name: {name!r}")
+    return out
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide registry every subsystem reports into."""
+    return _REGISTRY
+
+
+def bucket_counts_monotonic(metric: Metric, **labels) -> bool:
+    """True when a histogram's cumulative bucket counts never decrease."""
+    state = metric.histogram_state(**labels)
+    if state is None:
+        return True
+    counts = [count for _, count in state["buckets"]] + [state["count"]]
+    return all(a <= b for a, b in zip(counts, counts[1:]))
+
+
+__all__ = [
+    "COUNTER",
+    "GAUGE",
+    "HISTOGRAM",
+    "DEFAULT_BUCKETS",
+    "Metric",
+    "MetricsRegistry",
+    "MetricsWindow",
+    "bucket_counts_monotonic",
+    "escape_label_value",
+    "parse_exposition",
+    "registry",
+    "render_prometheus",
+]

@@ -1,0 +1,73 @@
+"""Human-readable rendering of trace trees and metric snapshots.
+
+``repro obs`` (the CLI) and the examples use these; everything renders
+from the JSON forms (:meth:`Span.to_dict` dicts, registry snapshots), so
+a dumped trace file renders the same as a live one.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs import metrics as _metrics
+
+#: Attributes worth showing inline next to a span name.
+_INLINE_ATTRS = (
+    "kind", "table", "attempt", "workers", "tasks", "relax_calls",
+    "aps_cache_hits", "outcome", "code",
+)
+
+
+def _span_line(node: dict) -> str:
+    duration = node.get("duration_ms")
+    ms = f"{duration:8.2f}ms" if duration is not None else "   (open)"
+    status = "" if node.get("status") == "ok" else f"  !{node.get('status')}"
+    attrs = node.get("attributes") or {}
+    inline = "  ".join(
+        f"{key}={attrs[key]}" for key in _INLINE_ATTRS if key in attrs
+    )
+    line = f"{ms}  {node['name']}"
+    if inline:
+        line += f"  [{inline}]"
+    if status:
+        line += status
+        if node.get("error"):
+            line += f" ({node['error']})"
+    return line
+
+
+def format_trace(tree: Optional[dict]) -> str:
+    """ASCII tree of one trace (a :meth:`Span.to_dict` dict)."""
+    if tree is None:
+        return "(no finished trace)"
+    lines = [f"trace {tree['trace_id']}"]
+
+    def walk(node: dict, prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            lines.append(_span_line(node))
+            child_prefix = ""
+        else:
+            branch = "└─ " if is_last else "├─ "
+            lines.append(prefix + branch + _span_line(node))
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        events = node.get("events") or []
+        children = node.get("children") or []
+        for event in events:
+            tee = "   " if not children else "·  "
+            detail = "  ".join(
+                f"{k}={v}" for k, v in event.items() if k not in ("name", "offset_ms")
+            )
+            lines.append(
+                child_prefix + tee + f"@{event['offset_ms']:.2f}ms {event['name']}"
+                + (f"  [{detail}]" if detail else "")
+            )
+        for i, child in enumerate(children):
+            walk(child, child_prefix, i == len(children) - 1, False)
+
+    walk(tree, "", True, True)
+    return "\n".join(lines)
+
+
+def format_metrics(reg: Optional[_metrics.MetricsRegistry] = None) -> str:
+    """The Prometheus text exposition (what a scrape returns)."""
+    return _metrics.render_prometheus(reg)

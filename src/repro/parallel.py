@@ -18,11 +18,14 @@ The dominant SP cost for range/join queries is the batch of independent
 from __future__ import annotations
 
 import heapq
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.errors import ReproError
+from repro.obs import gate as _gate
+from repro.obs import metrics as _metrics
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -30,6 +33,26 @@ R = TypeVar("R")
 #: Upper bound on the thread pool: beyond this, thread churn dominates any
 #: speedup and a mistyped ``workers=10**6`` would exhaust the process.
 MAX_WORKERS = 128
+
+_REG = _metrics.registry()
+_M_JOBS = _REG.counter(
+    "repro_parallel_jobs_total", "Jobs executed through parallel_map.",
+)
+_M_BATCHES = _REG.counter(
+    "repro_parallel_batches_total", "parallel_map invocations.",
+)
+_M_SATURATED = _REG.counter(
+    "repro_parallel_workers_saturated_total",
+    "Jobs that had to queue because every worker was busy "
+    "(batch size beyond worker count).",
+)
+_M_QUEUE_WAIT = _REG.histogram(
+    "repro_parallel_queue_wait_seconds",
+    "Per-job wait between submission and execution start.",
+)
+_M_EXEC = _REG.histogram(
+    "repro_parallel_exec_seconds", "Per-job execution time.",
+)
 
 
 def _call_indexed(fn: Callable[[T], R], item: T, index: int) -> R:
@@ -40,6 +63,17 @@ def _call_indexed(fn: Callable[[T], R], item: T, index: int) -> R:
         if hasattr(exc, "add_note"):  # Python >= 3.11
             exc.add_note(f"parallel_map: raised while processing item #{index}")
         raise
+
+
+def _call_observed(
+    fn: Callable[[T], R], item: T, index: int, submitted: float
+) -> R:
+    start = time.perf_counter()
+    _M_QUEUE_WAIT.observe(start - submitted)
+    try:
+        return _call_indexed(fn, item, index)
+    finally:
+        _M_EXEC.observe(time.perf_counter() - start)
 
 
 def parallel_map(
@@ -53,6 +87,11 @@ def parallel_map(
     item's index (``exc.parallel_map_index``, plus an exception note on
     Python >= 3.11) so a batch of thousands of ``ABS.Relax`` jobs pinpoints
     the job that failed.
+
+    When observability is on, each job records a queue-wait and an
+    execution-time histogram sample, and jobs beyond the worker count
+    bump ``repro_parallel_workers_saturated_total`` — the signal that a
+    batch was limited by ``workers`` rather than by work.
     """
     items = list(items)
     if workers < 1:
@@ -62,10 +101,35 @@ def parallel_map(
             f"workers={workers} exceeds MAX_WORKERS={MAX_WORKERS}; "
             "unbounded thread pools degrade rather than accelerate"
         )
+    observed = _gate.enabled()
+    if observed:
+        _M_BATCHES.inc()
+        if items:
+            _M_JOBS.inc(len(items))
+        if len(items) > workers:
+            _M_SATURATED.inc(len(items) - workers)
     if workers == 1 or len(items) <= 1:
-        return [_call_indexed(fn, item, i) for i, item in enumerate(items)]
+        if not observed:
+            return [_call_indexed(fn, item, i) for i, item in enumerate(items)]
+        submitted = time.perf_counter()
+        return [
+            _call_observed(fn, item, i, submitted) for i, item in enumerate(items)
+        ]
     with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_call_indexed, [fn] * len(items), items, range(len(items))))
+        if not observed:
+            return list(
+                pool.map(_call_indexed, [fn] * len(items), items, range(len(items)))
+            )
+        submitted = time.perf_counter()
+        return list(
+            pool.map(
+                _call_observed,
+                [fn] * len(items),
+                items,
+                range(len(items)),
+                [submitted] * len(items),
+            )
+        )
 
 
 @dataclass

@@ -46,10 +46,10 @@ def test_perfect_transport_all_query_kinds(env):
     client = make_client(env, loopback(env))
     for kind in ("equality", "range", "join"):
         assert run_query(client, kind) == env.truth[kind]
-    assert client.stats.requests == 3
-    assert client.stats.attempts == 3
-    assert client.stats.retries == 0
-    assert client.stats.failures == 0
+    assert client.counters.requests == 3
+    assert client.counters.attempts == 3
+    assert client.counters.retries == 0
+    assert client.counters.failures == 0
 
 
 class FailFirstN(Transport):
@@ -69,17 +69,17 @@ class FailFirstN(Transport):
 def test_retries_through_transient_outage(env):
     client = make_client(env, FailFirstN(loopback(env), 3))
     assert run_query(client, "range") == env.truth["range"]
-    assert client.stats.attempts == 4
-    assert client.stats.retries == 3
-    assert client.stats.transport_errors == 3
+    assert client.counters.attempts == 4
+    assert client.counters.retries == 3
+    assert client.counters.transport_errors == 3
 
 
 def test_exhausted_retries_reraise_last_typed_error(env):
     client = make_client(env, FailFirstN(loopback(env), 99))
     with pytest.raises(TransportError, match="synthetic outage"):
         run_query(client, "range")
-    assert client.stats.attempts == 6
-    assert client.stats.failures == 1
+    assert client.counters.attempts == 6
+    assert client.counters.failures == 1
 
 
 def test_backoff_is_bounded_and_deterministic():
@@ -111,7 +111,7 @@ def test_deadline_exceeded_is_typed(env):
     with pytest.raises(DeadlineExceededError):
         run_query(client, "range")
     # The injected delay blew the deadline after a single attempt.
-    assert client.stats.attempts == 1
+    assert client.counters.attempts == 1
 
 
 def test_duplicate_responses_detected_and_rejected(env):
@@ -125,7 +125,7 @@ def test_duplicate_responses_detected_and_rejected(env):
     # Second query: every exchange replays the stale frame; ids never match.
     with pytest.raises(TransportError, match="id mismatch"):
         run_query(client, "equality")
-    assert client.stats.duplicates_detected == 6
+    assert client.counters.duplicates_detected == 6
 
 
 def test_workload_errors_are_not_retried(env):
@@ -134,7 +134,7 @@ def test_workload_errors_are_not_retried(env):
     with pytest.raises(WorkloadError, match="nope"):
         client.query_range("nope", (0,), (31,))
     assert transport.requests == 1  # no retry for a deterministic rejection
-    assert client.stats.error_frames == 1
+    assert client.counters.error_frames == 1
 
 
 def test_verification_failure_retries_then_raises(env):
@@ -147,8 +147,8 @@ def test_verification_failure_retries_then_raises(env):
     client = make_client(env, transport, clock=clock)
     with pytest.raises(VerificationError):
         sorted(r.value for r in client.query_range("docs", (0,), (31,), encrypt=False))
-    assert client.stats.verification_failures == 6
-    assert client.stats.failures == 1
+    assert client.counters.verification_failures == 6
+    assert client.counters.failures == 1
 
 
 def test_truncated_responses_surface_as_deserialization_error(env):
@@ -159,7 +159,7 @@ def test_truncated_responses_surface_as_deserialization_error(env):
     client = make_client(env, transport, clock=clock)
     with pytest.raises(DeserializationError):
         run_query(client, "range")
-    assert client.stats.decode_failures == 6
+    assert client.counters.decode_failures == 6
 
 
 # -- circuit breaker ---------------------------------------------------------
@@ -184,7 +184,7 @@ def test_breaker_opens_after_consecutive_failures_and_recovers(env):
     with pytest.raises(CircuitOpenError):
         run_query(client, "range")
     assert transport.inner.requests == before
-    assert client.stats.breaker_rejections == 1
+    assert client.counters.breaker_rejections == 1
 
     # After the reset window the breaker half-opens; a healthy exchange closes it.
     clock.advance(31.0)

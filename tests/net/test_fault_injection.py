@@ -91,7 +91,7 @@ def test_saturated_drop_is_a_transport_error(env, qkind):
     client, _ = make_faulty_client(env, "drop", 1.0, 2000)
     with pytest.raises(TransportError):
         run_query(client, qkind)
-    assert client.stats.transport_errors == 8
+    assert client.counters.transport_errors == 8
 
 
 @pytest.mark.parametrize("qkind", QUERY_KINDS)
@@ -106,7 +106,7 @@ def test_saturated_tamper_is_caught_by_crypto(env, qkind):
     with pytest.raises((VerificationError, CryptoError)):
         run_query(client, qkind)
     assert transport.injected["tamper"] == 8
-    assert client.stats.verification_failures == 8
+    assert client.counters.verification_failures == 8
 
 
 def test_faulty_transport_validates_configuration(env):
@@ -125,7 +125,7 @@ def test_fault_injection_is_deterministic(env):
         client, transport = make_faulty_client(env, "bitflip", 0.5, 3000)
         try:
             run_query(client, "range")
-            seq.append(("ok", client.stats.attempts, dict(transport.injected)))
+            seq.append(("ok", client.counters.attempts, dict(transport.injected)))
         except ReproError as exc:
-            seq.append((type(exc).__name__, client.stats.attempts, dict(transport.injected)))
+            seq.append((type(exc).__name__, client.counters.attempts, dict(transport.injected)))
     assert seq[0] == seq[1]

@@ -1,0 +1,15 @@
+"""Shared fixtures: every obs test runs with a clean, enabled subsystem."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Force the gate on and zero traces/metrics/logs around each test."""
+    previous = obs.set_enabled(True)
+    obs.reset_for_tests()
+    yield
+    obs.reset_for_tests()
+    obs.set_enabled(previous)

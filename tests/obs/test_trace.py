@@ -1,0 +1,130 @@
+"""Span trees: nesting, exception tagging, id propagation, retention."""
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import TRACE_ID_BYTES, Tracer, new_trace_id
+
+
+def test_new_trace_id_shape():
+    for _ in range(32):
+        tid = new_trace_id()
+        assert len(tid) == 2 * TRACE_ID_BYTES
+        assert bytes.fromhex(tid) != b"\x00" * TRACE_ID_BYTES
+
+
+def test_spans_nest_into_one_trace_tree():
+    with obs.span("root", kind="range") as root:
+        with obs.span("child.a") as a:
+            a.set_attribute("n", 3)
+        with obs.span("child.b"):
+            with obs.span("grandchild"):
+                pass
+    trace = obs.tracer().last_trace()
+    assert trace is root
+    assert trace.span_names() == ["root", "child.a", "child.b", "grandchild"]
+    assert {s.trace_id for s in trace.iter_spans()} == {root.trace_id}
+    assert trace.find("child.a").attributes == {"n": 3}
+    assert trace.find("grandchild").parent_id == trace.find("child.b").span_id
+    assert trace.attributes == {"kind": "range"}
+    assert all(s.duration_ms is not None for s in trace.iter_spans())
+
+
+def test_exception_tags_every_open_span_and_propagates():
+    with pytest.raises(ValueError, match="boom"):
+        with obs.span("outer"):
+            with obs.span("inner"):
+                raise ValueError("boom")
+    trace = obs.tracer().last_trace()
+    inner = trace.find("inner")
+    assert trace.status == "error" and inner.status == "error"
+    assert inner.error == "ValueError: boom"
+    assert trace.error == "ValueError: boom"
+    d = trace.to_dict()
+    assert d["status"] == "error"
+    assert d["children"][0]["error"] == "ValueError: boom"
+
+
+def test_sibling_after_failed_child_stays_ok():
+    with obs.span("root"):
+        with pytest.raises(RuntimeError):
+            with obs.span("bad"):
+                raise RuntimeError("x")
+        with obs.span("good"):
+            pass
+    trace = obs.tracer().last_trace()
+    assert trace.status == "ok"
+    assert trace.find("bad").status == "error"
+    assert trace.find("good").status == "ok"
+
+
+def test_events_attach_to_innermost_span():
+    with obs.span("root"):
+        with obs.span("attempt"):
+            obs.add_event("fault_injected", kind="bitflip")
+    event = obs.tracer().last_trace().find("attempt").events[0]
+    assert event["name"] == "fault_injected"
+    assert event["kind"] == "bitflip"
+    assert event["offset_ms"] >= 0
+
+
+def test_trace_id_adoption_only_at_roots():
+    carried = "00000000deadbeef"
+    with obs.span("server.handle", trace_id=carried) as root:
+        with obs.span("child", trace_id="1111111111111111") as child:
+            pass
+    assert root.trace_id == carried
+    assert child.trace_id == carried  # parent always wins
+
+
+def test_abandoned_children_are_popped_with_parent():
+    tracer = obs.tracer()
+    root_ctx = tracer.start_span("root")
+    root_ctx.__enter__()
+    tracer.start_span("abandoned").__enter__()
+    # Non-local exit: the parent finishes while the child is still open.
+    root_ctx.__exit__(None, None, None)
+    assert tracer.current_span() is None
+    assert obs.tracer().last_trace().name == "root"
+
+
+def test_finished_trace_retention_is_bounded():
+    tracer = Tracer(max_traces=3)
+    for i in range(5):
+        with tracer.start_span(f"t{i}"):
+            pass
+    names = [t.name for t in tracer.traces()]
+    assert names == ["t2", "t3", "t4"]
+    assert tracer.last_trace().name == "t4"
+    assert tracer.find_trace(tracer.last_trace().trace_id).name == "t4"
+    assert tracer.find_trace("ffffffffffffffff") is None
+
+
+def test_current_span_and_trace_id_reads():
+    assert obs.current_span() is None
+    assert obs.current_trace_id() is None
+    with obs.span("root") as root:
+        assert obs.current_span() is root
+        assert obs.current_trace_id() == root.trace_id
+    assert obs.current_span() is None
+
+
+def test_disabled_gate_yields_shared_noop_span():
+    obs.set_enabled(False)
+    sp = obs.span("anything", kind="x")
+    assert sp is obs.NOOP_SPAN
+    with sp as inner:
+        inner.set_attribute("a", 1)
+        inner.set_attributes(b=2)
+        inner.add_event("e")
+        assert obs.current_span() is None
+        assert obs.current_trace_id() is None
+        obs.add_event("ignored")  # must not raise
+    assert obs.tracer().last_trace() is None
+
+
+def test_stopwatch_measures_even_when_disabled():
+    obs.set_enabled(False)
+    with obs.Stopwatch() as sw:
+        sum(range(1000))
+    assert sw.elapsed > 0
