@@ -1,0 +1,272 @@
+"""Deterministic chaos/soak drill for the replicated SP serving stack.
+
+Three replicas cold-started from the same snapshot blobs serve a
+:class:`~repro.net.cluster.ReplicatedClient` while a seeded
+:mod:`repro.net.chaos` schedule injects the failure modes an untrusted,
+overloadable deployment actually exhibits:
+
+* ``sp2`` tampers **persistently** from t=0 — the Byzantine replica;
+* ``sp0`` crashes mid-run and later **restarts from its snapshot**
+  (the ``repro.core.persistence`` cold-start path, under live traffic);
+* an **overload burst** floods every replica's admission control, so
+  the servers shed with typed ``overloaded`` frames and retry-after
+  hints.
+
+The drill runs entirely on a :class:`~repro.net.transport.FakeClock`
+with seeded rngs, so one seed replays one exact history.  At the end it
+asserts the paper-level invariants:
+
+1. **soundness** — every result returned to the caller equals the known
+   ground truth (it was cryptographically verified; a forged response
+   can evict a replica but never reach the caller);
+2. **availability** — at least ``AVAILABILITY_FLOOR`` of issued queries
+   return verified while at least one honest replica is up;
+3. **quarantine attribution** — the tampering endpoint ends the run
+   quarantined with ≥ 1 ``tamper`` eviction; honest endpoints have
+   **zero** tamper evictions;
+4. **overload absorption** — the burst produces ``overloaded`` frames
+   server-side and *zero* client-visible failures (the retry-after
+   backoff absorbs it);
+5. the crashed replica restarted from its snapshot and served again.
+
+Run:  PYTHONPATH=src python benchmarks/chaos_soak.py [--smoke]
+          [--backend simulated|bn254] [--seed N] [--queries N]
+
+``--smoke`` is the CI entry point: small query count, < 60 s, exit
+status 1 on any invariant violation.
+"""
+
+import argparse
+import json
+import random
+import sys
+import time
+
+from repro.core.messages import SPServer
+from repro.core.records import Dataset, Record
+from repro.core.system import DataOwner, QueryUser, ServiceProvider
+from repro.crypto import get_backend
+from repro.index import Domain
+from repro.net import (
+    ChaosController,
+    ChaosEndpoint,
+    FakeClock,
+    ReplicatedClient,
+    RetryPolicy,
+    parse_schedule,
+)
+from repro.policy import RoleUniverse, parse_policy
+
+AVAILABILITY_FLOOR = 0.99
+
+#: The drill script (virtual seconds).  sp2 is Byzantine for the whole
+#: run; sp0 crash/restarts once; the overload burst hits every replica.
+SCHEDULE = """
+@0   tamper   sp2  rate=1.0        # the Byzantine replica
+@20  crash    sp0
+@30  restart  sp0                  # cold start from snapshot blobs
+@45  overload *    load=64         # burst: admission control sheds
+@48  calm     *
+"""
+
+
+def build_cluster(seed: int, backend: str, max_in_flight: int, retry_after: float):
+    """DO outsources once; three replicas cold-start from the snapshots."""
+    rng = random.Random(seed)
+    group = get_backend(backend)
+    universe = RoleUniverse(["analyst", "manager"])
+    table = Dataset(Domain.of((0, 31)))
+    table.add(Record((4,), b"forecast", parse_policy("analyst or manager")))
+    table.add(Record((11,), b"salaries", parse_policy("manager")))
+    table.add(Record((23,), b"minutes", parse_policy("analyst")))
+    owner = DataOwner(group, universe, rng=rng)
+    provider = owner.outsource({"docs": table})
+    snapshots = provider.snapshot_tables()
+    user = QueryUser(group, universe, owner.register_user(["analyst"]))
+    truth = sorted([b"forecast", b"minutes"])
+
+    clock = FakeClock()
+
+    def factory():
+        restored = ServiceProvider.from_snapshots(
+            group, owner.universe, owner.mvk, owner.cpabe_public, snapshots,
+        )
+        return SPServer(restored, rng=random.Random(seed + 17))
+
+    endpoints = {
+        name: ChaosEndpoint(
+            name, factory, group, rng=random.Random(seed + i),
+            clock=clock, max_in_flight=max_in_flight, retry_after=retry_after,
+        )
+        for i, name in enumerate(("sp0", "sp1", "sp2"))
+    }
+    client = ReplicatedClient(
+        user,
+        dict(endpoints),
+        policy=RetryPolicy(max_attempts=8, base_delay=0.02, deadline=30.0),
+        clock=clock,
+        rng=random.Random(seed + 100),
+        quarantine_window=10_000.0,  # longer than the drill: stays quarantined
+        failure_threshold=3,
+        reset_timeout=8.0,
+    )
+    return client, endpoints, clock, truth
+
+
+def run_drill(seed: int, backend: str, queries: int, verbose: bool):
+    client, endpoints, clock, truth = build_cluster(
+        seed, backend, max_in_flight=32, retry_after=1.0,
+    )
+    controller = ChaosController(
+        parse_schedule(SCHEDULE), endpoints, clock=clock,
+    )
+    duration = 60.0  # virtual seconds; events live in [0, 48]
+    step = duration / queries
+
+    issued = verified = wrong = 0
+    failures = []
+    for i in range(queries):
+        for event in controller.tick():
+            if verbose:
+                print(f"  [t={clock.now():5.1f}] chaos: {event.action} "
+                      f"{event.target} {dict(event.params)}")
+        issued += 1
+        try:
+            records = client.query_range("docs", (0,), (31,), encrypt=False)
+        except Exception as exc:  # noqa: BLE001 - tallied, then asserted on
+            failures.append((i, clock.now(), type(exc).__name__))
+        else:
+            if sorted(r.value for r in records) == truth:
+                verified += 1
+            else:
+                wrong += 1
+        clock.advance(step)
+    # Flush any events scheduled after the last query tick.
+    clock.advance(duration)
+    controller.tick()
+    return {
+        "client": client,
+        "endpoints": endpoints,
+        "issued": issued,
+        "verified": verified,
+        "wrong": wrong,
+        "failures": failures,
+    }
+
+
+def check_invariants(outcome) -> list:
+    """Every violated invariant as a human-readable string."""
+    violations = []
+    client = outcome["client"]
+    endpoints = outcome["endpoints"]
+    states = client.endpoints
+
+    # 1. Soundness: nothing unverified/wrong ever reached the caller.
+    if outcome["wrong"]:
+        violations.append(
+            f"soundness: {outcome['wrong']} returned results differed from "
+            f"ground truth"
+        )
+
+    # 2. Availability under chaos.
+    availability = outcome["verified"] / outcome["issued"]
+    if availability < AVAILABILITY_FLOOR:
+        violations.append(
+            f"availability {availability:.4f} < {AVAILABILITY_FLOOR} "
+            f"(failures: {outcome['failures']})"
+        )
+
+    # 3. Quarantine attribution: sp2 caught as Byzantine, honest replicas
+    #    never evicted for tamper.
+    if states["sp2"].evictions["tamper"] < 1:
+        violations.append("sp2 tampered all run but was never tamper-evicted")
+    if not states["sp2"].quarantined:
+        violations.append("sp2 did not end the run quarantined")
+    for name in ("sp0", "sp1"):
+        if states[name].evictions["tamper"]:
+            violations.append(
+                f"honest endpoint {name} was tamper-evicted "
+                f"{states[name].evictions['tamper']}x"
+            )
+
+    # 4. Overload absorption: servers shed, the client absorbed.
+    shed = sum(ep.server.shed for ep in endpoints.values())
+    if shed < 1:
+        violations.append("overload burst never produced an OVERLOADED frame")
+    if outcome["failures"]:
+        violations.append(
+            f"{len(outcome['failures'])} client-visible failures: "
+            f"{outcome['failures'][:5]}"
+        )
+    if client.counters.overload_backoffs < 1:
+        violations.append("client never honored a retry-after hint")
+
+    # 5. The crash/restart cycle actually exercised the snapshot path.
+    if endpoints["sp0"].restarts < 1:
+        violations.append("sp0 never restarted from its snapshot")
+    if states["sp0"].successes < 1:
+        violations.append("sp0 never served a verified result")
+    return violations
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small deterministic CI run (<60s)")
+    parser.add_argument("--backend", default="simulated",
+                        choices=("simulated", "bn254"))
+    parser.add_argument("--seed", type=int, default=20260806)
+    parser.add_argument("--queries", type=int, default=None,
+                        help="logical queries to issue over the 60s drill")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.queries is None:
+        if args.smoke:
+            args.queries = 24 if args.backend == "bn254" else 120
+        else:
+            args.queries = 600
+
+    wall_start = time.perf_counter()
+    outcome = run_drill(args.seed, args.backend, args.queries, args.verbose)
+    violations = check_invariants(outcome)
+    wall = time.perf_counter() - wall_start
+
+    client = outcome["client"]
+    summary = {
+        "backend": args.backend,
+        "seed": args.seed,
+        "issued": outcome["issued"],
+        "verified": outcome["verified"],
+        "availability": round(outcome["verified"] / outcome["issued"], 4),
+        "failovers": client.counters.failovers,
+        "quarantines": client.counters.quarantines,
+        "overload_backoffs": client.counters.overload_backoffs,
+        "tampered_responses": {
+            name: ep.tampered_responses
+            for name, ep in outcome["endpoints"].items()
+        },
+        "shed_frames": {
+            name: ep.server.shed for name, ep in outcome["endpoints"].items()
+        },
+        "evictions": {
+            name: dict(state.evictions)
+            for name, state in client.endpoints.items()
+        },
+        "sp0_restarts": outcome["endpoints"]["sp0"].restarts,
+        "wall_seconds": round(wall, 2),
+    }
+    print(json.dumps(summary, indent=2))
+
+    if violations:
+        for violation in violations:
+            print(f"INVARIANT VIOLATED: {violation}", file=sys.stderr)
+        return 1
+    print(f"chaos soak OK: {outcome['verified']}/{outcome['issued']} verified "
+          f"under persistent tamper + crash/restart + overload burst "
+          f"({args.backend}, {wall:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -236,6 +236,36 @@ class ErrorResponse:
     WORKLOAD = "workload"
     #: Any other SP-side failure (retryable as possibly transient).
     INTERNAL = "internal"
+    #: The SP shed the request: admission control tripped or the server
+    #: is draining.  The message starts with a machine-readable
+    #: ``retry-after=<seconds>`` hint (see :meth:`overloaded` /
+    #: :meth:`retry_after_hint`); clients back off at least that long.
+    OVERLOADED = "overloaded"
+
+    _RETRY_AFTER = "retry-after="
+
+    @classmethod
+    def overloaded(cls, retry_after: float, message: str = "") -> "ErrorResponse":
+        """An :data:`OVERLOADED` frame carrying a retry-after hint."""
+        if retry_after < 0:
+            raise WorkloadError("retry_after must be non-negative")
+        hint = f"{cls._RETRY_AFTER}{retry_after:.6g}"
+        return cls(cls.OVERLOADED, f"{hint} {message}".strip() if message else hint)
+
+    def retry_after_hint(self):
+        """The ``retry-after`` seconds in an overloaded frame, else ``None``.
+
+        Tolerant by design: a missing or mangled hint degrades to ``None``
+        and the client falls back to its own backoff schedule.
+        """
+        if not self.message.startswith(self._RETRY_AFTER):
+            return None
+        token = self.message[len(self._RETRY_AFTER):].split(" ", 1)[0]
+        try:
+            value = float(token)
+        except ValueError:
+            return None
+        return value if value >= 0 else None
 
     def to_bytes(self) -> bytes:
         return bytes(

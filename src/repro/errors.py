@@ -77,6 +77,20 @@ class TransportError(ReproError):
     """
 
 
+class OverloadedError(TransportError):
+    """The SP shed the request under admission control (or while draining).
+
+    Carries the server's ``retry_after`` hint (seconds, possibly ``None``)
+    so clients can wait exactly as long as the SP asked instead of
+    hammering an already-saturated replica.  Retryable: the overload is
+    transient by definition.
+    """
+
+    def __init__(self, message: str = "", retry_after=None):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class DeadlineExceededError(TransportError):
     """A request (including its retries) ran past its per-request deadline."""
 

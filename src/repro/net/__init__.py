@@ -12,17 +12,42 @@ zero-knowledge core — without ever weakening it:
   that turns every per-request failure into a typed error frame;
 * :mod:`repro.net.client` — :class:`ResilientClient` with bounded
   retries, deadlines, duplicate detection, and a circuit breaker;
+* :mod:`repro.net.cluster` — :class:`ReplicatedClient`, which fans a
+  logical query over N replica endpoints with per-endpoint breakers,
+  health-ranked failover, hedged requests, and **Byzantine quarantine**
+  (an endpoint whose response fails verification is evicted as
+  ``tamper``, distinctly from ``transport`` evictions);
 * :mod:`repro.net.faults` — :class:`FaultyTransport`, seeded fault
   injection (drop/delay/duplicate/truncate/bitflip/tamper) for
-  adversarial testing.
+  adversarial testing;
+* :mod:`repro.net.chaos` — the scripted-failure layer: a schedule DSL
+  (``@<t> crash sp0`` ...), scriptable :class:`ChaosEndpoint` replicas
+  with snapshot cold-restarts, and a :class:`ChaosController` that
+  applies due events as virtual time advances.
 
 The invariant the whole stack maintains: every fault ends in a retry, a
 typed :class:`~repro.errors.ReproError`, or a
 :class:`~repro.errors.VerificationError` — a client never accepts a
-tampered result as verified.  See ``docs/OPERATIONS.md``.
+tampered result as verified, no matter which replica answered.  See
+``docs/OPERATIONS.md``.
 """
 
-from repro.net.client import CircuitBreaker, ClientStats, ResilientClient, RetryPolicy
+from repro.net.chaos import (
+    ChaosController,
+    ChaosEndpoint,
+    ChaosEvent,
+    ChaosSchedule,
+    parse_schedule,
+)
+from repro.net.client import (
+    CircuitBreaker,
+    ClientStats,
+    ResilientClient,
+    RetryPolicy,
+    is_tamper_error,
+    wire_exchange,
+)
+from repro.net.cluster import ClusterStats, Endpoint, ReplicatedClient
 from repro.net.faults import FAULT_KINDS, FaultyTransport
 from repro.net.server import (
     STATS_REQUEST,
@@ -43,10 +68,20 @@ from repro.net.transport import (
 )
 
 __all__ = [
+    "ChaosController",
+    "ChaosEndpoint",
+    "ChaosEvent",
+    "ChaosSchedule",
+    "parse_schedule",
     "CircuitBreaker",
     "ClientStats",
+    "ClusterStats",
+    "Endpoint",
+    "ReplicatedClient",
     "ResilientClient",
     "RetryPolicy",
+    "is_tamper_error",
+    "wire_exchange",
     "FAULT_KINDS",
     "FaultyTransport",
     "ResilientSPServer",

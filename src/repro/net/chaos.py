@@ -1,0 +1,300 @@
+"""Deterministic chaos schedules for replicated-SP drills.
+
+A chaos drill needs three things: replicas whose failure modes can be
+*scripted*, a schedule saying **when** each failure fires, and a driver
+that applies due events as virtual time advances.  Everything here runs
+on the :class:`~repro.net.transport.Clock` abstraction with seeded
+randomness, so a drill is exactly reproducible — the same seed replays
+the same crashes, forgeries, and overload bursts in the same order.
+
+**Schedule DSL.**  One event per line::
+
+    # seconds  action    target  params
+    @0         tamper    sp2     rate=1.0
+    @20        crash     sp0
+    @30        restart   sp0
+    @45        overload  *       load=64
+    @48        calm      *
+    @50        drain     sp1
+    @55        resume    sp1
+
+``@<t>`` is virtual seconds from drill start; ``*`` targets every
+endpoint; ``#`` starts a comment.  Actions:
+
+===========  ==============================================================
+``crash``    the endpoint's transport raises ``TransportError`` on every
+             exchange (process death / partition)
+``restart``  the replica **cold-starts from its snapshot blobs** — the
+             crash-safety path of ``repro.core.persistence`` under load
+``tamper``   the endpoint forges responses at ``rate=`` (Byzantine)
+``heal``     stop tampering (``tamper rate=0``)
+``overload`` inject ``load=`` synthetic in-flight requests into the
+             replica's admission control (other clients' traffic)
+``calm``     remove the synthetic load
+``drain``    put the replica's server into graceful drain
+``resume``   leave drain mode
+===========  ==============================================================
+
+:class:`ChaosEndpoint` is the scriptable replica: a
+:class:`~repro.net.transport.Transport` wrapping a rebuildable
+:class:`~repro.net.server.ResilientSPServer` behind a
+:class:`~repro.net.faults.FaultyTransport` tamper layer.
+:class:`ChaosController` owns the schedule cursor: call
+:meth:`~ChaosController.tick` before each query and every event whose
+time has come is applied, in order.  ``benchmarks/chaos_soak.py`` wires
+these into the full invariant drill.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Sequence
+
+from repro.errors import ReproError, TransportError
+from repro.net.faults import FaultyTransport
+from repro.net.server import ResilientSPServer
+from repro.net.transport import Clock, LoopbackTransport, Transport
+from repro.obs import logging as _obslog
+from repro.obs import metrics as _metrics
+
+ACTIONS = (
+    "crash", "restart", "tamper", "heal", "overload", "calm", "drain", "resume",
+)
+
+_M_EVENTS = _metrics.registry().counter(
+    "repro_chaos_events_total", "Chaos events applied by ChaosController.",
+    labelnames=("action",),
+)
+_LOG = _obslog.get_logger("chaos")
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scheduled fault: at ``at`` seconds, do ``action`` to ``target``."""
+
+    at: float
+    action: str
+    target: str  # endpoint name, or "*" for every endpoint
+    params: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.at < 0:
+            raise ReproError(f"event time must be non-negative, got {self.at}")
+        if self.action not in ACTIONS:
+            raise ReproError(
+                f"unknown chaos action {self.action!r}; know {ACTIONS}"
+            )
+        if not self.target:
+            raise ReproError("event target must be non-empty")
+
+
+class ChaosSchedule:
+    """An ordered, immutable run of :class:`ChaosEvent`."""
+
+    def __init__(self, events: Sequence[ChaosEvent] = ()):
+        # Stable sort: simultaneous events apply in declaration order.
+        self.events = tuple(sorted(events, key=lambda e: e.at))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def targets(self) -> set:
+        return {e.target for e in self.events if e.target != "*"}
+
+
+def parse_schedule(text: str) -> ChaosSchedule:
+    """Parse the ``@<t> <action> <target> [k=v ...]`` DSL into a schedule."""
+    events = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        if len(tokens) < 3 or not tokens[0].startswith("@"):
+            raise ReproError(
+                f"chaos DSL line {lineno}: expected '@<t> <action> <target>"
+                f" [k=v ...]', got {raw!r}"
+            )
+        try:
+            at = float(tokens[0][1:])
+        except ValueError as exc:
+            raise ReproError(
+                f"chaos DSL line {lineno}: bad time {tokens[0]!r}"
+            ) from exc
+        params = {}
+        for token in tokens[3:]:
+            if "=" not in token:
+                raise ReproError(
+                    f"chaos DSL line {lineno}: bad param {token!r} (want k=v)"
+                )
+            key, value = token.split("=", 1)
+            try:
+                params[key] = float(value)
+            except ValueError as exc:
+                raise ReproError(
+                    f"chaos DSL line {lineno}: non-numeric param {token!r}"
+                ) from exc
+        events.append(ChaosEvent(at, tokens[1], tokens[2], params))
+    return ChaosSchedule(events)
+
+
+class ChaosEndpoint(Transport):
+    """A replica whose failure modes a schedule can script.
+
+    ``factory`` builds the replica's byte-level server (typically
+    ``SPServer`` over ``ServiceProvider.from_snapshots(...)``); it is
+    called once at construction and again on every :meth:`restart`, so a
+    restart genuinely exercises the snapshot cold-start path.  The
+    tamper layer is a :class:`~repro.net.faults.FaultyTransport` whose
+    ``tamper`` rate the schedule flips at runtime.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        factory: Callable[[], object],
+        group,
+        rng: random.Random,
+        clock: Optional[Clock] = None,
+        max_in_flight: Optional[int] = None,
+        retry_after: float = 0.05,
+    ):
+        self.name = name
+        self.factory = factory
+        self.clock = clock or Clock()
+        self.max_in_flight = max_in_flight
+        self.retry_after = retry_after
+        self.crashed = False
+        self.restarts = 0
+        #: Back-reference set by ChaosController so that events whose time
+        #: has come apply even when the clock advanced *mid-retry* (a
+        #: client sleeping through the end of an overload burst must see
+        #: the burst end on its next exchange, not at the next query).
+        self.controller: Optional["ChaosController"] = None
+        self.server = self._build()
+        # The lambda indirection keeps the tamper layer valid across
+        # restarts, which swap self.server underneath it.
+        self._faulty = FaultyTransport(
+            LoopbackTransport(lambda f: self.server.handle_frame(f)),
+            rng=rng, rates={"tamper": 0.0}, group=group, clock=self.clock,
+        )
+
+    def _build(self) -> ResilientSPServer:
+        return ResilientSPServer(
+            self.factory(), max_in_flight=self.max_in_flight,
+            retry_after=self.retry_after,
+        )
+
+    # -- scripted failure modes ---------------------------------------------
+    def crash(self) -> None:
+        self.crashed = True
+
+    def restart(self) -> None:
+        """Cold-start a fresh server (snapshot restore path) and serve."""
+        self.server = self._build()
+        self.crashed = False
+        self.restarts += 1
+
+    def set_tamper(self, rate: float) -> None:
+        self._faulty.set_rate("tamper", rate)
+
+    @property
+    def tamper_rate(self) -> float:
+        return self._faulty.rates.get("tamper", 0.0)
+
+    @property
+    def tampered_responses(self) -> int:
+        return self._faulty.injected["tamper"]
+
+    # -- Transport -----------------------------------------------------------
+    def round_trip(self, request_frame: bytes) -> bytes:
+        if self.controller is not None:
+            self.controller.tick()
+        if self.crashed:
+            raise TransportError(f"endpoint {self.name} is down")
+        return self._faulty.round_trip(request_frame)
+
+
+class ChaosController:
+    """Applies a schedule's due events to named endpoints as time passes."""
+
+    def __init__(self, schedule: ChaosSchedule,
+                 endpoints: Dict[str, ChaosEndpoint], clock: Clock,
+                 start: Optional[float] = None):
+        unknown = schedule.targets() - set(endpoints)
+        if unknown:
+            raise ReproError(
+                f"schedule targets unknown endpoints: {sorted(unknown)}"
+            )
+        self.schedule = schedule
+        self.endpoints = endpoints
+        self.clock = clock
+        self.start = clock.now() if start is None else start
+        self.applied: list = []
+        self._cursor = 0
+        for endpoint in endpoints.values():
+            endpoint.controller = self
+
+    @property
+    def pending(self) -> int:
+        return len(self.schedule.events) - self._cursor
+
+    def tick(self) -> list:
+        """Apply every event whose time has come; returns those applied."""
+        elapsed = self.clock.now() - self.start
+        fired = []
+        while (self._cursor < len(self.schedule.events)
+               and self.schedule.events[self._cursor].at <= elapsed):
+            event = self.schedule.events[self._cursor]
+            self._cursor += 1
+            self._apply(event)
+            fired.append(event)
+        return fired
+
+    def _apply(self, event: ChaosEvent) -> None:
+        targets = (
+            list(self.endpoints.values()) if event.target == "*"
+            else [self.endpoints[event.target]]
+        )
+        for endpoint in targets:
+            self._apply_one(event, endpoint)
+        self.applied.append(event)
+        _M_EVENTS.inc(action=event.action)
+        _LOG.info(
+            "chaos_event", action=event.action, target=event.target,
+            at=event.at, **dict(event.params),
+        )
+
+    def _apply_one(self, event: ChaosEvent, endpoint: ChaosEndpoint) -> None:
+        if event.action == "crash":
+            endpoint.crash()
+        elif event.action == "restart":
+            endpoint.restart()
+        elif event.action == "tamper":
+            endpoint.set_tamper(event.params.get("rate", 1.0))
+        elif event.action == "heal":
+            endpoint.set_tamper(0.0)
+        elif event.action == "overload":
+            endpoint.server.set_background_load(int(event.params.get("load", 1)))
+        elif event.action == "calm":
+            endpoint.server.set_background_load(0)
+        elif event.action == "drain":
+            endpoint.server.drain()
+        elif event.action == "resume":
+            endpoint.server.resume()
+        else:  # pragma: no cover - ChaosEvent validates actions
+            raise ReproError(f"unknown chaos action {event.action!r}")
+
+
+__all__ = [
+    "ACTIONS",
+    "ChaosController",
+    "ChaosEndpoint",
+    "ChaosEvent",
+    "ChaosSchedule",
+    "parse_schedule",
+]

@@ -12,7 +12,9 @@ transport.Transport` that is allowed to fail.  Per logical query it:
    retried rather than trusted;
 3. retries transport faults, undecodable responses, server error frames,
    and *failed verifications* with exponential backoff + jitter, up to
-   ``max_attempts`` and bounded by the per-request ``deadline``;
+   ``max_attempts`` and bounded by the per-request ``deadline``; an
+   ``overloaded`` error frame's ``retry-after`` hint floors the backoff,
+   and no backoff is slept after the final attempt;
 4. re-raises the last typed error when attempts run out — so every
    outcome is either a **verified** result or a
    :class:`~repro.errors.ReproError` subclass.
@@ -44,6 +46,7 @@ from repro.errors import (
     CryptoError,
     DeadlineExceededError,
     DeserializationError,
+    OverloadedError,
     ReproError,
     TransportError,
     VerificationError,
@@ -113,8 +116,14 @@ class CircuitBreaker:
     """Fail fast after ``failure_threshold`` consecutive failed queries.
 
     States: *closed* (normal), *open* (every call rejected until
-    ``reset_timeout`` elapses), *half-open* (one trial allowed; success
-    closes the circuit, failure re-opens it).
+    ``reset_timeout`` elapses), *half-open* (exactly **one** trial
+    allowed; success closes the circuit, failure re-opens it for another
+    full window).  ``allow()`` enforces the single probe: the first
+    caller in half-open is admitted, every further caller is rejected
+    until the probe resolves via :meth:`record_success` or
+    :meth:`record_failure`.  Every state transition — including
+    half-open → open re-opens — increments
+    ``repro_client_breaker_transitions_total{to=...}``.
     """
 
     def __init__(
@@ -130,6 +139,7 @@ class CircuitBreaker:
         self.clock = clock or Clock()
         self.failures = 0
         self._opened_at: Optional[float] = None
+        self._probe_inflight = False
 
     @property
     def state(self) -> str:
@@ -140,17 +150,35 @@ class CircuitBreaker:
         return "open"
 
     def allow(self) -> bool:
-        return self.state != "open"
+        state = self.state
+        if state == "closed":
+            return True
+        if state == "open":
+            return False
+        # Half-open: admit exactly one probe until it resolves.
+        if self._probe_inflight:
+            return False
+        self._probe_inflight = True
+        _M_BREAKER.inc(to="half-open")
+        return True
 
     def record_success(self) -> None:
         if self._opened_at is not None:
             _M_BREAKER.inc(to="closed")
         self.failures = 0
         self._opened_at = None
+        self._probe_inflight = False
 
     def record_failure(self) -> None:
+        was_half_open = self.state == "half-open"
         self.failures += 1
-        if self.failures >= self.failure_threshold:
+        if was_half_open:
+            # The probe failed: re-open for another full window.  This is
+            # a transition even though _opened_at was already set.
+            _M_BREAKER.inc(to="open")
+            self._opened_at = self.clock.now()
+            self._probe_inflight = False
+        elif self.failures >= self.failure_threshold:
             if self._opened_at is None:
                 _M_BREAKER.inc(to="open")
             self._opened_at = self.clock.now()
@@ -170,12 +198,74 @@ class ClientStats:
     duplicates_detected: int = 0
     error_frames: int = 0
     breaker_rejections: int = 0
+    overload_rejections: int = 0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
 
 
 _RETRYABLE = (TransportError, CryptoError, VerificationError, AccessDeniedError)
+
+#: Exception classes that prove *content* tampering (a forged proof or
+#: sealed envelope) as opposed to transport-level corruption or loss.
+#: DeserializationError is excluded: an undecodable frame is
+#: indistinguishable from line noise, so it is transport-class.
+TAMPER_ERRORS = (VerificationError, CryptoError, AccessDeniedError)
+
+
+def is_tamper_error(exc: BaseException) -> bool:
+    """True when ``exc`` proves content tampering, not transport loss.
+
+    This is the classification :class:`~repro.net.cluster.
+    ReplicatedClient` uses to decide between a Byzantine (``tamper``)
+    and a transport eviction for the endpoint that produced ``exc``.
+    """
+    if isinstance(exc, DeserializationError):
+        return False
+    return isinstance(exc, TAMPER_ERRORS)
+
+
+def wire_exchange(transport, payload: bytes, verify: Callable, group,
+                  rng: random.Random, counters: ClientStats):
+    """One framed request/verify exchange — the shared wire attempt.
+
+    Frames ``payload`` under a fresh random 16-byte id (trace-stamped),
+    round-trips it, rejects id mismatches (duplicates/replays), decodes
+    typed error frames, and funnels the decoded response through
+    ``verify``.  Both :class:`ResilientClient` and
+    :class:`~repro.net.cluster.ReplicatedClient` speak the wire through
+    this function, so duplicate detection and error-frame semantics can
+    never drift between the single-endpoint and replicated paths.
+    """
+    # Always draw the full 128 bits (a stable rng-stream contract the
+    # deterministic backoff/deadline tests rely on), then stamp the
+    # active trace id over the first 8 bytes for wire correlation.
+    request_id = rng.getrandbits(8 * REQUEST_ID_BYTES).to_bytes(
+        REQUEST_ID_BYTES, "big"
+    )
+    request_id = embed_trace_id(request_id, _trace.current_trace_id())
+    reply = transport.round_trip(frame(request_id, payload))
+    reply_id, body = unframe(reply)
+    if reply_id != request_id:
+        counters.duplicates_detected += 1
+        _trace.add_event("duplicate_detected")
+        raise TransportError(
+            "response id mismatch: duplicated or replayed frame rejected"
+        )
+    if is_error_frame(body):
+        error = ErrorResponse.from_bytes(body)
+        counters.error_frames += 1
+        _trace.add_event("error_frame", code=error.code)
+        if error.code == ErrorResponse.WORKLOAD:
+            raise WorkloadError(f"SP rejected query: {error.message}")
+        if error.code == ErrorResponse.OVERLOADED:
+            raise OverloadedError(
+                f"SP shed request: {error.message}",
+                retry_after=error.retry_after_hint(),
+            )
+        raise TransportError(f"SP error frame [{error.code}]: {error.message}")
+    response = decode_response(group, body)
+    return verify(response)
 
 
 class ResilientClient:
@@ -287,7 +377,12 @@ class ResilientClient:
                     "attempt_failed", attempt=attempt,
                     error=type(exc).__name__,
                 )
-                self.clock.sleep(self._bounded_backoff(attempt, start))
+                # Sleeping after the *final* failed attempt (or once the
+                # deadline is already gone) only delays the error the
+                # caller is about to receive — skip it.
+                if attempt + 1 < self.policy.max_attempts and not self._expired(start):
+                    floor = getattr(exc, "retry_after", None) or 0.0
+                    self.clock.sleep(self._bounded_backoff(attempt, start, floor))
                 continue
             if self._expired(start):
                 # The response arrived verified but *late*; the deadline
@@ -315,36 +410,19 @@ class ResilientClient:
         )
 
     def _attempt(self, payload: bytes, verify: Callable):
-        # Always draw the full 128 bits (a stable rng-stream contract the
-        # deterministic backoff/deadline tests rely on), then stamp the
-        # active trace id over the first 8 bytes for wire correlation.
-        request_id = self.rng.getrandbits(8 * REQUEST_ID_BYTES).to_bytes(
-            REQUEST_ID_BYTES, "big"
+        return wire_exchange(
+            self.transport, payload, verify, self.user.group, self.rng,
+            self.counters,
         )
-        request_id = embed_trace_id(request_id, _trace.current_trace_id())
-        reply = self.transport.round_trip(frame(request_id, payload))
-        reply_id, body = unframe(reply)
-        if reply_id != request_id:
-            self.counters.duplicates_detected += 1
-            _trace.add_event("duplicate_detected")
-            raise TransportError(
-                "response id mismatch: duplicated or replayed frame rejected"
-            )
-        if is_error_frame(body):
-            error = ErrorResponse.from_bytes(body)
-            self.counters.error_frames += 1
-            _trace.add_event("error_frame", code=error.code)
-            if error.code == ErrorResponse.WORKLOAD:
-                raise WorkloadError(f"SP rejected query: {error.message}")
-            raise TransportError(f"SP error frame [{error.code}]: {error.message}")
-        response = decode_response(self.user.group, body)
-        return verify(response)
 
     # -- bookkeeping ---------------------------------------------------------
     def _classify(self, exc: ReproError) -> None:
         if isinstance(exc, DeserializationError):
             self.counters.decode_failures += 1
             _M_ATTEMPT_ERRORS.inc(**{"class": "decode"})
+        elif isinstance(exc, OverloadedError):
+            self.counters.overload_rejections += 1
+            _M_ATTEMPT_ERRORS.inc(**{"class": "overloaded"})
         elif isinstance(exc, TransportError):
             self.counters.transport_errors += 1
             _M_ATTEMPT_ERRORS.inc(**{"class": "transport"})
@@ -357,8 +435,11 @@ class ResilientClient:
             return False
         return self.clock.now() - start >= self.policy.deadline
 
-    def _bounded_backoff(self, attempt: int, start: float) -> float:
-        delay = self.policy.backoff(attempt, self.rng)
+    def _bounded_backoff(self, attempt: int, start: float,
+                         floor: float = 0.0) -> float:
+        """Backoff for ``attempt``, floored by a server retry-after hint
+        and clamped so the client never sleeps past its own deadline."""
+        delay = max(self.policy.backoff(attempt, self.rng), floor)
         if self.policy.deadline is not None:
             remaining = self.policy.deadline - (self.clock.now() - start)
             delay = min(delay, max(0.0, remaining))

@@ -1,0 +1,544 @@
+"""Replicated SP serving: failover, hedging, and Byzantine quarantine.
+
+The paper's deployment model makes the SP *untrusted*: VO verification
+is a cryptographic misbehaviour detector.  A single-endpoint client can
+only use that detector to *reject* — availability still dies with its
+one SP.  :class:`ReplicatedClient` turns the detector into a router: a
+logical query fans over N replica endpoints, and an endpoint whose
+response **fails verification** is treated fundamentally differently
+from one that merely times out:
+
+* **tamper eviction** — a :class:`~repro.errors.VerificationError`-class
+  failure (forged proof, forged sealed envelope, inaccessible-record
+  substitution) proves the *content* was wrong.  The endpoint is
+  quarantined for ``quarantine_window`` seconds, its health score is
+  zeroed, and ``repro_cluster_evicted_total{endpoint=...,reason="tamper"}``
+  increments.  A persistent tamperer is re-quarantined on every probe
+  and effectively leaves the rotation.
+* **transport eviction** — drops, timeouts, undecodable frames, and
+  server error frames feed the endpoint's per-endpoint
+  :class:`~repro.net.client.CircuitBreaker`; when it opens the endpoint
+  is excluded for the breaker's reset window and
+  ``...{reason="transport"}`` increments.  Transport faults are
+  innocent-until-proven-guilty: the replica may just be behind a bad
+  link.
+
+Endpoint selection ranks eligible replicas by a success-EWMA health
+score, breaking ties least-recently-attempted first (deterministic
+round-robin among equally healthy replicas, so load spreads **and**
+every replica keeps getting probed — a tamperer cannot hide behind
+never being selected).  ``overloaded`` error frames take the endpoint
+out of rotation
+for exactly the server's ``retry-after`` hint — no breaker penalty, no
+quarantine — so an overload burst is absorbed by waiting, not by
+evicting healthy replicas.
+
+**Hedging.**  With ``hedge_percentile`` set, the client tracks observed
+attempt latencies (bounded reservoir); once a verified primary response
+comes back slower than that percentile, a hedged second request is
+immediately issued to the next-ranked endpoint.  The primary's verified
+result wins (it completed first); the hedge's value is the probe — it
+keeps the backup's health and latency estimates warm so the *next*
+failover decision is informed.  Hedges are counted in
+``repro_cluster_hedges_total``.
+
+The soundness invariant is inherited, not re-implemented: every result
+returned by this class went through the same
+:func:`~repro.net.client.wire_exchange` → ``verify`` path as the
+single-endpoint client, so **no unverified result is ever returned**,
+no matter which replica answered.  See ``docs/OPERATIONS.md``
+("Replication, failover, and overload") and ``benchmarks/chaos_soak.py``
+for the invariant drill.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.core.messages import QueryRequest
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    DeserializationError,
+    OverloadedError,
+    ReproError,
+    TransportError,
+    WorkloadError,
+)
+from repro.net.client import (
+    CircuitBreaker,
+    ClientStats,
+    RetryPolicy,
+    is_tamper_error,
+    wire_exchange,
+)
+from repro.net.transport import Clock, Transport
+from repro.obs import logging as _obslog
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+
+_REG = _metrics.registry()
+_M_REQUESTS = _REG.counter(
+    "repro_cluster_requests_total", "Logical queries issued by ReplicatedClient.",
+    labelnames=("kind",),
+)
+_M_ATTEMPTS = _REG.counter(
+    "repro_cluster_attempts_total", "Wire attempts per endpoint.",
+    labelnames=("endpoint",),
+)
+_M_OUTCOMES = _REG.counter(
+    "repro_cluster_outcomes_total", "Logical query outcomes.",
+    labelnames=("outcome",),
+)
+_M_EVICTED = _REG.counter(
+    "repro_cluster_evicted_total",
+    "Endpoint evictions: Byzantine quarantine vs transport breaker.",
+    labelnames=("endpoint", "reason"),
+)
+_M_HEDGES = _REG.counter(
+    "repro_cluster_hedges_total", "Hedged second requests issued.",
+)
+_M_OVERLOAD_WAITS = _REG.counter(
+    "repro_cluster_overload_backoffs_total",
+    "Endpoint rotations honoring a server retry-after hint.",
+    labelnames=("endpoint",),
+)
+_M_QUARANTINED = _REG.gauge(
+    "repro_cluster_quarantined", "Endpoints currently quarantined.",
+)
+_LOG = _obslog.get_logger("cluster")
+
+#: Health-score EWMA step: one observation moves the score 30% of the way
+#: toward its outcome (1.0 success / 0.0 failure).
+_HEALTH_ALPHA = 0.3
+#: Latency EWMA step.
+_LATENCY_ALPHA = 0.3
+
+
+class Endpoint:
+    """One replica's client-side state: transport + suspicion bookkeeping."""
+
+    def __init__(self, name: str, transport: Transport,
+                 breaker: CircuitBreaker, clock: Clock):
+        self.name = name
+        self.transport = transport
+        self.breaker = breaker
+        self.clock = clock
+        self.health = 1.0
+        self.latency_ewma: Optional[float] = None
+        self.quarantined_until: Optional[float] = None
+        self.backoff_until = 0.0
+        self.last_attempt_at = float("-inf")  # never attempted sorts first
+        self.attempts = 0
+        self.successes = 0
+        self.evictions: Dict[str, int] = {"tamper": 0, "transport": 0}
+
+    @property
+    def quarantined(self) -> bool:
+        return (self.quarantined_until is not None
+                and self.clock.now() < self.quarantined_until)
+
+    def eligible(self, now: float) -> bool:
+        """In rotation: not quarantined, not backing off, breaker not open."""
+        if self.quarantined:
+            return False
+        if now < self.backoff_until:
+            return False
+        return self.breaker.state != "open"
+
+    def observe_success(self, latency: float) -> None:
+        self.successes += 1
+        self.health += _HEALTH_ALPHA * (1.0 - self.health)
+        self._observe_latency(latency)
+        self.breaker.record_success()
+
+    def observe_transport_failure(self) -> None:
+        self.health -= _HEALTH_ALPHA * self.health
+        self.breaker.record_failure()
+
+    def _observe_latency(self, latency: float) -> None:
+        if self.latency_ewma is None:
+            self.latency_ewma = latency
+        else:
+            self.latency_ewma += _LATENCY_ALPHA * (latency - self.latency_ewma)
+
+    def snapshot(self) -> dict:
+        return {
+            "health": round(self.health, 4),
+            "latency_ewma": self.latency_ewma,
+            "quarantined": self.quarantined,
+            "quarantined_until": self.quarantined_until,
+            "backoff_until": self.backoff_until,
+            "breaker": self.breaker.state,
+            "attempts": self.attempts,
+            "successes": self.successes,
+            "evictions": dict(self.evictions),
+        }
+
+
+@dataclass
+class ClusterStats:
+    """Cluster-level counters (per-endpoint detail lives on Endpoint)."""
+
+    requests: int = 0
+    verified: int = 0
+    failures: int = 0
+    failovers: int = 0
+    hedges: int = 0
+    quarantines: int = 0
+    overload_backoffs: int = 0
+    exhausted_rotations: int = 0
+    wire: ClientStats = field(default_factory=ClientStats)
+
+    def as_dict(self) -> dict:
+        out = dict(self.__dict__)
+        out["wire"] = self.wire.as_dict()
+        return out
+
+
+class ReplicatedClient:
+    """Fan one logical query across N SP replicas; trust only the proofs.
+
+    ``transports`` maps endpoint name → :class:`~repro.net.transport.
+    Transport`.  The query API mirrors :class:`~repro.net.client.
+    ResilientClient` (``query_equality`` / ``query_range`` /
+    ``query_join``), so the two are drop-in interchangeable.
+
+    One *attempt* (in :class:`~repro.net.client.RetryPolicy` terms) is a
+    full failover pass: every currently-eligible endpoint is tried in
+    health order before the client sleeps a backoff.  The deadline spans
+    all attempts, exactly like the single-endpoint client.
+    """
+
+    def __init__(
+        self,
+        user,
+        transports: Dict[str, Transport],
+        policy: Optional[RetryPolicy] = None,
+        clock: Optional[Clock] = None,
+        rng: Optional[random.Random] = None,
+        quarantine_window: float = 300.0,
+        failure_threshold: int = 3,
+        reset_timeout: float = 30.0,
+        hedge_percentile: Optional[float] = 0.95,
+        hedge_min_samples: int = 16,
+        latency_reservoir: int = 128,
+    ):
+        if not transports:
+            raise ReproError("a replicated client needs at least one endpoint")
+        if quarantine_window <= 0:
+            raise ReproError("quarantine_window must be positive")
+        if hedge_percentile is not None and not 0.0 < hedge_percentile < 1.0:
+            raise ReproError("hedge_percentile must be in (0, 1) or None")
+        self.user = user
+        self.policy = policy or RetryPolicy()
+        self.clock = clock or Clock()
+        self.rng = rng or random.Random()
+        self.quarantine_window = quarantine_window
+        self.hedge_percentile = hedge_percentile
+        self.hedge_min_samples = max(2, hedge_min_samples)
+        self.endpoints: Dict[str, Endpoint] = {
+            name: Endpoint(
+                name, transport,
+                CircuitBreaker(failure_threshold, reset_timeout, clock=self.clock),
+                self.clock,
+            )
+            for name, transport in transports.items()
+        }
+        self.counters = ClusterStats()
+        self._latencies: deque = deque(maxlen=latency_reservoir)
+
+    # -- public queries ------------------------------------------------------
+    def query_equality(self, table: str, key, encrypt: bool = True):
+        request = QueryRequest(
+            kind="equality", table=table, lo=tuple(key), hi=tuple(key),
+            roles=self.user.roles, encrypt=encrypt,
+        )
+        return self._execute(request, self.user.verify)
+
+    def query_range(self, table: str, lo, hi, encrypt: bool = True):
+        request = QueryRequest(
+            kind="range", table=table, lo=tuple(lo), hi=tuple(hi),
+            roles=self.user.roles, encrypt=encrypt,
+        )
+        return self._execute(request, self.user.verify)
+
+    def query_join(self, left: str, right: str, lo, hi, encrypt: bool = True):
+        request = QueryRequest(
+            kind="join", table=left, right_table=right, lo=tuple(lo), hi=tuple(hi),
+            roles=self.user.roles, encrypt=encrypt,
+        )
+        return self._execute(request, self.user.verify_join)
+
+    # -- selection -----------------------------------------------------------
+    def _ranked(self, now: float) -> list:
+        """Eligible endpoints, best first; deterministic under ties.
+
+        Healthiest first; among equal health the least-recently-attempted
+        endpoint wins, which round-robins steady-state traffic across
+        healthy replicas and guarantees every replica keeps being probed
+        (a Byzantine replica cannot dodge detection by simply never
+        being selected).
+        """
+        eligible = [e for e in self.endpoints.values() if e.eligible(now)]
+        eligible.sort(key=lambda e: (-e.health, e.last_attempt_at, e.name))
+        return eligible
+
+    def _earliest_relief(self, now: float) -> Optional[float]:
+        """Seconds until some endpoint re-enters rotation, if knowable."""
+        horizons = []
+        for ep in self.endpoints.values():
+            if ep.quarantined:
+                horizons.append(ep.quarantined_until - now)
+            elif now < ep.backoff_until:
+                horizons.append(ep.backoff_until - now)
+            elif ep.breaker.state == "open":
+                opened = ep.breaker._opened_at
+                if opened is not None:
+                    horizons.append(opened + ep.breaker.reset_timeout - now)
+        return max(0.0, min(horizons)) if horizons else None
+
+    # -- eviction ------------------------------------------------------------
+    def _quarantine(self, endpoint: Endpoint, now: float) -> None:
+        endpoint.quarantined_until = now + self.quarantine_window
+        endpoint.health = 0.0
+        endpoint.evictions["tamper"] += 1
+        self.counters.quarantines += 1
+        _M_EVICTED.inc(endpoint=endpoint.name, reason="tamper")
+        self._update_quarantine_gauge()
+        _trace.add_event("endpoint_evicted", endpoint=endpoint.name, reason="tamper")
+        _LOG.error(
+            "endpoint_quarantined", endpoint=endpoint.name,
+            until=endpoint.quarantined_until, window=self.quarantine_window,
+        )
+
+    def _transport_evict(self, endpoint: Endpoint) -> None:
+        """Called when an endpoint's breaker transitioned to open."""
+        endpoint.evictions["transport"] += 1
+        _M_EVICTED.inc(endpoint=endpoint.name, reason="transport")
+        _trace.add_event(
+            "endpoint_evicted", endpoint=endpoint.name, reason="transport"
+        )
+        _LOG.warning(
+            "endpoint_breaker_open", endpoint=endpoint.name,
+            reset_timeout=endpoint.breaker.reset_timeout,
+        )
+
+    def _update_quarantine_gauge(self) -> None:
+        _M_QUARANTINED.set(
+            sum(1 for e in self.endpoints.values() if e.quarantined)
+        )
+
+    # -- the failover loop ---------------------------------------------------
+    def _execute(self, request: QueryRequest, verify: Callable):
+        with _trace.span(
+            "cluster.query", kind=request.kind, table=request.table
+        ) as query_span:
+            return self._execute_traced(request, verify, query_span)
+
+    def _execute_traced(self, request: QueryRequest, verify, query_span):
+        self.counters.requests += 1
+        _M_REQUESTS.inc(kind=request.kind)
+        payload = request.to_bytes()
+        start = self.clock.now()
+        last_error: Optional[ReproError] = None
+        for attempt in range(self.policy.max_attempts):
+            if self._expired(start):
+                break
+            now = self.clock.now()
+            ranked = self._ranked(now)
+            if not ranked:
+                self.counters.exhausted_rotations += 1
+                last_error = last_error or CircuitOpenError(
+                    "no eligible endpoint: all replicas quarantined, "
+                    "backing off, or circuit-open"
+                )
+            retry_floor = 0.0
+            for position, endpoint in enumerate(ranked):
+                if not endpoint.breaker.allow():
+                    continue  # half-open probe already taken elsewhere
+                if position:
+                    self.counters.failovers += 1
+                    _trace.add_event("failover", to=endpoint.name)
+                try:
+                    result, latency = self._try_endpoint(
+                        endpoint, payload, verify
+                    )
+                except WorkloadError:
+                    # Deterministic rejection: every replica would say the
+                    # same thing.  Not an endpoint failure.
+                    _M_OUTCOMES.inc(outcome="workload_rejected")
+                    raise
+                except OverloadedError as exc:
+                    last_error = exc
+                    self._count_wire_error(exc)
+                    hint = exc.retry_after if exc.retry_after is not None else 0.0
+                    endpoint.backoff_until = self.clock.now() + hint
+                    retry_floor = max(retry_floor, hint)
+                    self.counters.overload_backoffs += 1
+                    _M_OVERLOAD_WAITS.inc(endpoint=endpoint.name)
+                    # No breaker penalty: the replica is healthy, just busy.
+                    endpoint.breaker.record_success()
+                    continue
+                except ReproError as exc:
+                    last_error = exc
+                    self._count_wire_error(exc)
+                    if is_tamper_error(exc):
+                        self._quarantine(endpoint, self.clock.now())
+                    else:
+                        was_open = endpoint.breaker.state == "open"
+                        endpoint.observe_transport_failure()
+                        if not was_open and endpoint.breaker.state == "open":
+                            self._transport_evict(endpoint)
+                    continue
+                endpoint.observe_success(latency)
+                self._maybe_hedge(endpoint, ranked, payload, verify, latency)
+                if self._expired(start):
+                    break  # verified but late: the deadline contract rules
+                self.counters.verified += 1
+                query_span.set_attributes(
+                    attempts=attempt + 1, endpoint=endpoint.name,
+                    outcome="verified",
+                )
+                _M_OUTCOMES.inc(outcome="verified")
+                self._update_quarantine_gauge()
+                return result
+            if self._expired(start):
+                break
+            if attempt + 1 < self.policy.max_attempts:
+                relief = self._earliest_relief(self.clock.now())
+                if relief is not None:
+                    retry_floor = max(retry_floor, relief)
+                self.clock.sleep(self._bounded_backoff(attempt, start, retry_floor))
+        self.counters.failures += 1
+        _M_OUTCOMES.inc(outcome="failed")
+        query_span.set_attribute("outcome", "failed")
+        _LOG.error(
+            "cluster_query_failed", kind=request.kind, table=request.table,
+            last_error=type(last_error).__name__ if last_error else None,
+        )
+        if self._expired(start):
+            raise DeadlineExceededError(
+                f"deadline of {self.policy.deadline}s exceeded across "
+                f"{len(self.endpoints)} endpoint(s)"
+            ) from last_error
+        raise last_error if last_error is not None else TransportError(
+            "query failed before any endpoint was attempted"
+        )
+
+    def _try_endpoint(self, endpoint: Endpoint, payload: bytes, verify):
+        endpoint.attempts += 1
+        endpoint.last_attempt_at = self.clock.now()
+        _M_ATTEMPTS.inc(endpoint=endpoint.name)
+        before = self.clock.now()
+        with _trace.span("cluster.attempt", endpoint=endpoint.name):
+            result = wire_exchange(
+                endpoint.transport, payload, verify, self.user.group,
+                self.rng, self.counters.wire,
+            )
+        latency = self.clock.now() - before
+        self._latencies.append(latency)
+        return result, latency
+
+    # -- hedging -------------------------------------------------------------
+    def _hedge_threshold(self) -> Optional[float]:
+        if self.hedge_percentile is None:
+            return None
+        if len(self._latencies) < self.hedge_min_samples:
+            return None
+        ordered = sorted(self._latencies)
+        index = min(
+            len(ordered) - 1, int(self.hedge_percentile * len(ordered))
+        )
+        return ordered[index]
+
+    def _maybe_hedge(self, primary: Endpoint, ranked, payload, verify,
+                     latency: float) -> None:
+        """Probe the next-best endpoint after a slow (verified) primary.
+
+        The primary's result already won the race; the hedge keeps the
+        backup's health/latency estimates warm and is counted, so
+        operators can see tail-latency pressure building.
+        """
+        threshold = self._hedge_threshold()
+        if threshold is None or latency <= threshold:
+            return
+        backup = next(
+            (e for e in ranked if e is not primary and e.breaker.allow()), None
+        )
+        if backup is None:
+            return
+        self.counters.hedges += 1
+        _M_HEDGES.inc()
+        _trace.add_event(
+            "hedge_issued", primary=primary.name, backup=backup.name,
+            latency=latency, threshold=threshold,
+        )
+        try:
+            _, hedge_latency = self._try_endpoint(backup, payload, verify)
+        except WorkloadError:
+            raise
+        except OverloadedError as exc:
+            self._count_wire_error(exc)
+            hint = exc.retry_after if exc.retry_after is not None else 0.0
+            backup.backoff_until = self.clock.now() + hint
+            backup.breaker.record_success()
+        except ReproError as exc:
+            self._count_wire_error(exc)
+            if is_tamper_error(exc):
+                self._quarantine(backup, self.clock.now())
+            else:
+                was_open = backup.breaker.state == "open"
+                backup.observe_transport_failure()
+                if not was_open and backup.breaker.state == "open":
+                    self._transport_evict(backup)
+        else:
+            backup.observe_success(hedge_latency)
+
+    # -- bookkeeping ---------------------------------------------------------
+    def _count_wire_error(self, exc: ReproError) -> None:
+        """Mirror ResilientClient's attempt-error classification into the
+        shared wire counters (wire_exchange itself only counts what it can
+        see: duplicates and error frames)."""
+        wire = self.counters.wire
+        if isinstance(exc, OverloadedError):
+            wire.overload_rejections += 1
+        elif isinstance(exc, DeserializationError):
+            wire.decode_failures += 1
+        elif is_tamper_error(exc):
+            wire.verification_failures += 1
+        elif isinstance(exc, TransportError):
+            wire.transport_errors += 1
+
+    def _expired(self, start: float) -> bool:
+        if self.policy.deadline is None:
+            return False
+        return self.clock.now() - start >= self.policy.deadline
+
+    def _bounded_backoff(self, attempt: int, start: float,
+                         floor: float = 0.0) -> float:
+        delay = max(self.policy.backoff(attempt, self.rng), floor)
+        if self.policy.deadline is not None:
+            remaining = self.policy.deadline - (self.clock.now() - start)
+            delay = min(delay, max(0.0, remaining))
+        return delay
+
+    def stats(self) -> dict:
+        """Operational snapshot: cluster counters + per-endpoint state."""
+        snapshot = _metrics.registry().snapshot()
+        return {
+            "counters": self.counters.as_dict(),
+            "endpoints": {
+                name: ep.snapshot() for name, ep in self.endpoints.items()
+            },
+            "registry": {
+                key: value for key, value in snapshot.items()
+                if key.startswith("repro_cluster_")
+            },
+        }
+
+
+__all__ = ["ClusterStats", "Endpoint", "ReplicatedClient"]

@@ -95,6 +95,16 @@ class FaultyTransport(Transport):
         self.injected: Counter[str] = Counter()
         self._last_response: Optional[bytes] = None
 
+    def set_rate(self, kind: str, rate: float) -> None:
+        """Change one fault rate at runtime (chaos schedules script this)."""
+        if kind not in FAULT_KINDS:
+            raise ReproError(f"unknown fault kind {kind!r}")
+        if not 0.0 <= rate <= 1.0:
+            raise ReproError("fault rates must be probabilities in [0, 1]")
+        if kind == "tamper" and rate and self.group is None:
+            raise ReproError("the tamper fault needs the group to re-encode responses")
+        self.rates[kind] = rate
+
     def _pick_fault(self) -> Optional[str]:
         for kind in FAULT_KINDS:
             rate = self.rates.get(kind, 0.0)

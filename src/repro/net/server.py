@@ -21,9 +21,22 @@ Two observability hooks live here:
 * a ``stats`` request type — payload :data:`STATS_REQUEST` — answers
   with the registry's Prometheus exposition instead of a query
   response, giving operators a scrape endpoint over the same frames.
+
+**Admission control.** A server constructed with ``max_in_flight=N``
+sheds work once ``N`` requests are already being handled (plus any
+synthetic ``background_load`` a capacity drill injects): the excess
+frame is answered with a typed ``overloaded`` error frame carrying a
+``retry-after`` hint instead of queueing unboundedly.  :meth:`drain`
+enters graceful shutdown — in-flight requests finish, every new query
+frame is shed the same way (stats scrapes still answer, so operators
+can watch the drain) — and :meth:`resume` reverses it.  Shedding
+degrades availability, never soundness: an overloaded frame carries no
+proof material and the client retries elsewhere or later.
 """
 
 from __future__ import annotations
+
+import threading
 
 from repro.core.messages import ErrorResponse, SPServer
 from repro.errors import DeserializationError, ReproError, WorkloadError
@@ -52,6 +65,13 @@ _M_FRAMES = _REG.counter(
 _M_SCRAPES = _REG.counter(
     "repro_server_scrapes_total", "Metrics scrape requests served.",
 )
+_M_SHED = _REG.counter(
+    "repro_server_shed_total", "Frames shed by admission control.",
+    labelnames=("reason",),
+)
+_M_INFLIGHT = _REG.gauge(
+    "repro_server_in_flight", "Requests currently being handled.",
+)
 _LOG = _obslog.get_logger("server")
 
 
@@ -63,13 +83,85 @@ def decode_stats_response(payload: bytes) -> str:
 
 
 class ResilientSPServer:
-    """Frame-level request loop that degrades failures to error frames."""
+    """Frame-level request loop that degrades failures to error frames.
 
-    def __init__(self, server: SPServer):
+    ``max_in_flight`` bounds concurrent query handling (``None`` means
+    unbounded — the pre-admission-control behaviour); shed frames are
+    answered ``overloaded`` with a ``retry_after`` hint (seconds).
+    """
+
+    def __init__(self, server: SPServer, max_in_flight=None,
+                 retry_after: float = 0.05):
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ReproError("max_in_flight must be >= 1 (or None)")
+        if retry_after < 0:
+            raise ReproError("retry_after must be non-negative")
         self.server = server
+        self.max_in_flight = max_in_flight
+        self.retry_after = retry_after
         self.served = 0
         self.errors = 0
+        self.shed = 0
+        #: Synthetic concurrent load, injected by capacity/chaos drills to
+        #: model other clients' in-flight requests deterministically in a
+        #: single-threaded simulation.  Counts against ``max_in_flight``.
+        self.background_load = 0
+        self._in_flight = 0
+        self._admission_lock = threading.Lock()
+        self._draining = False
 
+    # -- admission control ---------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    def drain(self) -> None:
+        """Enter graceful shutdown: finish in-flight work, shed new frames."""
+        self._draining = True
+
+    def resume(self) -> None:
+        """Leave drain mode and admit queries again."""
+        self._draining = False
+
+    def set_background_load(self, load: int) -> None:
+        if load < 0:
+            raise ReproError("background_load must be non-negative")
+        self.background_load = load
+
+    def _admit(self):
+        """``None`` when admitted (caller must release), else the reason."""
+        with self._admission_lock:
+            if self._draining:
+                return "drain"
+            if (self.max_in_flight is not None
+                    and self._in_flight + self.background_load >= self.max_in_flight):
+                return "overload"
+            self._in_flight += 1
+            _M_INFLIGHT.set(self._in_flight)
+            return None
+
+    def _release(self) -> None:
+        with self._admission_lock:
+            self._in_flight -= 1
+            _M_INFLIGHT.set(self._in_flight)
+
+    def _shed(self, request_id: bytes, reason: str, handle_span) -> bytes:
+        self.shed += 1
+        _M_FRAMES.inc(outcome="overloaded")
+        _M_SHED.inc(reason=reason)
+        handle_span.set_attributes(outcome="overloaded", reason=reason)
+        _LOG.warning("frame_shed", reason=reason, retry_after=self.retry_after)
+        error = ErrorResponse.overloaded(
+            self.retry_after,
+            "server draining" if reason == "drain" else "admission limit reached",
+        )
+        return frame(request_id, error.to_bytes())
+
+    # -- the frame loop ------------------------------------------------------
     def handle_frame(self, request_frame: bytes) -> bytes:
         """Process one framed request; always returns a response frame."""
         try:
@@ -87,10 +179,16 @@ class ResilientSPServer:
             "server.handle_frame", trace_id=extract_trace_id(request_id)
         ) as handle_span:
             if payload == STATS_REQUEST:
+                # Scrapes bypass admission control: operators must be able
+                # to watch an overloaded or draining server.
                 _M_SCRAPES.inc()
-                handle_span.set_attribute("kind", "stats")
+                _M_FRAMES.inc(outcome="stats")
+                handle_span.set_attributes(kind="stats", outcome="stats")
                 text = _metrics.render_prometheus()
                 return frame(request_id, STATS_RESPONSE + text.encode("utf-8"))
+            shed_reason = self._admit()
+            if shed_reason is not None:
+                return self._shed(request_id, shed_reason, handle_span)
             try:
                 response = self.server.handle(payload)
             except DeserializationError as exc:
@@ -104,6 +202,8 @@ class ResilientSPServer:
                 _M_FRAMES.inc(outcome="served")
                 handle_span.set_attribute("outcome", "served")
                 return frame(request_id, response)
+            finally:
+                self._release()
             self.errors += 1
             _M_FRAMES.inc(outcome=error.code)
             handle_span.set_attributes(outcome="error", code=error.code)

@@ -134,12 +134,26 @@ class LoopbackTransport(Transport):
 
     ``handler`` is typically :meth:`repro.net.server.ResilientSPServer.
     handle_frame`; any ``bytes -> bytes`` callable works.
+
+    ``latency`` simulates link time deterministically: a float (seconds)
+    or a zero-argument callable returning one, advanced on the supplied
+    ``clock`` after each exchange.  Replica-cluster tests use this to
+    give endpoints distinct, reproducible latency profiles (hedging
+    fires off the observed percentile).  The default — no clock, zero
+    latency — leaves behaviour unchanged.
     """
 
-    def __init__(self, handler: Callable[[bytes], bytes]):
+    def __init__(self, handler: Callable[[bytes], bytes],
+                 clock: Optional[Clock] = None, latency=0.0):
         self.handler = handler
+        self.clock = clock
+        self.latency = latency
         self.requests = 0
 
     def round_trip(self, request_frame: bytes) -> bytes:
         self.requests += 1
-        return self.handler(request_frame)
+        response = self.handler(request_frame)
+        delay = self.latency() if callable(self.latency) else self.latency
+        if delay and self.clock is not None:
+            self.clock.sleep(delay)
+        return response

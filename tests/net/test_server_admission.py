@@ -1,0 +1,172 @@
+"""Admission control on ResilientSPServer and the overloaded error frame."""
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.core.messages import ErrorResponse, SPServer
+from repro.errors import OverloadedError, ReproError
+from repro.net import (
+    STATS_REQUEST,
+    CircuitBreaker,
+    FakeClock,
+    LoopbackTransport,
+    ResilientClient,
+    ResilientSPServer,
+    RetryPolicy,
+    decode_stats_response,
+    frame,
+    unframe,
+)
+from repro.obs.metrics import registry
+
+from .conftest import run_query
+
+
+@pytest.fixture
+def obs_on():
+    previous = obs.set_enabled(True)
+    try:
+        yield
+    finally:
+        obs.set_enabled(previous)
+
+
+def make_server(env, **kw):
+    return ResilientSPServer(
+        SPServer(env.server.provider, rng=random.Random(3)), **kw
+    )
+
+
+def make_client(env, server, max_attempts=1):
+    clock = FakeClock()
+    return ResilientClient(
+        env.user, LoopbackTransport(server.handle_frame),
+        policy=RetryPolicy(max_attempts=max_attempts, base_delay=0.01, jitter=0.0),
+        breaker=CircuitBreaker(failure_threshold=10**6, clock=clock),
+        clock=clock, rng=random.Random(4),
+    )
+
+
+# -- the overloaded error frame ----------------------------------------------
+
+def test_error_response_overloaded_round_trips_the_hint():
+    error = ErrorResponse.overloaded(0.25, "admission limit reached")
+    again = ErrorResponse.from_bytes(error.to_bytes())
+    assert again.code == ErrorResponse.OVERLOADED
+    assert again.retry_after_hint() == pytest.approx(0.25)
+    assert "admission limit reached" in again.message
+
+
+def test_retry_after_hint_is_tolerant_of_foreign_messages():
+    # A hand-built or future-version frame without the token: no hint.
+    assert ErrorResponse(ErrorResponse.OVERLOADED, "busy").retry_after_hint() is None
+    # A mangled token parses to None rather than raising.
+    mangled = ErrorResponse(ErrorResponse.OVERLOADED, "retry-after=soon")
+    assert mangled.retry_after_hint() is None
+
+
+# -- shedding -----------------------------------------------------------------
+
+def test_background_load_sheds_with_parseable_hint(env):
+    server = make_server(env, max_in_flight=4, retry_after=0.75)
+    server.set_background_load(10)
+    client = make_client(env, server)
+    with pytest.raises(OverloadedError) as excinfo:
+        run_query(client, "range")
+    assert excinfo.value.retry_after == pytest.approx(0.75)
+    assert server.shed == 1
+    assert server.served == 0
+    assert client.counters.overload_rejections == 1
+    assert client.counters.error_frames == 1
+    # Below the limit again: the same server serves.
+    server.set_background_load(0)
+    assert run_query(client, "range") == env.truth["range"]
+    assert server.served == 1
+
+
+def test_unbounded_server_never_sheds(env):
+    server = make_server(env)  # max_in_flight=None
+    server.set_background_load(10_000)
+    client = make_client(env, server)
+    assert run_query(client, "range") == env.truth["range"]
+    assert server.shed == 0
+
+
+def test_shed_reasons_are_distinguished(env, obs_on):
+    window = registry().window()
+    server = make_server(env, max_in_flight=1)
+    client = make_client(env, server)
+    server.set_background_load(5)
+    with pytest.raises(OverloadedError):
+        run_query(client, "range")
+    server.set_background_load(0)
+    server.drain()
+    with pytest.raises(OverloadedError):
+        run_query(client, "range")
+    delta = window.delta()
+    assert delta.get("repro_server_shed_total|overload") == 1
+    assert delta.get("repro_server_shed_total|drain") == 1
+    assert delta.get("repro_server_frames_total|overloaded") == 2
+
+
+# -- drain mode ---------------------------------------------------------------
+
+def test_drain_rejects_queries_but_answers_stats_scrapes(env):
+    server = make_server(env, max_in_flight=8)
+    client = make_client(env, server)
+    run_query(client, "range")
+    server.drain()
+    assert server.draining
+    with pytest.raises(OverloadedError):
+        run_query(client, "range")
+    # Operators can still watch the drain: scrapes bypass admission.
+    request_id = bytes(range(16))
+    response = server.handle_frame(frame(request_id, STATS_REQUEST))
+    rid, payload = unframe(response)
+    assert rid == request_id
+    assert decode_stats_response(payload)  # valid exposition text
+    # Resume: the same server admits queries again.
+    server.resume()
+    assert not server.draining
+    assert run_query(client, "range") == env.truth["range"]
+
+
+def test_drain_applies_even_without_an_in_flight_limit(env):
+    server = make_server(env)  # unbounded, but drain still sheds
+    client = make_client(env, server)
+    server.drain()
+    with pytest.raises(OverloadedError):
+        run_query(client, "range")
+
+
+# -- bookkeeping --------------------------------------------------------------
+
+def test_in_flight_gauge_returns_to_zero(env):
+    server = make_server(env, max_in_flight=8)
+    client = make_client(env, server)
+    run_query(client, "range")
+    with pytest.raises(Exception):
+        client.query_range("no-such-table", (0,), (1,))
+    # Served and errored requests both release their admission slot.
+    assert server.in_flight == 0
+
+
+def test_stats_frames_are_counted_as_their_own_outcome(env, obs_on):
+    window = registry().window()
+    server = make_server(env)
+    server.handle_frame(frame(bytes(16), STATS_REQUEST))
+    delta = window.delta()
+    assert delta.get("repro_server_frames_total|stats") == 1
+    assert delta.get("repro_server_scrapes_total") == 1
+
+
+def test_constructor_and_setter_validation(env):
+    with pytest.raises(ReproError):
+        make_server(env, max_in_flight=0)
+    with pytest.raises(ReproError):
+        make_server(env, retry_after=-1.0)
+    server = make_server(env, max_in_flight=2)
+    with pytest.raises(ReproError):
+        server.set_background_load(-1)

@@ -22,6 +22,7 @@ def test_every_example_is_covered():
         "operational_sp.py",
         "quickstart.py",
         "relaxed_kdtree_analytics.py",
+        "replicated_cluster.py",
         "resilient_client.py",
         "wire_protocol.py",
     ]
