@@ -30,7 +30,7 @@ from repro.abe.hybrid import HybridEnvelope
 from repro.core.system import QueryResponse, ServiceProvider
 from repro.core.vo import VerificationObject, _Reader, _encode_bytes, _encode_point
 from repro.crypto.group import G1, G2, GT, BilinearGroup
-from repro.errors import DeserializationError, PolicyError, WorkloadError
+from repro.errors import DeserializationError, PolicyError, ReproError, WorkloadError
 from repro.index.boxes import Box
 from repro.obs import trace as _trace
 from repro.policy.boolexpr import parse_policy
@@ -248,7 +248,7 @@ class ErrorResponse:
     def overloaded(cls, retry_after: float, message: str = "") -> "ErrorResponse":
         """An :data:`OVERLOADED` frame carrying a retry-after hint."""
         if retry_after < 0:
-            raise WorkloadError("retry_after must be non-negative")
+            raise ReproError("retry_after must be non-negative")
         hint = f"{cls._RETRY_AFTER}{retry_after:.6g}"
         return cls(cls.OVERLOADED, f"{hint} {message}".strip() if message else hint)
 

@@ -22,10 +22,13 @@ transport.Transport` that is allowed to fail.  Per logical query it:
 Retrying a verification failure never weakens soundness: each retry
 verifies a *fresh* response from scratch, and a persistently tampering
 SP simply exhausts the budget and surfaces the
-:class:`~repro.errors.VerificationError`.  The one deliberately
-non-retryable server answer is the ``workload`` error frame (unknown
-table / malformed query semantics), which is deterministic and raised
-immediately as :class:`~repro.errors.WorkloadError`.
+:class:`~repro.errors.VerificationError`.  Two server answers are
+deliberately non-retryable because they are deterministic properties of
+the query, not of the SP: the ``workload`` error frame (unknown table /
+malformed query semantics), raised immediately as
+:class:`~repro.errors.WorkloadError`, and a CP-ABE policy denial
+(the user's attributes do not satisfy the sealed result's policy),
+raised immediately as :class:`~repro.errors.AccessDeniedError`.
 """
 
 from __future__ import annotations
@@ -120,8 +123,9 @@ class CircuitBreaker:
     allowed; success closes the circuit, failure re-opens it for another
     full window).  ``allow()`` enforces the single probe: the first
     caller in half-open is admitted, every further caller is rejected
-    until the probe resolves via :meth:`record_success` or
-    :meth:`record_failure`.  Every state transition — including
+    until the probe resolves via :meth:`record_success`,
+    :meth:`record_failure`, or :meth:`release_probe` (for outcomes that
+    say nothing about the endpoint).  Every state transition — including
     half-open → open re-opens — increments
     ``repro_client_breaker_transitions_total{to=...}``.
     """
@@ -169,6 +173,20 @@ class CircuitBreaker:
         self._opened_at = None
         self._probe_inflight = False
 
+    def release_probe(self) -> None:
+        """Resolve a claimed half-open probe without judging the SP.
+
+        For outcomes that are deterministic properties of the *query* —
+        a workload rejection, a policy denial — rather than evidence
+        about the endpoint: the probe slot is freed so later callers
+        can re-probe, with no state transition and no failure count.
+        Every path that claims a probe via :meth:`allow` must resolve
+        it through this, :meth:`record_success`, or
+        :meth:`record_failure`, or the breaker is stuck half-open with
+        the slot taken forever.
+        """
+        self._probe_inflight = False
+
     def record_failure(self) -> None:
         was_half_open = self.state == "half-open"
         self.failures += 1
@@ -204,13 +222,18 @@ class ClientStats:
         return dict(self.__dict__)
 
 
-_RETRYABLE = (TransportError, CryptoError, VerificationError, AccessDeniedError)
+_RETRYABLE = (TransportError, CryptoError, VerificationError)
 
 #: Exception classes that prove *content* tampering (a forged proof or
 #: sealed envelope) as opposed to transport-level corruption or loss.
 #: DeserializationError is excluded: an undecodable frame is
 #: indistinguishable from line noise, so it is transport-class.
-TAMPER_ERRORS = (VerificationError, CryptoError, AccessDeniedError)
+#: AccessDeniedError is excluded too: CP-ABE raises it when the user's
+#: attributes simply do not satisfy the ciphertext policy — legitimate
+#: access-control enforcement by an honest replica, not tamper evidence
+#: (a tampered envelope fails its integrity check and raises
+#: CryptoError instead).
+TAMPER_ERRORS = (VerificationError, CryptoError)
 
 
 def is_tamper_error(exc: BaseException) -> bool:
@@ -220,7 +243,7 @@ def is_tamper_error(exc: BaseException) -> bool:
     ReplicatedClient` uses to decide between a Byzantine (``tamper``)
     and a transport eviction for the endpoint that produced ``exc``.
     """
-    if isinstance(exc, DeserializationError):
+    if isinstance(exc, (DeserializationError, AccessDeniedError)):
         return False
     return isinstance(exc, TAMPER_ERRORS)
 
@@ -364,11 +387,19 @@ class ResilientClient:
             try:
                 with _trace.span("client.attempt", attempt=attempt):
                     result = self._attempt(payload, verify)
-            except WorkloadError:
-                # Deterministic rejection: the query itself is wrong.
-                # Not an SP failure — the breaker does not count it.
+            except (WorkloadError, AccessDeniedError) as exc:
+                # Deterministic rejection: the query itself is wrong
+                # (workload), or the user's attributes do not satisfy
+                # the result's policy (access denied).  Not an SP
+                # failure — the breaker does not count it, but a
+                # claimed half-open probe must still be resolved or the
+                # breaker is stuck with the slot taken forever.
+                self.breaker.release_probe()
                 self.counters.failures += 1
-                _M_OUTCOMES.inc(outcome="workload_rejected")
+                _M_OUTCOMES.inc(outcome=(
+                    "workload_rejected" if isinstance(exc, WorkloadError)
+                    else "access_denied"
+                ))
                 raise
             except _RETRYABLE as exc:
                 last_error = exc
@@ -426,7 +457,7 @@ class ResilientClient:
         elif isinstance(exc, TransportError):
             self.counters.transport_errors += 1
             _M_ATTEMPT_ERRORS.inc(**{"class": "transport"})
-        else:  # VerificationError, envelope CryptoError, AccessDeniedError
+        else:  # VerificationError, envelope CryptoError
             self.counters.verification_failures += 1
             _M_ATTEMPT_ERRORS.inc(**{"class": "verification"})
 

@@ -9,8 +9,8 @@ response **fails verification** is treated fundamentally differently
 from one that merely times out:
 
 * **tamper eviction** — a :class:`~repro.errors.VerificationError`-class
-  failure (forged proof, forged sealed envelope, inaccessible-record
-  substitution) proves the *content* was wrong.  The endpoint is
+  failure (forged proof, forged sealed envelope) proves the *content*
+  was wrong.  The endpoint is
   quarantined for ``quarantine_window`` seconds, its health score is
   zeroed, and ``repro_cluster_evicted_total{endpoint=...,reason="tamper"}``
   increments.  A persistent tamperer is re-quarantined on every probe
@@ -22,6 +22,20 @@ from one that merely times out:
   ``...{reason="transport"}`` increments.  Transport faults are
   innocent-until-proven-guilty: the replica may just be behind a bad
   link.
+* **deterministic rejections are corroborated** — ``workload`` error
+  frames and CP-ABE policy denials
+  (:class:`~repro.errors.AccessDeniedError`) look like properties of
+  the query, but they are *unauthenticated*: a Byzantine replica that
+  does not want to forge proofs (and be quarantined for it) could
+  instead answer every query with a forged ``workload`` frame and
+  abort queries it never has to prove anything about.  A lone
+  rejection is therefore recorded against the endpoint
+  (transport-class penalty) and the query fails over; the rejection is
+  surfaced to the caller only once a second independent replica — or
+  the only replica there is — rejects the same way.  A policy denial
+  is *never* tamper: honest replicas enforcing access control must not
+  be quarantined (a tampered envelope fails its integrity check and
+  raises ``CryptoError`` instead).
 
 Endpoint selection ranks eligible replicas by a success-EWMA health
 score, breaking ties least-recently-attempted first (deterministic
@@ -36,10 +50,13 @@ evicting healthy replicas.
 **Hedging.**  With ``hedge_percentile`` set, the client tracks observed
 attempt latencies (bounded reservoir); once a verified primary response
 comes back slower than that percentile, a hedged second request is
-immediately issued to the next-ranked endpoint.  The primary's verified
-result wins (it completed first); the hedge's value is the probe — it
-keeps the backup's health and latency estimates warm so the *next*
-failover decision is informed.  Hedges are counted in
+issued to the next-ranked endpoint.  The primary's verified result wins
+(it completed first) and is secured *before* the hedge runs: the probe
+is issued after the deadline check, and nothing the backup does — not
+even a forged rejection frame — can surface as a failure past the
+already-verified answer.  The hedge's value is the probe — it keeps the
+backup's health and latency estimates warm so the *next* failover
+decision is informed.  Hedges are counted in
 ``repro_cluster_hedges_total``.
 
 The soundness invariant is inherited, not re-implemented: every result
@@ -60,6 +77,7 @@ from typing import Callable, Dict, Optional
 
 from repro.core.messages import QueryRequest
 from repro.errors import (
+    AccessDeniedError,
     CircuitOpenError,
     DeadlineExceededError,
     DeserializationError,
@@ -189,6 +207,7 @@ class ClusterStats:
     failovers: int = 0
     hedges: int = 0
     quarantines: int = 0
+    rejection_suspects: int = 0
     overload_backoffs: int = 0
     exhausted_rotations: int = 0
     wire: ClientStats = field(default_factory=ClientStats)
@@ -303,6 +322,11 @@ class ReplicatedClient:
 
     # -- eviction ------------------------------------------------------------
     def _quarantine(self, endpoint: Endpoint, now: float) -> None:
+        # The failed exchange may have been the breaker's half-open
+        # probe; release it, or once the quarantine window expires the
+        # breaker would reject every re-probe forever and the endpoint
+        # could never re-enter the rotation.
+        endpoint.breaker.release_probe()
         endpoint.quarantined_until = now + self.quarantine_window
         endpoint.health = 0.0
         endpoint.evictions["tamper"] += 1
@@ -327,6 +351,41 @@ class ReplicatedClient:
             reset_timeout=endpoint.breaker.reset_timeout,
         )
 
+    def _transport_failure(self, endpoint: Endpoint) -> None:
+        """Health ding + breaker count; transport-evict on a fresh open."""
+        was_open = endpoint.breaker.state == "open"
+        endpoint.observe_transport_failure()
+        if not was_open and endpoint.breaker.state == "open":
+            self._transport_evict(endpoint)
+
+    def _corroborated_rejection(self, endpoint: Endpoint, exc: ReproError,
+                                rejected_by: Dict[str, set]) -> bool:
+        """Decide whether a deterministic-looking rejection is trusted.
+
+        Workload frames and access denials are unauthenticated, so a
+        single Byzantine replica could forge them to abort queries
+        without ever producing a refutable proof.  A lone rejection is
+        recorded against the endpoint (transport-class) and the query
+        fails over; only agreement from a second independent endpoint —
+        or from the only endpoint there is — makes the rejection a
+        property of the query rather than of a replica.
+        """
+        agreers = rejected_by.setdefault(type(exc).__name__, set())
+        agreers.add(endpoint.name)
+        if len(self.endpoints) == 1 or len(agreers) >= 2:
+            return True
+        self.counters.rejection_suspects += 1
+        _trace.add_event(
+            "rejection_suspected", endpoint=endpoint.name,
+            error=type(exc).__name__,
+        )
+        _LOG.warning(
+            "rejection_suspected", endpoint=endpoint.name,
+            error=type(exc).__name__,
+        )
+        self._transport_failure(endpoint)
+        return False
+
     def _update_quarantine_gauge(self) -> None:
         _M_QUARANTINED.set(
             sum(1 for e in self.endpoints.values() if e.quarantined)
@@ -345,6 +404,7 @@ class ReplicatedClient:
         payload = request.to_bytes()
         start = self.clock.now()
         last_error: Optional[ReproError] = None
+        rejected_by: Dict[str, set] = {}  # error class -> agreeing endpoints
         for attempt in range(self.policy.max_attempts):
             if self._expired(start):
                 break
@@ -367,11 +427,19 @@ class ReplicatedClient:
                     result, latency = self._try_endpoint(
                         endpoint, payload, verify
                     )
-                except WorkloadError:
-                    # Deterministic rejection: every replica would say the
-                    # same thing.  Not an endpoint failure.
-                    _M_OUTCOMES.inc(outcome="workload_rejected")
-                    raise
+                except (WorkloadError, AccessDeniedError) as exc:
+                    last_error = exc
+                    if self._corroborated_rejection(endpoint, exc, rejected_by):
+                        # Independent replicas agree: the rejection is a
+                        # property of the query, not of an endpoint.
+                        endpoint.breaker.release_probe()
+                        _M_OUTCOMES.inc(outcome=(
+                            "workload_rejected"
+                            if isinstance(exc, WorkloadError)
+                            else "access_denied"
+                        ))
+                        raise
+                    continue
                 except OverloadedError as exc:
                     last_error = exc
                     self._count_wire_error(exc)
@@ -389,13 +457,9 @@ class ReplicatedClient:
                     if is_tamper_error(exc):
                         self._quarantine(endpoint, self.clock.now())
                     else:
-                        was_open = endpoint.breaker.state == "open"
-                        endpoint.observe_transport_failure()
-                        if not was_open and endpoint.breaker.state == "open":
-                            self._transport_evict(endpoint)
+                        self._transport_failure(endpoint)
                     continue
                 endpoint.observe_success(latency)
-                self._maybe_hedge(endpoint, ranked, payload, verify, latency)
                 if self._expired(start):
                     break  # verified but late: the deadline contract rules
                 self.counters.verified += 1
@@ -404,6 +468,11 @@ class ReplicatedClient:
                     outcome="verified",
                 )
                 _M_OUTCOMES.inc(outcome="verified")
+                # Hedge only after the verified result is secured: the
+                # probe's extra round-trip runs after the deadline
+                # check, so a slow or misbehaving backup can no longer
+                # cost the caller the answer it already earned.
+                self._maybe_hedge(endpoint, ranked, payload, verify, latency)
                 self._update_quarantine_gauge()
                 return result
             if self._expired(start):
@@ -459,9 +528,11 @@ class ReplicatedClient:
                      latency: float) -> None:
         """Probe the next-best endpoint after a slow (verified) primary.
 
-        The primary's result already won the race; the hedge keeps the
-        backup's health/latency estimates warm and is counted, so
-        operators can see tail-latency pressure building.
+        The primary's result already won the race *and is already
+        secured* (this runs after the deadline check, right before the
+        result is returned), so no outcome here may raise; the hedge
+        keeps the backup's health/latency estimates warm and is
+        counted, so operators can see tail-latency pressure building.
         """
         threshold = self._hedge_threshold()
         if threshold is None or latency <= threshold:
@@ -479,22 +550,25 @@ class ReplicatedClient:
         )
         try:
             _, hedge_latency = self._try_endpoint(backup, payload, verify)
-        except WorkloadError:
-            raise
         except OverloadedError as exc:
             self._count_wire_error(exc)
             hint = exc.retry_after if exc.retry_after is not None else 0.0
             backup.backoff_until = self.clock.now() + hint
             backup.breaker.record_success()
+        except (WorkloadError, AccessDeniedError):
+            # The primary's verified result already proved the query is
+            # answerable, so a deterministic rejection from the backup
+            # contradicts a proven answer: record it against the backup
+            # and never let it surface past the verified result.
+            self.counters.rejection_suspects += 1
+            _trace.add_event("rejection_suspected", endpoint=backup.name)
+            self._transport_failure(backup)
         except ReproError as exc:
             self._count_wire_error(exc)
             if is_tamper_error(exc):
                 self._quarantine(backup, self.clock.now())
             else:
-                was_open = backup.breaker.state == "open"
-                backup.observe_transport_failure()
-                if not was_open and backup.breaker.state == "open":
-                    self._transport_evict(backup)
+                self._transport_failure(backup)
         else:
             backup.observe_success(hedge_latency)
 

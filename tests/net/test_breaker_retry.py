@@ -13,10 +13,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import obs
-from repro.errors import OverloadedError, TransportError
+from repro.errors import OverloadedError, TransportError, WorkloadError
 from repro.net import (
     CircuitBreaker,
     FakeClock,
+    LoopbackTransport,
     ResilientClient,
     RetryPolicy,
     Transport,
@@ -82,6 +83,40 @@ def test_half_open_probe_failure_reopens_and_rearms_probe():
     assert breaker.state == "half-open"
     assert breaker.allow()
     assert not breaker.allow()
+
+
+def test_release_probe_frees_the_half_open_slot():
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout=10.0, clock=clock)
+    breaker.record_failure()
+    clock.advance(10.0)
+    assert breaker.allow()
+    breaker.release_probe()              # outcome said nothing about the SP
+    assert breaker.state == "half-open"  # no transition in either direction
+    assert breaker.allow()               # the slot is free for a re-probe
+    breaker.record_success()
+    assert breaker.state == "closed"
+
+
+def test_workload_rejection_releases_half_open_probe(env):
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout=10.0, clock=clock)
+    client = ResilientClient(
+        env.user, LoopbackTransport(env.hardened.handle_frame, clock=clock),
+        policy=RetryPolicy(max_attempts=2, base_delay=0.01, jitter=0.0),
+        breaker=breaker, clock=clock, rng=random.Random(7),
+    )
+    breaker.record_failure()  # open ...
+    clock.advance(10.0)       # ... then half-open: the next call is the probe
+    with pytest.raises(WorkloadError):
+        client.query_range("no-such-table", (0,), (1,))
+    # The deterministic rejection resolved the claimed probe: the breaker
+    # is not stuck half-open with the slot taken forever.
+    assert breaker.state == "half-open"
+    assert breaker.allow()
+    breaker.release_probe()
+    assert run_query(client, "range") == env.truth["range"]
+    assert breaker.state == "closed"
 
 
 def test_reopen_transition_is_counted(obs_on):

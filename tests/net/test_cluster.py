@@ -11,10 +11,12 @@ import random
 
 import pytest
 
-from repro.core.messages import SPServer
+from repro.core.messages import ErrorResponse, SPServer
 from repro.errors import (
+    AccessDeniedError,
     CircuitOpenError,
     OverloadedError,
+    ReproError,
     TransportError,
     WorkloadError,
 )
@@ -27,6 +29,8 @@ from repro.net import (
     RetryPolicy,
     Transport,
 )
+from repro.net.client import is_tamper_error
+from repro.net.transport import frame, unframe
 
 from .conftest import run_query
 
@@ -159,6 +163,100 @@ def test_workload_error_is_not_an_endpoint_failure(env):
     assert state.breaker.state == "closed"
 
 
+# -- deterministic rejections need corroboration ------------------------------
+
+class ForgedWorkloadTransport(Transport):
+    """A Byzantine replica that answers every query with a forged,
+    unauthenticated ``workload`` error frame instead of faking a proof."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def round_trip(self, request_frame):
+        self.calls += 1
+        request_id, _ = unframe(request_frame)
+        return frame(
+            request_id,
+            ErrorResponse(ErrorResponse.WORKLOAD, "no such table").to_bytes(),
+        )
+
+
+def test_lone_workload_frame_fails_over_instead_of_aborting(env):
+    clock = FakeClock()
+    liar = ForgedWorkloadTransport()
+    client = make_cluster(
+        env, {"a-liar": liar, "b-good": good(env, clock)}, clock,
+    )
+    # The liar ranks first (name tie-break) and rejects; the client must
+    # not trust the unauthenticated frame — it fails over and returns
+    # the honest replica's verified answer.
+    assert run_query(client, "range") == env.truth["range"]
+    assert client.counters.rejection_suspects == 1
+    assert client.endpoints["a-liar"].health < 1.0
+    assert client.endpoints["b-good"].evictions == {"tamper": 0, "transport": 0}
+
+
+def test_persistent_workload_liar_is_breaker_evicted(env):
+    clock = FakeClock()
+    liar = ForgedWorkloadTransport()
+    client = make_cluster(
+        env, {"a-liar": liar, "b-good": good(env, clock)}, clock,
+        failure_threshold=1,
+    )
+    assert run_query(client, "range") == env.truth["range"]
+    # The lone rejection counted against the liar: its breaker opened
+    # and it left the rotation, availability preserved by the honest
+    # replica.
+    assert client.endpoints["a-liar"].evictions == {"tamper": 0, "transport": 1}
+    assert client.endpoints["a-liar"].breaker.state == "open"
+    run_query(client, "range")
+    assert liar.calls == 1  # out of rotation while the breaker is open
+
+
+def test_corroborated_workload_rejection_raises_without_evictions(env):
+    clock = FakeClock()
+    client = make_cluster(
+        env, {"sp0": good(env, clock), "sp1": good(env, clock)}, clock,
+    )
+    with pytest.raises(WorkloadError):
+        client.query_range("no-such-table", (0,), (1,))
+    # Two independent replicas agreed: the rejection is deterministic
+    # and nobody is evicted or quarantined for enforcing it.
+    for state in client.endpoints.values():
+        assert state.evictions == {"tamper": 0, "transport": 0}
+        assert not state.quarantined
+    assert client.counters.rejection_suspects == 1
+
+
+class DeniedVerifier:
+    """Wraps the real user but fails decryption like a role-less user."""
+
+    def __init__(self, user):
+        self.group = user.group
+        self.roles = user.roles
+
+    def verify(self, response):
+        raise AccessDeniedError("attributes do not satisfy the ciphertext policy")
+
+    verify_join = verify
+
+
+def test_access_denial_never_quarantines_honest_replicas(env):
+    assert not is_tamper_error(AccessDeniedError("policy unsatisfied"))
+    clock = FakeClock()
+    client = make_cluster(
+        env, {"sp0": good(env, clock), "sp1": good(env, clock)}, clock,
+    )
+    client.user = DeniedVerifier(env.user)
+    with pytest.raises(AccessDeniedError):
+        run_query(client, "range")
+    # Legitimate access-control enforcement by honest replicas: zero
+    # tamper evictions, zero quarantines, corroborated then surfaced.
+    for state in client.endpoints.values():
+        assert state.evictions["tamper"] == 0
+        assert not state.quarantined
+
+
 # -- Byzantine quarantine -----------------------------------------------------
 
 def test_tampering_endpoint_is_quarantined_not_trusted(env):
@@ -220,6 +318,33 @@ def test_quarantined_endpoint_leaves_rotation_then_reprobed(env):
     assert client.endpoints["a-bad"].evictions["tamper"] >= 2
     assert client.endpoints["a-bad"].evictions["transport"] == 0
     assert client.endpoints["a-bad"].quarantined
+
+
+def test_quarantine_releases_a_claimed_half_open_probe(env):
+    clock = FakeClock()
+    toggle = TogglableTransport(good(env, clock))
+    client = make_cluster(
+        env, {"a-bad": tamperer(env, clock), "b-good": toggle}, clock,
+        failure_threshold=1, reset_timeout=1.0, quarantine_window=10.0,
+    )
+    # Open the tamperer's breaker, then let the window lapse: the next
+    # attempt against it is the breaker's single claimed half-open probe.
+    client.endpoints["a-bad"].breaker.record_failure()
+    clock.advance(1.0)
+    toggle.down = True
+    with pytest.raises(ReproError):
+        run_query(client, "range")
+    assert client.endpoints["a-bad"].quarantined
+    probed = client.endpoints["a-bad"].attempts
+    assert probed >= 1
+    # Past the window the suspect must be reachable again: the probe it
+    # claimed before being quarantined was released, not leaked — a
+    # leaked probe would exclude the endpoint from rotation forever.
+    clock.advance(10.0)
+    with pytest.raises(ReproError):
+        run_query(client, "range")
+    assert client.endpoints["a-bad"].attempts > probed
+    assert client.endpoints["a-bad"].evictions["tamper"] >= 2
 
 
 def test_truncation_is_transport_not_tamper(env):
@@ -313,6 +438,46 @@ def test_slow_primary_triggers_hedge_to_backup(env):
     # exactly one verified result and the backup's stats stayed warm.
     assert client.counters.verified == 8
     assert client.endpoints["b-fast"].latency_ewma < 0.5
+
+
+def test_hedge_rejection_cannot_discard_the_verified_primary(env):
+    clock = FakeClock()
+    client = make_cluster(
+        env,
+        {"a-slow": good(env, clock, latency=1.0),
+         "b-liar": ForgedWorkloadTransport()},
+        clock,
+        hedge_percentile=0.4, hedge_min_samples=4,
+    )
+    client._latencies.extend([0.01] * 8)  # warm reservoir: 1.0s is slow
+    # The slow primary verifies, then the hedge probe hits the liar,
+    # whose forged rejection must be recorded silently — never surfaced
+    # past the already-verified result.
+    assert run_query(client, "range") == env.truth["range"]
+    assert client.counters.hedges == 1
+    assert client.counters.verified == 1
+    assert client.counters.rejection_suspects == 1
+    assert client.endpoints["b-liar"].health < 1.0
+
+
+def test_slow_hedge_cannot_convert_verified_result_into_deadline_error(env):
+    clock = FakeClock()
+    client = make_cluster(
+        env,
+        {"a-slow": good(env, clock, latency=1.0),
+         "b-slower": good(env, clock, latency=1.0)},
+        clock,
+        policy=RetryPolicy(max_attempts=2, base_delay=0.01, jitter=0.0,
+                           deadline=1.5),
+        hedge_percentile=0.4, hedge_min_samples=4,
+    )
+    client._latencies.extend([0.01] * 8)
+    # The primary verifies at t=1.0, inside the 1.5s deadline; the hedge
+    # probe then runs the clock to 2.0.  The already-verified result
+    # must still be returned: the deadline check precedes the hedge.
+    assert run_query(client, "range") == env.truth["range"]
+    assert client.counters.verified == 1
+    assert clock.now() == pytest.approx(2.0)
 
 
 def test_hedging_disabled_by_default_config_none(env):

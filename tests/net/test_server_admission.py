@@ -6,7 +6,7 @@ import pytest
 
 from repro import obs
 from repro.core.messages import ErrorResponse, SPServer
-from repro.errors import OverloadedError, ReproError
+from repro.errors import OverloadedError, ReproError, WorkloadError
 from repro.net import (
     STATS_REQUEST,
     CircuitBreaker,
@@ -57,6 +57,14 @@ def test_error_response_overloaded_round_trips_the_hint():
     assert again.code == ErrorResponse.OVERLOADED
     assert again.retry_after_hint() == pytest.approx(0.25)
     assert "admission limit reached" in again.message
+
+
+def test_overloaded_constructor_rejects_negative_hint_as_usage_error():
+    with pytest.raises(ReproError) as excinfo:
+        ErrorResponse.overloaded(-1.0)
+    # An argument-validation failure, not a query rejection: callers'
+    # WorkloadError fast-fail paths must never see it.
+    assert not isinstance(excinfo.value, WorkloadError)
 
 
 def test_retry_after_hint_is_tolerant_of_foreign_messages():
