@@ -29,7 +29,17 @@ asserts the paper-level invariants:
    backoff absorbs it);
 5. the crashed replica restarted from its snapshot and served again.
 
-Run:  PYTHONPATH=src python benchmarks/chaos_soak.py [--smoke]
+``--sharded`` swaps in the scatter-gather drill: a 3-shard × 2-replica
+topology served through :class:`~repro.net.sharding.ShardedClient` with
+``allow_partial=True``, where one replica tampers, one serves a
+genuinely-signed *stale* freshness token, and a whole shard crashes and
+cold-restarts mid-run.  Its invariants add: every degraded answer is a
+valid :class:`~repro.core.verifier.PartialResult` naming exactly the
+dead shard, the stale replica is quarantined like a forger, and a set
+of adversarial-coordinator sub-drills (dropped shard VO, stale shard
+token, duplicated contribution) all die as verification-class errors.
+
+Run:  PYTHONPATH=src python benchmarks/chaos_soak.py [--smoke] [--sharded]
           [--backend simulated|bn254] [--seed N] [--queries N]
 
 ``--smoke`` is the CI entry point: small query count, < 60 s, exit
@@ -42,17 +52,23 @@ import random
 import sys
 import time
 
+from repro.core.freshness import issue_shard_token
 from repro.core.messages import SPServer
 from repro.core.records import Dataset, Record
 from repro.core.system import DataOwner, QueryUser, ServiceProvider
+from repro.core.verifier import PartialResult, ShardAnswer, verify_sharded
 from repro.crypto import get_backend
+from repro.errors import CompletenessError, VerificationError
 from repro.index import Domain
 from repro.net import (
     ChaosController,
     ChaosEndpoint,
     FakeClock,
+    RangeShardMap,
     ReplicatedClient,
     RetryPolicy,
+    ShardedClient,
+    outsource_sharded,
     parse_schedule,
 )
 from repro.policy import RoleUniverse, parse_policy
@@ -209,10 +225,273 @@ def check_invariants(outcome) -> list:
     return violations
 
 
+# ---------------------------------------------------------------------------
+# The sharded scatter-gather drill (--sharded)
+# ---------------------------------------------------------------------------
+
+TABLE = "docs"
+
+#: 3 range shards × 2 replicas.  One replica forges, one lags at a
+#: genuinely-signed stale epoch, and shard1 dies whole mid-run — the
+#: unit-of-failure degraded-mode reads exist for.
+SHARDED_SCHEDULE = """
+@0   tamper   s2r0    rate=1.0   # Byzantine replica inside shard2
+@8   stale    s1r1    epoch=0    # lagging replica: real signature, old epoch
+@20  crash    shard1             # the whole shard goes dark
+@30  restart  shard1             # cold start from snapshots (stale pin survives)
+@40  fresh    s1r1
+"""
+
+#: Analyst-visible ground truth by key (the ``manager``-only row at 11
+#: is invisible to the drill's user and so outside the truth set).
+SHARDED_ROWS = (
+    ((4,), b"forecast", "analyst or manager"),
+    ((11,), b"salaries", "manager"),
+    ((23,), b"minutes", "analyst"),
+    ((30,), b"okrs", "analyst"),
+    ((40,), b"roadmap", "analyst"),
+)
+
+
+def build_sharded(seed: int, backend: str, max_in_flight: int,
+                  retry_after: float):
+    """DO shards once; every replica cold-starts from its shard's blobs."""
+    rng = random.Random(seed)
+    group = get_backend(backend)
+    universe = RoleUniverse(["analyst", "manager"])
+    dataset = Dataset(Domain.of((0, 47)))
+    for key, value, policy in SHARDED_ROWS:
+        dataset.add(Record(key, value, parse_policy(policy)))
+    owner = DataOwner(group, universe, rng=rng)
+    tables = outsource_sharded(owner, TABLE, dataset, RangeShardMap(3), rng=rng)
+    user = QueryUser(group, universe, owner.register_user(["analyst"]))
+    truth = {
+        key: value for key, value, policy in SHARDED_ROWS
+        if "analyst" in policy
+    }
+    snapshots = {
+        sid: provider.snapshot_tables()
+        for sid, provider in tables.providers.items()
+    }
+    clock = FakeClock()
+
+    def shard_factory(shard_id):
+        def factory():
+            restored = ServiceProvider.from_snapshots(
+                group, owner.universe, owner.mvk, owner.cpabe_public,
+                snapshots[shard_id],
+            )
+            return SPServer(restored, rng=random.Random(seed + 17))
+        return factory
+
+    def shard_tokens(shard_id):
+        def tokens(epoch):
+            return {TABLE: issue_shard_token(
+                owner.signer, tables.roster, shard_id, epoch=epoch,
+                rng=random.Random(seed + 23),
+            )}
+        return tokens
+
+    endpoints = {}
+    groups = {}
+    transports = {}
+    for i, descriptor in enumerate(tables.roster.shards):
+        shard_id = descriptor.shard_id
+        transports[shard_id] = {}
+        groups[shard_id] = []
+        for r in range(2):
+            name = f"s{i}r{r}"
+            endpoint = ChaosEndpoint(
+                name, shard_factory(shard_id), group,
+                rng=random.Random(seed + 10 * i + r), clock=clock,
+                max_in_flight=max_in_flight, retry_after=retry_after,
+                token_factory=shard_tokens(shard_id),
+            )
+            endpoints[name] = endpoint
+            transports[shard_id][name] = endpoint
+            groups[shard_id].append(name)
+    client = ShardedClient(
+        user, tables.roster, tables.roster_token, transports,
+        shard_policy=RetryPolicy(max_attempts=4, base_delay=0.02,
+                                 deadline=8.0),
+        clock=clock, rng=random.Random(seed + 100),
+        allow_partial=True, scatter_retries=1,
+        cluster_options=dict(
+            quarantine_window=10_000.0, failure_threshold=3,
+            reset_timeout=8.0,
+        ),
+    )
+    return owner, tables, user, client, endpoints, groups, clock, truth
+
+
+def adversarial_subdrills(owner, tables, user, client) -> list:
+    """Attack the merge directly; every forgery must die typed."""
+    violations = []
+    query = tables.roster.domain_box
+    answers = {}
+    for descriptor in tables.roster.shards_for(query):
+        sub = descriptor.box.intersection(query)
+        answers[descriptor.shard_id] = client.shards[
+            descriptor.shard_id
+        ].query_range(TABLE, sub.lo, sub.hi)
+
+    def merge(answer_list):
+        return verify_sharded(
+            tables.roster, query, answer_list,
+            user.group, user.universe, user.credentials.mvk,
+        )
+
+    # A coordinator silently dropping one shard's VO.
+    try:
+        merge([a for sid, a in answers.items() if sid != "shard1"])
+        violations.append("dropped shard VO was accepted by the merge")
+    except CompletenessError:
+        pass
+    # A rolled-back shard replaying a genuinely-signed stale token.
+    stale = issue_shard_token(owner.signer, tables.roster, "shard1", epoch=0)
+    honest = answers["shard1"]
+    doctored = dict(answers)
+    doctored["shard1"] = ShardAnswer(
+        shard_id=honest.shard_id, box=honest.box, token=stale,
+        records=honest.records,
+    )
+    try:
+        merge(list(doctored.values()))
+        violations.append("stale shard token was accepted by the merge")
+    except VerificationError:
+        pass
+    # A duplicated shard contribution (double counting).
+    try:
+        merge(list(answers.values()) + [answers["shard0"]])
+        violations.append("duplicated shard answer was accepted by the merge")
+    except VerificationError:
+        pass
+    return violations
+
+
+def run_sharded_drill(seed: int, backend: str, queries: int, verbose: bool):
+    (owner, tables, user, client, endpoints, groups, clock,
+     truth) = build_sharded(seed, backend, max_in_flight=32, retry_after=1.0)
+    controller = ChaosController(
+        parse_schedule(SHARDED_SCHEDULE), endpoints, clock=clock,
+        groups=groups,
+    )
+    duration = 60.0  # virtual seconds; events live in [0, 40]
+    step = duration / queries
+
+    issued = complete = partial = wrong = 0
+    failures = []
+    partial_shards = set()
+    for i in range(queries):
+        for event in controller.tick():
+            if verbose:
+                print(f"  [t={clock.now():5.1f}] chaos: {event.action} "
+                      f"{event.target} {dict(event.params)}")
+        issued += 1
+        try:
+            result = client.query_range(TABLE, (0,), (47,), encrypt=False)
+        except Exception as exc:  # noqa: BLE001 - tallied, then asserted on
+            failures.append((i, clock.now(), type(exc).__name__))
+        else:
+            if isinstance(result, PartialResult):
+                expected = sorted(
+                    value for key, value in truth.items()
+                    if not any(box.contains_point(key)
+                               for box in result.missing_boxes)
+                )
+                if sorted(r.value for r in result.records) == expected:
+                    partial += 1
+                    partial_shards.update(result.missing_shards)
+                else:
+                    wrong += 1
+            elif sorted(r.value for r in result) == sorted(truth.values()):
+                complete += 1
+            else:
+                wrong += 1
+        clock.advance(step)
+    clock.advance(duration)
+    controller.tick()
+    subdrills = adversarial_subdrills(owner, tables, user, client)
+    return {
+        "client": client,
+        "endpoints": endpoints,
+        "issued": issued,
+        "complete": complete,
+        "partial": partial,
+        "wrong": wrong,
+        "failures": failures,
+        "partial_shards": partial_shards,
+        "subdrills": subdrills,
+    }
+
+
+def check_sharded_invariants(outcome) -> list:
+    violations = []
+    client = outcome["client"]
+    states = {
+        name: endpoint
+        for shard in client.shards.values()
+        for name, endpoint in shard.endpoints.items()
+    }
+
+    # 1. Soundness: zero forged or miscovered answers reached the caller.
+    if outcome["wrong"]:
+        violations.append(
+            f"soundness: {outcome['wrong']} answers differed from ground "
+            f"truth (restricted to their claimed coverage)"
+        )
+
+    # 2. Availability: complete answers plus *valid* partials.
+    availability = (
+        (outcome["complete"] + outcome["partial"]) / outcome["issued"]
+    )
+    if availability < AVAILABILITY_FLOOR:
+        violations.append(
+            f"availability {availability:.4f} < {AVAILABILITY_FLOOR} "
+            f"(failures: {outcome['failures'][:5]})"
+        )
+
+    # 3. Degraded mode fired, and only for the shard that actually died.
+    if outcome["partial"] < 1:
+        violations.append("the shard-wide crash never produced a PartialResult")
+    if outcome["partial_shards"] - {"shard1"}:
+        violations.append(
+            f"partials named shards {sorted(outcome['partial_shards'])}, "
+            f"only shard1 was crashed"
+        )
+
+    # 4. Quarantine attribution: the forger and the stale replica are
+    #    caught; every honest replica has a clean tamper record.
+    if states["s2r0"].evictions["tamper"] < 1:
+        violations.append("s2r0 forged all run but was never tamper-evicted")
+    if states["s1r1"].evictions["tamper"] < 1:
+        violations.append("stale replica s1r1 was never caught serving "
+                          "its rolled-back epoch")
+    for name in sorted(set(states) - {"s2r0", "s1r1"}):
+        if states[name].evictions["tamper"]:
+            violations.append(
+                f"honest replica {name} was tamper-evicted "
+                f"{states[name].evictions['tamper']}x"
+            )
+
+    # 5. The crashed shard restarted from snapshots and served again.
+    for name in ("s1r0", "s1r1"):
+        if outcome["endpoints"][name].restarts < 1:
+            violations.append(f"{name} never restarted from its snapshot")
+    if states["s1r0"].successes < 1:
+        violations.append("s1r0 never served a verified result")
+
+    # 6. The adversarial-coordinator sub-drills all died typed.
+    violations.extend(outcome["subdrills"])
+    return violations
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="small deterministic CI run (<60s)")
+    parser.add_argument("--sharded", action="store_true",
+                        help="run the 3-shard x 2-replica scatter-gather drill")
     parser.add_argument("--backend", default="simulated",
                         choices=("simulated", "bn254"))
     parser.add_argument("--seed", type=int, default=20260806)
@@ -222,10 +501,18 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.queries is None:
-        if args.smoke:
+        if args.sharded:
+            # Each logical query scatters to three shards, so the budget
+            # is a third of the single-table drill's.
+            args.queries = (12 if args.backend == "bn254" else 60) \
+                if args.smoke else 300
+        elif args.smoke:
             args.queries = 24 if args.backend == "bn254" else 120
         else:
             args.queries = 600
+
+    if args.sharded:
+        return main_sharded(args)
 
     wall_start = time.perf_counter()
     outcome = run_drill(args.seed, args.backend, args.queries, args.verbose)
@@ -265,6 +552,55 @@ def main(argv=None) -> int:
     print(f"chaos soak OK: {outcome['verified']}/{outcome['issued']} verified "
           f"under persistent tamper + crash/restart + overload burst "
           f"({args.backend}, {wall:.1f}s)")
+    return 0
+
+
+def main_sharded(args) -> int:
+    wall_start = time.perf_counter()
+    outcome = run_sharded_drill(
+        args.seed, args.backend, args.queries, args.verbose
+    )
+    violations = check_sharded_invariants(outcome)
+    wall = time.perf_counter() - wall_start
+
+    client = outcome["client"]
+    available = outcome["complete"] + outcome["partial"]
+    summary = {
+        "drill": "sharded",
+        "backend": args.backend,
+        "seed": args.seed,
+        "issued": outcome["issued"],
+        "complete": outcome["complete"],
+        "partial": outcome["partial"],
+        "availability": round(available / outcome["issued"], 4),
+        "partial_shards": sorted(outcome["partial_shards"]),
+        "scatter_attempts": client.counters.scatter_attempts,
+        "shard_failures": client.counters.shard_failures,
+        "tampered_responses": {
+            name: ep.tampered_responses
+            for name, ep in outcome["endpoints"].items()
+        },
+        "evictions": {
+            name: dict(endpoint.evictions)
+            for shard in client.shards.values()
+            for name, endpoint in shard.endpoints.items()
+        },
+        "shard1_restarts": {
+            name: outcome["endpoints"][name].restarts
+            for name in ("s1r0", "s1r1")
+        },
+        "wall_seconds": round(wall, 2),
+    }
+    print(json.dumps(summary, indent=2))
+
+    if violations:
+        for violation in violations:
+            print(f"INVARIANT VIOLATED: {violation}", file=sys.stderr)
+        return 1
+    print(f"sharded chaos soak OK: {available}/{outcome['issued']} answered "
+          f"({outcome['partial']} valid partials) under replica tamper + "
+          f"stale epoch + shard-wide crash/restart ({args.backend}, "
+          f"{wall:.1f}s)")
     return 0
 
 

@@ -186,10 +186,20 @@ def encode_response(response: QueryResponse) -> bytes:
     else:
         out += b"\x00"
         out += _encode_bytes(response.vo.to_bytes())
+    # Freshness token, outside the sealed envelope by design: staleness
+    # must be checkable before (and without) decrypting, and the token
+    # is public — it proves nothing beyond "the DO signed this epoch".
+    if response.freshness is not None:
+        out += b"\x01"
+        out += _encode_bytes(response.freshness.to_bytes())
+    else:
+        out += b"\x00"
     return bytes(out)
 
 
 def decode_response(group: BilinearGroup, data: bytes) -> QueryResponse:
+    from repro.core.freshness import FreshnessToken
+
     if data[:4] != _RESP_MAGIC:
         raise DeserializationError("not a query response")
     with _strict_decode("query response"):
@@ -205,9 +215,15 @@ def decode_response(group: BilinearGroup, data: bytes) -> QueryResponse:
         else:
             envelope = None
             vo = VerificationObject.from_bytes(group, reader.take_bytes())
+        freshness = None
+        if reader.take(1) == b"\x01":
+            freshness = FreshnessToken.from_bytes(group, reader.take_bytes())
         if not reader.exhausted:
             raise DeserializationError("trailing bytes in query response")
-        return QueryResponse(kind=kind, query=Box(lo, hi), vo=vo, envelope=envelope)
+        return QueryResponse(
+            kind=kind, query=Box(lo, hi), vo=vo, envelope=envelope,
+            freshness=freshness,
+        )
 
 
 # ---------------------------------------------------------------------------

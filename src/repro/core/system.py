@@ -32,6 +32,7 @@ from repro.core.engine import (
     traverse_range,
     traverse_range_basic,
 )
+from repro.core.freshness import FreshnessToken
 from repro.core.range_query import clip_query
 from repro.core.records import Dataset, Record
 from repro.core.verifier import JoinPair, verify_join_vo, verify_vo
@@ -76,6 +77,11 @@ class QueryResponse:
     constructing the VO (traversal vs. relaxation, worker count, APS
     cache hits — see :class:`repro.core.engine.EngineStats`).  It is
     SP-side observability only and is not part of the wire format.
+
+    ``freshness``, when present, is the DO-signed epoch token the SP
+    attaches so clients can reject stale-snapshot replays; in sharded
+    deployments it additionally binds the response to one shard at the
+    roster's pinned epoch (see :mod:`repro.core.freshness`).
     """
 
     kind: str  # "equality" | "range" | "join"
@@ -83,6 +89,7 @@ class QueryResponse:
     vo: Optional[VerificationObject] = None
     envelope: Optional[HybridEnvelope] = None
     stats: Optional[EngineStats] = None
+    freshness: Optional["FreshnessToken"] = None
 
     def byte_size(self) -> int:
         if self.envelope is not None:
@@ -193,6 +200,21 @@ class ServiceProvider:
         self._aps_cache_size = aps_cache_size
         self._auth_pool_size = max(1, auth_pool_size)
         self._auth_pool: "OrderedDict[tuple, AppAuthenticator]" = OrderedDict()
+        #: Current DO-issued freshness token per table, attached to every
+        #: response for that table.  The SP cannot mint these (no signing
+        #: key); the DO pushes a new one on each epoch rotation.
+        self._freshness_tokens: Dict[str, FreshnessToken] = {}
+
+    # -- freshness -----------------------------------------------------------
+    def set_freshness_token(self, table: str, token: Optional[FreshnessToken]) -> None:
+        """Install (or clear, with ``None``) the table's current token."""
+        if token is None:
+            self._freshness_tokens.pop(table, None)
+        else:
+            self._freshness_tokens[table] = token
+
+    def freshness_token(self, table: str) -> Optional[FreshnessToken]:
+        return self._freshness_tokens.get(table)
 
     def tree(self, table: str) -> APGTree:
         try:
@@ -284,11 +306,18 @@ class ServiceProvider:
         encrypt: bool,
         rng: Optional[random.Random],
         stats: Optional[EngineStats] = None,
+        table: str = "",
     ) -> QueryResponse:
+        freshness = self._freshness_tokens.get(table)
         if not encrypt:
-            return QueryResponse(kind=kind, query=query, vo=vo, stats=stats)
+            return QueryResponse(
+                kind=kind, query=query, vo=vo, stats=stats, freshness=freshness
+            )
         envelope = encrypt_for_roles(self._cpabe, self.cpabe_public, roles, vo.to_bytes(), rng)
-        return QueryResponse(kind=kind, query=query, envelope=envelope, stats=stats)
+        return QueryResponse(
+            kind=kind, query=query, envelope=envelope, stats=stats,
+            freshness=freshness,
+        )
 
     def _execute(self, kind, traversal, roles, rng, workers) -> tuple:
         """Validate roles, pick the pooled authenticator, run both phases."""
@@ -329,7 +358,9 @@ class ServiceProvider:
             lambda user_roles: lambda: traverse_equality(tree, key, user_roles, table),
             roles, rng, workers,
         )
-        return self._respond("equality", Box(key, key), vo, roles, encrypt, rng, stats)
+        return self._respond(
+            "equality", Box(key, key), vo, roles, encrypt, rng, stats, table
+        )
 
     def range_query(
         self,
@@ -352,7 +383,7 @@ class ServiceProvider:
             lambda user_roles: lambda: traverse(tree, query, user_roles, table),
             roles, rng, workers,
         )
-        return self._respond("range", query, vo, roles, encrypt, rng, stats)
+        return self._respond("range", query, vo, roles, encrypt, rng, stats, table)
 
     def join_query(
         self,
@@ -373,7 +404,9 @@ class ServiceProvider:
             lambda user_roles: lambda: traverse_join(tree_r, tree_s, query, user_roles),
             roles, rng, workers,
         )
-        return self._respond("join", query, vo, roles, encrypt, rng, stats)
+        return self._respond(
+            "join", query, vo, roles, encrypt, rng, stats, left_table
+        )
 
 
 class QueryUser:

@@ -8,14 +8,28 @@ and only one proof per unit of indexing space).
 
 Raises :class:`SoundnessError` / :class:`CompletenessError`; returns the
 verified accessible records.
+
+The bottom half of this module is the **merged shard verifier**
+(:func:`verify_sharded`): given per-shard answers that each passed the
+single-SP checks above, it verifies the *composition* — every shard the
+signed roster says must contribute did, at the pinned epoch, and the
+contributed ranges tile the query.  This is what makes a scatter-gather
+answer exactly as trustworthy as a single-SP answer: a coordinator that
+drops, duplicates, re-routes, or rolls back a shard is caught
+cryptographically, not by trust.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.core.app_signature import AppAuthenticator
+from repro.core.freshness import (
+    FreshnessToken,
+    ShardRoster,
+    check_shard_token,
+)
 from repro.core.records import Record
 from repro.core.vo import (
     AccessibleRecordEntry,
@@ -24,7 +38,7 @@ from repro.core.vo import (
     VerificationObject,
     VOEntry,
 )
-from repro.errors import CompletenessError, SoundnessError
+from repro.errors import CompletenessError, SoundnessError, VerificationError
 from repro.index.boxes import Box, boxes_cover_clipped
 
 
@@ -216,3 +230,176 @@ def verify_vo_batched(
     if collect_ops is not None:
         collect_ops.update(authenticator.group.stats.delta(before))
     return records
+
+
+# ---------------------------------------------------------------------------
+# Merged shard verification (scatter-gather answers)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShardAnswer:
+    """One shard's contribution to a scatter-gather query.
+
+    ``records`` must already have passed the per-VO checks
+    (:func:`verify_vo` against ``box``, the shard's clipped query box) —
+    the merged verifier re-checks the *composition*, not each proof.
+    ``token`` is the shard's attached freshness token, re-checked here
+    against the roster even when the transport layer checked it already
+    (the merged verifier is the trust boundary an untrusted coordinator
+    hands answers across, so it assumes nothing about who gathered them).
+    """
+
+    shard_id: str
+    box: Box
+    token: Optional[FreshnessToken]
+    records: tuple = ()
+
+
+@dataclass(frozen=True)
+class PartialResult:
+    """A degraded-mode read: verified for what it covers, explicit about
+    what it does not.
+
+    Returned only when the caller opted in (``allow_partial=True``) and
+    one or more shards were unavailable.  Every record in ``records``
+    went through full per-shard verification and the covering shards'
+    roster checks; ``missing_shards`` / ``missing_boxes`` name exactly
+    the partitions the answer says nothing about.  A PartialResult is
+    deliberately a distinct type — code written for complete answers
+    cannot mistake one for a full result.
+    """
+
+    records: tuple
+    missing_shards: tuple[str, ...]
+    missing_boxes: tuple[Box, ...] = ()
+    covered_boxes: tuple[Box, ...] = field(default=(), repr=False)
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing_shards
+
+
+def verify_sharded(
+    roster: ShardRoster,
+    query: Box,
+    answers: Sequence[ShardAnswer],
+    group,
+    universe,
+    mvk,
+    allow_partial: bool = False,
+    key=None,
+):
+    """Merge per-shard answers into one verifiable result.
+
+    Checks, in order:
+
+    1. every answer names a roster shard, exactly once (no duplicated or
+       re-routed contributions);
+    2. each answer's freshness token binds that shard at the roster's
+       pinned epoch (:func:`~repro.core.freshness.check_shard_token`) —
+       a stale, future, or cross-shard token is a
+       :class:`VerificationError`;
+    3. each answer's box is exactly ``query ∩ shard bounds`` — a shard
+       (or coordinator) that quietly narrowed its sub-query is a
+       :class:`CompletenessError`;
+    4. every shard the roster obliges to answer did: a missing shard is
+       a :class:`CompletenessError` (fail closed), unless
+       ``allow_partial`` — then a :class:`PartialResult` names the
+       uncovered partitions and carries only fully-verified records;
+    5. under hash partitioning, record keys may not collide across
+       shards (:class:`SoundnessError` if they do — two shards both
+       claiming a key proves misassignment).
+
+    ``key`` routes equality queries: under hash partitioning only the
+    key's owner shard is obliged to answer (range partitioning derives
+    the same from box intersection).
+
+    Returns the merged, key-ordered record list when complete, else a
+    :class:`PartialResult`.
+    """
+    if roster.kind == "hash" and key is not None:
+        expected = (roster.shard_for_key(key),)
+    else:
+        expected = roster.shards_for(query)
+    if not expected:
+        raise CompletenessError(
+            f"roster for {roster.table!r} has no shard covering {query}"
+        )
+    expected_ids = [descriptor.shard_id for descriptor in expected]
+
+    by_shard: dict[str, ShardAnswer] = {}
+    for answer in answers:
+        descriptor = roster.shard(answer.shard_id)  # raises on unknown shard
+        if answer.shard_id in by_shard:
+            raise VerificationError(
+                f"duplicate contribution from shard {answer.shard_id!r}"
+            )
+        if answer.shard_id not in expected_ids:
+            raise VerificationError(
+                f"shard {answer.shard_id!r} contributed but its partition "
+                f"{descriptor.box} is outside the query {query}"
+            )
+        by_shard[answer.shard_id] = answer
+
+    covered_boxes: list[Box] = []
+    missing: list[str] = []
+    missing_boxes: list[Box] = []
+    merged: dict = {}
+    for descriptor in expected:
+        answer = by_shard.get(descriptor.shard_id)
+        expected_box = descriptor.box.intersection(query)
+        if answer is None:
+            missing.append(descriptor.shard_id)
+            if expected_box is not None:
+                missing_boxes.append(expected_box)
+            continue
+        check_shard_token(
+            group, universe, mvk, roster, descriptor.shard_id, answer.token
+        )
+        if answer.box != expected_box:
+            raise CompletenessError(
+                f"shard {descriptor.shard_id!r} answered for {answer.box}, "
+                f"roster obliges {expected_box}"
+            )
+        covered_boxes.append(answer.box)
+        for record in answer.records:
+            record_key = tuple(record.key)
+            previous = merged.get(record_key)
+            if previous is not None:
+                if roster.kind == "range":
+                    raise SoundnessError(
+                        f"shards {descriptor.shard_id!r} and another both "
+                        f"returned key {record_key} across disjoint partitions"
+                    )
+                if previous.value != record.value:
+                    raise SoundnessError(
+                        f"conflicting shard results for key {record_key}"
+                    )
+                continue
+            merged[record_key] = record
+
+    if missing and not allow_partial:
+        raise CompletenessError(
+            f"missing shard contribution(s) {missing} for partitions "
+            f"{[str(b) for b in missing_boxes]}: refusing to merge an "
+            f"incomplete answer (fail-closed; pass allow_partial for a "
+            f"degraded read)"
+        )
+    if roster.kind == "range" and not missing:
+        # Belt and braces: the per-shard boxes, together, must tile the
+        # query exactly.  The roster's construction-time invariants make
+        # this unreachable for a well-formed roster; the verifier checks
+        # anyway because it is the trust boundary.
+        if not boxes_cover_clipped(covered_boxes, query):
+            raise CompletenessError(
+                "shard contributions do not tile the query range exactly"
+            )
+    records = tuple(merged[record_key] for record_key in sorted(merged))
+    if missing:
+        return PartialResult(
+            records=records,
+            missing_shards=tuple(missing),
+            missing_boxes=tuple(missing_boxes),
+            covered_boxes=tuple(covered_boxes),
+        )
+    return list(records)

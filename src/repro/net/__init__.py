@@ -9,7 +9,8 @@ zero-knowledge core — without ever weakening it:
   :class:`Transport` interface, the in-process loopback, and the
   clock abstraction;
 * :mod:`repro.net.server` — :class:`ResilientSPServer`, a frame loop
-  that turns every per-request failure into a typed error frame;
+  that turns every per-request failure into a typed error frame, plus
+  liveness probes (``ready`` / ``draining``) that bypass admission;
 * :mod:`repro.net.client` — :class:`ResilientClient` with bounded
   retries, deadlines, duplicate detection, and a circuit breaker;
 * :mod:`repro.net.cluster` — :class:`ReplicatedClient`, which fans a
@@ -17,19 +18,26 @@ zero-knowledge core — without ever weakening it:
   health-ranked failover, hedged requests, and **Byzantine quarantine**
   (an endpoint whose response fails verification is evicted as
   ``tamper``, distinctly from ``transport`` evictions);
+* :mod:`repro.net.sharding` — :class:`ShardedClient`, the
+  scatter-gather coordinator over a DO-signed shard roster: each shard
+  is a :class:`ReplicatedClient` over its replicas, per-shard VOs merge
+  into one verifiable answer, and dropped / stale / duplicated shards
+  are detected cryptographically (fail closed, or an explicit
+  :class:`~repro.core.verifier.PartialResult` when opted in);
 * :mod:`repro.net.faults` — :class:`FaultyTransport`, seeded fault
   injection (drop/delay/duplicate/truncate/bitflip/tamper) for
   adversarial testing;
 * :mod:`repro.net.chaos` — the scripted-failure layer: a schedule DSL
   (``@<t> crash sp0`` ...), scriptable :class:`ChaosEndpoint` replicas
-  with snapshot cold-restarts, and a :class:`ChaosController` that
-  applies due events as virtual time advances.
+  with snapshot cold-restarts and pinnable stale freshness tokens, and
+  a :class:`ChaosController` that applies due events (to endpoints or
+  whole groups, e.g. a shard) as virtual time advances.
 
 The invariant the whole stack maintains: every fault ends in a retry, a
 typed :class:`~repro.errors.ReproError`, or a
 :class:`~repro.errors.VerificationError` — a client never accepts a
-tampered result as verified, no matter which replica answered.  See
-``docs/OPERATIONS.md``.
+tampered result as verified, no matter which replica or shard answered.
+See ``docs/OPERATIONS.md``.
 """
 
 from repro.net.chaos import (
@@ -45,15 +53,31 @@ from repro.net.client import (
     ResilientClient,
     RetryPolicy,
     is_tamper_error,
+    probe_endpoint,
     wire_exchange,
 )
 from repro.net.cluster import ClusterStats, Endpoint, ReplicatedClient
 from repro.net.faults import FAULT_KINDS, FaultyTransport
 from repro.net.server import (
+    PROBE_DRAINING,
+    PROBE_READY,
+    PROBE_REQUEST,
+    PROBE_RESPONSE,
     STATS_REQUEST,
     STATS_RESPONSE,
     ResilientSPServer,
+    decode_probe_response,
     decode_stats_response,
+)
+from repro.net.sharding import (
+    HashShardMap,
+    RangeShardMap,
+    ShardedClient,
+    ShardedStats,
+    ShardedTables,
+    ShardMap,
+    outsource_sharded,
+    partition_dataset,
 )
 from repro.net.transport import (
     REQUEST_ID_BYTES,
@@ -81,12 +105,26 @@ __all__ = [
     "ResilientClient",
     "RetryPolicy",
     "is_tamper_error",
+    "probe_endpoint",
     "wire_exchange",
     "FAULT_KINDS",
     "FaultyTransport",
+    "HashShardMap",
+    "RangeShardMap",
+    "ShardMap",
+    "ShardedClient",
+    "ShardedStats",
+    "ShardedTables",
+    "outsource_sharded",
+    "partition_dataset",
     "ResilientSPServer",
+    "PROBE_DRAINING",
+    "PROBE_READY",
+    "PROBE_REQUEST",
+    "PROBE_RESPONSE",
     "STATS_REQUEST",
     "STATS_RESPONSE",
+    "decode_probe_response",
     "decode_stats_response",
     "REQUEST_ID_BYTES",
     "Clock",

@@ -33,7 +33,15 @@ endpoint; ``#`` starts a comment.  Actions:
 ``calm``     remove the synthetic load
 ``drain``    put the replica's server into graceful drain
 ``resume``   leave drain mode
+``stale``    serve a genuinely-signed freshness token pinned at
+             ``epoch=`` — a lagging replica that never saw later
+             updates (requires a ``token_factory``)
+``fresh``    go back to serving the current-epoch token
 ===========  ==============================================================
+
+A target may also name a **group** (see :class:`ChaosController`'s
+``groups`` argument), so ``@20 crash shard1`` takes out every replica of
+a shard at once — the unit of failure sharded drills care about.
 
 :class:`ChaosEndpoint` is the scriptable replica: a
 :class:`~repro.net.transport.Transport` wrapping a rebuildable
@@ -60,6 +68,7 @@ from repro.obs import metrics as _metrics
 
 ACTIONS = (
     "crash", "restart", "tamper", "heal", "overload", "calm", "drain", "resume",
+    "stale", "fresh",
 )
 
 _M_EVENTS = _metrics.registry().counter(
@@ -151,6 +160,13 @@ class ChaosEndpoint(Transport):
     restart genuinely exercises the snapshot cold-start path.  The
     tamper layer is a :class:`~repro.net.faults.FaultyTransport` whose
     ``tamper`` rate the schedule flips at runtime.
+
+    ``token_factory``, when given, maps an epoch override (``None`` for
+    the current epoch) to ``{table: FreshnessToken}`` and enables the
+    ``stale``/``fresh`` actions: the controller pins the replica's
+    served tokens at an old-but-genuinely-signed epoch, modelling a
+    replica that stopped applying updates.  Tokens are re-applied after
+    every restart, so a stale replica stays stale across a cold start.
     """
 
     def __init__(
@@ -162,6 +178,7 @@ class ChaosEndpoint(Transport):
         clock: Optional[Clock] = None,
         max_in_flight: Optional[int] = None,
         retry_after: float = 0.05,
+        token_factory: Optional[Callable[[Optional[int]], Mapping]] = None,
     ):
         self.name = name
         self.factory = factory
@@ -170,12 +187,15 @@ class ChaosEndpoint(Transport):
         self.retry_after = retry_after
         self.crashed = False
         self.restarts = 0
+        self.token_factory = token_factory
+        self.token_epoch: Optional[int] = None  # None = current epoch
         #: Back-reference set by ChaosController so that events whose time
         #: has come apply even when the clock advanced *mid-retry* (a
         #: client sleeping through the end of an overload burst must see
         #: the burst end on its next exchange, not at the next query).
         self.controller: Optional["ChaosController"] = None
         self.server = self._build()
+        self._apply_tokens()
         # The lambda indirection keeps the tamper layer valid across
         # restarts, which swap self.server underneath it.
         self._faulty = FaultyTransport(
@@ -189,6 +209,12 @@ class ChaosEndpoint(Transport):
             retry_after=self.retry_after,
         )
 
+    def _apply_tokens(self) -> None:
+        if self.token_factory is None:
+            return
+        for table, token in self.token_factory(self.token_epoch).items():
+            self.server.server.provider.set_freshness_token(table, token)
+
     # -- scripted failure modes ---------------------------------------------
     def crash(self) -> None:
         self.crashed = True
@@ -196,8 +222,19 @@ class ChaosEndpoint(Transport):
     def restart(self) -> None:
         """Cold-start a fresh server (snapshot restore path) and serve."""
         self.server = self._build()
+        self._apply_tokens()
         self.crashed = False
         self.restarts += 1
+
+    def set_token_epoch(self, epoch: Optional[int]) -> None:
+        """Pin served freshness tokens at ``epoch`` (``None`` = current)."""
+        if self.token_factory is None:
+            raise ReproError(
+                f"endpoint {self.name} has no token_factory; "
+                "stale/fresh actions need one"
+            )
+        self.token_epoch = epoch
+        self._apply_tokens()
 
     def set_tamper(self, rate: float) -> None:
         self._faulty.set_rate("tamper", rate)
@@ -220,12 +257,32 @@ class ChaosEndpoint(Transport):
 
 
 class ChaosController:
-    """Applies a schedule's due events to named endpoints as time passes."""
+    """Applies a schedule's due events to named endpoints as time passes.
+
+    ``groups`` maps a group name to the endpoint names it expands to
+    (e.g. a shard to its replicas); a scheduled target may be an
+    endpoint, a group, or ``*``.  Group names must not collide with
+    endpoint names.
+    """
 
     def __init__(self, schedule: ChaosSchedule,
                  endpoints: Dict[str, ChaosEndpoint], clock: Clock,
-                 start: Optional[float] = None):
-        unknown = schedule.targets() - set(endpoints)
+                 start: Optional[float] = None,
+                 groups: Optional[Mapping[str, Sequence[str]]] = None):
+        self.groups = dict(groups or {})
+        collisions = set(self.groups) & set(endpoints)
+        if collisions:
+            raise ReproError(
+                f"group names collide with endpoints: {sorted(collisions)}"
+            )
+        for group_name, members in self.groups.items():
+            missing = set(members) - set(endpoints)
+            if missing:
+                raise ReproError(
+                    f"group {group_name!r} names unknown endpoints: "
+                    f"{sorted(missing)}"
+                )
+        unknown = schedule.targets() - set(endpoints) - set(self.groups)
         if unknown:
             raise ReproError(
                 f"schedule targets unknown endpoints: {sorted(unknown)}"
@@ -256,10 +313,12 @@ class ChaosController:
         return fired
 
     def _apply(self, event: ChaosEvent) -> None:
-        targets = (
-            list(self.endpoints.values()) if event.target == "*"
-            else [self.endpoints[event.target]]
-        )
+        if event.target == "*":
+            targets = list(self.endpoints.values())
+        elif event.target in self.groups:
+            targets = [self.endpoints[n] for n in self.groups[event.target]]
+        else:
+            targets = [self.endpoints[event.target]]
         for endpoint in targets:
             self._apply_one(event, endpoint)
         self.applied.append(event)
@@ -286,6 +345,10 @@ class ChaosController:
             endpoint.server.drain()
         elif event.action == "resume":
             endpoint.server.resume()
+        elif event.action == "stale":
+            endpoint.set_token_epoch(int(event.params.get("epoch", 1)))
+        elif event.action == "fresh":
+            endpoint.set_token_epoch(None)
         else:  # pragma: no cover - ChaosEvent validates actions
             raise ReproError(f"unknown chaos action {event.action!r}")
 

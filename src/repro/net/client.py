@@ -6,7 +6,10 @@
 transport.Transport` that is allowed to fail.  Per logical query it:
 
 1. fails fast with :class:`~repro.errors.CircuitOpenError` while the
-   circuit breaker is open;
+   circuit breaker is open; a half-open trial first sends a cheap
+   liveness probe (:func:`probe_endpoint`), so a server that is merely
+   *draining* defers the trial as a typed ``overloaded`` error instead
+   of burning the probe on a real query and re-opening the breaker;
 2. frames the request under a fresh random 16-byte id per attempt, so a
    duplicated or replayed response (stale id) is detected, counted, and
    retried rather than trusted;
@@ -217,6 +220,8 @@ class ClientStats:
     error_frames: int = 0
     breaker_rejections: int = 0
     overload_rejections: int = 0
+    probes: int = 0
+    probe_deferrals: int = 0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -291,6 +296,29 @@ def wire_exchange(transport, payload: bytes, verify: Callable, group,
     return verify(response)
 
 
+def probe_endpoint(transport, rng: random.Random) -> str:
+    """One cheap liveness/admission probe; returns the server's status.
+
+    Round-trips a :data:`~repro.net.server.PROBE_REQUEST` frame under a
+    fresh request id and returns the status word (``"ready"`` /
+    ``"draining"``).  Probes carry no proof material — they answer
+    "should I spend a real query here?", never "can I trust this
+    endpoint?" — so callers must treat any status as unauthenticated
+    advice and keep verifying real responses as usual.
+    """
+    from repro.net.server import PROBE_REQUEST, decode_probe_response
+
+    request_id = rng.getrandbits(8 * REQUEST_ID_BYTES).to_bytes(
+        REQUEST_ID_BYTES, "big"
+    )
+    request_id = embed_trace_id(request_id, _trace.current_trace_id())
+    reply = transport.round_trip(frame(request_id, PROBE_REQUEST))
+    reply_id, body = unframe(reply)
+    if reply_id != request_id:
+        raise TransportError("probe response id mismatch")
+    return decode_probe_response(body)
+
+
 class ResilientClient:
     """Fault-tolerant three-query client over an unreliable transport."""
 
@@ -363,6 +391,7 @@ class ResilientClient:
             return self._execute_traced(request, verify, query_span)
 
     def _execute_traced(self, request: QueryRequest, verify: Callable, query_span):
+        was_half_open = self.breaker.state == "half-open"
         if not self.breaker.allow():
             self.counters.breaker_rejections += 1
             _M_OUTCOMES.inc(outcome="breaker_rejected")
@@ -370,6 +399,19 @@ class ResilientClient:
             raise CircuitOpenError(
                 f"circuit open after {self.breaker.failures} consecutive "
                 f"failures; retry after {self.breaker.reset_timeout}s"
+            )
+        if was_half_open and self._probe_says_draining():
+            # The server is alive but gracefully draining: failing the
+            # half-open probe with a real query would re-open the breaker
+            # for a full window and delay re-admission long past the
+            # server's resume().  Free the probe slot without judgement
+            # and surface a typed overload instead.
+            self.breaker.release_probe()
+            self.counters.probe_deferrals += 1
+            _M_OUTCOMES.inc(outcome="draining")
+            _LOG.warning("probe_deferred", kind=request.kind, table=request.table)
+            raise OverloadedError(
+                "endpoint is draining (liveness probe); retry after resume"
             )
         self.counters.requests += 1
         _M_REQUESTS.inc(kind=request.kind)
@@ -445,6 +487,21 @@ class ResilientClient:
             self.transport, payload, verify, self.user.group, self.rng,
             self.counters,
         )
+
+    def _probe_says_draining(self) -> bool:
+        """Best-effort drain check before spending a half-open real query.
+
+        A failed or undecodable probe proves nothing (old server, line
+        noise, a tamperer garbling cheap frames) — the real query
+        proceeds and judges the endpoint the usual way.  Only an
+        affirmative ``draining`` answer defers.
+        """
+        try:
+            status = probe_endpoint(self.transport, self.rng)
+        except ReproError:
+            return False
+        self.counters.probes += 1
+        return status == "draining"
 
     # -- bookkeeping ---------------------------------------------------------
     def _classify(self, exc: ReproError) -> None:

@@ -35,7 +35,12 @@ from one that merely times out:
   the only replica there is — rejects the same way.  A policy denial
   is *never* tamper: honest replicas enforcing access control must not
   be quarantined (a tampered envelope fails its integrity check and
-  raises ``CryptoError`` instead).
+  raises ``CryptoError`` instead).  Suspicion is **not permanent**: an
+  uncorroborated rejection demotes the endpoint to the back of the
+  rotation, but a corroboration window of consecutive verified
+  successes (``suspicion_decay``) clears it — one transient forgery
+  (or one query that raced a config change) cannot bias ranking
+  against an honest replica forever.
 
 Endpoint selection ranks eligible replicas by a success-EWMA health
 score, breaking ties least-recently-attempted first (deterministic
@@ -91,6 +96,7 @@ from repro.net.client import (
     ClientStats,
     RetryPolicy,
     is_tamper_error,
+    probe_endpoint,
     wire_exchange,
 )
 from repro.net.transport import Clock, Transport
@@ -119,6 +125,11 @@ _M_EVICTED = _REG.counter(
 _M_HEDGES = _REG.counter(
     "repro_cluster_hedges_total", "Hedged second requests issued.",
 )
+_M_PROBES = _REG.counter(
+    "repro_cluster_probes_total",
+    "Half-open liveness probes sent before committing a real query.",
+    labelnames=("endpoint", "status"),
+)
 _M_OVERLOAD_WAITS = _REG.counter(
     "repro_cluster_overload_backoffs_total",
     "Endpoint rotations honoring a server retry-after hint.",
@@ -140,11 +151,13 @@ class Endpoint:
     """One replica's client-side state: transport + suspicion bookkeeping."""
 
     def __init__(self, name: str, transport: Transport,
-                 breaker: CircuitBreaker, clock: Clock):
+                 breaker: CircuitBreaker, clock: Clock,
+                 suspicion_decay: int = 8):
         self.name = name
         self.transport = transport
         self.breaker = breaker
         self.clock = clock
+        self.suspicion_decay = suspicion_decay
         self.health = 1.0
         self.latency_ewma: Optional[float] = None
         self.quarantined_until: Optional[float] = None
@@ -152,6 +165,8 @@ class Endpoint:
         self.last_attempt_at = float("-inf")  # never attempted sorts first
         self.attempts = 0
         self.successes = 0
+        self.rejection_suspects = 0
+        self._suspicion_clean_streak = 0
         self.evictions: Dict[str, int] = {"tamper": 0, "transport": 0}
 
     @property
@@ -172,6 +187,20 @@ class Endpoint:
         self.health += _HEALTH_ALPHA * (1.0 - self.health)
         self._observe_latency(latency)
         self.breaker.record_success()
+        if self.rejection_suspects:
+            # A corroboration window of verified successes clears the
+            # forged-rejection suspicion: one transient lie (or one query
+            # that raced a config change) must not demote an honest
+            # replica's ranking forever.
+            self._suspicion_clean_streak += 1
+            if self._suspicion_clean_streak >= self.suspicion_decay:
+                self.rejection_suspects = 0
+                self._suspicion_clean_streak = 0
+
+    def note_suspicion(self) -> None:
+        """Record an uncorroborated (possibly forged) rejection."""
+        self.rejection_suspects += 1
+        self._suspicion_clean_streak = 0
 
     def observe_transport_failure(self) -> None:
         self.health -= _HEALTH_ALPHA * self.health
@@ -193,6 +222,7 @@ class Endpoint:
             "breaker": self.breaker.state,
             "attempts": self.attempts,
             "successes": self.successes,
+            "rejection_suspects": self.rejection_suspects,
             "evictions": dict(self.evictions),
         }
 
@@ -206,6 +236,7 @@ class ClusterStats:
     failures: int = 0
     failovers: int = 0
     hedges: int = 0
+    probes: int = 0
     quarantines: int = 0
     rejection_suspects: int = 0
     overload_backoffs: int = 0
@@ -245,6 +276,7 @@ class ReplicatedClient:
         hedge_percentile: Optional[float] = 0.95,
         hedge_min_samples: int = 16,
         latency_reservoir: int = 128,
+        suspicion_decay: int = 8,
     ):
         if not transports:
             raise ReproError("a replicated client needs at least one endpoint")
@@ -252,6 +284,8 @@ class ReplicatedClient:
             raise ReproError("quarantine_window must be positive")
         if hedge_percentile is not None and not 0.0 < hedge_percentile < 1.0:
             raise ReproError("hedge_percentile must be in (0, 1) or None")
+        if suspicion_decay < 1:
+            raise ReproError("suspicion_decay must be >= 1")
         self.user = user
         self.policy = policy or RetryPolicy()
         self.clock = clock or Clock()
@@ -264,6 +298,7 @@ class ReplicatedClient:
                 name, transport,
                 CircuitBreaker(failure_threshold, reset_timeout, clock=self.clock),
                 self.clock,
+                suspicion_decay=suspicion_decay,
             )
             for name, transport in transports.items()
         }
@@ -300,10 +335,15 @@ class ReplicatedClient:
         endpoint wins, which round-robins steady-state traffic across
         healthy replicas and guarantees every replica keeps being probed
         (a Byzantine replica cannot dodge detection by simply never
-        being selected).
+        being selected).  Endpoints under live forged-rejection suspicion
+        sort behind every unsuspected one regardless of health — they
+        stay reachable (and can clear their name through the decay
+        window) but never outrank replicas with a clean record.
         """
         eligible = [e for e in self.endpoints.values() if e.eligible(now)]
-        eligible.sort(key=lambda e: (-e.health, e.last_attempt_at, e.name))
+        eligible.sort(key=lambda e: (
+            min(e.rejection_suspects, 1), -e.health, e.last_attempt_at, e.name,
+        ))
         return eligible
 
     def _earliest_relief(self, now: float) -> Optional[float]:
@@ -375,6 +415,7 @@ class ReplicatedClient:
         if len(self.endpoints) == 1 or len(agreers) >= 2:
             return True
         self.counters.rejection_suspects += 1
+        endpoint.note_suspicion()
         _trace.add_event(
             "rejection_suspected", endpoint=endpoint.name,
             error=type(exc).__name__,
@@ -385,6 +426,31 @@ class ReplicatedClient:
         )
         self._transport_failure(endpoint)
         return False
+
+    def _probe_draining(self, endpoint: Endpoint) -> bool:
+        """Best-effort liveness probe before spending a half-open slot.
+
+        A draining server sheds real queries with ``overloaded`` frames,
+        which would re-open the breaker and push re-admission further
+        out; the probe lets the breaker tell "alive but draining" from
+        "dead".  Only an affirmative ``draining`` status defers (the
+        probe slot is released, no penalty recorded).  A failed or
+        garbled probe proves nothing — a tampering replica can corrupt
+        probe frames too — so the real query proceeds and the endpoint
+        is judged on its answer.
+        """
+        try:
+            status = probe_endpoint(endpoint.transport, self.rng)
+        except ReproError:
+            return False
+        self.counters.probes += 1
+        _M_PROBES.inc(endpoint=endpoint.name, status=status)
+        if status != "draining":
+            return False
+        endpoint.breaker.release_probe()
+        _trace.add_event("probe_deferred", endpoint=endpoint.name)
+        _LOG.info("probe_deferred", endpoint=endpoint.name)
+        return True
 
     def _update_quarantine_gauge(self) -> None:
         _M_QUARANTINED.set(
@@ -418,8 +484,11 @@ class ReplicatedClient:
                 )
             retry_floor = 0.0
             for position, endpoint in enumerate(ranked):
+                was_half_open = endpoint.breaker.state == "half-open"
                 if not endpoint.breaker.allow():
                     continue  # half-open probe already taken elsewhere
+                if was_half_open and self._probe_draining(endpoint):
+                    continue  # resting, not failing: slot freed, no penalty
                 if position:
                     self.counters.failovers += 1
                     _trace.add_event("failover", to=endpoint.name)
@@ -561,6 +630,7 @@ class ReplicatedClient:
             # contradicts a proven answer: record it against the backup
             # and never let it surface past the verified result.
             self.counters.rejection_suspects += 1
+            backup.note_suspicion()
             _trace.add_event("rejection_suspected", endpoint=backup.name)
             self._transport_failure(backup)
         except ReproError as exc:

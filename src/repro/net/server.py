@@ -20,7 +20,12 @@ Two observability hooks live here:
   :mod:`repro.net.transport`), so client and server spans correlate;
 * a ``stats`` request type — payload :data:`STATS_REQUEST` — answers
   with the registry's Prometheus exposition instead of a query
-  response, giving operators a scrape endpoint over the same frames.
+  response, giving operators a scrape endpoint over the same frames;
+* a ``probe`` request type — payload :data:`PROBE_REQUEST` — answers
+  with the server's admission status (``ready`` / ``draining``) and
+  bypasses admission control entirely, so a remote circuit breaker's
+  half-open probe can tell "alive but draining" from "dead" without
+  burning a real query (see :func:`~repro.net.client.probe_endpoint`).
 
 **Admission control.** A server constructed with ``max_in_flight=N``
 sheds work once ``N`` requests are already being handled (plus any
@@ -28,8 +33,9 @@ synthetic ``background_load`` a capacity drill injects): the excess
 frame is answered with a typed ``overloaded`` error frame carrying a
 ``retry-after`` hint instead of queueing unboundedly.  :meth:`drain`
 enters graceful shutdown — in-flight requests finish, every new query
-frame is shed the same way (stats scrapes still answer, so operators
-can watch the drain) — and :meth:`resume` reverses it.  Shedding
+frame is shed the same way (stats scrapes and probes still answer, so
+operators can watch the drain and remote breakers do not penalize the
+server for it) — and :meth:`resume` reverses it.  Shedding
 degrades availability, never soundness: an overloaded frame carries no
 proof material and the client retries elsewhere or later.
 """
@@ -57,6 +63,14 @@ STATS_REQUEST = b"STA\x01"
 #: Payload magic of a scrape response; the rest is UTF-8 exposition text.
 STATS_RESPONSE = b"STO\x01"
 
+#: Payload magic of a liveness/admission probe request (no body).
+PROBE_REQUEST = b"PRB\x01"
+#: Payload magic of a probe response; the rest is a UTF-8 status word.
+PROBE_RESPONSE = b"PRO\x01"
+#: Probe status words: admitting queries vs. gracefully draining.
+PROBE_READY = "ready"
+PROBE_DRAINING = "draining"
+
 _REG = _metrics.registry()
 _M_FRAMES = _REG.counter(
     "repro_server_frames_total", "Frames handled by ResilientSPServer.",
@@ -64,6 +78,10 @@ _M_FRAMES = _REG.counter(
 )
 _M_SCRAPES = _REG.counter(
     "repro_server_scrapes_total", "Metrics scrape requests served.",
+)
+_M_PROBES = _REG.counter(
+    "repro_server_probes_total", "Liveness probes answered, by status.",
+    labelnames=("status",),
 )
 _M_SHED = _REG.counter(
     "repro_server_shed_total", "Frames shed by admission control.",
@@ -80,6 +98,13 @@ def decode_stats_response(payload: bytes) -> str:
     if payload[: len(STATS_RESPONSE)] != STATS_RESPONSE:
         raise DeserializationError("not a stats response")
     return payload[len(STATS_RESPONSE):].decode("utf-8")
+
+
+def decode_probe_response(payload: bytes) -> str:
+    """The status word inside a :data:`PROBE_RESPONSE` payload."""
+    if payload[: len(PROBE_RESPONSE)] != PROBE_RESPONSE:
+        raise DeserializationError("not a probe response")
+    return payload[len(PROBE_RESPONSE):].decode("utf-8")
 
 
 class ResilientSPServer:
@@ -186,6 +211,19 @@ class ResilientSPServer:
                 handle_span.set_attributes(kind="stats", outcome="stats")
                 text = _metrics.render_prometheus()
                 return frame(request_id, STATS_RESPONSE + text.encode("utf-8"))
+            if payload == PROBE_REQUEST:
+                # Probes bypass admission control *and* drain, like stats
+                # scrapes: a breaker's half-open probe against a draining
+                # server must learn "alive but draining" instead of eating
+                # an overloaded frame that re-opens the breaker and delays
+                # the server's own re-admission after resume().
+                status = PROBE_DRAINING if self._draining else PROBE_READY
+                _M_PROBES.inc(status=status)
+                _M_FRAMES.inc(outcome="probe")
+                handle_span.set_attributes(kind="probe", outcome=status)
+                return frame(
+                    request_id, PROBE_RESPONSE + status.encode("utf-8")
+                )
             shed_reason = self._admit()
             if shed_reason is not None:
                 return self._shed(request_id, shed_reason, handle_span)

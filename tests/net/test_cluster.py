@@ -495,6 +495,82 @@ def test_hedging_disabled_by_default_config_none(env):
     assert client.counters.hedges == 0
 
 
+# -- forged-rejection suspicion decays ----------------------------------------
+
+class LiarOnceTransport(Transport):
+    """Forges a single workload rejection, then behaves forever after —
+    the transient-liar (or config-race) case suspicion decay exists for."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = 0
+
+    def round_trip(self, request_frame):
+        self.calls += 1
+        if self.calls == 1:
+            request_id, _ = unframe(request_frame)
+            return frame(
+                request_id,
+                ErrorResponse(ErrorResponse.WORKLOAD, "no such table").to_bytes(),
+            )
+        return self.inner.round_trip(request_frame)
+
+
+def test_forged_rejection_suspicion_decays_after_clean_streak(env):
+    clock = FakeClock()
+    toggle = TogglableTransport(good(env, clock))
+    client = make_cluster(
+        env,
+        {"a-sus": LiarOnceTransport(good(env, clock)), "b-good": toggle},
+        clock,
+        suspicion_decay=3, failure_threshold=10,
+    )
+    # The one-time liar ranks first (name tie-break), forges a rejection,
+    # and the query fails over to the clean replica.
+    assert run_query(client, "range") == env.truth["range"]
+    assert client.endpoints["a-sus"].rejection_suspects == 1
+    # Demoted: the suspect sorts behind the clean replica regardless of
+    # the least-recently-attempted tie-break that would otherwise pick it.
+    clock.advance(1.0)
+    assert [e.name for e in client._ranked(clock.now())] == ["b-good", "a-sus"]
+    # Cut the clean replica so the suspect serves the corroboration
+    # window itself: three verified successes clear its name.
+    toggle.down = True
+    for _ in range(3):
+        clock.advance(1.0)
+        assert run_query(client, "range") == env.truth["range"]
+        assert client.endpoints["a-sus"].successes <= 3
+    assert client.endpoints["a-sus"].rejection_suspects == 0
+    # Back in the healthy rotation: ranking is health-order again, so
+    # the once-suspect replica is no longer pinned to last place.
+    toggle.down = False
+    clock.advance(1.0)
+    assert client._ranked(clock.now())[0].name == "a-sus"
+
+
+def test_repeat_liar_resets_its_own_clean_streak(env):
+    clock = FakeClock()
+    endpoint = make_cluster(
+        env, {"only": good(env, clock)}, clock, suspicion_decay=4,
+    ).endpoints["only"]
+    endpoint.note_suspicion()
+    for _ in range(3):
+        endpoint.observe_success(0.01)
+    endpoint.note_suspicion()  # lies again before the window closes
+    assert endpoint.rejection_suspects == 2
+    for _ in range(3):
+        endpoint.observe_success(0.01)
+    # The streak restarted at the second lie: still suspect at 3 of 4.
+    assert endpoint.rejection_suspects == 2
+    endpoint.observe_success(0.01)
+    assert endpoint.rejection_suspects == 0
+
+
+def test_suspicion_decay_validation(env):
+    with pytest.raises(ReproError, match="suspicion_decay"):
+        ReplicatedClient(env.user, {"a": DeadTransport()}, suspicion_decay=0)
+
+
 # -- stats --------------------------------------------------------------------
 
 def test_stats_exposes_per_endpoint_state(env):

@@ -6,8 +6,15 @@ import pytest
 
 from repro import obs
 from repro.core.messages import ErrorResponse, SPServer
-from repro.errors import OverloadedError, ReproError, WorkloadError
+from repro.errors import (
+    CircuitOpenError,
+    OverloadedError,
+    ReproError,
+    TransportError,
+    WorkloadError,
+)
 from repro.net import (
+    PROBE_REQUEST,
     STATS_REQUEST,
     CircuitBreaker,
     FakeClock,
@@ -15,8 +22,10 @@ from repro.net import (
     ResilientClient,
     ResilientSPServer,
     RetryPolicy,
+    decode_probe_response,
     decode_stats_response,
     frame,
+    probe_endpoint,
     unframe,
 )
 from repro.obs.metrics import registry
@@ -147,6 +156,124 @@ def test_drain_applies_even_without_an_in_flight_limit(env):
     server.drain()
     with pytest.raises(OverloadedError):
         run_query(client, "range")
+
+
+# -- liveness probes ----------------------------------------------------------
+
+class CuttableTransport:
+    """A healthy link the test can cut and restore."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.down = False
+
+    def round_trip(self, request_frame):
+        if self.down:
+            raise TransportError("link cut")
+        return self.inner.round_trip(request_frame)
+
+
+class GarbledProbeTransport:
+    """Serves real queries but corrupts every probe response."""
+
+    def __init__(self, inner):
+        self.inner = inner
+
+    def round_trip(self, request_frame):
+        request_id, payload = unframe(request_frame)
+        if payload == PROBE_REQUEST:
+            return frame(request_id, b"\x00garbage")
+        return self.inner.round_trip(request_frame)
+
+
+def test_probe_frame_bypasses_admission_and_drain(env, obs_on):
+    window = registry().window()
+    server = make_server(env, max_in_flight=1)
+    server.set_background_load(5)  # saturated...
+    server.drain()                 # ...and draining: probes still answer
+    request_id = bytes(range(16))
+    rid, payload = unframe(server.handle_frame(frame(request_id, PROBE_REQUEST)))
+    assert rid == request_id
+    assert decode_probe_response(payload) == "draining"
+    server.resume()
+    _, payload = unframe(server.handle_frame(frame(bytes(16), PROBE_REQUEST)))
+    assert decode_probe_response(payload) == "ready"
+    delta = window.delta()
+    assert delta.get("repro_server_probes_total|draining") == 1
+    assert delta.get("repro_server_probes_total|ready") == 1
+    assert delta.get("repro_server_frames_total|probe") == 2
+    assert server.shed == 0  # a probe is never shed
+
+
+def test_probe_endpoint_helper_round_trips_status(env):
+    server = make_server(env)
+    transport = LoopbackTransport(server.handle_frame)
+    assert probe_endpoint(transport, random.Random(1)) == "ready"
+    server.drain()
+    assert probe_endpoint(transport, random.Random(2)) == "draining"
+
+
+def test_half_open_probe_defers_during_drain_then_readmits(env):
+    clock = FakeClock()
+    server = make_server(env, max_in_flight=8)
+    link = CuttableTransport(LoopbackTransport(server.handle_frame))
+    client = ResilientClient(
+        env.user, link,
+        policy=RetryPolicy(max_attempts=1, base_delay=0.01, jitter=0.0),
+        breaker=CircuitBreaker(failure_threshold=1, reset_timeout=5.0,
+                               clock=clock),
+        clock=clock, rng=random.Random(4),
+    )
+    # The replica dies: breaker opens, then fails fast.
+    link.down = True
+    with pytest.raises(TransportError):
+        run_query(client, "range")
+    assert client.breaker.state == "open"
+    with pytest.raises(CircuitOpenError):
+        run_query(client, "range")
+    # It comes back — but draining.  The half-open trial probes first
+    # and defers as a typed overload instead of burning a real query.
+    link.down = False
+    server.drain()
+    clock.advance(5.0)
+    assert client.breaker.state == "half-open"
+    with pytest.raises(OverloadedError, match="draining"):
+        run_query(client, "range")
+    assert client.counters.probes == 1
+    assert client.counters.probe_deferrals == 1
+    # Crucially the deferral did not re-open the breaker for another
+    # full window: the probe slot was released without judgement, so the
+    # next trial may run immediately.
+    assert client.breaker.state == "half-open"
+    # After resume() the very next query probes ready, spends the real
+    # half-open trial, verifies, and closes the circuit.
+    server.resume()
+    assert run_query(client, "range") == env.truth["range"]
+    assert client.breaker.state == "closed"
+    assert client.counters.probes == 2
+    assert client.counters.probe_deferrals == 1
+
+
+def test_garbled_probe_proves_nothing_and_real_query_decides(env):
+    clock = FakeClock()
+    server = make_server(env)
+    client = ResilientClient(
+        env.user,
+        GarbledProbeTransport(LoopbackTransport(server.handle_frame)),
+        policy=RetryPolicy(max_attempts=1, base_delay=0.01, jitter=0.0),
+        breaker=CircuitBreaker(failure_threshold=1, reset_timeout=5.0,
+                               clock=clock),
+        clock=clock, rng=random.Random(4),
+    )
+    client.breaker.record_failure()  # open
+    clock.advance(5.0)               # half-open
+    # The probe comes back undecodable — that is *not* evidence the
+    # server is down (old build, line noise, a tamperer garbling cheap
+    # frames), so the real half-open query proceeds and succeeds.
+    assert run_query(client, "range") == env.truth["range"]
+    assert client.breaker.state == "closed"
+    assert client.counters.probes == 0  # only decoded probes count
+    assert client.counters.probe_deferrals == 0
 
 
 # -- bookkeeping --------------------------------------------------------------
