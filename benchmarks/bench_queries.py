@@ -1,21 +1,30 @@
 """Microbenchmark for two-phase query serving (engine + SP pool).
 
 Times end-to-end range-query serving on a seeded single-table system and
-writes ``BENCH_queries.json`` at the repo root.  Four arms, crossing the
-materializer's worker count with the SP authenticator pool's APS-cache
-state:
+writes ``BENCH_queries.json`` at the repo root.  Six arms, crossing the
+materializer's worker count / executor backend with the SP authenticator
+pool's APS-cache state:
 
 * ``serial_cold``   — workers=1, authenticator pool reset before each run;
-* ``parallel_cold`` — workers=N, pool reset before each run;
-* ``serial_warm``   — workers=1, pool retained from the cold run;
-* ``parallel_warm`` — workers=N, pool retained.
+* ``parallel_cold`` — thread workers=N, pool reset before each run;
+* ``process_cold``  — process workers=N (persistent spawn pool), pool reset;
+* ``serial_warm`` / ``parallel_warm`` / ``process_warm`` — same, with the
+  pool retained from the matching cold run.
 
 Each arm reports wall-clock plus the engine's per-phase stats
 (``traversal_ms`` / ``relax_ms``, relax invocations, APS cache hits), so
 a speedup is traceable to the ``ABS.Relax`` calls it avoided.  On a
-single-CPU host the cold parallel arm tracks the serial one (the GIL
-serializes the pure-Python relax work); the warm arms show the pooled
-cache's effect, which is scheduling-independent.
+single-CPU host the cold parallel/process arms track the serial one (the
+GIL serializes thread-backend relax work, and one core caps the process
+pool); the warm arms show the pooled cache's effect, which is
+scheduling-independent.  The JSON records the host context (CPU count,
+Python version) next to the numbers so cross-host comparisons stay
+honest.
+
+Two cross-query scenarios ride along: ``relax_dedup`` measures the
+single-flight table collapsing concurrent identical queries onto one
+derivation, and ``verification_window`` measures client-side windowed
+APS batching against per-response verification.
 
 Fast ``test_smoke_*`` functions run in CI (``-m "not slow"``) on the
 simulated backend; the full BN254 comparison behind
@@ -26,16 +35,22 @@ simulated backend; the full BN254 comparison behind
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import platform
 import random
+import threading
 import time
 
 import pytest
 
+from repro import obs
+from repro.core.app_signature import _M_INFLIGHT
 from repro.core.records import Dataset, Record
 from repro.core.system import DataOwner, QueryUser
 from repro.crypto import get_backend
 from repro.index.boxes import Domain
+from repro.net.window import VerificationWindow
 from repro.policy.boolexpr import parse_policy
 from repro.policy.roles import RoleUniverse
 
@@ -70,28 +85,34 @@ def build_system(backend: str, num_records: int = 16):
     return universe, owner, sp
 
 
-def _run_arm(sp, rng, workers: int, cold: bool, repeats: int) -> dict:
+def _run_arm(sp, rng, workers: int, cold: bool, repeats: int,
+             relax_backend: str = "thread") -> dict:
     """Best-of-``repeats`` for one arm; cold arms reset the pool each run."""
     best_s = float("inf")
     stats = None
     vo_bytes = 0
-    for _ in range(repeats):
-        if cold:
-            sp._auth_pool.clear()
-        t0 = time.perf_counter()
-        resp = sp.range_query("T", *QUERY, USER_ROLES, rng=rng, workers=workers)
-        elapsed = time.perf_counter() - t0
-        if elapsed < best_s:
-            best_s = elapsed
-            stats = resp.stats
-            vo_bytes = resp.byte_size()
+    previous_backend = sp.relax_backend
+    sp.relax_backend = relax_backend
+    try:
+        for _ in range(repeats):
+            if cold:
+                sp._auth_pool.clear()
+            t0 = time.perf_counter()
+            resp = sp.range_query("T", *QUERY, USER_ROLES, rng=rng, workers=workers)
+            elapsed = time.perf_counter() - t0
+            if elapsed < best_s:
+                best_s = elapsed
+                stats = resp.stats
+                vo_bytes = resp.byte_size()
+    finally:
+        sp.relax_backend = previous_backend
     entry = {"seconds": round(best_s, 6), "vo_bytes": vo_bytes}
     entry.update(stats.as_dict())
     return entry
 
 
 def scenario_query_serving(backend: str, workers: int = 4, repeats: int = 2) -> dict:
-    """The four-arm serial/parallel x cold/warm comparison."""
+    """The six-arm serial/thread/process x cold/warm comparison."""
     universe, owner, sp = build_system(backend)
     rng = random.Random(SEED + 1)
     arms = {}
@@ -100,6 +121,12 @@ def scenario_query_serving(backend: str, workers: int = 4, repeats: int = 2) -> 
     arms["serial_warm"] = _run_arm(sp, rng, workers=1, cold=False, repeats=repeats)
     arms["parallel_cold"] = _run_arm(sp, rng, workers=workers, cold=True, repeats=repeats)
     arms["parallel_warm"] = _run_arm(sp, rng, workers=workers, cold=False, repeats=repeats)
+    arms["process_cold"] = _run_arm(
+        sp, rng, workers=workers, cold=True, repeats=repeats, relax_backend="process"
+    )
+    arms["process_warm"] = _run_arm(
+        sp, rng, workers=workers, cold=False, repeats=repeats, relax_backend="process"
+    )
 
     # Sanity: the served VO verifies for the benchmark user.
     user = QueryUser(owner.group, universe, owner.register_user(USER_ROLES))
@@ -115,20 +142,138 @@ def scenario_query_serving(backend: str, workers: int = 4, repeats: int = 2) -> 
     return {"backend": backend, "workers": workers, "arms": arms, "speedups": speedups}
 
 
+def scenario_relax_dedup(backend: str, concurrency: int = 3) -> dict:
+    """Concurrent identical cold queries: single-flight dedup at work.
+
+    ``concurrency`` threads fire the *same* cold range query at once; the
+    in-flight table collapses their overlapping ``ABS.Relax`` derivations
+    onto one materialization each.  Compared against the same queries run
+    back-to-back with the pool cleared in between (every derivation paid
+    ``concurrency`` times).
+    """
+    universe, owner, sp = build_system(backend)
+    rng_seeds = [random.Random(SEED + 10 + i) for i in range(concurrency)]
+
+    # Baseline: sequential, fully cold each time — no sharing at all.
+    t0 = time.perf_counter()
+    for rng in rng_seeds:
+        sp._auth_pool.clear()
+        sp.range_query("T", *QUERY, USER_ROLES, rng=rng)
+    sequential_s = time.perf_counter() - t0
+
+    sp._auth_pool.clear()
+    previous = obs.set_enabled(True)
+    owner_before = _M_INFLIGHT.value(outcome="owner")
+    hits_before = _M_INFLIGHT.value(outcome="dedup_hit")
+    errors = []
+
+    def fire(rng):
+        try:
+            sp.range_query("T", *QUERY, USER_ROLES, rng=rng)
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=fire, args=(rng,)) for rng in rng_seeds]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    concurrent_s = time.perf_counter() - t0
+    owner_count = _M_INFLIGHT.value(outcome="owner") - owner_before
+    dedup_hits = _M_INFLIGHT.value(outcome="dedup_hit") - hits_before
+    obs.set_enabled(previous)
+    if errors:
+        raise errors[0]
+    return {
+        "backend": backend,
+        "concurrency": concurrency,
+        "sequential_cold_seconds": round(sequential_s, 6),
+        "concurrent_cold_seconds": round(concurrent_s, 6),
+        "relax_flights_owned": owner_count,
+        "relax_dedup_hits": dedup_hits,
+        "speedup": round(sequential_s / concurrent_s, 3) if concurrent_s else None,
+    }
+
+
+def scenario_verification_window(backend: str, num_queries: int = 4) -> dict:
+    """Client-side windowed APS batching vs per-response verification.
+
+    The same ``num_queries`` disjoint range responses are verified twice:
+    once per response (each carries its own merged batch check), once
+    through a :class:`VerificationWindow` sized to the whole set (one
+    merged check for all of them at flush).
+    """
+    universe, owner, sp = build_system(backend)
+    user = QueryUser(owner.group, universe, owner.register_user(USER_ROLES))
+    lo, hi = QUERY[0][0], QUERY[1][0]
+    step = (hi - lo + 1) // num_queries
+    responses = [
+        sp.range_query(
+            "T", (lo + i * step,), (lo + (i + 1) * step - 1,), USER_ROLES,
+            rng=random.Random(SEED + 20 + i),
+        )
+        for i in range(num_queries)
+    ]
+
+    t0 = time.perf_counter()
+    for resp in responses:
+        user.verify(resp)
+    per_response_s = time.perf_counter() - t0
+
+    window = VerificationWindow(user, size=num_queries, rng=random.Random(SEED + 30))
+    t0 = time.perf_counter()
+    for resp in responses:
+        window.verify(resp)
+    window.flush()
+    windowed_s = time.perf_counter() - t0
+    return {
+        "backend": backend,
+        "num_queries": num_queries,
+        "window_size": num_queries,
+        "per_response_seconds": round(per_response_s, 6),
+        "windowed_seconds": round(windowed_s, 6),
+        "responses_settled": window.settled,
+        "speedup": round(per_response_s / windowed_s, 3) if windowed_s else None,
+    }
+
+
+def host_context() -> dict:
+    """The context any cross-host speedup claim needs next to the numbers."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "relax_backends": ["thread", "process"],
+    }
+
+
 def run_benchmarks() -> dict:
     return {
         "seed": SEED,
         "query": [list(QUERY[0]), list(QUERY[1])],
         "user_roles": sorted(USER_ROLES),
-        "scenarios": {"query_serving_bn254": scenario_query_serving("bn254")},
+        "host": host_context(),
+        "scenarios": {
+            "query_serving_bn254": scenario_query_serving("bn254"),
+            "relax_dedup_bn254": scenario_relax_dedup("bn254"),
+            "verification_window_bn254": scenario_verification_window("bn254"),
+        },
     }
 
 
 def main() -> None:
     results = run_benchmarks()
     JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    host = results["host"]
+    print(f"host: {host['cpu_count']} cpu, python {host['python']}")
     for name, scenario in results["scenarios"].items():
         print(name)
+        if "arms" not in scenario:
+            for key, value in scenario.items():
+                if key != "backend":
+                    print(f"  {key}: {value}")
+            continue
         for arm, entry in scenario["arms"].items():
             print(
                 f"  {arm:14s} {entry['seconds']*1e3:9.1f} ms"
@@ -144,18 +289,51 @@ def main() -> None:
 
 # -- pytest entry points ------------------------------------------------
 def test_smoke_query_serving_arms():
-    """CI smoke: all four arms run on the simulated backend; warm arms
+    """CI smoke: all six arms run on the simulated backend; warm arms
     serve every APS from the pooled cache."""
     scenario = scenario_query_serving("simulated", workers=2, repeats=1)
     arms = scenario["arms"]
-    assert set(arms) == {"serial_cold", "serial_warm", "parallel_cold", "parallel_warm"}
+    assert set(arms) == {
+        "serial_cold", "serial_warm", "parallel_cold", "parallel_warm",
+        "process_cold", "process_warm",
+    }
     assert arms["serial_cold"]["relax_calls"] > 0
     assert arms["serial_cold"]["aps_cache_hits"] == 0
-    for warm in ("serial_warm", "parallel_warm"):
+    for warm in ("serial_warm", "parallel_warm", "process_warm"):
         assert arms[warm]["relax_calls"] == 0
         assert arms[warm]["aps_cache_hits"] == arms["serial_cold"]["relax_calls"]
     assert arms["parallel_cold"]["workers"] == 2
     assert arms["parallel_cold"]["vo_bytes"] == arms["serial_cold"]["vo_bytes"]
+    assert arms["process_cold"]["backend"] == "process"
+    assert arms["process_cold"]["relax_calls"] == arms["serial_cold"]["relax_calls"]
+    assert arms["process_cold"]["vo_bytes"] == arms["serial_cold"]["vo_bytes"]
+
+
+def test_smoke_host_context_recorded():
+    """Speedup claims are only comparable with the host pinned next to them."""
+    host = host_context()
+    assert host["cpu_count"] >= 1
+    assert host["python"].count(".") == 2
+    assert host["relax_backends"] == ["thread", "process"]
+
+
+def test_smoke_relax_dedup_scenario():
+    """CI smoke: concurrent identical queries share in-flight derivations."""
+    scenario = scenario_relax_dedup("simulated", concurrency=3)
+    assert scenario["relax_flights_owned"] > 0
+    # Derivations performed never exceed flights owned plus fallbacks; the
+    # point of the table is that concurrent twins joined existing flights.
+    assert scenario["relax_dedup_hits"] >= 0
+    assert scenario["sequential_cold_seconds"] > 0
+    assert scenario["concurrent_cold_seconds"] > 0
+
+
+def test_smoke_verification_window_scenario():
+    """CI smoke: the windowed path settles every response it deferred."""
+    scenario = scenario_verification_window("simulated", num_queries=4)
+    assert scenario["responses_settled"] == 4
+    assert scenario["per_response_seconds"] > 0
+    assert scenario["windowed_seconds"] > 0
 
 
 def test_smoke_per_phase_stats_populated():

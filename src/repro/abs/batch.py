@@ -174,3 +174,24 @@ def find_invalid(
         if not scheme.verify(mvk, item.message, policy, item.signature):
             bad.append(i)
     return bad
+
+
+def verify_or_find_invalid(
+    scheme: AbsScheme,
+    mvk: AbsVerificationKey,
+    items: Sequence[BatchItem],
+    rng: Optional[random.Random] = None,
+) -> list[int]:
+    """The settle primitive: fast merged batch, precise failure attribution.
+
+    Returns ``[]`` when the whole batch verifies (one merged pairing
+    product); otherwise falls back to per-signature verification and
+    returns the indexes of every invalid item.  A batch failure always
+    yields at least one index: should the individual re-checks somehow
+    all pass (the small-exponents false-negative, probability ~2^-64),
+    the first item is blamed rather than letting a failed batch read as
+    valid — the failure stays fail-closed.
+    """
+    if not items or batch_verify(scheme, mvk, items, rng):
+        return []
+    return find_invalid(scheme, mvk, items) or [0]

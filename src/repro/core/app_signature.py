@@ -24,12 +24,28 @@ from repro.abs.scheme import AbsScheme, AbsSignature
 from repro.core.records import Record
 from repro.crypto.group import BilinearGroup
 from repro.index.boxes import Box, Point
+from repro.obs import metrics as _metrics
+from repro.parallel import InFlightTable
 from repro.policy.boolexpr import BoolExpr, or_of_attrs
 from repro.policy.roles import RoleUniverse
+
+_REG = _metrics.registry()
+_M_INFLIGHT = _REG.counter(
+    "repro_relax_inflight_total",
+    "In-flight relax-derivation flights by outcome: 'owner' began a new "
+    "flight, 'dedup_hit' joined one already being derived for a "
+    "concurrent query.",
+    labelnames=("outcome",),
+)
 
 
 class AppAuthenticator:
     """Key-less APP/APS operations: relaxation (SP) and verification (user)."""
+
+    #: How long a query waits on a relax derivation owned by a concurrent
+    #: query before giving up and deriving locally.  Generous: a single
+    #: relax is tens of milliseconds; only a wedged owner hits this.
+    INFLIGHT_WAIT_TIMEOUT = 60.0
 
     def __init__(
         self,
@@ -50,6 +66,10 @@ class AppAuthenticator:
         self._aps_cache_max = 0
         self.aps_cache_hits = 0
         self.aps_cache_misses = 0
+        #: Single-flight table for cross-query relax dedup: concurrent
+        #: queries needing the same (signature, message, missing-role)
+        #: derivation wait on one materialization instead of recomputing.
+        self._relax_flights = InFlightTable()
 
     def enable_aps_cache(self, maxsize: int = 4096) -> None:
         """Cache derived APS signatures (SP-side optimization).
@@ -122,6 +142,31 @@ class AppAuthenticator:
         if len(cache) > self._aps_cache_max:
             cache.popitem(last=False)
 
+    # -- cross-query single-flight dedup -------------------------------------
+    def relax_begin(self, key: Optional[tuple]):
+        """Claim (or join) the in-flight derivation for ``key``.
+
+        Returns ``(slot, owner)``.  The owner must eventually
+        :meth:`relax_publish` a value or error on the slot; non-owners
+        :meth:`relax_wait` for it.  ``key=None`` (cache disabled) always
+        owns: dedup is meaningless without a stable identity.
+        """
+        if key is None:
+            return None, True
+        slot, owner = self._relax_flights.begin(key)
+        _M_INFLIGHT.inc(outcome="owner" if owner else "dedup_hit")
+        return slot, owner
+
+    def relax_publish(self, key: Optional[tuple], slot, value=None, error=None) -> None:
+        if key is None or slot is None:
+            return
+        self._relax_flights.publish(key, slot, value=value, error=error)
+
+    def relax_wait(self, slot, timeout: Optional[float] = None) -> AbsSignature:
+        if timeout is None:
+            timeout = self.INFLIGHT_WAIT_TIMEOUT
+        return self._relax_flights.wait(slot, timeout)
+
     def derive_aps(
         self,
         signature: AbsSignature,
@@ -135,8 +180,25 @@ class AppAuthenticator:
         cached = self.aps_cache_get(key)
         if cached is not None:
             return cached
-        aps, _ = relax(self.scheme, self.mvk, signature, message, policy, missing_roles, rng)
+        slot, owner = self.relax_begin(key)
+        if not owner:
+            try:
+                return self.relax_wait(slot)
+            except Exception:
+                # Owner errored or never published; fall through and
+                # derive locally — correctness over dedup.
+                pass
+        try:
+            aps, _ = relax(
+                self.scheme, self.mvk, signature, message, policy, missing_roles, rng
+            )
+        except BaseException as exc:
+            if owner:
+                self.relax_publish(key, slot, error=exc)
+            raise
         self.aps_cache_put(key, aps)
+        if owner:
+            self.relax_publish(key, slot, value=aps)
         return aps
 
     def missing_roles_for(self, user_roles) -> list[str]:

@@ -34,8 +34,9 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
+from repro.abs.keys import AbsVerificationKey
 from repro.abs.relax import relax
-from repro.abs.scheme import AbsSignature
+from repro.abs.scheme import AbsScheme, AbsSignature
 from repro.core.app_signature import AppAuthenticator
 from repro.core.records import Record
 from repro.core.vo import (
@@ -50,7 +51,7 @@ from repro.index.boxes import Box, Point
 from repro.index.gridtree import APGTree, IndexNode
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
-from repro.parallel import parallel_map
+from repro.parallel import parallel_map, resolve_workers
 from repro.policy.boolexpr import BoolExpr
 
 _REG = _metrics.registry()
@@ -74,6 +75,15 @@ _M_GROUP_OPS = _REG.counter(
     "Group operations charged to engine materialization, by backend and op.",
     labelnames=("backend", "op"),
 )
+
+_M_INFLIGHT_FALLBACK = _REG.counter(
+    "repro_relax_inflight_fallback_total",
+    "Foreign in-flight relax waits that fell back to local derivation "
+    "(owner errored or never published).",
+)
+
+#: Materialization executor backends (``materialize(backend=...)``).
+RELAX_BACKENDS = ("thread", "process")
 
 #: Task kinds (also the keys of :attr:`EngineStats.tasks`).
 ACCESSIBLE_RECORD = "accessible_record"
@@ -327,6 +337,7 @@ class EngineStats:
 
     kind: str = ""
     workers: int = 1
+    backend: str = "thread"
     traversal_ms: float = 0.0
     relax_ms: float = 0.0
     tasks: dict = field(default_factory=dict)
@@ -343,6 +354,7 @@ class EngineStats:
         return {
             "kind": self.kind,
             "workers": self.workers,
+            "backend": self.backend,
             "traversal_ms": round(self.traversal_ms, 3),
             "relax_ms": round(self.relax_ms, 3),
             "tasks": dict(self.tasks),
@@ -405,26 +417,32 @@ def _materialize_serial(
     return entries
 
 
-def _materialize_parallel(
+#: One planned relax derivation: (cache key, in-flight slot, first task
+#: index, task, pre-drawn seed).
+_RelaxJob = tuple[Optional[tuple], object, int, ProofTask, Optional[int]]
+
+
+def _plan_relax(
     tasks: Sequence[ProofTask],
     authenticator: AppAuthenticator,
-    user_roles,
+    missing: Sequence[str],
     rng: Optional[random.Random],
-    workers: int,
-    stats: EngineStats,
-) -> list[VOEntry]:
-    """Dispatch relax jobs through :func:`parallel_map`.
+):
+    """Phase-2 work planning shared by the thread and process paths.
 
-    The APS cache is consulted (and filled) in the dispatching thread, so
-    worker threads never touch shared mutable state; identical derivations
-    within one batch are deduplicated when the cache is enabled.  Seeds
-    are pre-drawn in task order, making the output deterministic for a
-    given ``rng`` seed regardless of thread scheduling.
+    Consults the APS cache, collapses duplicate derivations within the
+    batch (``pending``), and claims an in-flight slot per remaining key
+    so *concurrent queries* sharing APS work dedup against each other:
+    flights this call owns go to ``jobs`` (we derive and publish);
+    flights another query already owns go to ``foreign`` (we wait for its
+    result instead of recomputing).  Seeds are pre-drawn in task order —
+    for a single in-flight query every ``begin`` returns ownership, so
+    the rng stream is identical to the historical planner.
     """
-    missing = authenticator.missing_roles_for(user_roles)
     aps_by_index: dict[int, AbsSignature] = {}
     pending: dict[tuple, list[int]] = {}
-    jobs: list[tuple[Optional[tuple], int, ProofTask, Optional[int]]] = []
+    jobs: list[_RelaxJob] = []
+    foreign: list[_RelaxJob] = []
     for index, task in enumerate(tasks):
         if not task.needs_relax:
             continue
@@ -440,12 +458,93 @@ def _materialize_parallel(
                 continue
             pending[key] = [index]
         seed = rng.getrandbits(64) if rng is not None else None
-        jobs.append((key, index, task, seed))
+        slot, owner = authenticator.relax_begin(key)
+        (jobs if owner else foreign).append((key, slot, index, task, seed))
+    return aps_by_index, pending, jobs, foreign
+
+
+def _local_relax(
+    authenticator: AppAuthenticator,
+    task: ProofTask,
+    missing: Sequence[str],
+    seed: Optional[int],
+) -> AbsSignature:
+    job_rng = random.Random(seed) if seed is not None else None
+    aps, _ = relax(
+        authenticator.scheme, authenticator.mvk, task.signature,
+        task.relax_message(), task.relax_policy(), missing, job_rng,
+    )
+    return aps
+
+
+def _settle_relax(
+    authenticator: AppAuthenticator,
+    aps_by_index: dict[int, AbsSignature],
+    pending: dict[tuple, list[int]],
+    jobs: list[_RelaxJob],
+    results: Sequence[AbsSignature],
+    foreign: list[_RelaxJob],
+    missing: Sequence[str],
+    stats: EngineStats,
+) -> None:
+    """Publish owned results, then settle flights owned by other queries."""
+    for (key, slot, index, _task, _seed), aps in zip(jobs, results):
+        if key is not None:
+            authenticator.aps_cache_put(key, aps)
+        authenticator.relax_publish(key, slot, value=aps)
+        if key is not None:
+            for position in pending[key]:
+                aps_by_index[position] = aps
+        else:
+            aps_by_index[index] = aps
+    stats.relax_calls += len(jobs)
+    for key, slot, index, task, seed in foreign:
+        try:
+            aps = authenticator.relax_wait(slot)
+        except Exception:
+            # The owning query errored or never published: derive locally
+            # rather than failing a query that did nothing wrong.
+            _M_INFLIGHT_FALLBACK.inc()
+            aps = _local_relax(authenticator, task, missing, seed)
+            stats.relax_calls += 1
+            if key is not None:
+                authenticator.aps_cache_put(key, aps)
+        for position in pending.get(key, (index,)):
+            aps_by_index[position] = aps
+
+
+def _abort_relax(authenticator: AppAuthenticator, jobs: list[_RelaxJob],
+                 exc: BaseException) -> None:
+    """Release owned flights on failure so concurrent waiters never hang."""
+    for key, slot, _index, _task, _seed in jobs:
+        authenticator.relax_publish(key, slot, error=exc)
+
+
+def _materialize_parallel(
+    tasks: Sequence[ProofTask],
+    authenticator: AppAuthenticator,
+    user_roles,
+    rng: Optional[random.Random],
+    workers: int,
+    stats: EngineStats,
+) -> list[VOEntry]:
+    """Dispatch relax jobs through thread-backed :func:`parallel_map`.
+
+    The APS cache is consulted (and filled) in the dispatching thread, so
+    worker threads never touch shared mutable state; identical derivations
+    within one batch are deduplicated when the cache is enabled, and
+    derivations already in flight for a *concurrent* query are awaited
+    instead of recomputed.  Seeds are pre-drawn in task order, making the
+    output deterministic for a given ``rng`` seed regardless of thread
+    scheduling.
+    """
+    missing = authenticator.missing_roles_for(user_roles)
+    aps_by_index, pending, jobs, foreign = _plan_relax(tasks, authenticator, missing, rng)
 
     scheme, mvk = authenticator.scheme, authenticator.mvk
 
     def run_job(job) -> AbsSignature:
-        _key, _index, task, seed = job
+        _key, _slot, _index, task, seed = job
         job_rng = random.Random(seed) if seed is not None else None
         aps, _ = relax(
             scheme, mvk, task.signature, task.relax_message(),
@@ -453,15 +552,128 @@ def _materialize_parallel(
         )
         return aps
 
-    results = parallel_map(run_job, jobs, workers=min(workers, max(1, len(jobs))))
-    stats.relax_calls += len(jobs)
-    for (key, index, _task, _seed), aps in zip(jobs, results):
-        if key is not None:
-            authenticator.aps_cache_put(key, aps)
-            for position in pending[key]:
-                aps_by_index[position] = aps
-        else:
-            aps_by_index[index] = aps
+    try:
+        results = parallel_map(
+            run_job, jobs, workers=min(workers, max(1, len(jobs)))
+        )
+    except BaseException as exc:
+        _abort_relax(authenticator, jobs, exc)
+        raise
+    _settle_relax(
+        authenticator, aps_by_index, pending, jobs, results, foreign, missing, stats
+    )
+    return [_entry_for(task, aps_by_index.get(i)) for i, task in enumerate(tasks)]
+
+
+# ----------------------------------------------------------------------
+# Process-pool materialization.
+#
+# Spawned workers cannot share the dispatcher's group singleton or its
+# caches, so each worker rebuilds its own from bytes exactly once (the
+# pool initializer below) and every job travels as picklable primitives:
+# serialized signatures in, serialized signatures out.  Group elements
+# round-trip losslessly through ``to_bytes``/``deserialize``, and relax
+# randomness comes only from the pre-drawn per-job seed — so the process
+# path is byte-identical to the thread path for the same rng.
+# ----------------------------------------------------------------------
+_WORKER_CTX: dict = {}
+
+
+def _relax_worker_init(backend_name: str, mvk_bytes: bytes,
+                       warm_roles: tuple) -> None:
+    """One-time initializer for a spawned relax worker.
+
+    Rebuilds the process-local group singleton, deserializes the
+    verification key, and pre-warms the caches every relax touches
+    (generator + attribute-base Lim-Lee combs, the pairing LRU) so the
+    worker's first job runs at steady-state speed.
+    """
+    from repro.crypto.group import resolve_pickle_backend
+
+    group = resolve_pickle_backend(backend_name)
+    group.warm_worker()
+    mvk = AbsVerificationKey.from_bytes(group, mvk_bytes)
+    for role in warm_roles:
+        group.pow_fixed(mvk.attribute_base(role), 1)
+    group.pow_fixed(mvk.g, 1)
+    group.pow_fixed(mvk.c, 1)
+    _WORKER_CTX["group"] = group
+    _WORKER_CTX["mvk"] = mvk
+    _WORKER_CTX["scheme"] = AbsScheme(group)
+
+
+def _relax_worker_job(job: tuple) -> tuple[bytes, dict]:
+    """Run one relax derivation inside a pool worker.
+
+    ``job`` is ``(signature bytes, message, policy, missing roles, seed)``;
+    returns ``(APS bytes, group-op delta)`` so the dispatcher can fold the
+    worker's op counts back into its own stats (counter parity with a
+    serial run of the same workload).
+    """
+    try:
+        group = _WORKER_CTX["group"]
+        mvk = _WORKER_CTX["mvk"]
+        scheme = _WORKER_CTX["scheme"]
+    except KeyError:
+        raise ReproError(
+            "relax worker context missing: _relax_worker_job must run in a "
+            "pool initialized with _relax_worker_init"
+        ) from None
+    sig_bytes, message, policy, missing, seed = job
+    before = group.stats.snapshot()
+    signature = AbsSignature.from_bytes(group, sig_bytes)
+    job_rng = random.Random(seed) if seed is not None else None
+    aps, _ = relax(scheme, mvk, signature, message, policy, missing, job_rng)
+    return aps.to_bytes(), group.stats.delta(before)
+
+
+def _materialize_process(
+    tasks: Sequence[ProofTask],
+    authenticator: AppAuthenticator,
+    user_roles,
+    rng: Optional[random.Random],
+    workers: int,
+    stats: EngineStats,
+) -> list[VOEntry]:
+    """Dispatch relax jobs to the persistent spawn process pool.
+
+    This is the path where cold batches actually scale with cores: the
+    pairing math runs in separate interpreters, free of the GIL.  Even
+    ``workers=1`` routes through the pool — process jobs depend on
+    worker-initializer state the dispatching process does not have.
+    """
+    missing = authenticator.missing_roles_for(user_roles)
+    aps_by_index, pending, jobs, foreign = _plan_relax(tasks, authenticator, missing, rng)
+
+    group = authenticator.group
+    payloads = [
+        (task.signature.to_bytes(), task.relax_message(), task.relax_policy(),
+         list(missing), seed)
+        for _key, _slot, _index, task, seed in jobs
+    ]
+    try:
+        raw = parallel_map(
+            _relax_worker_job,
+            payloads,
+            workers=workers,
+            backend="process",
+            initializer=_relax_worker_init,
+            initargs=(
+                group.name,
+                authenticator.mvk.to_bytes(),
+                tuple(authenticator.universe.roles),
+            ),
+        )
+    except BaseException as exc:
+        _abort_relax(authenticator, jobs, exc)
+        raise
+    results = []
+    for aps_bytes, ops_delta in raw:
+        results.append(AbsSignature.from_bytes(group, aps_bytes))
+        group.stats.merge(ops_delta)
+    _settle_relax(
+        authenticator, aps_by_index, pending, jobs, results, foreign, missing, stats
+    )
     return [_entry_for(task, aps_by_index.get(i)) for i, task in enumerate(tasks)]
 
 
@@ -470,21 +682,32 @@ def materialize(
     authenticator: AppAuthenticator,
     user_roles,
     rng: Optional[random.Random] = None,
-    workers: int = 1,
+    workers: Optional[int] = 1,
     stats: Optional[EngineStats] = None,
+    backend: str = "thread",
 ) -> VerificationObject:
     """Phase 2: turn a task list into a VO.
 
     ``user_roles`` must already be validated (the traversal's roles);
     ``workers`` > 1 routes all ``ABS.Relax`` work through
-    :func:`repro.parallel.parallel_map`.  ``stats``, when given, is
+    :func:`repro.parallel.parallel_map` (``None`` auto-sizes from the
+    host's CPU count), and ``backend="process"`` ships the jobs to the
+    persistent spawn process pool — the only configuration where
+    pure-Python pairing math escapes the GIL.  ``stats``, when given, is
     filled with per-phase costs.
     """
-    if workers < 1:
+    if workers is not None and workers < 1:
         raise WorkloadError("workers must be >= 1")
+    if backend not in RELAX_BACKENDS:
+        raise WorkloadError(
+            f"unknown materialization backend {backend!r}; expected one of "
+            f"{RELAX_BACKENDS}"
+        )
+    workers = resolve_workers(workers)
     if stats is None:
         stats = EngineStats(workers=workers)
     stats.workers = workers
+    stats.backend = backend
     call_tasks = {kind: 0 for kind in TASK_KINDS}
     for task in tasks:
         call_tasks[task.kind] = call_tasks.get(task.kind, 0) + 1
@@ -497,8 +720,13 @@ def materialize(
     relax0 = stats.relax_calls
     ops_before = authenticator.group.stats.snapshot()
     t0 = time.perf_counter()
-    with _trace.span("engine.materialize", workers=workers) as mat_span:
-        if workers == 1:
+    with _trace.span("engine.materialize", workers=workers, backend=backend) as mat_span:
+        if backend == "process":
+            # Always through the pool: process jobs need initializer state.
+            entries = _materialize_process(
+                tasks, authenticator, user_roles, rng, workers, stats
+            )
+        elif workers == 1:
             entries = _materialize_serial(tasks, authenticator, user_roles, rng, stats)
         else:
             entries = _materialize_parallel(
@@ -537,14 +765,15 @@ def execute(
     authenticator: AppAuthenticator,
     user_roles,
     rng: Optional[random.Random] = None,
-    workers: int = 1,
+    workers: Optional[int] = 1,
+    backend: str = "thread",
 ) -> tuple[VerificationObject, EngineStats]:
     """Run both phases, timing each: returns ``(vo, stats)``.
 
     ``traversal`` is a zero-argument closure over one of the
     ``traverse_*`` functions with validated roles.
     """
-    stats = EngineStats(kind=kind, workers=workers)
+    stats = EngineStats(kind=kind, workers=workers or 0, backend=backend)
     t0 = time.perf_counter()
     with _trace.span("engine.traverse", kind=kind) as trav_span:
         tasks = traversal()
@@ -552,5 +781,5 @@ def execute(
     elapsed = time.perf_counter() - t0
     stats.traversal_ms = elapsed * 1000.0
     _M_PHASE.observe(elapsed, phase="traverse")
-    vo = materialize(tasks, authenticator, user_roles, rng, workers, stats)
+    vo = materialize(tasks, authenticator, user_roles, rng, workers, stats, backend)
     return vo, stats

@@ -25,6 +25,7 @@ from repro.abe.hybrid import HybridEnvelope, decrypt_envelope, encrypt_for_roles
 from repro.abs.keys import AbsVerificationKey
 from repro.core.app_signature import AppAuthenticator, AppSigner
 from repro.core.engine import (
+    RELAX_BACKENDS,
     EngineStats,
     execute,
     traverse_equality,
@@ -184,9 +185,10 @@ class ServiceProvider:
         cpabe_public: CpAbePublicKey,
         trees: Dict[str, APGTree],
         hierarchy: Optional[RoleHierarchy] = None,
-        workers: int = 1,
+        workers: Optional[int] = 1,
         aps_cache_size: int = 4096,
         auth_pool_size: int = 16,
+        relax_backend: str = "thread",
     ):
         self.group = group
         self.universe = universe
@@ -195,8 +197,17 @@ class ServiceProvider:
         self._cpabe = CpAbeScheme(group)
         self.trees = dict(trees)
         self.hierarchy = hierarchy
-        #: Threads the materializer fans ``ABS.Relax`` batches over.
+        #: Workers the materializer fans ``ABS.Relax`` batches over
+        #: (``None`` auto-sizes from the host's CPU count).
         self.workers = workers
+        #: ``"thread"`` (GIL-bound, zero-copy) or ``"process"`` (true
+        #: multicore via the persistent spawn pool).
+        if relax_backend not in RELAX_BACKENDS:
+            raise WorkloadError(
+                f"unknown relax backend {relax_backend!r}; expected one of "
+                f"{RELAX_BACKENDS}"
+            )
+        self.relax_backend = relax_backend
         self._aps_cache_size = aps_cache_size
         self._auth_pool_size = max(1, auth_pool_size)
         self._auth_pool: "OrderedDict[tuple, AppAuthenticator]" = OrderedDict()
@@ -322,7 +333,10 @@ class ServiceProvider:
     def _execute(self, kind, traversal, roles, rng, workers) -> tuple:
         """Validate roles, pick the pooled authenticator, run both phases."""
         effective_workers = self.workers if workers is None else workers
-        with _trace.span("sp.query", kind=kind, workers=effective_workers) as sp_span:
+        with _trace.span(
+            "sp.query", kind=kind, workers=effective_workers or 0,
+            backend=self.relax_backend,
+        ) as sp_span:
             _M_QUERIES.inc(kind=kind)
             authenticator = self.authenticator_for(roles)
             user_roles = self.universe.validate_user_roles(roles)
@@ -333,6 +347,7 @@ class ServiceProvider:
                 user_roles,
                 rng,
                 effective_workers,
+                backend=self.relax_backend,
             )
             if stats is not None:
                 sp_span.set_attributes(

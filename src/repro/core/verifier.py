@@ -170,29 +170,28 @@ def verify_join_vo(
     return pairs
 
 
-def verify_vo_batched(
+def collect_vo_batch_items(
     vo: VerificationObject,
     authenticator: AppAuthenticator,
     query: Box,
     user_roles,
     missing_roles: Optional[Sequence[str]] = None,
-    rng=None,
-    collect_ops: Optional[dict] = None,
-) -> list[Record]:
-    """Like :func:`verify_vo`, batching all APS checks into one pairing
-    product (small-exponents technique, see :mod:`repro.abs.batch`).
+) -> tuple[list[Record], list, list[VOEntry]]:
+    """Everything :func:`verify_vo_batched` checks *except* the APS batch.
 
-    On the real pairing backend the APS checks dominate verification;
-    the batch merges every shared-base pairing into one Miller loop over
-    a multi-exponentiated G1 aggregate and shares a single final
-    exponentiation across the whole VO.  On a batch failure, the slow
-    path pinpoints the offending entry so error messages stay as precise
-    as the naive verifier's.
+    Validates roles, checks the completeness tiling, eagerly verifies
+    every accessible record's APP signature, and returns
+    ``(records, batch_items, item_entries)`` — the deferred APS
+    obligations (one :class:`~repro.abs.batch.BatchItem` per
+    inaccessible entry) aligned with the entries they came from.
+    Callers settle them with
+    :func:`repro.abs.batch.verify_or_find_invalid`, either per VO
+    (:func:`verify_vo_batched`) or merged across a whole window of
+    responses (:class:`repro.net.window.VerificationWindow`).
     """
-    from repro.abs.batch import BatchItem, batch_verify, find_invalid
+    from repro.abs.batch import BatchItem
 
     user_roles = authenticator.universe.validate_user_roles(user_roles)
-    before = authenticator.group.stats.snapshot() if collect_ops is not None else None
     if missing_roles is None:
         missing_roles = authenticator.universe.missing_roles(user_roles)
     # Warm the shared G2 attribute bases (and their comb tables) once,
@@ -221,11 +220,37 @@ def verify_vo_batched(
             item_entries.append(entry)
         else:
             raise SoundnessError(f"unknown VO entry type {type(entry).__name__}")
-    if items and not batch_verify(
-        authenticator.scheme, authenticator.mvk, items, rng
-    ):
-        bad = find_invalid(authenticator.scheme, authenticator.mvk, items)
-        entry = item_entries[bad[0]] if bad else item_entries[0]
+    return records, items, item_entries
+
+
+def verify_vo_batched(
+    vo: VerificationObject,
+    authenticator: AppAuthenticator,
+    query: Box,
+    user_roles,
+    missing_roles: Optional[Sequence[str]] = None,
+    rng=None,
+    collect_ops: Optional[dict] = None,
+) -> list[Record]:
+    """Like :func:`verify_vo`, batching all APS checks into one pairing
+    product (small-exponents technique, see :mod:`repro.abs.batch`).
+
+    On the real pairing backend the APS checks dominate verification;
+    the batch merges every shared-base pairing into one Miller loop over
+    a multi-exponentiated G1 aggregate and shares a single final
+    exponentiation across the whole VO.  On a batch failure, the slow
+    path pinpoints the offending entry so error messages stay as precise
+    as the naive verifier's.
+    """
+    from repro.abs.batch import verify_or_find_invalid
+
+    before = authenticator.group.stats.snapshot() if collect_ops is not None else None
+    records, items, item_entries = collect_vo_batch_items(
+        vo, authenticator, query, user_roles, missing_roles
+    )
+    bad = verify_or_find_invalid(authenticator.scheme, authenticator.mvk, items, rng)
+    if bad:
+        entry = item_entries[bad[0]]
         raise SoundnessError(f"APS signature invalid for {entry.region}")
     if collect_ops is not None:
         collect_ops.update(authenticator.group.stats.delta(before))

@@ -29,6 +29,7 @@ from repro.crypto.group import (
     GT,
     BilinearGroup,
     GroupElement,
+    register_pickle_backend,
 )
 from repro.errors import CryptoError, DeserializationError, GroupMismatchError
 
@@ -164,3 +165,6 @@ def simulated() -> SimulatedGroup:
             if _DEFAULT is None:
                 _DEFAULT = SimulatedGroup()
     return _DEFAULT
+
+
+register_pickle_backend(SimulatedGroup.name, simulated)

@@ -156,8 +156,46 @@ class GroupElement:
     def _hashable_value(self):
         return self.value
 
+    def __reduce__(self):
+        """Pickle as ``(backend name, kind, canonical bytes)``.
+
+        Backends themselves are process-local (their comb tables hold
+        closures and their caches are not meant to travel), so elements
+        are the unit of transport: the receiving process reconstructs on
+        *its own* singleton via the registered factory — exactly what the
+        process-pool relax workers need.
+        """
+        return (_unpickle_element, (self.group.name, self.kind, self.to_bytes()))
+
     def __repr__(self):
         return f"<{self.kind}@{self.group.name} {self.to_bytes()[:8].hex()}...>"
+
+
+# -- pickle transport ---------------------------------------------------------
+# name -> zero-arg factory returning the process-local singleton for that
+# backend.  Registered by the modules that own the singletons (this one for
+# "bn254", fastgroup for "simulated") so unpickling in a spawn-started
+# worker lands every element on the worker's own shared instance.
+_PICKLE_BACKENDS: dict[str, Callable[[], "BilinearGroup"]] = {}
+
+
+def register_pickle_backend(name: str, factory: Callable[[], "BilinearGroup"]) -> None:
+    """Register the singleton factory used to unpickle elements of ``name``."""
+    _PICKLE_BACKENDS[name] = factory
+
+
+def resolve_pickle_backend(name: str) -> "BilinearGroup":
+    factory = _PICKLE_BACKENDS.get(name)
+    if factory is None:
+        raise CryptoError(
+            f"no pickle backend registered for group {name!r}; "
+            f"known: {sorted(_PICKLE_BACKENDS)}"
+        )
+    return factory()
+
+
+def _unpickle_element(name: str, kind: str, data: bytes) -> "GroupElement":
+    return resolve_pickle_backend(name).deserialize(kind, data)
 
 
 class BilinearGroup(ABC):
@@ -218,6 +256,27 @@ class BilinearGroup(ABC):
 
     def identity(self, kind: str) -> GroupElement:
         return self._identity(kind)
+
+    def __reduce__(self):
+        raise CryptoError(
+            f"{type(self).__name__} is process-local and cannot be pickled; "
+            "ship GroupElements (they reconstruct on the receiving "
+            "process's own singleton) instead of the group"
+        )
+
+    def warm_worker(self) -> None:
+        """One-time warm-up for a freshly spawned worker process.
+
+        Builds the generator comb tables and evaluates the canonical GT
+        generator (seeding the pairing cache on backends that have one),
+        so the first real relax job does not pay lazy-initialization
+        cost.  Callers with protocol context (a verification key, an
+        attribute universe) should follow with the richer
+        ``AppAuthenticator.warm_caches()``.
+        """
+        self.pow_fixed(self.g1, 1)
+        self.pow_fixed(self.g2, 1)
+        self.gt  # noqa: B018 — property evaluation seeds the pairing cache
 
     def random_scalar(self, rng: random.Random | None = None) -> int:
         """Uniform nonzero scalar in [1, order)."""
@@ -595,3 +654,6 @@ def bn254() -> BN254Group:
             if _DEFAULT_BN254 is None:
                 _DEFAULT_BN254 = BN254Group()
     return _DEFAULT_BN254
+
+
+register_pickle_backend(BN254Group.name, bn254)

@@ -98,3 +98,12 @@ class DeadlineExceededError(TransportError):
 class CircuitOpenError(TransportError):
     """The client's circuit breaker is open: failing fast without calling
     the SP after too many consecutive failures."""
+
+
+class ProcessWorkerError(ReproError):
+    """A process-pool worker failed in a way the parent cannot inspect.
+
+    Raised when a worker's exception cannot be pickled back across the
+    pool boundary (the formatted remote traceback is embedded in the
+    message), or when the pool itself breaks mid-batch.
+    """

@@ -330,6 +330,7 @@ class ResilientClient:
         breaker: Optional[CircuitBreaker] = None,
         clock: Optional[Clock] = None,
         rng: Optional[random.Random] = None,
+        verification_window: Optional[int] = None,
     ):
         self.user = user
         self.transport = transport
@@ -338,6 +339,15 @@ class ResilientClient:
         self.breaker = breaker or CircuitBreaker(clock=self.clock)
         self.rng = rng or random.Random()
         self.counters = ClientStats()
+        #: Opt-in deferred verification: equality/range APS checks settle
+        #: in one bilinearity-merged batch every ``verification_window``
+        #: responses instead of per response (results are provisional
+        #: until :meth:`flush_window`; see :mod:`repro.net.window`).
+        self.window = None
+        if verification_window is not None:
+            from repro.net.window import VerificationWindow
+
+            self.window = VerificationWindow(user, verification_window, rng=self.rng)
 
     def stats(self) -> dict:
         """One operational snapshot: counters, breaker state, obs registry.
@@ -361,20 +371,35 @@ class ResilientClient:
             },
         }
 
+    def _verify_vo(self):
+        """Per-response verifier for equality/range: windowed when opted in."""
+        return self.window.verify if self.window is not None else self.user.verify
+
+    def flush_window(self) -> int:
+        """Settle all deferred verification now; returns responses settled.
+
+        No-op (returns 0) when no verification window is configured.
+        Raises :class:`~repro.errors.SoundnessError` with the failing
+        response and region if a deferred APS signature is invalid.
+        """
+        if self.window is None:
+            return 0
+        return self.window.flush()
+
     # -- public queries ------------------------------------------------------
     def query_equality(self, table: str, key, encrypt: bool = True):
         request = QueryRequest(
             kind="equality", table=table, lo=tuple(key), hi=tuple(key),
             roles=self.user.roles, encrypt=encrypt,
         )
-        return self._execute(request, self.user.verify)
+        return self._execute(request, self._verify_vo())
 
     def query_range(self, table: str, lo, hi, encrypt: bool = True):
         request = QueryRequest(
             kind="range", table=table, lo=tuple(lo), hi=tuple(hi),
             roles=self.user.roles, encrypt=encrypt,
         )
-        return self._execute(request, self.user.verify)
+        return self._execute(request, self._verify_vo())
 
     def query_join(self, left: str, right: str, lo, hi, encrypt: bool = True):
         request = QueryRequest(

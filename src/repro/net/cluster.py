@@ -277,6 +277,7 @@ class ReplicatedClient:
         hedge_min_samples: int = 16,
         latency_reservoir: int = 128,
         suspicion_decay: int = 8,
+        verification_window: Optional[int] = None,
     ):
         if not transports:
             raise ReproError("a replicated client needs at least one endpoint")
@@ -304,6 +305,27 @@ class ReplicatedClient:
         }
         self.counters = ClusterStats()
         self._latencies: deque = deque(maxlen=latency_reservoir)
+        #: Opt-in deferred verification window (see :mod:`repro.net.window`
+        #: and the same knob on :class:`~repro.net.client.ResilientClient`).
+        #: A windowed tamper is only *attributed* at flush time, after the
+        #: tampering endpoint may have served more queries — quarantine
+        #: still happens, just later; latency-sensitive Byzantine detection
+        #: should keep this off.
+        self.window = None
+        if verification_window is not None:
+            from repro.net.window import VerificationWindow
+
+            self.window = VerificationWindow(user, verification_window, rng=self.rng)
+
+    def _verify_vo(self):
+        """Per-response verifier for equality/range: windowed when opted in."""
+        return self.window.verify if self.window is not None else self.user.verify
+
+    def flush_window(self) -> int:
+        """Settle all deferred verification now; returns responses settled."""
+        if self.window is None:
+            return 0
+        return self.window.flush()
 
     # -- public queries ------------------------------------------------------
     def query_equality(self, table: str, key, encrypt: bool = True):
@@ -311,14 +333,14 @@ class ReplicatedClient:
             kind="equality", table=table, lo=tuple(key), hi=tuple(key),
             roles=self.user.roles, encrypt=encrypt,
         )
-        return self._execute(request, self.user.verify)
+        return self._execute(request, self._verify_vo())
 
     def query_range(self, table: str, lo, hi, encrypt: bool = True):
         request = QueryRequest(
             kind="range", table=table, lo=tuple(lo), hi=tuple(hi),
             roles=self.user.roles, encrypt=encrypt,
         )
-        return self._execute(request, self.user.verify)
+        return self._execute(request, self._verify_vo())
 
     def query_join(self, left: str, right: str, lo, hi, encrypt: bool = True):
         request = QueryRequest(

@@ -10,6 +10,7 @@ from repro.abs.batch import (
     batch_verify_same_predicate,
     batch_verify_unmerged,
     find_invalid,
+    verify_or_find_invalid,
 )
 from repro.abs.relax import relax
 from repro.abs.scheme import AbsScheme, AbsSignature
@@ -102,6 +103,26 @@ def test_same_predicate_wrapper(env):
     assert batch_verify_same_predicate(scheme, keys.mvk, messages, sigs, list(missing), rng)
     with pytest.raises(CryptoError):
         batch_verify_same_predicate(scheme, keys.mvk, messages[:-1], sigs, list(missing), rng)
+
+
+def test_verify_or_find_invalid_localizes_failures(env):
+    rng, scheme, keys, items, missing = env
+    assert verify_or_find_invalid(scheme, keys.mvk, items, rng) == []
+    assert verify_or_find_invalid(scheme, keys.mvk, [], rng) == []
+    bad = list(items)
+    bad[1] = BatchItem(message=b"FORGED-1", attrs=missing, signature=items[1].signature)
+    bad[4] = BatchItem(message=b"FORGED-4", attrs=missing, signature=items[4].signature)
+    assert verify_or_find_invalid(scheme, keys.mvk, bad, rng) == [1, 4]
+
+
+def test_verify_or_find_invalid_fails_closed(env, monkeypatch):
+    """A failed batch never reads as valid, even if re-checks all pass."""
+    import repro.abs.batch as batch_mod
+
+    rng, scheme, keys, items, missing = env
+    monkeypatch.setattr(batch_mod, "batch_verify", lambda *a, **k: False)
+    monkeypatch.setattr(batch_mod, "find_invalid", lambda *a, **k: [])
+    assert verify_or_find_invalid(scheme, keys.mvk, items, rng) == [0]
 
 
 def test_merged_agrees_with_unmerged_oracle(env):

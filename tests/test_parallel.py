@@ -1,9 +1,53 @@
 """Tests for the parallel executor and makespan simulator (Section 8.2)."""
 
+import os
+import threading
+
 import pytest
 
-from repro.errors import ReproError
-from repro.parallel import MakespanSimulator, parallel_map
+from repro.errors import ProcessWorkerError, ReproError
+from repro.parallel import (
+    MAX_WORKERS,
+    InFlightTable,
+    MakespanSimulator,
+    parallel_map,
+    process_pool,
+    resolve_workers,
+    shutdown_process_pools,
+)
+
+
+# Process workers import this module by name under the spawn start
+# method, so everything they run must live at module level.
+_WORKER_STATE = {}
+
+
+def _square(x):
+    return x * x
+
+
+def _boom_on_three(x):
+    if x == 3:
+        raise ValueError(f"cannot process {x}")
+    return x
+
+
+class _Unpicklable(Exception):
+    def __init__(self, msg):
+        super().__init__(msg)
+        self.lock = threading.Lock()  # locks never pickle
+
+
+def _raise_unpicklable(x):
+    raise _Unpicklable(f"held a lock while failing on {x}")
+
+
+def _init_state(token):
+    _WORKER_STATE["token"] = token
+
+
+def _read_state(_):
+    return _WORKER_STATE.get("token")
 
 
 def test_parallel_map_preserves_order():
@@ -40,14 +84,137 @@ def test_parallel_map_failure_carries_item_index():
 
 
 def test_parallel_map_rejects_bad_workers():
-    from repro.parallel import MAX_WORKERS
-
     with pytest.raises(ReproError):
         parallel_map(lambda x: x, [1], workers=0)
     with pytest.raises(ReproError, match="MAX_WORKERS"):
         parallel_map(lambda x: x, [1, 2], workers=MAX_WORKERS + 1)
     # The cap itself is fine.
     assert parallel_map(lambda x: x, [1, 2], workers=MAX_WORKERS) == [1, 2]
+
+
+def test_workers_none_auto_sizes_from_cpu_count():
+    expected = max(1, min(os.cpu_count() or 1, MAX_WORKERS))
+    assert resolve_workers(None) == expected
+    assert parallel_map(lambda x: x + 1, [1, 2, 3], workers=None) == [2, 3, 4]
+    with pytest.raises(ReproError):
+        resolve_workers(0)
+    with pytest.raises(ReproError, match="MAX_WORKERS"):
+        resolve_workers(MAX_WORKERS + 1)
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ReproError, match="backend"):
+        parallel_map(lambda x: x, [1], backend="fiber")
+
+
+# ----------------------------------------------------------------------
+# Process backend (persistent spawn pool).
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module", autouse=True)
+def _pool_cleanup():
+    yield
+    shutdown_process_pools()
+
+
+def test_process_backend_maps_in_order():
+    items = list(range(12))
+    got = parallel_map(_square, items, workers=2, backend="process", timeout=120)
+    assert got == [x * x for x in items]
+    # Single-item batches still route through the pool (initializer state).
+    assert parallel_map(_square, [7], workers=2, backend="process") == [49]
+    assert parallel_map(_square, [], workers=2, backend="process") == []
+
+
+def test_process_pool_persists_between_batches():
+    pool = process_pool(2)
+    parallel_map(_square, [1, 2], workers=2, backend="process", timeout=120)
+    assert process_pool(2) is pool
+    # A different initializer payload gets its own pool.
+    assert process_pool(2, _init_state, ("a",)) is not pool
+
+
+def test_process_initializer_runs_once_per_worker():
+    got = parallel_map(
+        _read_state, range(6), workers=2, backend="process",
+        initializer=_init_state, initargs=("warm",), timeout=120,
+    )
+    assert got == ["warm"] * 6
+    # The dispatching process's module state is untouched.
+    assert "token" not in _WORKER_STATE
+
+
+def test_process_exception_fidelity_across_pickling():
+    """The index annotation lands on the unpickled exception copy."""
+    with pytest.raises(ValueError, match="cannot process 3") as excinfo:
+        parallel_map(
+            _boom_on_three, [0, 1, 2, 3, 4], workers=2,
+            backend="process", timeout=120,
+        )
+    assert excinfo.value.parallel_map_index == 3
+    if hasattr(excinfo.value, "__notes__"):
+        assert any("item #3" in note for note in excinfo.value.__notes__)
+
+
+def test_process_unpicklable_exception_is_wrapped():
+    """A failure the pipe cannot carry surfaces typed, with a traceback."""
+    with pytest.raises(ProcessWorkerError, match="_Unpicklable") as excinfo:
+        parallel_map(
+            _raise_unpicklable, [5], workers=2, backend="process", timeout=120,
+        )
+    assert "held a lock while failing on 5" in str(excinfo.value)
+
+
+# ----------------------------------------------------------------------
+# Single-flight deduplication.
+# ----------------------------------------------------------------------
+def test_inflight_first_caller_owns():
+    table = InFlightTable()
+    slot, owner = table.begin("k")
+    assert owner
+    again, second_owner = table.begin("k")
+    assert not second_owner and again is slot
+    table.publish("k", slot, value=42)
+    assert table.wait(again, timeout=1.0) == 42
+    assert len(table) == 0
+    # Completed flights are not cached: the next caller owns afresh.
+    _, owns = table.begin("k")
+    assert owns
+
+
+def test_inflight_waiters_unblock_concurrently():
+    table = InFlightTable()
+    slot, _ = table.begin("k")
+    seen = []
+
+    def waiter():
+        joined, owns = table.begin("k")
+        assert not owns
+        seen.append(table.wait(joined, timeout=10))
+
+    threads = [threading.Thread(target=waiter) for _ in range(4)]
+    for t in threads:
+        t.start()
+    table.publish("k", slot, value="result")
+    for t in threads:
+        t.join(timeout=10)
+    assert seen == ["result"] * 4
+
+
+def test_inflight_error_propagates_to_waiters():
+    table = InFlightTable()
+    slot, _ = table.begin("k")
+    joined, _ = table.begin("k")
+    table.publish("k", slot, error=RuntimeError("owner failed"))
+    with pytest.raises(RuntimeError, match="owner failed"):
+        table.wait(joined, timeout=1.0)
+
+
+def test_inflight_wait_times_out():
+    table = InFlightTable()
+    slot, _ = table.begin("k")
+    joined, _ = table.begin("k")
+    with pytest.raises(ReproError, match="timed out"):
+        table.wait(joined, timeout=0.01)
 
 
 def test_makespan_single_worker_is_total_work():
