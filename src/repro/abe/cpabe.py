@@ -29,7 +29,7 @@ from typing import Dict, FrozenSet, Iterable, Optional
 from repro.crypto.group import G1, G2, GT, BilinearGroup, GroupElement
 from repro.errors import AccessDeniedError, CryptoError
 from repro.policy.boolexpr import BoolExpr
-from repro.policy.msp import get_msp
+from repro.policy.compiler.msp import get_msp
 
 
 @dataclass(frozen=True)

@@ -9,7 +9,7 @@ exactly when ``OR(A')`` is implied by Y.
 The four steps of Algorithm 2:
 
 1. *Purge* — the span-program tree walk (Algorithm 6, implemented in
-   :meth:`repro.policy.msp.Msp.purge`) selects rows R (labels in A') and
+   :meth:`repro.policy.compiler.msp.Msp.purge`) selects rows R (labels in A') and
    columns C (containing column 0) with ``M . 1_C = 1_R``; then
    ``P~_1 = prod_{j in C} P_j`` and ``S_i`` for ``i in R`` survive.
 2. *Merge* — rows sharing an attribute label multiply together.
@@ -30,7 +30,7 @@ from repro.abs.scheme import AbsScheme, AbsSignature
 from repro.crypto.group import G2
 from repro.errors import RelaxationError
 from repro.policy.boolexpr import BoolExpr, or_of_attrs
-from repro.policy.msp import get_msp
+from repro.policy.compiler.msp import get_msp
 
 
 def relax(

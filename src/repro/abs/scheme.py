@@ -35,7 +35,7 @@ from repro.abs.keys import (
 from repro.crypto.group import G1, G2, BilinearGroup, GroupElement
 from repro.errors import CryptoError, PolicyError
 from repro.policy.boolexpr import BoolExpr
-from repro.policy.msp import get_msp
+from repro.policy.compiler.msp import get_msp
 
 
 @dataclass(frozen=True)

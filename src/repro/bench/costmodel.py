@@ -27,8 +27,8 @@ from typing import Sequence
 
 from repro.crypto.group import G1, G2, BilinearGroup
 from repro.policy.boolexpr import BoolExpr
-from repro.policy.dnf import to_dnf
-from repro.policy.msp import get_msp
+from repro.policy.compiler.dnf import to_dnf
+from repro.policy.compiler.msp import get_msp
 from repro.workload.tpch import TpchConfig, expected_occupancy
 
 

@@ -9,7 +9,10 @@ Commands:
   statistics (Table 1 style) for a chosen scale;
 * ``selftest`` — exercise sign/relax/verify on both crypto backends;
 * ``obs``    — run one resilient client/server query with observability
-  on and render the correlated trace tree plus the metrics scrape.
+  on and render the correlated trace tree plus the metrics scrape;
+* ``policy`` — crypto-free policy tooling: ``policy explain`` reports an
+  access decision against the demo registry, ``policy compile`` prints a
+  policy's canonical DNF and MSP dimensions.
 """
 
 from __future__ import annotations
@@ -20,19 +23,62 @@ import sys
 import time
 
 
-def _cmd_demo(args: argparse.Namespace) -> int:
-    from repro.core import DataOwner, Dataset, QueryUser, Record
-    from repro.crypto import get_backend
+def demo_documents(with_policies: bool = True):
+    """The demo's role universe and three-record ``docs`` table.
+
+    With ``with_policies=False`` the records carry no policy, for
+    assignment through :func:`demo_registry` (see
+    ``examples/policy_authoring.py``).
+    """
+    from repro.core import Dataset, Record
     from repro.index import Domain
     from repro.policy import RoleUniverse, parse_policy
 
-    rng = random.Random(args.seed)
-    group = get_backend(args.backend)
     universe = RoleUniverse(["analyst", "manager", "auditor"])
     table = Dataset(Domain.of((0, 31)))
-    table.add(Record((4,), b"quarterly forecast", parse_policy("analyst or manager")))
-    table.add(Record((11,), b"salary table", parse_policy("manager")))
-    table.add(Record((18,), b"audit trail", parse_policy("auditor and manager")))
+    rows = [
+        ((4,), b"quarterly forecast", "analyst or manager"),
+        ((11,), b"salary table", "manager"),
+        ((18,), b"audit trail", "auditor and manager"),
+    ]
+    for key, value, policy in rows:
+        table.add(Record(key, value, parse_policy(policy) if with_policies else None))
+    return universe, table
+
+
+def demo_registry():
+    """A :class:`PolicyRegistry` equivalent to the demo table's policies.
+
+    Authored with combinators instead of DNF strings; compiles to the
+    same canonical policies :func:`demo_documents` stamps directly.
+    Records outside the three known keys fall to deny-by-default.
+    """
+    from repro.policy import AllOf, AnyOf, HasRole, PolicyRegistry
+
+    registry = PolicyRegistry()
+
+    @registry.policy(table="docs", attribute=4)
+    def forecast(record):
+        return AnyOf("analyst", "manager")
+
+    @registry.policy(table="docs", attribute=11)
+    def salary(record):
+        return HasRole("manager")
+
+    @registry.policy(table="docs", attribute=18)
+    def audit(record):
+        return AllOf("auditor", "manager")
+
+    return registry
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.core import DataOwner, QueryUser
+    from repro.crypto import get_backend
+
+    rng = random.Random(args.seed)
+    group = get_backend(args.backend)
+    universe, table = demo_documents()
     owner = DataOwner(group, universe, rng=rng)
     provider = owner.outsource({"docs": table})
     print(f"[DO] signed AP2G-tree: {provider.trees['docs'].stats.num_nodes} nodes")
@@ -109,10 +155,9 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
 
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro import obs
-    from repro.core import DataOwner, Dataset, QueryUser, Record
+    from repro.core import DataOwner, QueryUser
     from repro.core.messages import SPServer
     from repro.crypto import get_backend
-    from repro.index import Domain
     from repro.net import (
         FakeClock,
         FaultyTransport,
@@ -121,7 +166,6 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         ResilientSPServer,
         RetryPolicy,
     )
-    from repro.policy import RoleUniverse, parse_policy
 
     if not obs.enabled():
         print("observability is disabled (REPRO_OBS=0); nothing to show",
@@ -129,11 +173,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         return 1
     rng = random.Random(args.seed)
     group = get_backend(args.backend)
-    universe = RoleUniverse(["analyst", "manager", "auditor"])
-    table = Dataset(Domain.of((0, 31)))
-    table.add(Record((4,), b"quarterly forecast", parse_policy("analyst or manager")))
-    table.add(Record((11,), b"salary table", parse_policy("manager")))
-    table.add(Record((18,), b"audit trail", parse_policy("auditor and manager")))
+    universe, table = demo_documents()
     owner = DataOwner(group, universe, rng=rng)
     provider = owner.outsource({"docs": table})
     user = QueryUser(group, universe, owner.register_user(["analyst"]))
@@ -155,6 +195,45 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     print(obs.format_trace(obs.tracer().last_trace().to_dict()))
     print()
     print(obs.format_metrics(), end="")
+    return 0
+
+
+def _cmd_policy_explain(args: argparse.Namespace) -> int:
+    from repro.policy.explain import explain
+
+    universe, table = demo_documents(with_policies=False)
+    registry = demo_registry()
+    roles = set(args.roles)
+    unknown = roles - set(universe.roles)
+    if unknown:
+        print(f"unknown role(s): {sorted(unknown)}; "
+              f"demo universe is {sorted(universe.roles)}", file=sys.stderr)
+        return 2
+    record = table.record_or_pseudo((args.key,))
+    report = explain(record, roles, registry=registry, table="docs")
+    print(report.format())
+    if args.expect_denied:
+        return 0 if not report.allowed else 1
+    return 0
+
+
+def _cmd_policy_compile(args: argparse.Namespace) -> int:
+    from repro.crypto import get_backend
+    from repro.errors import PolicyError, PolicyParseError
+    from repro.policy import compile_policy
+
+    try:
+        compiled = compile_policy(args.policy)
+    except (PolicyError, PolicyParseError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"canonical: {compiled.text}")
+    clause_strs = [" and ".join(sorted(c)) for c in compiled.clauses]
+    print(f"clauses  : {len(compiled.clauses)} "
+          f"({'; '.join(clause_strs)})")
+    msp = compiled.msp(get_backend(args.backend).order)
+    print(f"msp      : {msp.n_rows} rows x {msp.n_cols} cols over "
+          f"{args.backend} group order")
     return 0
 
 
@@ -189,6 +268,25 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--fault-rate", type=float, default=0.0,
                    help="bitflip injection rate, to demo retry spans (default 0)")
     p.set_defaults(func=_cmd_obs)
+
+    p = sub.add_parser("policy", help="crypto-free policy tooling")
+    policy_sub = p.add_subparsers(dest="policy_command", required=True)
+
+    pe = policy_sub.add_parser(
+        "explain", help="explain an access decision against the demo registry")
+    pe.add_argument("--roles", nargs="+", default=["analyst"],
+                    help="roles the user holds (default: analyst)")
+    pe.add_argument("--key", type=int, default=11,
+                    help="query key of the demo record (default 11, the salary table)")
+    pe.add_argument("--expect-denied", action="store_true",
+                    help="exit 1 unless the decision is DENY (for CI smoke checks)")
+    pe.set_defaults(func=_cmd_policy_explain)
+
+    pc = policy_sub.add_parser(
+        "compile", help="print a policy's canonical DNF and MSP dimensions")
+    pc.add_argument("policy", help="policy expression, e.g. \"a and (b or c)\"")
+    pc.add_argument("--backend", default="simulated", choices=["simulated", "bn254"])
+    pc.set_defaults(func=_cmd_policy_compile)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -8,6 +8,14 @@
 Non-existent keys become *pseudo records* carrying the pseudo role policy
 and a random content hash, so proofs cannot distinguish "absent" from
 "inaccessible" (paper Section 5).
+
+``policy`` accepts any form the policy compiler understands — a
+``BoolExpr``, a legacy DNF string, or an authoring combinator — all
+coerced through the single canonicalization path in
+:mod:`repro.policy.compiler`.  It may also be ``None``: such records are
+*deny-by-default* — a :class:`~repro.policy.authoring.PolicyRegistry`
+can assign them a policy at outsourcing time, and anything still
+unassigned is signed under the pseudo-role policy no user holds.
 """
 
 from __future__ import annotations
@@ -29,8 +37,15 @@ class Record:
 
     key: Point
     value: bytes
-    policy: BoolExpr
+    policy: Optional[BoolExpr] = None
     is_pseudo: bool = False
+
+    def __post_init__(self):
+        policy = self.policy
+        if policy is not None and not isinstance(policy, BoolExpr):
+            from repro.policy.compiler.compile import coerce_policy
+
+            object.__setattr__(self, "policy", coerce_policy(policy))
 
     def value_hash(self) -> bytes:
         return hash_bytes(b"record-value", self.value)
@@ -87,6 +102,27 @@ class Dataset:
         if existing is not None:
             return existing
         return make_pseudo_record(key)
+
+    def resolve_policies(self, default: Optional[BoolExpr] = None) -> "Dataset":
+        """A dataset where every record carries a policy.
+
+        Records whose policy is still ``None`` get ``default`` (the
+        deny-by-default pseudo-role policy when omitted).  Returns
+        ``self`` unchanged when nothing needs resolving.
+        """
+        if all(record.policy is not None for record in self):
+            return self
+        if default is None:
+            default = Attr(PSEUDO_ROLE)
+        out = Dataset(self.domain)
+        for record in self:
+            if record.policy is None:
+                record = Record(
+                    key=record.key, value=record.value, policy=default,
+                    is_pseudo=record.is_pseudo,
+                )
+            out.add(record)
+        return out
 
     def __len__(self) -> int:
         return len(self._records)

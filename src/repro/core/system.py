@@ -44,6 +44,7 @@ from repro.index.boxes import Box, Point
 from repro.index.gridtree import APGTree
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
+from repro.policy.authoring.registry import PolicyRegistry
 from repro.policy.roles import RoleHierarchy, RoleUniverse
 
 _REG = _metrics.registry()
@@ -133,15 +134,29 @@ class DataOwner:
     def build_tree(self, dataset: Dataset) -> APGTree:
         """Sign an AP2G-tree over a dataset (the outsourced ADS).
 
-        Signing a tree exponentiates the same signing-key and attribute
-        bases thousands of times, so the comb tables are prebuilt before
-        the per-node work starts.
+        Records still missing a policy are signed under the pseudo-role
+        deny-by-default policy.  Signing a tree exponentiates the same
+        signing-key and attribute bases thousands of times, so the comb
+        tables are prebuilt before the per-node work starts.
         """
         self.signer.warm_caches()
-        return APGTree.build(dataset, self.signer, self._rng)
+        return APGTree.build(dataset.resolve_policies(), self.signer, self._rng)
 
-    def outsource(self, tables: Dict[str, Dataset]) -> "ServiceProvider":
-        """Build + sign every table's ADS and hand them to a fresh SP."""
+    def outsource(
+        self,
+        tables: Dict[str, Dataset],
+        registry: Optional["PolicyRegistry"] = None,
+    ) -> "ServiceProvider":
+        """Build + sign every table's ADS and hand them to a fresh SP.
+
+        With a ``registry`` (see :mod:`repro.policy.authoring`), each
+        table's records are first assigned their declarative policies:
+        records that already carry an explicit policy keep it, the rest
+        get the registry's most-specific matching rule, and anything
+        unmatched is denied by default.
+        """
+        if registry is not None:
+            tables = {name: registry.apply(name, ds) for name, ds in tables.items()}
         trees = {name: self.build_tree(ds) for name, ds in tables.items()}
         return ServiceProvider(
             group=self.group,

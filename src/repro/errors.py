@@ -30,7 +30,20 @@ class PolicyError(ReproError):
 
 
 class PolicyParseError(PolicyError):
-    """A policy expression string could not be parsed."""
+    """A policy expression string could not be parsed.
+
+    Carries the offending ``token`` text and its character ``offset``
+    into the source string (both ``None`` when they do not apply, e.g.
+    for empty input), so tooling can point at the exact failure site.
+    """
+
+    def __init__(self, message: str, *, token: str | None = None,
+                 offset: int | None = None):
+        if offset is not None:
+            message = f"{message} (at offset {offset})"
+        super().__init__(message)
+        self.token = token
+        self.offset = offset
 
 
 class NotMonotoneError(PolicyError):

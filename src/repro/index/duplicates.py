@@ -31,7 +31,7 @@ from repro.core.records import Dataset, Record
 from repro.errors import WorkloadError
 from repro.index.boxes import Domain, Point
 from repro.policy.boolexpr import BoolExpr, parse_policy
-from repro.policy.dnf import from_dnf, to_dnf
+from repro.policy.compiler.dnf import from_dnf, to_dnf
 
 
 @dataclass(frozen=True)
@@ -188,6 +188,6 @@ def to_dnf_union(policies: Iterable[BoolExpr]):
     for policy in policies:
         clauses.extend(to_dnf(policy))
     # Re-absorb across policies.
-    from repro.policy.dnf import _absorb
+    from repro.policy.compiler.dnf import _absorb
 
     return _absorb(clauses)

@@ -37,7 +37,7 @@ from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
 from repro.obs.trace import Stopwatch
 from repro.policy.boolexpr import BoolExpr, Or
-from repro.policy.dnf import from_dnf, to_dnf
+from repro.policy.compiler.dnf import from_dnf, to_dnf
 
 _REG = _metrics.registry()
 _M_BUILDS = _REG.counter(

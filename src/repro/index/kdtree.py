@@ -43,7 +43,7 @@ from repro.index.gridtree import (
 from repro.obs import trace as _trace
 from repro.obs.trace import Stopwatch
 from repro.policy.boolexpr import Attr, BoolExpr
-from repro.policy.dnf import to_dnf
+from repro.policy.compiler.dnf import to_dnf
 from repro.policy.roles import PSEUDO_ROLE
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)

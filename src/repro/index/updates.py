@@ -27,7 +27,7 @@ from repro.core.records import Record, make_pseudo_record
 from repro.errors import WorkloadError
 from repro.index.boxes import Point
 from repro.index.gridtree import APGTree, IndexNode, simplify_policy_union
-from repro.policy.dnf import dnf_equal
+from repro.policy.compiler.dnf import dnf_equal
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.app_signature import AppSigner

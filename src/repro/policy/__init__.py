@@ -1,15 +1,57 @@
-"""Access-policy machinery: boolean expressions, DNF, span programs, roles."""
+"""Access-policy machinery, restructured into four subpackages.
 
+* :mod:`repro.policy.authoring` — developer-facing combinators
+  (``AllOf``/``AnyOf``/``AtLeast``/``HasRole``) and the
+  :class:`PolicyRegistry` of ``@policy(table=..., attribute=...)``
+  decorated rule functions (deny-by-default);
+* :mod:`repro.policy.compiler` — the single canonicalization path:
+  DNF (``to_dnf``/``dnf_equal``), monotone span programs (``get_msp``),
+  and :func:`compile_policy` with its compilation cache;
+* :mod:`repro.policy.explain` — crypto-free access-decision reports
+  (why denied, near-miss clauses, minimal unlocking role sets);
+* :mod:`repro.policy.testing` — ``assert_allows``/``assert_denies``/
+  ``assert_policy_equivalent`` helpers and a registry pytest fixture.
+
+The shared vocabulary stays at the package root: the boolean-expression
+AST (:mod:`~repro.policy.boolexpr`), role universes/hierarchies
+(:mod:`~repro.policy.roles`), and workload generation
+(:mod:`~repro.policy.policygen`).  See ``docs/POLICIES.md``.
+"""
+
+from repro.policy.authoring import (
+    AllOf,
+    AnyOf,
+    AtLeast,
+    HasRole,
+    PolicyRegistry,
+    PolicyRule,
+    PolicySpec,
+)
 from repro.policy.boolexpr import And, Attr, BoolExpr, Or, and_of_attrs, or_of_attrs, parse_policy, threshold
-from repro.policy.dnf import dnf_equal, from_dnf, policy_length, to_dnf
-from repro.policy.msp import Msp, get_msp, solve_linear_mod
+from repro.policy.compiler import (
+    CompiledPolicy,
+    Msp,
+    coerce_policy,
+    compile_policy,
+    dnf_equal,
+    from_dnf,
+    get_msp,
+    msp_cache_info,
+    policy_length,
+    solve_linear_mod,
+    to_dnf,
+)
+from repro.policy.explain import Explanation, explain
 from repro.policy.policygen import PolicyGenerator, PolicyWorkload, role_names, user_roles_for_coverage
 from repro.policy.roles import PSEUDO_ROLE, RoleHierarchy, RoleUniverse
 
 __all__ = [
+    "AllOf", "AnyOf", "AtLeast", "HasRole", "PolicyRegistry", "PolicyRule", "PolicySpec",
     "And", "Attr", "BoolExpr", "Or", "and_of_attrs", "or_of_attrs", "parse_policy", "threshold",
+    "CompiledPolicy", "coerce_policy", "compile_policy",
     "dnf_equal", "from_dnf", "policy_length", "to_dnf",
-    "Msp", "get_msp", "solve_linear_mod",
+    "Msp", "get_msp", "msp_cache_info", "solve_linear_mod",
+    "Explanation", "explain",
     "PolicyGenerator", "PolicyWorkload", "role_names", "user_roles_for_coverage",
     "PSEUDO_ROLE", "RoleHierarchy", "RoleUniverse",
 ]

@@ -1,0 +1,40 @@
+"""Developer-facing policy authoring: combinators + the policy registry.
+
+Instead of raw DNF strings, applications register policies as Python
+functions scoped per table or key region, built from composable
+combinators::
+
+    registry = PolicyRegistry()
+
+    @registry.policy(table="records", attribute=(0, 63))
+    def oncology(record):
+        return AnyOf("senior_researcher", AllOf("doctor", "cancer_specialty"))
+
+Unmatched records are **denied by default** (assigned the pseudo-role
+policy no user holds).  Everything compiles through
+:mod:`repro.policy.compiler`, so authored policies and their legacy
+string forms are byte-identical after canonicalization.  See
+``docs/POLICIES.md`` for the full authoring guide.
+"""
+
+from repro.policy.authoring.combinators import (
+    AllOf,
+    AnyOf,
+    AtLeast,
+    HasRole,
+    PolicySpec,
+    as_expr,
+)
+from repro.policy.authoring.registry import PolicyRegistry, PolicyRule, deny_all_policy
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "AtLeast",
+    "HasRole",
+    "PolicySpec",
+    "as_expr",
+    "PolicyRegistry",
+    "PolicyRule",
+    "deny_all_policy",
+]

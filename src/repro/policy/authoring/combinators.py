@@ -1,0 +1,152 @@
+"""Composable policy combinators for the authoring layer.
+
+Developers state access policies with value-level combinators instead of
+raw DNF strings::
+
+    AnyOf("senior_researcher", AllOf("doctor", "cancer_specialty"))
+    AtLeast(2, "alice", "bob", "carol")
+
+Children may be role names (strings; full policy-language strings also
+work), other combinators, or raw :class:`~repro.policy.boolexpr.BoolExpr`
+nodes.  Combinators compose with ``&`` and ``|`` like expressions do, and
+compile through :func:`repro.policy.compiler.compile_policy` — the same
+canonicalization path legacy DNF strings take — so an authored policy and
+its equivalent string form produce byte-identical canonical DNF.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import PolicyError
+from repro.policy.boolexpr import And, Attr, BoolExpr, Or, parse_policy, threshold
+
+
+class PolicySpec:
+    """Base class for authoring combinators.
+
+    A spec is a recipe for a policy expression; :meth:`to_expr` realizes
+    it.  The compiler recognizes specs by this method (duck typed), so
+    anything exposing a ``to_expr() -> BoolExpr`` participates in the
+    authoring layer.
+    """
+
+    __slots__ = ()
+
+    def to_expr(self) -> BoolExpr:
+        raise NotImplementedError
+
+    def compile(self):
+        """Canonical :class:`~repro.policy.compiler.CompiledPolicy`."""
+        from repro.policy.compiler.compile import compile_policy
+
+        return compile_policy(self)
+
+    def evaluate(self, roles: Iterable[str]) -> bool:
+        """Evaluate against a granted role set (crypto-free)."""
+        return self.to_expr().evaluate(roles)
+
+    def __and__(self, other) -> "AllOf":
+        return AllOf(self, other)
+
+    def __rand__(self, other) -> "AllOf":
+        return AllOf(other, self)
+
+    def __or__(self, other) -> "AnyOf":
+        return AnyOf(self, other)
+
+    def __ror__(self, other) -> "AnyOf":
+        return AnyOf(other, self)
+
+    def __str__(self) -> str:
+        return self.to_expr().to_string()
+
+
+def as_expr(child) -> BoolExpr:
+    """Coerce a combinator child (str / spec / BoolExpr) to an expression."""
+    if isinstance(child, BoolExpr):
+        return child
+    if isinstance(child, PolicySpec):
+        return child.to_expr()
+    if isinstance(child, str):
+        return parse_policy(child)
+    to_expr = getattr(child, "to_expr", None)
+    if callable(to_expr):
+        expr = to_expr()
+        if isinstance(expr, BoolExpr):
+            return expr
+    raise PolicyError(
+        f"cannot use {type(child).__name__} as a policy term; expected a "
+        "role name, combinator, or BoolExpr"
+    )
+
+
+class HasRole(PolicySpec):
+    """The atomic predicate: the user holds ``role``."""
+
+    __slots__ = ("role",)
+
+    def __init__(self, role: str):
+        Attr(role)  # validates the name eagerly
+        self.role = role
+
+    def to_expr(self) -> BoolExpr:
+        return Attr(self.role)
+
+    def __repr__(self) -> str:
+        return f"HasRole({self.role!r})"
+
+
+class _Combinator(PolicySpec):
+    __slots__ = ("children",)
+
+    def __init__(self, *children):
+        if not children:
+            raise PolicyError(f"{type(self).__name__} needs at least one term")
+        self.children = tuple(children)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(c) for c in self.children)
+        return f"{type(self).__name__}({inner})"
+
+
+class AllOf(_Combinator):
+    """Conjunction: every term must be satisfied."""
+
+    __slots__ = ()
+
+    def to_expr(self) -> BoolExpr:
+        return And.of(*[as_expr(c) for c in self.children])
+
+
+class AnyOf(_Combinator):
+    """Disjunction: at least one term must be satisfied."""
+
+    __slots__ = ()
+
+    def to_expr(self) -> BoolExpr:
+        return Or.of(*[as_expr(c) for c in self.children])
+
+
+class AtLeast(PolicySpec):
+    """Threshold: at least ``k`` of the terms must be satisfied.
+
+    Expanded into AND/OR form at realization time (the span-program purge
+    of predicate relaxation requires the insertion construction — see
+    :func:`repro.policy.boolexpr.threshold`).
+    """
+
+    __slots__ = ("k", "children")
+
+    def __init__(self, k: int, *children):
+        if not children:
+            raise PolicyError("AtLeast needs at least one term")
+        self.k = k
+        self.children = tuple(children)
+
+    def to_expr(self) -> BoolExpr:
+        return threshold(self.k, [as_expr(c) for c in self.children])
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(c) for c in self.children)
+        return f"AtLeast({self.k}, {inner})"

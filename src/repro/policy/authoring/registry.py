@@ -1,0 +1,197 @@
+"""The declarative policy registry: ``@policy(...)`` decorated functions.
+
+Policies are registered as plain Python functions, scoped to a table
+and optionally to a region of its *query attribute* (the record key —
+the paper's ``o_i``)::
+
+    registry = PolicyRegistry()
+
+    @registry.policy(table="docs", attribute=(0, 15))
+    def low_ids(record):
+        return AnyOf("analyst", "manager")
+
+    @registry.policy(table="docs")
+    def everything_else(record):
+        return HasRole("manager")
+
+A rule function receives the :class:`~repro.core.records.Record` and
+returns any policy form the compiler accepts (combinator, policy string,
+``BoolExpr``) — or ``None`` to decline, letting the next rule try.
+Resolution is **most-specific-first** (attribute-scoped before
+table-wide before global), and within a tier the most recently
+registered rule wins.  When no rule produces a policy the registry
+**denies by default**: the record is assigned the pseudo-role policy,
+which no user can ever satisfy — exactly how the paper hides
+non-existent records, so "forgot to write a policy" is indistinguishable
+from "record you may not see".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import PolicyError
+from repro.policy.boolexpr import Attr
+from repro.policy.compiler.compile import CompiledPolicy, compile_policy
+from repro.policy.roles import PSEUDO_ROLE
+
+#: Specificity tiers, most specific first.
+_ATTRIBUTE, _TABLE, _GLOBAL = 2, 1, 0
+
+
+def _attribute_matcher(attribute) -> Callable[[object], bool]:
+    """Build a record matcher from an ``attribute=`` selector.
+
+    Accepted forms:
+
+    * a callable ``record -> bool`` (arbitrary predicate);
+    * an ``int`` — exact one-dimensional key;
+    * a tuple of ints/points ``(lo, hi)`` — inclusive key range (scalars
+      are treated as one-dimensional points).
+    """
+    if callable(attribute):
+        return attribute
+    if isinstance(attribute, int):
+        point = (attribute,)
+        return lambda record: tuple(record.key) == point
+    if isinstance(attribute, tuple) and len(attribute) == 2:
+        lo, hi = attribute
+        lo = (lo,) if isinstance(lo, int) else tuple(lo)
+        hi = (hi,) if isinstance(hi, int) else tuple(hi)
+        if len(lo) != len(hi):
+            raise PolicyError(f"attribute range {attribute!r} mixes dimensionalities")
+        return lambda record: (
+            len(record.key) == len(lo)
+            and all(a <= k <= b for a, k, b in zip(lo, record.key, hi))
+        )
+    raise PolicyError(
+        f"cannot interpret attribute selector {attribute!r}; expected a "
+        "callable, an int key, or a (lo, hi) range"
+    )
+
+
+@dataclass(frozen=True)
+class PolicyRule:
+    """One registered rule: selector + the decorated policy function."""
+
+    fn: Callable
+    table: Optional[str]
+    attribute: object
+    matcher: Optional[Callable[[object], bool]]
+    serial: int
+
+    @property
+    def name(self) -> str:
+        return getattr(self.fn, "__name__", repr(self.fn))
+
+    @property
+    def specificity(self) -> int:
+        if self.attribute is not None:
+            return _ATTRIBUTE
+        return _TABLE if self.table is not None else _GLOBAL
+
+    def matches(self, table: str, record) -> bool:
+        if self.table is not None and self.table != table:
+            return False
+        if self.matcher is not None and not self.matcher(record):
+            return False
+        return True
+
+
+def deny_all_policy() -> CompiledPolicy:
+    """The deny-by-default policy: satisfiable by no user (pseudo role)."""
+    return compile_policy(Attr(PSEUDO_ROLE), source="registry")
+
+
+class PolicyRegistry:
+    """A mutable collection of policy rules with deny-by-default lookup."""
+
+    def __init__(self):
+        self._rules: list[PolicyRule] = []
+        self._serial = 0
+
+    # -- registration --------------------------------------------------------
+    def policy(self, table: Optional[str] = None, attribute=None):
+        """Decorator: register the function as a policy rule.
+
+        ``table=None`` registers a global rule (any table);
+        ``attribute`` optionally narrows the rule to part of the key
+        space (see :func:`_attribute_matcher`).
+        """
+
+        def decorate(fn: Callable) -> Callable:
+            self.register(fn, table=table, attribute=attribute)
+            return fn
+
+        return decorate
+
+    def register(self, fn: Callable, table: Optional[str] = None, attribute=None) -> PolicyRule:
+        """Non-decorator registration; returns the created rule."""
+        matcher = _attribute_matcher(attribute) if attribute is not None else None
+        rule = PolicyRule(
+            fn=fn, table=table, attribute=attribute, matcher=matcher,
+            serial=self._serial,
+        )
+        self._serial += 1
+        self._rules.append(rule)
+        return rule
+
+    def clear(self) -> None:
+        self._rules.clear()
+
+    @property
+    def rules(self) -> tuple[PolicyRule, ...]:
+        return tuple(self._rules)
+
+    def rules_for(self, table: str) -> list[PolicyRule]:
+        """Rules that could apply to a table, in resolution order."""
+        return sorted(
+            (r for r in self._rules if r.table in (None, table)),
+            key=lambda r: (-r.specificity, -r.serial),
+        )
+
+    # -- resolution ----------------------------------------------------------
+    def resolve(self, table: str, record) -> tuple[CompiledPolicy, Optional[PolicyRule]]:
+        """The compiled policy for a record plus the rule that produced it.
+
+        ``rule`` is ``None`` when no rule matched and the deny-by-default
+        pseudo-role policy was assigned.
+        """
+        for rule in self.rules_for(table):
+            if not rule.matches(table, record):
+                continue
+            spec = rule.fn(record)
+            if spec is None:
+                continue
+            return compile_policy(spec, source="registry"), rule
+        return deny_all_policy(), None
+
+    def policy_for(self, table: str, record) -> CompiledPolicy:
+        """The compiled policy for a record (deny-by-default)."""
+        return self.resolve(table, record)[0]
+
+    # -- dataset integration -------------------------------------------------
+    def apply(self, table: str, dataset, override: bool = False):
+        """A new :class:`~repro.core.records.Dataset` with policies assigned.
+
+        Records that already carry an explicit policy keep it unless
+        ``override=True``; records without one get the registry's answer
+        (deny-by-default when nothing matches).  The input dataset is not
+        modified.
+        """
+        from repro.core.records import Dataset, Record
+
+        out = Dataset(dataset.domain)
+        for record in dataset:
+            if record.policy is None or override:
+                compiled = self.policy_for(table, record)
+                record = Record(
+                    key=record.key, value=record.value, policy=compiled.expr,
+                    is_pseudo=record.is_pseudo,
+                )
+            out.add(record)
+        return out
+
+
+__all__ = ["PolicyRegistry", "PolicyRule", "deny_all_policy"]

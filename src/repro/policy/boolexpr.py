@@ -173,43 +173,61 @@ def parse_policy(text: str) -> BoolExpr:
     >>> parse_policy("RoleA and (RoleB or RoleC)")
     And([Attr('RoleA'), Or([Attr('RoleB'), Attr('RoleC')])])
     """
-    tokens: list[tuple[str, str]] = []
+    # Tokens are (kind, value, offset) so every parse error can point at
+    # the offending token and its character position in ``text``.
+    tokens: list[tuple[str, str, int]] = []
     pos = 0
     while pos < len(text):
         match = _TOKEN_RE.match(text, pos)
         if not match or match.end() == pos:
-            remainder = text[pos:].strip()
-            if not remainder:
+            remainder = text[pos:]
+            stripped = remainder.strip()
+            if not stripped:
                 break
-            raise PolicyParseError(f"unexpected input at {remainder[:20]!r}")
+            offset = pos + remainder.index(stripped[0])
+            raise PolicyParseError(
+                f"unexpected character {stripped[0]!r}",
+                token=stripped[:20], offset=offset,
+            )
+        start = match.end() - len(match.group().lstrip())
         lparen, rparen, comma, and_tok, or_tok, of_tok, name = match.groups()
         if lparen:
-            tokens.append(("(", "("))
+            tokens.append(("(", "(", start))
         elif rparen:
-            tokens.append((")", ")"))
+            tokens.append((")", ")", start))
         elif comma:
-            tokens.append((",", ","))
+            tokens.append((",", ",", start))
         elif and_tok:
-            tokens.append(("AND", and_tok))
+            tokens.append(("AND", and_tok, start))
         elif or_tok:
-            tokens.append(("OR", or_tok))
+            tokens.append(("OR", or_tok, start))
         elif of_tok:
-            tokens.append(("OF", of_tok.split()[0]))
+            tokens.append(("OF", of_tok.split()[0], start))
         else:
-            tokens.append(("NAME", name))
+            tokens.append(("NAME", name, start))
         pos = match.end()
     if not tokens:
-        raise PolicyParseError("empty policy")
+        raise PolicyParseError("empty policy", offset=0)
 
     index = 0
 
     def peek() -> str | None:
         return tokens[index][0] if index < len(tokens) else None
 
-    def expect(kind: str) -> str:
+    def fail(expected: str) -> "PolicyParseError":
+        if index < len(tokens):
+            _, value, offset = tokens[index]
+            return PolicyParseError(
+                f"expected {expected}, got {value!r}", token=value, offset=offset,
+            )
+        return PolicyParseError(
+            f"expected {expected}, got end of input", offset=len(text),
+        )
+
+    def expect(kind: str, expected: str | None = None) -> str:
         nonlocal index
         if peek() != kind:
-            raise PolicyParseError(f"expected {kind}, got {tokens[index] if index < len(tokens) else 'EOF'}")
+            raise fail(expected or f"{kind!r}")
         value = tokens[index][1]
         index += 1
         return value
@@ -218,21 +236,21 @@ def parse_policy(text: str) -> BoolExpr:
         nonlocal index
         if peek() == "OF":
             k = int(expect("OF"))
-            expect("(")
+            expect("(", "'(' after threshold gate")
             children = [parse_or()]
             while peek() == ",":
                 expect(",")
                 children.append(parse_or())
-            expect(")")
+            expect(")", "')' closing threshold gate")
             return threshold(k, children)
         if peek() == "(":
             expect("(")
             node = parse_or()
-            expect(")")
+            expect(")", "')' closing group")
             return node
         if peek() == "NAME":
             return Attr(expect("NAME"))
-        raise PolicyParseError(f"expected attribute or '(', got {tokens[index] if index < len(tokens) else 'EOF'}")
+        raise fail("attribute or '('")
 
     def parse_and() -> BoolExpr:
         nodes = [parse_atom()]
@@ -250,7 +268,10 @@ def parse_policy(text: str) -> BoolExpr:
 
     result = parse_or()
     if index != len(tokens):
-        raise PolicyParseError(f"trailing input starting at {tokens[index]!r}")
+        _, value, offset = tokens[index]
+        raise PolicyParseError(
+            f"trailing input starting at {value!r}", token=value, offset=offset,
+        )
     return result
 
 

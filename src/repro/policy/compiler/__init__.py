@@ -1,0 +1,54 @@
+"""Policy compiler: the single path from any authored form to DNF + MSP.
+
+Subpackage layout:
+
+* :mod:`repro.policy.compiler.dnf` — canonical minimal-DNF conversion
+  (``to_dnf``/``from_dnf``), semantic equivalence (``dnf_equal``), and the
+  paper's policy-length measure;
+* :mod:`repro.policy.compiler.msp` — monotone span programs (Algorithms
+  5/6) and the bounded, metrics-instrumented ``get_msp`` cache;
+* :mod:`repro.policy.compiler.compile` — :func:`compile_policy`, which
+  coerces strings / expressions / authoring combinators into one
+  canonical :class:`CompiledPolicy` whose MSP is shared across every
+  equivalent spelling.
+"""
+
+from repro.policy.compiler.compile import (
+    COMPILE_CACHE_SIZE,
+    CompiledPolicy,
+    coerce_policy,
+    compile_cache_info,
+    compile_policy,
+    reset_compile_cache,
+)
+from repro.policy.compiler.dnf import Clause, dnf_equal, from_dnf, policy_length, to_dnf
+from repro.policy.compiler.msp import (
+    MSP_CACHE_SIZE,
+    CacheInfo,
+    Msp,
+    get_msp,
+    msp_cache_info,
+    reset_msp_cache,
+    solve_linear_mod,
+)
+
+__all__ = [
+    "COMPILE_CACHE_SIZE",
+    "CompiledPolicy",
+    "coerce_policy",
+    "compile_cache_info",
+    "compile_policy",
+    "reset_compile_cache",
+    "Clause",
+    "dnf_equal",
+    "from_dnf",
+    "policy_length",
+    "to_dnf",
+    "MSP_CACHE_SIZE",
+    "CacheInfo",
+    "Msp",
+    "get_msp",
+    "msp_cache_info",
+    "reset_msp_cache",
+    "solve_linear_mod",
+]

@@ -1,0 +1,176 @@
+"""The single policy-canonicalization path: anything → :class:`CompiledPolicy`.
+
+Every way of stating an access policy — a legacy DNF string, a raw
+:class:`~repro.policy.boolexpr.BoolExpr`, an authoring-layer combinator
+(:mod:`repro.policy.authoring`), or an already-compiled policy — funnels
+through :func:`compile_policy`, which normalizes to the paper's canonical
+DNF (minimal clauses, sorted deterministically) and exposes the span
+program through the shared :func:`~repro.policy.compiler.msp.get_msp`
+cache.  Because canonical expressions compare structurally, *equivalent*
+policies written in different forms land on byte-identical canonical DNF
+and therefore share one MSP cache entry — the compilation cache feeds
+the MSP cache.
+
+Compilation is observable: ``repro_policy_compile_total{source,outcome}``
+counts compiles by input form and cache outcome (see
+``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import PolicyError
+from repro.obs import metrics as _metrics
+from repro.policy.boolexpr import BoolExpr, parse_policy
+from repro.policy.compiler.dnf import Clause, from_dnf, to_dnf
+from repro.policy.compiler.msp import CacheInfo, Msp, get_msp
+
+_REG = _metrics.registry()
+_M_COMPILE = _REG.counter(
+    "repro_policy_compile_total",
+    "Policy compilations by input form and compile-cache outcome.",
+    labelnames=("source", "outcome"),
+)
+
+#: Bound on the compilation cache (entries, LRU-evicted).
+COMPILE_CACHE_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class CompiledPolicy:
+    """A policy normalized to the paper's canonical DNF.
+
+    * ``source``  — the expression as authored (structure preserved);
+    * ``expr``    — the canonical OR-of-ANDs rebuilt from the minimal
+      DNF clauses, deterministically ordered: equivalent policies have
+      *equal* (and byte-identical ``text``) canonical forms;
+    * ``clauses`` — the minimal satisfying role sets (prime implicants);
+    * ``text``    — ``expr.to_string()``, the canonical byte form.
+    """
+
+    source: BoolExpr
+    expr: BoolExpr
+    clauses: tuple[Clause, ...]
+    text: str
+
+    def msp(self, order: int) -> Msp:
+        """The span program of the *canonical* form over ``Z_order``.
+
+        Routed through the shared :func:`get_msp` cache, so equivalent
+        policies — however they were authored — share one entry.
+        """
+        return get_msp(self.expr, order)
+
+    def evaluate(self, roles: Iterable[str]) -> bool:
+        return self.expr.evaluate(roles)
+
+    def attributes(self) -> set[str]:
+        return self.expr.attributes()
+
+    def equivalent(self, other: "CompiledPolicy | BoolExpr | str") -> bool:
+        """Semantic equality (two canonical forms are equal iff equivalent)."""
+        return self.clauses == compile_policy(other).clauses
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def coerce_policy(policy) -> BoolExpr:
+    """Accept any policy form and return its (uncanonicalized) expression.
+
+    Strings go through :func:`~repro.policy.boolexpr.parse_policy`;
+    authoring combinators are recognized by their ``to_expr`` method (duck
+    typed, so this module never imports the authoring layer); expressions
+    and compiled policies pass through with their authored structure.
+    """
+    expr = _coerce(policy)[0]
+    return expr
+
+
+def _coerce(policy) -> tuple[BoolExpr, str]:
+    """Coerce to an expression and report the input form for metrics."""
+    if isinstance(policy, CompiledPolicy):
+        return policy.source, "compiled"
+    if isinstance(policy, BoolExpr):
+        return policy, "expr"
+    if isinstance(policy, str):
+        return parse_policy(policy), "string"
+    to_expr = getattr(policy, "to_expr", None)
+    if callable(to_expr):
+        expr = to_expr()
+        if not isinstance(expr, BoolExpr):
+            raise PolicyError(
+                f"{type(policy).__name__}.to_expr() returned "
+                f"{type(expr).__name__}, expected a BoolExpr"
+            )
+        return expr, "spec"
+    raise PolicyError(
+        f"cannot interpret {type(policy).__name__} as an access policy; "
+        "expected a policy string, BoolExpr, authoring combinator, or "
+        "CompiledPolicy"
+    )
+
+
+_compile_lock = threading.Lock()
+_compile_cache: "OrderedDict[BoolExpr, CompiledPolicy]" = OrderedDict()
+_compile_hits = 0
+_compile_misses = 0
+
+
+def compile_policy(policy, source: str | None = None) -> CompiledPolicy:
+    """Normalize any policy form to its canonical :class:`CompiledPolicy`.
+
+    ``source`` overrides the metrics label for the input form (the
+    registry passes ``"registry"`` so authored-rule compiles are
+    distinguishable from ad-hoc ones).
+    """
+    global _compile_hits, _compile_misses
+    if isinstance(policy, CompiledPolicy) and source is None:
+        _M_COMPILE.inc(source="compiled", outcome="hit")
+        return policy
+    expr, label = _coerce(policy)
+    if source is not None:
+        label = source
+    with _compile_lock:
+        cached = _compile_cache.get(expr)
+        if cached is not None:
+            _compile_hits += 1
+            _compile_cache.move_to_end(expr)
+    if cached is not None:
+        _M_COMPILE.inc(source=label, outcome="hit")
+        return cached
+    clauses = tuple(to_dnf(expr))
+    canonical = from_dnf(clauses)
+    compiled = CompiledPolicy(
+        source=expr, expr=canonical, clauses=clauses, text=canonical.to_string()
+    )
+    with _compile_lock:
+        _compile_misses += 1
+        cached = _compile_cache.get(expr)
+        if cached is None:
+            _compile_cache[expr] = cached = compiled
+            while len(_compile_cache) > COMPILE_CACHE_SIZE:
+                _compile_cache.popitem(last=False)
+    _M_COMPILE.inc(source=label, outcome="miss")
+    return cached
+
+
+def compile_cache_info() -> CacheInfo:
+    """Compilation-cache statistics (tests and the CLI report)."""
+    with _compile_lock:
+        return CacheInfo(
+            _compile_hits, _compile_misses, COMPILE_CACHE_SIZE, len(_compile_cache)
+        )
+
+
+def reset_compile_cache() -> None:
+    """Drop every cached compilation and zero the counters (tests)."""
+    global _compile_hits, _compile_misses
+    with _compile_lock:
+        _compile_cache.clear()
+        _compile_hits = 0
+        _compile_misses = 0

@@ -1,78 +1,19 @@
-"""Disjunctive-normal-form utilities for access policies.
+"""Compatibility shim — the DNF utilities live in :mod:`repro.policy.compiler.dnf`.
 
-The paper assumes policies are monotone boolean functions normalized in DNF
-(Section 3); the AP2kd-tree split objective (Section 9.1) operates directly
-on the sets of AND clauses of the DNF.
+The canonicalization code moved into the ``policy/compiler`` subpackage
+so that registry-authored policies and legacy DNF strings normalize
+through exactly one code path.  Import from
+``repro.policy.compiler`` (or the ``repro.policy`` package root) in new
+code; this module remains for older imports.
 """
 
-from __future__ import annotations
+from repro.policy.compiler.dnf import (  # noqa: F401
+    Clause,
+    _absorb,
+    dnf_equal,
+    from_dnf,
+    policy_length,
+    to_dnf,
+)
 
-from itertools import product
-from typing import FrozenSet, Iterable
-
-from repro.errors import PolicyError
-from repro.policy.boolexpr import And, Attr, BoolExpr, Or
-
-Clause = FrozenSet[str]
-
-
-def to_dnf(expr: BoolExpr) -> list[Clause]:
-    """Convert a policy to DNF as a list of AND-clauses (attribute sets).
-
-    Absorption is applied: clauses that are supersets of other clauses are
-    dropped, so the result is the set of *minimal* satisfying attribute
-    sets (prime implicants for monotone functions).
-    """
-    clauses = _expand(expr)
-    return _absorb(clauses)
-
-
-def _expand(expr: BoolExpr) -> list[Clause]:
-    if isinstance(expr, Attr):
-        return [frozenset([expr.name])]
-    if isinstance(expr, Or):
-        out: list[Clause] = []
-        for child in expr.children:
-            out.extend(_expand(child))
-        return out
-    if isinstance(expr, And):
-        parts = [_expand(child) for child in expr.children]
-        out = []
-        for combo in product(*parts):
-            merged: Clause = frozenset().union(*combo)
-            out.append(merged)
-        return out
-    raise PolicyError(f"unknown expression node {type(expr).__name__}")
-
-
-def _absorb(clauses: Iterable[Clause]) -> list[Clause]:
-    unique = sorted(set(clauses), key=lambda c: (len(c), sorted(c)))
-    kept: list[Clause] = []
-    for clause in unique:
-        if not any(prev <= clause for prev in kept):
-            kept.append(clause)
-    return kept
-
-
-def from_dnf(clauses: Iterable[Clause]) -> BoolExpr:
-    """Rebuild a policy expression from DNF clauses."""
-    clauses = list(clauses)
-    if not clauses:
-        raise PolicyError("empty DNF")
-    terms: list[BoolExpr] = []
-    for clause in clauses:
-        names = sorted(clause)
-        if not names:
-            raise PolicyError("empty DNF clause")
-        terms.append(And.of(*[Attr(n) for n in names]))
-    return Or.of(*terms)
-
-
-def dnf_equal(a: BoolExpr, b: BoolExpr) -> bool:
-    """Semantic equality of two monotone policies (via minimal DNF)."""
-    return set(to_dnf(a)) == set(to_dnf(b))
-
-
-def policy_length(expr: BoolExpr) -> int:
-    """The paper's 'policy length': total attribute occurrences in DNF."""
-    return sum(len(clause) for clause in to_dnf(expr))
+__all__ = ["Clause", "dnf_equal", "from_dnf", "policy_length", "to_dnf"]

@@ -1,0 +1,49 @@
+"""Crypto-free access-decision explanations (record- and query-level).
+
+* :func:`explain` — why is this record inaccessible to this user, which
+  clauses nearly matched, and which minimal role set(s) unlock it;
+* :func:`explain_query` — walk a whole equality/range query through the
+  planner's traversal machinery and explain every denial (imported
+  lazily: it depends on the query engine, which plain record-level
+  explains never need).
+
+Both perform **zero group operations** — guaranteed by tests against
+``GroupOpStats`` deltas.
+"""
+
+from repro.policy.explain.explain import (
+    ALLOWED,
+    DEFAULT_EXACT_LEAVES,
+    DEFAULT_MAX_ROLE_SETS,
+    DENIED,
+    DENIED_DEFAULT,
+    UNSATISFIABLE,
+    ClauseStatus,
+    Explanation,
+    explain,
+)
+
+__all__ = [
+    "ALLOWED",
+    "DEFAULT_EXACT_LEAVES",
+    "DEFAULT_MAX_ROLE_SETS",
+    "DENIED",
+    "DENIED_DEFAULT",
+    "UNSATISFIABLE",
+    "ClauseStatus",
+    "Explanation",
+    "explain",
+    "DeniedRecord",
+    "QueryExplanation",
+    "explain_query",
+]
+
+
+def __getattr__(name: str):
+    # explain_query pulls in the engine/index layers; load on demand so
+    # `import repro.policy` stays light and cycle-free.
+    if name in ("DeniedRecord", "QueryExplanation", "explain_query"):
+        from repro.policy.explain import query
+
+        return getattr(query, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,284 @@
+"""Crypto-free ``explain``: *why* is this record inaccessible?
+
+:func:`explain` takes a record (or any policy form) and a user and
+reports, without a single group operation:
+
+* whether access is allowed;
+* the status of every minimal clause — which roles matched, which are
+  missing — and the clauses that *nearly* matched;
+* the minimal role set(s) that would unlock the record.
+
+For a monotone policy in minimal DNF the minimal unlocking sets are
+exactly the minimal elements of ``{clause \\ user_roles}`` — computed
+**exactly** whenever the policy is small enough to canonicalize
+(``num_leaves() <= exact_leaves``), and **greedily** (one small but not
+necessarily minimal set, found by a bounded walk of the expression)
+otherwise.  Clauses requiring the pseudo role are never reported as
+unlockable: no user can be granted it, which is also how deny-by-default
+records show up ("unsatisfiable").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.policy.boolexpr import And, Attr, BoolExpr, Or
+from repro.policy.compiler.compile import CompiledPolicy, coerce_policy, compile_policy
+from repro.policy.roles import PSEUDO_ROLE
+
+#: Policies with at most this many leaves are canonicalized for an exact
+#: answer; larger ones fall back to the greedy walk.
+DEFAULT_EXACT_LEAVES = 24
+
+#: Cap on the number of unlocking role sets reported.
+DEFAULT_MAX_ROLE_SETS = 8
+
+ALLOWED = "allowed"
+DENIED = "policy-not-satisfied"
+DENIED_DEFAULT = "denied-by-default"
+UNSATISFIABLE = "unsatisfiable"
+
+
+@dataclass(frozen=True)
+class ClauseStatus:
+    """One minimal DNF clause checked against the user's roles."""
+
+    required: tuple[str, ...]
+    satisfied: tuple[str, ...]
+    missing: tuple[str, ...]
+
+    @property
+    def matched(self) -> bool:
+        return not self.missing
+
+    def describe(self) -> str:
+        parts = [f"+{r}" for r in self.satisfied] + [f"-{r}" for r in self.missing]
+        return "(" + " and ".join(parts) + ")"
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """The full crypto-free access-decision report."""
+
+    allowed: bool
+    reason: str
+    policy: str
+    roles: tuple[str, ...]
+    clauses: tuple[ClauseStatus, ...]
+    unlocking_role_sets: tuple[tuple[str, ...], ...]
+    exact: bool
+
+    @property
+    def near_misses(self) -> tuple[ClauseStatus, ...]:
+        """Unmatched clauses that are closest to matching."""
+        open_clauses = [c for c in self.clauses if c.missing]
+        if not open_clauses:
+            return ()
+        best = min(len(c.missing) for c in open_clauses)
+        return tuple(c for c in open_clauses if len(c.missing) == best)
+
+    def format(self) -> str:
+        """Multi-line human-readable report (the CLI's output)."""
+        lines = [
+            f"decision : {'ALLOW' if self.allowed else 'DENY'} ({self.reason})",
+            f"policy   : {self.policy}",
+            f"roles    : {{{', '.join(self.roles) or ''}}}",
+        ]
+        if self.clauses:
+            mode = "exact" if self.exact else "approximate"
+            lines.append(f"clauses  ({mode}; + held, - missing):")
+            for clause in self.clauses:
+                mark = "✓" if clause.matched else " "
+                lines.append(f"  [{mark}] {clause.describe()}")
+        if self.allowed:
+            return "\n".join(lines)
+        if not self.unlocking_role_sets:
+            lines.append(
+                "unlock   : impossible — every clause requires the pseudo "
+                "role (deny-by-default or pseudo record)"
+            )
+        else:
+            qualifier = "minimal" if self.exact else "greedy (may not be minimal)"
+            lines.append(f"unlock   ({qualifier} additional role sets):")
+            for roleset in self.unlocking_role_sets:
+                lines.append(f"  grant {{{', '.join(roleset)}}}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "allowed": self.allowed,
+            "reason": self.reason,
+            "policy": self.policy,
+            "roles": list(self.roles),
+            "clauses": [
+                {
+                    "required": list(c.required),
+                    "satisfied": list(c.satisfied),
+                    "missing": list(c.missing),
+                }
+                for c in self.clauses
+            ],
+            "unlocking_role_sets": [list(s) for s in self.unlocking_role_sets],
+            "exact": self.exact,
+        }
+
+
+def _as_roles(user) -> frozenset[str]:
+    """Accept a role iterable, or anything with a ``.roles`` attribute
+    (``UserCredentials``, ``QueryUser``, ...)."""
+    roles = getattr(user, "roles", user)
+    if isinstance(roles, str):
+        roles = (roles,)
+    return frozenset(roles)
+
+
+def _resolve_policy(target, registry, table):
+    """Pull the policy out of a record / policy form / registry triple."""
+    policy = target
+    record = None
+    if hasattr(target, "key") and hasattr(target, "policy"):
+        record = target
+        policy = target.policy
+    if policy is None:
+        if registry is not None and record is not None:
+            return registry.policy_for(table or "", record)
+        return None
+    return policy
+
+
+def _minimal_sets(candidates: Iterable[frozenset[str]]) -> list[frozenset[str]]:
+    """Minimal elements (by inclusion) of a family of sets."""
+    unique = sorted(set(candidates), key=lambda s: (len(s), sorted(s)))
+    kept: list[frozenset[str]] = []
+    for cand in unique:
+        if not any(prev <= cand for prev in kept):
+            kept.append(cand)
+    return kept
+
+
+def _greedy_unlock(expr: BoolExpr, roles: frozenset[str]) -> frozenset[str]:
+    """A small (not necessarily minimal) role set that satisfies ``expr``.
+
+    AND gates take the union of their children's needs; OR gates take the
+    cheapest child.  One linear walk — no DNF expansion.
+    """
+    if isinstance(expr, Attr):
+        return frozenset() if expr.name in roles else frozenset([expr.name])
+    if isinstance(expr, And):
+        out: frozenset[str] = frozenset()
+        for child in expr.children:
+            out |= _greedy_unlock(child, roles)
+        return out
+    if isinstance(expr, Or):
+        # Prefer grantable (pseudo-free) branches, then smaller ones.
+        return min(
+            (_greedy_unlock(child, roles) for child in expr.children),
+            key=lambda s: (PSEUDO_ROLE in s, len(s), sorted(s)),
+        )
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+def _clause_status(required: frozenset[str], roles: frozenset[str]) -> ClauseStatus:
+    return ClauseStatus(
+        required=tuple(sorted(required)),
+        satisfied=tuple(sorted(required & roles)),
+        missing=tuple(sorted(required - roles)),
+    )
+
+
+def explain(
+    target,
+    user,
+    *,
+    registry=None,
+    table: Optional[str] = None,
+    exact_leaves: int = DEFAULT_EXACT_LEAVES,
+    max_role_sets: int = DEFAULT_MAX_ROLE_SETS,
+) -> Explanation:
+    """Explain an access decision for ``target`` and ``user`` — crypto-free.
+
+    ``target`` may be a :class:`~repro.core.records.Record` or any policy
+    form the compiler accepts; a record without a policy consults
+    ``registry`` (if given) and otherwise reports the deny-by-default
+    outcome.  ``user`` is a role iterable or any object with ``.roles``.
+    """
+    roles = _as_roles(user)
+    policy = _resolve_policy(target, registry, table)
+    if policy is None:
+        return Explanation(
+            allowed=False,
+            reason=DENIED_DEFAULT,
+            policy=f"<none registered: deny-by-default ({PSEUDO_ROLE})>",
+            roles=tuple(sorted(roles)),
+            clauses=(),
+            unlocking_role_sets=(),
+            exact=True,
+        )
+
+    if isinstance(policy, CompiledPolicy):
+        compiled: Optional[CompiledPolicy] = policy
+        expr = policy.expr
+    else:
+        expr = coerce_policy(policy)
+        compiled = (
+            compile_policy(expr) if expr.num_leaves() <= exact_leaves else None
+        )
+
+    allowed = expr.evaluate(roles)
+    if compiled is not None:
+        clauses = tuple(_clause_status(c, roles) for c in compiled.clauses)
+        candidates = [
+            frozenset(c.missing)
+            for c in clauses
+            if c.missing and PSEUDO_ROLE not in c.missing
+        ]
+        unlocking = () if allowed else tuple(
+            tuple(sorted(s))
+            for s in _minimal_sets(candidates)[:max_role_sets]
+        )
+        policy_text = compiled.text
+        exact = True
+    else:
+        # Greedy fallback: no DNF expansion; approximate clause view from
+        # the top-level OR arms, one greedy unlocking set.
+        arms = expr.children if isinstance(expr, Or) else (expr,)
+        clauses = tuple(
+            _clause_status(frozenset(arm.attributes()), roles) for arm in arms
+        )
+        unlocking = ()
+        if not allowed:
+            need = _greedy_unlock(expr, roles)
+            if need and PSEUDO_ROLE not in need:
+                unlocking = (tuple(sorted(need)),)
+        policy_text = expr.to_string()
+        exact = False
+
+    if allowed:
+        reason = ALLOWED
+    elif unlocking:
+        reason = DENIED
+    else:
+        reason = UNSATISFIABLE
+    return Explanation(
+        allowed=allowed,
+        reason=reason,
+        policy=policy_text,
+        roles=tuple(sorted(roles)),
+        clauses=clauses,
+        unlocking_role_sets=unlocking,
+        exact=exact,
+    )
+
+
+__all__ = [
+    "ALLOWED",
+    "DENIED",
+    "DENIED_DEFAULT",
+    "UNSATISFIABLE",
+    "DEFAULT_EXACT_LEAVES",
+    "DEFAULT_MAX_ROLE_SETS",
+    "ClauseStatus",
+    "Explanation",
+    "explain",
+]

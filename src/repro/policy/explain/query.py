@@ -1,0 +1,139 @@
+"""Query-level explain: which records a query would hide, and why.
+
+Reuses the engine's phase-1 traversals — the exact machinery the planner
+prices queries with (:mod:`repro.core.planner`) — to walk an AP2G-tree
+for an equality or range query and classify every emitted
+:class:`~repro.core.engine.ProofTask`, attaching a record-level
+:func:`~repro.policy.explain.explain` to each denial.  Like the planner,
+this performs **zero group operations**: traversals only copy stored
+signatures.
+
+This is an *authoring/debugging* tool for whoever holds the signed tree
+(the data owner, or an operator): it can see which hidden entries are
+real records versus pseudo records — precisely the distinction the
+cryptographic protocol hides from query users.  Never expose its output
+to untrusted users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.engine import (
+    ACCESSIBLE_RECORD,
+    INACCESSIBLE_NODE,
+    INACCESSIBLE_RECORD,
+    traverse_equality,
+    traverse_range,
+)
+from repro.core.range_query import clip_query
+from repro.errors import WorkloadError
+from repro.index.boxes import Box, Point
+from repro.policy.explain.explain import Explanation, explain
+
+
+@dataclass(frozen=True)
+class DeniedRecord:
+    """One record the query would hide, with its explanation."""
+
+    key: Point
+    is_pseudo: bool
+    explanation: Explanation
+
+
+@dataclass(frozen=True)
+class QueryExplanation:
+    """Crypto-free account of what a query returns and what it hides."""
+
+    kind: str
+    query: Box
+    accessible_keys: tuple[Point, ...]
+    denied: tuple[DeniedRecord, ...]
+    denied_boxes: tuple[Box, ...]
+    #: Total hidden records seen by the traversal; ``denied`` holds full
+    #: explanations for the first ``max_records`` of them only.
+    denied_total: int = 0
+
+    def format(self) -> str:
+        lines = [
+            f"{self.kind} query {self.query}:",
+            f"  accessible: {len(self.accessible_keys)} record(s) "
+            f"{sorted(self.accessible_keys)}",
+            f"  hidden    : {self.denied_total} record(s), "
+            f"{len(self.denied_boxes)} pruned subtree box(es)",
+        ]
+        if self.denied_total > len(self.denied):
+            lines.append(
+                f"  (explaining first {len(self.denied)} of "
+                f"{self.denied_total} hidden records)"
+            )
+        for item in self.denied:
+            kind = "pseudo" if item.is_pseudo else "record"
+            lines.append(f"  -- {kind} at {item.key}:")
+            for row in item.explanation.format().splitlines():
+                lines.append(f"     {row}")
+        return "\n".join(lines)
+
+
+def explain_query(
+    tree,
+    user,
+    *,
+    key: Optional[Point] = None,
+    lo: Optional[Point] = None,
+    hi: Optional[Point] = None,
+    table: str = "",
+    max_records: int = 64,
+) -> QueryExplanation:
+    """Explain an equality (``key=``) or range (``lo=``/``hi=``) query.
+
+    ``user`` is a role iterable or any object with ``.roles`` — the same
+    contract as :func:`~repro.policy.explain.explain`.  ``max_records``
+    bounds how many denied records get full explanations (the counts are
+    always complete).
+    """
+    roles = frozenset(getattr(user, "roles", user))
+    if key is not None:
+        if lo is not None or hi is not None:
+            raise WorkloadError("pass either key= or lo=/hi=, not both")
+        point = tree.domain.validate_point(key)
+        tasks = traverse_equality(tree, point, roles, table)
+        kind, query = "equality", Box(point, point)
+    elif lo is not None and hi is not None:
+        query = clip_query(tree, lo, hi)
+        tasks = traverse_range(tree, query, roles, table)
+        kind = "range"
+    else:
+        raise WorkloadError("explain_query needs key= or both lo= and hi=")
+
+    accessible: list[Point] = []
+    denied: list[DeniedRecord] = []
+    denied_boxes: list[Box] = []
+    denied_total = 0
+    for task in tasks:
+        if task.kind == ACCESSIBLE_RECORD:
+            accessible.append(task.record.key)
+        elif task.kind == INACCESSIBLE_RECORD:
+            denied_total += 1
+            if len(denied) < max_records:
+                denied.append(
+                    DeniedRecord(
+                        key=task.record.key,
+                        is_pseudo=task.record.is_pseudo,
+                        explanation=explain(task.record, roles),
+                    )
+                )
+        elif task.kind == INACCESSIBLE_NODE:
+            denied_boxes.append(task.box)
+    return QueryExplanation(
+        kind=kind,
+        query=query,
+        accessible_keys=tuple(accessible),
+        denied=tuple(denied),
+        denied_boxes=tuple(denied_boxes),
+        denied_total=denied_total,
+    )
+
+
+__all__ = ["DeniedRecord", "QueryExplanation", "explain_query"]

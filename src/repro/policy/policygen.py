@@ -12,7 +12,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from repro.crypto.hashing import hash_bytes
 from repro.errors import WorkloadError
+from repro.policy.authoring.combinators import AllOf, AnyOf, AtLeast, PolicySpec
+from repro.policy.authoring.registry import PolicyRegistry
 from repro.policy.boolexpr import And, Attr, BoolExpr, Or
 from repro.policy.roles import PSEUDO_ROLE, RoleHierarchy, RoleUniverse
 
@@ -22,13 +25,26 @@ def role_names(num_roles: int) -> list[str]:
     return [f"Role{i}" for i in range(num_roles)]
 
 
+def workload_key_hash(key) -> int:
+    """Process-independent key hash for registry-driven policy assignment."""
+    return int.from_bytes(hash_bytes(b"policygen-bucket", list(key))[:8], "big")
+
+
 @dataclass
 class PolicyWorkload:
-    """A generated policy workload: universe + distinct DNF policies."""
+    """A generated policy workload: universe + distinct DNF policies.
+
+    ``registry`` is set by :meth:`PolicyGenerator.generate_registry`: a
+    :class:`~repro.policy.authoring.PolicyRegistry` whose rules assign the
+    same policies by stable key hash, for driving outsourcing through
+    ``DataOwner.outsource(..., registry=...)`` instead of stamping each
+    record by hand.
+    """
 
     universe: RoleUniverse
     policies: list[BoolExpr]
     hierarchy: RoleHierarchy | None = None
+    registry: PolicyRegistry | None = None
 
     def policy_for(self, key_hash: int) -> BoolExpr:
         """Deterministically assign a policy to a query key.
@@ -95,6 +111,78 @@ class PolicyGenerator:
             seen.add(text)
             policies.append(policy)
         return PolicyWorkload(universe=RoleUniverse(self.roles), policies=policies)
+
+    def random_spec(self) -> PolicySpec:
+        """One random *authored* policy spec with a diverse shape.
+
+        Unlike :meth:`random_policy` (the paper's flat OR-of-ANDs), this
+        draws from three shapes — flat DNF, ``AtLeast`` thresholds, and
+        nested combinators — exercising the authoring layer and the
+        compiler's threshold expansion.  Draws from the generator's RNG,
+        so interleaving with :meth:`generate` changes both streams; use
+        separate :class:`PolicyGenerator` instances to keep the default
+        workload reproducible.
+        """
+        shape = self.rng.choice(("dnf", "threshold", "nested"))
+        if shape == "threshold":
+            n = self.rng.randint(2, min(2 * self.max_and_fanin, self.num_roles))
+            k = self.rng.randint(1, n)
+            return AtLeast(k, *sorted(self.rng.sample(self.roles, n)))
+        if shape == "nested":
+            # An OR of one AND clause and one small threshold gate.
+            size = self.rng.randint(1, min(self.max_and_fanin, self.num_roles))
+            clause = AllOf(*sorted(self.rng.sample(self.roles, size)))
+            n = min(3, self.num_roles)
+            gate = AtLeast(2, *sorted(self.rng.sample(self.roles, n))) if n >= 2 else clause
+            return AnyOf(clause, gate)
+        clauses = []
+        for _ in range(self.rng.randint(1, self.max_or_fanin)):
+            size = self.rng.randint(1, min(self.max_and_fanin, self.num_roles))
+            clauses.append(AllOf(*sorted(self.rng.sample(self.roles, size))))
+        return AnyOf(*clauses)
+
+    def generate_registry(self, table: str | None = None) -> PolicyWorkload:
+        """Registry-driven workload over diverse authored specs.
+
+        Generates ``num_policies`` distinct specs via :meth:`random_spec`
+        and registers a single rule (for ``table``, or global when
+        ``None``) that assigns each record the spec selected by
+        :func:`workload_key_hash` of its key — the same
+        "records under the same query key share the same access policy"
+        discipline as :meth:`PolicyWorkload.policy_for`.  The returned
+        workload's ``policies`` are the compiled canonical forms, and its
+        ``registry`` plugs straight into ``DataOwner.outsource``.
+        """
+        specs: list[PolicySpec] = []
+        compiled: list[BoolExpr] = []
+        seen: set[str] = set()
+        attempts = 0
+        while len(specs) < self.num_policies:
+            attempts += 1
+            if attempts > 100 * self.num_policies:
+                raise WorkloadError(
+                    "cannot generate enough distinct policies; "
+                    "increase roles or fan-ins"
+                )
+            spec = self.random_spec()
+            text = spec.compile().text
+            if text in seen:
+                continue
+            seen.add(text)
+            specs.append(spec)
+            compiled.append(spec.compile().expr)
+
+        registry = PolicyRegistry()
+
+        def assign(record, _specs=tuple(specs)):
+            return _specs[workload_key_hash(record.key) % len(_specs)]
+
+        registry.register(assign, table=table)
+        return PolicyWorkload(
+            universe=RoleUniverse(self.roles),
+            policies=compiled,
+            registry=registry,
+        )
 
     def generate_hierarchical(self, num_global_roles: int = 2) -> PolicyWorkload:
         """Two-level hierarchical workload (paper Section 8.1 / Figure 12).

@@ -1,0 +1,101 @@
+"""Policy testing helpers: assertions with explanations built in.
+
+For application test suites (and this repo's own tier-1 run)::
+
+    from repro.policy.testing import assert_allows, assert_denies
+
+    assert_allows("analyst or manager", {"analyst"})
+    assert_denies(registry, {"intern"}, record=record, table="docs")
+    assert_policy_equivalent(AnyOf("a", AllOf("b", "c")), "a or (b and c)")
+
+Failures raise ``AssertionError`` carrying the full crypto-free
+:func:`~repro.policy.explain.explain` report, so a failing policy test
+says *why* — which clauses nearly matched and what would unlock the
+record.  A pytest fixture (``policy_registry``) lives in
+:mod:`repro.policy.testing.pytest_plugin`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional
+
+from repro.policy.authoring.registry import PolicyRegistry
+from repro.policy.compiler.compile import compile_policy
+from repro.policy.explain.explain import Explanation, explain
+
+
+def explain_target(policy, user, *, record=None, table: Optional[str] = None) -> Explanation:
+    """Resolve the (policy | registry, record) calling conventions."""
+    if isinstance(policy, PolicyRegistry):
+        if record is None:
+            raise TypeError("assertions on a PolicyRegistry need record=")
+        return explain(record, user, registry=policy, table=table or "")
+    if record is not None:
+        raise TypeError("record= only applies when asserting on a PolicyRegistry")
+    return explain(policy, user)
+
+
+def assert_allows(policy, user, *, record=None, table: Optional[str] = None) -> Explanation:
+    """Assert that ``user`` may access; returns the explanation on success."""
+    report = explain_target(policy, user, record=record, table=table)
+    if not report.allowed:
+        raise AssertionError(
+            "expected ALLOW but access was denied:\n" + report.format()
+        )
+    return report
+
+
+def assert_denies(policy, user, *, record=None, table: Optional[str] = None) -> Explanation:
+    """Assert that ``user`` may NOT access; returns the explanation."""
+    report = explain_target(policy, user, record=record, table=table)
+    if report.allowed:
+        raise AssertionError(
+            "expected DENY but access was allowed:\n" + report.format()
+        )
+    return report
+
+
+def assert_policy_equivalent(a, b) -> None:
+    """Assert two policies (any form) canonicalize to the same DNF."""
+    ca, cb = compile_policy(a), compile_policy(b)
+    if ca.clauses != cb.clauses:
+        only_a = sorted(
+            sorted(c) for c in set(ca.clauses) - set(cb.clauses)
+        )
+        only_b = sorted(
+            sorted(c) for c in set(cb.clauses) - set(ca.clauses)
+        )
+        raise AssertionError(
+            "policies are not equivalent:\n"
+            f"  a: {ca.text}\n"
+            f"  b: {cb.text}\n"
+            f"  clauses only in a: {only_a}\n"
+            f"  clauses only in b: {only_b}"
+        )
+
+
+@contextmanager
+def fresh_registry():
+    """Context manager yielding a registry that is cleared on exit.
+
+    Mirrors the ``policy_registry`` pytest fixture for non-pytest uses::
+
+        with fresh_registry() as registry:
+            @registry.policy(table="docs")
+            def rule(record): ...
+    """
+    registry = PolicyRegistry()
+    try:
+        yield registry
+    finally:
+        registry.clear()
+
+
+__all__ = [
+    "assert_allows",
+    "assert_denies",
+    "assert_policy_equivalent",
+    "explain_target",
+    "fresh_registry",
+]

@@ -1,0 +1,28 @@
+"""Pytest integration for the policy testing helpers.
+
+Enable in a project's root ``conftest.py``::
+
+    pytest_plugins = ("repro.policy.testing.pytest_plugin",)
+
+and write registry tests against a per-test fresh registry::
+
+    def test_docs_policy(policy_registry):
+        @policy_registry.policy(table="docs")
+        def default(record):
+            return HasRole("manager")
+        assert_denies(policy_registry, {"intern"}, record=..., table="docs")
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.policy.authoring.registry import PolicyRegistry
+
+
+@pytest.fixture
+def policy_registry():
+    """A fresh, empty :class:`PolicyRegistry`, cleared after the test."""
+    registry = PolicyRegistry()
+    yield registry
+    registry.clear()

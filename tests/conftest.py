@@ -15,6 +15,8 @@ import pytest
 from repro.crypto import bn254, simulated
 from repro.policy.roles import RoleUniverse
 
+pytest_plugins = ("repro.policy.testing.pytest_plugin",)
+
 
 @pytest.fixture
 def rng():

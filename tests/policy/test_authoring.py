@@ -1,0 +1,235 @@
+"""Authoring layer: combinators and the declarative policy registry."""
+
+import pytest
+
+from repro.core import Dataset, Record
+from repro.errors import PolicyError
+from repro.index import Domain
+from repro.policy import (
+    PSEUDO_ROLE,
+    AllOf,
+    AnyOf,
+    AtLeast,
+    HasRole,
+    PolicyRegistry,
+    compile_policy,
+    parse_policy,
+)
+from repro.policy.authoring.registry import deny_all_policy
+
+
+# -- combinators -------------------------------------------------------------
+
+def test_has_role_compiles_to_attr():
+    assert HasRole("manager").compile().text == "manager"
+
+
+def test_has_role_rejects_invalid_names():
+    with pytest.raises(PolicyError):
+        HasRole("no spaces allowed")
+
+
+def test_all_of_any_of_nest():
+    spec = AnyOf("a", AllOf("b", "c"))
+    assert spec.compile().text == "a or (b and c)"
+
+
+def test_combinators_accept_strings_specs_and_exprs():
+    spec = AllOf("a", HasRole("b"), parse_policy("c or d"))
+    assert spec.evaluate({"a", "b", "c"})
+    assert not spec.evaluate({"a", "b"})
+
+
+def test_at_least_threshold():
+    spec = AtLeast(2, "a", "b", "c")
+    assert spec.evaluate({"a", "c"})
+    assert not spec.evaluate({"c"})
+    assert compile_policy(spec).clauses == compile_policy(
+        "(a and b) or (a and c) or (b and c)"
+    ).clauses
+
+
+def test_operator_overloads_build_gates():
+    spec = HasRole("a") & HasRole("b") | HasRole("c")
+    assert spec.evaluate({"c"})
+    assert spec.evaluate({"a", "b"})
+    assert not spec.evaluate({"a"})
+
+
+def test_operator_overloads_with_strings():
+    spec = "a" & HasRole("b")
+    assert spec.evaluate({"a", "b"})
+    spec = "a" | AllOf("b", "c")
+    assert spec.evaluate({"a"})
+
+
+def test_authored_equals_legacy_canonical_text():
+    authored = AnyOf(HasRole("analyst"), AllOf("auditor", "manager"))
+    legacy = parse_policy("analyst or (auditor and manager)")
+    assert compile_policy(authored).text == compile_policy(legacy).text
+
+
+# -- registry resolution -----------------------------------------------------
+
+def _record(key=(5,)):
+    return Record(key, b"v")
+
+
+def test_registry_deny_by_default():
+    registry = PolicyRegistry()
+    compiled, rule = registry.resolve("docs", _record())
+    assert rule is None
+    assert compiled.text == deny_all_policy().text
+    assert not compiled.evaluate({"analyst", "manager"})
+
+
+def test_attribute_rule_beats_table_rule():
+    registry = PolicyRegistry()
+
+    @registry.policy(table="docs")
+    def table_wide(record):
+        return HasRole("manager")
+
+    @registry.policy(table="docs", attribute=5)
+    def specific(record):
+        return HasRole("analyst")
+
+    compiled, rule = registry.resolve("docs", _record((5,)))
+    assert rule.name == "specific"
+    assert compiled.text == "analyst"
+    compiled, rule = registry.resolve("docs", _record((6,)))
+    assert rule.name == "table_wide"
+
+
+def test_table_rule_beats_global_rule():
+    registry = PolicyRegistry()
+
+    @registry.policy()
+    def global_rule(record):
+        return HasRole("auditor")
+
+    @registry.policy(table="docs")
+    def table_rule(record):
+        return HasRole("manager")
+
+    assert registry.resolve("docs", _record())[1].name == "table_rule"
+    assert registry.resolve("other", _record())[1].name == "global_rule"
+
+
+def test_latest_registration_wins_within_tier():
+    registry = PolicyRegistry()
+
+    @registry.policy(table="docs")
+    def first(record):
+        return HasRole("a")
+
+    @registry.policy(table="docs")
+    def second(record):
+        return HasRole("b")
+
+    assert registry.resolve("docs", _record())[1].name == "second"
+
+
+def test_rule_returning_none_falls_through():
+    registry = PolicyRegistry()
+
+    @registry.policy(table="docs", attribute=5)
+    def declines(record):
+        return None
+
+    @registry.policy(table="docs")
+    def fallback(record):
+        return HasRole("manager")
+
+    compiled, rule = registry.resolve("docs", _record((5,)))
+    assert rule.name == "fallback"
+    assert compiled.text == "manager"
+
+
+def test_attribute_range_selector():
+    registry = PolicyRegistry()
+
+    @registry.policy(table="docs", attribute=(0, 9))
+    def low(record):
+        return HasRole("low")
+
+    assert registry.resolve("docs", _record((9,)))[1].name == "low"
+    assert registry.resolve("docs", _record((10,)))[1] is None
+
+
+def test_attribute_callable_selector():
+    registry = PolicyRegistry()
+
+    @registry.policy(table="docs", attribute=lambda r: r.key[0] % 2 == 0)
+    def even(record):
+        return HasRole("even")
+
+    assert registry.resolve("docs", _record((4,)))[1].name == "even"
+    assert registry.resolve("docs", _record((5,)))[1] is None
+
+
+def test_bad_attribute_selector_rejected():
+    registry = PolicyRegistry()
+    with pytest.raises(PolicyError):
+        registry.register(lambda r: None, table="docs", attribute="nope")
+
+
+def test_policy_registry_fixture(policy_registry):
+    @policy_registry.policy(table="t")
+    def rule(record):
+        return HasRole("x")
+
+    assert policy_registry.resolve("t", _record())[1].name == "rule"
+
+
+# -- dataset integration -----------------------------------------------------
+
+def _dataset():
+    ds = Dataset(Domain.of((0, 15)))
+    ds.add(Record((3,), b"a"))
+    ds.add(Record((7,), b"b", parse_policy("explicit")))
+    ds.add(Record((12,), b"c"))
+    return ds
+
+
+def test_apply_assigns_canonical_policies():
+    registry = PolicyRegistry()
+
+    @registry.policy(table="t", attribute=3)
+    def three(record):
+        return AnyOf(AllOf("b", "a"), "c")
+
+    out = registry.apply("t", _dataset())
+    assert out.get((3,)).policy == parse_policy("c or (a and b)")
+    # Unmatched record: deny-by-default pseudo-role policy.
+    assert out.get((12,)).policy.attributes() == {PSEUDO_ROLE}
+
+
+def test_apply_preserves_explicit_policies():
+    registry = PolicyRegistry()
+
+    @registry.policy(table="t")
+    def everything(record):
+        return HasRole("new")
+
+    out = registry.apply("t", _dataset())
+    assert out.get((7,)).policy == parse_policy("explicit")
+    assert out.get((3,)).policy == parse_policy("new")
+
+
+def test_apply_override_replaces_explicit_policies():
+    registry = PolicyRegistry()
+
+    @registry.policy(table="t")
+    def everything(record):
+        return HasRole("new")
+
+    out = registry.apply("t", _dataset(), override=True)
+    assert out.get((7,)).policy == parse_policy("new")
+
+
+def test_apply_leaves_input_unmodified():
+    registry = PolicyRegistry()
+    ds = _dataset()
+    registry.apply("t", ds)
+    assert ds.get((3,)).policy is None

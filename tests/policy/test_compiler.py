@@ -1,0 +1,139 @@
+"""Compiler: canonical byte-identity, caches, and their metrics."""
+
+import pytest
+
+from repro.obs import metrics
+from repro.policy import (
+    AllOf,
+    AnyOf,
+    AtLeast,
+    CompiledPolicy,
+    HasRole,
+    coerce_policy,
+    compile_policy,
+    get_msp,
+    msp_cache_info,
+    parse_policy,
+)
+from repro.policy.boolexpr import Attr
+from repro.policy.compiler import compile as compile_mod
+from repro.policy.compiler import msp as msp_mod
+from repro.policy.compiler.compile import compile_cache_info, reset_compile_cache
+from repro.policy.compiler.msp import reset_msp_cache
+
+
+EQUIVALENT_FORMS = [
+    "analyst or (auditor and manager)",
+    "(manager and auditor) or analyst",
+    "analyst or (auditor and manager) or (analyst and manager)",  # absorbed
+    AnyOf("analyst", AllOf("auditor", "manager")),
+    AnyOf(AllOf("manager", "auditor"), HasRole("analyst")),
+]
+
+
+def test_equivalent_forms_compile_byte_identical():
+    texts = {compile_policy(form).text for form in EQUIVALENT_FORMS}
+    assert texts == {"analyst or (auditor and manager)"}
+    exprs = {compile_policy(form).expr for form in EQUIVALENT_FORMS}
+    assert len(exprs) == 1
+
+
+def test_threshold_form_matches_manual_expansion():
+    authored = compile_policy(AtLeast(2, "a", "b", "c"))
+    manual = compile_policy("(a and b) or (b and c) or (c and a)")
+    assert authored.text == manual.text
+    assert authored.expr == manual.expr
+
+
+def test_compiled_policy_api():
+    compiled = compile_policy("b and a")
+    assert isinstance(compiled, CompiledPolicy)
+    assert compiled.text == "a and b"
+    assert compiled.attributes() == {"a", "b"}
+    assert compiled.evaluate({"a", "b"})
+    assert not compiled.evaluate({"a"})
+    assert compiled.equivalent("a and b")
+    assert not compiled.equivalent("a or b")
+
+
+def test_compile_policy_idempotent_on_compiled():
+    compiled = compile_policy("x or y")
+    assert compile_policy(compiled) is compiled
+
+
+def test_coerce_policy_forms():
+    assert coerce_policy("a and b") == parse_policy("a and b")
+    expr = parse_policy("a or b")
+    assert coerce_policy(expr) is expr
+    assert coerce_policy(HasRole("a")) == Attr("a")
+
+
+def test_compile_cache_hit_and_metric():
+    reset_compile_cache()
+    counter = metrics.registry().get("repro_policy_compile_total")
+    before_miss = counter.value(source="string", outcome="miss")
+    before_hit = counter.value(source="string", outcome="hit")
+    compile_policy("cachetest0 or cachetest1")
+    compile_policy("cachetest0 or cachetest1")
+    assert counter.value(source="string", outcome="miss") == before_miss + 1
+    assert counter.value(source="string", outcome="hit") == before_hit + 1
+    info = compile_cache_info()
+    assert info.hits >= 1 and info.misses >= 1
+    assert info.maxsize == compile_mod.COMPILE_CACHE_SIZE
+
+
+def test_compile_cache_eviction(monkeypatch):
+    reset_compile_cache()
+    monkeypatch.setattr(compile_mod, "COMPILE_CACHE_SIZE", 2)
+    for i in range(4):
+        compile_policy(f"evict{i}")
+    assert compile_cache_info().currsize == 2
+
+
+def test_equivalent_forms_share_one_msp_cache_entry(sim_group):
+    reset_msp_cache()
+    reset_compile_cache()
+    for form in EQUIVALENT_FORMS:
+        compile_policy(form).msp(sim_group.order)
+    info = msp_cache_info()
+    assert info.misses == 1
+    assert info.hits == len(EQUIVALENT_FORMS) - 1
+    assert info.currsize == 1
+
+
+def test_msp_cache_metrics(sim_group):
+    reset_msp_cache()
+    hits = metrics.registry().get("repro_policy_msp_cache_hits_total")
+    misses = metrics.registry().get("repro_policy_msp_cache_misses_total")
+    h0, m0 = hits.value(), misses.value()
+    expr = parse_policy("m0 and m1")
+    get_msp(expr, sim_group.order)
+    get_msp(expr, sim_group.order)
+    assert misses.value() == m0 + 1
+    assert hits.value() == h0 + 1
+
+
+def test_msp_cache_bounded(monkeypatch, sim_group):
+    reset_msp_cache()
+    monkeypatch.setattr(msp_mod, "MSP_CACHE_SIZE", 3)
+    for i in range(6):
+        get_msp(parse_policy(f"bound{i}"), sim_group.order)
+    info = msp_cache_info()
+    assert info.currsize == 3
+    assert info.maxsize == 3
+
+
+def test_msp_cache_info_maxsize_default():
+    assert msp_cache_info().maxsize == 4096
+
+
+@pytest.mark.parametrize("form", ["legacy", "authored"])
+def test_msp_matrix_identical_for_authored_and_legacy(form, any_group):
+    policy = {
+        "legacy": "a or (b and c)",
+        "authored": AnyOf("a", AllOf("b", "c")),
+    }[form]
+    msp = compile_policy(policy).msp(any_group.order)
+    reference = get_msp(compile_policy("a or (b and c)").expr, any_group.order)
+    assert msp.matrix == reference.matrix
+    assert msp.labels == reference.labels

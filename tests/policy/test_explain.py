@@ -1,0 +1,223 @@
+"""Explain: exactness against brute force, greedy fallback, zero crypto."""
+
+import random
+from itertools import chain, combinations
+
+from repro.core import DataOwner, Dataset, QueryUser, Record
+from repro.index import Domain
+from repro.policy import (
+    PSEUDO_ROLE,
+    AnyOf,
+    PolicyRegistry,
+    RoleUniverse,
+    parse_policy,
+)
+from repro.policy.boolexpr import And, Attr, Or
+from repro.policy.explain import (
+    ALLOWED,
+    DENIED,
+    DENIED_DEFAULT,
+    UNSATISFIABLE,
+    explain,
+    explain_query,
+)
+from repro.policy.policygen import PolicyGenerator
+
+
+# -- brute-force ground truth ------------------------------------------------
+
+def brute_force_minimal_unlocks(expr, user_roles, universe):
+    """All inclusion-minimal S ⊆ universe∖user with eval(user ∪ S) true."""
+    extra = sorted(set(universe) - set(user_roles))
+    satisfying = [
+        frozenset(combo)
+        for combo in chain.from_iterable(
+            combinations(extra, r) for r in range(len(extra) + 1)
+        )
+        if expr.evaluate(set(user_roles) | set(combo))
+    ]
+    minimal = [
+        s for s in satisfying
+        if not any(t < s for t in satisfying)
+    ]
+    return sorted(minimal, key=lambda s: (len(s), sorted(s)))
+
+
+def test_minimal_unlock_sets_match_brute_force_small_universes():
+    gen = PolicyGenerator(num_roles=10, num_policies=40, seed=99)
+    universe = gen.roles
+    rng = random.Random(17)
+    checked = 0
+    for policy in gen.generate().policies:
+        user = frozenset(rng.sample(universe, rng.randint(0, 4)))
+        if policy.evaluate(user):
+            continue
+        report = explain(policy, user, max_role_sets=10_000)
+        assert report.exact
+        got = sorted(
+            (frozenset(s) for s in report.unlocking_role_sets),
+            key=lambda s: (len(s), sorted(s)),
+        )
+        expected = brute_force_minimal_unlocks(policy, user, universe)
+        assert got == expected, (policy.to_string(), sorted(user))
+        checked += 1
+    assert checked >= 10  # the workload must actually exercise the deny path
+
+
+def test_minimal_unlocks_exclude_pseudo_clauses():
+    policy = parse_policy(f"a or {PSEUDO_ROLE}")
+    report = explain(policy, set())
+    assert report.unlocking_role_sets == (("a",),)
+
+
+def test_unsatisfiable_when_every_clause_needs_pseudo():
+    report = explain(Attr(PSEUDO_ROLE), {"a", "b"})
+    assert not report.allowed
+    assert report.reason == UNSATISFIABLE
+    assert report.unlocking_role_sets == ()
+
+
+# -- report contents ---------------------------------------------------------
+
+def test_allowed_report():
+    report = explain("a or (b and c)", {"b", "c"})
+    assert report.allowed and report.reason == ALLOWED
+    assert any(c.matched for c in report.clauses)
+    assert report.unlocking_role_sets == ()
+
+
+def test_denied_report_near_misses():
+    report = explain("(a and b and c) or (a and d)", {"a"})
+    assert not report.allowed and report.reason == DENIED
+    assert [c.missing for c in report.near_misses] == [("d",)]
+    assert report.unlocking_role_sets[0] == ("d",)
+
+
+def test_record_without_policy_is_denied_by_default():
+    record = Record((3,), b"v")
+    report = explain(record, {"a"})
+    assert not report.allowed
+    assert report.reason == DENIED_DEFAULT
+
+
+def test_record_without_policy_consults_registry():
+    registry = PolicyRegistry()
+
+    @registry.policy(table="t")
+    def rule(record):
+        return AnyOf("a", "b")
+
+    record = Record((3,), b"v")
+    assert explain(record, {"b"}, registry=registry, table="t").allowed
+    assert not explain(record, {"c"}, registry=registry, table="t").allowed
+
+
+def test_explain_accepts_user_objects():
+    class FakeUser:
+        roles = frozenset({"a"})
+
+    assert explain("a", FakeUser()).allowed
+
+
+def test_format_and_to_dict_round_trip():
+    report = explain("a and b", {"a"})
+    text = report.format()
+    assert "DENY" in text and "-b" in text and "+a" in text
+    data = report.to_dict()
+    assert data["allowed"] is False
+    assert data["clauses"][0]["missing"] == ["b"]
+
+
+# -- greedy fallback ---------------------------------------------------------
+
+def _wide_policy(n_clauses=30):
+    """> 24 leaves so explain must take the greedy path."""
+    return Or.of(*[
+        And.of(Attr(f"g{i}a"), Attr(f"g{i}b")) for i in range(n_clauses)
+    ])
+
+
+def test_greedy_path_for_large_policies():
+    policy = _wide_policy()
+    assert policy.num_leaves() > 24
+    report = explain(policy, {"g5a"})
+    assert not report.exact
+    assert not report.allowed
+    (unlock,) = report.unlocking_role_sets
+    assert policy.evaluate({"g5a", *unlock})
+    # Greedy walk exploits held roles: clause g5 needs only one more role.
+    assert unlock == ("g5b",)
+
+
+def test_greedy_path_prefers_grantable_branches():
+    policy = Or.of(
+        Attr(PSEUDO_ROLE),
+        And.of(*[Attr(f"r{i}") for i in range(30)]),
+    )
+    report = explain(policy, set())
+    assert not report.exact
+    (unlock,) = report.unlocking_role_sets
+    assert PSEUDO_ROLE not in unlock
+
+
+def test_exact_leaves_threshold_is_tunable():
+    policy = parse_policy("a or (b and c)")
+    report = explain(policy, set(), exact_leaves=1)
+    assert not report.exact
+
+
+# -- zero group operations ---------------------------------------------------
+
+def _outsourced(group, rng):
+    universe = RoleUniverse(["analyst", "manager", "auditor"])
+    table = Dataset(Domain.of((0, 15)))
+    table.add(Record((2,), b"a", parse_policy("analyst")))
+    table.add(Record((9,), b"b", parse_policy("manager and auditor")))
+    owner = DataOwner(group, universe, rng=rng)
+    provider = owner.outsource({"t": table})
+    user = QueryUser(group, universe, owner.register_user(["analyst"]))
+    return provider, user
+
+
+def test_explain_query_performs_zero_group_ops(sim_group, rng):
+    provider, user = _outsourced(sim_group, rng)
+    before = sim_group.stats.snapshot()
+    report = explain_query(
+        provider.trees["t"], user, lo=(0,), hi=(15,), table="t",
+    )
+    delta = sim_group.stats.delta(before)
+    assert all(v == 0 for v in delta.values()), delta
+    assert report.accessible_keys == ((2,),)
+    # The inaccessible record at (9,) is hidden either as an explained
+    # denied record or inside a pruned subtree box.
+    denied_keys = {tuple(d.key) for d in report.denied}
+    in_box = any(box.lo[0] <= 9 <= box.hi[0] for box in report.denied_boxes)
+    assert (9,) in denied_keys or in_box
+
+
+def test_record_level_explain_zero_group_ops_real_backend(real_group):
+    before = real_group.stats.snapshot()
+    report = explain("analyst or (manager and auditor)", {"manager"})
+    delta = real_group.stats.delta(before)
+    assert all(v == 0 for v in delta.values()), delta
+    assert not report.allowed
+
+
+def test_explain_query_equality(sim_group, rng):
+    provider, user = _outsourced(sim_group, rng)
+    report = explain_query(provider.trees["t"], user, key=(9,), table="t")
+    assert report.kind == "equality"
+    assert report.accessible_keys == ()
+    (denied,) = report.denied
+    assert not denied.is_pseudo
+    assert denied.explanation.reason == DENIED
+
+
+def test_explain_query_truncation_note(sim_group, rng):
+    provider, user = _outsourced(sim_group, rng)
+    report = explain_query(
+        provider.trees["t"], user, lo=(0,), hi=(15,), table="t", max_records=0,
+    )
+    assert report.denied == ()
+    assert report.denied_total >= 1
+    assert "first 0 of 1 hidden records" in report.format()

@@ -1,0 +1,78 @@
+"""Parse-error quality: offending token and character offset."""
+
+import pytest
+
+from repro.errors import PolicyParseError
+from repro.policy.boolexpr import parse_policy
+
+
+def _error(text: str) -> PolicyParseError:
+    with pytest.raises(PolicyParseError) as info:
+        parse_policy(text)
+    return info.value
+
+
+def test_empty_input():
+    err = _error("")
+    assert err.token is None
+    assert err.offset == 0
+    assert "empty policy" in str(err)
+
+
+def test_whitespace_only_input():
+    err = _error("   ")
+    assert err.offset == 0
+    assert "empty policy" in str(err)
+
+
+def test_unbalanced_open_paren_reports_end_of_input():
+    err = _error("a and (b or c")
+    assert err.token is None
+    assert err.offset == len("a and (b or c")
+    assert "closing group" in str(err)
+    assert "end of input" in str(err)
+
+
+def test_stray_close_paren_reports_token_and_offset():
+    err = _error("a ) b")
+    assert err.token == ")"
+    assert err.offset == 2
+
+
+def test_leading_operator():
+    err = _error("and a")
+    assert err.token == "and"
+    assert err.offset == 0
+
+
+def test_trailing_operator_reports_end_of_input():
+    err = _error("a or")
+    assert err.offset == len("a or")
+    assert "end of input" in str(err)
+
+
+def test_adjacent_attributes_report_second_token():
+    err = _error("a b")
+    assert err.token == "b"
+    assert err.offset == 2
+
+
+def test_unexpected_character_offset():
+    err = _error("a $ b")
+    assert err.offset == 2
+    assert "$" in str(err)
+
+
+def test_ampersand_and_pipe_are_operator_aliases():
+    assert parse_policy("a & b").evaluate({"a", "b"})
+    assert parse_policy("a | b").evaluate({"b"})
+
+
+def test_offset_is_appended_to_message():
+    err = _error("a ) b")
+    assert "(at offset 2)" in str(err)
+
+
+def test_valid_policies_still_parse():
+    assert parse_policy("a and (b or c)").evaluate({"a", "b"})
+    assert not parse_policy("a and (b or c)").evaluate({"a"})

@@ -1,0 +1,82 @@
+"""Property tests: parser round-trips and compiler canonicalization.
+
+Strategy: generate random monotone expressions, derive equivalent
+re-phrasings (string round-trip, authored-combinator mirror, permuted
+DNF), and check every form canonicalizes to the byte-identical policy —
+hence the same MSP on either crypto backend's group order.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.policy import (
+    compile_policy,
+    dnf_equal,
+    get_msp,
+    parse_policy,
+    to_dnf,
+)
+from repro.policy.authoring.combinators import AllOf, AnyOf, HasRole
+from repro.policy.boolexpr import And, Attr, Or
+
+ROLES = [f"r{i}" for i in range(6)]
+
+attrs = st.sampled_from(ROLES).map(Attr)
+exprs = st.recursive(
+    attrs,
+    lambda children: st.one_of(
+        st.lists(children, min_size=2, max_size=3).map(lambda cs: And.of(*cs)),
+        st.lists(children, min_size=2, max_size=3).map(lambda cs: Or.of(*cs)),
+    ),
+    max_leaves=8,
+)
+
+
+def to_spec(expr):
+    """Mirror a BoolExpr as an authoring combinator tree."""
+    if isinstance(expr, Attr):
+        return HasRole(expr.name)
+    children = [to_spec(c) for c in expr.children]
+    return AllOf(*children) if isinstance(expr, And) else AnyOf(*children)
+
+
+@given(exprs)
+@settings(max_examples=150, deadline=None)
+def test_parse_of_to_string_is_equivalent(expr):
+    reparsed = parse_policy(expr.to_string())
+    assert dnf_equal(expr, reparsed)
+
+
+@given(exprs)
+@settings(max_examples=150, deadline=None)
+def test_authored_mirror_compiles_byte_identical(expr):
+    via_string = compile_policy(expr.to_string())
+    via_spec = compile_policy(to_spec(expr))
+    assert via_string.text == via_spec.text
+    assert via_string.expr == via_spec.expr
+    assert via_string.clauses == via_spec.clauses
+
+
+@given(exprs, st.randoms(use_true_random=False))
+@settings(max_examples=80, deadline=None)
+def test_permuted_dnf_compiles_byte_identical(expr, rand):
+    clauses = [sorted(c) for c in to_dnf(expr)]
+    for clause in clauses:
+        rand.shuffle(clause)
+    rand.shuffle(clauses)
+    permuted = " or ".join(
+        "(" + " and ".join(clause) + ")" for clause in clauses
+    )
+    assert compile_policy(permuted).text == compile_policy(expr).text
+
+
+@given(exprs)
+@settings(max_examples=25, deadline=None)
+def test_canonical_msp_identical_on_both_backend_orders(sim_group, real_group, expr):
+    reparsed = compile_policy(parse_policy(expr.to_string()))
+    authored = compile_policy(to_spec(expr))
+    for order in (sim_group.order, real_group.order):
+        a = get_msp(reparsed.expr, order)
+        b = get_msp(authored.expr, order)
+        assert a.matrix == b.matrix
+        assert a.labels == b.labels

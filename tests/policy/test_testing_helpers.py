@@ -1,0 +1,86 @@
+"""The policy testing helpers themselves."""
+
+import pytest
+
+from repro.core import Record
+from repro.policy import AllOf, AnyOf, HasRole
+from repro.policy.testing import (
+    assert_allows,
+    assert_denies,
+    assert_policy_equivalent,
+    fresh_registry,
+)
+
+
+def test_assert_allows_passes_and_returns_explanation():
+    report = assert_allows("a or b", {"b"})
+    assert report.allowed
+
+
+def test_assert_allows_failure_carries_report():
+    with pytest.raises(AssertionError) as info:
+        assert_allows("a and b", {"a"})
+    message = str(info.value)
+    assert "expected ALLOW" in message
+    assert "-b" in message  # the explain report rides along
+
+
+def test_assert_denies_passes():
+    report = assert_denies(AllOf("a", "b"), {"a"})
+    assert not report.allowed
+
+
+def test_assert_denies_failure_carries_report():
+    with pytest.raises(AssertionError) as info:
+        assert_denies("a", {"a"})
+    assert "expected DENY" in str(info.value)
+
+
+def test_assert_on_registry_requires_record():
+    with fresh_registry() as registry:
+        with pytest.raises(TypeError):
+            assert_allows(registry, {"a"})
+
+
+def test_record_kwarg_rejected_for_plain_policies():
+    with pytest.raises(TypeError):
+        assert_allows("a", {"a"}, record=Record((1,), b"v"))
+
+
+def test_assert_on_registry():
+    with fresh_registry() as registry:
+
+        @registry.policy(table="docs")
+        def rule(record):
+            return AnyOf("analyst", "manager")
+
+        record = Record((4,), b"v")
+        assert_allows(registry, {"manager"}, record=record, table="docs")
+        assert_denies(registry, {"intern"}, record=record, table="docs")
+
+
+def test_assert_policy_equivalent():
+    assert_policy_equivalent("a or (b and c)", AnyOf("a", AllOf("c", "b")))
+    assert_policy_equivalent(HasRole("x"), "x")
+
+
+def test_assert_policy_equivalent_failure_lists_clause_diff():
+    with pytest.raises(AssertionError) as info:
+        assert_policy_equivalent("a or b", "a and b")
+    message = str(info.value)
+    assert "only in a" in message and "only in b" in message
+
+
+def test_fresh_registry_clears_on_exit():
+    with fresh_registry() as registry:
+
+        @registry.policy(table="t")
+        def rule(record):
+            return HasRole("x")
+
+        assert registry.rules
+    assert not registry.rules
+
+
+def test_policy_registry_fixture_is_fresh(policy_registry):
+    assert policy_registry.rules == ()

@@ -37,3 +37,57 @@ def test_bench_unknown_experiment(capsys):
 def test_missing_command_rejected():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_policy_explain_denied_default_record(capsys):
+    # Key 11 is the manager-only salary table; analyst must be denied.
+    assert main(["policy", "explain", "--roles", "analyst",
+                 "--key", "11", "--expect-denied"]) == 0
+    out = capsys.readouterr().out
+    assert "DENY" in out
+    assert "grant {manager}" in out
+
+
+def test_policy_explain_expect_denied_fails_on_allow(capsys):
+    assert main(["policy", "explain", "--roles", "manager",
+                 "--key", "11", "--expect-denied"]) == 1
+    assert "ALLOW" in capsys.readouterr().out
+
+
+def test_policy_explain_unknown_record_is_unsatisfiable(capsys):
+    assert main(["policy", "explain", "--roles", "manager", "--key", "25"]) == 0
+    out = capsys.readouterr().out
+    assert "unsatisfiable" in out
+
+
+def test_policy_explain_rejects_unknown_role(capsys):
+    assert main(["policy", "explain", "--roles", "wizard"]) == 2
+    assert "unknown role" in capsys.readouterr().err
+
+
+def test_policy_compile_prints_canonical_and_msp(capsys):
+    assert main(["policy", "compile", "(b and a) or c or (a and b and d)"]) == 0
+    out = capsys.readouterr().out
+    assert "canonical: c or (a and b)" in out
+    assert "msp" in out
+
+
+def test_policy_compile_reports_parse_errors(capsys):
+    assert main(["policy", "compile", "a and (b or"]) == 2
+    err = capsys.readouterr().err
+    assert "offset" in err
+
+
+def test_demo_helpers_are_equivalent():
+    from repro.cli import demo_documents, demo_registry
+    from repro.policy import compile_policy
+
+    universe, with_policies = demo_documents()
+    _, without = demo_documents(with_policies=False)
+    registry = demo_registry()
+    assert {r.key for r in with_policies} == {r.key for r in without}
+    for record in without:
+        assert record.policy is None
+        stamped = with_policies.get(record.key).policy
+        compiled = registry.policy_for("docs", record)
+        assert compiled.text == compile_policy(stamped).text

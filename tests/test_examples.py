@@ -20,6 +20,7 @@ def test_every_example_is_covered():
         "cloud_join_audit.py",
         "medical_records.py",
         "operational_sp.py",
+        "policy_authoring.py",
         "quickstart.py",
         "relaxed_kdtree_analytics.py",
         "replicated_cluster.py",
