@@ -27,7 +27,19 @@ asserts the paper-level invariants:
 4. **overload absorption** — the burst produces ``overloaded`` frames
    server-side and *zero* client-visible failures (the retry-after
    backoff absorbs it);
-5. the crashed replica restarted from its snapshot and served again.
+5. the crashed replica restarted from its snapshot and served again;
+6. (when ``REPRO_OBS`` is on) the :class:`~repro.obs.slo.SLOMonitor`'s
+   latency burn rate **flips above 1.0 during the overload burst and
+   recovers after it drains**, measured in virtual seconds on the
+   drill's clock.
+
+The sharded drill additionally ends with a **traced acceptance query**:
+every replica is switched to the process-pool relax backend, one query
+runs, and the assembled cross-process trace must span the coordinator,
+all three shards' server spans, the engine phases, and the pool's
+worker spans, with the cost ledger's stage times explaining the query's
+wall time to within 10%.  ``--scrape-lint`` additionally parses a
+post-drill stats-frame scrape as Prometheus exposition.
 
 ``--sharded`` swaps in the scatter-gather drill: a 3-shard × 2-replica
 topology served through :class:`~repro.net.sharding.ShardedClient` with
@@ -52,6 +64,7 @@ import random
 import sys
 import time
 
+from repro import obs
 from repro.core.freshness import issue_shard_token
 from repro.core.messages import SPServer
 from repro.core.records import Dataset, Record
@@ -71,9 +84,52 @@ from repro.net import (
     outsource_sharded,
     parse_schedule,
 )
+from repro.obs import ledger as obs_ledger
+from repro.obs.metrics import parse_exposition
 from repro.policy import RoleUniverse, parse_policy
 
 AVAILABILITY_FLOOR = 0.99
+
+#: The acceptance band for cost attribution: the ledger's staged total
+#: must explain at least this share of the traced query's wall time.
+LEDGER_COVERAGE_FLOOR = 0.9
+
+#: Virtual seconds a query may take before the latency SLO counts it
+#: bad.  Normal loopback queries take ~0 virtual time; only overload
+#: backoff (retry-after >= 1.0 virtual seconds) crosses it.
+SLO_LATENCY_THRESHOLD = 0.5
+#: Burn-rate windows in virtual seconds.  The short window is no longer
+#: than the overload burst: a query that eats the burst in backoff also
+#: clears the short window of good events, so its burn spike is
+#: independent of how densely the drill issues queries.
+SLO_WINDOWS = (3.0, 12.0)
+
+
+def build_slo_monitor(clock):
+    """Burn-rate monitor on the drill's virtual clock (None when gated off)."""
+    if not obs.enabled():
+        return None
+    return obs.SLOMonitor(
+        [
+            obs.SLO("query_latency", kind="latency", objective=0.95,
+                    threshold=SLO_LATENCY_THRESHOLD),
+            obs.SLO("query_availability", kind="availability", objective=0.99),
+        ],
+        windows=SLO_WINDOWS,
+        clock=clock,
+    )
+
+
+def slo_outcome(monitor):
+    """Snapshot + the flip/recovery verdicts (None when obs is gated off)."""
+    if monitor is None:
+        return None
+    short = SLO_WINDOWS[0]
+    return {
+        "snapshot": monitor.snapshot(),
+        "recovered": monitor.burn_rate("query_latency", short) < 1.0,
+        "budget_ok": monitor.budget_remaining("query_availability") > 0.0,
+    }
 
 #: The drill script (virtual seconds).  sp2 is Byzantine for the whole
 #: run; sp0 crash/restarts once; the overload burst hits every replica.
@@ -136,27 +192,40 @@ def run_drill(seed: int, backend: str, queries: int, verbose: bool):
     controller = ChaosController(
         parse_schedule(SCHEDULE), endpoints, clock=clock,
     )
+    monitor = build_slo_monitor(clock)
     duration = 60.0  # virtual seconds; events live in [0, 48]
     step = duration / queries
 
     issued = verified = wrong = 0
     failures = []
+    slo_flipped = False
     for i in range(queries):
         for event in controller.tick():
             if verbose:
                 print(f"  [t={clock.now():5.1f}] chaos: {event.action} "
                       f"{event.target} {dict(event.params)}")
         issued += 1
+        query_t0 = clock.now()
+        ok = False
         try:
             records = client.query_range("docs", (0,), (31,), encrypt=False)
         except Exception as exc:  # noqa: BLE001 - tallied, then asserted on
             failures.append((i, clock.now(), type(exc).__name__))
         else:
+            ok = True
             if sorted(r.value for r in records) == truth:
                 verified += 1
             else:
                 wrong += 1
+        if monitor is not None:
+            # Latency in *virtual* seconds: only retry/backoff sleeps move
+            # the FakeClock inside a query, so the latency SLO goes bad
+            # exactly when shed frames force retry-after waits.
+            monitor.record(ok=ok, latency=clock.now() - query_t0)
+            if monitor.burn_rate("query_latency", SLO_WINDOWS[0]) > 1.0:
+                slo_flipped = True
         clock.advance(step)
+    slo = slo_outcome(monitor)
     # Flush any events scheduled after the last query tick.
     clock.advance(duration)
     controller.tick()
@@ -167,6 +236,8 @@ def run_drill(seed: int, backend: str, queries: int, verbose: bool):
         "verified": verified,
         "wrong": wrong,
         "failures": failures,
+        "slo": slo,
+        "slo_flipped": slo_flipped,
     }
 
 
@@ -222,6 +293,33 @@ def check_invariants(outcome) -> list:
         violations.append("sp0 never restarted from its snapshot")
     if states["sp0"].successes < 1:
         violations.append("sp0 never served a verified result")
+
+    # 6. SLO burn rates: the burst flips the latency burn gauge, both
+    #    recover after the drain (only checked when obs is enabled).
+    violations.extend(check_slo(outcome))
+    return violations
+
+
+def check_slo(outcome) -> list:
+    """SLO-monitor invariants shared by both drills (empty when gated off)."""
+    slo = outcome["slo"]
+    if slo is None:
+        return []
+    violations = []
+    if not outcome["slo_flipped"]:
+        violations.append(
+            "overload burst never pushed the latency SLO's short-window "
+            "burn rate above 1.0"
+        )
+    if not slo["recovered"]:
+        violations.append(
+            "latency SLO burn rate was still above 1.0 after the burst drained"
+        )
+    if not slo["budget_ok"]:
+        violations.append(
+            "availability SLO spent its whole error budget (client-visible "
+            "failures leaked through the retry layer)"
+        )
     return violations
 
 
@@ -240,6 +338,8 @@ SHARDED_SCHEDULE = """
 @20  crash    shard1             # the whole shard goes dark
 @30  restart  shard1             # cold start from snapshots (stale pin survives)
 @40  fresh    s1r1
+@44  overload *       load=64    # burst: every replica sheds with retry-after
+@46  calm     *
 """
 
 #: Analyst-visible ground truth by key (the ``manager``-only row at 11
@@ -369,6 +469,138 @@ def adversarial_subdrills(owner, tables, user, client) -> list:
     return violations
 
 
+def _walk_spans(node):
+    yield node
+    for child in node.get("children") or ():
+        yield from _walk_spans(child)
+
+
+#: Span names one fully-observed scatter-gather query must produce,
+#: from the coordinator down to the process-pool relax workers.
+ACCEPTANCE_SPANS = (
+    "shard.query",          # coordinator root
+    "cluster.attempt",      # per-replica wire attempt
+    "server.handle_frame",  # relayed server roots, grafted by suffix
+    "sp.query",             # engine entry on the SP
+    "engine.traverse",
+    "engine.materialize",
+    "parallel.worker",      # relayed process-pool relax workers
+)
+
+
+def traced_acceptance(client, endpoints):
+    """One process-backend query, end to end, fully assembled and costed.
+
+    This is the drill's observability acceptance check: after the chaos
+    schedule has run dry, every live replica is switched to the
+    process-pool relax backend and its warm authenticator pool dropped
+    (so the query performs real relax work in worker processes), one
+    full-range query is issued, and the assembled trace plus its cost
+    ledger entry are checked for the shapes operators rely on —
+    coordinator root, server spans from *every* shard, engine phases,
+    worker spans, and stage times explaining the query's wall time.
+
+    Returns ``(summary_or_None, violations)``; both are empty when the
+    obs gate is off.
+    """
+    if not obs.enabled():
+        return None, []
+    saved = {}
+    for name, endpoint in endpoints.items():
+        provider = endpoint.server.server.provider
+        saved[name] = (provider.workers, provider.relax_backend)
+        provider.workers = 2
+        provider.relax_backend = "process"
+        # Drop the pooled authenticators (and their warm APS caches): the
+        # drill has run this exact query dozens of times, and a cache-hit
+        # answer would leave the pool with nothing to do.
+        provider._auth_pool.clear()
+    try:
+        result = client.query_range(TABLE, (0,), (47,), encrypt=False)
+    finally:
+        for name, endpoint in endpoints.items():
+            provider = endpoint.server.server.provider
+            provider.workers, provider.relax_backend = saved[name]
+
+    violations = []
+    if isinstance(result, PartialResult):
+        violations.append("acceptance query degraded to a PartialResult")
+    tree = client.assemble_trace()
+    if tree is None:
+        return None, violations + [
+            "acceptance query produced no assembled trace"
+        ]
+    spans = list(_walk_spans(tree))
+    names = {span.get("name") for span in spans}
+    for wanted in ACCEPTANCE_SPANS:
+        if wanted not in names:
+            violations.append(f"assembled trace has no {wanted!r} span")
+    shards_seen = {
+        (span.get("attributes") or {}).get("relay_origin", "").split("/")[0]
+        for span in spans
+        if span.get("name") == "server.handle_frame"
+    }
+    missing_shards = {d.shard_id for d in client.roster.shards} - shards_seen
+    if missing_shards:
+        violations.append(
+            f"assembled trace lacks server spans from {sorted(missing_shards)}"
+        )
+
+    entry = obs_ledger.ledger().get(tree.get("trace_id"))
+    summary = {
+        "trace_id": tree.get("trace_id"),
+        "spans": len(spans),
+        "shards_seen": sorted(shards_seen - {""}),
+        "worker_spans": sum(
+            1 for span in spans if span.get("name") == "parallel.worker"
+        ),
+    }
+    if entry is None or not entry.wall_seconds:
+        violations.append("cost ledger has no entry for the acceptance trace")
+        return summary, violations
+    staged = entry.stage_total()
+    wall = entry.wall_seconds
+    summary["staged_ms"] = round(staged * 1e3, 2)
+    summary["wall_ms"] = round(wall * 1e3, 2)
+    summary["stages"] = {
+        stage: round(seconds * 1e3, 2)
+        for stage, seconds in entry.stages.items()
+    }
+    if not (LEDGER_COVERAGE_FLOOR * wall <= staged <= 1.1 * wall):
+        violations.append(
+            f"ledger stages sum to {staged * 1e3:.2f}ms, outside 10% of the "
+            f"query's {wall * 1e3:.2f}ms wall time"
+        )
+    return summary, violations
+
+
+def scrape_lint(endpoints) -> list:
+    """Parse a post-drill stats-frame scrape; every defect is a string."""
+    import os
+
+    from repro.net.server import STATS_REQUEST, decode_stats_response
+    from repro.net.transport import frame, unframe
+
+    name, endpoint = sorted(endpoints.items())[0]
+    reply = endpoint.server.handle_frame(frame(os.urandom(16), STATS_REQUEST))
+    text = decode_stats_response(unframe(reply)[1])
+    try:
+        parsed = parse_exposition(text)
+    except Exception as exc:  # noqa: BLE001 - the lint verdict
+        return [f"scrape from {name} is not valid exposition: {exc}"]
+    problems = []
+    if not parsed:
+        problems.append(f"scrape from {name} parsed to an empty registry")
+    if obs.enabled():
+        for wanted in ("repro_slo_burn_rate", "repro_obs_relay_spans_total",
+                       "repro_server_frames_total"):
+            if not any(key.split("{", 1)[0] == wanted for key in parsed):
+                problems.append(
+                    f"scrape from {name} is missing the {wanted} family"
+                )
+    return problems
+
+
 def run_sharded_drill(seed: int, backend: str, queries: int, verbose: bool):
     (owner, tables, user, client, endpoints, groups, clock,
      truth) = build_sharded(seed, backend, max_in_flight=32, retry_after=1.0)
@@ -376,23 +608,28 @@ def run_sharded_drill(seed: int, backend: str, queries: int, verbose: bool):
         parse_schedule(SHARDED_SCHEDULE), endpoints, clock=clock,
         groups=groups,
     )
-    duration = 60.0  # virtual seconds; events live in [0, 40]
+    monitor = build_slo_monitor(clock)
+    duration = 60.0  # virtual seconds; events live in [0, 46]
     step = duration / queries
 
     issued = complete = partial = wrong = 0
     failures = []
     partial_shards = set()
+    slo_flipped = False
     for i in range(queries):
         for event in controller.tick():
             if verbose:
                 print(f"  [t={clock.now():5.1f}] chaos: {event.action} "
                       f"{event.target} {dict(event.params)}")
         issued += 1
+        query_t0 = clock.now()
+        ok = False
         try:
             result = client.query_range(TABLE, (0,), (47,), encrypt=False)
         except Exception as exc:  # noqa: BLE001 - tallied, then asserted on
             failures.append((i, clock.now(), type(exc).__name__))
         else:
+            ok = True
             if isinstance(result, PartialResult):
                 expected = sorted(
                     value for key, value in truth.items()
@@ -408,9 +645,15 @@ def run_sharded_drill(seed: int, backend: str, queries: int, verbose: bool):
                 complete += 1
             else:
                 wrong += 1
+        if monitor is not None:
+            monitor.record(ok=ok, latency=clock.now() - query_t0)
+            if monitor.burn_rate("query_latency", SLO_WINDOWS[0]) > 1.0:
+                slo_flipped = True
         clock.advance(step)
+    slo = slo_outcome(monitor)
     clock.advance(duration)
     controller.tick()
+    acceptance, acceptance_violations = traced_acceptance(client, endpoints)
     subdrills = adversarial_subdrills(owner, tables, user, client)
     return {
         "client": client,
@@ -422,6 +665,10 @@ def run_sharded_drill(seed: int, backend: str, queries: int, verbose: bool):
         "failures": failures,
         "partial_shards": partial_shards,
         "subdrills": subdrills,
+        "slo": slo,
+        "slo_flipped": slo_flipped,
+        "acceptance": acceptance,
+        "acceptance_violations": acceptance_violations,
     }
 
 
@@ -483,6 +730,13 @@ def check_sharded_invariants(outcome) -> list:
 
     # 6. The adversarial-coordinator sub-drills all died typed.
     violations.extend(outcome["subdrills"])
+
+    # 7. SLO burn rates flipped on the burst and recovered (obs-gated).
+    violations.extend(check_slo(outcome))
+
+    # 8. The traced acceptance query assembled a full cross-shard trace
+    #    whose ledger explains its wall time (obs-gated).
+    violations.extend(outcome["acceptance_violations"])
     return violations
 
 
@@ -497,6 +751,9 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=20260806)
     parser.add_argument("--queries", type=int, default=None,
                         help="logical queries to issue over the 60s drill")
+    parser.add_argument("--scrape-lint", action="store_true",
+                        help="after the drill, lint a stats-frame scrape as "
+                             "Prometheus exposition")
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
 
@@ -517,6 +774,8 @@ def main(argv=None) -> int:
     wall_start = time.perf_counter()
     outcome = run_drill(args.seed, args.backend, args.queries, args.verbose)
     violations = check_invariants(outcome)
+    if args.scrape_lint:
+        violations.extend(scrape_lint(outcome["endpoints"]))
     wall = time.perf_counter() - wall_start
 
     client = outcome["client"]
@@ -541,6 +800,8 @@ def main(argv=None) -> int:
             for name, state in client.endpoints.items()
         },
         "sp0_restarts": outcome["endpoints"]["sp0"].restarts,
+        "slo": outcome["slo"] and outcome["slo"]["snapshot"],
+        "slo_flipped": outcome["slo_flipped"],
         "wall_seconds": round(wall, 2),
     }
     print(json.dumps(summary, indent=2))
@@ -561,6 +822,8 @@ def main_sharded(args) -> int:
         args.seed, args.backend, args.queries, args.verbose
     )
     violations = check_sharded_invariants(outcome)
+    if args.scrape_lint:
+        violations.extend(scrape_lint(outcome["endpoints"]))
     wall = time.perf_counter() - wall_start
 
     client = outcome["client"]
@@ -589,6 +852,9 @@ def main_sharded(args) -> int:
             name: outcome["endpoints"][name].restarts
             for name in ("s1r0", "s1r1")
         },
+        "slo": outcome["slo"] and outcome["slo"]["snapshot"],
+        "slo_flipped": outcome["slo_flipped"],
+        "traced_acceptance": outcome["acceptance"],
         "wall_seconds": round(wall, 2),
     }
     print(json.dumps(summary, indent=2))

@@ -5,15 +5,19 @@ Two modes:
 * default — with the gate **on**, run one resilient client/server query
   and assert the acceptance criteria: a single correlated trace covering
   the net, SP, and engine layers; group-operation counters in the
-  registry; and a Prometheus scrape (both in-process and over a framed
-  ``STATS_REQUEST``) that passes the exposition lint.
+  registry; a Prometheus scrape (both in-process and over a framed
+  ``STATS_REQUEST``) that passes the exposition lint; and — over a
+  *detached* transport, where server spans root their own traces as
+  they would across a real socket — a trace reassembled through the
+  span relay's ``TRC`` scrape, with a cost ledger entry attributing the
+  query's stages.
 
 * ``--guard`` — with the gate **off** (``REPRO_OBS=0``), bound the cost
   instrumentation adds to the query-serving smoke.  There is no
   uninstrumented build to diff against, so the guard is computed: it
   measures the per-call cost of a disabled instrument, counts how many
   instrument updates one workload pass performs (from an enabled pass's
-  registry delta and trace), and asserts
+  registry delta, trace, and cost-ledger charge count), and asserts
 
       instrument_updates x disabled_per_call_cost < 2% of workload time.
 
@@ -40,6 +44,8 @@ from repro.net import (
     frame,
     unframe,
 )
+from repro.net.client import fetch_trace_spans
+from repro.obs import ledger as obs_ledger
 from repro.obs.metrics import parse_exposition, registry, render_prometheus
 from repro.policy import RoleUniverse, parse_policy
 
@@ -50,7 +56,7 @@ EXPECTED_SPANS = (
 OVERHEAD_BUDGET = 0.02
 
 
-def build_stack(seed=7):
+def build_stack(seed=7, detach=False):
     rng = random.Random(seed)
     group = simulated()
     universe = RoleUniverse(["analyst", "manager", "auditor"])
@@ -62,7 +68,7 @@ def build_stack(seed=7):
     provider = owner.outsource({"docs": table})
     user = QueryUser(group, universe, owner.register_user(["analyst"]))
     server = ResilientSPServer(SPServer(provider, rng=rng))
-    transport = LoopbackTransport(server.handle_frame)
+    transport = LoopbackTransport(server.handle_frame, detach=detach)
     client = ResilientClient(
         user, transport, policy=RetryPolicy(max_attempts=6),
         clock=FakeClock(), rng=random.Random(seed + 1),
@@ -96,10 +102,54 @@ def smoke() -> int:
     wire_parsed = parse_exposition(decode_stats_response(unframe(response)[1]))
     assert wire_parsed["repro_server_scrapes_total"] == 1
 
+    relayed = relay_smoke()
     print(f"obs smoke OK: {len(names)} spans in one trace, "
           f"{len(group_ops)} group-op series, "
-          f"{len(parsed)} exposition samples lint clean")
+          f"{len(parsed)} exposition samples lint clean, "
+          f"{relayed} server spans reassembled over the relay")
     return 0
+
+
+def relay_smoke() -> int:
+    """The cross-boundary leg: detached server spans, reassembled.
+
+    A detached transport roots server spans in their own traces — the
+    shape a real socket produces — so the client trace alone must NOT
+    contain them; the ``TRC`` scrape + :func:`repro.obs.assemble_trace`
+    must bring them back, and the cost ledger must hold a stage account
+    for the query.  Returns the number of reassembled server spans.
+    """
+    obs.reset_for_tests()
+    client, transport = build_stack(detach=True)
+    records = client.query_range("docs", (0,), (31,), encrypt=False)
+    assert records, "detached query returned no accessible records"
+
+    trace = obs.tracer().last_trace()
+    local_names = trace.span_names()
+    server_side = {"server.handle_frame", "sp.handle", "sp.query",
+                   "engine.traverse", "engine.materialize"}
+    leaked = server_side & set(local_names)
+    assert not leaked, f"detached transport leaked server spans: {leaked}"
+
+    remote = fetch_trace_spans(transport, trace.trace_id)
+    assert remote, "TRC scrape returned no spans for the query's trace"
+    tree = obs.assemble_trace(trace, remote, origin="loopback")
+    assembled = set()
+    stack = [tree]
+    while stack:
+        node = stack.pop()
+        assembled.add(node.get("name"))
+        stack.extend(node.get("children") or ())
+    missing = [n for n in EXPECTED_SPANS if n not in assembled]
+    assert not missing, f"assembled trace is missing spans {missing}"
+
+    entry = obs_ledger.ledger().get(trace.trace_id)
+    assert entry is not None, "cost ledger has no entry for the traced query"
+    for stage in ("traverse", "materialize", "wire", "verify"):
+        assert entry.stages.get(stage, 0.0) > 0.0, \
+            f"ledger entry has no {stage!r} time: {entry.as_dict()}"
+    assert entry.wall_seconds > 0.0, "ledger entry has no wall time"
+    return sum(1 for name in assembled if name in server_side)
 
 
 def _time_workload(client, repeats=5) -> float:
@@ -138,6 +188,7 @@ def guard() -> int:
     obs.reset_for_tests()
     window = registry().window()
     traces_before = len(obs.tracer().traces())
+    charges_before = obs_ledger.ledger().total_charges
     _time_workload(client, repeats=1)
     updates = sum(
         int(v) for k, v in window.delta().items()
@@ -147,12 +198,14 @@ def guard() -> int:
         len(t.span_names())
         for t in obs.tracer().traces()[traces_before:]
     )
+    charges = obs_ledger.ledger().total_charges - charges_before
     obs.set_enabled(False)
 
     per_call = _disabled_per_call_cost()
-    cost = (updates + spans) * per_call
+    cost = (updates + spans + charges) * per_call
     fraction = cost / disabled_time
     print(f"obs overhead guard: {updates} metric updates + {spans} spans "
+          f"+ {charges} ledger charges "
           f"x {per_call * 1e9:.0f}ns disabled cost = {cost * 1e6:.1f}µs "
           f"per pass ({fraction:.3%} of {disabled_time * 1e3:.1f}ms)")
     if fraction >= OVERHEAD_BUDGET:

@@ -24,6 +24,7 @@ from repro.core.verifier import verify_join_vo, verify_vo
 from repro.crypto import get_backend
 from repro.index.boxes import Box, Domain
 from repro.index.gridtree import APGTree
+from repro.obs import ledger as _obs_ledger
 from repro.obs import metrics as _obs_metrics
 from repro.obs import trace as _obs_trace
 from repro.policy.policygen import (
@@ -60,6 +61,12 @@ class QueryCost:
     the measured query, keyed by its exposition name.  Empty when
     ``REPRO_OBS=0`` — the wall-clock and op-count fields above are
     always-on and remain the primary record.
+
+    ``ledger`` is the measured trace's :class:`~repro.obs.ledger.
+    QueryLedger` in ``as_dict`` form (stage seconds, counters, group
+    ops) — ``None`` when ``REPRO_OBS=0``.  Averaging keeps the last
+    observed ledger as a representative sample rather than averaging
+    stage times across queries.
     """
 
     sp_seconds: float = 0.0
@@ -75,6 +82,7 @@ class QueryCost:
     workers: int = 1
     aps_cache_hits: float = 0.0
     registry_delta: dict = field(default_factory=dict)
+    ledger: Optional[dict] = None
 
     def add(self, other: "QueryCost") -> None:
         self.sp_seconds += other.sp_seconds
@@ -90,6 +98,8 @@ class QueryCost:
         self.workers = max(self.workers, other.workers)
         self.aps_cache_hits += other.aps_cache_hits
         _merge_ops(self.registry_delta, other.registry_delta)
+        if other.ledger is not None:
+            self.ledger = other.ledger
 
     def averaged(self) -> "QueryCost":
         n = max(1, self.queries)
@@ -107,6 +117,7 @@ class QueryCost:
             workers=self.workers,
             aps_cache_hits=self.aps_cache_hits / n,
             registry_delta={k: v / n for k, v in self.registry_delta.items()},
+            ledger=self.ledger,
         )
 
 
@@ -207,7 +218,8 @@ def measure_range(
     stats = auth.group.stats
     before = stats.snapshot()
     window = _obs_metrics.registry().window()
-    with _obs_trace.span("bench.measure_range", workers=workers):
+    with _obs_trace.span("bench.measure_range", workers=workers) as bench_span:
+        measured_trace = getattr(bench_span, "trace_id", None)
         t0 = time.perf_counter()
         vo, estats = execute(
             "range",
@@ -224,6 +236,7 @@ def measure_range(
             collect_ops=user_ops,
         )
         user = time.perf_counter() - t0
+    entry = _obs_ledger.ledger().get(measured_trace)
     return QueryCost(
         sp_seconds=sp,
         user_seconds=user,
@@ -238,6 +251,7 @@ def measure_range(
         workers=estats.workers,
         aps_cache_hits=estats.aps_cache_hits,
         registry_delta=window.delta(),
+        ledger=entry.as_dict() if entry is not None else None,
     )
 
 

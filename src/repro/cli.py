@@ -198,6 +198,89 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _obs_sharded_world(seed: int, backend: str, queries: int = 6):
+    """A 2-shard x 2-replica loopback deployment, pre-warmed with queries.
+
+    Every transport is a detached loopback, so server spans root their
+    own traces and flow back through the span relay — the same topology
+    ``repro obs top`` and ``repro obs trace`` are meant to demonstrate.
+    """
+    from repro.core import DataOwner, QueryUser
+    from repro.core.messages import SPServer
+    from repro.crypto import get_backend
+    from repro.net import LoopbackTransport, ResilientSPServer, RetryPolicy
+    from repro.net.sharding import RangeShardMap, ShardedClient, outsource_sharded
+
+    rng = random.Random(seed)
+    group = get_backend(backend)
+    universe, table = demo_documents()
+    owner = DataOwner(group, universe, rng=rng)
+    tables = outsource_sharded(owner, "docs", table, RangeShardMap(2), rng=rng)
+    user = QueryUser(
+        group, universe, owner.register_user(["analyst", "manager", "auditor"])
+    )
+    transports = {
+        shard_id: {
+            name: LoopbackTransport(
+                ResilientSPServer(SPServer(provider, rng=rng)).handle_frame,
+                detach=True,
+            )
+            for name in ("r0", "r1")
+        }
+        for shard_id, provider in tables.providers.items()
+    }
+    client = ShardedClient(
+        user, tables.roster, tables.roster_token, transports,
+        shard_policy=RetryPolicy(max_attempts=3),
+        rng=random.Random(seed + 1),
+    )
+    ranges = [((0,), (31,)), ((0,), (15,)), ((16,), (31,)), ((4,), (18,))]
+    for i in range(queries):
+        lo, hi = ranges[i % len(ranges)]
+        client.query_range("docs", lo, hi, encrypt=False)
+    return client
+
+
+def _obs_gate_check() -> bool:
+    from repro import obs
+
+    if not obs.enabled():
+        print("observability is disabled (REPRO_OBS=0); nothing to show",
+              file=sys.stderr)
+        return False
+    return True
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.obs import ledger as _ledger
+
+    if not _obs_gate_check():
+        return 1
+    _obs_sharded_world(args.seed, args.backend, queries=args.queries)
+    print("per-query cost ledger (most recent first)")
+    print(obs.format_ledger(_ledger.ledger().entries(args.queries)))
+    print()
+    print("latency quantiles")
+    print(obs.format_quantiles(prefix="repro_"))
+    return 0
+
+
+def _cmd_obs_trace(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    if not _obs_gate_check():
+        return 1
+    client = _obs_sharded_world(args.seed, args.backend)
+    tree = client.assemble_trace(args.trace_id)
+    if tree is None:
+        wanted = args.trace_id or "(last query)"
+        print(f"trace {wanted} not found in the finished ring", file=sys.stderr)
+        return 1
+    print(obs.format_trace(tree))
+    return 0
+
+
 def _cmd_policy_explain(args: argparse.Namespace) -> int:
     from repro.policy.explain import explain
 
@@ -262,12 +345,33 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("selftest", help="sign/relax/verify on both backends")
     p.set_defaults(func=_cmd_selftest)
 
-    p = sub.add_parser("obs", help="trace one resilient query and print the scrape")
+    p = sub.add_parser(
+        "obs",
+        help="observability tooling (default: trace one resilient query)")
     p.add_argument("--backend", default="simulated", choices=["simulated", "bn254"])
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--fault-rate", type=float, default=0.0,
                    help="bitflip injection rate, to demo retry spans (default 0)")
     p.set_defaults(func=_cmd_obs)
+    obs_sub = p.add_subparsers(dest="obs_command", required=False)
+
+    pt = obs_sub.add_parser(
+        "top",
+        help="run a sharded workload and show the live per-query cost ledger")
+    pt.add_argument("--backend", default="simulated", choices=["simulated", "bn254"])
+    pt.add_argument("--seed", type=int, default=7)
+    pt.add_argument("--queries", type=int, default=6,
+                    help="queries to run before rendering (default 6)")
+    pt.set_defaults(func=_cmd_obs_top)
+
+    pr = obs_sub.add_parser(
+        "trace",
+        help="assemble one logical query's cross-node trace and render it")
+    pr.add_argument("trace_id", nargs="?", default=None,
+                    help="trace id (16 hex chars); default: the last query")
+    pr.add_argument("--backend", default="simulated", choices=["simulated", "bn254"])
+    pr.add_argument("--seed", type=int, default=7)
+    pr.set_defaults(func=_cmd_obs_trace)
 
     p = sub.add_parser("policy", help="crypto-free policy tooling")
     policy_sub = p.add_subparsers(dest="policy_command", required=True)

@@ -50,6 +50,7 @@ from repro.errors import ReproError, WorkloadError
 from repro.index.boxes import Box, Point
 from repro.index.gridtree import APGTree, IndexNode
 from repro.obs import metrics as _metrics
+from repro.obs import ledger as _ledger
 from repro.obs import trace as _trace
 from repro.parallel import parallel_map, resolve_workers
 from repro.policy.boolexpr import BoolExpr
@@ -742,10 +743,25 @@ def materialize(
     stats.aps_cache_hits += relaxed_hits
     stats.aps_cache_misses += relaxed_misses
     backend = getattr(authenticator.group, "name", type(authenticator.group).__name__)
-    for key, value in authenticator.group.stats.delta(ops_before).items():
-        if value:
-            stats.group_ops[key] = stats.group_ops.get(key, 0) + value
-            _M_GROUP_OPS.inc(value, backend=backend, op=key)
+    ops_delta = {
+        key: value
+        for key, value in authenticator.group.stats.delta(ops_before).items()
+        if value
+    }
+    for key, value in ops_delta.items():
+        stats.group_ops[key] = stats.group_ops.get(key, 0) + value
+        _M_GROUP_OPS.inc(value, backend=backend, op=key)
+    ledger = _ledger.ledger()
+    trace_id = _trace.current_trace_id()
+    ledger.charge(trace_id, "materialize", elapsed)
+    ledger.count(
+        trace_id,
+        relax_calls=stats.relax_calls - relax0,
+        aps_cache_hits=relaxed_hits,
+        aps_cache_misses=relaxed_misses,
+    )
+    if ops_delta:
+        ledger.merge_group_ops(trace_id, ops_delta)
     for kind, count in call_tasks.items():
         if count:
             _M_TASKS.inc(count, kind=kind)
@@ -781,5 +797,6 @@ def execute(
     elapsed = time.perf_counter() - t0
     stats.traversal_ms = elapsed * 1000.0
     _M_PHASE.observe(elapsed, phase="traverse")
+    _ledger.ledger().charge(_trace.current_trace_id(), "traverse", elapsed)
     vo = materialize(tasks, authenticator, user_roles, rng, workers, stats, backend)
     return vo, stats

@@ -52,6 +52,7 @@ from repro.net.client import (
     ClientStats,
     ResilientClient,
     RetryPolicy,
+    fetch_trace_spans,
     is_tamper_error,
     probe_endpoint,
     wire_exchange,
@@ -65,9 +66,13 @@ from repro.net.server import (
     PROBE_RESPONSE,
     STATS_REQUEST,
     STATS_RESPONSE,
+    TRACE_REQUEST,
+    TRACE_RESPONSE,
     ResilientSPServer,
     decode_probe_response,
     decode_stats_response,
+    decode_trace_response,
+    trace_request,
 )
 from repro.net.sharding import (
     HashShardMap,
@@ -104,6 +109,7 @@ __all__ = [
     "ReplicatedClient",
     "ResilientClient",
     "RetryPolicy",
+    "fetch_trace_spans",
     "is_tamper_error",
     "probe_endpoint",
     "wire_exchange",
@@ -124,8 +130,12 @@ __all__ = [
     "PROBE_RESPONSE",
     "STATS_REQUEST",
     "STATS_RESPONSE",
+    "TRACE_REQUEST",
+    "TRACE_RESPONSE",
     "decode_probe_response",
     "decode_stats_response",
+    "decode_trace_response",
+    "trace_request",
     "REQUEST_ID_BYTES",
     "Clock",
     "FakeClock",

@@ -197,9 +197,15 @@ class ChaosEndpoint(Transport):
         self.server = self._build()
         self._apply_tokens()
         # The lambda indirection keeps the tamper layer valid across
-        # restarts, which swap self.server underneath it.
+        # restarts, which swap self.server underneath it.  ``detach=True``
+        # makes the loopback honest about the trace boundary a real
+        # deployment has: server spans root their own traces and come
+        # back through the span relay, so chaos drills exercise the same
+        # trace-assembly path operators rely on.
         self._faulty = FaultyTransport(
-            LoopbackTransport(lambda f: self.server.handle_frame(f)),
+            LoopbackTransport(
+                lambda f: self.server.handle_frame(f), detach=True,
+            ),
             rng=rng, rates={"tamper": 0.0}, group=group, clock=self.clock,
         )
 

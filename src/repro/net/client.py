@@ -36,7 +36,9 @@ raised immediately as :class:`~repro.errors.AccessDeniedError`.
 
 from __future__ import annotations
 
+import os
 import random
+import time
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -66,9 +68,15 @@ from repro.net.transport import (
     frame,
     unframe,
 )
+from repro.obs import ledger as _ledger
 from repro.obs import logging as _obslog
 from repro.obs import metrics as _metrics
+from repro.obs import relay as _relay
 from repro.obs import trace as _trace
+
+#: Server-side ledger stages a loopback round trip may charge inline;
+#: wire_exchange subtracts their delta so "wire" stays exclusive.
+_SERVER_STAGES = ("traverse", "materialize")
 
 _REG = _metrics.registry()
 _M_REQUESTS = _REG.counter(
@@ -271,8 +279,31 @@ def wire_exchange(transport, payload: bytes, verify: Callable, group,
     request_id = rng.getrandbits(8 * REQUEST_ID_BYTES).to_bytes(
         REQUEST_ID_BYTES, "big"
     )
-    request_id = embed_trace_id(request_id, _trace.current_trace_id())
+    trace_id = _trace.current_trace_id()
+    request_id = embed_trace_id(request_id, trace_id)
+    attempt_span = _trace.current_span()
+    if attempt_span is not None:
+        # The graft key the span relay matches on: the server stamps the
+        # same suffix on its handle_frame span (see repro.obs.relay).
+        attempt_span.set_attribute(
+            _relay.REQUEST_SUFFIX_ATTR,
+            request_id[_trace.TRACE_ID_BYTES:].hex(),
+        )
+    ledger = _ledger.ledger()
+    nested_before = ledger.stage_seconds(trace_id, _SERVER_STAGES)
+    wire_t0 = time.perf_counter()
     reply = transport.round_trip(frame(request_id, payload))
+    if trace_id is not None:
+        # Charge the round trip exclusive of server-side stages charged
+        # to this trace *during* the call: on an in-process loopback the
+        # engine runs inline, and counting its time under both "wire"
+        # and "traverse"/"materialize" would sum to ~2x wall.  Across a
+        # real socket nothing nests, and wire = network + remote server
+        # time, which is equally honest.
+        nested = ledger.stage_seconds(trace_id, _SERVER_STAGES) - nested_before
+        ledger.charge(
+            trace_id, "wire", (time.perf_counter() - wire_t0) - nested
+        )
     reply_id, body = unframe(reply)
     if reply_id != request_id:
         counters.duplicates_detected += 1
@@ -293,7 +324,10 @@ def wire_exchange(transport, payload: bytes, verify: Callable, group,
             )
         raise TransportError(f"SP error frame [{error.code}]: {error.message}")
     response = decode_response(group, body)
-    return verify(response)
+    verify_t0 = time.perf_counter()
+    result = verify(response)
+    ledger.charge(trace_id, "verify", time.perf_counter() - verify_t0)
+    return result
 
 
 def probe_endpoint(transport, rng: random.Random) -> str:
@@ -319,6 +353,27 @@ def probe_endpoint(transport, rng: random.Random) -> str:
     return decode_probe_response(body)
 
 
+def fetch_trace_spans(transport, trace_id: str) -> list[dict]:
+    """Scrape one endpoint's relayed spans for a trace id (``TRC`` frame).
+
+    The request id is drawn from ``os.urandom`` — deliberately *not*
+    from a client's seeded rng: trace assembly is an observability read
+    and must never perturb the deterministic rng streams the protocol
+    tests replay.
+    """
+    from repro.net.server import TRACE_REQUEST, decode_trace_response
+
+    request_id = os.urandom(REQUEST_ID_BYTES)
+    raw = bytes.fromhex(trace_id)
+    if len(raw) != _trace.TRACE_ID_BYTES:
+        raise TransportError(f"malformed trace id {trace_id!r}")
+    reply = transport.round_trip(frame(request_id, TRACE_REQUEST + raw))
+    reply_id, body = unframe(reply)
+    if reply_id != request_id:
+        raise TransportError("trace scrape response id mismatch")
+    return decode_trace_response(body)
+
+
 class ResilientClient:
     """Fault-tolerant three-query client over an unreliable transport."""
 
@@ -339,6 +394,7 @@ class ResilientClient:
         self.breaker = breaker or CircuitBreaker(clock=self.clock)
         self.rng = rng or random.Random()
         self.counters = ClientStats()
+        self._last_trace_id: Optional[str] = None
         #: Opt-in deferred verification: equality/range APS checks settle
         #: in one bilinearity-merged batch every ``verification_window``
         #: responses instead of per response (results are provisional
@@ -353,10 +409,14 @@ class ResilientClient:
         """One operational snapshot: counters, breaker state, obs registry.
 
         The ``registry`` section is the client-side slice of the global
-        metrics registry (empty when ``REPRO_OBS=0``); ``counters`` and
-        ``breaker`` are always live.
+        metrics registry (empty when ``REPRO_OBS=0``) with raw histogram
+        bucket dumps elided — latency distributions surface as
+        interpolated ``quantiles`` summaries instead; ``ledger`` is the
+        cost account of this client's most recent traced query.
+        ``counters`` and ``breaker`` are always live.
         """
         snapshot = _metrics.registry().snapshot()
+        last = _ledger.ledger().get(self._last_trace_id)
         return {
             "counters": self.counters.as_dict(),
             "breaker": {
@@ -368,7 +428,10 @@ class ResilientClient:
             "registry": {
                 key: value for key, value in snapshot.items()
                 if key.startswith("repro_client_")
+                and "|le=" not in key and not key.endswith("|sum")
             },
+            "quantiles": _metrics.quantile_summaries(prefix="repro_"),
+            "ledger": last.as_dict() if last is not None else None,
         }
 
     def _verify_vo(self):
@@ -410,10 +473,19 @@ class ResilientClient:
 
     # -- the retry loop ------------------------------------------------------
     def _execute(self, request: QueryRequest, verify: Callable):
+        wall_t0 = time.perf_counter()
         with _trace.span(
             "client.query", kind=request.kind, table=request.table
         ) as query_span:
-            return self._execute_traced(request, verify, query_span)
+            trace_id = getattr(query_span, "trace_id", None)
+            if trace_id is not None:
+                self._last_trace_id = trace_id
+            try:
+                return self._execute_traced(request, verify, query_span)
+            finally:
+                _ledger.ledger().set_wall(
+                    trace_id, time.perf_counter() - wall_t0
+                )
 
     def _execute_traced(self, request: QueryRequest, verify: Callable, query_span):
         was_half_open = self.breaker.state == "half-open"

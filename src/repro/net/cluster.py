@@ -76,6 +76,7 @@ for the invariant drill.
 from __future__ import annotations
 
 import random
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
@@ -95,13 +96,16 @@ from repro.net.client import (
     CircuitBreaker,
     ClientStats,
     RetryPolicy,
+    fetch_trace_spans,
     is_tamper_error,
     probe_endpoint,
     wire_exchange,
 )
 from repro.net.transport import Clock, Transport
+from repro.obs import ledger as _ledger
 from repro.obs import logging as _obslog
 from repro.obs import metrics as _metrics
+from repro.obs import relay as _relay
 from repro.obs import trace as _trace
 
 _REG = _metrics.registry()
@@ -305,6 +309,7 @@ class ReplicatedClient:
         }
         self.counters = ClusterStats()
         self._latencies: deque = deque(maxlen=latency_reservoir)
+        self._last_trace_id: Optional[str] = None
         #: Opt-in deferred verification window (see :mod:`repro.net.window`
         #: and the same knob on :class:`~repro.net.client.ResilientClient`).
         #: A windowed tamper is only *attributed* at flush time, after the
@@ -481,10 +486,18 @@ class ReplicatedClient:
 
     # -- the failover loop ---------------------------------------------------
     def _execute(self, request: QueryRequest, verify: Callable):
+        wall_t0 = time.perf_counter()
         with _trace.span(
             "cluster.query", kind=request.kind, table=request.table
         ) as query_span:
-            return self._execute_traced(request, verify, query_span)
+            trace_id = getattr(query_span, "trace_id", None)
+            self._last_trace_id = trace_id
+            try:
+                return self._execute_traced(request, verify, query_span)
+            finally:
+                _ledger.ledger().set_wall(
+                    trace_id, time.perf_counter() - wall_t0
+                )
 
     def _execute_traced(self, request: QueryRequest, verify, query_span):
         self.counters.requests += 1
@@ -692,9 +705,93 @@ class ReplicatedClient:
             delay = min(delay, max(0.0, remaining))
         return delay
 
+    # -- trace assembly ------------------------------------------------------
+    def _attempt_owners(self, trace_id: str) -> dict:
+        """``request_suffix -> endpoint name`` from this trace's attempts.
+
+        Every wire attempt records the random half of its request id on
+        the ``cluster.attempt`` span (which also names the endpoint), so
+        the local trace tree is an exact record of which endpoint each
+        exchange went to.  Only attempts against *this* cluster's
+        endpoints are claimed — in a sharded topology every shard's
+        attempts share one trace tree, and each shard cluster must
+        claim exactly its own exchanges.
+        """
+        root = _trace.tracer().find_trace(trace_id)
+        if root is None:
+            return {}
+        owners: dict = {}
+        stack = [root.to_dict() if hasattr(root, "to_dict") else root]
+        while stack:
+            node = stack.pop()
+            attrs = node.get("attributes") or {}
+            suffix = attrs.get(_relay.REQUEST_SUFFIX_ATTR)
+            endpoint = attrs.get("endpoint")
+            if suffix is not None and endpoint in self.endpoints:
+                owners[suffix] = endpoint
+            stack.extend(node.get("children") or ())
+        return owners
+
+    def collect_remote_spans(self, trace_id: str) -> list:
+        """Scrape every endpoint's span relay for ``trace_id``.
+
+        Each fetched span is claimed by the endpoint whose wire attempt
+        recorded the same ``request_suffix`` and tagged with that name
+        as ``relay_origin``.  Claiming by suffix rather than by which
+        scrape returned the span keeps provenance honest on in-process
+        loopback topologies, where every endpoint shares one
+        process-global relay and each scrape returns *every* server's
+        spans for the trace; spans whose exchange this client never
+        made (another shard's, in a sharded deployment) are left for
+        their owner to claim.  Endpoints that fail the scrape are
+        skipped — trace assembly is best-effort observability, never a
+        query-path dependency.
+        """
+        owners = self._attempt_owners(trace_id)
+        remote: list = []
+        seen: set = set()
+        for name, endpoint in self.endpoints.items():
+            try:
+                spans = fetch_trace_spans(endpoint.transport, trace_id)
+            except ReproError:
+                continue
+            for span in spans:
+                if span.get("span_id") in seen:
+                    continue
+                attrs = span.setdefault("attributes", {})
+                suffix = attrs.get(_relay.REQUEST_SUFFIX_ATTR)
+                if suffix is not None:
+                    owner = owners.get(suffix)
+                    if owner is None:
+                        continue  # someone else's exchange (shared relay)
+                else:
+                    # No suffix to match (not a handle_frame root): trust
+                    # the scraped endpoint, as a per-server relay would.
+                    owner = name
+                seen.add(span.get("span_id"))
+                attrs[_relay.RELAY_ORIGIN_ATTR] = owner
+                remote.append(span)
+        return remote
+
+    def assemble_trace(self, trace_id: Optional[str] = None) -> Optional[dict]:
+        """One coherent tree for a logical query: local + replica spans.
+
+        With no ``trace_id`` the last finished query's trace is used.
+        Returns ``None`` when that trace is not in the tracer's finished
+        ring (or tracing is off).
+        """
+        trace_id = trace_id or self._last_trace_id
+        if trace_id is None:
+            return None
+        root = _trace.tracer().find_trace(trace_id)
+        if root is None:
+            return None
+        return _relay.assemble_trace(root, self.collect_remote_spans(trace_id))
+
     def stats(self) -> dict:
         """Operational snapshot: cluster counters + per-endpoint state."""
         snapshot = _metrics.registry().snapshot()
+        last = _ledger.ledger().get(self._last_trace_id)
         return {
             "counters": self.counters.as_dict(),
             "endpoints": {
@@ -704,6 +801,8 @@ class ReplicatedClient:
                 key: value for key, value in snapshot.items()
                 if key.startswith("repro_cluster_")
             },
+            "quantiles": _metrics.quantile_summaries(prefix="repro_cluster_"),
+            "ledger": last.as_dict() if last is not None else None,
         }
 
 

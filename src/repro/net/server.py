@@ -54,6 +54,7 @@ from repro.net.transport import (
 )
 from repro.obs import logging as _obslog
 from repro.obs import metrics as _metrics
+from repro.obs import relay as _relay
 from repro.obs import trace as _trace
 
 _NULL_ID = b"\x00" * REQUEST_ID_BYTES
@@ -70,6 +71,13 @@ PROBE_RESPONSE = b"PRO\x01"
 #: Probe status words: admitting queries vs. gracefully draining.
 PROBE_READY = "ready"
 PROBE_DRAINING = "draining"
+
+#: Payload magic of a trace scrape request; the body is the raw 8-byte
+#: trace id whose relayed spans the client wants.
+TRACE_REQUEST = b"TRC\x01"
+#: Payload magic of a trace scrape response; the rest is a JSON array of
+#: span dicts (:func:`repro.obs.relay.encode_spans`).
+TRACE_RESPONSE = b"TRO\x01"
 
 _REG = _metrics.registry()
 _M_FRAMES = _REG.counter(
@@ -107,6 +115,23 @@ def decode_probe_response(payload: bytes) -> str:
     return payload[len(PROBE_RESPONSE):].decode("utf-8")
 
 
+def trace_request(trace_id: str) -> bytes:
+    """A :data:`TRACE_REQUEST` payload for one trace id (hex)."""
+    raw = bytes.fromhex(trace_id)
+    if len(raw) != _trace.TRACE_ID_BYTES:
+        raise DeserializationError(
+            f"trace id must be {_trace.TRACE_ID_BYTES} bytes of hex, got {trace_id!r}"
+        )
+    return TRACE_REQUEST + raw
+
+
+def decode_trace_response(payload: bytes) -> list[dict]:
+    """The span dicts inside a :data:`TRACE_RESPONSE` payload."""
+    if payload[: len(TRACE_RESPONSE)] != TRACE_RESPONSE:
+        raise DeserializationError("not a trace response")
+    return _relay.decode_spans(payload[len(TRACE_RESPONSE):])
+
+
 class ResilientSPServer:
     """Frame-level request loop that degrades failures to error frames.
 
@@ -124,6 +149,9 @@ class ResilientSPServer:
         self.server = server
         self.max_in_flight = max_in_flight
         self.retry_after = retry_after
+        # Hook the span relay into the tracer (idempotent): a server's
+        # root spans must be scrapeable by trace id over the TRC frame.
+        _relay.install_relay()
         self.served = 0
         self.errors = 0
         self.shed = 0
@@ -198,19 +226,39 @@ class ResilientSPServer:
             return frame(
                 _NULL_ID, ErrorResponse(ErrorResponse.BAD_FRAME, str(exc)).to_bytes()
             )
+        if payload[: len(TRACE_REQUEST)] == TRACE_REQUEST:
+            # Trace scrapes bypass admission control like stats do: they
+            # answer from the relay's bounded store and never touch the
+            # engine.  They are deliberately *unspanned* — tracing the
+            # observability plane itself would fill the relay (and the
+            # finished-trace ring) with scrape spans.
+            _M_FRAMES.inc(outcome="trace")
+            wanted = payload[len(TRACE_REQUEST):].hex()
+            spans = _relay.relay().get(wanted) if wanted else []
+            return frame(request_id, TRACE_RESPONSE + _relay.encode_spans(spans))
+        if payload == STATS_REQUEST:
+            # Unspanned for the same reason, and additionally because a
+            # scrape span finishing *after* the exposition was rendered
+            # would make every scrape differ from the registry state it
+            # just reported.  Scrapes bypass admission control: operators
+            # must be able to watch an overloaded or draining server.
+            _M_SCRAPES.inc()
+            _M_FRAMES.inc(outcome="stats")
+            text = _metrics.render_prometheus()
+            return frame(request_id, STATS_RESPONSE + text.encode("utf-8"))
         # Adopt the client's trace id (if any) so this span — and every
         # engine/crypto span beneath it — lands in the caller's trace.
         with _trace.span(
             "server.handle_frame", trace_id=extract_trace_id(request_id)
         ) as handle_span:
-            if payload == STATS_REQUEST:
-                # Scrapes bypass admission control: operators must be able
-                # to watch an overloaded or draining server.
-                _M_SCRAPES.inc()
-                _M_FRAMES.inc(outcome="stats")
-                handle_span.set_attributes(kind="stats", outcome="stats")
-                text = _metrics.render_prometheus()
-                return frame(request_id, STATS_RESPONSE + text.encode("utf-8"))
+            # The random half of the request id is the exact-match graft
+            # key: the client's attempt span records the same suffix, so
+            # a relayed copy of this span lands under precisely the
+            # attempt that caused it (see repro.obs.relay).
+            handle_span.set_attribute(
+                _relay.REQUEST_SUFFIX_ATTR,
+                request_id[_trace.TRACE_ID_BYTES:].hex(),
+            )
             if payload == PROBE_REQUEST:
                 # Probes bypass admission control *and* drain, like stats
                 # scrapes: a breaker's half-open probe against a draining

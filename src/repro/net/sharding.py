@@ -49,6 +49,7 @@ invariant drill.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Mapping, Optional
 
@@ -74,8 +75,10 @@ from repro.index.boxes import Box, Domain, Point
 from repro.net.client import RetryPolicy
 from repro.net.cluster import ReplicatedClient
 from repro.net.transport import Clock, Transport
+from repro.obs import ledger as _ledger
 from repro.obs import logging as _obslog
 from repro.obs import metrics as _metrics
+from repro.obs import relay as _relay
 from repro.obs import trace as _trace
 
 _REG = _metrics.registry()
@@ -395,6 +398,7 @@ class ShardedClient:
                 **options,
             )
         self.counters = ShardedStats()
+        self._last_trace_id: Optional[str] = None
 
     # -- public queries ------------------------------------------------------
     def query_range(self, table: str, lo, hi, encrypt: bool = True):
@@ -409,16 +413,24 @@ class ShardedClient:
         self.counters.requests += 1
         _M_QUERIES.inc(kind="range")
         expected = self.roster.shards_for(query)
+        wall_t0 = time.perf_counter()
         with _trace.span(
             "shard.query", kind="range", table=table, shards=len(expected)
-        ):
-            answers, errors = self._scatter(
-                expected, query,
-                lambda client, sub: client.query_range(
-                    table, sub.lo, sub.hi, encrypt
-                ),
-            )
-            return self._merge(query, answers, errors, key=None)
+        ) as query_span:
+            trace_id = getattr(query_span, "trace_id", None)
+            self._last_trace_id = trace_id
+            try:
+                answers, errors = self._scatter(
+                    expected, query,
+                    lambda client, sub: client.query_range(
+                        table, sub.lo, sub.hi, encrypt
+                    ),
+                )
+                return self._merge(query, answers, errors, key=None)
+            finally:
+                _ledger.ledger().set_wall(
+                    trace_id, time.perf_counter() - wall_t0
+                )
 
     def query_equality(self, table: str, key, encrypt: bool = True):
         self._check_table(table)
@@ -431,14 +443,24 @@ class ShardedClient:
         _M_QUERIES.inc(kind="equality")
         owner = self.roster.shard_for_key(key)
         query = Box(key, key)
+        wall_t0 = time.perf_counter()
         with _trace.span(
             "shard.query", kind="equality", table=table, shards=1
-        ):
-            answers, errors = self._scatter(
-                (owner,), query,
-                lambda client, sub: client.query_equality(table, key, encrypt),
-            )
-            return self._merge(query, answers, errors, key=key)
+        ) as query_span:
+            trace_id = getattr(query_span, "trace_id", None)
+            self._last_trace_id = trace_id
+            try:
+                answers, errors = self._scatter(
+                    (owner,), query,
+                    lambda client, sub: client.query_equality(
+                        table, key, encrypt
+                    ),
+                )
+                return self._merge(query, answers, errors, key=key)
+            finally:
+                _ledger.ledger().set_wall(
+                    trace_id, time.perf_counter() - wall_t0
+                )
 
     def query_join(self, left: str, right: str, lo, hi, encrypt: bool = True):
         raise WorkloadError(
@@ -506,6 +528,7 @@ class ShardedClient:
         errors: Dict[str, ReproError],
         key: Optional[Point],
     ):
+        merge_t0 = time.perf_counter()
         try:
             result = verify_sharded(
                 self.roster, query, list(answers.values()),
@@ -528,6 +551,11 @@ class ShardedClient:
             self.counters.failures += 1
             _M_OUTCOMES.inc(outcome="failed")
             raise
+        finally:
+            _ledger.ledger().charge(
+                _trace.current_trace_id(), "merge",
+                time.perf_counter() - merge_t0,
+            )
         if isinstance(result, PartialResult):
             self.counters.partials += 1
             _M_OUTCOMES.inc(outcome="partial")
@@ -546,9 +574,42 @@ class ShardedClient:
         return result
 
     # -- observability -------------------------------------------------------
+    def collect_remote_spans(self, trace_id: str) -> list:
+        """Scrape every shard's every endpoint for relayed spans.
+
+        Origin tags are qualified ``shard/endpoint`` so the assembled
+        tree names which replica of which shard produced each remote
+        span.  Best-effort: unreachable endpoints are skipped.
+        """
+        remote: list = []
+        for shard_id, cluster in self.shards.items():
+            spans = cluster.collect_remote_spans(trace_id)
+            for span in spans:
+                attrs = span.setdefault("attributes", {})
+                attrs[_relay.RELAY_ORIGIN_ATTR] = (
+                    f"{shard_id}/{attrs.get(_relay.RELAY_ORIGIN_ATTR, '?')}"
+                )
+            remote.extend(spans)
+        return remote
+
+    def assemble_trace(self, trace_id: Optional[str] = None) -> Optional[dict]:
+        """One tree for a logical sharded query: coordinator + every shard.
+
+        With no ``trace_id`` the last query's trace is used.  Returns
+        ``None`` when the trace is not in the tracer's finished ring.
+        """
+        trace_id = trace_id or self._last_trace_id
+        if trace_id is None:
+            return None
+        root = _trace.tracer().find_trace(trace_id)
+        if root is None:
+            return None
+        return _relay.assemble_trace(root, self.collect_remote_spans(trace_id))
+
     def stats(self) -> dict:
         """Coordinator counters + every shard cluster's own snapshot."""
         snapshot = _metrics.registry().snapshot()
+        last = _ledger.ledger().get(self._last_trace_id)
         return {
             "counters": self.counters.as_dict(),
             "shards": {
@@ -559,6 +620,8 @@ class ShardedClient:
                 name: value for name, value in snapshot.items()
                 if name.startswith("repro_shard_")
             },
+            "quantiles": _metrics.quantile_summaries(prefix="repro_shard_"),
+            "ledger": last.as_dict() if last is not None else None,
         }
 
 

@@ -35,7 +35,8 @@ import time
 from typing import Callable, Optional
 
 from repro.errors import DeserializationError, TransportError
-from repro.obs.trace import TRACE_ID_BYTES
+from repro.obs import gate as _gate
+from repro.obs.trace import TRACE_ID_BYTES, tracer as _tracer
 
 _FRAME_MAGIC = b"FRM\x01"
 REQUEST_ID_BYTES = 16
@@ -141,18 +142,31 @@ class LoopbackTransport(Transport):
     give endpoints distinct, reproducible latency profiles (hedging
     fires off the observed percentile).  The default — no clock, zero
     latency — leaves behaviour unchanged.
+
+    ``detach=True`` makes the loopback honest about the *trace*
+    boundary a real socket imposes: the handler runs with an empty span
+    stack (:meth:`repro.obs.trace.Tracer.detached`), so server-side
+    spans root their own trace — correlated only through the trace id
+    in the request id, exactly as they would be across a network — and
+    are exported through the span relay instead of nesting in-process.
     """
 
     def __init__(self, handler: Callable[[bytes], bytes],
-                 clock: Optional[Clock] = None, latency=0.0):
+                 clock: Optional[Clock] = None, latency=0.0,
+                 detach: bool = False):
         self.handler = handler
         self.clock = clock
         self.latency = latency
+        self.detach = detach
         self.requests = 0
 
     def round_trip(self, request_frame: bytes) -> bytes:
         self.requests += 1
-        response = self.handler(request_frame)
+        if self.detach and _gate.enabled():
+            with _tracer().detached():
+                response = self.handler(request_frame)
+        else:
+            response = self.handler(request_frame)
         delay = self.latency() if callable(self.latency) else self.latency
         if delay and self.clock is not None:
             self.clock.sleep(delay)

@@ -8,11 +8,19 @@ Figs. 7–15):
   with exception tagging, events, and bounded retention of finished
   trace trees;
 * **metrics** (:mod:`repro.obs.metrics`) — a process-wide registry of
-  counters/gauges/histograms with Prometheus text exposition;
+  counters/gauges/histograms with Prometheus text exposition and
+  fixed-bucket quantile estimation;
+* **span relay** (:mod:`repro.obs.relay`) — serialization and bounded
+  storage of finished spans, so traces crossing process/wire boundaries
+  (pool workers, remote SPs) reassemble into one tree;
+* **cost ledger** (:mod:`repro.obs.ledger`) — per-query stage time and
+  crypto-counter attribution across every hop;
+* **SLOs** (:mod:`repro.obs.slo`) — declarative objectives with
+  multi-window error-budget burn rates;
 * **structured logs** (:mod:`repro.obs.logging`) — JSON records
   correlated to the active trace id;
-* **rendering** (:mod:`repro.obs.render`) — ASCII trace trees and
-  scrape output for ``repro obs`` and the examples.
+* **rendering** (:mod:`repro.obs.render`) — ASCII trace trees, quantile
+  tables, and scrape output for ``repro obs`` and the examples.
 
 Everything is gated on ``REPRO_OBS`` (default on; ``REPRO_OBS=0``
 disables) and becomes a cheap no-op when off — guarded by
@@ -21,18 +29,39 @@ concept guide and the metric catalog.
 """
 
 from repro.obs.gate import enabled, set_enabled
+
+# The module-level accessors ``repro.obs.ledger.ledger`` and
+# ``repro.obs.relay.relay`` share their module's name; re-exporting them
+# here would shadow the submodules themselves (breaking every
+# ``from repro.obs import ledger as _ledger`` in the codebase), so they
+# are bound under private aliases and reached as ``obs.ledger.ledger()``.
+from repro.obs.ledger import STAGES, CostLedger, QueryLedger
+from repro.obs.ledger import ledger as _cost_ledger
 from repro.obs.logging import JsonLogger, clear_log, get_logger, log_records
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    SUMMARY_QUANTILES,
     Metric,
     MetricsRegistry,
     MetricsWindow,
     bucket_counts_monotonic,
+    counters_delta,
     parse_exposition,
+    quantile_summaries,
     registry,
     render_prometheus,
 )
-from repro.obs.render import format_metrics, format_trace
+from repro.obs.relay import (
+    REQUEST_SUFFIX_ATTR,
+    SpanRelay,
+    assemble_trace,
+    decode_spans,
+    encode_spans,
+    install_relay,
+)
+from repro.obs.relay import relay as _span_relay
+from repro.obs.render import format_ledger, format_metrics, format_quantiles, format_trace
+from repro.obs.slo import SLO, SLOMonitor
 from repro.obs.trace import (
     NOOP_SPAN,
     Span,
@@ -44,44 +73,64 @@ from repro.obs.trace import (
     current_trace_id,
     new_trace_id,
     span,
+    span_from_dict,
     stopwatch,
     tracer,
 )
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "REQUEST_SUFFIX_ATTR",
+    "SUMMARY_QUANTILES",
+    "STAGES",
+    "CostLedger",
     "JsonLogger",
     "Metric",
     "MetricsRegistry",
     "MetricsWindow",
     "NOOP_SPAN",
+    "QueryLedger",
+    "SLO",
+    "SLOMonitor",
     "Span",
+    "SpanRelay",
     "Stopwatch",
     "TRACE_ID_BYTES",
     "Tracer",
     "add_event",
+    "assemble_trace",
     "bucket_counts_monotonic",
     "clear_log",
+    "counters_delta",
     "current_span",
     "current_trace_id",
+    "decode_spans",
     "enabled",
+    "encode_spans",
+    "format_ledger",
     "format_metrics",
+    "format_quantiles",
     "format_trace",
     "get_logger",
+    "install_relay",
     "log_records",
     "new_trace_id",
     "parse_exposition",
+    "quantile_summaries",
     "registry",
     "render_prometheus",
     "set_enabled",
     "span",
+    "span_from_dict",
     "stopwatch",
     "tracer",
 ]
 
 
 def reset_for_tests() -> None:
-    """Zero metrics, drop finished traces and log records (test isolation)."""
+    """Zero metrics, traces, relayed spans, ledger, logs (test isolation)."""
     registry().reset()
     tracer().reset()
+    _span_relay().clear()
+    _cost_ledger().clear()
     clear_log()

@@ -39,6 +39,9 @@ DEFAULT_BUCKETS = (
 
 COUNTER, GAUGE, HISTOGRAM = "counter", "gauge", "histogram"
 
+#: Quantiles reported wherever a histogram is summarized for humans.
+SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
+
 
 def _fmt_value(value: float) -> str:
     if value == float("inf"):
@@ -79,6 +82,32 @@ class _Histogram:
                 self.bucket_counts[i] += 1
         self.total += value
         self.count += 1
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile by linear interpolation.
+
+        Classic fixed-bucket estimation (what PromQL's
+        ``histogram_quantile`` computes server-side): find the first
+        cumulative bucket holding the target rank and interpolate
+        uniformly between its lower and upper bound.  Observations above
+        the largest finite bucket clamp to that bound — the estimator
+        can only ever answer within the configured bucket range.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ReproError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        target = q * self.count
+        prev_cum = 0
+        for i, bound in enumerate(self.buckets):
+            cum = self.bucket_counts[i]
+            if cum >= target:
+                lower = self.buckets[i - 1] if i > 0 else 0.0
+                span = cum - prev_cum
+                fraction = (target - prev_cum) / span if span else 1.0
+                return lower + fraction * (bound - lower)
+            prev_cum = cum
+        return self.buckets[-1]
 
 
 class Metric:
@@ -173,7 +202,23 @@ class Metric:
                 "buckets": list(zip(hist.buckets, hist.bucket_counts)),
                 "sum": hist.total,
                 "count": hist.count,
+                "quantiles": {
+                    f"p{int(q * 100)}": hist.quantile(q)
+                    for q in SUMMARY_QUANTILES
+                },
             }
+
+    def quantiles(self, qs: Sequence[float] = SUMMARY_QUANTILES,
+                  **labels) -> Optional[dict]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` for one labelset."""
+        key = self._key(labels)
+        with self._lock:
+            hist = self._samples.get(key)
+            if hist is None:
+                return None
+            if not isinstance(hist, _Histogram):
+                raise ReproError(f"{self.name} is a {self.kind}, not a histogram")
+            return {f"p{int(q * 100)}": hist.quantile(q) for q in qs}
 
     def samples(self) -> dict[tuple, object]:
         """Flat scalar samples (histograms expand to _count/_sum/_bucket)."""
@@ -251,6 +296,43 @@ class MetricsRegistry:
     def window(self) -> "MetricsWindow":
         """Start a before/after delta window over this registry."""
         return MetricsWindow(self)
+
+    # -- structured counter relay (cross-process merge) ----------------------
+    def counters_snapshot(self) -> dict[str, dict[tuple, float]]:
+        """Counter samples only, keyed ``name -> label-tuple -> value``.
+
+        Unlike :meth:`snapshot` this stays mergeable: no histogram
+        expansion, no string-joined keys — exactly the shape a process
+        worker ships back so the dispatcher can :meth:`merge_counters`
+        the delta (see :mod:`repro.parallel`).
+        """
+        out: dict[str, dict[tuple, float]] = {}
+        for metric in self.metrics():
+            if metric.kind != COUNTER:
+                continue
+            with metric._lock:
+                if metric._samples:
+                    out[metric.name] = dict(metric._samples)
+        return out
+
+    def merge_counters(self, delta: Mapping[str, Mapping[tuple, float]]) -> None:
+        """Add a worker's counter increments into this registry.
+
+        Unknown metric names are skipped (the worker registered an
+        instrument this process never imported); negative increments are
+        rejected — counters only go up, on both sides of the pipe.
+        """
+        for name, samples in delta.items():
+            metric = self.get(name)
+            if metric is None or metric.kind != COUNTER:
+                continue
+            for key, amount in samples.items():
+                if amount < 0:
+                    raise ReproError("counters only go up")
+                if not amount:
+                    continue
+                with metric._lock:
+                    metric._samples[key] = metric._samples.get(key, 0) + amount
 
     def reset(self) -> None:
         """Zero every sample; registered instruments stay valid (tests)."""
@@ -343,6 +425,53 @@ def registry() -> MetricsRegistry:
     return _REGISTRY
 
 
+def counters_delta(
+    before: Mapping[str, Mapping[tuple, float]],
+    after: Mapping[str, Mapping[tuple, float]],
+) -> dict[str, dict[tuple, float]]:
+    """Positive counter increments between two :meth:`counters_snapshot`."""
+    out: dict[str, dict[tuple, float]] = {}
+    for name, samples in after.items():
+        prior = before.get(name, {})
+        changed = {
+            key: value - prior.get(key, 0)
+            for key, value in samples.items()
+            if value - prior.get(key, 0) > 0
+        }
+        if changed:
+            out[name] = changed
+    return out
+
+
+def quantile_summaries(
+    reg: Optional[MetricsRegistry] = None,
+    prefix: str = "",
+    qs: Sequence[float] = SUMMARY_QUANTILES,
+) -> dict[str, dict]:
+    """Per-labelset quantile summaries of every histogram in a registry.
+
+    Keys are ``name`` or ``name|label1|label2`` (matching
+    :meth:`MetricsRegistry.snapshot` key style); values carry the
+    interpolated quantiles plus ``count`` and ``sum`` — the
+    human-facing replacement for raw cumulative bucket dumps.
+    """
+    reg = reg if reg is not None else registry()
+    out: dict[str, dict] = {}
+    for metric in reg.metrics():
+        if metric.kind != HISTOGRAM or not metric.name.startswith(prefix):
+            continue
+        with metric._lock:
+            items = sorted(metric._samples.items())
+        for key, hist in items:
+            suffix = "|".join(key)
+            series = f"{metric.name}|{suffix}" if suffix else metric.name
+            summary = {f"p{int(q * 100)}": hist.quantile(q) for q in qs}
+            summary["count"] = hist.count
+            summary["sum"] = hist.total
+            out[series] = summary
+    return out
+
+
 def bucket_counts_monotonic(metric: Metric, **labels) -> bool:
     """True when a histogram's cumulative bucket counts never decrease."""
     state = metric.histogram_state(**labels)
@@ -357,12 +486,15 @@ __all__ = [
     "GAUGE",
     "HISTOGRAM",
     "DEFAULT_BUCKETS",
+    "SUMMARY_QUANTILES",
     "Metric",
     "MetricsRegistry",
     "MetricsWindow",
     "bucket_counts_monotonic",
+    "counters_delta",
     "escape_label_value",
     "parse_exposition",
+    "quantile_summaries",
     "registry",
     "render_prometheus",
 ]

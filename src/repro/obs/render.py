@@ -14,7 +14,7 @@ from repro.obs import metrics as _metrics
 #: Attributes worth showing inline next to a span name.
 _INLINE_ATTRS = (
     "kind", "table", "attempt", "workers", "tasks", "relax_calls",
-    "aps_cache_hits", "outcome", "code",
+    "aps_cache_hits", "outcome", "code", "endpoint", "shard", "relay_origin",
 )
 
 
@@ -71,3 +71,61 @@ def format_trace(tree: Optional[dict]) -> str:
 def format_metrics(reg: Optional[_metrics.MetricsRegistry] = None) -> str:
     """The Prometheus text exposition (what a scrape returns)."""
     return _metrics.render_prometheus(reg)
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "     -"
+    if value < 0.1:
+        return f"{value * 1000.0:5.2f}ms"
+    return f"{value:6.3f}s"
+
+
+def format_quantiles(reg: Optional[_metrics.MetricsRegistry] = None,
+                     prefix: str = "") -> str:
+    """Interpolated p50/p95/p99 table for every histogram in a registry."""
+    summaries = _metrics.quantile_summaries(reg, prefix=prefix)
+    if not summaries:
+        return "(no histogram samples)"
+    width = max(len(name) for name in summaries)
+    lines = [
+        f"{'histogram'.ljust(width)}      p50      p95      p99    count"
+    ]
+    for name, summary in sorted(summaries.items()):
+        lines.append(
+            f"{name.ljust(width)}  {_fmt_seconds(summary['p50'])}"
+            f"  {_fmt_seconds(summary['p95'])}  {_fmt_seconds(summary['p99'])}"
+            f"  {summary['count']:7d}"
+        )
+    return "\n".join(lines)
+
+
+def format_ledger(entries) -> str:
+    """Tabular view of :class:`~repro.obs.ledger.QueryLedger` entries.
+
+    One row per query (most recent first): trace id, per-stage seconds
+    in pipeline order, their sum, and observed wall time — the live
+    half of the ``repro obs top`` display.
+    """
+    from repro.obs.ledger import STAGES
+
+    rows = [e.as_dict() if hasattr(e, "as_dict") else dict(e) for e in entries]
+    if not rows:
+        return "(ledger is empty)"
+    widths = [max(8, len(s)) for s in STAGES]
+    header = ["trace".ljust(16)] + [s.rjust(w) for s, w in zip(STAGES, widths)]
+    header += ["staged".rjust(9), "wall".rjust(9)]
+    lines = ["  ".join(header)]
+    for row in rows:
+        stages = row.get("stages", {})
+        cells = [str(row.get("trace_id", "?"))[:16].ljust(16)]
+        for stage, width in zip(STAGES, widths):
+            value = stages.get(stage)
+            cells.append(
+                (f"{value * 1000.0:.2f}ms" if value is not None else "-").rjust(width)
+            )
+        cells.append(f"{row.get('stage_total_seconds', 0.0) * 1000.0:.2f}ms".rjust(9))
+        wall = row.get("wall_seconds")
+        cells.append((f"{wall * 1000.0:.2f}ms" if wall is not None else "-").rjust(9))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)

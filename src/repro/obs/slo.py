@@ -1,0 +1,190 @@
+"""Declarative SLOs with multi-window error-budget burn rates.
+
+An :class:`SLO` states an objective ("99% of queries verify", "95% of
+queries finish within 250 ms"); the :class:`SLOMonitor` consumes one
+event per logical query and maintains, per objective and per window, the
+**burn rate** — the rate error budget is being consumed relative to the
+sustainable rate::
+
+    burn = (bad / total within window) / (1 - objective)
+
+``burn == 1`` spends the budget exactly at the objective's pace; an
+overload burst pushes the short window far above 1 well before the long
+window moves (the classic fast-burn/slow-burn alerting pair), and both
+recover as good events wash the bad ones out of the window.
+
+The monitor takes an injectable clock so chaos drills on
+:class:`~repro.net.transport.FakeClock` virtual time measure burn in
+virtual seconds.  Gauges land in the global registry:
+
+* ``repro_slo_burn_rate{slo,window}`` — current burn per window;
+* ``repro_slo_error_budget_remaining{slo}`` — fraction of the longest
+  window's budget still unspent;
+* ``repro_slo_events_total{slo,outcome}`` — good/bad events seen.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.obs import metrics as _metrics
+
+_REG = _metrics.registry()
+_M_BURN = _REG.gauge(
+    "repro_slo_burn_rate",
+    "Error-budget burn rate per SLO and window (1.0 = spending at "
+    "exactly the objective's sustainable pace).",
+    labelnames=("slo", "window"),
+)
+_M_BUDGET = _REG.gauge(
+    "repro_slo_error_budget_remaining",
+    "Fraction of the longest window's error budget still unspent.",
+    labelnames=("slo",),
+)
+_M_EVENTS = _REG.counter(
+    "repro_slo_events_total", "SLO events recorded, by outcome.",
+    labelnames=("slo", "outcome"),
+)
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One declarative objective over query outcomes.
+
+    ``kind="availability"`` counts an event good when the query
+    succeeded; ``kind="latency"`` additionally requires its latency at
+    or under ``threshold`` seconds.  ``objective`` is the target good
+    fraction (e.g. ``0.99``).
+    """
+
+    name: str
+    kind: str = "availability"
+    objective: float = 0.99
+    threshold: Optional[float] = None  # seconds; latency SLOs only
+
+    def __post_init__(self):
+        if self.kind not in ("availability", "latency"):
+            raise ReproError(f"unknown SLO kind {self.kind!r}")
+        if not 0.0 < self.objective < 1.0:
+            raise ReproError("objective must be a fraction in (0, 1)")
+        if self.kind == "latency" and (self.threshold is None or self.threshold <= 0):
+            raise ReproError("latency SLOs need a positive threshold")
+
+    def good(self, ok: bool, latency: Optional[float]) -> bool:
+        if not ok:
+            return False
+        if self.kind == "latency":
+            return latency is not None and latency <= self.threshold
+        return True
+
+
+def _window_label(seconds: float) -> str:
+    return f"{int(seconds)}s" if float(seconds).is_integer() else f"{seconds}s"
+
+
+class SLOMonitor:
+    """Sliding-window burn-rate tracking over declared SLOs."""
+
+    def __init__(self, slos: Sequence[SLO], windows: Sequence[float] = (60.0, 300.0),
+                 clock=None):
+        if not slos:
+            raise ReproError("SLOMonitor needs at least one SLO")
+        names = [s.name for s in slos]
+        if len(set(names)) != len(names):
+            raise ReproError(f"duplicate SLO names: {names}")
+        if not windows or any(w <= 0 for w in windows):
+            raise ReproError("windows must be positive seconds")
+        self.slos = {s.name: s for s in slos}
+        self.windows = tuple(sorted(windows))
+        self._clock = clock
+        #: per-SLO event log: (timestamp, good) — trimmed to the longest window.
+        self._events: dict[str, deque] = {name: deque() for name in self.slos}
+
+    def _now(self, now: Optional[float]) -> float:
+        if now is not None:
+            return now
+        if self._clock is not None:
+            return self._clock.now()
+        return time.monotonic()
+
+    # -- event intake --------------------------------------------------------
+    def record(self, ok: bool = True, latency: Optional[float] = None,
+               now: Optional[float] = None) -> None:
+        """Record one logical query's outcome against every SLO."""
+        t = self._now(now)
+        horizon = t - self.windows[-1]
+        for name, slo in self.slos.items():
+            good = slo.good(ok, latency)
+            events = self._events[name]
+            events.append((t, good))
+            while events and events[0][0] < horizon:
+                events.popleft()
+            _M_EVENTS.inc(slo=name, outcome="good" if good else "bad")
+        self._publish(t)
+
+    # -- read side -----------------------------------------------------------
+    def burn_rate(self, name: str, window: float,
+                  now: Optional[float] = None) -> float:
+        """Burn rate for one SLO over the trailing ``window`` seconds."""
+        slo = self.slos.get(name)
+        if slo is None:
+            raise ReproError(f"unknown SLO {name!r}; know {sorted(self.slos)}")
+        t = self._now(now)
+        total = bad = 0
+        for ts, good in self._events[name]:
+            if ts >= t - window:
+                total += 1
+                bad += not good
+        if total == 0:
+            return 0.0
+        return (bad / total) / (1.0 - slo.objective)
+
+    def budget_remaining(self, name: str, now: Optional[float] = None) -> float:
+        """Unspent error-budget fraction over the longest window (can go <0)."""
+        return 1.0 - self.burn_rate(name, self.windows[-1], now=now)
+
+    def alerting(self, name: str, burn_threshold: float = 1.0,
+                 now: Optional[float] = None) -> bool:
+        """True when *every* window burns above ``burn_threshold``.
+
+        Requiring all windows is the standard multi-window guard: the
+        short window proves the problem is happening *now*, the long
+        window proves it is not just one unlucky query.
+        """
+        return all(
+            self.burn_rate(name, w, now=now) > burn_threshold
+            for w in self.windows
+        )
+
+    def snapshot(self, now: Optional[float] = None) -> dict:
+        """All burn rates + budgets, for stats() surfaces and drills."""
+        t = self._now(now)
+        return {
+            name: {
+                "objective": slo.objective,
+                "kind": slo.kind,
+                "burn": {
+                    _window_label(w): self.burn_rate(name, w, now=t)
+                    for w in self.windows
+                },
+                "budget_remaining": self.budget_remaining(name, now=t),
+                "alerting": self.alerting(name, now=t),
+            }
+            for name, slo in self.slos.items()
+        }
+
+    def _publish(self, t: float) -> None:
+        for name in self.slos:
+            for window in self.windows:
+                _M_BURN.set(
+                    self.burn_rate(name, window, now=t),
+                    slo=name, window=_window_label(window),
+                )
+            _M_BUDGET.set(self.budget_remaining(name, now=t), slo=name)
+
+
+__all__ = ["SLO", "SLOMonitor"]

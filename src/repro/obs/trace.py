@@ -29,12 +29,13 @@ no-op and records nothing.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import os
 import threading
 import time
 from collections import deque
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from repro.obs import gate
 
@@ -140,6 +141,29 @@ class Span:
         return f"<Span {self.name} [{self.trace_id}] {ms} {self.status}>"
 
 
+def span_from_dict(data: dict) -> Span:
+    """Rebuild a :class:`Span` tree from its :meth:`Span.to_dict` form.
+
+    The inverse direction of the relay wire format: a dispatcher turns a
+    process worker's (or a remote SP's) serialized spans back into live
+    objects it can graft under a local parent.  Timing fields are copied
+    verbatim — a reconstructed span is a record, not a running timer.
+    """
+    span = Span(
+        str(data["name"]), str(data["trace_id"]), str(data["span_id"]),
+        data.get("parent_id"),
+    )
+    span.start_unix = float(data.get("start_unix") or 0.0)
+    duration = data.get("duration_ms")
+    span.duration_ms = float(duration) if duration is not None else None
+    span.status = str(data.get("status", "ok"))
+    span.error = data.get("error")
+    span.attributes = dict(data.get("attributes") or {})
+    span.events = [dict(e) for e in data.get("events") or []]
+    span.children = [span_from_dict(c) for c in data.get("children") or []]
+    return span
+
+
 class _NoopSpan:
     """Shared do-nothing span: what :func:`span` yields when disabled."""
 
@@ -188,7 +212,11 @@ class Tracer:
         self._local = threading.local()
         self._finished: deque[Span] = deque(maxlen=max_traces)
         self._lock = threading.Lock()
-        self._ids = itertools.count(1)
+        # Start the span-id counter at a random 32-bit offset so ids from
+        # different processes (pool workers, a remote SP) virtually never
+        # collide — the relay dedups grafted spans by span id.
+        self._ids = itertools.count(int.from_bytes(os.urandom(4), "big") or 1)
+        self._listeners: list[Callable[[Span], None]] = []
 
     def _stack(self) -> list[Span]:
         stack = getattr(self._local, "stack", None)
@@ -229,6 +257,48 @@ class Tracer:
         if span.parent_id is None:
             with self._lock:
                 self._finished.append(span)
+                listeners = list(self._listeners)
+            for listener in listeners:
+                # Listener bugs must never break the workload being traced.
+                try:
+                    listener(span)
+                except Exception:
+                    pass
+
+    # -- export hooks --------------------------------------------------------
+    def add_listener(self, listener: Callable[[Span], None]) -> None:
+        """Call ``listener(root_span)`` whenever a root span finishes.
+
+        This is the exporter hook: :class:`~repro.obs.relay.SpanRelay`
+        registers itself here so finished server/worker traces become
+        scrapeable by trace id.  Registration is idempotent by identity.
+        """
+        with self._lock:
+            if listener not in self._listeners:
+                self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[Span], None]) -> None:
+        with self._lock:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+    @contextlib.contextmanager
+    def detached(self):
+        """Run a block with an empty span stack on this thread.
+
+        Simulates a process/network boundary inside one process: spans
+        opened in the block root their own traces (adopting a propagated
+        trace id if one is passed) instead of nesting under the caller's
+        active span.  ``LoopbackTransport(detach=True)`` uses this so an
+        in-process server exercises the same relay path a remote one
+        would.
+        """
+        stack = getattr(self._local, "stack", None)
+        self._local.stack = []
+        try:
+            yield
+        finally:
+            self._local.stack = stack if stack is not None else []
 
     # -- read side -----------------------------------------------------------
     def current_span(self) -> Optional[Span]:

@@ -48,6 +48,8 @@ from typing import Callable, Iterable, Optional, Sequence, TypeVar
 from repro.errors import ProcessWorkerError, ReproError
 from repro.obs import gate as _gate
 from repro.obs import metrics as _metrics
+from repro.obs import relay as _relay
+from repro.obs import trace as _trace
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -126,6 +128,12 @@ def _annotate(exc: BaseException, index: int) -> BaseException:
     re-raise the original object, process workers re-raise the unpickled
     copy — either way the caller sees ``exc.parallel_map_index`` and the
     Python >= 3.11 exception note.
+
+    When a span is active, the failure is additionally recorded as a
+    ``worker_exception`` event on it — carrying the worker-side
+    traceback when one crossed the pipe — and the dead job's relayed
+    span (if any) is grafted in, so a failed relax job is findable by
+    trace id, not just by ``parallel_map_index``.
     """
     if getattr(exc, "parallel_map_index", None) is None:
         try:
@@ -134,6 +142,17 @@ def _annotate(exc: BaseException, index: int) -> BaseException:
             pass  # __slots__-only exception: the note still lands below
         if hasattr(exc, "add_note"):
             exc.add_note(f"parallel_map: raised while processing item #{index}")
+    if _gate.enabled():
+        current = _trace.current_span()
+        if current is not None:
+            fields = {"index": index, "error": f"{type(exc).__name__}: {exc}"}
+            worker_tb = getattr(exc, "worker_traceback", None)
+            if worker_tb:
+                fields["traceback"] = worker_tb
+            current.add_event("worker_exception", **fields)
+            worker_span = getattr(exc, "worker_span", None)
+            if worker_span is not None:
+                _relay.attach_worker_span(current, worker_span)
     return exc
 
 
@@ -146,24 +165,101 @@ def _call_observed(fn: Callable[[T], R], item: T, submitted: float) -> R:
         _M_EXEC.observe(time.perf_counter() - start)
 
 
-def _process_call(fn: Callable[[T], R], item: T) -> R:
+class _RelayedResult:
+    """A process worker's answer plus its observability freight.
+
+    ``span`` is the worker-side root span in ``to_dict`` form (None when
+    the worker ran unobserved) and ``counters`` the worker's counter
+    increments for the job (:func:`repro.obs.metrics.counters_delta`
+    shape).  The dispatcher unwraps the value, grafts the span under its
+    active span, and merges the counters — so results are identical to
+    the unobserved path while the trace crosses the pipe.
+    """
+
+    __slots__ = ("value", "span", "counters")
+
+    def __init__(self, value, span, counters):
+        self.value = value
+        self.span = span
+        self.counters = counters
+
+    def __getstate__(self):
+        return (self.value, self.span, self.counters)
+
+    def __setstate__(self, state):
+        self.value, self.span, self.counters = state
+
+
+def _transportable(exc: Exception) -> Exception:
+    """``exc`` if it survives pickling, else a ProcessWorkerError proxy."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return ProcessWorkerError(
+            f"unpicklable worker exception {type(exc).__name__}: {exc}\n"
+            + traceback.format_exc()
+        )
+
+
+def _process_call(fn: Callable[[T], R], item: T,
+                  trace_id=None, observed: bool = False):
     """Worker-side wrapper: keep failures transportable across the pipe.
 
     An exception whose type or state cannot be pickled would otherwise
     surface in the parent as an opaque pool plumbing error; re-raise it
     as a :class:`ProcessWorkerError` carrying the formatted traceback.
+
+    With ``observed=True`` (the dispatcher saw the obs gate on), the job
+    runs inside a ``parallel.worker`` root span adopting the propagated
+    ``trace_id``, and the result ships back as a :class:`_RelayedResult`
+    carrying the finished span plus the worker's counter deltas.  On
+    failure the span and worker traceback ride on the exception itself
+    (``worker_span`` / ``worker_traceback`` attributes — preserved by
+    exception pickling), so the dispatcher can graft the dead job into
+    the query's trace.
     """
-    try:
-        return fn(item)
-    except Exception as exc:
+    if not observed:
         try:
-            pickle.loads(pickle.dumps(exc))
-        except Exception:
-            raise ProcessWorkerError(
-                f"unpicklable worker exception {type(exc).__name__}: {exc}\n"
-                + traceback.format_exc()
-            ) from None
-        raise
+            return fn(item)
+        except Exception as exc:
+            proxy = _transportable(exc)
+            if proxy is exc:
+                raise
+            raise proxy from None
+    if not _gate.enabled():
+        # Dispatcher and worker disagree on the gate (env drift): still
+        # wrap, so the dispatcher's unwrap path stays uniform.
+        try:
+            return _RelayedResult(fn(item), None, None)
+        except Exception as exc:
+            proxy = _transportable(exc)
+            if proxy is exc:
+                raise
+            raise proxy from None
+    before = _metrics.registry().counters_snapshot()
+    ctx = _trace.tracer().start_span(
+        "parallel.worker", trace_id=trace_id,
+        job=getattr(fn, "__qualname__", repr(fn)), pid=os.getpid(),
+    )
+    wspan = ctx.__enter__()
+    try:
+        value = fn(item)
+    except Exception as exc:
+        ctx.__exit__(type(exc), exc, exc.__traceback__)
+        worker_tb = traceback.format_exc()
+        proxy = _transportable(exc)
+        try:
+            proxy.worker_span = wspan.to_dict()
+            proxy.worker_traceback = worker_tb
+        except AttributeError:
+            pass  # __slots__-only exception: the event still carries the class
+        if proxy is exc:
+            raise
+        raise proxy from None
+    ctx.__exit__(None, None, None)
+    delta = _metrics.counters_delta(before, _metrics.registry().counters_snapshot())
+    return _RelayedResult(value, wspan.to_dict(), delta or None)
 
 
 # ----------------------------------------------------------------------
@@ -368,8 +464,15 @@ def _process_map(
         return []
     pool: Executor = process_pool(workers, initializer, initargs)
     start = time.perf_counter()
+    trace_id = _trace.current_trace_id() if observed else None
     try:
-        futures = [pool.submit(_process_call, fn, item) for item in items]
+        if observed:
+            futures = [
+                pool.submit(_process_call, fn, item, trace_id, True)
+                for item in items
+            ]
+        else:
+            futures = [pool.submit(_process_call, fn, item) for item in items]
         results = _collect(futures, timeout)
     except ReproError:
         raise
@@ -389,7 +492,30 @@ def _process_map(
         per_job = elapsed / len(items)
         for _ in items:
             _M_EXEC.observe(per_job)
+        results = _unwrap_relayed(results)
     return results
+
+
+def _unwrap_relayed(results: list) -> list:
+    """Unpack :class:`_RelayedResult` freight from an observed batch.
+
+    Worker spans graft as children of the dispatcher's active span
+    (``engine.materialize`` for relax batches), and worker counter
+    deltas merge into the local registry — the same convention
+    ``GroupOpStats`` merging established in :mod:`repro.core.engine`.
+    """
+    parent = _trace.current_span()
+    out = []
+    for result in results:
+        if not isinstance(result, _RelayedResult):
+            out.append(result)
+            continue
+        if result.span is not None:
+            _relay.attach_worker_span(parent, result.span)
+        if result.counters:
+            _metrics.registry().merge_counters(result.counters)
+        out.append(result.value)
+    return out
 
 
 # ----------------------------------------------------------------------

@@ -5,10 +5,12 @@ import pytest
 from repro.errors import ReproError
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    SUMMARY_QUANTILES,
     MetricsRegistry,
     bucket_counts_monotonic,
     escape_label_value,
     parse_exposition,
+    quantile_summaries,
     render_prometheus,
 )
 
@@ -201,3 +203,67 @@ def test_parse_exposition_lints_malformed_text():
         parse_exposition('0bad{x="y"} 1\n')
     # The well-formed case parses.
     assert parse_exposition("ok_total 2\n") == {"ok_total": 2.0}
+
+# -- fixed-bucket quantile estimation ------------------------------------------
+
+def test_quantile_interpolates_within_buckets(reg):
+    hist = reg.histogram("t_latency_seconds", buckets=(1.0, 2.0, 4.0))
+    for value in (0.5, 1.5, 3.0, 3.5):
+        hist.observe(value)
+    # Cumulative counts: le=1 -> 1, le=2 -> 2, le=4 -> 4.
+    assert hist.quantiles()["p50"] == pytest.approx(2.0)
+    # target rank 3.5 lands 75% through the (2.0, 4.0] bucket.
+    assert hist.quantiles(qs=(0.875,))["p87"] == pytest.approx(3.5)
+    assert hist.quantiles(qs=(0.25, 1.0)) == {
+        "p25": pytest.approx(1.0), "p100": pytest.approx(4.0),
+    }
+
+
+def test_quantile_clamps_above_largest_finite_bucket(reg):
+    hist = reg.histogram("t_latency_seconds", buckets=(1.0, 2.0, 4.0))
+    hist.observe(100.0)
+    # The estimator can only answer within the configured range.
+    assert hist.quantiles(qs=(0.5, 0.99)) == {"p50": 4.0, "p99": 4.0}
+
+
+def test_quantile_empty_and_out_of_range(reg):
+    hist = reg.histogram("t_latency_seconds")
+    assert hist.quantiles() is None  # no labelset sample yet
+    hist.observe(0.01)
+    with pytest.raises(ReproError, match="quantile must be in"):
+        hist.quantiles(qs=(1.5,))
+    with pytest.raises(ReproError, match="quantile must be in"):
+        hist.quantiles(qs=(-0.1,))
+
+
+def test_quantiles_respect_labelsets_and_kind(reg):
+    hist = reg.histogram("t_latency_seconds", labelnames=("op",),
+                         buckets=(1.0, 2.0))
+    hist.observe(0.5, op="read")
+    # One sample: rank 0.5 interpolates halfway into the [0, 1] bucket.
+    assert hist.quantiles(op="read")["p50"] == pytest.approx(0.5)
+    assert hist.quantiles(op="write") is None
+    counter = reg.counter("t_calls_total")
+    counter.inc()
+    with pytest.raises(ReproError, match="not a histogram"):
+        counter.quantiles()
+
+
+def test_quantile_summaries_key_format_and_fields(reg):
+    hist = reg.histogram("t_latency_seconds", labelnames=("op",),
+                         buckets=(1.0, 2.0))
+    hist.observe(0.5, op="read")
+    hist.observe(1.5, op="read")
+    reg.histogram("t_other_seconds").observe(0.5)
+    reg.counter("t_calls_total").inc()  # never summarized
+
+    out = quantile_summaries(reg)
+    assert set(out) == {"t_latency_seconds|read", "t_other_seconds"}
+    summary = out["t_latency_seconds|read"]
+    assert set(summary) == {"p50", "p95", "p99", "count", "sum"}
+    assert summary["count"] == 2 and summary["sum"] == pytest.approx(2.0)
+    assert summary["p50"] == pytest.approx(1.0)
+
+    filtered = quantile_summaries(reg, prefix="t_other")
+    assert set(filtered) == {"t_other_seconds"}
+    assert SUMMARY_QUANTILES == (0.5, 0.95, 0.99)

@@ -1,0 +1,208 @@
+"""Span relay: bounded storage, wire form, and exact-match trace grafts."""
+
+import pytest
+
+from repro import obs
+from repro.errors import DeserializationError
+from repro.obs.relay import (
+    RELAY_ORIGIN_ATTR,
+    REQUEST_SUFFIX_ATTR,
+    SpanRelay,
+    assemble_trace,
+    attach_worker_span,
+    decode_spans,
+    encode_spans,
+)
+
+
+def make_span_dict(name, trace_id, span_id, suffix=None, start=100.0,
+                   duration_ms=5.0, attributes=None, children=()):
+    attrs = dict(attributes or {})
+    if suffix is not None:
+        attrs[REQUEST_SUFFIX_ATTR] = suffix
+    return {
+        "name": name,
+        "trace_id": trace_id,
+        "span_id": span_id,
+        "parent_id": None,
+        "start_unix": start,
+        "duration_ms": duration_ms,
+        "status": "ok",
+        "attributes": attrs,
+        "children": list(children),
+    }
+
+
+# -- the bounded store ---------------------------------------------------------
+
+def test_relay_stores_and_serves_by_trace_id():
+    relay = SpanRelay()
+    relay.export(make_span_dict("server.handle_frame", "aa" * 8, "1"))
+    relay.export(make_span_dict("server.handle_frame", "aa" * 8, "2"))
+    relay.export(make_span_dict("server.handle_frame", "bb" * 8, "3"))
+    assert len(relay) == 3
+    assert [s["span_id"] for s in relay.get("aa" * 8)] == ["1", "2"]
+    assert relay.get("unknown" * 2) == []
+    assert set(relay.trace_ids()) == {"aa" * 8, "bb" * 8}
+
+
+def test_relay_accepts_live_spans_via_listener():
+    relay = SpanRelay().install()
+    with obs.span("outer.query") as outer:
+        trace_id = outer.trace_id
+    stored = relay.get(trace_id)
+    assert [s["name"] for s in stored] == ["outer.query"]
+    obs.tracer().remove_listener(relay.export)
+
+
+def test_relay_bounds_spans_per_trace_and_evicts_traces_lru():
+    relay = SpanRelay(max_traces=2, max_spans_per_trace=2)
+    for i in range(3):  # third span for the trace is dropped
+        relay.export(make_span_dict("s", "aa" * 8, str(i)))
+    assert len(relay.get("aa" * 8)) == 2
+    relay.export(make_span_dict("s", "bb" * 8, "x"))
+    relay.export(make_span_dict("s", "cc" * 8, "y"))  # evicts aa (oldest)
+    assert relay.get("aa" * 8) == []
+    assert relay.get("bb" * 8) and relay.get("cc" * 8)
+
+
+def test_relay_is_inert_when_gate_off():
+    relay = SpanRelay()
+    obs.set_enabled(False)
+    try:
+        relay.export(make_span_dict("s", "aa" * 8, "1"))
+    finally:
+        obs.set_enabled(True)
+    assert len(relay) == 0
+
+
+def test_relay_ignores_spans_without_trace_id():
+    relay = SpanRelay()
+    span = make_span_dict("s", "aa" * 8, "1")
+    span["trace_id"] = None
+    relay.export(span)
+    assert len(relay) == 0
+
+
+# -- wire form -----------------------------------------------------------------
+
+def test_encode_decode_round_trip():
+    spans = [make_span_dict("a", "aa" * 8, "1", suffix="beef")]
+    assert decode_spans(encode_spans(spans)) == spans
+
+
+@pytest.mark.parametrize("payload", [b"\xff\xfe", b"{}", b'["not a dict"]'])
+def test_decode_rejects_malformed_payloads(payload):
+    with pytest.raises(DeserializationError):
+        decode_spans(payload)
+
+
+# -- trace assembly ------------------------------------------------------------
+
+def local_tree(trace_id="aa" * 8):
+    """client.query -> client.attempt(request_suffix=beef)."""
+    attempt = make_span_dict("client.attempt", trace_id, "L2", suffix="beef",
+                             start=100.0, duration_ms=50.0)
+    return make_span_dict("client.query", trace_id, "L1", start=100.0,
+                          duration_ms=60.0, children=[attempt])
+
+
+def test_assemble_grafts_remote_under_matching_suffix():
+    remote = make_span_dict("server.handle_frame", "aa" * 8, "R1",
+                            suffix="beef", start=101.0)
+    tree = assemble_trace(local_tree(), [remote], origin="sp0")
+    attempt = tree["children"][0]
+    grafted = attempt["children"][0]
+    assert grafted["span_id"] == "R1"
+    assert grafted["attributes"][RELAY_ORIGIN_ATTR] == "sp0"
+
+
+def test_assemble_keeps_collector_origin_over_default():
+    remote = make_span_dict(
+        "server.handle_frame", "aa" * 8, "R1", suffix="beef",
+        attributes={RELAY_ORIGIN_ATTR: "shard1/r0"},
+    )
+    tree = assemble_trace(local_tree(), [remote], origin="generic")
+    grafted = tree["children"][0]["children"][0]
+    assert grafted["attributes"][RELAY_ORIGIN_ATTR] == "shard1/r0"
+
+
+def test_assemble_falls_back_to_wall_clock_containment():
+    remote = make_span_dict("server.handle_frame", "aa" * 8, "R1",
+                            suffix="cafe", start=100.02)  # no local match
+    tree = assemble_trace(local_tree(), [remote])
+    # 100.02 lies inside the attempt's 50ms [100.0, 100.05] window.
+    assert tree["children"][0]["children"][0]["span_id"] == "R1"
+
+
+def test_assemble_unmatched_lands_at_root_tagged():
+    remote = make_span_dict("server.handle_frame", "aa" * 8, "R1",
+                            suffix="cafe", start=999.0)
+    tree = assemble_trace(local_tree(), [remote], origin="sp2")
+    grafted = tree["children"][-1]
+    assert grafted["span_id"] == "R1"
+    assert grafted["attributes"][RELAY_ORIGIN_ATTR] == "unmatched:sp2"
+
+
+def test_assemble_skips_spans_already_in_tree_and_dedups():
+    tree_before = local_tree()
+    duplicate_local = make_span_dict("client.attempt", "aa" * 8, "L2")
+    remote = make_span_dict("server.handle_frame", "aa" * 8, "R1", suffix="beef")
+    tree = assemble_trace(tree_before, [duplicate_local, remote, dict(remote)])
+    attempt = tree["children"][0]
+    assert [c["span_id"] for c in attempt["children"]] == ["R1"]
+    assert len(tree["children"]) == 1
+
+
+def test_assemble_indexes_grafts_for_nested_relays():
+    # A worker span whose suffix matches an attribute on the *grafted*
+    # server span must land under the server span, not at the root.
+    server = make_span_dict("server.handle_frame", "aa" * 8, "R1",
+                            suffix="beef", start=101.0)
+    worker = make_span_dict("parallel.worker", "aa" * 8, "R2", suffix="f00d",
+                            start=102.0)
+    server["attributes"][REQUEST_SUFFIX_ATTR] = "beef"
+    tree = assemble_trace(local_tree(), [server, worker])
+    grafted_server = tree["children"][0]["children"][0]
+    # Worker had no suffix match but falls inside the server's window via
+    # the attempt; either parent is in the tree, never the root "unmatched".
+    all_ids = set()
+    stack = [tree]
+    while stack:
+        node = stack.pop()
+        all_ids.add(node["span_id"])
+        stack.extend(node.get("children") or ())
+    assert {"R1", "R2"} <= all_ids
+    assert grafted_server["span_id"] == "R1"
+
+
+def test_assemble_does_not_mutate_inputs():
+    tree_in = local_tree()
+    remote = make_span_dict("server.handle_frame", "aa" * 8, "R1", suffix="beef")
+    assemble_trace(tree_in, [remote])
+    assert RELAY_ORIGIN_ATTR not in remote["attributes"]
+    assert tree_in["children"][0]["children"] == []
+
+
+# -- worker graft --------------------------------------------------------------
+
+def test_attach_worker_span_grafts_live_child():
+    with obs.span("parallel.map") as parent:
+        attach_worker_span(
+            parent, make_span_dict("parallel.worker", parent.trace_id, "W1"),
+        )
+    trace = obs.tracer().last_trace()
+    worker = trace.find("parallel.worker")
+    assert worker is not None
+    assert worker.parent_id == trace.find("parallel.map").span_id
+    assert worker.attributes[RELAY_ORIGIN_ATTR] == "process"
+
+
+def test_attach_worker_span_noop_without_parent_or_gate():
+    attach_worker_span(None, make_span_dict("w", "aa" * 8, "W1"))  # no raise
+    obs.set_enabled(False)
+    try:
+        with obs.span("x") as parent:
+            attach_worker_span(parent, make_span_dict("w", "aa" * 8, "W1"))
+    finally:
+        obs.set_enabled(True)

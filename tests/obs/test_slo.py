@@ -1,0 +1,141 @@
+"""SLO declarations and multi-window error-budget burn rates."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.metrics import registry
+from repro.obs.slo import SLO, SLOMonitor
+
+
+class Tick:
+    """A settable clock the monitor reads when no ``now`` is passed."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def now(self):
+        return self.t
+
+
+# -- declarations --------------------------------------------------------------
+
+def test_slo_validation():
+    with pytest.raises(ReproError, match="unknown SLO kind"):
+        SLO("x", kind="durability")
+    with pytest.raises(ReproError, match="fraction"):
+        SLO("x", objective=1.0)
+    with pytest.raises(ReproError, match="positive threshold"):
+        SLO("x", kind="latency", objective=0.9)
+
+
+def test_monitor_validation():
+    with pytest.raises(ReproError, match="at least one"):
+        SLOMonitor([])
+    with pytest.raises(ReproError, match="duplicate"):
+        SLOMonitor([SLO("a"), SLO("a")])
+    with pytest.raises(ReproError, match="positive seconds"):
+        SLOMonitor([SLO("a")], windows=(0.0,))
+
+
+def test_goodness_rules():
+    avail = SLO("a", kind="availability", objective=0.99)
+    lat = SLO("l", kind="latency", objective=0.95, threshold=0.25)
+    assert avail.good(True, None) and not avail.good(False, 0.0)
+    assert lat.good(True, 0.25) and not lat.good(True, 0.26)
+    assert not lat.good(True, None) and not lat.good(False, 0.1)
+
+
+# -- burn-rate math ------------------------------------------------------------
+
+def test_burn_rate_is_bad_fraction_over_budget():
+    monitor = SLOMonitor([SLO("avail", objective=0.9)], windows=(10.0,))
+    for i in range(8):
+        monitor.record(ok=True, now=float(i))
+    for i in range(8, 10):
+        monitor.record(ok=False, now=float(i))
+    # 2 bad / 10 total = 0.2 error rate against a 0.1 budget -> burn 2.0.
+    assert monitor.burn_rate("avail", 10.0, now=9.0) == pytest.approx(2.0)
+    assert monitor.budget_remaining("avail", now=9.0) == pytest.approx(-1.0)
+
+
+def test_burn_rate_zero_without_events_and_unknown_slo_rejected():
+    monitor = SLOMonitor([SLO("avail")])
+    assert monitor.burn_rate("avail", 60.0, now=0.0) == 0.0
+    with pytest.raises(ReproError, match="unknown SLO"):
+        monitor.burn_rate("nope", 60.0)
+
+
+def test_events_age_out_of_windows():
+    monitor = SLOMonitor([SLO("avail", objective=0.9)], windows=(5.0, 50.0))
+    monitor.record(ok=False, now=0.0)
+    monitor.record(ok=True, now=10.0)
+    # Short window at t=10 no longer sees the failure; long window does.
+    assert monitor.burn_rate("avail", 5.0, now=10.0) == 0.0
+    assert monitor.burn_rate("avail", 50.0, now=10.0) == pytest.approx(5.0)
+    # Beyond the longest window the event log itself is trimmed.
+    monitor.record(ok=True, now=100.0)
+    assert monitor.burn_rate("avail", 50.0, now=100.0) == 0.0
+
+
+def test_multi_window_alerting_needs_every_window_burning():
+    monitor = SLOMonitor([SLO("avail", objective=0.9)], windows=(0.5, 20.0))
+    for i in range(10):
+        monitor.record(ok=True, now=float(i))
+    monitor.record(ok=False, now=10.0)
+    # Short window holds only the failure -> burn 10; the long window's
+    # 1 bad of 11 events -> burn 0.91: one unlucky query does not alert.
+    assert monitor.burn_rate("avail", 0.5, now=10.0) > 1.0
+    assert monitor.burn_rate("avail", 20.0, now=10.0) < 1.0
+    assert not monitor.alerting("avail", now=10.0)
+    for t in (10.5, 11.0, 11.5):
+        monitor.record(ok=False, now=t)
+    # Now 4 bad of 14 within 20s -> burn 2.9, and the short window still
+    # burns: a sustained problem alerts on every window at once.
+    assert monitor.alerting("avail", now=11.5)
+
+
+def test_latency_slo_burns_on_slow_successes():
+    monitor = SLOMonitor(
+        [SLO("lat", kind="latency", objective=0.5, threshold=1.0)],
+        windows=(10.0,),
+    )
+    monitor.record(ok=True, latency=0.2, now=0.0)
+    monitor.record(ok=True, latency=3.0, now=1.0)  # success, but slow
+    assert monitor.burn_rate("lat", 10.0, now=1.0) == pytest.approx(1.0)
+
+
+# -- clocks and gauges ---------------------------------------------------------
+
+def test_injected_clock_drives_default_now():
+    clock = Tick()
+    monitor = SLOMonitor([SLO("avail", objective=0.9)], windows=(5.0,),
+                         clock=clock)
+    monitor.record(ok=False)
+    assert monitor.burn_rate("avail", 5.0) == pytest.approx(10.0)
+    clock.t = 100.0  # virtual time washes the failure out
+    assert monitor.burn_rate("avail", 5.0) == 0.0
+
+
+def test_record_publishes_gauges_and_counters():
+    monitor = SLOMonitor([SLO("avail", objective=0.9)], windows=(5.0, 25.0))
+    monitor.record(ok=False, now=1.0)
+    snap = registry().snapshot()
+    assert snap["repro_slo_burn_rate|avail|5s"] == pytest.approx(10.0)
+    assert snap["repro_slo_burn_rate|avail|25s"] == pytest.approx(10.0)
+    assert snap["repro_slo_error_budget_remaining|avail"] == pytest.approx(-9.0)
+    assert snap["repro_slo_events_total|avail|bad"] == 1
+
+
+def test_snapshot_shape():
+    monitor = SLOMonitor(
+        [SLO("avail", objective=0.99),
+         SLO("lat", kind="latency", objective=0.95, threshold=0.5)],
+        windows=(5.0, 25.0),
+    )
+    monitor.record(ok=True, latency=0.1, now=0.0)
+    snap = monitor.snapshot(now=0.0)
+    assert set(snap) == {"avail", "lat"}
+    assert set(snap["avail"]["burn"]) == {"5s", "25s"}
+    assert snap["lat"]["kind"] == "latency"
+    assert snap["avail"]["alerting"] is False
+    assert snap["avail"]["budget_remaining"] == pytest.approx(1.0)
