@@ -51,8 +51,27 @@ dead shard, the stale replica is quarantined like a forger, and a set
 of adversarial-coordinator sub-drills (dropped shard VO, stale shard
 token, duplicated contribution) all die as verification-class errors.
 
+``--ingest`` swaps in the **live-ingest drill**: two table partitions ×
+two replicas each, every replica running the write-ahead
+:class:`~repro.net.ingest.ServerIngest` engine, while both partitions'
+:class:`~repro.net.ingest.UpdatePublisher` streams continuous upserts
+and zero-knowledge deletes interleaved with verified queries.  The
+schedule wedges one replica (crash *after* journal append, before
+apply), tears another's journal tail after a crash, scrambles
+(duplicates + re-delivers) the control plane, and partitions one
+replica through several epoch rotations.  Its invariants: every
+verified answer matches the ground-truth shadow table **of the epoch
+its freshness token names**; availability ≥ ``AVAILABILITY_FLOOR``; no
+answer older than ``INGEST_MAX_AGE`` epochs is ever accepted; the
+wedged replica recovers the journaled-but-unapplied frame by replay;
+the torn tail is repaired only via the explicit opt-in; duplicated
+delivery is absorbed as ``duplicate`` acks; and the partitioned replica
+catches up by replay without ever being tamper-quarantined (stale
+answers are degraded-class, not Byzantine).  The epoch/rotation
+trajectory lands in ``BENCH_ingest.json``.
+
 Run:  PYTHONPATH=src python benchmarks/chaos_soak.py [--smoke] [--sharded]
-          [--backend simulated|bn254] [--seed N] [--queries N]
+          [--ingest] [--backend simulated|bn254] [--seed N] [--queries N]
 
 ``--smoke`` is the CI entry point: small query count, < 60 s, exit
 status 1 on any invariant violation.
@@ -62,25 +81,31 @@ import argparse
 import json
 import random
 import sys
+import tempfile
 import time
 
 from repro import obs
 from repro.core.freshness import issue_shard_token
 from repro.core.messages import SPServer
+from repro.core.persistence import snapshot_tree
 from repro.core.records import Dataset, Record
 from repro.core.system import DataOwner, QueryUser, ServiceProvider
 from repro.core.verifier import PartialResult, ShardAnswer, verify_sharded
 from repro.crypto import get_backend
-from repro.errors import CompletenessError, VerificationError
+from repro.errors import CompletenessError, StaleEpochError, VerificationError
 from repro.index import Domain
 from repro.net import (
     ChaosController,
     ChaosEndpoint,
     FakeClock,
+    FreshnessGuard,
     RangeShardMap,
     ReplicatedClient,
     RetryPolicy,
+    ServerIngest,
     ShardedClient,
+    UpdatePublisher,
+    is_tamper_error,
     outsource_sharded,
     parse_schedule,
 )
@@ -740,12 +765,450 @@ def check_sharded_invariants(outcome) -> list:
     return violations
 
 
+# ---------------------------------------------------------------------------
+# Live-ingest drill: continuous updates + epoch rotation under chaos
+# ---------------------------------------------------------------------------
+
+#: Epoch-age tolerance for the ingest drill's FreshnessGuard.
+INGEST_MAX_AGE = 1
+#: Small on purpose: the drill must cross the checkpoint threshold many
+#: times, exercising snapshot + journal truncation under load.
+INGEST_JOURNAL_LIMIT = 4096
+
+#: p0r0 is wedged (crash after journal append, before apply) and must
+#: recover the frame by journal replay; p0r1 crashes and has its journal
+#: tail torn (the power-cut artifact), recovered via the explicit
+#: repair opt-in; p1r1 is partitioned through several epoch rotations
+#: and must catch up by replay — never quarantine; scramble models
+#: at-least-once delivery of the whole control plane.
+INGEST_SCHEDULE = """
+@5   scramble  *     rate=0.35   # duplicate + re-deliver UPD/ROT frames
+@10  wedge     p0r0              # next ingest frame dies post-journal
+@14  restart   p0r0              # checkpoint restore + journal replay
+@18  scramble  *     rate=0.0
+@20  partition p1r1              # replica misses >= 2 rotations
+@38  rejoin    p1r1              # catch-up replay heals the lag
+@42  crash     p0r1
+@43  torn      p0r1  bytes=4     # torn journal tail (power cut)
+@46  restart   p0r1              # explicit repair_torn_tail recovery
+"""
+
+
+def build_ingest_drill(seed: int, backend: str):
+    """Two table partitions x two ingest-enabled replicas each."""
+    rng = random.Random(seed)
+    group = get_backend(backend)
+    universe = RoleUniverse(["analyst", "manager"])
+    owner = DataOwner(group, universe, rng=rng)
+    tables = ("docs@p0", "docs@p1")
+    domain = Domain.of((0, 15))
+    policy = parse_policy("analyst or manager")
+
+    initial, publishers, snapshots = {}, {}, {}
+    for t_index, table in enumerate(tables):
+        dataset = Dataset(domain)
+        contents = {}
+        for key in range(t_index, 12, 3):
+            value = f"seed-{table}-{key}".encode()
+            dataset.add(Record((key,), value, policy))
+            contents[(key,)] = value
+        tree = owner.build_tree(dataset)
+        snapshots[table] = snapshot_tree(tree)
+        publishers[table] = UpdatePublisher(
+            owner.signer, table, tree, epoch=1,
+            rng=random.Random(seed + 31 + t_index),
+        )
+        initial[table] = contents
+    tokens = {table: publishers[table].issue_current_token() for table in tables}
+
+    creds = owner.register_user(["analyst"])
+    user = QueryUser(group, universe, creds)
+    clock = FakeClock()
+
+    endpoints = {}
+    replicas = {table: [] for table in tables}
+    for t_index, table in enumerate(tables):
+        for r_index in (0, 1):
+            name = f"p{t_index}r{r_index}"
+            replicas[table].append(name)
+            state_dir = tempfile.mkdtemp(prefix=f"chaos-ingest-{name}-")
+
+            def factory(table=table):
+                provider = ServiceProvider.from_snapshots(
+                    group, universe, owner.mvk, owner.cpabe_public,
+                    {table: snapshots[table]},
+                )
+                provider.set_freshness_token(table, tokens[table])
+                return SPServer(provider, rng=random.Random(seed + 17))
+
+            def ingest_factory(provider, state_dir=state_dir):
+                return ServerIngest(
+                    provider, state_dir,
+                    journal_limit=INGEST_JOURNAL_LIMIT, fsync=False,
+                )
+
+            endpoints[name] = ChaosEndpoint(
+                name, factory, group,
+                rng=random.Random(seed + 7 + t_index * 2 + r_index),
+                clock=clock, ingest_factory=ingest_factory,
+                repair_torn_tail=True,
+            )
+            publishers[table].attach(name, endpoints[name])
+
+    guards = {
+        table: FreshnessGuard(
+            user, table,
+            (lambda table=table: publishers[table].epoch),
+            max_age=INGEST_MAX_AGE,
+        )
+        for table in tables
+    }
+    clients = {
+        table: ReplicatedClient(
+            guards[table],
+            {name: endpoints[name] for name in replicas[table]},
+            policy=RetryPolicy(max_attempts=8, base_delay=0.02, deadline=30.0),
+            clock=clock,
+            rng=random.Random(seed + 100 + t_index),
+            quarantine_window=10_000.0,
+            failure_threshold=3,
+            reset_timeout=8.0,
+        )
+        for t_index, table in enumerate(tables)
+    }
+    return {
+        "tables": tables,
+        "publishers": publishers,
+        "guards": guards,
+        "clients": clients,
+        "endpoints": endpoints,
+        "clock": clock,
+        "initial": initial,
+        "user": user,
+        "creds": creds,
+    }
+
+
+def run_ingest_drill(seed: int, backend: str, steps: int, verbose: bool):
+    ctx = build_ingest_drill(seed, backend)
+    tables = ctx["tables"]
+    publishers, guards = ctx["publishers"], ctx["guards"]
+    clients, endpoints, clock = ctx["clients"], ctx["endpoints"], ctx["clock"]
+    controller = ChaosController(
+        parse_schedule(INGEST_SCHEDULE), endpoints, clock=clock,
+    )
+    monitor = build_slo_monitor(clock)
+    duration = 60.0
+    step_dt = duration / steps
+    rotate_every = max(2, steps // 10)
+    mutate_rng = random.Random(seed + 55)
+    probe_rng = random.Random(seed + 56)
+
+    # Ground truth: the live shadow table per partition, snapshotted at
+    # every rotation — a verified answer must match the snapshot *of the
+    # epoch its freshness token names*, not merely some recent state.
+    live = {table: dict(ctx["initial"][table]) for table in tables}
+    epoch_shadows = {table: {1: dict(ctx["initial"][table])} for table in tables}
+
+    issued = verified = 0
+    wrong, failures, ages = [], [], []
+    updates = {"upsert": 0, "delete": 0}
+    rotations = []
+    stale_probe = None
+    saw_partition = False
+
+    def probe_rejoined_replica():
+        # Straight after rejoin (before the next catch-up push) the
+        # replica still serves its pre-partition epoch.  Probe it
+        # directly: the genuinely-signed-but-old answer must classify
+        # stale (degraded), never tamper (Byzantine).
+        table = tables[1]
+        provider = endpoints["p1r1"].server.server.provider
+        response = provider.range_query(
+            table, (0,), (15,), ctx["creds"].roles,
+            rng=probe_rng, encrypt=False,
+        )
+        try:
+            guards[table].verify(response)
+        except StaleEpochError as exc:
+            return {"raised": True, "tamper_class": is_tamper_error(exc)}
+        except Exception as exc:  # noqa: BLE001 - recorded verbatim
+            return {"raised": False, "unexpected": type(exc).__name__}
+        return {"raised": False}
+
+    for i in range(steps):
+        for event in controller.tick():
+            if verbose:
+                print(f"  [t={clock.now():5.1f}] chaos: {event.action} "
+                      f"{event.target} {dict(event.params)}")
+
+        # Events also fire mid-query (retry sleeps advance the clock and
+        # ChaosEndpoint ticks the controller per exchange), so detect the
+        # partition/rejoin transition by observing endpoint state rather
+        # than by catching the event.  The probe runs before this step's
+        # mutation, i.e. before any catch-up push could heal the lag.
+        if endpoints["p1r1"].partitioned:
+            saw_partition = True
+        elif saw_partition and stale_probe is None:
+            stale_probe = probe_rejoined_replica()
+
+        # -- continuous ingest: one mutation per step, alternating table
+        table = tables[i % 2]
+        publisher = publishers[table]
+        real_keys = sorted(live[table])
+        if i % 5 == 4 and real_keys:
+            key = real_keys[mutate_rng.randrange(len(real_keys))]
+            publisher.delete(key)  # zero-knowledge delete
+            live[table].pop(key)
+            updates["delete"] += 1
+        else:
+            key = (mutate_rng.randrange(16),)
+            value = f"v{publisher.seq + 1}@{i}".encode()
+            publisher.upsert(Record(key, value,
+                                    parse_policy("analyst or manager")))
+            live[table][key] = value
+            updates["upsert"] += 1
+
+        # -- epoch rotation: both partitions, every rotate_every steps
+        if (i + 1) % rotate_every == 0:
+            for rotated in tables:
+                publishers[rotated].rotate()
+                epoch = publishers[rotated].epoch
+                epoch_shadows[rotated][epoch] = dict(live[rotated])
+                rotations.append(
+                    {"t": round(clock.now(), 1), "table": rotated,
+                     "epoch": epoch, "seq": publishers[rotated].seq}
+                )
+
+        # -- a concurrent verified query against the *other* partition
+        qtable = tables[(i + 1) % 2]
+        issued += 1
+        query_t0 = clock.now()
+        ok = False
+        try:
+            records = clients[qtable].query_range(
+                qtable, (0,), (15,), encrypt=False
+            )
+        except Exception as exc:  # noqa: BLE001 - tallied, then asserted on
+            failures.append((i, round(clock.now(), 1), type(exc).__name__))
+        else:
+            ok = True
+            answer_epoch = guards[qtable].last_epoch
+            ages.append(publishers[qtable].epoch - answer_epoch)
+            expected = epoch_shadows[qtable].get(answer_epoch)
+            got = sorted((tuple(r.key), r.value) for r in records)
+            if expected is None or got != sorted(expected.items()):
+                wrong.append((i, qtable, answer_epoch))
+            else:
+                verified += 1
+        if monitor is not None:
+            monitor.record(ok=ok, latency=clock.now() - query_t0)
+        clock.advance(step_dt)
+
+    # Flush trailing events, then close the books: one final rotation and
+    # push per partition proves every replica — including the one that
+    # sat out several epochs — converges to lag 0 by catch-up replay.
+    clock.advance(duration)
+    controller.tick()
+    if stale_probe is None and not endpoints["p1r1"].partitioned:
+        stale_probe = probe_rejoined_replica()
+    final_sync = {}
+    for table in tables:
+        publishers[table].rotate()
+        epoch_shadows[table][publishers[table].epoch] = dict(live[table])
+        final_sync[table] = publishers[table].push_all()
+
+    # Each endpoint's most recent cold start: restart counts come from the
+    # endpoint, replay/repair facts from the recovery the rebuild ran.
+    recoveries = [
+        {"endpoint": name, "restarts": ep.restarts,
+         **ep.server.ingest.last_recovery}
+        for name, ep in endpoints.items()
+    ]
+    return {
+        "tables": tables,
+        "publishers": publishers,
+        "clients": clients,
+        "endpoints": endpoints,
+        "issued": issued,
+        "verified": verified,
+        "wrong": wrong,
+        "failures": failures,
+        "ages": ages,
+        "updates": updates,
+        "rotations": rotations,
+        "recoveries": recoveries,
+        "stale_probe": stale_probe,
+        "final_sync": final_sync,
+        "slo": slo_outcome(monitor),
+    }
+
+
+def check_ingest_invariants(outcome) -> list:
+    violations = []
+    publishers = outcome["publishers"]
+    endpoints = outcome["endpoints"]
+
+    # 1. Soundness against the per-epoch shadow tables.
+    if outcome["wrong"]:
+        violations.append(
+            f"soundness: {len(outcome['wrong'])} verified answers differed "
+            f"from the shadow table of their epoch: {outcome['wrong'][:5]}"
+        )
+
+    # 2. Availability under ingest chaos.
+    availability = outcome["verified"] / outcome["issued"]
+    if availability < AVAILABILITY_FLOOR:
+        violations.append(
+            f"availability: {availability:.4f} < {AVAILABILITY_FLOOR} "
+            f"(failures: {outcome['failures'][:5]})"
+        )
+
+    # 3. Epoch freshness: no accepted answer older than the tolerance.
+    if outcome["ages"] and max(outcome["ages"]) > INGEST_MAX_AGE:
+        violations.append(
+            f"freshness: accepted an answer {max(outcome['ages'])} epochs "
+            f"old (tolerance {INGEST_MAX_AGE})"
+        )
+
+    # 4. The wedged replica (p0r0) restarted and recovered its
+    #    journaled-but-unapplied frame by replay.
+    recovery = {r["endpoint"]: r for r in outcome["recoveries"]}
+    if recovery["p0r0"]["restarts"] < 1 or recovery["p0r0"]["replayed"] < 1:
+        violations.append(
+            f"journal replay: p0r0 cold start replayed nothing "
+            f"({recovery['p0r0']})"
+        )
+
+    # 5. The torn tail on p0r1 was repaired via the explicit opt-in.
+    if (recovery["p0r1"]["restarts"] < 1
+            or recovery["p0r1"]["repaired_offset"] is None):
+        violations.append(
+            f"torn tail: p0r1 recovery never repaired a torn journal "
+            f"({recovery['p0r1']})"
+        )
+
+    # 6. At-least-once delivery was exercised and absorbed idempotently.
+    scrambled = sum(ep.scrambled_deliveries for ep in endpoints.values())
+    duplicates = sum(ep.server.ingest.duplicates for ep in endpoints.values())
+    if scrambled == 0:
+        violations.append("scramble: no duplicated/re-delivered ingest frames")
+    elif duplicates == 0:
+        violations.append(
+            f"idempotence: {scrambled} scrambled deliveries produced zero "
+            f"duplicate acks"
+        )
+
+    # 7. The partitioned replica caught up by replay, and was never
+    #    tamper-quarantined — stale answers are degraded, not Byzantine.
+    for table, publisher in publishers.items():
+        behind = {name: publisher.lag(name) for name in publisher.endpoints
+                  if publisher.lag(name)}
+        if behind:
+            violations.append(
+                f"catch-up: {table} replicas still behind after final "
+                f"push: {behind}"
+            )
+    p1_states = outcome["clients"][outcome["tables"][1]].endpoints
+    tamper_evictions = dict(p1_states["p1r1"].evictions).get("tamper", 0)
+    if tamper_evictions:
+        violations.append(
+            f"quarantine: partitioned replica p1r1 was tamper-evicted "
+            f"{tamper_evictions}x (stale must degrade, not quarantine)"
+        )
+    probe = outcome["stale_probe"]
+    if not probe or not probe.get("raised"):
+        violations.append(
+            f"stale classification: rejoined replica's old-epoch answer did "
+            f"not raise StaleEpochError (probe: {probe})"
+        )
+    elif probe.get("tamper_class"):
+        violations.append(
+            "stale classification: StaleEpochError classified as tamper"
+        )
+
+    # 8. The checkpoint path (snapshot + journal truncation) actually ran.
+    checkpoints = sum(ep.server.ingest.checkpoints for ep in endpoints.values())
+    if checkpoints == 0:
+        violations.append("checkpoint: no ingest checkpoint was ever taken")
+    return violations
+
+
+def main_ingest(args) -> int:
+    wall_start = time.perf_counter()
+    outcome = run_ingest_drill(
+        args.seed, args.backend, args.queries, args.verbose
+    )
+    violations = check_ingest_invariants(outcome)
+    if args.scrape_lint:
+        violations.extend(scrape_lint(outcome["endpoints"]))
+    wall = time.perf_counter() - wall_start
+
+    publishers = outcome["publishers"]
+    endpoints = outcome["endpoints"]
+    summary = {
+        "drill": "ingest",
+        "backend": args.backend,
+        "seed": args.seed,
+        "issued": outcome["issued"],
+        "verified": outcome["verified"],
+        "availability": round(outcome["verified"] / outcome["issued"], 4),
+        "updates": outcome["updates"],
+        "rotations": len(outcome["rotations"]),
+        "final_epochs": {t: p.epoch for t, p in publishers.items()},
+        "max_answer_age": max(outcome["ages"]) if outcome["ages"] else None,
+        "pushes": {t: p.stats.pushes for t, p in publishers.items()},
+        "push_failures": {
+            t: p.stats.push_failures for t, p in publishers.items()
+        },
+        "rewinds": {t: p.stats.rewinds for t, p in publishers.items()},
+        "scrambled_deliveries": {
+            name: ep.scrambled_deliveries for name, ep in endpoints.items()
+        },
+        "duplicate_acks": {
+            name: ep.server.ingest.duplicates for name, ep in endpoints.items()
+        },
+        "checkpoints": {
+            name: ep.server.ingest.checkpoints
+            for name, ep in endpoints.items()
+        },
+        "recoveries": outcome["recoveries"],
+        "stale_probe": outcome["stale_probe"],
+        "stale_epoch_failovers": {
+            t: c.counters.wire.stale_epochs
+            for t, c in outcome["clients"].items()
+        },
+        "slo": outcome["slo"] and outcome["slo"]["snapshot"],
+        "wall_seconds": round(wall, 2),
+    }
+    print(json.dumps(summary, indent=2))
+    with open("BENCH_ingest.json", "w") as fp:
+        json.dump(
+            {"summary": summary, "trajectory": outcome["rotations"]},
+            fp, indent=2,
+        )
+
+    if violations:
+        for violation in violations:
+            print(f"INVARIANT VIOLATED: {violation}", file=sys.stderr)
+        return 1
+    print(f"ingest chaos soak OK: {outcome['verified']}/{outcome['issued']} "
+          f"verified against per-epoch shadow tables under wedge + torn tail "
+          f"+ scramble + partition-through-rotations ({args.backend}, "
+          f"{wall:.1f}s)")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="small deterministic CI run (<60s)")
     parser.add_argument("--sharded", action="store_true",
                         help="run the 3-shard x 2-replica scatter-gather drill")
+    parser.add_argument("--ingest", action="store_true",
+                        help="run the live-ingest drill: continuous updates, "
+                             "epoch rotation, and journal recovery under "
+                             "wedge/torn/scramble/partition chaos")
     parser.add_argument("--backend", default="simulated",
                         choices=("simulated", "bn254"))
     parser.add_argument("--seed", type=int, default=20260806)
@@ -763,6 +1226,11 @@ def main(argv=None) -> int:
             # is a third of the single-table drill's.
             args.queries = (12 if args.backend == "bn254" else 60) \
                 if args.smoke else 300
+        elif args.ingest:
+            # Every step is a signed update + a verified query, so the
+            # bn254 budget matches the sharded drill's.
+            args.queries = (24 if args.backend == "bn254" else 120) \
+                if args.smoke else 600
         elif args.smoke:
             args.queries = 24 if args.backend == "bn254" else 120
         else:
@@ -770,6 +1238,8 @@ def main(argv=None) -> int:
 
     if args.sharded:
         return main_sharded(args)
+    if args.ingest:
+        return main_ingest(args)
 
     wall_start = time.perf_counter()
     outcome = run_drill(args.seed, args.backend, args.queries, args.verbose)

@@ -42,7 +42,12 @@ from repro.abs.keys import AbsVerificationKey
 from repro.abs.scheme import AbsScheme, AbsSignature
 from repro.core.app_signature import AppSigner
 from repro.crypto.hashing import hash_bytes
-from repro.errors import DeserializationError, ReproError, VerificationError
+from repro.errors import (
+    DeserializationError,
+    ReproError,
+    StaleEpochError,
+    VerificationError,
+)
 from repro.index.boxes import Box, Point, boxes_cover_exactly
 from repro.policy.boolexpr import or_of_attrs
 from repro.policy.roles import RoleUniverse
@@ -114,7 +119,9 @@ def verify_token(
 
     * the ABS signature is invalid (token forged);
     * the token names a different tree (cross-table replay);
-    * ``now_epoch - token.epoch > max_age`` (stale snapshot);
+    * ``now_epoch - token.epoch > max_age`` (stale snapshot) — raised as
+      the :class:`~repro.errors.StaleEpochError` subclass, since a
+      too-old-but-genuine token is lagging-replica evidence, not forgery;
     * the token is from the future beyond tolerance (clock abuse).
     """
     if expected_tree_id is not None and token.tree_id != expected_tree_id:
@@ -123,7 +130,7 @@ def verify_token(
         )
     age = now_epoch - token.epoch
     if age > max_age:
-        raise VerificationError(
+        raise StaleEpochError(
             f"freshness token is {age} epochs old (tolerance {max_age})"
         )
     if age < -max_age:

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 from repro.abe.cpabe import CpAbeCiphertext
 from repro.abe.hybrid import HybridEnvelope
+from repro.core.persistence import NodeReplacement
 from repro.core.system import QueryResponse, ServiceProvider
 from repro.core.vo import VerificationObject, _Reader, _encode_bytes, _encode_point
 from repro.crypto.group import G1, G2, GT, BilinearGroup
@@ -39,7 +40,19 @@ _REQ_MAGIC = b"QRY\x01"
 _RESP_MAGIC = b"RSP\x01"
 _ERR_MAGIC = b"ERR\x01"
 
+#: Payload magic of a DO→SP signed-node-replacement push (live ingest).
+UPDATE_MAGIC = b"UPD\x01"
+#: Payload magic of a DO→SP epoch-rotation commit.
+ROTATE_MAGIC = b"ROT\x01"
+#: Payload magic of the SP's ingest acknowledgement (for both of the above).
+INGEST_ACK_MAGIC = b"UPA\x01"
+
 _KINDS = ("equality", "range", "join")
+_UPDATE_KINDS = ("upsert", "delete")
+#: Ingest ack statuses: applied (seq accepted), duplicate (seq already
+#: folded in — idempotent re-delivery), gap (seq skips ahead; the DO must
+#: replay from ``applied_seq + 1``).
+INGEST_STATUSES = ("applied", "duplicate", "gap")
 
 
 @contextmanager
@@ -118,6 +131,157 @@ class QueryRequest:
                 right_table=right,
                 encrypt=encrypt,
             )
+
+
+# ---------------------------------------------------------------------------
+# Live-ingest frames: UPD (signed node replacements) / ROT (epoch rotation)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class UpdateFrame:
+    """One replicated update: the signed node path an upsert/delete changed.
+
+    ``seq`` is the table's monotonic update sequence number (rotations
+    occupy slots in the same sequence), the idempotency key under
+    duplicate or reordered delivery.  ``replacements`` are ordered
+    root→leaf, the order the SP grafts them.
+    """
+
+    table: str
+    seq: int
+    kind: str  # "upsert" | "delete"
+    epoch: int
+    replacements: tuple[NodeReplacement, ...]
+
+    def to_bytes(self) -> bytes:
+        if self.kind not in _UPDATE_KINDS:
+            raise WorkloadError(f"unknown update kind {self.kind!r}")
+        out = bytearray(UPDATE_MAGIC)
+        out += _encode_bytes(self.table.encode())
+        out += int(self.seq).to_bytes(8, "big")
+        out += bytes([_UPDATE_KINDS.index(self.kind)])
+        out += int(self.epoch).to_bytes(8, "big")
+        out += len(self.replacements).to_bytes(2, "big")
+        for replacement in self.replacements:
+            out += replacement.to_bytes()
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, group: BilinearGroup, data: bytes) -> "UpdateFrame":
+        if data[:4] != UPDATE_MAGIC:
+            raise DeserializationError("not an update frame")
+        with _strict_decode("update frame"):
+            reader = _Reader(data)
+            reader.take(4)
+            table = reader.take_bytes().decode()
+            seq = int.from_bytes(reader.take(8), "big")
+            kind_idx = reader.take(1)[0]
+            if kind_idx >= len(_UPDATE_KINDS):
+                raise DeserializationError(f"unknown update kind tag {kind_idx}")
+            epoch = int.from_bytes(reader.take(8), "big")
+            count = int.from_bytes(reader.take(2), "big")
+            replacements = tuple(
+                NodeReplacement.read_from(reader, group) for _ in range(count)
+            )
+            if not replacements:
+                raise DeserializationError("update frame carries no replacements")
+            if not reader.exhausted:
+                raise DeserializationError("trailing bytes in update frame")
+            return cls(
+                table=table, seq=seq, kind=_UPDATE_KINDS[kind_idx],
+                epoch=epoch, replacements=replacements,
+            )
+
+
+@dataclass(frozen=True)
+class RotateFrame:
+    """The epoch-rotation commit: epoch number + the DO-signed token.
+
+    Receiving this frame is the SP's single commit point: the staged
+    updates (everything up to ``seq - 1`` in this epoch) and the new
+    freshness token become visible to queries *together*.
+    """
+
+    table: str
+    seq: int
+    epoch: int
+    token_bytes: bytes  # serialized FreshnessToken
+
+    def to_bytes(self) -> bytes:
+        out = bytearray(ROTATE_MAGIC)
+        out += _encode_bytes(self.table.encode())
+        out += int(self.seq).to_bytes(8, "big")
+        out += int(self.epoch).to_bytes(8, "big")
+        out += _encode_bytes(self.token_bytes)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "RotateFrame":
+        if data[:4] != ROTATE_MAGIC:
+            raise DeserializationError("not a rotate frame")
+        with _strict_decode("rotate frame"):
+            reader = _Reader(data)
+            reader.take(4)
+            table = reader.take_bytes().decode()
+            seq = int.from_bytes(reader.take(8), "big")
+            epoch = int.from_bytes(reader.take(8), "big")
+            token_bytes = reader.take_bytes()
+            if not reader.exhausted:
+                raise DeserializationError("trailing bytes in rotate frame")
+            return cls(table=table, seq=seq, epoch=epoch, token_bytes=token_bytes)
+
+
+@dataclass(frozen=True)
+class IngestAck:
+    """The SP's answer to an UPD/ROT push: what its watermark now is.
+
+    ``status`` is one of :data:`INGEST_STATUSES`; ``applied_seq`` is the
+    SP's highest contiguously applied sequence number, which doubles as
+    the replay cursor when the status is ``gap``.
+    """
+
+    table: str
+    status: str
+    applied_seq: int
+    epoch: int
+    message: str = ""
+
+    def to_bytes(self) -> bytes:
+        if self.status not in INGEST_STATUSES:
+            raise WorkloadError(f"unknown ingest ack status {self.status!r}")
+        out = bytearray(INGEST_ACK_MAGIC)
+        out += _encode_bytes(self.table.encode())
+        out += bytes([INGEST_STATUSES.index(self.status)])
+        out += int(self.applied_seq).to_bytes(8, "big")
+        out += int(self.epoch).to_bytes(8, "big")
+        out += _encode_bytes(self.message.encode())
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "IngestAck":
+        if data[:4] != INGEST_ACK_MAGIC:
+            raise DeserializationError("not an ingest ack")
+        with _strict_decode("ingest ack"):
+            reader = _Reader(data)
+            reader.take(4)
+            table = reader.take_bytes().decode()
+            status_idx = reader.take(1)[0]
+            if status_idx >= len(INGEST_STATUSES):
+                raise DeserializationError(f"unknown ingest status tag {status_idx}")
+            applied_seq = int.from_bytes(reader.take(8), "big")
+            epoch = int.from_bytes(reader.take(8), "big")
+            message = reader.take_bytes().decode()
+            if not reader.exhausted:
+                raise DeserializationError("trailing bytes in ingest ack")
+            return cls(
+                table=table, status=INGEST_STATUSES[status_idx],
+                applied_seq=applied_seq, epoch=epoch, message=message,
+            )
+
+
+def is_ingest_frame(data: bytes) -> bool:
+    """True for the DO→SP control-plane payloads (UPD / ROT)."""
+    return data[:4] in (UPDATE_MAGIC, ROTATE_MAGIC)
 
 
 # ---------------------------------------------------------------------------

@@ -24,7 +24,8 @@ from __future__ import annotations
 
 import os
 import zlib
-from typing import BinaryIO, Union
+from dataclasses import dataclass
+from typing import BinaryIO, Optional, Union
 
 from repro.abs.scheme import AbsSignature
 from repro.core.records import Record
@@ -199,21 +200,48 @@ def restore_snapshot(group: BilinearGroup, data: bytes) -> APGTree:
     return deserialize_tree(group, payload)
 
 
-def write_snapshot(tree: APGTree, path: Union[str, "os.PathLike[str]"]) -> int:
-    """Atomically persist a snapshot; returns the byte count written.
+def _fsync_directory(path: str) -> None:
+    """fsync the directory holding ``path`` so a rename survives power loss.
 
-    The blob goes to ``<path>.tmp`` first, is flushed and fsynced, and is
-    then renamed over ``path`` — a crash mid-write leaves either the old
-    snapshot or a stray temp file, never a torn ``path``.
+    POSIX only promises the renamed entry is durable once the *directory*
+    is synced; fsyncing the file alone leaves the rename in the page
+    cache.  Best-effort on platforms whose directories cannot be opened
+    for reading.
     """
-    blob = snapshot_tree(tree)
-    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX directory semantics
+        return
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+def _atomic_write(path: str, blob: bytes) -> None:
+    """tmp → flush → fsync file → rename → fsync directory."""
     tmp_path = path + ".tmp"
     with open(tmp_path, "wb") as fp:
         fp.write(blob)
         fp.flush()
         os.fsync(fp.fileno())
     os.replace(tmp_path, path)
+    _fsync_directory(path)
+
+
+def write_snapshot(tree: APGTree, path: Union[str, "os.PathLike[str]"]) -> int:
+    """Atomically persist a snapshot; returns the byte count written.
+
+    The blob goes to ``<path>.tmp`` first, is flushed and fsynced, and is
+    then renamed over ``path`` — a crash mid-write leaves either the old
+    snapshot or a stray temp file, never a torn ``path``.  The parent
+    directory is fsynced after the rename so the *rename itself* is
+    durable, not just the temp file's contents.
+    """
+    blob = snapshot_tree(tree)
+    path = os.fspath(path)
+    _atomic_write(path, blob)
     return len(blob)
 
 
@@ -221,6 +249,371 @@ def read_snapshot(group: BilinearGroup, path: Union[str, "os.PathLike[str]"]) ->
     """Cold-start path: read and validate a snapshot file."""
     with open(os.fspath(path), "rb") as fp:
         return restore_snapshot(group, fp.read())
+
+
+# ---------------------------------------------------------------------------
+# Signed node replacements (the unit of DO→SP update replication)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class NodeReplacement:
+    """One node's new signed content, identified by its (immutable) box.
+
+    An update to a full-grid AP2G-tree never restructures the tree — it
+    replaces the content of the touched leaf plus the ancestors whose
+    aggregated policy changed.  A replacement therefore carries only the
+    node's *identity* (its box, unique within a tree) and its new signed
+    content; the receiving SP grafts it onto its copy of the tree.
+    """
+
+    box: Box
+    policy: object  # BoolExpr
+    signature: AbsSignature
+    record: Optional[Record] = None  # leaves only
+
+    def to_bytes(self) -> bytes:
+        out = bytearray()
+        out += _encode_point(self.box.lo)
+        out += _encode_point(self.box.hi)
+        out += _encode_bytes(self.policy.to_string().encode())
+        out += _encode_bytes(self.signature.to_bytes())
+        if self.record is not None:
+            out += b"\x01"
+            out += _encode_point(self.record.key)
+            out += _encode_bytes(self.record.value)
+            out += _encode_bytes(self.record.policy.to_string().encode())
+            out += b"\x01" if self.record.is_pseudo else b"\x00"
+        else:
+            out += b"\x00"
+        return bytes(out)
+
+    @classmethod
+    def read_from(cls, reader: _Reader, group: BilinearGroup) -> "NodeReplacement":
+        lo = reader.take_point()
+        hi = reader.take_point()
+        policy = parse_policy(reader.take_bytes().decode())
+        signature = AbsSignature.from_bytes(group, reader.take_bytes())
+        record = None
+        if reader.take(1) == b"\x01":
+            key = reader.take_point()
+            value = reader.take_bytes()
+            rec_policy = parse_policy(reader.take_bytes().decode())
+            is_pseudo = reader.take(1) == b"\x01"
+            record = Record(key=key, value=value, policy=rec_policy, is_pseudo=is_pseudo)
+        return cls(box=Box(lo, hi), policy=policy, signature=signature, record=record)
+
+
+def replacement_from_node(node: IndexNode) -> NodeReplacement:
+    """Capture a (just re-signed) tree node as a shippable replacement."""
+    return NodeReplacement(
+        box=node.box, policy=node.policy, signature=node.signature,
+        record=node.record,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Write-ahead update journal (SP-side crash consistency for live ingest)
+# ---------------------------------------------------------------------------
+
+_JOURNAL_MAGIC = b"APUJ"
+JOURNAL_VERSION = 1
+_JOURNAL_HEADER_BYTES = len(_JOURNAL_MAGIC) + 1
+_ENTRY_MAGIC = b"JE"
+_ENTRY_HEADER_BYTES = len(_ENTRY_MAGIC) + 4  # magic + payload length
+_ENTRY_FOOTER_BYTES = 4  # CRC32 of the payload
+
+
+def journal_entries(data: bytes) -> list[bytes]:
+    """Strictly parse a journal image into its entry payloads.
+
+    Every corruption a crashed or bit-rotted disk can exhibit is
+    rejected with an offset-precise
+    :class:`~repro.errors.DeserializationError`: bad file magic (offset
+    0), unsupported version (offset 4), a torn entry header or payload
+    (the exact offset where bytes ran out), an entry whose CRC32 does
+    not match (stored vs computed over the exact byte span), and entry
+    magic mismatch (a write that landed mid-file).  There is *no* silent
+    tail-truncation here — recovery that wants to drop a torn tail must
+    opt in via :func:`scan_journal`.
+    """
+    entries, torn = scan_journal(data)
+    if torn is not None:
+        raise DeserializationError(
+            f"torn journal tail at offset {torn}: the final entry is "
+            f"incomplete ({len(data) - torn} byte(s) present)"
+        )
+    return entries
+
+
+def scan_journal(data: bytes) -> tuple[list[bytes], Optional[int]]:
+    """Parse a journal image, tolerating (only) a cleanly torn tail.
+
+    Returns ``(entries, torn_offset)`` where ``torn_offset`` is ``None``
+    for a clean journal, or the byte offset of an incomplete final entry
+    (the crash-mid-append artifact: the file simply ends inside an entry).
+    Everything else — bad magic, bad version, a mid-file CRC mismatch,
+    garbage where an entry header should be — still raises
+    :class:`~repro.errors.DeserializationError`: those are corruption,
+    not a torn append, and must never be "repaired" into a silently
+    shortened replay.
+    """
+    if len(data) < _JOURNAL_HEADER_BYTES:
+        # A clean prefix of a valid header is the crash-mid-creation (or
+        # crash-mid-checkpoint-truncate) artifact: torn at offset 0, with
+        # zero replayable entries.  Anything else that short is corruption.
+        header = _JOURNAL_MAGIC + bytes([JOURNAL_VERSION])
+        if data == header[: len(data)]:
+            return [], 0
+        raise DeserializationError(
+            f"torn journal header: {len(data)} bytes, need "
+            f"{_JOURNAL_HEADER_BYTES}, and the bytes present do not match "
+            f"a journal header prefix"
+        )
+    if data[: len(_JOURNAL_MAGIC)] != _JOURNAL_MAGIC:
+        raise DeserializationError(
+            f"bad journal magic at offset 0: {data[:4]!r} != {_JOURNAL_MAGIC!r}"
+        )
+    version = data[len(_JOURNAL_MAGIC)]
+    if version != JOURNAL_VERSION:
+        raise DeserializationError(
+            f"unsupported journal version {version} at offset "
+            f"{len(_JOURNAL_MAGIC)} (this build reads version {JOURNAL_VERSION})"
+        )
+    entries: list[bytes] = []
+    offset = _JOURNAL_HEADER_BYTES
+    while offset < len(data):
+        remaining = len(data) - offset
+        if remaining < _ENTRY_HEADER_BYTES:
+            # Torn mid-header — but only if what *is* there matches the
+            # entry magic prefix; a flipped byte is corruption, not a tear.
+            avail = data[offset : offset + len(_ENTRY_MAGIC)]
+            if avail != _ENTRY_MAGIC[: len(avail)]:
+                raise DeserializationError(
+                    f"bad journal entry magic at offset {offset}: "
+                    f"{avail!r} is not a prefix of {_ENTRY_MAGIC!r}"
+                )
+            return entries, offset  # torn mid-header
+        if data[offset : offset + len(_ENTRY_MAGIC)] != _ENTRY_MAGIC:
+            raise DeserializationError(
+                f"bad journal entry magic at offset {offset}: "
+                f"{data[offset:offset + len(_ENTRY_MAGIC)]!r} != {_ENTRY_MAGIC!r}"
+            )
+        length = int.from_bytes(
+            data[offset + len(_ENTRY_MAGIC) : offset + _ENTRY_HEADER_BYTES], "big"
+        )
+        end = offset + _ENTRY_HEADER_BYTES + length + _ENTRY_FOOTER_BYTES
+        if end > len(data):
+            return entries, offset  # torn mid-payload or mid-CRC
+        payload = data[offset + _ENTRY_HEADER_BYTES : end - _ENTRY_FOOTER_BYTES]
+        stored_crc = int.from_bytes(data[end - _ENTRY_FOOTER_BYTES : end], "big")
+        computed_crc = zlib.crc32(payload)
+        if stored_crc != computed_crc:
+            raise DeserializationError(
+                f"journal entry checksum mismatch over payload bytes "
+                f"{offset + _ENTRY_HEADER_BYTES}..{end - _ENTRY_FOOTER_BYTES}: "
+                f"stored CRC32 0x{stored_crc:08x}, computed 0x{computed_crc:08x}"
+            )
+        entries.append(payload)
+        offset = end
+    return entries, None
+
+
+class UpdateJournal:
+    """A CRC-framed, fsync'd append-only journal of opaque update payloads.
+
+    The SP's write-ahead log for live ingest: every update frame is
+    appended (and fsynced) *before* it is applied to the in-memory tree,
+    so a crash at any instant loses at most work that was never
+    acknowledged.  On cold start the journal is replayed atop the last
+    checkpoint; sequence numbers inside the payloads make the replay
+    idempotent.
+
+    Layout::
+
+        APUJ <version:1>                                  file header
+        ( JE <len:4> <payload:len> <crc32(payload):4> )*  entries
+
+    ``fsync=False`` exists for tests and drills that run thousands of
+    appends on a virtual clock; production paths keep the default.
+    """
+
+    def __init__(self, path: Union[str, "os.PathLike[str]"], fsync: bool = True):
+        self.path = os.fspath(path)
+        self.fsync = fsync
+        self.appended = 0
+        fresh = not os.path.exists(self.path)
+        self._fp = open(self.path, "ab")
+        if fresh or os.path.getsize(self.path) == 0:
+            self._fp.write(_JOURNAL_MAGIC + bytes([JOURNAL_VERSION]))
+            self._flush()
+            _fsync_directory(self.path)
+
+    def _flush(self) -> None:
+        self._fp.flush()
+        if self.fsync:
+            os.fsync(self._fp.fileno())
+
+    @property
+    def size(self) -> int:
+        """Current journal size in bytes (header included)."""
+        self._fp.flush()
+        return os.path.getsize(self.path)
+
+    def append(self, payload: bytes) -> int:
+        """Durably append one entry; returns its byte offset in the file."""
+        offset = self.size
+        entry = (
+            _ENTRY_MAGIC
+            + len(payload).to_bytes(4, "big")
+            + payload
+            + zlib.crc32(payload).to_bytes(4, "big")
+        )
+        self._fp.write(entry)
+        self._flush()
+        self.appended += 1
+        return offset
+
+    def entries(self) -> list[bytes]:
+        """Strictly read back every entry (no torn-tail tolerance)."""
+        self._fp.flush()
+        with open(self.path, "rb") as fp:
+            return journal_entries(fp.read())
+
+    def recover_entries(self, repair_torn_tail: bool = False) -> tuple[list[bytes], Optional[int]]:
+        """Read entries for replay; optionally truncate a cleanly torn tail.
+
+        With ``repair_torn_tail=False`` this is :meth:`entries` (any torn
+        tail raises).  With ``True``, a cleanly torn final entry — the
+        expected artifact of a crash mid-append — is truncated away and
+        its offset returned so the caller can log/count the repair.
+        Mid-file corruption still raises either way.
+        """
+        self._fp.flush()
+        with open(self.path, "rb") as fp:
+            data = fp.read()
+        entries, torn = scan_journal(data)
+        if torn is None:
+            return entries, None
+        if not repair_torn_tail:
+            raise DeserializationError(
+                f"torn journal tail at offset {torn}: the final entry is "
+                f"incomplete ({len(data) - torn} byte(s) present)"
+            )
+        self._fp.truncate(torn)
+        if torn < _JOURNAL_HEADER_BYTES:
+            # The tear reached into the file header (crash during journal
+            # creation or checkpoint truncation): rewrite it so the next
+            # append lands in a well-formed journal.
+            self._fp.truncate(0)
+            self._fp.write(_JOURNAL_MAGIC + bytes([JOURNAL_VERSION]))
+        self._flush()
+        return entries, torn
+
+    def truncate(self) -> None:
+        """Checkpoint step: drop every entry (header is rewritten)."""
+        self._fp.truncate(0)
+        self._fp.write(_JOURNAL_MAGIC + bytes([JOURNAL_VERSION]))
+        self._flush()
+
+    def close(self) -> None:
+        self._fp.close()
+
+
+# ---------------------------------------------------------------------------
+# Ingest checkpoints: snapshot + applied seq + epoch + freshness token
+# ---------------------------------------------------------------------------
+
+_STATE_MAGIC = b"APIS"
+INGEST_STATE_VERSION = 1
+
+
+def snapshot_ingest_state(
+    tree: APGTree, applied_seq: int, epoch: int, token_bytes: bytes
+) -> bytes:
+    """A table's full ingest checkpoint: tree + replication watermark.
+
+    The watermark (``applied_seq``, ``epoch``, current freshness token)
+    rides in a CRC-protected meta header ahead of the ordinary snapshot
+    container, so a restored SP knows exactly which journal entries are
+    already folded in and which token it may legitimately serve.
+    """
+    meta = (
+        int(applied_seq).to_bytes(8, "big")
+        + int(epoch).to_bytes(8, "big")
+        + _encode_bytes(token_bytes)
+    )
+    header = (
+        _STATE_MAGIC + bytes([INGEST_STATE_VERSION])
+        + len(meta).to_bytes(4, "big") + meta
+        + zlib.crc32(meta).to_bytes(4, "big")
+    )
+    return header + snapshot_tree(tree)
+
+
+def restore_ingest_state(
+    group: BilinearGroup, data: bytes
+) -> tuple[APGTree, int, int, bytes]:
+    """Open an ingest checkpoint; returns (tree, applied_seq, epoch, token)."""
+    fixed = len(_STATE_MAGIC) + 1 + 4
+    if len(data) < fixed:
+        raise DeserializationError(
+            f"torn ingest state: {len(data)} bytes, header needs {fixed}"
+        )
+    if data[: len(_STATE_MAGIC)] != _STATE_MAGIC:
+        raise DeserializationError(
+            f"bad ingest state magic at offset 0: "
+            f"{data[:len(_STATE_MAGIC)]!r} != {_STATE_MAGIC!r}"
+        )
+    version = data[len(_STATE_MAGIC)]
+    if version != INGEST_STATE_VERSION:
+        raise DeserializationError(
+            f"unsupported ingest state version {version} at offset "
+            f"{len(_STATE_MAGIC)}"
+        )
+    meta_len = int.from_bytes(data[len(_STATE_MAGIC) + 1 : fixed], "big")
+    meta_end = fixed + meta_len
+    if len(data) < meta_end + 4:
+        raise DeserializationError(
+            f"torn ingest state meta: declared {meta_len} bytes at offset "
+            f"{fixed}, file ends at {len(data)}"
+        )
+    meta = data[fixed:meta_end]
+    stored_crc = int.from_bytes(data[meta_end : meta_end + 4], "big")
+    computed_crc = zlib.crc32(meta)
+    if stored_crc != computed_crc:
+        raise DeserializationError(
+            f"ingest state meta checksum mismatch over bytes {fixed}..{meta_end}: "
+            f"stored CRC32 0x{stored_crc:08x}, computed 0x{computed_crc:08x}"
+        )
+    reader = _Reader(meta)
+    applied_seq = int.from_bytes(reader.take(8), "big")
+    epoch = int.from_bytes(reader.take(8), "big")
+    token_bytes = reader.take_bytes()
+    if not reader.exhausted:
+        raise DeserializationError("trailing bytes in ingest state meta")
+    tree = restore_snapshot(group, data[meta_end + 4 :])
+    return tree, applied_seq, epoch, token_bytes
+
+
+def write_ingest_state(
+    path: Union[str, "os.PathLike[str]"],
+    tree: APGTree,
+    applied_seq: int,
+    epoch: int,
+    token_bytes: bytes,
+) -> int:
+    """Atomically persist a table's ingest checkpoint (rename + dir fsync)."""
+    blob = snapshot_ingest_state(tree, applied_seq, epoch, token_bytes)
+    _atomic_write(os.fspath(path), blob)
+    return len(blob)
+
+
+def read_ingest_state(
+    group: BilinearGroup, path: Union[str, "os.PathLike[str]"]
+) -> tuple[APGTree, int, int, bytes]:
+    """Cold-start path: read and validate an ingest checkpoint file."""
+    with open(os.fspath(path), "rb") as fp:
+        return restore_ingest_state(group, fp.read())
 
 
 # ---------------------------------------------------------------------------

@@ -16,6 +16,7 @@ See ``examples/quickstart.py`` for an end-to-end walk-through.
 from __future__ import annotations
 
 import random
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional
@@ -69,6 +70,21 @@ class UserCredentials:
     roles: frozenset[str]
     cpabe_key: CpAbeSecretKey
     mvk: AbsVerificationKey
+
+
+@dataclass(frozen=True)
+class TableView:
+    """One consistent (tree, freshness token) pair, captured atomically.
+
+    Live ingest rotates a table's tree and its freshness token at a
+    single commit point (:meth:`ServiceProvider.install_table`); a query
+    must capture *both* in one step so it can never pair epoch-N data
+    with an epoch-N+1 token (or vice versa) while a rotation lands
+    mid-query.
+    """
+
+    tree: APGTree
+    freshness: Optional["FreshnessToken"] = None
 
 
 @dataclass
@@ -230,14 +246,19 @@ class ServiceProvider:
         #: response for that table.  The SP cannot mint these (no signing
         #: key); the DO pushes a new one on each epoch rotation.
         self._freshness_tokens: Dict[str, FreshnessToken] = {}
+        #: Guards the (tree, token) pair per table: rotation swaps both
+        #: under this lock and queries capture both under it, so no query
+        #: ever observes a half-applied rotation.
+        self._table_lock = threading.Lock()
 
     # -- freshness -----------------------------------------------------------
     def set_freshness_token(self, table: str, token: Optional[FreshnessToken]) -> None:
         """Install (or clear, with ``None``) the table's current token."""
-        if token is None:
-            self._freshness_tokens.pop(table, None)
-        else:
-            self._freshness_tokens[table] = token
+        with self._table_lock:
+            if token is None:
+                self._freshness_tokens.pop(table, None)
+            else:
+                self._freshness_tokens[table] = token
 
     def freshness_token(self, table: str) -> Optional[FreshnessToken]:
         return self._freshness_tokens.get(table)
@@ -247,6 +268,32 @@ class ServiceProvider:
             return self.trees[table]
         except KeyError:
             raise WorkloadError(f"unknown table {table!r}") from None
+
+    def table_view(self, table: str) -> TableView:
+        """Atomically capture the table's current (tree, token) pair."""
+        with self._table_lock:
+            try:
+                tree = self.trees[table]
+            except KeyError:
+                raise WorkloadError(f"unknown table {table!r}") from None
+            return TableView(tree=tree, freshness=self._freshness_tokens.get(table))
+
+    def install_table(
+        self, table: str, tree: APGTree, token: Optional[FreshnessToken]
+    ) -> None:
+        """The epoch-rotation commit point: swap tree *and* token at once.
+
+        Queries already in flight finish against the :class:`TableView`
+        they captured (the old consistent pair); queries that start
+        after this call see only the new pair.  There is no intermediate
+        state in which new data pairs with an old token.
+        """
+        with self._table_lock:
+            self.trees[table] = tree
+            if token is None:
+                self._freshness_tokens.pop(table, None)
+            else:
+                self._freshness_tokens[table] = token
 
     # -- crash safety --------------------------------------------------------
     def snapshot_tables(self) -> Dict[str, bytes]:
@@ -332,9 +379,8 @@ class ServiceProvider:
         encrypt: bool,
         rng: Optional[random.Random],
         stats: Optional[EngineStats] = None,
-        table: str = "",
+        freshness: Optional[FreshnessToken] = None,
     ) -> QueryResponse:
-        freshness = self._freshness_tokens.get(table)
         if not encrypt:
             return QueryResponse(
                 kind=kind, query=query, vo=vo, stats=stats, freshness=freshness
@@ -381,7 +427,8 @@ class ServiceProvider:
         rng: Optional[random.Random] = None,
         workers: Optional[int] = None,
     ) -> QueryResponse:
-        tree = self.tree(table)
+        view = self.table_view(table)
+        tree = view.tree
         key = tree.domain.validate_point(key)
         vo, stats = self._execute(
             "equality",
@@ -389,7 +436,8 @@ class ServiceProvider:
             roles, rng, workers,
         )
         return self._respond(
-            "equality", Box(key, key), vo, roles, encrypt, rng, stats, table
+            "equality", Box(key, key), vo, roles, encrypt, rng, stats,
+            view.freshness,
         )
 
     def range_query(
@@ -403,7 +451,8 @@ class ServiceProvider:
         rng: Optional[random.Random] = None,
         workers: Optional[int] = None,
     ) -> QueryResponse:
-        tree = self.tree(table)
+        view = self.table_view(table)
+        tree = view.tree
         query = clip_query(tree, lo, hi)
         traverse = {"tree": traverse_range, "basic": traverse_range_basic}.get(method)
         if traverse is None:
@@ -413,7 +462,9 @@ class ServiceProvider:
             lambda user_roles: lambda: traverse(tree, query, user_roles, table),
             roles, rng, workers,
         )
-        return self._respond("range", query, vo, roles, encrypt, rng, stats, table)
+        return self._respond(
+            "range", query, vo, roles, encrypt, rng, stats, view.freshness
+        )
 
     def join_query(
         self,
@@ -426,8 +477,9 @@ class ServiceProvider:
         rng: Optional[random.Random] = None,
         workers: Optional[int] = None,
     ) -> QueryResponse:
-        tree_r = self.tree(left_table)
-        tree_s = self.tree(right_table)
+        left_view = self.table_view(left_table)
+        tree_r = left_view.tree
+        tree_s = self.table_view(right_table).tree
         query = clip_query(tree_r, lo, hi)
         vo, stats = self._execute(
             "join",
@@ -435,7 +487,7 @@ class ServiceProvider:
             roles, rng, workers,
         )
         return self._respond(
-            "join", query, vo, roles, encrypt, rng, stats, left_table
+            "join", query, vo, roles, encrypt, rng, stats, left_view.freshness
         )
 
 

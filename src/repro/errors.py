@@ -67,6 +67,17 @@ class SoundnessError(VerificationError):
     """A result set contains a tampered, fake, or inaccessible record."""
 
 
+class StaleEpochError(VerificationError):
+    """A response carried a genuinely-signed freshness token that is too old.
+
+    Distinct from forgery: the replica is *lagging* (it missed one or
+    more epoch rotations), not Byzantine.  Cluster clients treat this as
+    a degraded-replica condition — fail over and let the DO's update
+    stream catch the replica up — rather than a tamper quarantine (see
+    :func:`repro.net.client.is_tamper_error`).
+    """
+
+
 class CompletenessError(VerificationError):
     """A verification object does not cover the full query range."""
 

@@ -27,20 +27,42 @@ from repro.core.records import Record, make_pseudo_record
 from repro.errors import WorkloadError
 from repro.index.boxes import Point
 from repro.index.gridtree import APGTree, IndexNode, simplify_policy_union
+from repro.obs import metrics as _metrics
 from repro.policy.compiler.dnf import dnf_equal
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.app_signature import AppSigner
 
+_REG = _metrics.registry()
+_M_APPLIED = _REG.counter(
+    "repro_update_applied_total", "Dynamic updates applied to a signed tree.",
+    labelnames=("kind",),
+)
+_M_RESIGNED = _REG.histogram(
+    "repro_update_resigned_nodes",
+    "Nodes re-signed per update (the update's outsourcing bandwidth).",
+    buckets=(1, 2, 3, 4, 6, 8, 12, 16, 24, 32),
+)
+
 
 @dataclass(frozen=True)
 class UpdateReceipt:
-    """What an update changed."""
+    """What an update changed.
+
+    ``epoch`` is the epoch the update belongs to (the *post-update*
+    epoch stream the DO is accumulating toward its next rotation);
+    ``None`` when the caller keeps no epoch discipline.
+    ``resigned_path`` references the re-signed nodes leaf-first — the
+    exact signed content a replicating DO ships to its SPs (see
+    :mod:`repro.net.ingest`).
+    """
 
     key: Point
     kind: str  # "upsert" | "delete"
     resigned_nodes: int
     replaced_existing: bool
+    epoch: Optional[int] = None
+    resigned_path: tuple[IndexNode, ...] = ()
 
 
 def _path_to_leaf(tree: APGTree, key: Point) -> list[IndexNode]:
@@ -63,6 +85,7 @@ def _apply_leaf_change(
     record: Record,
     kind: str,
     rng: Optional[random.Random],
+    epoch: Optional[int],
 ) -> UpdateReceipt:
     key = tree.domain.validate_point(record.key)
     path = _path_to_leaf(tree, key)
@@ -75,7 +98,7 @@ def _apply_leaf_change(
     leaf.policy = record.policy
     leaf.signature = signer.sign_record(record, rng)
     tree.stats.signature_bytes += leaf.signature.byte_size() - old_stats_sig
-    resigned = 1
+    resigned_path = [leaf]
     # Walk back up re-signing ancestors whose aggregated policy changed.
     # Signatures bind hash(gb) under the node policy; even when the policy
     # is semantically unchanged we re-sign defensively only if it changed,
@@ -88,13 +111,17 @@ def _apply_leaf_change(
         node.policy = new_policy
         node.signature = signer.sign_node(node.box, new_policy, rng)
         tree.stats.signature_bytes += node.signature.byte_size() - old_sig
-        resigned += 1
+        resigned_path.append(node)
     if kind == "upsert" and not replaced:
         tree.stats.num_real_records += 1
     if kind == "delete" and replaced:
         tree.stats.num_real_records -= 1
+    _M_APPLIED.inc(kind=kind)
+    _M_RESIGNED.observe(len(resigned_path))
     return UpdateReceipt(
-        key=key, kind=kind, resigned_nodes=resigned, replaced_existing=replaced
+        key=key, kind=kind, resigned_nodes=len(resigned_path),
+        replaced_existing=replaced, epoch=epoch,
+        resigned_path=tuple(resigned_path),
     )
 
 
@@ -103,12 +130,13 @@ def upsert(
     signer: "AppSigner",
     record: Record,
     rng: Optional[random.Random] = None,
+    epoch: Optional[int] = None,
 ) -> UpdateReceipt:
     """Insert or replace the record at its key (DO-side)."""
     if record.is_pseudo:
         raise WorkloadError("use delete() to write pseudo records")
     signer.universe.validate_policy(record.policy)
-    return _apply_leaf_change(tree, signer, record, "upsert", rng)
+    return _apply_leaf_change(tree, signer, record, "upsert", rng, epoch)
 
 
 def delete(
@@ -116,6 +144,7 @@ def delete(
     signer: "AppSigner",
     key: Point,
     rng: Optional[random.Random] = None,
+    epoch: Optional[int] = None,
 ) -> UpdateReceipt:
     """Replace the record at ``key`` with a fresh pseudo record.
 
@@ -125,4 +154,4 @@ def delete(
     """
     seed = rng.getrandbits(256).to_bytes(32, "big") if rng is not None else None
     pseudo = make_pseudo_record(tree.domain.validate_point(key), seed)
-    return _apply_leaf_change(tree, signer, pseudo, "delete", rng)
+    return _apply_leaf_change(tree, signer, pseudo, "delete", rng, epoch)

@@ -24,6 +24,14 @@ zero-knowledge core — without ever weakening it:
   into one verifiable answer, and dropped / stale / duplicated shards
   are detected cryptographically (fail closed, or an explicit
   :class:`~repro.core.verifier.PartialResult` when opted in);
+* :mod:`repro.net.ingest` — crash-consistent live ingest:
+  :class:`UpdatePublisher` streams the DO's signed update paths to every
+  SP under monotonic sequence numbers, :class:`ServerIngest` journals
+  (write-ahead, CRC-framed, fsync'd) before applying to a staging tree
+  and makes each epoch visible through one atomic ``(tree, token)``
+  swap, and :class:`FreshnessGuard` bounds the epoch age of every
+  verified answer (:class:`~repro.errors.StaleEpochError` marks lagging
+  replicas as degraded, never Byzantine);
 * :mod:`repro.net.faults` — :class:`FaultyTransport`, seeded fault
   injection (drop/delay/duplicate/truncate/bitflip/tamper) for
   adversarial testing;
@@ -59,6 +67,13 @@ from repro.net.client import (
 )
 from repro.net.cluster import ClusterStats, Endpoint, ReplicatedClient
 from repro.net.faults import FAULT_KINDS, FaultyTransport
+from repro.net.ingest import (
+    FreshnessGuard,
+    ServerIngest,
+    SimulatedCrashError,
+    UpdatePublisher,
+    apply_replacements,
+)
 from repro.net.server import (
     PROBE_DRAINING,
     PROBE_READY,
@@ -115,6 +130,11 @@ __all__ = [
     "wire_exchange",
     "FAULT_KINDS",
     "FaultyTransport",
+    "FreshnessGuard",
+    "ServerIngest",
+    "SimulatedCrashError",
+    "UpdatePublisher",
+    "apply_replacements",
     "HashShardMap",
     "RangeShardMap",
     "ShardMap",

@@ -37,6 +37,19 @@ endpoint; ``#`` starts a comment.  Actions:
              ``epoch=`` — a lagging replica that never saw later
              updates (requires a ``token_factory``)
 ``fresh``    go back to serving the current-epoch token
+``partition`` the endpoint is unreachable but its memory state survives —
+             unlike ``crash``/``restart`` there is no cold start on the
+             way back, just a replica that missed every update and
+             rotation in between
+``rejoin``   end the partition (the DO's catch-up replay heals the lag)
+``wedge``    arm the ingest failpoint: the ``count=``-th ingest frame
+             crashes *after* its journal append, before apply — the
+             crash-mid-apply artifact journal replay must repair
+             (requires an ``ingest_factory``)
+``torn``     truncate ``bytes=`` off the update journal's tail (the torn
+             append a power cut leaves behind; pair with ``crash``)
+``scramble`` duplicate and re-deliver ingest frames at ``rate=`` — the
+             at-least-once network the sequence discipline must absorb
 ===========  ==============================================================
 
 A target may also name a **group** (see :class:`ChaosController`'s
@@ -55,20 +68,23 @@ these into the full invariant drill.
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Mapping, Optional, Sequence
 
-from repro.errors import ReproError, TransportError
+from repro.core.messages import is_ingest_frame
+from repro.errors import DeserializationError, ReproError, TransportError
 from repro.net.faults import FaultyTransport
+from repro.net.ingest import SimulatedCrashError
 from repro.net.server import ResilientSPServer
-from repro.net.transport import Clock, LoopbackTransport, Transport
+from repro.net.transport import Clock, LoopbackTransport, Transport, unframe
 from repro.obs import logging as _obslog
 from repro.obs import metrics as _metrics
 
 ACTIONS = (
     "crash", "restart", "tamper", "heal", "overload", "calm", "drain", "resume",
-    "stale", "fresh",
+    "stale", "fresh", "partition", "rejoin", "wedge", "torn", "scramble",
 )
 
 _M_EVENTS = _metrics.registry().counter(
@@ -179,6 +195,8 @@ class ChaosEndpoint(Transport):
         max_in_flight: Optional[int] = None,
         retry_after: float = 0.05,
         token_factory: Optional[Callable[[Optional[int]], Mapping]] = None,
+        ingest_factory: Optional[Callable[[object], object]] = None,
+        repair_torn_tail: bool = False,
     ):
         self.name = name
         self.factory = factory
@@ -186,9 +204,20 @@ class ChaosEndpoint(Transport):
         self.max_in_flight = max_in_flight
         self.retry_after = retry_after
         self.crashed = False
+        self.partitioned = False
         self.restarts = 0
         self.token_factory = token_factory
+        #: Builds the replica's :class:`~repro.net.ingest.ServerIngest`
+        #: from its (freshly cold-started) provider; called on every
+        #: build, followed by ``recover()`` — so a restart genuinely runs
+        #: checkpoint restore + journal replay, not just snapshot restore.
+        self.ingest_factory = ingest_factory
+        self.repair_torn_tail = repair_torn_tail
         self.token_epoch: Optional[int] = None  # None = current epoch
+        self.scramble_rate = 0.0
+        self.scrambled_deliveries = 0
+        self._last_ingest: Optional[bytes] = None
+        self._scramble_rng = random.Random(rng.getrandbits(64))
         #: Back-reference set by ChaosController so that events whose time
         #: has come apply even when the clock advanced *mid-retry* (a
         #: client sleeping through the end of an overload burst must see
@@ -210,10 +239,14 @@ class ChaosEndpoint(Transport):
         )
 
     def _build(self) -> ResilientSPServer:
-        return ResilientSPServer(
+        server = ResilientSPServer(
             self.factory(), max_in_flight=self.max_in_flight,
             retry_after=self.retry_after,
         )
+        if self.ingest_factory is not None:
+            server.ingest = self.ingest_factory(server.server.provider)
+            server.ingest.recover(repair_torn_tail=self.repair_torn_tail)
+        return server
 
     def _apply_tokens(self) -> None:
         if self.token_factory is None:
@@ -227,10 +260,47 @@ class ChaosEndpoint(Transport):
 
     def restart(self) -> None:
         """Cold-start a fresh server (snapshot restore path) and serve."""
+        old_ingest = getattr(self.server, "ingest", None)
+        if old_ingest is not None:
+            old_ingest.close()  # a real crash drops the fd; don't leak ours
         self.server = self._build()
         self._apply_tokens()
         self.crashed = False
         self.restarts += 1
+
+    def partition(self) -> None:
+        """Make the endpoint unreachable; its in-memory state survives."""
+        self.partitioned = True
+
+    def rejoin(self) -> None:
+        """End the partition without any cold start (state was never lost)."""
+        self.partitioned = False
+
+    def arm_wedge(self, count: int = 1) -> None:
+        """Crash on the ``count``-th ingest frame after its journal append."""
+        ingest = getattr(self.server, "ingest", None)
+        if ingest is None:
+            raise ReproError(
+                f"endpoint {self.name} has no ingest engine; "
+                "wedge needs an ingest_factory"
+            )
+        ingest.arm_failpoint("after_journal_append", count)
+
+    def tear_journal(self, nbytes: int) -> None:
+        """Chop ``nbytes`` off the journal tail (the power-cut artifact)."""
+        ingest = getattr(self.server, "ingest", None)
+        if ingest is None:
+            raise ReproError(
+                f"endpoint {self.name} has no ingest engine; "
+                "torn needs an ingest_factory"
+            )
+        path = ingest.journal.path
+        size = ingest.journal.size
+        os.truncate(path, max(0, size - int(nbytes)))
+
+    def set_scramble(self, rate: float) -> None:
+        """Duplicate/re-deliver ingest frames at ``rate`` (at-least-once net)."""
+        self.scramble_rate = rate
 
     def set_token_epoch(self, epoch: Optional[int]) -> None:
         """Pin served freshness tokens at ``epoch`` (``None`` = current)."""
@@ -259,7 +329,45 @@ class ChaosEndpoint(Transport):
             self.controller.tick()
         if self.crashed:
             raise TransportError(f"endpoint {self.name} is down")
-        return self._faulty.round_trip(request_frame)
+        if self.partitioned:
+            raise TransportError(f"endpoint {self.name} is partitioned")
+        try:
+            self._maybe_scramble(request_frame)
+            return self._faulty.round_trip(request_frame)
+        except SimulatedCrashError as exc:
+            # A failpoint fired mid-ingest: the "process" dies with the
+            # frame half-done (journaled, never applied/acked).  The
+            # client sees a dropped connection; recovery happens on the
+            # scheduled restart.
+            self.crash()
+            raise TransportError(
+                f"endpoint {self.name} crashed mid-ingest: {exc}"
+            ) from exc
+
+    def _maybe_scramble(self, request_frame: bytes) -> None:
+        """Model at-least-once delivery for the DO→SP control plane.
+
+        At ``scramble_rate``, the previous ingest frame is re-delivered
+        *before* the current one (reordered duplicate from the network's
+        point of view) and the current frame is delivered an extra time;
+        both bypass the tamper layer — this is sloppy delivery, not an
+        adversary.  The SP's sequence discipline must absorb all of it.
+        """
+        try:
+            _, payload = unframe(request_frame)
+        except DeserializationError:
+            return
+        if not is_ingest_frame(payload):
+            return
+        if (self.scramble_rate > 0
+                and self._scramble_rng.random() < self.scramble_rate):
+            if (self._last_ingest is not None
+                    and self._last_ingest != request_frame):
+                self.server.handle_frame(self._last_ingest)
+                self.scrambled_deliveries += 1
+            self.server.handle_frame(request_frame)
+            self.scrambled_deliveries += 1
+        self._last_ingest = request_frame
 
 
 class ChaosController:
@@ -355,6 +463,16 @@ class ChaosController:
             endpoint.set_token_epoch(int(event.params.get("epoch", 1)))
         elif event.action == "fresh":
             endpoint.set_token_epoch(None)
+        elif event.action == "partition":
+            endpoint.partition()
+        elif event.action == "rejoin":
+            endpoint.rejoin()
+        elif event.action == "wedge":
+            endpoint.arm_wedge(int(event.params.get("count", 1)))
+        elif event.action == "torn":
+            endpoint.tear_journal(int(event.params.get("bytes", 3)))
+        elif event.action == "scramble":
+            endpoint.set_scramble(event.params.get("rate", 1.0))
         else:  # pragma: no cover - ChaosEvent validates actions
             raise ReproError(f"unknown chaos action {event.action!r}")
 

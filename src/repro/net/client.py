@@ -56,6 +56,7 @@ from repro.errors import (
     DeserializationError,
     OverloadedError,
     ReproError,
+    StaleEpochError,
     TransportError,
     VerificationError,
     WorkloadError,
@@ -230,6 +231,7 @@ class ClientStats:
     overload_rejections: int = 0
     probes: int = 0
     probe_deferrals: int = 0
+    stale_epochs: int = 0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -257,6 +259,13 @@ def is_tamper_error(exc: BaseException) -> bool:
     and a transport eviction for the endpoint that produced ``exc``.
     """
     if isinstance(exc, (DeserializationError, AccessDeniedError)):
+        return False
+    if isinstance(exc, StaleEpochError):
+        # A genuinely DO-signed token that is merely old proves the
+        # replica is *lagging* (partitioned through rotations, not yet
+        # caught up), not forging: degraded/transport-class, so the
+        # cluster fails over and lets catch-up replay heal it instead of
+        # quarantining an honest endpoint.
         return False
     return isinstance(exc, TAMPER_ERRORS)
 
@@ -611,6 +620,9 @@ class ResilientClient:
         elif isinstance(exc, TransportError):
             self.counters.transport_errors += 1
             _M_ATTEMPT_ERRORS.inc(**{"class": "transport"})
+        elif isinstance(exc, StaleEpochError):
+            self.counters.stale_epochs += 1
+            _M_ATTEMPT_ERRORS.inc(**{"class": "stale-epoch"})
         else:  # VerificationError, envelope CryptoError
             self.counters.verification_failures += 1
             _M_ATTEMPT_ERRORS.inc(**{"class": "verification"})

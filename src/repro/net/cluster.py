@@ -89,6 +89,7 @@ from repro.errors import (
     DeserializationError,
     OverloadedError,
     ReproError,
+    StaleEpochError,
     TransportError,
     WorkloadError,
 )
@@ -141,6 +142,12 @@ _M_OVERLOAD_WAITS = _REG.counter(
 )
 _M_QUARANTINED = _REG.gauge(
     "repro_cluster_quarantined", "Endpoints currently quarantined.",
+)
+_M_STALE = _REG.counter(
+    "repro_cluster_stale_epochs_total",
+    "Verified-but-stale answers per endpoint (lagging replica, degraded "
+    "not quarantined).",
+    labelnames=("endpoint",),
 )
 _LOG = _obslog.get_logger("cluster")
 
@@ -558,6 +565,9 @@ class ReplicatedClient:
                 except ReproError as exc:
                     last_error = exc
                     self._count_wire_error(exc)
+                    if isinstance(exc, StaleEpochError):
+                        _M_STALE.inc(endpoint=endpoint.name)
+                        _trace.add_event("stale_epoch", endpoint=endpoint.name)
                     if is_tamper_error(exc):
                         self._quarantine(endpoint, self.clock.now())
                     else:
@@ -670,6 +680,9 @@ class ReplicatedClient:
             self._transport_failure(backup)
         except ReproError as exc:
             self._count_wire_error(exc)
+            if isinstance(exc, StaleEpochError):
+                _M_STALE.inc(endpoint=backup.name)
+                _trace.add_event("stale_epoch", endpoint=backup.name)
             if is_tamper_error(exc):
                 self._quarantine(backup, self.clock.now())
             else:
@@ -687,6 +700,10 @@ class ReplicatedClient:
             wire.overload_rejections += 1
         elif isinstance(exc, DeserializationError):
             wire.decode_failures += 1
+        elif isinstance(exc, StaleEpochError):
+            # Degraded, not Byzantine: counted separately so dashboards can
+            # tell "replica lagging behind rotations" from forged proofs.
+            wire.stale_epochs += 1
         elif is_tamper_error(exc):
             wire.verification_failures += 1
         elif isinstance(exc, TransportError):

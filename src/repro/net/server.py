@@ -44,7 +44,7 @@ from __future__ import annotations
 
 import threading
 
-from repro.core.messages import ErrorResponse, SPServer
+from repro.core.messages import ErrorResponse, SPServer, is_ingest_frame
 from repro.errors import DeserializationError, ReproError, WorkloadError
 from repro.net.transport import (
     REQUEST_ID_BYTES,
@@ -141,7 +141,7 @@ class ResilientSPServer:
     """
 
     def __init__(self, server: SPServer, max_in_flight=None,
-                 retry_after: float = 0.05):
+                 retry_after: float = 0.05, ingest=None):
         if max_in_flight is not None and max_in_flight < 1:
             raise ReproError("max_in_flight must be >= 1 (or None)")
         if retry_after < 0:
@@ -149,6 +149,10 @@ class ResilientSPServer:
         self.server = server
         self.max_in_flight = max_in_flight
         self.retry_after = retry_after
+        #: Optional live-ingest engine (:class:`repro.net.ingest.ServerIngest`);
+        #: UPD/ROT control-plane frames are routed here and bypass query
+        #: admission control — replication must land on a loaded server.
+        self.ingest = ingest
         # Hook the span relay into the tracer (idempotent): a server's
         # root spans must be scrapeable by trace id over the TRC frame.
         _relay.install_relay()
@@ -214,6 +218,32 @@ class ResilientSPServer:
         )
         return frame(request_id, error.to_bytes())
 
+    def _handle_ingest(self, payload: bytes, handle_span) -> bytes:
+        """One UPD/ROT frame through the ingest engine; returns the body."""
+        if self.ingest is None:
+            error = ErrorResponse(
+                ErrorResponse.WORKLOAD, "live ingest is not enabled on this SP"
+            )
+        else:
+            try:
+                ack = self.ingest.handle(payload)
+            except DeserializationError as exc:
+                error = ErrorResponse(ErrorResponse.BAD_REQUEST, str(exc))
+            except WorkloadError as exc:
+                error = ErrorResponse(ErrorResponse.WORKLOAD, str(exc))
+            except ReproError as exc:
+                error = ErrorResponse(ErrorResponse.INTERNAL, str(exc))
+            else:
+                self.served += 1
+                _M_FRAMES.inc(outcome="ingest")
+                handle_span.set_attributes(kind="ingest", outcome="served")
+                return ack
+        self.errors += 1
+        _M_FRAMES.inc(outcome=error.code)
+        handle_span.set_attributes(kind="ingest", outcome="error", code=error.code)
+        _LOG.warning("ingest_error_frame", code=error.code, message=error.message)
+        return error.to_bytes()
+
     # -- the frame loop ------------------------------------------------------
     def handle_frame(self, request_frame: bytes) -> bytes:
         """Process one framed request; always returns a response frame."""
@@ -271,6 +301,16 @@ class ResilientSPServer:
                 handle_span.set_attributes(kind="probe", outcome=status)
                 return frame(
                     request_id, PROBE_RESPONSE + status.encode("utf-8")
+                )
+            if is_ingest_frame(payload):
+                # DO→SP control plane.  Bypasses admission like stats and
+                # probes: replication and epoch rotation must land even on
+                # an overloaded or draining server, or every shed window
+                # would widen the replicas' staleness.  A chaos failpoint
+                # (SimulatedCrashError) is deliberately NOT contained
+                # here — it propagates like a real crash.
+                return frame(
+                    request_id, self._handle_ingest(payload, handle_span)
                 )
             shed_reason = self._admit()
             if shed_reason is not None:

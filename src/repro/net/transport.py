@@ -19,6 +19,13 @@ bytes-out; this module adds the operational layer around it:
 Faults are injected *between* client and transport by
 :class:`~repro.net.faults.FaultyTransport`.
 
+The same frame format carries the DO→SP ingest control plane: ``UPD``
+(signed node replacements) and ``ROT`` (epoch rotation) payloads from
+:mod:`repro.core.messages` ride inside ordinary request frames and are
+answered with ``UPA`` acks, so live update replication
+(:mod:`repro.net.ingest`) inherits the duplicate/replay detection the
+request id already provides.
+
 **Trace propagation.** The 16-byte request id doubles as the trace
 carrier: its first 8 bytes are the client's obs trace id
 (:mod:`repro.obs.trace`), the last 8 stay per-attempt random, so

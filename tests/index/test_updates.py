@@ -124,3 +124,43 @@ def test_many_random_updates_stay_consistent(env):
         want = sorted(v for v, r in expected.values() if r in roles)
         assert _query_all(tree, auth, roles, rng) == want
     assert tree.stats.num_real_records == len(expected)
+
+
+def test_receipt_carries_post_update_epoch(env):
+    rng, owner, tree, auth = env
+    receipt = upsert(
+        tree, owner.signer, Record((5,), b"e", parse_policy("RoleA")), rng,
+        epoch=7,
+    )
+    assert receipt.epoch == 7
+    receipt = delete(tree, owner.signer, (5,), rng, epoch=8)
+    assert receipt.epoch == 8
+    # Callers without an epoch discipline are not forced to invent one.
+    receipt = upsert(
+        tree, owner.signer, Record((6,), b"f", parse_policy("RoleA")), rng
+    )
+    assert receipt.epoch is None
+
+
+def test_update_metrics_count_kinds_and_resigned_path(env):
+    from repro import obs
+    from repro.obs.metrics import registry
+
+    rng, owner, tree, auth = env
+    previous = obs.set_enabled(True)
+    obs.reset_for_tests()
+    try:
+        r1 = upsert(
+            tree, owner.signer, Record((2,), b"m", parse_policy("RoleA")), rng
+        )
+        delete(tree, owner.signer, (2,), rng)
+        snap = registry().snapshot()
+        assert snap["repro_update_applied_total|upsert"] == 1
+        assert snap["repro_update_applied_total|delete"] == 1
+        hist = registry().histogram("repro_update_resigned_nodes")
+        state = hist.histogram_state()
+        assert state["count"] == 2
+        assert state["sum"] >= r1.resigned_nodes
+    finally:
+        obs.reset_for_tests()
+        obs.set_enabled(previous)

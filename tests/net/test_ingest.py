@@ -1,0 +1,476 @@
+"""Crash-consistent live ingest: replication, journal recovery, rotation.
+
+Covers the DO→SP update stream end to end: idempotence under duplicated
+and reordered delivery, atomic epoch visibility, crash-mid-apply replay,
+torn-tail repair, checkpoint restarts, catch-up after gaps, and the
+client-side freshness bound (stale = degraded, never Byzantine).
+"""
+
+import random
+
+import pytest
+
+from repro.core.messages import (
+    INGEST_ACK_MAGIC,
+    IngestAck,
+    RotateFrame,
+    SPServer,
+    UpdateFrame,
+)
+from repro.core.persistence import serialize_tree, snapshot_tree
+from repro.core.range_query import clip_query, range_vo
+from repro.core.records import Dataset, Record
+from repro.core.system import DataOwner, QueryUser, ServiceProvider
+from repro.core.verifier import verify_vo
+from repro.crypto import simulated
+from repro.errors import (
+    DeserializationError,
+    StaleEpochError,
+    VerificationError,
+)
+from repro.index.boxes import Domain
+from repro.net import (
+    FreshnessGuard,
+    LoopbackTransport,
+    ResilientSPServer,
+    ServerIngest,
+    SimulatedCrashError,
+    UpdatePublisher,
+    apply_replacements,
+    frame,
+    is_tamper_error,
+    unframe,
+)
+from repro.policy.boolexpr import parse_policy
+from repro.policy.roles import RoleUniverse
+
+POLICY = "analyst or manager"
+
+
+def build_env(tmp_path, group=None, journal_limit=1 << 20, fsync=False):
+    """One DO publisher replicating to one journal-backed SP."""
+    rng = random.Random(8200)
+    group = group if group is not None else simulated()
+    universe = RoleUniverse(["analyst", "manager"])
+    owner = DataOwner(group, universe, rng=rng)
+    dataset = Dataset(Domain.of((0, 15)))
+    contents = {}
+    for key in (1, 4, 9):
+        value = f"seed-{key}".encode()
+        dataset.add(Record((key,), value, parse_policy(POLICY)))
+        contents[(key,)] = value
+    tree = owner.build_tree(dataset)
+    snapshot = snapshot_tree(tree)
+
+    publisher = UpdatePublisher(
+        owner.signer, "docs", tree, epoch=1, rng=random.Random(8201)
+    )
+    token = publisher.issue_current_token()
+
+    def make_server():
+        provider = ServiceProvider.from_snapshots(
+            group, universe, owner.mvk, owner.cpabe_public, {"docs": snapshot}
+        )
+        provider.set_freshness_token("docs", token)
+        return ResilientSPServer(SPServer(provider, rng=random.Random(8202)))
+
+    server = make_server()
+    server.ingest = ServerIngest(
+        server.server.provider, tmp_path, journal_limit=journal_limit,
+        fsync=fsync,
+    )
+    publisher.attach("sp0", LoopbackTransport(server.handle_frame))
+
+    user = QueryUser(group, universe, owner.register_user(["analyst"]))
+    guard = FreshnessGuard(
+        user, "docs", lambda: publisher.epoch, max_age=1
+    )
+    return {
+        "rng": rng,
+        "group": group,
+        "owner": owner,
+        "publisher": publisher,
+        "server": server,
+        "make_server": make_server,
+        "user": user,
+        "guard": guard,
+        "contents": contents,
+    }
+
+
+def served_records(env, server=None):
+    server = server if server is not None else env["server"]
+    provider = server.server.provider
+    response = provider.range_query(
+        "docs", (0,), (15,), env["user"].roles,
+        rng=random.Random(8203), encrypt=False,
+    )
+    return response, sorted(
+        (tuple(r.key), r.value) for r in env["user"].verify(response)
+    )
+
+
+def reattach(env, server):
+    """Point the publisher's transport at a (possibly rebuilt) server."""
+    env["server"] = server
+    env["publisher"].endpoints["sp0"] = LoopbackTransport(server.handle_frame)
+
+
+# ---------------------------------------------------------------------------
+# Replication + atomic rotation
+# ---------------------------------------------------------------------------
+
+def test_updates_invisible_until_rotation_then_all_visible(tmp_path):
+    env = build_env(tmp_path)
+    pub = env["publisher"]
+    pub.upsert(Record((2,), b"new", parse_policy(POLICY)))
+    pub.delete((9,))
+    assert pub.lag("sp0") == 0  # replicated synchronously
+
+    # Pre-rotation: the SP serves the old epoch, byte-for-byte.
+    _, records = served_records(env)
+    assert records == sorted((k, v) for k, v in env["contents"].items())
+
+    pub.rotate()
+    _, records = served_records(env)
+    expected = dict(env["contents"])
+    expected[(2,)] = b"new"
+    del expected[(9,)]
+    assert records == sorted(expected.items())
+
+    # The served epoch advanced with the tree — one atomic swap.
+    response, _ = served_records(env)
+    assert response.freshness.epoch == pub.epoch == 2
+    assert env["guard"].verify(response)
+
+
+def test_rotation_swaps_tree_and_token_together(tmp_path):
+    env = build_env(tmp_path)
+    pub = env["publisher"]
+    pub.upsert(Record((7,), b"draft", parse_policy(POLICY)))
+    # Mid-epoch the SP must not serve the new tree under the old token,
+    # nor a new token over the old tree: both stay at epoch 1.
+    response, records = served_records(env)
+    assert response.freshness.epoch == 1
+    assert ((7,), b"draft") not in records
+    pub.rotate()
+    response, records = served_records(env)
+    assert response.freshness.epoch == 2
+    assert ((7,), b"draft") in records
+
+
+def test_served_tree_bytes_match_publisher_tree_after_rotation(tmp_path):
+    env = build_env(tmp_path)
+    pub = env["publisher"]
+    pub.upsert(Record((3,), b"a", parse_policy(POLICY)))
+    pub.upsert(Record((3,), b"b", parse_policy("manager")))
+    pub.delete((1,))
+    pub.rotate()
+    sp_tree = env["server"].server.provider.tree("docs")
+    assert serialize_tree(sp_tree) == serialize_tree(pub.tree)
+
+
+# ---------------------------------------------------------------------------
+# Sequence discipline: duplicates, reordering, gaps
+# ---------------------------------------------------------------------------
+
+def test_duplicate_and_reordered_delivery_is_idempotent(tmp_path):
+    env = build_env(tmp_path)
+    pub = env["publisher"]
+    ingest = env["server"].ingest
+    pub.upsert(Record((5,), b"v1", parse_policy(POLICY)))
+    pub.upsert(Record((6,), b"v2", parse_policy(POLICY)))
+    pub.rotate()
+
+    # Redeliver the whole log, twice, in reverse order: every frame acks
+    # duplicate, nothing is journaled twice, the tree is unchanged.
+    before = env["server"].server.provider.tree("docs")
+    appended = ingest.journal.appended
+    for payload in list(reversed(pub.log)) * 2:
+        ack = IngestAck.from_bytes(ingest.handle(payload))
+        assert ack.status == "duplicate"
+        assert ack.applied_seq == pub.seq
+    assert ingest.journal.appended == appended
+    assert ingest.duplicates == 2 * len(pub.log)
+    assert env["server"].server.provider.tree("docs") is before
+
+
+def test_out_of_order_future_frame_acks_gap_without_journaling(tmp_path):
+    env = build_env(tmp_path)
+    pub = env["publisher"]
+    ingest = env["server"].ingest
+    pub.upsert(Record((5,), b"v1", parse_policy(POLICY)))
+    staged = UpdateFrame.from_bytes(env["group"], pub.log[-1])
+    future = UpdateFrame(
+        table="docs", seq=40, kind="upsert", epoch=1,
+        replacements=staged.replacements,
+    )
+    appended = ingest.journal.appended
+    ack = IngestAck.from_bytes(ingest.handle(future.to_bytes()))
+    assert ack.status == "gap"
+    assert ack.applied_seq == 1
+    assert "expected seq 2" in ack.message
+    assert ingest.journal.appended == appended
+    assert ingest.gaps == 1
+
+
+def test_gap_ack_rewinds_publisher_cursor_for_catchup(tmp_path):
+    env = build_env(tmp_path)
+    pub = env["publisher"]
+    pub.upsert(Record((2,), b"x", parse_policy(POLICY)))
+    pub.rotate()
+    # A cold SP replacement (fresh state dir) knows nothing: the
+    # publisher's cursor says "fully acked", the SP's watermark says 0.
+    fresh_dir = tmp_path / "replacement"
+    replacement = env["make_server"]()
+    replacement.ingest = ServerIngest(
+        replacement.server.provider, fresh_dir, fsync=False
+    )
+    reattach(env, replacement)
+    pub.upsert(Record((8,), b"y", parse_policy(POLICY)))
+    pub.rotate()
+    assert pub.lag("sp0") == 0
+    assert pub.stats.rewinds >= 1
+    _, records = served_records(env)
+    assert ((2,), b"x") in records and ((8,), b"y") in records
+
+
+# ---------------------------------------------------------------------------
+# Crash, journal replay, torn tails, checkpoints
+# ---------------------------------------------------------------------------
+
+def test_crash_after_journal_append_recovers_by_replay(tmp_path):
+    env = build_env(tmp_path)
+    pub = env["publisher"]
+    pub.upsert(Record((2,), b"ok", parse_policy(POLICY)))
+    env["server"].ingest.arm_failpoint("after_journal_append")
+    with pytest.raises(SimulatedCrashError):
+        pub.upsert(Record((3,), b"lost?", parse_policy(POLICY)))
+
+    # Cold start: same state dir, fresh provider from the original
+    # snapshot.  The journaled-but-unapplied frame replays.
+    env["server"].ingest.close()
+    rebuilt = env["make_server"]()
+    rebuilt.ingest = ServerIngest(
+        rebuilt.server.provider, tmp_path, fsync=False
+    )
+    report = rebuilt.ingest.recover()
+    assert report["replayed"] == 2
+    assert report["repaired_offset"] is None
+    reattach(env, rebuilt)
+
+    pub.rotate()
+    assert pub.lag("sp0") == 0
+    _, records = served_records(env)
+    assert ((3,), b"lost?") in records
+
+
+def test_torn_tail_strict_raises_repair_recovers(tmp_path):
+    import os
+
+    env = build_env(tmp_path)
+    pub = env["publisher"]
+    pub.upsert(Record((2,), b"keep", parse_policy(POLICY)))
+    pub.upsert(Record((3,), b"torn", parse_policy(POLICY)))
+    env["server"].ingest.close()
+    journal_path = tmp_path / "updates.journal"
+    os.truncate(journal_path, journal_path.stat().st_size - 5)
+
+    strict = env["make_server"]()
+    strict.ingest = ServerIngest(strict.server.provider, tmp_path, fsync=False)
+    with pytest.raises(DeserializationError, match="torn journal tail at offset"):
+        strict.ingest.recover()
+    strict.ingest.close()
+
+    repaired = env["make_server"]()
+    repaired.ingest = ServerIngest(
+        repaired.server.provider, tmp_path, fsync=False
+    )
+    report = repaired.ingest.recover(repair_torn_tail=True)
+    assert report["replayed"] == 1
+    assert report["repaired_offset"] is not None
+    reattach(env, repaired)
+
+    # The repaired-away update is re-replicated via the gap/rewind path.
+    pub.rotate()
+    assert pub.lag("sp0") == 0
+    _, records = served_records(env)
+    assert ((2,), b"keep") in records and ((3,), b"torn") in records
+
+
+def test_checkpoint_truncates_journal_and_restart_restores(tmp_path):
+    env = build_env(tmp_path, journal_limit=1)  # checkpoint every rotation
+    pub = env["publisher"]
+    ingest = env["server"].ingest
+    pub.upsert(Record((2,), b"v1", parse_policy(POLICY)))
+    pub.rotate()
+    assert ingest.checkpoints == 1
+    assert ingest.journal.size == 5  # header only: entries truncated away
+    pub.delete((4,))
+    pub.rotate()
+    assert ingest.checkpoints == 2
+
+    # Cold start from the checkpoint alone (journal is empty): the tree,
+    # watermark, and token all come back; no replay is needed.
+    ingest.close()
+    rebuilt = env["make_server"]()
+    rebuilt.ingest = ServerIngest(
+        rebuilt.server.provider, tmp_path, fsync=False
+    )
+    report = rebuilt.ingest.recover()
+    assert report["tables"] == ["docs"]
+    assert report["replayed"] == 0
+    reattach(env, rebuilt)
+    assert pub.push("sp0")  # duplicate-free: watermark survived the restart
+    response, records = served_records(env)
+    assert response.freshness.epoch == 3
+    assert ((2,), b"v1") in records and ((4,), b"seed-4") not in records
+
+
+def test_checkpoint_deferred_while_another_table_is_mid_epoch(tmp_path):
+    env = build_env(tmp_path, journal_limit=1)
+    pub = env["publisher"]
+    ingest = env["server"].ingest
+    # Hand-feed a second table an uncommitted update so a staging tree is
+    # live when the first table rotates.
+    provider = env["server"].server.provider
+    provider.install_table("docs2", provider.tree("docs"), None)
+    pub.upsert(Record((2,), b"v", parse_policy(POLICY)))
+    replacements = UpdateFrame.from_bytes(
+        env["group"], pub.log[-1]
+    ).replacements  # docs2 holds the same tree content, so the path grafts
+    ingest.handle(UpdateFrame(
+        table="docs2", seq=1, kind="upsert", epoch=1,
+        replacements=replacements,
+    ).to_bytes())
+    assert ingest.states["docs2"].staging is not None
+    pub.rotate()
+    assert ingest.checkpoints == 0
+    assert ingest.deferred_checkpoints >= 1
+    # Committing the second table clears the deferral at its own rotation.
+    ingest.handle(RotateFrame(table="docs2", seq=2, epoch=2,
+                              token_bytes=b"").to_bytes())
+    assert ingest.checkpoints == 1
+    assert ingest.journal.size == 5  # truncated back to the bare header
+
+
+# ---------------------------------------------------------------------------
+# Freshness bound: stale is degraded, not Byzantine
+# ---------------------------------------------------------------------------
+
+def test_stale_epoch_raises_stale_not_tamper(tmp_path):
+    env = build_env(tmp_path)
+    pub = env["publisher"]
+    guard = env["guard"]
+    response, _ = served_records(env)
+    assert guard.verify(response)
+
+    # The DO rotates twice; the SP (detached here) misses both.
+    pub.endpoints.clear()
+    pub.rotate()
+    pub.rotate()
+    response, _ = served_records(env)
+    with pytest.raises(StaleEpochError) as excinfo:
+        guard.verify(response)
+    assert "2 epochs old" in str(excinfo.value)
+    assert not is_tamper_error(excinfo.value)
+    # Plain verification errors (forgery-class) still classify as tamper.
+    assert is_tamper_error(VerificationError("boom"))
+
+
+def test_missing_freshness_token_fails_closed(tmp_path):
+    env = build_env(tmp_path)
+    env["server"].server.provider.set_freshness_token("docs", None)
+    response, _ = served_records(env)
+    with pytest.raises(VerificationError, match="no freshness token"):
+        env["guard"].verify(response)
+
+
+def test_guard_within_tolerance_accepts_and_records_epoch(tmp_path):
+    env = build_env(tmp_path)
+    pub = env["publisher"]
+    pub.endpoints.clear()
+    pub.rotate()  # SP now one epoch behind: within max_age=1
+    response, _ = served_records(env)
+    env["guard"].verify(response)
+    assert env["guard"].last_epoch == 1
+    assert env["guard"].checked == 1
+
+
+# ---------------------------------------------------------------------------
+# Graft validation: malformed replacement sets are rejected
+# ---------------------------------------------------------------------------
+
+def test_apply_replacements_rejects_malformed_sets(tmp_path):
+    env = build_env(tmp_path)
+    pub = env["publisher"]
+    receipt = pub.upsert(Record((2,), b"v", parse_policy(POLICY)))
+    good = UpdateFrame.from_bytes(env["group"], pub.log[-1]).replacements
+    tree = env["server"].server.provider.tree("docs")
+
+    with pytest.raises(DeserializationError, match="empty replacement"):
+        apply_replacements(tree, ())
+    with pytest.raises(DeserializationError, match="unit-cell leaf"):
+        apply_replacements(tree, good[:-1])  # path without its leaf
+    # A root-only path never reaches the leaf for the updated key.
+    with pytest.raises(DeserializationError):
+        apply_replacements(tree, (good[0],))
+    assert len(receipt.resigned_path) == len(good)
+
+
+def test_server_without_ingest_rejects_ingest_frames(tmp_path):
+    env = build_env(tmp_path)
+    pub = env["publisher"]
+    bare = env["make_server"]()  # no .ingest wired
+    reattach(env, bare)
+    pub.upsert(Record((2,), b"v", parse_policy(POLICY)))
+    assert pub.lag("sp0") == 1
+    assert pub.stats.push_failures >= 1
+
+
+def test_ingest_ack_roundtrip_and_error_paths(tmp_path):
+    ack = IngestAck("docs", "gap", 7, 3, message="expected seq 8")
+    decoded = IngestAck.from_bytes(ack.to_bytes())
+    assert decoded == ack
+    assert ack.to_bytes()[:4] == INGEST_ACK_MAGIC
+    env = build_env(tmp_path)
+    reply = env["server"].handle_frame(
+        frame(b"\x00" * 16, b"UPD\x01garbage")
+    )
+    _, body = unframe(reply)
+    assert body[:4] != INGEST_ACK_MAGIC  # typed error frame, not an ack
+
+
+# ---------------------------------------------------------------------------
+# Update → snapshot round trip: byte-identical VOs on both backends
+# ---------------------------------------------------------------------------
+
+def test_update_snapshot_roundtrip_vo_byte_identical(tmp_path, any_group):
+    env = build_env(tmp_path, group=any_group)
+    pub = env["publisher"]
+    pub.upsert(Record((12,), b"fresh", parse_policy(POLICY)))
+    pub.delete((4,))
+    pub.rotate()
+
+    # Replicated tree -> snapshot -> cold start: the restored tree's
+    # serialization and its VOs are byte-identical to the publisher's.
+    sp_tree = env["server"].server.provider.tree("docs")
+    restored = ServiceProvider.from_snapshots(
+        any_group, env["owner"].universe, env["owner"].mvk,
+        env["owner"].cpabe_public, {"docs": snapshot_tree(sp_tree)},
+    ).tree("docs")
+    assert serialize_tree(restored) == serialize_tree(pub.tree)
+
+    from repro.core.app_signature import AppAuthenticator
+
+    roles = frozenset({"analyst"})
+    query = clip_query(pub.tree, (0,), (15,))
+    auth = AppAuthenticator(
+        any_group, env["owner"].universe, env["owner"].mvk
+    )
+    vo_a = range_vo(pub.tree, auth, query, roles, random.Random(99))
+    vo_b = range_vo(restored, auth, query, roles, random.Random(99))
+    assert vo_a.to_bytes() == vo_b.to_bytes()
+    records = verify_vo(vo_b, auth, clip_query(restored, (0,), (15,)), roles)
+    values = sorted(r.value for r in records if not r.is_pseudo)
+    assert b"fresh" in values and b"seed-4" not in values
