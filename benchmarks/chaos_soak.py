@@ -805,6 +805,7 @@ def build_ingest_drill(seed: int, backend: str):
     policy = parse_policy("analyst or manager")
 
     initial, publishers, snapshots = {}, {}, {}
+    publisher_dir = tempfile.mkdtemp(prefix="chaos-ingest-do-")
     for t_index, table in enumerate(tables):
         dataset = Dataset(domain)
         contents = {}
@@ -817,6 +818,7 @@ def build_ingest_drill(seed: int, backend: str):
         publishers[table] = UpdatePublisher(
             owner.signer, table, tree, epoch=1,
             rng=random.Random(seed + 31 + t_index),
+            state_path=f"{publisher_dir}/{t_index}.pub",
         )
         initial[table] = contents
     tokens = {table: publishers[table].issue_current_token() for table in tables}
@@ -886,6 +888,8 @@ def build_ingest_drill(seed: int, backend: str):
         "initial": initial,
         "user": user,
         "creds": creds,
+        "owner": owner,
+        "seed": seed,
     }
 
 
@@ -1018,6 +1022,32 @@ def run_ingest_drill(seed: int, backend: str, steps: int, verbose: bool):
         epoch_shadows[table][publishers[table].epoch] = dict(live[table])
         final_sync[table] = publishers[table].push_all()
 
+    # With every replica converged, the replay log compacts to zero, and
+    # a reborn DO process restored from the durable cursor file must
+    # agree with every SP watermark and keep replicating — the two
+    # operator moves (bounding memory, surviving a DO restart) the
+    # publisher state file exists for.
+    compaction, failover = {}, {}
+    for t_index, table in enumerate(tables):
+        publisher = publishers[table]
+        dropped = publisher.compact()
+        compaction[table] = {
+            "dropped": dropped, "log_len": len(publisher.log),
+        }
+        reborn = UpdatePublisher(
+            ctx["owner"].signer, table, publisher.tree,
+            rng=random.Random(ctx["seed"] + 77 + t_index),
+            state_path=publisher.state_path,
+        )
+        for name, endpoint in publisher.endpoints.items():
+            reborn.attach(name, endpoint)
+        reborn.push_all()
+        failover[table] = {
+            "cursor_restored": (reborn.seq, reborn.epoch)
+            == (publisher.seq, publisher.epoch),
+            "max_lag": max(reborn.lag(name) for name in reborn.endpoints),
+        }
+
     # Each endpoint's most recent cold start: restart counts come from the
     # endpoint, replay/repair facts from the recovery the rebuild ran.
     recoveries = [
@@ -1040,6 +1070,8 @@ def run_ingest_drill(seed: int, backend: str, steps: int, verbose: bool):
         "recoveries": recoveries,
         "stale_probe": stale_probe,
         "final_sync": final_sync,
+        "compaction": compaction,
+        "failover": failover,
         "slo": slo_outcome(monitor),
     }
 
@@ -1131,6 +1163,21 @@ def check_ingest_invariants(outcome) -> list:
     checkpoints = sum(ep.server.ingest.checkpoints for ep in endpoints.values())
     if checkpoints == 0:
         violations.append("checkpoint: no ingest checkpoint was ever taken")
+
+    # 9. The replay log compacted once converged, and a DO restarted
+    #    from its durable cursor resumed replication at zero lag.
+    for table, facts in outcome["compaction"].items():
+        if facts["dropped"] == 0 or facts["log_len"] != 0:
+            violations.append(
+                f"compaction: {table} retained {facts['log_len']} entries "
+                f"after a fully-acked compact (dropped {facts['dropped']})"
+            )
+    for table, facts in outcome["failover"].items():
+        if not facts["cursor_restored"] or facts["max_lag"] != 0:
+            violations.append(
+                f"failover: reborn {table} publisher did not resume cleanly "
+                f"from its durable cursor ({facts})"
+            )
     return violations
 
 
@@ -1173,6 +1220,8 @@ def main_ingest(args) -> int:
             for name, ep in endpoints.items()
         },
         "recoveries": outcome["recoveries"],
+        "compaction": outcome["compaction"],
+        "failover": outcome["failover"],
         "stale_probe": outcome["stale_probe"],
         "stale_epoch_failovers": {
             t: c.counters.wire.stale_epochs

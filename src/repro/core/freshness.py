@@ -144,6 +144,55 @@ def verify_token(
 
 
 # ---------------------------------------------------------------------------
+# Ingest-frame authentication (DO→SP control plane; see repro.net.ingest)
+# ---------------------------------------------------------------------------
+
+def _ingest_message(payload: bytes) -> bytes:
+    return hash_bytes(b"ingest-frame", payload)
+
+
+def sign_ingest_payload(
+    signer: AppSigner, payload: bytes, rng: Optional[random.Random] = None
+) -> bytes:
+    """DO side: sign a serialized UPD/ROT frame for replication.
+
+    The signature is over the payload bytes verbatim — table, sequence
+    number, node replacements / token all included — under the same
+    anyone-can-verify policy as freshness tokens, so every SP holding
+    ``mvk`` can authenticate the control plane without extra key setup.
+    """
+    policy = or_of_attrs(signer.universe.roles)
+    signature = signer.scheme.sign(
+        signer.mvk, signer.signing_key, _ingest_message(payload), policy, rng
+    )
+    return signature.to_bytes()
+
+
+def verify_ingest_payload(
+    group,
+    universe: RoleUniverse,
+    mvk: AbsVerificationKey,
+    payload: bytes,
+    signature_bytes: bytes,
+) -> None:
+    """SP side: authenticate an ingest frame before journaling/applying it.
+
+    Raises :class:`VerificationError` when the signature does not verify
+    under the DO's key — the frame came from some other reachable peer
+    and must be dropped without touching the journal or the serving
+    state.  Malformed signature bytes raise
+    :class:`~repro.errors.DeserializationError`.
+    """
+    signature = AbsSignature.from_bytes(group, signature_bytes)
+    scheme = AbsScheme(group)
+    policy = or_of_attrs(universe.roles)
+    if not scheme.verify(mvk, _ingest_message(payload), policy, signature):
+        raise VerificationError(
+            "ingest frame signature does not verify under the DO's key"
+        )
+
+
+# ---------------------------------------------------------------------------
 # Shard rosters (sharded serving; see repro.net.sharding)
 # ---------------------------------------------------------------------------
 

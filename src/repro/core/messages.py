@@ -46,6 +46,10 @@ UPDATE_MAGIC = b"UPD\x01"
 ROTATE_MAGIC = b"ROT\x01"
 #: Payload magic of the SP's ingest acknowledgement (for both of the above).
 INGEST_ACK_MAGIC = b"UPA\x01"
+#: Payload magic of the authenticated ingest envelope: a UPD/ROT frame
+#: plus the DO's ABS signature over it (the SP's proof that the control
+#: plane speaks with the data owner's key, not any reachable peer's).
+INGEST_ENVELOPE_MAGIC = b"UPS\x01"
 
 _KINDS = ("equality", "range", "join")
 _UPDATE_KINDS = ("upsert", "delete")
@@ -279,9 +283,55 @@ class IngestAck:
             )
 
 
+@dataclass(frozen=True)
+class IngestEnvelope:
+    """An authenticated UPD/ROT push: the frame bytes + the DO's signature.
+
+    The signature covers ``payload`` verbatim (which already binds the
+    table, the sequence number, and every replaced node / token byte),
+    so a peer that can merely *reach* the SP cannot rewrite its serving
+    tree, clear its freshness token, or plant journal entries — the SP
+    verifies the signature against the DO's verification key before any
+    frame touches the journal (see
+    :func:`repro.core.freshness.verify_ingest_payload`).
+    """
+
+    payload: bytes  # a serialized UpdateFrame or RotateFrame
+    signature_bytes: bytes  # serialized AbsSignature over the payload
+
+    def to_bytes(self) -> bytes:
+        return (
+            INGEST_ENVELOPE_MAGIC
+            + _encode_bytes(self.payload)
+            + _encode_bytes(self.signature_bytes)
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "IngestEnvelope":
+        if data[:4] != INGEST_ENVELOPE_MAGIC:
+            raise DeserializationError("not an ingest envelope")
+        with _strict_decode("ingest envelope"):
+            reader = _Reader(data)
+            reader.take(4)
+            payload = reader.take_bytes()
+            signature_bytes = reader.take_bytes()
+            if not reader.exhausted:
+                raise DeserializationError("trailing bytes in ingest envelope")
+            if payload[:4] not in (UPDATE_MAGIC, ROTATE_MAGIC):
+                raise DeserializationError(
+                    "ingest envelope does not wrap an update or rotate frame"
+                )
+            return cls(payload=payload, signature_bytes=signature_bytes)
+
+
 def is_ingest_frame(data: bytes) -> bool:
-    """True for the DO→SP control-plane payloads (UPD / ROT)."""
-    return data[:4] in (UPDATE_MAGIC, ROTATE_MAGIC)
+    """True for the DO→SP control-plane payloads (enveloped or bare UPD/ROT).
+
+    Bare frames are still *routed* to the ingest engine so it can answer
+    them with a typed unauthenticated-rejection instead of letting them
+    fall through to the query path.
+    """
+    return data[:4] in (INGEST_ENVELOPE_MAGIC, UPDATE_MAGIC, ROTATE_MAGIC)
 
 
 # ---------------------------------------------------------------------------

@@ -524,21 +524,24 @@ class UpdateJournal:
 # ---------------------------------------------------------------------------
 
 _STATE_MAGIC = b"APIS"
-INGEST_STATE_VERSION = 1
+INGEST_STATE_VERSION = 2
 
 
 def snapshot_ingest_state(
-    tree: APGTree, applied_seq: int, epoch: int, token_bytes: bytes
+    table: str, tree: APGTree, applied_seq: int, epoch: int, token_bytes: bytes
 ) -> bytes:
     """A table's full ingest checkpoint: tree + replication watermark.
 
     The watermark (``applied_seq``, ``epoch``, current freshness token)
     rides in a CRC-protected meta header ahead of the ordinary snapshot
     container, so a restored SP knows exactly which journal entries are
-    already folded in and which token it may legitimately serve.
+    already folded in and which token it may legitimately serve.  The
+    *real* table name is embedded in the meta too — recovery must never
+    reconstruct it from a (sanitized, possibly colliding) filename.
     """
     meta = (
-        int(applied_seq).to_bytes(8, "big")
+        _encode_bytes(table.encode())
+        + int(applied_seq).to_bytes(8, "big")
         + int(epoch).to_bytes(8, "big")
         + _encode_bytes(token_bytes)
     )
@@ -552,8 +555,8 @@ def snapshot_ingest_state(
 
 def restore_ingest_state(
     group: BilinearGroup, data: bytes
-) -> tuple[APGTree, int, int, bytes]:
-    """Open an ingest checkpoint; returns (tree, applied_seq, epoch, token)."""
+) -> tuple[str, APGTree, int, int, bytes]:
+    """Open an ingest checkpoint; returns (table, tree, applied_seq, epoch, token)."""
     fixed = len(_STATE_MAGIC) + 1 + 4
     if len(data) < fixed:
         raise DeserializationError(
@@ -586,34 +589,95 @@ def restore_ingest_state(
             f"stored CRC32 0x{stored_crc:08x}, computed 0x{computed_crc:08x}"
         )
     reader = _Reader(meta)
+    table = reader.take_bytes().decode()
     applied_seq = int.from_bytes(reader.take(8), "big")
     epoch = int.from_bytes(reader.take(8), "big")
     token_bytes = reader.take_bytes()
     if not reader.exhausted:
         raise DeserializationError("trailing bytes in ingest state meta")
     tree = restore_snapshot(group, data[meta_end + 4 :])
-    return tree, applied_seq, epoch, token_bytes
+    return table, tree, applied_seq, epoch, token_bytes
 
 
 def write_ingest_state(
     path: Union[str, "os.PathLike[str]"],
+    table: str,
     tree: APGTree,
     applied_seq: int,
     epoch: int,
     token_bytes: bytes,
 ) -> int:
     """Atomically persist a table's ingest checkpoint (rename + dir fsync)."""
-    blob = snapshot_ingest_state(tree, applied_seq, epoch, token_bytes)
+    blob = snapshot_ingest_state(table, tree, applied_seq, epoch, token_bytes)
     _atomic_write(os.fspath(path), blob)
     return len(blob)
 
 
 def read_ingest_state(
     group: BilinearGroup, path: Union[str, "os.PathLike[str]"]
-) -> tuple[APGTree, int, int, bytes]:
+) -> tuple[str, APGTree, int, int, bytes]:
     """Cold-start path: read and validate an ingest checkpoint file."""
     with open(os.fspath(path), "rb") as fp:
         return restore_ingest_state(group, fp.read())
+
+
+# ---------------------------------------------------------------------------
+# Publisher state: the DO-side replication cursor (seq + epoch)
+# ---------------------------------------------------------------------------
+
+_PUBLISHER_MAGIC = b"APPS"
+PUBLISHER_STATE_VERSION = 1
+
+
+def write_publisher_state(
+    path: Union[str, "os.PathLike[str]"], seq: int, epoch: int
+) -> None:
+    """Atomically persist an :class:`~repro.net.ingest.UpdatePublisher` cursor.
+
+    Tiny but load-bearing: a publisher that restarts with ``seq`` reset
+    to zero re-issues sequence numbers its replicas have already applied
+    — every genuinely new update then acks ``duplicate`` and replication
+    silently stalls.  Durable ``(seq, epoch)`` makes the sequence truly
+    monotonic across DO restarts.
+    """
+    meta = int(seq).to_bytes(8, "big") + int(epoch).to_bytes(8, "big")
+    blob = (
+        _PUBLISHER_MAGIC + bytes([PUBLISHER_STATE_VERSION])
+        + meta + zlib.crc32(meta).to_bytes(4, "big")
+    )
+    _atomic_write(os.fspath(path), blob)
+
+
+def read_publisher_state(path: Union[str, "os.PathLike[str]"]) -> tuple[int, int]:
+    """Read a publisher cursor back; returns ``(seq, epoch)``."""
+    with open(os.fspath(path), "rb") as fp:
+        data = fp.read()
+    fixed = len(_PUBLISHER_MAGIC) + 1
+    if data[: len(_PUBLISHER_MAGIC)] != _PUBLISHER_MAGIC:
+        raise DeserializationError(
+            f"bad publisher state magic at offset 0: "
+            f"{data[:len(_PUBLISHER_MAGIC)]!r} != {_PUBLISHER_MAGIC!r}"
+        )
+    if data[len(_PUBLISHER_MAGIC)] != PUBLISHER_STATE_VERSION:
+        raise DeserializationError(
+            f"unsupported publisher state version {data[len(_PUBLISHER_MAGIC)]}"
+        )
+    if len(data) != fixed + 16 + 4:
+        raise DeserializationError(
+            f"publisher state is {len(data)} bytes, expected {fixed + 20}"
+        )
+    meta = data[fixed : fixed + 16]
+    stored_crc = int.from_bytes(data[fixed + 16 :], "big")
+    computed_crc = zlib.crc32(meta)
+    if stored_crc != computed_crc:
+        raise DeserializationError(
+            f"publisher state checksum mismatch: stored CRC32 "
+            f"0x{stored_crc:08x}, computed 0x{computed_crc:08x}"
+        )
+    return (
+        int.from_bytes(meta[:8], "big"),
+        int.from_bytes(meta[8:], "big"),
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -15,15 +15,22 @@ half-applied batch corrupt what a verifying client can observe:
   catch-up replay after partitions — no endpoint is ever "too far
   behind" to resync.
 
-* :class:`ServerIngest` — SP side.  Every frame is appended to a
-  CRC-framed fsync'd :class:`~repro.core.persistence.UpdateJournal`
-  *before* it is applied (write-ahead), applied onto a *staging* tree
-  built by path-copying (the serving tree is never mutated), and made
-  visible only by the ROT commit record, which swaps ``(tree, token)``
-  through :meth:`ServiceProvider.install_table` — one atomic point, so
-  queries can never observe a half-applied epoch or a token/tree
-  mismatch.  Cold start = restore the last checkpoint, replay the
-  journal; sequence numbers make replay idempotent.
+* :class:`ServerIngest` — SP side.  Every frame travels in a DO-signed
+  :class:`~repro.core.messages.IngestEnvelope`; the SP authenticates it
+  against the DO's verification key, *validates it end to end* (the
+  replacement path grafts, the token parses), then appends the frame to
+  a CRC-framed fsync'd :class:`~repro.core.persistence.UpdateJournal`
+  and only then mutates memory.  Validate → journal → apply means the
+  journal can never hold a decodable-but-unappliable entry that would
+  wedge every future recovery, while the visible state change still
+  happens strictly after the write-ahead point.  Updates land on a
+  *staging* tree built by path-copying (the serving tree is never
+  mutated) and become visible only at the ROT commit record, which
+  swaps ``(tree, token)`` through
+  :meth:`ServiceProvider.install_table` — one atomic point, so queries
+  can never observe a half-applied epoch or a token/tree mismatch.
+  Cold start = restore the last checkpoint, replay the journal;
+  sequence numbers make replay idempotent.
 
 * :class:`FreshnessGuard` — client side.  Wraps a
   :class:`~repro.core.system.QueryUser` so every verified answer also
@@ -40,16 +47,24 @@ instants (after journal append, before apply; mid-checkpoint), which
 
 from __future__ import annotations
 
+import hashlib
 import os
 import random
 import threading
 from dataclasses import dataclass, replace as dc_replace
 from typing import Dict, Optional
 
-from repro.core.freshness import FreshnessToken, issue_token, verify_token
+from repro.core.freshness import (
+    FreshnessToken,
+    issue_token,
+    sign_ingest_payload,
+    verify_ingest_payload,
+    verify_token,
+)
 from repro.core.messages import (
     ErrorResponse,
     IngestAck,
+    IngestEnvelope,
     ROTATE_MAGIC,
     RotateFrame,
     UPDATE_MAGIC,
@@ -60,14 +75,18 @@ from repro.core.persistence import (
     NodeReplacement,
     UpdateJournal,
     read_ingest_state,
+    read_publisher_state,
     replacement_from_node,
     write_ingest_state,
+    write_publisher_state,
 )
 from repro.core.records import Record
 from repro.errors import (
     DeserializationError,
+    ReproError,
     TransportError,
     VerificationError,
+    WorkloadError,
 )
 from repro.index import updates as _updates
 from repro.index.boxes import Point
@@ -227,15 +246,26 @@ class ServerIngest:
 
     1. sequence check — ``seq <= applied`` acks ``duplicate``,
        ``seq > applied + 1`` acks ``gap`` (carrying the replay cursor),
-       both without touching the journal, so duplicated or reordered
-       delivery is idempotent by construction;
-    2. journal append (fsync) — the write-ahead point;
-    3. apply — UPD grafts onto the staging tree; ROT installs
-       ``(staging tree, new token)`` through the provider's one commit
-       point and possibly checkpoints.
+       both answered from the watermark alone (no journal write, no
+       state change), so duplicated or reordered delivery is idempotent
+       by construction;
+    2. authenticate — the envelope's DO signature over the frame bytes
+       must verify, or the frame is dropped before it can touch journal
+       or state (any reachable peer can *send* frames; only the DO's
+       key admits them);
+    3. validate — the replacement path must graft / the token must
+       parse.  This runs *before* the journal append on a throwaway
+       path-copy, so a frame that cannot be applied can never become a
+       CRC-valid journal entry that wedges every future :meth:`recover`;
+    4. journal append (fsync) — the write-ahead point;
+    5. commit — UPD publishes the pre-built staging tree into the
+       table's ingest state; ROT installs ``(staging tree, new token)``
+       through the provider's one commit point and possibly checkpoints.
 
-    A crash between 2 and 3 is exactly what :meth:`recover` repairs:
+    A crash between 4 and 5 is exactly what :meth:`recover` repairs:
     restore the last checkpoint, replay the journal, skip duplicates.
+    A crash between 3 and 4 loses only unacknowledged work the
+    publisher re-pushes.
     """
 
     def __init__(
@@ -268,9 +298,13 @@ class ServerIngest:
         return os.path.join(self.state_dir, "updates.journal")
 
     def state_path(self, table: str) -> str:
-        # Table names in this repo are filesystem-safe ("docs", "t@p0");
-        # guard the one separator that would escape the state dir.
-        return os.path.join(self.state_dir, table.replace(os.sep, "_") + ".state")
+        # The filename is a *locator*, never an identity: the real table
+        # name travels inside the state file's CRC-protected meta, and
+        # the digest tag keeps distinct tables ("a/b" vs "a_b") from
+        # colliding on one sanitized filename.
+        safe = "".join(c if c.isalnum() or c in "._-@" else "_" for c in table)
+        tag = hashlib.sha256(table.encode()).hexdigest()[:8]
+        return os.path.join(self.state_dir, f"{safe}.{tag}.state")
 
     # -- failpoints ----------------------------------------------------------
     def arm_failpoint(self, name: str, count: int = 1) -> None:
@@ -289,16 +323,24 @@ class ServerIngest:
 
     # -- frame entry point ---------------------------------------------------
     def handle(self, payload: bytes) -> bytes:
-        """Process one UPD/ROT payload; returns the serialized ack."""
+        """Process one signed ingest envelope; returns the serialized ack."""
         with self._lock:
-            if payload[:4] == UPDATE_MAGIC:
-                update = UpdateFrame.from_bytes(self.group, payload)
-                ack = self._ingest(update.table, update.seq, update, payload)
-            elif payload[:4] == ROTATE_MAGIC:
-                rotation = RotateFrame.from_bytes(payload)
-                ack = self._ingest(rotation.table, rotation.seq, rotation, payload)
+            if payload[:4] in (UPDATE_MAGIC, ROTATE_MAGIC):
+                _M_INGEST.inc(outcome="unauthenticated")
+                raise VerificationError(
+                    "bare ingest frame rejected: UPD/ROT must arrive in a "
+                    "DO-signed ingest envelope"
+                )
+            envelope = IngestEnvelope.from_bytes(payload)
+            inner = envelope.payload
+            if inner[:4] == UPDATE_MAGIC:
+                decoded = UpdateFrame.from_bytes(self.group, inner)
             else:
-                raise DeserializationError("not an ingest payload")
+                decoded = RotateFrame.from_bytes(inner)
+            ack = self._ingest(
+                decoded.table, decoded.seq, decoded, inner,
+                signature_bytes=envelope.signature_bytes,
+            )
             return ack.to_bytes()
 
     def _state(self, table: str) -> TableIngestState:
@@ -309,9 +351,15 @@ class ServerIngest:
             state = self.states[table] = TableIngestState(epoch=epoch)
         return state
 
-    def _ingest(self, table, seq, decoded, payload, replay: bool = False) -> IngestAck:
+    def _ingest(
+        self, table, seq, decoded, payload,
+        signature_bytes: bytes = b"", replay: bool = False,
+    ) -> IngestAck:
         state = self._state(table)
         if seq <= state.applied_seq:
+            # Answered from the watermark alone — no journal write, no
+            # state change — so no signature check is needed here: a
+            # spoofed duplicate learns only the watermark.
             if not replay:
                 self.duplicates += 1
                 _M_INGEST.inc(outcome="duplicate")
@@ -329,25 +377,48 @@ class ServerIngest:
                 message=f"expected seq {state.applied_seq + 1}",
             )
         if not replay:
+            # Authenticate before the frame can touch journal or state.
+            # Journal entries were verified at append time, so replay
+            # does not (and, key-less, could not re-)sign-check them.
+            try:
+                verify_ingest_payload(
+                    self.group, self.provider.universe,
+                    self.provider.authenticator.mvk, payload, signature_bytes,
+                )
+            except VerificationError:
+                _M_INGEST.inc(outcome="auth_failed")
+                raise
+        # Validate end to end on a throwaway path-copy *before* the
+        # write-ahead append: a frame that decodes but cannot be applied
+        # (replacements off the update path, garbage token bytes) must
+        # be rejected here, not become a CRC-valid journal entry that
+        # makes every future recover() fail.
+        try:
+            staged = self._prepare(state, decoded)
+        except DeserializationError:
+            if not replay:
+                _M_INGEST.inc(outcome="rejected")
+            raise
+        if not replay:
             self._hit_failpoint("before_journal_append")
             self.journal.append(payload)
             _M_JOURNAL_BYTES.set(self.journal.size)
             self._hit_failpoint("after_journal_append")
-        self._apply(state, decoded, replay)
+        self._commit(state, decoded, staged, replay)
         if not replay:
             _M_INGEST.inc(outcome="applied")
         return IngestAck(table, "applied", state.applied_seq, state.epoch)
 
-    def _apply(self, state: TableIngestState, decoded, replay: bool) -> None:
+    def _prepare(self, state: TableIngestState, decoded):
+        """Validate a frame and build its post-state, mutating nothing."""
         if isinstance(decoded, UpdateFrame):
             base = (
                 state.staging if state.staging is not None
                 else self.provider.tree(decoded.table)
             )
-            state.staging = apply_replacements(base, decoded.replacements)
-            state.applied_seq = decoded.seq
-            return
-        # RotateFrame: the single commit point — tree and token together.
+            return apply_replacements(base, decoded.replacements)
+        # RotateFrame: parse the token now so garbage token bytes are
+        # rejected pre-journal; the tree is whatever the epoch staged.
         token = (
             FreshnessToken.from_bytes(self.group, decoded.token_bytes)
             if decoded.token_bytes else None
@@ -356,6 +427,15 @@ class ServerIngest:
             state.staging if state.staging is not None
             else self.provider.tree(decoded.table)
         )
+        return tree, token
+
+    def _commit(self, state: TableIngestState, decoded, staged, replay: bool) -> None:
+        if isinstance(decoded, UpdateFrame):
+            state.staging = staged
+            state.applied_seq = decoded.seq
+            return
+        # RotateFrame: the single commit point — tree and token together.
+        tree, token = staged
         self.provider.install_table(decoded.table, tree, token)
         state.staging = None
         state.applied_seq = decoded.seq
@@ -383,18 +463,35 @@ class ServerIngest:
     def checkpoint(self) -> None:
         """Snapshot every table's ingest state, then truncate the journal.
 
+        Refuses (loudly) while any table is mid-epoch: the journal is
+        shared, and truncating it would orphan that table's
+        staged-but-uncommitted entries in ``(committed_seq,
+        applied_seq]`` — a subsequent crash could then only heal through
+        the publisher's log.  :meth:`_maybe_checkpoint` defers instead
+        of raising; a direct caller gets the same guard.
+
         Write order matters: all state files land (atomic rename + dir
         fsync each) *before* the journal is truncated.  A crash between
         the two leaves already-checkpointed entries in the journal; the
         sequence check skips them as duplicates on replay.
         """
+        staged = sorted(
+            table for table, state in self.states.items()
+            if state.staging is not None
+        )
+        if staged:
+            raise WorkloadError(
+                f"cannot checkpoint while table(s) "
+                f"{', '.join(repr(t) for t in staged)} are mid-epoch: "
+                f"truncating the journal would orphan their uncommitted entries"
+            )
         for table, state in self.states.items():
             view = self.provider.table_view(table)
             token_bytes = (
                 view.freshness.to_bytes() if view.freshness is not None else b""
             )
             write_ingest_state(
-                self.state_path(table), view.tree,
+                self.state_path(table), table, view.tree,
                 state.committed_seq, state.epoch, token_bytes,
             )
         self._hit_failpoint("before_journal_truncate")
@@ -418,8 +515,9 @@ class ServerIngest:
             for fname in sorted(os.listdir(self.state_dir)):
                 if not fname.endswith(".state"):
                     continue
-                table = fname[: -len(".state")]
-                tree, applied_seq, epoch, token_bytes = read_ingest_state(
+                # The table name comes from the file's CRC-protected
+                # meta, never from the (sanitized, lossy) filename.
+                table, tree, applied_seq, epoch, token_bytes = read_ingest_state(
                     self.group, os.path.join(self.state_dir, fname)
                 )
                 token = (
@@ -469,6 +567,35 @@ class ServerIngest:
             }
             return self.last_recovery
 
+    # -- out-of-band re-seed -------------------------------------------------
+    def bootstrap(
+        self,
+        table: str,
+        tree: APGTree,
+        seq: int,
+        epoch: int,
+        token: Optional[FreshnessToken],
+    ) -> None:
+        """Re-seed one table from a snapshot transfer, watermark included.
+
+        The operator's answer to "this replica needs entries the
+        publisher has compacted away": install the DO's current tree and
+        token, set the replication watermark to the seq the snapshot
+        embodies, and persist the checkpoint so the watermark survives a
+        restart.  Incremental replication resumes from ``seq + 1``.
+        """
+        with self._lock:
+            self.provider.install_table(table, tree, token)
+            self.states[table] = TableIngestState(
+                applied_seq=int(seq), committed_seq=int(seq), epoch=int(epoch),
+            )
+            token_bytes = token.to_bytes() if token is not None else b""
+            write_ingest_state(
+                self.state_path(table), table, tree, int(seq), int(epoch),
+                token_bytes,
+            )
+            _LOG.info("ingest_bootstrapped", table=table, seq=seq, epoch=epoch)
+
     def close(self) -> None:
         self.journal.close()
 
@@ -483,6 +610,7 @@ class PublisherStats:
     push_failures: int = 0
     rewinds: int = 0
     rotations: int = 0
+    compactions: int = 0
 
 
 class UpdatePublisher:
@@ -490,13 +618,29 @@ class UpdatePublisher:
 
     Local applies go through :mod:`repro.index.updates` (the DO's
     authoritative signed tree); the re-signed path from each receipt is
-    encoded root→leaf as an :class:`~repro.core.messages.UpdateFrame`
-    and appended to an in-memory payload log.  ``push`` walks each
+    encoded root→leaf as an :class:`~repro.core.messages.UpdateFrame`,
+    wrapped in a DO-signed :class:`~repro.core.messages.IngestEnvelope`
+    (the SP authenticates the control plane against ``mvk``), and
+    appended to an in-memory payload log.  ``push`` walks each
     endpoint's acked cursor forward through that log, so an endpoint
     that was partitioned through any number of updates *and rotations*
     catches up by replay the moment it is reachable — the ``gap`` ack
     rewinds the cursor to the SP's actual watermark (e.g. after the SP
     restarted from an older checkpoint).
+
+    ``state_path`` makes the sequence cursor durable: ``(seq, epoch)``
+    is persisted (atomic rename + dir fsync) before any SP can ack a
+    new entry, and restored on construction — a publisher restarted
+    without it would re-issue already-applied sequence numbers, every
+    new update would ack ``duplicate``, and replication would silently
+    stall (the SPs stuck on the old epoch).  :meth:`push` additionally
+    refuses, loudly, to serve an endpoint whose watermark exceeds the
+    local ``seq``.
+
+    The payload log is the catch-up store, so it is retained in full by
+    default ("no endpoint is ever too far behind to resync"); call
+    :meth:`compact` to trade healing depth for bounded memory once
+    every endpoint has acked.
     """
 
     def __init__(
@@ -506,18 +650,28 @@ class UpdatePublisher:
         tree: APGTree,
         epoch: int = 1,
         rng: Optional[random.Random] = None,
+        state_path=None,
     ):
         self.signer = signer
         self.table = table
         self.tree = tree
         self.epoch = int(epoch)
         self.rng = rng if rng is not None else random.Random()
+        self.state_path = os.fspath(state_path) if state_path is not None else None
         self.seq = 0
-        self.log: list[bytes] = []  # log[i] carries seq i + 1
+        #: Sequence number of the entry *before* ``log[0]``: ``log[i]``
+        #: carries seq ``log_base + i + 1``.  Non-zero after
+        #: :meth:`compact` or a restart from ``state_path`` (the
+        #: pre-restart payloads are not replayable from this process).
+        self.log_base = 0
+        self.log: list[bytes] = []
         self.endpoints: Dict[str, object] = {}
         self.acked: Dict[str, int] = {}
         self.stats = PublisherStats()
         self.current_token: Optional[FreshnessToken] = None
+        if self.state_path is not None and os.path.exists(self.state_path):
+            self.seq, self.epoch = read_publisher_state(self.state_path)
+            self.log_base = self.seq
 
     def issue_current_token(self) -> FreshnessToken:
         """Sign (and remember) a token for the current epoch."""
@@ -577,7 +731,16 @@ class UpdatePublisher:
         return self.seq
 
     def _stage(self, payload: bytes) -> None:
-        self.log.append(payload)
+        envelope = IngestEnvelope(
+            payload=payload,
+            signature_bytes=sign_ingest_payload(self.signer, payload, self.rng),
+        )
+        self.log.append(envelope.to_bytes())
+        # Durable cursor *before* any SP can ack the new seq: after a
+        # crash the restarted publisher must never believe an SP's
+        # watermark is "from the future".
+        if self.state_path is not None:
+            write_publisher_state(self.state_path, self.seq, self.epoch)
         self.push_all()
 
     # -- replication ---------------------------------------------------------
@@ -587,8 +750,39 @@ class UpdatePublisher:
     def push_all(self) -> Dict[str, bool]:
         return {name: self.push(name) for name in self.endpoints}
 
+    def compact(self) -> int:
+        """Drop log entries every attached endpoint has acked; returns count.
+
+        Explicit rather than automatic: the retained log doubles as the
+        catch-up store for endpoints that later rewind *below* their own
+        ack (a torn journal tail, a cold replacement with an empty state
+        dir), so the operator chooses when bounded memory wins over
+        healing depth.  An endpoint that needs a compacted-away entry
+        gets a loud re-bootstrap error from :meth:`push` — never a
+        silent stall — and recovers via
+        :meth:`ServerIngest.bootstrap`.
+        """
+        if not self.endpoints:
+            return 0
+        floor = min(self.acked.get(name, 0) for name in self.endpoints)
+        drop = floor - self.log_base
+        if drop <= 0:
+            return 0
+        del self.log[:drop]
+        self.log_base = floor
+        self.stats.compactions += 1
+        return drop
+
     def push(self, name: str) -> bool:
-        """Drain one endpoint's backlog; True when it is fully caught up."""
+        """Drain one endpoint's backlog; True when it is fully caught up.
+
+        Raises :class:`~repro.errors.ReproError` in two unrecoverable
+        states that must never degrade into a silent stall: the endpoint
+        acks a watermark *beyond* this publisher's ``seq`` (our cursor
+        state was lost — publishing would mint colliding sequence
+        numbers), or the endpoint needs an entry below the compacted log
+        (re-bootstrap it via :meth:`ServerIngest.bootstrap`).
+        """
         transport = self.endpoints[name]
         cursor = self.acked.get(name, 0)
         # Bounded walk: each applied/duplicate strictly advances and gaps
@@ -598,19 +792,59 @@ class UpdatePublisher:
         while cursor < self.seq and budget > 0:
             budget -= 1
             self.stats.pushes += 1
+            if cursor < self.log_base:
+                # The cursor points below the retained log (publisher
+                # restart reset acked to 0, or the log was compacted).
+                # Probe the SP's true watermark before concluding it
+                # actually needs compacted-away entries.
+                try:
+                    ack = self._exchange(transport, self._watermark_probe())
+                except (TransportError, DeserializationError) as exc:
+                    self.stats.push_failures += 1
+                    _M_PUSH.inc(status="error")
+                    _LOG.warning("push_failed", endpoint=name, error=str(exc))
+                    break
+                _M_PUSH.inc(status="probe")
+                if ack.applied_seq > self.seq:
+                    self.acked[name] = cursor
+                    raise ReproError(
+                        f"endpoint {name!r} acked watermark {ack.applied_seq} "
+                        f"beyond this publisher's seq {self.seq}: the "
+                        f"publisher's cursor state was lost (restarted without "
+                        f"its state_path?); refusing to publish colliding "
+                        f"sequence numbers"
+                    )
+                if ack.applied_seq < self.log_base:
+                    self.acked[name] = ack.applied_seq
+                    raise ReproError(
+                        f"endpoint {name!r} is at seq {ack.applied_seq} but the "
+                        f"publisher log starts at seq {self.log_base + 1} "
+                        f"(compacted or publisher restarted): re-seed the "
+                        f"replica from a current snapshot "
+                        f"(ServerIngest.bootstrap) and re-attach it"
+                    )
+                cursor = ack.applied_seq
+                continue
             try:
-                ack = self._exchange(transport, self.log[cursor])
+                ack = self._exchange(transport, self.log[cursor - self.log_base])
             except (TransportError, DeserializationError) as exc:
                 self.stats.push_failures += 1
                 _M_PUSH.inc(status="error")
                 _LOG.warning("push_failed", endpoint=name, error=str(exc))
                 break
             _M_PUSH.inc(status=ack.status)
+            if ack.applied_seq > self.seq:
+                self.acked[name] = cursor
+                raise ReproError(
+                    f"endpoint {name!r} acked watermark {ack.applied_seq} beyond "
+                    f"this publisher's seq {self.seq}: the publisher's cursor "
+                    f"state was lost (restarted without its state_path?); "
+                    f"refusing to publish colliding sequence numbers"
+                )
             if ack.status in ("applied", "duplicate"):
-                advanced = min(ack.applied_seq, self.seq)
-                if advanced <= cursor:
+                if ack.applied_seq <= cursor:
                     break  # no progress; don't spin
-                cursor = advanced
+                cursor = ack.applied_seq
             else:  # gap: rewind to the SP's watermark and replay forward
                 if ack.applied_seq >= cursor:
                     self.stats.push_failures += 1
@@ -619,6 +853,24 @@ class UpdatePublisher:
                 cursor = ack.applied_seq
         self.acked[name] = cursor
         return cursor >= self.seq
+
+    def _watermark_probe(self) -> bytes:
+        """An intentionally out-of-sequence ROT whose gap ack reveals the
+        SP's watermark without touching its journal or state.
+
+        ``seq + 2`` can never be next-in-sequence for an honest SP (its
+        watermark is at most our ``seq``), so the frame is answered from
+        the sequence check alone — which is also why it needs no
+        signature.  An SP *beyond* ``seq + 1`` acks ``duplicate``; either
+        way ``applied_seq`` carries the watermark.
+        """
+        probe = RotateFrame(
+            table=self.table, seq=self.seq + 2, epoch=self.epoch,
+            token_bytes=b"",
+        )
+        return IngestEnvelope(
+            payload=probe.to_bytes(), signature_bytes=b""
+        ).to_bytes()
 
     def _exchange(self, transport, payload: bytes) -> IngestAck:
         request_id = self.rng.getrandbits(8 * REQUEST_ID_BYTES).to_bytes(

@@ -45,7 +45,12 @@ from __future__ import annotations
 import threading
 
 from repro.core.messages import ErrorResponse, SPServer, is_ingest_frame
-from repro.errors import DeserializationError, ReproError, WorkloadError
+from repro.errors import (
+    DeserializationError,
+    ReproError,
+    VerificationError,
+    WorkloadError,
+)
 from repro.net.transport import (
     REQUEST_ID_BYTES,
     extract_trace_id,
@@ -229,6 +234,11 @@ class ResilientSPServer:
                 ack = self.ingest.handle(payload)
             except DeserializationError as exc:
                 error = ErrorResponse(ErrorResponse.BAD_REQUEST, str(exc))
+            except VerificationError as exc:
+                # Unauthenticated / forged control-plane frame: a typed
+                # rejection, never an applied ack — any reachable peer
+                # can send UPD/ROT bytes, only the DO's key admits them.
+                error = ErrorResponse(ErrorResponse.BAD_REQUEST, str(exc))
             except WorkloadError as exc:
                 error = ErrorResponse(ErrorResponse.WORKLOAD, str(exc))
             except ReproError as exc:
@@ -306,9 +316,14 @@ class ResilientSPServer:
                 # DO→SP control plane.  Bypasses admission like stats and
                 # probes: replication and epoch rotation must land even on
                 # an overloaded or draining server, or every shed window
-                # would widen the replicas' staleness.  A chaos failpoint
-                # (SimulatedCrashError) is deliberately NOT contained
-                # here — it propagates like a real crash.
+                # would widen the replicas' staleness.  Bypassing admission
+                # is safe because the ingest engine authenticates every
+                # frame against the DO's verification key before it can
+                # touch the journal or the serving state — a reachable
+                # peer without the DO's signing key gets a typed
+                # rejection.  A chaos failpoint (SimulatedCrashError) is
+                # deliberately NOT contained here — it propagates like a
+                # real crash.
                 return frame(
                     request_id, self._handle_ingest(payload, handle_span)
                 )

@@ -19,9 +19,11 @@ from repro.core.persistence import (
     UpdateJournal,
     journal_entries,
     read_ingest_state,
+    read_publisher_state,
     scan_journal,
     snapshot_tree,
     write_ingest_state,
+    write_publisher_state,
     write_snapshot,
 )
 from repro.core.records import Dataset, Record
@@ -212,16 +214,26 @@ def test_write_snapshot_fsyncs_file_and_directory(tmp_path, monkeypatch, signed_
 def test_ingest_state_checkpoint_roundtrip(tmp_path, signed_tree):
     owner, tree = signed_tree
     path = tmp_path / "docs.state"
-    write_ingest_state(path, tree, 17, 4, b"tokenbytes")
-    restored, seq, epoch, token = read_ingest_state(simulated(), path)
-    assert (seq, epoch, token) == (17, 4, b"tokenbytes")
+    write_ingest_state(path, "docs", tree, 17, 4, b"tokenbytes")
+    table, restored, seq, epoch, token = read_ingest_state(simulated(), path)
+    assert (table, seq, epoch, token) == ("docs", 17, 4, b"tokenbytes")
     assert snapshot_tree(restored) == snapshot_tree(tree)
+
+
+def test_ingest_state_embeds_real_table_name(tmp_path, signed_tree):
+    # The filename is just a locator: a table name no filesystem would
+    # accept verbatim must still round-trip exactly through the meta.
+    _, tree = signed_tree
+    path = tmp_path / "sanitized.state"
+    write_ingest_state(path, "a/b", tree, 3, 2, b"")
+    table, _, seq, epoch, _ = read_ingest_state(simulated(), path)
+    assert (table, seq, epoch) == ("a/b", 3, 2)
 
 
 def test_ingest_state_rejects_corruption(tmp_path, signed_tree):
     _, tree = signed_tree
     path = tmp_path / "docs.state"
-    write_ingest_state(path, tree, 1, 1, b"")
+    write_ingest_state(path, "docs", tree, 1, 1, b"")
     blob = path.read_bytes()
     for mutation in [
         b"XXXX" + blob[4:],                              # bad magic
@@ -231,3 +243,23 @@ def test_ingest_state_rejects_corruption(tmp_path, signed_tree):
         path.write_bytes(mutation)
         with pytest.raises(DeserializationError):
             read_ingest_state(simulated(), path)
+
+
+def test_publisher_state_roundtrip_and_corruption(tmp_path):
+    path = tmp_path / "publisher.state"
+    write_publisher_state(path, 42, 7)
+    assert read_publisher_state(path) == (42, 7)
+    write_publisher_state(path, 43, 7)  # atomic overwrite
+    assert read_publisher_state(path) == (43, 7)
+
+    blob = path.read_bytes()
+    for mutation in [
+        b"XXXX" + blob[4:],                              # bad magic
+        blob[:4] + bytes([9]) + blob[5:],                # bad version
+        blob[:-1],                                       # torn tail
+        blob[:7] + bytes([blob[7] ^ 1]) + blob[8:],      # flipped seq byte
+        blob + b"\x00",                                  # trailing garbage
+    ]:
+        path.write_bytes(mutation)
+        with pytest.raises(DeserializationError):
+            read_publisher_state(path)

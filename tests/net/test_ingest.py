@@ -10,9 +10,11 @@ import random
 
 import pytest
 
+from repro.core.freshness import sign_ingest_payload
 from repro.core.messages import (
     INGEST_ACK_MAGIC,
     IngestAck,
+    IngestEnvelope,
     RotateFrame,
     SPServer,
     UpdateFrame,
@@ -47,7 +49,8 @@ from repro.policy.roles import RoleUniverse
 POLICY = "analyst or manager"
 
 
-def build_env(tmp_path, group=None, journal_limit=1 << 20, fsync=False):
+def build_env(tmp_path, group=None, journal_limit=1 << 20, fsync=False,
+              publisher_state=None):
     """One DO publisher replicating to one journal-backed SP."""
     rng = random.Random(8200)
     group = group if group is not None else simulated()
@@ -63,7 +66,8 @@ def build_env(tmp_path, group=None, journal_limit=1 << 20, fsync=False):
     snapshot = snapshot_tree(tree)
 
     publisher = UpdatePublisher(
-        owner.signer, "docs", tree, epoch=1, rng=random.Random(8201)
+        owner.signer, "docs", tree, epoch=1, rng=random.Random(8201),
+        state_path=publisher_state,
     )
     token = publisher.issue_current_token()
 
@@ -96,6 +100,22 @@ def build_env(tmp_path, group=None, journal_limit=1 << 20, fsync=False):
         "guard": guard,
         "contents": contents,
     }
+
+
+def signed_envelope(env, frame_obj) -> bytes:
+    """Wrap a hand-built UPD/ROT frame the way the publisher would."""
+    payload = frame_obj.to_bytes()
+    return IngestEnvelope(
+        payload=payload,
+        signature_bytes=sign_ingest_payload(env["owner"].signer, payload),
+    ).to_bytes()
+
+
+def logged_update(env, entry: bytes) -> UpdateFrame:
+    """Decode the UPD frame inside one of the publisher's log envelopes."""
+    return UpdateFrame.from_bytes(
+        env["group"], IngestEnvelope.from_bytes(entry).payload
+    )
 
 
 def served_records(env, server=None):
@@ -200,13 +220,13 @@ def test_out_of_order_future_frame_acks_gap_without_journaling(tmp_path):
     pub = env["publisher"]
     ingest = env["server"].ingest
     pub.upsert(Record((5,), b"v1", parse_policy(POLICY)))
-    staged = UpdateFrame.from_bytes(env["group"], pub.log[-1])
+    staged = logged_update(env, pub.log[-1])
     future = UpdateFrame(
         table="docs", seq=40, kind="upsert", epoch=1,
         replacements=staged.replacements,
     )
     appended = ingest.journal.appended
-    ack = IngestAck.from_bytes(ingest.handle(future.to_bytes()))
+    ack = IngestAck.from_bytes(ingest.handle(signed_envelope(env, future)))
     assert ack.status == "gap"
     assert ack.applied_seq == 1
     assert "expected seq 2" in ack.message
@@ -336,20 +356,26 @@ def test_checkpoint_deferred_while_another_table_is_mid_epoch(tmp_path):
     provider = env["server"].server.provider
     provider.install_table("docs2", provider.tree("docs"), None)
     pub.upsert(Record((2,), b"v", parse_policy(POLICY)))
-    replacements = UpdateFrame.from_bytes(
-        env["group"], pub.log[-1]
-    ).replacements  # docs2 holds the same tree content, so the path grafts
-    ingest.handle(UpdateFrame(
+    # docs2 holds the same tree content, so the path grafts
+    replacements = logged_update(env, pub.log[-1]).replacements
+    ingest.handle(signed_envelope(env, UpdateFrame(
         table="docs2", seq=1, kind="upsert", epoch=1,
         replacements=replacements,
-    ).to_bytes())
+    )))
     assert ingest.states["docs2"].staging is not None
     pub.rotate()
     assert ingest.checkpoints == 0
     assert ingest.deferred_checkpoints >= 1
+    # A *direct* checkpoint call hits the same guard, loudly: truncating
+    # the shared journal now would orphan docs2's staged entries.
+    from repro.errors import WorkloadError
+
+    with pytest.raises(WorkloadError, match="mid-epoch"):
+        ingest.checkpoint()
     # Committing the second table clears the deferral at its own rotation.
-    ingest.handle(RotateFrame(table="docs2", seq=2, epoch=2,
-                              token_bytes=b"").to_bytes())
+    ingest.handle(signed_envelope(env, RotateFrame(
+        table="docs2", seq=2, epoch=2, token_bytes=b"",
+    )))
     assert ingest.checkpoints == 1
     assert ingest.journal.size == 5  # truncated back to the bare header
 
@@ -405,7 +431,7 @@ def test_apply_replacements_rejects_malformed_sets(tmp_path):
     env = build_env(tmp_path)
     pub = env["publisher"]
     receipt = pub.upsert(Record((2,), b"v", parse_policy(POLICY)))
-    good = UpdateFrame.from_bytes(env["group"], pub.log[-1]).replacements
+    good = logged_update(env, pub.log[-1]).replacements
     tree = env["server"].server.provider.tree("docs")
 
     with pytest.raises(DeserializationError, match="empty replacement"):
@@ -416,6 +442,195 @@ def test_apply_replacements_rejects_malformed_sets(tmp_path):
     with pytest.raises(DeserializationError):
         apply_replacements(tree, (good[0],))
     assert len(receipt.resigned_path) == len(good)
+
+
+# ---------------------------------------------------------------------------
+# Control-plane authentication: only the DO's key admits UPD/ROT frames
+# ---------------------------------------------------------------------------
+
+def test_bare_unauthenticated_frame_rejected_without_state_change(tmp_path):
+    env = build_env(tmp_path)
+    ingest = env["server"].ingest
+    provider = env["server"].server.provider
+    env["publisher"].upsert(Record((2,), b"v", parse_policy(POLICY)))
+    # A next-in-sequence ROT straight off the wire (no envelope): one
+    # packet like this used to clear the serving token.
+    naked = RotateFrame(table="docs", seq=2, epoch=9, token_bytes=b"")
+    appended = ingest.journal.appended
+    with pytest.raises(VerificationError, match="bare ingest frame"):
+        ingest.handle(naked.to_bytes())
+    assert ingest.journal.appended == appended
+    assert ingest.states["docs"].applied_seq == 1
+    assert provider.freshness_token("docs").epoch == 1
+    # Through the server loop it degrades to a typed error frame.
+    reply = env["server"].handle_frame(frame(b"\x07" * 16, naked.to_bytes()))
+    _, body = unframe(reply)
+    assert body[:4] != INGEST_ACK_MAGIC
+
+
+def test_forged_envelope_signature_rejected_before_journal(tmp_path):
+    env = build_env(tmp_path)
+    ingest = env["server"].ingest
+    provider = env["server"].server.provider
+    env["publisher"].upsert(Record((2,), b"v", parse_policy(POLICY)))
+    evil = RotateFrame(table="docs", seq=2, epoch=9, token_bytes=b"")
+    # Genuine DO signature — but over different bytes: must not verify.
+    stolen = sign_ingest_payload(env["owner"].signer, b"some other payload")
+    appended = ingest.journal.appended
+    with pytest.raises(VerificationError, match="does not verify"):
+        ingest.handle(IngestEnvelope(
+            payload=evil.to_bytes(), signature_bytes=stolen,
+        ).to_bytes())
+    assert ingest.journal.appended == appended
+    assert ingest.states["docs"].applied_seq == 1
+    assert provider.freshness_token("docs").epoch == 1
+
+
+# ---------------------------------------------------------------------------
+# Journal-poison prevention: validate before the write-ahead append
+# ---------------------------------------------------------------------------
+
+def test_unappliable_frame_never_poisons_journal(tmp_path):
+    env = build_env(tmp_path)
+    pub = env["publisher"]
+    ingest = env["server"].ingest
+    pub.upsert(Record((2,), b"v", parse_policy(POLICY)))
+    good = logged_update(env, pub.log[-1]).replacements
+
+    # Signed, decodable, next-in-sequence — but a root-only path can
+    # never graft.  It must be rejected *before* the journal append, or
+    # a CRC-valid-but-unappliable entry wedges every future recover().
+    poison = UpdateFrame(
+        table="docs", seq=2, kind="upsert", epoch=1, replacements=(good[0],),
+    )
+    appended = ingest.journal.appended
+    with pytest.raises(DeserializationError):
+        ingest.handle(signed_envelope(env, poison))
+    assert ingest.journal.appended == appended
+    assert ingest.states["docs"].applied_seq == 1
+
+    # A ROT whose token bytes cannot parse is likewise rejected pre-journal.
+    with pytest.raises(DeserializationError):
+        ingest.handle(signed_envelope(env, RotateFrame(
+            table="docs", seq=2, epoch=2, token_bytes=b"\xff" * 9,
+        )))
+    assert ingest.journal.appended == appended
+
+    # The journal stayed clean: cold start replays it fine, and the
+    # stream resumes (the SP never acked the poison, so nothing is lost).
+    ingest.close()
+    rebuilt = env["make_server"]()
+    rebuilt.ingest = ServerIngest(rebuilt.server.provider, tmp_path, fsync=False)
+    report = rebuilt.ingest.recover()
+    assert report["replayed"] == 1
+    reattach(env, rebuilt)
+    pub.rotate()
+    assert pub.lag("sp0") == 0
+    _, records = served_records(env)
+    assert ((2,), b"v") in records
+
+
+# ---------------------------------------------------------------------------
+# Publisher durability: cursor survives restarts, log compaction is loud
+# ---------------------------------------------------------------------------
+
+def test_publisher_cursor_durable_across_restart(tmp_path):
+    state = tmp_path / "publisher.state"
+    env = build_env(tmp_path, publisher_state=state)
+    pub = env["publisher"]
+    pub.upsert(Record((2,), b"v1", parse_policy(POLICY)))
+    pub.rotate()
+    assert (pub.seq, pub.epoch) == (2, 2)
+
+    # "Restart" the DO: a fresh publisher over the same durable tree and
+    # state path resumes the sequence and epoch instead of resetting —
+    # a reset would make every new update ack "duplicate" and silently
+    # stall replication on the old epoch.
+    reborn = UpdatePublisher(
+        env["owner"].signer, "docs", pub.tree, epoch=1,
+        rng=random.Random(8207), state_path=state,
+    )
+    assert (reborn.seq, reborn.epoch) == (2, 2)
+    assert reborn.log_base == 2  # pre-restart payloads are gone with the process
+    reborn.current_token = pub.current_token
+    reborn.attach("sp0", pub.endpoints["sp0"])
+
+    # acked resets to 0 in memory; the watermark probe (not a blind
+    # replay) discovers the SP is already at seq 2, then new updates
+    # apply as genuinely new.
+    reborn.upsert(Record((6,), b"after-restart", parse_policy(POLICY)))
+    reborn.rotate()
+    assert reborn.lag("sp0") == 0
+    env["publisher"] = reborn
+    response, records = served_records(env)
+    assert ((6,), b"after-restart") in records
+    assert response.freshness.epoch == 3
+
+
+def test_amnesiac_publisher_refuses_to_publish_colliding_seqs(tmp_path):
+    from repro.errors import ReproError
+
+    env = build_env(tmp_path)
+    pub = env["publisher"]
+    pub.upsert(Record((2,), b"v1", parse_policy(POLICY)))
+    pub.rotate()  # SP watermark now 2
+
+    # A publisher restarted WITHOUT its durable cursor restarts at seq 0
+    # and would re-issue seq 1 — the SP must not silently absorb it as a
+    # duplicate; the publisher refuses the moment the watermark exceeds
+    # its own seq.
+    amnesiac = UpdatePublisher(
+        env["owner"].signer, "docs", pub.tree, epoch=1,
+        rng=random.Random(8208),
+    )
+    amnesiac.attach("sp0", pub.endpoints["sp0"])
+    with pytest.raises(ReproError, match="watermark"):
+        amnesiac.upsert(Record((3,), b"clash", parse_policy(POLICY)))
+
+
+def test_compaction_bounds_log_and_bootstrap_heals_below_floor(tmp_path):
+    from repro.core.persistence import restore_snapshot
+    from repro.errors import ReproError
+
+    env = build_env(tmp_path)
+    pub = env["publisher"]
+    pub.upsert(Record((2,), b"v1", parse_policy(POLICY)))
+    pub.rotate()
+    assert len(pub.log) == 2
+    assert pub.compact() == 2  # sp0 acked everything
+    assert pub.log == [] and pub.log_base == 2
+
+    # Replication continues seamlessly above the floor.
+    pub.upsert(Record((6,), b"v2", parse_policy(POLICY)))
+    pub.rotate()
+    assert pub.lag("sp0") == 0
+    assert pub.compact() == 2
+
+    # A cold replacement (empty state dir) now needs compacted-away
+    # entries: push must raise the re-bootstrap error — a loud operator
+    # signal, never a silent stall.
+    fresh_dir = tmp_path / "replacement"
+    replacement = env["make_server"]()
+    replacement.ingest = ServerIngest(
+        replacement.server.provider, fresh_dir, fsync=False
+    )
+    reattach(env, replacement)
+    with pytest.raises(ReproError, match="re-seed"):
+        pub.upsert(Record((8,), b"v3", parse_policy(POLICY)))
+
+    # The prescribed repair: snapshot-transfer the DO's current tree +
+    # token + watermark, then incremental replication resumes.
+    replacement.ingest.bootstrap(
+        "docs",
+        restore_snapshot(env["group"], snapshot_tree(pub.tree)),
+        pub.seq, pub.epoch, pub.current_token,
+    )
+    assert pub.push("sp0")
+    pub.rotate()
+    assert pub.lag("sp0") == 0
+    _, records = served_records(env)
+    assert ((6,), b"v2") in records and ((8,), b"v3") in records
+    assert pub.stats.compactions == 2
 
 
 def test_server_without_ingest_rejects_ingest_frames(tmp_path):
